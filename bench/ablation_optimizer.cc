@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation — contribution of each optimizer stage (DESIGN.md design
+ * decision 5): run representative workloads with escape analysis, heap
+ * caching, guard elision, and constant folding individually disabled,
+ * reporting the slowdown and GC pressure relative to the full optimizer.
+ *
+ * The virtualization row quantifies the paper's Section V-B observation
+ * that escape analysis is why "garbage collection is used more heavily
+ * before the JIT phase".
+ */
+
+#include "bench_common.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+int
+main()
+{
+    const char *names[] = {"chaos", "float", "crypto_pyaes",
+                           "richards", "spectral_norm"};
+    struct Variant
+    {
+        const char *label;
+        void (*tweak)(driver::RunOptions &);
+    };
+    const Variant variants[] = {
+        {"full optimizer", [](driver::RunOptions &) {}},
+        {"no virtualize",
+         [](driver::RunOptions &o) { o.optVirtualize = false; }},
+        {"no heap cache",
+         [](driver::RunOptions &o) { o.optHeapCache = false; }},
+        {"no guard elision",
+         [](driver::RunOptions &o) { o.optElideGuards = false; }},
+        {"no const folding",
+         [](driver::RunOptions &o) { o.optFoldConstants = false; }},
+    };
+
+    std::printf("Optimizer ablation (cycles normalized to the full "
+                "optimizer; minor GCs in JIT runs)\n");
+    std::printf("%-18s", "Variant");
+    for (const char *n : names)
+        std::printf(" %15s", n);
+    std::printf("\n");
+    printRule(18 + 16 * 5);
+
+    std::vector<double> baseline;
+    for (const Variant &v : variants) {
+        std::printf("%-18s", v.label);
+        int i = 0;
+        for (const char *n : names) {
+            driver::RunOptions o = baseOptions(n, driver::VmKind::PyPyJit);
+            v.tweak(o);
+            driver::RunResult r = driver::runWorkload(o);
+            if (baseline.size() <= size_t(i))
+                baseline.push_back(r.cycles);
+            std::printf("   %5.2fx gc=%-4llu",
+                        baseline[i] > 0 ? r.cycles / baseline[i] : 0.0,
+                        (unsigned long long)r.gcMinor);
+            ++i;
+        }
+        std::printf("\n");
+    }
+    printRule(18 + 16 * 5);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 2 — breakdown of execution time by framework phase for each
+ * PyPy-suite workload (stacked percentage of interp / tracing / jit /
+ * jit-call / gc / blackhole).
+ *
+ * Shape to reproduce: every phase except blackhole dominates at least
+ * one benchmark; JIT and JIT-call dominate the fast benchmarks;
+ * interpreter dominates the branchy symbolic ones.
+ */
+
+#include "bench_common.h"
+#include "xlayer/phase.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+int
+main()
+{
+    std::printf("Figure 2: time spent in each phase (%% of cycles)\n");
+    std::printf("%-20s %7s %8s %6s %9s %6s %10s\n", "Benchmark",
+                "interp", "tracing", "jit", "jit-call", "gc",
+                "blackhole");
+    printRule(78);
+
+    for (const std::string &name : figureWorkloads()) {
+        driver::RunResult r = driver::runWorkload(
+            baseOptions(name, driver::VmKind::PyPyJit));
+        auto pct = [&](xlayer::Phase p) {
+            return 100.0 * r.phaseShares[uint32_t(p)];
+        };
+        std::printf("%-20s %6.1f%% %7.1f%% %5.1f%% %8.1f%% %5.1f%% "
+                    "%9.1f%%\n",
+                    name.c_str(), pct(xlayer::Phase::Interpreter),
+                    pct(xlayer::Phase::Tracing), pct(xlayer::Phase::Jit),
+                    pct(xlayer::Phase::JitCall), pct(xlayer::Phase::Gc),
+                    pct(xlayer::Phase::Blackhole));
+    }
+    printRule(78);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 3 — phase diagrams over time for the best- and worst-speedup
+ * benchmarks: for each instruction-count bin, the dominant phase and an
+ * ASCII stacked view of the phase mix.
+ *
+ * Shape to reproduce: runs begin in interpreter/tracing/blackhole
+ * bursts, then the JIT phase dominates; GC activity is heavier before
+ * the JIT phase warms up (escape analysis removes allocations).
+ */
+
+#include "bench_common.h"
+#include "xlayer/phase.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+namespace {
+
+void
+timelineFor(const char *name)
+{
+    driver::RunOptions o = bench::baseOptions(name,
+                                              driver::VmKind::PyPyJit);
+    // ~40 bins across the run.
+    driver::RunResult probe = driver::runWorkload(o);
+    uint64_t bin = std::max<uint64_t>(probe.instructions / 40, 2000);
+    o.timelineBin = bin;
+    driver::RunResult r = driver::runWorkload(o);
+
+    std::printf("\n%s (bin = %s instructions)\n", name,
+                formatCount(bin).c_str());
+    std::printf("%12s  %-9s %s\n", "instr", "dominant",
+                "interp/trace/jit/call/gc/bh  (20-char stacked bar)");
+    const char phaseChar[] = {'i', 't', 'J', 'c', 'g', 'b', 'n'};
+    for (const auto &tb : r.timeline) {
+        double total = 0;
+        for (double c : tb.cycles)
+            total += c;
+        if (total <= 0)
+            continue;
+        uint32_t dom = 0;
+        std::string stacked;
+        for (uint32_t p = 0; p < 6; ++p) {
+            if (tb.cycles[p] > tb.cycles[dom])
+                dom = p;
+            int chars = int(20.0 * tb.cycles[p] / total + 0.5);
+            stacked += std::string(chars, phaseChar[p]);
+        }
+        stacked.resize(20, ' ');
+        std::printf("%12s  %-9s [%s]\n",
+                    formatCount(tb.instrEnd).c_str(),
+                    xlayer::phaseName(xlayer::Phase(dom)),
+                    stacked.c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 3: phase timeline for best- and worst-performing "
+                "benchmarks\n");
+    // Best and worst JIT speedups from Table I plus a GC-heavy case.
+    timelineFor("spectral_norm");
+    timelineFor("django");
+    timelineFor("float");
+    return 0;
+}

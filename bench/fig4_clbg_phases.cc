@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 4 — phase breakdown of the two meta-tracing JIT VMs (PyPy* and
+ * Pycket*) on the CLBG workloads.
+ *
+ * Shape to reproduce: both VMs show similar phase mixes per program —
+ * GC-heavy binarytrees, JIT-heavy fasta/spectralnorm, JIT-call-heavy
+ * pidigits.
+ */
+
+#include "bench_common.h"
+#include "xlayer/phase.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+namespace {
+
+void
+row(const char *vm, const driver::RunResult &r)
+{
+    auto pct = [&](xlayer::Phase p) {
+        return 100.0 * r.phaseShares[uint32_t(p)];
+    };
+    std::printf("  %-8s %6.1f%% %7.1f%% %5.1f%% %8.1f%% %5.1f%% "
+                "%9.1f%%\n",
+                vm, pct(xlayer::Phase::Interpreter),
+                pct(xlayer::Phase::Tracing), pct(xlayer::Phase::Jit),
+                pct(xlayer::Phase::JitCall), pct(xlayer::Phase::Gc),
+                pct(xlayer::Phase::Blackhole));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 4: phase breakdown for PyPy* and Pycket* on "
+                "CLBG\n");
+    std::printf("%-18s %7s %8s %6s %9s %6s %10s\n", "Benchmark",
+                "interp", "tracing", "jit", "jit-call", "gc",
+                "blackhole");
+    printRule(78);
+    for (const workloads::Workload &w : workloads::clbgSuite()) {
+        if (w.rktSource.empty())
+            continue;
+        std::printf("%s\n", w.name.c_str());
+        driver::RunResult pypy = driver::runWorkload(
+            baseOptions(w.name, driver::VmKind::PyPyJit));
+        row("PyPy*", pypy);
+        driver::RunResult pycket = driver::runRktWorkload(
+            baseOptions(w.name, driver::VmKind::PycketJit));
+        row("Pycket*", pycket);
+    }
+    printRule(78);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 5 — warmup curves: bytecode execution rate of the JIT VM
+ * normalized to the CPython analog, with break-even points.
+ *
+ * For each benchmark we report the break-even instruction counts
+ * against (a) the CPython-analog interpreter and (b) the translated
+ * interpreter without the JIT, plus the eventual speedup. The paper's
+ * shape: break-even vs the JIT-less interpreter comes very early;
+ * break-even vs CPython comes later for modestly-sped-up benchmarks.
+ */
+
+#include "bench_common.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+int
+main()
+{
+    std::printf("Figure 5: JIT warmup break-even points "
+                "(instructions; window capped)\n");
+    std::printf("%-20s %14s %16s %12s\n", "Benchmark",
+                "vs CPython*", "vs PyPy*-nojit", "final speedup");
+    printRule(70);
+
+    for (const std::string &name : figureWorkloads()) {
+        driver::RunOptions cpyOpt =
+            baseOptions(name, driver::VmKind::CPythonLike);
+        driver::RunOptions nojitOpt =
+            baseOptions(name, driver::VmKind::PyPyNoJit);
+        driver::RunOptions jitOpt =
+            baseOptions(name, driver::VmKind::PyPyJit);
+        jitOpt.workSampleInstrs = 20000;
+
+        driver::RunResult cpy = driver::runWorkload(cpyOpt);
+        driver::RunResult nojit = driver::runWorkload(nojitOpt);
+        driver::RunResult jit = driver::runWorkload(jitOpt);
+
+        double cpyRate = cpy.instructions
+                             ? double(cpy.work) / cpy.instructions
+                             : 0;
+        double nojitRate = nojit.instructions
+                               ? double(nojit.work) / nojit.instructions
+                               : 0;
+        uint64_t beCpy =
+            xlayer::breakEvenInstructions(jit.warmupCurve, cpyRate);
+        uint64_t beNojit =
+            xlayer::breakEvenInstructions(jit.warmupCurve, nojitRate);
+        double speedup =
+            jit.seconds > 0 ? cpy.seconds / jit.seconds : 0;
+
+        auto fmt = [](uint64_t v) {
+            return v == UINT64_MAX ? std::string("never(window)")
+                                   : formatCount(v);
+        };
+        std::printf("%-20s %14s %16s %11.1fx\n", name.c_str(),
+                    fmt(beCpy).c_str(), fmt(beNojit).c_str(), speedup);
+    }
+    printRule(70);
+    std::printf("(break-even: earliest point where cumulative bytecodes "
+                "on the JIT VM match the baseline's rate)\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 7 — composition of meta-traces by IR category per benchmark
+ * (dynamic execution weight of memop / guard / call / ctrl / int / new /
+ * float / str / ptr nodes).
+ *
+ * Shape to reproduce: memory operations are the largest category
+ * (~26%), then guards (~22%), call overheads (~18%); call-heavy entries
+ * (pidigits, spitfire) skew to calls; richards skews to guards; even
+ * float-heavy benchmarks have modest float-node shares.
+ */
+
+#include "bench_common.h"
+#include "jit/ir.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+int
+main()
+{
+    std::printf("Figure 7: IR category breakdown per benchmark "
+                "(%% of dynamic IR executions, weighted by lowered "
+                "instructions)\n");
+    std::printf("%-20s %6s %6s %6s %6s %6s %6s %6s %6s %6s\n",
+                "Benchmark", "memop", "guard", "call", "ctrl", "int",
+                "new", "float", "str", "ptr");
+    printRule(86);
+
+    std::array<double, jit::kNumIrCategories> grand{};
+    double grandTotal = 0;
+
+    for (const std::string &name : figureWorkloads()) {
+        driver::RunOptions o = baseOptions(name, driver::VmKind::PyPyJit);
+        o.irAnnotations = true;
+        driver::RunResult r = driver::runWorkload(o);
+
+        std::array<double, jit::kNumIrCategories> weight{};
+        double total = 0;
+        for (size_t i = 0; i < r.irNodeMeta.size(); ++i) {
+            double w = double(r.irExecCounts[i]) *
+                       jit::loweredInstCount(r.irNodeMeta[i].op);
+            weight[uint32_t(jit::irCategory(r.irNodeMeta[i].op))] += w;
+            total += w;
+        }
+        if (total <= 0) {
+            std::printf("%-20s (no JIT execution)\n", name.c_str());
+            continue;
+        }
+        auto pc = [&](jit::IrCategory c) {
+            return 100.0 * weight[uint32_t(c)] / total;
+        };
+        std::printf("%-20s %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% "
+                    "%5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+                    name.c_str(), pc(jit::IrCategory::MemOp),
+                    pc(jit::IrCategory::Guard),
+                    pc(jit::IrCategory::CallOverhead),
+                    pc(jit::IrCategory::Ctrl), pc(jit::IrCategory::Int),
+                    pc(jit::IrCategory::New),
+                    pc(jit::IrCategory::Float), pc(jit::IrCategory::Str),
+                    pc(jit::IrCategory::Ptr));
+        for (uint32_t c = 0; c < jit::kNumIrCategories; ++c)
+            grand[c] += weight[c];
+        grandTotal += total;
+    }
+    printRule(86);
+    if (grandTotal > 0) {
+        std::printf("%-20s %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% "
+                    "%5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+                    "ALL (weighted)",
+                    100 * grand[uint32_t(jit::IrCategory::MemOp)] /
+                        grandTotal,
+                    100 * grand[uint32_t(jit::IrCategory::Guard)] /
+                        grandTotal,
+                    100 *
+                        grand[uint32_t(jit::IrCategory::CallOverhead)] /
+                        grandTotal,
+                    100 * grand[uint32_t(jit::IrCategory::Ctrl)] /
+                        grandTotal,
+                    100 * grand[uint32_t(jit::IrCategory::Int)] /
+                        grandTotal,
+                    100 * grand[uint32_t(jit::IrCategory::New)] /
+                        grandTotal,
+                    100 * grand[uint32_t(jit::IrCategory::Float)] /
+                        grandTotal,
+                    100 * grand[uint32_t(jit::IrCategory::Str)] /
+                        grandTotal,
+                    100 * grand[uint32_t(jit::IrCategory::Ptr)] /
+                        grandTotal);
+    }
+    return 0;
+}

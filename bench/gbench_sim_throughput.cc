@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark): throughput of the
+ * simulation substrate itself — core consumption rate, branch
+ * prediction, dict probing, bignum arithmetic, and end-to-end VM
+ * execution per modeled configuration. Useful for keeping the
+ * regeneration benches fast as the stack evolves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "driver/runner.h"
+#include "rt/rbigint.h"
+#include "rt/rdict.h"
+#include "sim/core.h"
+#include "sim/emitter.h"
+
+namespace {
+
+using namespace xlvm;
+
+void
+BM_CoreConsume(benchmark::State &state)
+{
+    sim::Core core;
+    uint64_t n = 0;
+    for (auto _ : state) {
+        sim::BlockEmitter e(core, 0x400000);
+        e.alu(8);
+        e.loadPtr(&core, 1);
+        e.branch((n++ & 3) == 0);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 10);
+}
+BENCHMARK(BM_CoreConsume);
+
+void
+BM_DictLookup(benchmark::State &state)
+{
+    struct Traits
+    {
+        static bool equal(int a, int b) { return a == b; }
+    };
+    rt::ROrderedDict<int, int, Traits> d;
+    for (int i = 0; i < 1024; ++i)
+        d.set(i, uint64_t(i) * 0x9e3779b97f4a7c15ull, i);
+    int k = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            d.get(k & 1023, uint64_t(k & 1023) * 0x9e3779b97f4a7c15ull));
+        ++k;
+    }
+}
+BENCHMARK(BM_DictLookup);
+
+void
+BM_BigIntMul(benchmark::State &state)
+{
+    rt::RBigInt a = rt::RBigInt::pow(rt::RBigInt::fromInt64(7),
+                                     uint64_t(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rt::RBigInt::mul(a, a));
+}
+BENCHMARK(BM_BigIntMul)->Arg(32)->Arg(256);
+
+void
+BM_VmEndToEnd(benchmark::State &state)
+{
+    driver::VmKind kinds[] = {driver::VmKind::CPythonLike,
+                              driver::VmKind::PyPyNoJit,
+                              driver::VmKind::PyPyJit};
+    driver::VmKind vm = kinds[state.range(0)];
+    for (auto _ : state) {
+        driver::RunOptions o;
+        o.workload = "crypto_pyaes";
+        o.scale = 120;
+        o.vm = vm;
+        o.loopThreshold = 60;
+        driver::RunResult r = driver::runWorkload(o);
+        benchmark::DoNotOptimize(r.instructions);
+    }
+}
+BENCHMARK(BM_VmEndToEnd)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table II — CLBG benchmark performance across language implementations:
+ * the CPython analog, PyPy (meta-tracing JIT), the Racket-like custom
+ * method-JIT VM, Pycket (MiniRkt on the meta-tracing framework), and
+ * native C++.
+ *
+ * Shape to reproduce: PyPy beats CPython broadly; Pycket lands within
+ * ~0.3x-2x of the Racket-like VM; everything trails native C++.
+ */
+
+#include "bench_common.h"
+#include "native/clbg_native.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+int
+main()
+{
+    std::printf("Table II: CLBG performance (simulated seconds; '-' = "
+                "no implementation)\n");
+    std::printf("%-16s %10s %10s %7s %10s %10s %7s %10s\n", "Benchmark",
+                "CPython*", "PyPy*", "vC", "Racket*", "Pycket*", "vR",
+                "C++*");
+    printRule(92);
+
+    for (const workloads::Workload &w : workloads::clbgSuite()) {
+        driver::RunResult cpy = driver::runWorkload(
+            baseOptions(w.name, driver::VmKind::CPythonLike));
+        driver::RunResult pypy = driver::runWorkload(
+            baseOptions(w.name, driver::VmKind::PyPyJit));
+        bool outputsAgree = cpy.output == pypy.output;
+
+        std::string racketCol = "-", pycketCol = "-", vrCol = "-";
+        if (!w.rktSource.empty()) {
+            driver::RunResult racket = driver::runRktWorkload(
+                baseOptions(w.name, driver::VmKind::RacketLike));
+            driver::RunResult pycket = driver::runRktWorkload(
+                baseOptions(w.name, driver::VmKind::PycketJit));
+            racketCol = formatFixed(racket.seconds, 5);
+            pycketCol = formatFixed(pycket.seconds, 5);
+            if (pycket.seconds > 0) {
+                vrCol = formatFixed(racket.seconds / pycket.seconds, 2) +
+                        "x";
+            }
+        }
+        std::string nativeCol = "-";
+        double nativeSecs = native::runNative(w.name);
+        if (nativeSecs >= 0)
+            nativeCol = formatFixed(nativeSecs, 5);
+
+        double vc = pypy.seconds > 0 ? cpy.seconds / pypy.seconds : 0;
+        std::printf("%-16s %10.5f %10.5f %6.2fx %10s %10s %7s %10s%s\n",
+                    w.name.c_str(), cpy.seconds, pypy.seconds, vc,
+                    racketCol.c_str(), pycketCol.c_str(), vrCol.c_str(),
+                    nativeCol.c_str(),
+                    outputsAgree ? "" : "  [MISMATCH]");
+    }
+    printRule(92);
+    std::printf("vC = PyPy* speedup over CPython*; vR = Pycket* speedup "
+                "over Racket*.\n");
+    return 0;
+}

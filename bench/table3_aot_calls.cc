@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table III — significant AOT-compiled functions called from meta-traces.
+ *
+ * For each workload, the AOT entry points consuming at least 10% of
+ * total execution when invoked from JIT-compiled code, with their source
+ * classification (R/L/C/I/M). Shape to reproduce: pidigits dominated by
+ * rbigint ops, django/template engines by ll_call_lookup_function and
+ * string ops, nbody by C pow.
+ */
+
+#include "bench_common.h"
+#include "rt/aot_registry.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+int
+main()
+{
+    std::printf("Table III: significant AOT-compiled functions from "
+                "meta-traces (>= 10%% of execution)\n");
+    std::printf("%-20s %6s  %s\n", "Benchmark", "%", "Src Function");
+    printRule(78);
+
+    const rt::AotRegistry &reg = rt::AotRegistry::instance();
+    for (const std::string &name : figureWorkloads()) {
+        driver::RunResult r = driver::runWorkload(
+            baseOptions(name, driver::VmKind::PyPyJit));
+        bool any = false;
+        for (const auto &fn : r.aotFunctions) {
+            double share = r.cycles > 0 ? fn.cycles / r.cycles : 0;
+            if (share < 0.10)
+                continue;
+            const rt::AotFunction &meta = reg.fn(fn.fnId);
+            std::printf("%-20s %5.1f%%  %c   %s\n",
+                        any ? "" : name.c_str(), 100.0 * share,
+                        rt::aotSourceTag(meta.source),
+                        meta.name.c_str());
+            any = true;
+        }
+        if (!any)
+            std::printf("%-20s   (no AOT entry above 10%%)\n",
+                        name.c_str());
+    }
+    printRule(78);
+    std::printf("Src: R = RPython type intrinsics, L = RPython stdlib, "
+                "C = external C, I = interpreter, M = module\n");
+    return 0;
+}

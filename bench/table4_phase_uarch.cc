@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table IV — microarchitectural behaviour by phase: mean and standard
+ * deviation of IPC, branches per instruction, and branch miss rate for
+ * each framework phase, across the PyPy-suite workloads.
+ *
+ * Shape to reproduce: the JIT phase has the highest mean IPC and lowest
+ * branch miss rate (with the largest IPC variance); the blackhole
+ * interpreter has the worst IPC; GC predicts relatively well.
+ */
+
+#include "bench_common.h"
+#include "xlayer/phase.h"
+
+using namespace xlvm;
+using namespace xlvm::bench;
+
+int
+main()
+{
+    std::array<RunningStat, xlayer::kNumPhases> ipc, brPerInst, missRate;
+
+    for (const std::string &name : figureWorkloads()) {
+        driver::RunResult r = driver::runWorkload(
+            baseOptions(name, driver::VmKind::PyPyJit));
+        // Like the paper, fold AOT calls from JIT code into the JIT
+        // phase for this table.
+        r.phaseCounters[uint32_t(xlayer::Phase::Jit)].accumulate(
+            r.phaseCounters[uint32_t(xlayer::Phase::JitCall)]);
+        r.phaseCounters[uint32_t(xlayer::Phase::JitCall)] =
+            sim::PerfCounters();
+        for (uint32_t p = 0; p < xlayer::kNumPhases; ++p) {
+            const sim::PerfCounters &c = r.phaseCounters[p];
+            // Skip phases with too little data to be meaningful.
+            if (c.instructions < 5000)
+                continue;
+            ipc[p].add(c.ipc());
+            brPerInst[p].add(c.branchRate());
+            missRate[p].add(c.branchMissRate());
+        }
+    }
+
+    std::printf("Table IV: microarchitectural behaviour by phase "
+                "(mean +/- stddev across PyPy-suite workloads)\n");
+    std::printf("%-12s %14s %20s %18s\n", "Phase", "IPC",
+                "branches/inst", "branch miss rate");
+    printRule(70);
+    const xlayer::Phase order[] = {
+        xlayer::Phase::Interpreter, xlayer::Phase::Tracing,
+        xlayer::Phase::Jit, xlayer::Phase::Gc,
+        xlayer::Phase::Blackhole};
+    for (xlayer::Phase p : order) {
+        uint32_t i = uint32_t(p);
+        if (ipc[i].count() == 0)
+            continue;
+        std::printf("%-12s %6.2f +/- %.2f    %6.3f +/- %.3f   "
+                    "%6.3f +/- %.3f\n",
+                    xlayer::phaseName(p), ipc[i].mean(), ipc[i].stddev(),
+                    brPerInst[i].mean(), brPerInst[i].stddev(),
+                    missRate[i].mean(), missRate[i].stddev());
+    }
+    printRule(70);
+    return 0;
+}

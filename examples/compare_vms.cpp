@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Compare one workload across the modeled VM configurations and find
+ * the JIT warmup break-even point (the Section V-D methodology).
+ */
+
+#include <cstdio>
+
+#include "driver/runner.h"
+#include "common/stats.h"
+#include "xlayer/work_profiler.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xlvm;
+
+    const char *name = argc > 1 ? argv[1] : "crypto_pyaes";
+
+    driver::RunOptions base;
+    base.workload = name;
+    base.loopThreshold = 120;
+    base.maxInstructions = 200u * 1000 * 1000;
+    base.workSampleInstrs = 20000;
+
+    auto run = [&](driver::VmKind vm) {
+        driver::RunOptions o = base;
+        o.vm = vm;
+        return driver::runWorkload(o);
+    };
+
+    driver::RunResult cpy = run(driver::VmKind::CPythonLike);
+    driver::RunResult nojit = run(driver::VmKind::PyPyNoJit);
+    driver::RunResult jit = run(driver::VmKind::PyPyJit);
+
+    std::printf("workload %s (output %s)\n", name,
+                cpy.output == jit.output ? "agrees across VMs"
+                                         : "MISMATCH!");
+    std::printf("%-14s %12s %8s %8s\n", "VM", "time (s)", "IPC",
+                "MPKI");
+    std::printf("%-14s %12.6f %8.2f %8.2f\n", "CPython*", cpy.seconds,
+                cpy.ipc, cpy.branchMpki);
+    std::printf("%-14s %12.6f %8.2f %8.2f\n", "PyPy*-nojit",
+                nojit.seconds, nojit.ipc, nojit.branchMpki);
+    std::printf("%-14s %12.6f %8.2f %8.2f\n", "PyPy*", jit.seconds,
+                jit.ipc, jit.branchMpki);
+
+    double cpyRate =
+        cpy.instructions ? double(cpy.work) / cpy.instructions : 0;
+    double nojitRate =
+        nojit.instructions ? double(nojit.work) / nojit.instructions : 0;
+    uint64_t beCpy =
+        xlayer::breakEvenInstructions(jit.warmupCurve, cpyRate);
+    uint64_t beNojit =
+        xlayer::breakEvenInstructions(jit.warmupCurve, nojitRate);
+    auto fmt = [](uint64_t v) {
+        return v == UINT64_MAX ? std::string("beyond window")
+                               : formatCount(v);
+    };
+    std::printf("\nJIT break-even vs CPython*:     %s instructions\n",
+                fmt(beCpy).c_str());
+    std::printf("JIT break-even vs PyPy*-nojit:  %s instructions\n",
+                fmt(beNojit).c_str());
+    std::printf("final speedup over CPython*:    %.2fx\n",
+                jit.seconds > 0 ? cpy.seconds / jit.seconds : 0.0);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in xlvm itself).
+ * fatal()  — the user supplied an impossible configuration or program.
+ * warn()   — something is suspicious but execution can continue.
+ */
+
+#ifndef XLVM_COMMON_LOGGING_H
+#define XLVM_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace xlvm {
+
+namespace detail {
+
+[[noreturn]] inline void
+panicExit(const char *kind, const char *file, int line,
+          const std::string &msg)
+{
+    std::fprintf(stderr, "xlvm: %s: %s:%d: %s\n", kind, file, line,
+                 msg.c_str());
+    std::abort();
+}
+
+/** Build a message from a variadic pack via ostringstream. */
+template <typename... Args>
+std::string
+formatMsg(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace xlvm
+
+#define XLVM_PANIC(...)                                                     \
+    ::xlvm::detail::panicExit("panic", __FILE__, __LINE__,                  \
+                              ::xlvm::detail::formatMsg(__VA_ARGS__))
+
+#define XLVM_FATAL(...)                                                     \
+    ::xlvm::detail::panicExit("fatal", __FILE__, __LINE__,                  \
+                              ::xlvm::detail::formatMsg(__VA_ARGS__))
+
+#define XLVM_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            XLVM_PANIC("assertion failed: " #cond " ",                      \
+                       ::xlvm::detail::formatMsg(__VA_ARGS__));             \
+        }                                                                   \
+    } while (0)
+
+#define XLVM_WARN(...)                                                      \
+    std::fprintf(stderr, "xlvm: warn: %s\n",                                \
+                 ::xlvm::detail::formatMsg(__VA_ARGS__).c_str())
+
+#endif // XLVM_COMMON_LOGGING_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the workloads and simulators flows through
+ * SplitMix64 so that runs are bit-reproducible across platforms; we never
+ * use std::rand or hardware entropy.
+ */
+
+#ifndef XLVM_COMMON_RNG_H
+#define XLVM_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace xlvm {
+
+/** SplitMix64: tiny, fast, high-quality 64-bit generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    void reseed(uint64_t seed) { state = seed; }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace xlvm
+
+#endif // XLVM_COMMON_RNG_H

@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace xlvm {
+
+std::string
+formatFixed(double x, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, x);
+    return buf;
+}
+
+std::string
+formatCount(uint64_t n)
+{
+    std::string digits = std::to_string(n);
+    std::string out;
+    int cnt = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (cnt && cnt % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++cnt;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+} // namespace xlvm

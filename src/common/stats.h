@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight statistics helpers shared across the simulator layers.
+ */
+
+#ifndef XLVM_COMMON_STATS_H
+#define XLVM_COMMON_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xlvm {
+
+/** Running scalar statistic: count/sum/min/max/mean/stddev. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n;
+        sum += x;
+        sumSq += x * x;
+        minV = std::min(minV, x);
+        maxV = std::max(maxV, x);
+    }
+
+    uint64_t count() const { return n; }
+    double total() const { return sum; }
+    double mean() const { return n ? sum / n : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (n < 2)
+            return 0.0;
+        double m = mean();
+        double var = sumSq / n - m * m;
+        return var > 0 ? std::sqrt(var) : 0.0;
+    }
+
+    double minimum() const { return n ? minV : 0.0; }
+    double maximum() const { return n ? maxV : 0.0; }
+
+    void
+    reset()
+    {
+        n = 0;
+        sum = sumSq = 0.0;
+        minV = 1e300;
+        maxV = -1e300;
+    }
+
+  private:
+    uint64_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double minV = 1e300;
+    double maxV = -1e300;
+};
+
+/** Geometric mean over a vector of strictly positive values. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / xs.size());
+}
+
+/** Format a double with the given number of significant-ish decimals. */
+std::string formatFixed(double x, int decimals);
+
+/** Human-friendly big-number formatting: 12,345,678. */
+std::string formatCount(uint64_t n);
+
+} // namespace xlvm
+
+#endif // XLVM_COMMON_STATS_H

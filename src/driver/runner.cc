@@ -1,0 +1,161 @@
+#include "driver/runner.h"
+
+#include "common/logging.h"
+#include "minipy/compiler.h"
+#include "minipy/interp.h"
+#include "minirkt/compiler.h"
+#include "vm/context.h"
+#include "workloads/workloads.h"
+
+namespace xlvm {
+namespace driver {
+
+const char *
+vmKindName(VmKind k)
+{
+    switch (k) {
+      case VmKind::CPythonLike:
+        return "CPython*";
+      case VmKind::PyPyNoJit:
+        return "PyPy*-nojit";
+      case VmKind::PyPyJit:
+        return "PyPy*";
+      case VmKind::RacketLike:
+        return "Racket*";
+      case VmKind::PycketJit:
+        return "Pycket*";
+    }
+    return "?";
+}
+
+namespace {
+
+vm::VmConfig
+configFor(const RunOptions &opts)
+{
+    vm::VmConfig cfg;
+    switch (opts.vm) {
+      case VmKind::CPythonLike:
+        cfg.flavor = obj::VmFlavor::RefInterp;
+        cfg.jit.enableJit = false;
+        break;
+      case VmKind::PyPyNoJit:
+        cfg.flavor = obj::VmFlavor::RPython;
+        cfg.jit.enableJit = false;
+        break;
+      case VmKind::RacketLike:
+        // Custom method-JIT VM analog: compiled-code-quality dispatch,
+        // no meta-tracing.
+        cfg.flavor = obj::VmFlavor::RefInterp;
+        cfg.jit.enableJit = false;
+        break;
+      case VmKind::PyPyJit:
+      case VmKind::PycketJit:
+        cfg.flavor = obj::VmFlavor::RPython;
+        cfg.jit.enableJit = true;
+        break;
+    }
+    cfg.jit.loopThreshold = opts.loopThreshold;
+    cfg.jit.bridgeThreshold = opts.bridgeThreshold;
+    cfg.jit.irNodeAnnotations = opts.irAnnotations;
+    cfg.jit.optVirtualize = opts.optVirtualize;
+    cfg.jit.optHeapCache = opts.optHeapCache;
+    cfg.jit.optElideGuards = opts.optElideGuards;
+    cfg.jit.optFoldConstants = opts.optFoldConstants;
+    cfg.maxInstructions = opts.maxInstructions;
+    cfg.phaseTimelineBin = opts.timelineBin;
+    cfg.workSampleInstrs = opts.workSampleInstrs;
+    return cfg;
+}
+
+void
+collect(vm::VmContext &ctx, RunResult &out)
+{
+    ctx.work.finalize();
+
+    sim::PerfCounters total = ctx.core.totalCounters();
+    out.cycles = total.cycles();
+    out.seconds = ctx.core.seconds();
+    out.instructions = total.instructions;
+    out.ipc = total.ipc();
+    out.branchMpki = total.mpki();
+    out.branchRate = total.branchRate();
+    out.branchMissRate = total.branchMissRate();
+
+    out.phaseShares = ctx.phases.phaseCycleShares();
+    for (uint32_t p = 0; p < xlayer::kNumPhases; ++p) {
+        out.phaseCounters[p] =
+            ctx.phases.phaseCounters(xlayer::Phase(p));
+    }
+    out.timeline = ctx.phases.timeline();
+
+    out.work = ctx.work.totalWork();
+    out.warmupCurve = ctx.work.samples();
+
+    out.loopsCompiled = ctx.events.loopsCompiled;
+    out.bridgesCompiled = ctx.events.bridgesCompiled;
+    out.tracesAborted = ctx.events.tracesAborted;
+    out.deopts = ctx.events.deopts;
+    out.gcMinor = ctx.events.gcMinor;
+    out.gcMajor = ctx.events.gcMajor;
+
+    out.irNodesCompiled = ctx.backend.totalIrNodesCompiled();
+    out.irNodeMeta = ctx.backend.nodeMeta();
+    out.irExecCounts = ctx.irProfiler.execCounts();
+    out.irExecCounts.resize(out.irNodeMeta.size(), 0);
+
+    out.aotFunctions = ctx.aotProfiler.significantFunctions(0.0);
+}
+
+} // namespace
+
+RunResult
+runRktWorkload(const RunOptions &opts)
+{
+    const workloads::Workload *w = nullptr;
+    for (const workloads::Workload &c : workloads::clbgSuite()) {
+        if (c.name == opts.workload)
+            w = &c;
+    }
+    XLVM_ASSERT(w && !w->rktSource.empty(),
+                "no MiniRkt translation for ", opts.workload);
+
+    RunResult out;
+    vm::VmConfig cfg = configFor(opts);
+    vm::VmContext ctx(cfg);
+    workloads::Workload tmp = *w;
+    tmp.source = tmp.rktSource;
+    std::string src = workloads::instantiate(tmp, opts.scale);
+    auto prog = minirkt::compileRkt(src, ctx.space);
+    minipy::Interp interp(ctx, *prog);
+    out.completed = interp.run();
+    out.output = interp.output();
+    collect(ctx, out);
+    return out;
+}
+
+RunResult
+runWorkload(const RunOptions &opts)
+{
+    const workloads::Workload *w = workloads::findWorkload(opts.workload);
+    XLVM_ASSERT(w, "unknown workload ", opts.workload);
+
+    RunResult out;
+    vm::VmConfig cfg = configFor(opts);
+    vm::VmContext ctx(cfg);
+
+    XLVM_ASSERT(opts.vm != VmKind::RacketLike &&
+                    opts.vm != VmKind::PycketJit,
+                "use runRktWorkload for the Racket-family VMs");
+
+    std::string src = workloads::instantiate(*w, opts.scale);
+    auto prog = minipy::compileSource(src, ctx.space);
+    minipy::Interp interp(ctx, *prog);
+    out.completed = interp.run();
+    out.output = interp.output();
+    collect(ctx, out);
+    return out;
+}
+
+} // namespace driver
+} // namespace xlvm

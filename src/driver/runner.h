@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Benchmark runner: executes one workload on one modeled VM and collects
+ * every metric the paper's tables and figures report.
+ */
+
+#ifndef XLVM_DRIVER_RUNNER_H
+#define XLVM_DRIVER_RUNNER_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "jit/backend.h"
+#include "vm/registry.h"
+#include "xlayer/aot_profiler.h"
+#include "xlayer/phase_profiler.h"
+#include "xlayer/work_profiler.h"
+
+namespace xlvm {
+namespace driver {
+
+/** The VM configurations of Section III. */
+enum class VmKind
+{
+    CPythonLike, ///< hand-written C interpreter analog (refcount costs)
+    PyPyNoJit,   ///< translated RPython interpreter, JIT disabled
+    PyPyJit,     ///< translated RPython interpreter + meta-tracing JIT
+    RacketLike,  ///< custom method-JIT VM analog (MiniRkt)
+    PycketJit,   ///< MiniRkt on the meta-tracing framework
+};
+
+const char *vmKindName(VmKind k);
+
+struct RunOptions
+{
+    VmKind vm = VmKind::PyPyJit;
+    std::string workload;
+    int64_t scale = 0;          ///< 0 = workload default
+    uint64_t maxInstructions = 0;
+    bool irAnnotations = false; ///< per-IR-node profiling (Figs 6, 8)
+    uint64_t timelineBin = 0;   ///< phase timeline bin (Fig 3)
+    uint64_t workSampleInstrs = 50000;
+    uint32_t loopThreshold = 1039;
+    uint32_t bridgeThreshold = 200;
+    /** Optimizer ablation toggles. */
+    bool optVirtualize = true;
+    bool optHeapCache = true;
+    bool optElideGuards = true;
+    bool optFoldConstants = true;
+};
+
+struct RunResult
+{
+    bool completed = false;
+    std::string output;
+
+    // Overall machine-level metrics (Table I / II).
+    double seconds = 0.0;
+    double cycles = 0.0;
+    uint64_t instructions = 0;
+    double ipc = 0.0;
+    double branchMpki = 0.0;
+    double branchRate = 0.0;
+    double branchMissRate = 0.0;
+
+    // Phase breakdown (Figure 2 / 4) and per-phase counters (Table IV).
+    std::array<double, xlayer::kNumPhases> phaseShares{};
+    std::array<sim::PerfCounters, xlayer::kNumPhases> phaseCounters{};
+    std::vector<xlayer::PhaseTimelineBin> timeline;
+
+    // Interpreter-level (Figure 5).
+    uint64_t work = 0; ///< dispatch quanta completed
+    std::vector<xlayer::WorkSample> warmupCurve;
+
+    // Framework events.
+    uint64_t loopsCompiled = 0;
+    uint64_t bridgesCompiled = 0;
+    uint64_t tracesAborted = 0;
+    uint64_t deopts = 0;
+    uint64_t gcMinor = 0;
+    uint64_t gcMajor = 0;
+
+    // JIT-IR level (Figures 6-9).
+    uint32_t irNodesCompiled = 0;
+    std::vector<jit::IrNodeMeta> irNodeMeta;
+    std::vector<uint64_t> irExecCounts;
+
+    // AOT-call attribution (Table III).
+    std::vector<xlayer::AotFunctionStats> aotFunctions;
+};
+
+/** Run one workload on one VM configuration. */
+RunResult runWorkload(const RunOptions &opts);
+
+/**
+ * Run a CLBG workload's MiniRkt translation. VmKind::RacketLike models
+ * the custom method-JIT VM with compiled-code-quality costs (RefInterp
+ * flavor); VmKind::PycketJit runs MiniRkt on the meta-tracing framework.
+ */
+RunResult runRktWorkload(const RunOptions &opts);
+
+} // namespace driver
+} // namespace xlvm
+
+#endif // XLVM_DRIVER_RUNNER_H

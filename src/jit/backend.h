@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Trace backend: "assembles" optimized traces.
+ *
+ * Each IR node lowers to a fixed-shape sequence of synthetic
+ * instructions; the per-op expansion lengths are the model behind
+ * Figure 9 (x86 instructions per IR node type — call_assembler > 30,
+ * other calls > 15, most nodes 1–2). The backend allocates a region in
+ * the JIT code arena, precomputes per-op code offsets, assigns global IR
+ * node ids for the IR-node profiler, and initializes guard bookkeeping.
+ *
+ * The trace *executor* (vm layer) replays these expansions with live
+ * memory addresses and branch outcomes; it consumes the same tables, so
+ * static (Figure 9) and dynamic (Figures 6–8) statistics agree by
+ * construction.
+ */
+
+#ifndef XLVM_JIT_BACKEND_H
+#define XLVM_JIT_BACKEND_H
+
+#include <vector>
+
+#include "jit/ir.h"
+#include "sim/code_space.h"
+
+namespace xlvm {
+namespace jit {
+
+/** Synthetic instructions in the lowering of one IR op. */
+uint32_t loweredInstCount(IrOp op);
+
+/** Metadata for one compiled (countable) IR node. */
+struct IrNodeMeta
+{
+    IrOp op = IrOp::Label;
+    uint32_t traceId = 0;
+};
+
+class Backend
+{
+  public:
+    explicit Backend(sim::CodeSpace &cs) : codeSpace(cs) {}
+
+    /**
+     * Assemble @p trace: assigns codePc / codeInsts / opPc offsets /
+     * irNodeBase, registers node metadata, sizes guardStates.
+     */
+    void compile(Trace &trace);
+
+    /** Per-op code offsets (parallel to trace.ops), for the executor. */
+    const std::vector<uint32_t> &opOffsets(uint32_t trace_id) const;
+
+    /** Per-op global IR-node id (-1 for labels/debug markers). */
+    const std::vector<int32_t> &opNodeIds(uint32_t trace_id) const;
+
+    /** All compiled IR nodes across all traces, indexed by global id. */
+    const std::vector<IrNodeMeta> &nodeMeta() const { return nodes; }
+
+    uint32_t totalIrNodesCompiled() const { return uint32_t(nodes.size()); }
+
+  private:
+    sim::CodeSpace &codeSpace;
+    std::vector<IrNodeMeta> nodes;
+    std::vector<std::vector<uint32_t>> offsets; ///< per trace id
+    std::vector<std::vector<int32_t>> nodeIds;  ///< per trace id
+};
+
+} // namespace jit
+} // namespace xlvm
+
+#endif // XLVM_JIT_BACKEND_H

@@ -1,0 +1,167 @@
+#include "jit/eval.h"
+
+#include <cmath>
+
+namespace xlvm {
+namespace jit {
+
+namespace {
+
+bool
+addOvf(int64_t a, int64_t b, int64_t *out)
+{
+    return __builtin_add_overflow(a, b, out);
+}
+
+bool
+subOvf(int64_t a, int64_t b, int64_t *out)
+{
+    return __builtin_sub_overflow(a, b, out);
+}
+
+bool
+mulOvf(int64_t a, int64_t b, int64_t *out)
+{
+    return __builtin_mul_overflow(a, b, out);
+}
+
+} // namespace
+
+bool
+evalPure(IrOp op, const RtVal &a, const RtVal &b, RtVal *out)
+{
+    int64_t r;
+    switch (op) {
+      case IrOp::IntAdd:
+        *out = RtVal::fromInt(int64_t(uint64_t(a.i) + uint64_t(b.i)));
+        return true;
+      case IrOp::IntSub:
+        *out = RtVal::fromInt(int64_t(uint64_t(a.i) - uint64_t(b.i)));
+        return true;
+      case IrOp::IntMul:
+        *out = RtVal::fromInt(int64_t(uint64_t(a.i) * uint64_t(b.i)));
+        return true;
+      case IrOp::IntAddOvf:
+        if (addOvf(a.i, b.i, &r))
+            return false;
+        *out = RtVal::fromInt(r);
+        return true;
+      case IrOp::IntSubOvf:
+        if (subOvf(a.i, b.i, &r))
+            return false;
+        *out = RtVal::fromInt(r);
+        return true;
+      case IrOp::IntMulOvf:
+        if (mulOvf(a.i, b.i, &r))
+            return false;
+        *out = RtVal::fromInt(r);
+        return true;
+      case IrOp::IntAnd:
+        *out = RtVal::fromInt(a.i & b.i);
+        return true;
+      case IrOp::IntOr:
+        *out = RtVal::fromInt(a.i | b.i);
+        return true;
+      case IrOp::IntXor:
+        *out = RtVal::fromInt(a.i ^ b.i);
+        return true;
+      case IrOp::IntLshift:
+        if (b.i < 0 || b.i >= 64)
+            return false;
+        *out = RtVal::fromInt(int64_t(uint64_t(a.i) << b.i));
+        return true;
+      case IrOp::IntRshift:
+        if (b.i < 0 || b.i >= 64)
+            return false;
+        *out = RtVal::fromInt(a.i >> b.i);
+        return true;
+      case IrOp::IntNeg:
+        *out = RtVal::fromInt(-a.i);
+        return true;
+      case IrOp::IntLt:
+        *out = RtVal::fromInt(a.i < b.i);
+        return true;
+      case IrOp::IntLe:
+        *out = RtVal::fromInt(a.i <= b.i);
+        return true;
+      case IrOp::IntEq:
+        *out = RtVal::fromInt(a.i == b.i);
+        return true;
+      case IrOp::IntNe:
+        *out = RtVal::fromInt(a.i != b.i);
+        return true;
+      case IrOp::IntGt:
+        *out = RtVal::fromInt(a.i > b.i);
+        return true;
+      case IrOp::IntGe:
+        *out = RtVal::fromInt(a.i >= b.i);
+        return true;
+      case IrOp::IntIsZero:
+        *out = RtVal::fromInt(a.i == 0);
+        return true;
+      case IrOp::IntIsTrue:
+        *out = RtVal::fromInt(a.i != 0);
+        return true;
+
+      case IrOp::FloatAdd:
+        *out = RtVal::fromFloat(a.f + b.f);
+        return true;
+      case IrOp::FloatSub:
+        *out = RtVal::fromFloat(a.f - b.f);
+        return true;
+      case IrOp::FloatMul:
+        *out = RtVal::fromFloat(a.f * b.f);
+        return true;
+      case IrOp::FloatTruediv:
+        if (b.f == 0.0)
+            return false;
+        *out = RtVal::fromFloat(a.f / b.f);
+        return true;
+      case IrOp::FloatNeg:
+        *out = RtVal::fromFloat(-a.f);
+        return true;
+      case IrOp::FloatAbs:
+        *out = RtVal::fromFloat(std::fabs(a.f));
+        return true;
+      case IrOp::FloatLt:
+        *out = RtVal::fromInt(a.f < b.f);
+        return true;
+      case IrOp::FloatLe:
+        *out = RtVal::fromInt(a.f <= b.f);
+        return true;
+      case IrOp::FloatEq:
+        *out = RtVal::fromInt(a.f == b.f);
+        return true;
+      case IrOp::FloatNe:
+        *out = RtVal::fromInt(a.f != b.f);
+        return true;
+      case IrOp::FloatGt:
+        *out = RtVal::fromInt(a.f > b.f);
+        return true;
+      case IrOp::FloatGe:
+        *out = RtVal::fromInt(a.f >= b.f);
+        return true;
+      case IrOp::CastIntToFloat:
+        *out = RtVal::fromFloat(double(a.i));
+        return true;
+      case IrOp::CastFloatToInt:
+        *out = RtVal::fromInt(int64_t(a.f));
+        return true;
+
+      case IrOp::PtrEq:
+        *out = RtVal::fromInt(a.r == b.r);
+        return true;
+      case IrOp::PtrNe:
+        *out = RtVal::fromInt(a.r != b.r);
+        return true;
+      case IrOp::SameAs:
+        *out = a;
+        return true;
+
+      default:
+        return false;
+    }
+}
+
+} // namespace jit
+} // namespace xlvm

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Constant evaluation of pure IR operations, shared by the recorder
+ * (record-time folding) and the optimizer (constant propagation).
+ */
+
+#ifndef XLVM_JIT_EVAL_H
+#define XLVM_JIT_EVAL_H
+
+#include "jit/ir.h"
+
+namespace xlvm {
+namespace jit {
+
+/**
+ * Evaluate a pure op on constants. Returns false when the op is not
+ * evaluatable (not pure, overflow would occur, division by zero, ...).
+ */
+bool evalPure(IrOp op, const RtVal &a, const RtVal &b, RtVal *out);
+
+} // namespace jit
+} // namespace xlvm
+
+#endif // XLVM_JIT_EVAL_H

@@ -1,0 +1,343 @@
+#include "jit/ir.h"
+
+#include <sstream>
+
+namespace xlvm {
+namespace jit {
+
+IrCategory
+irCategory(IrOp op)
+{
+    switch (op) {
+      case IrOp::Label:
+      case IrOp::Jump:
+      case IrOp::Finish:
+      case IrOp::DebugMergePoint:
+        return IrCategory::Ctrl;
+
+      case IrOp::GuardTrue:
+      case IrOp::GuardFalse:
+      case IrOp::GuardClass:
+      case IrOp::GuardValue:
+      case IrOp::GuardNonnull:
+      case IrOp::GuardIsnull:
+      case IrOp::GuardNoOverflow:
+        return IrCategory::Guard;
+
+      case IrOp::IntAdd:
+      case IrOp::IntSub:
+      case IrOp::IntMul:
+      case IrOp::IntFloordiv:
+      case IrOp::IntMod:
+      case IrOp::IntAnd:
+      case IrOp::IntOr:
+      case IrOp::IntXor:
+      case IrOp::IntLshift:
+      case IrOp::IntRshift:
+      case IrOp::IntNeg:
+      case IrOp::IntAddOvf:
+      case IrOp::IntSubOvf:
+      case IrOp::IntMulOvf:
+      case IrOp::IntLt:
+      case IrOp::IntLe:
+      case IrOp::IntEq:
+      case IrOp::IntNe:
+      case IrOp::IntGt:
+      case IrOp::IntGe:
+      case IrOp::IntIsZero:
+      case IrOp::IntIsTrue:
+        return IrCategory::Int;
+
+      case IrOp::FloatAdd:
+      case IrOp::FloatSub:
+      case IrOp::FloatMul:
+      case IrOp::FloatTruediv:
+      case IrOp::FloatNeg:
+      case IrOp::FloatAbs:
+      case IrOp::FloatLt:
+      case IrOp::FloatLe:
+      case IrOp::FloatEq:
+      case IrOp::FloatNe:
+      case IrOp::FloatGt:
+      case IrOp::FloatGe:
+      case IrOp::CastIntToFloat:
+      case IrOp::CastFloatToInt:
+        return IrCategory::Float;
+
+      case IrOp::GetfieldGc:
+      case IrOp::SetfieldGc:
+      case IrOp::GetarrayitemGc:
+      case IrOp::SetarrayitemGc:
+      case IrOp::ArraylenGc:
+        return IrCategory::MemOp;
+
+      case IrOp::Strgetitem:
+      case IrOp::Strlen:
+        return IrCategory::Str;
+
+      case IrOp::NewWithVtable:
+      case IrOp::NewArray:
+        return IrCategory::New;
+
+      case IrOp::PtrEq:
+      case IrOp::PtrNe:
+      case IrOp::SameAs:
+        return IrCategory::Ptr;
+
+      case IrOp::Call:
+      case IrOp::CallPure:
+      case IrOp::CallMayForce:
+      case IrOp::CallAssembler:
+        return IrCategory::CallOverhead;
+
+      default:
+        return IrCategory::Ctrl;
+    }
+}
+
+const char *
+irOpName(IrOp op)
+{
+    switch (op) {
+      case IrOp::Label: return "label";
+      case IrOp::Jump: return "jump";
+      case IrOp::Finish: return "finish";
+      case IrOp::DebugMergePoint: return "debug_merge_point";
+      case IrOp::GuardTrue: return "guard_true";
+      case IrOp::GuardFalse: return "guard_false";
+      case IrOp::GuardClass: return "guard_class";
+      case IrOp::GuardValue: return "guard_value";
+      case IrOp::GuardNonnull: return "guard_nonnull";
+      case IrOp::GuardIsnull: return "guard_isnull";
+      case IrOp::GuardNoOverflow: return "guard_no_overflow";
+      case IrOp::IntAdd: return "int_add";
+      case IrOp::IntSub: return "int_sub";
+      case IrOp::IntMul: return "int_mul";
+      case IrOp::IntFloordiv: return "int_floordiv";
+      case IrOp::IntMod: return "int_mod";
+      case IrOp::IntAnd: return "int_and";
+      case IrOp::IntOr: return "int_or";
+      case IrOp::IntXor: return "int_xor";
+      case IrOp::IntLshift: return "int_lshift";
+      case IrOp::IntRshift: return "int_rshift";
+      case IrOp::IntNeg: return "int_neg";
+      case IrOp::IntAddOvf: return "int_add_ovf";
+      case IrOp::IntSubOvf: return "int_sub_ovf";
+      case IrOp::IntMulOvf: return "int_mul_ovf";
+      case IrOp::IntLt: return "int_lt";
+      case IrOp::IntLe: return "int_le";
+      case IrOp::IntEq: return "int_eq";
+      case IrOp::IntNe: return "int_ne";
+      case IrOp::IntGt: return "int_gt";
+      case IrOp::IntGe: return "int_ge";
+      case IrOp::IntIsZero: return "int_is_zero";
+      case IrOp::IntIsTrue: return "int_is_true";
+      case IrOp::FloatAdd: return "float_add";
+      case IrOp::FloatSub: return "float_sub";
+      case IrOp::FloatMul: return "float_mul";
+      case IrOp::FloatTruediv: return "float_truediv";
+      case IrOp::FloatNeg: return "float_neg";
+      case IrOp::FloatAbs: return "float_abs";
+      case IrOp::FloatLt: return "float_lt";
+      case IrOp::FloatLe: return "float_le";
+      case IrOp::FloatEq: return "float_eq";
+      case IrOp::FloatNe: return "float_ne";
+      case IrOp::FloatGt: return "float_gt";
+      case IrOp::FloatGe: return "float_ge";
+      case IrOp::CastIntToFloat: return "cast_int_to_float";
+      case IrOp::CastFloatToInt: return "cast_float_to_int";
+      case IrOp::GetfieldGc: return "getfield_gc";
+      case IrOp::SetfieldGc: return "setfield_gc";
+      case IrOp::GetarrayitemGc: return "getarrayitem_gc";
+      case IrOp::SetarrayitemGc: return "setarrayitem_gc";
+      case IrOp::ArraylenGc: return "arraylen_gc";
+      case IrOp::Strgetitem: return "strgetitem";
+      case IrOp::Strlen: return "strlen";
+      case IrOp::NewWithVtable: return "new_with_vtable";
+      case IrOp::NewArray: return "new_array";
+      case IrOp::PtrEq: return "ptr_eq";
+      case IrOp::PtrNe: return "ptr_ne";
+      case IrOp::SameAs: return "same_as";
+      case IrOp::Call: return "call";
+      case IrOp::CallPure: return "call_pure";
+      case IrOp::CallMayForce: return "call_may_force";
+      case IrOp::CallAssembler: return "call_assembler";
+      default: return "?";
+    }
+}
+
+const char *
+irCategoryName(IrCategory c)
+{
+    switch (c) {
+      case IrCategory::Ctrl: return "ctrl";
+      case IrCategory::Guard: return "guard";
+      case IrCategory::Int: return "int";
+      case IrCategory::Float: return "float";
+      case IrCategory::MemOp: return "memop";
+      case IrCategory::Str: return "str";
+      case IrCategory::New: return "new";
+      case IrCategory::Ptr: return "ptr";
+      case IrCategory::CallOverhead: return "call";
+      default: return "?";
+    }
+}
+
+bool
+isGuard(IrOp op)
+{
+    return irCategory(op) == IrCategory::Guard;
+}
+
+bool
+isCall(IrOp op)
+{
+    return irCategory(op) == IrCategory::CallOverhead;
+}
+
+bool
+isPure(IrOp op)
+{
+    switch (irCategory(op)) {
+      case IrCategory::Int:
+      case IrCategory::Float:
+      case IrCategory::Ptr:
+      case IrCategory::Str:
+        // Strgetitem/Strlen read immutable strings: pure.
+        return op != IrOp::IntFloordiv && op != IrOp::IntMod;
+      default:
+        return op == IrOp::CallPure;
+    }
+}
+
+uint32_t
+Trace::countIrNodes() const
+{
+    uint32_t n = 0;
+    for (const ResOp &op : ops) {
+        if (op.op != IrOp::DebugMergePoint && op.op != IrOp::Label)
+            ++n;
+    }
+    return n;
+}
+
+namespace {
+
+void
+dumpRef(std::ostringstream &oss, const Trace &t, int32_t ref)
+{
+    if (ref == kNoArg) {
+        oss << "_";
+    } else if (isConstRef(ref)) {
+        const RtVal &v = t.constAt(ref);
+        switch (v.kind) {
+          case RtVal::Kind::Int:
+            oss << "ConstInt(" << v.i << ")";
+            break;
+          case RtVal::Kind::Float:
+            oss << "ConstFloat(" << v.f << ")";
+            break;
+          case RtVal::Kind::Ref:
+            oss << "ConstPtr(" << v.r << ")";
+            break;
+        }
+    } else {
+        char prefix = 'i';
+        switch (t.boxTypes[ref]) {
+          case BoxType::Int:
+            prefix = 'i';
+            break;
+          case BoxType::Float:
+            prefix = 'f';
+            break;
+          case BoxType::Ref:
+            prefix = 'p';
+            break;
+        }
+        oss << prefix << ref;
+    }
+}
+
+} // namespace
+
+std::string
+Trace::dump() const
+{
+    std::ostringstream oss;
+    oss << (isBridge ? "# bridge " : "# loop ") << id << " ("
+        << countIrNodes() << " nodes, " << numInputs << " inputs)\n";
+    for (size_t opIdx = 0; opIdx < ops.size(); ++opIdx) {
+        const ResOp &op = ops[opIdx];
+        oss << "  [" << opIdx << "] ";
+        if (op.result >= 0) {
+            dumpRef(oss, *this, op.result);
+            oss << " = ";
+        }
+        oss << irOpName(op.op) << "(";
+        bool first = true;
+        for (int32_t a : op.args) {
+            if (a == kNoArg)
+                continue;
+            if (!first)
+                oss << ", ";
+            first = false;
+            dumpRef(oss, *this, a);
+        }
+        oss << ")";
+        if (op.op == IrOp::GuardValue)
+            oss << " [expect=" << op.expect << "]";
+        if (op.op == IrOp::GuardClass || op.op == IrOp::NewWithVtable)
+            oss << " [type=" << op.aux << "]";
+        else if (op.op == IrOp::GetfieldGc || op.op == IrOp::SetfieldGc)
+            oss << " [field=" << op.aux << "]";
+        else if (isCall(op.op))
+            oss << " [fn=" << op.aux << "]";
+        if (op.snapshotIdx >= 0)
+            oss << " <snap " << op.snapshotIdx << ">";
+        oss << "\n";
+    }
+    for (size_t si = 0; si < snapshots.size(); ++si) {
+        oss << "  snap " << si << ":";
+        for (const FrameSnapshot &f : snapshots[si].frames) {
+            oss << " {pc=" << f.pc << " L[";
+            for (int32_t r : f.locals) {
+                oss << " ";
+                if (r < kMinConstRef && r != kNoArg) {
+                    oss << "virt" << (r - (INT32_MIN + 1));
+                } else {
+                    dumpRef(oss, *this, r);
+                }
+            }
+            oss << "] S[";
+            for (int32_t r : f.stack) {
+                oss << " ";
+                if (r < kMinConstRef && r != kNoArg) {
+                    oss << "virt" << (r - (INT32_MIN + 1));
+                } else {
+                    dumpRef(oss, *this, r);
+                }
+            }
+            oss << "]}";
+        }
+        oss << "\n";
+    }
+    for (size_t vi = 0; vi < virtuals.size(); ++vi) {
+        oss << "  virt" << vi << ": type=" << virtuals[vi].typeId
+            << " fields[";
+        for (int32_t r : virtuals[vi].fieldRefs) {
+            oss << " ";
+            if (r == kNoArg) {
+                oss << "_";
+            } else if (r < kMinConstRef) {
+                oss << "virt" << (r - (INT32_MIN + 1));
+            } else {
+                dumpRef(oss, *this, r);
+            }
+        }
+        oss << "]\n";
+    }
+    return oss.str();
+}
+
+} // namespace jit
+} // namespace xlvm

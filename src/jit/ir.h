@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Trace intermediate representation.
+ *
+ * The IR vocabulary deliberately mirrors RPython's ResOperation set so
+ * the JIT-IR-level characterization (Figures 6–9) speaks the paper's
+ * language: getfield_gc / setfield_gc memory ops, guard_* operations,
+ * call / call_may_force / call_assembler, new_with_vtable, int_*_ovf, and
+ * debug_merge_point carrying the interpreter's dispatch annotation.
+ *
+ * A trace is a linear SSA sequence: boxes are trace-local value indices,
+ * constants live in a per-trace table, and operand references encode
+ * "box i" as i >= 0 and "const k" as -(k+1).
+ */
+
+#ifndef XLVM_JIT_IR_H
+#define XLVM_JIT_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace jit {
+
+/** Runtime value: unboxed int/float or an object reference. */
+struct RtVal
+{
+    enum class Kind : uint8_t { Int, Float, Ref };
+
+    Kind kind = Kind::Int;
+    union
+    {
+        int64_t i;
+        double f;
+        void *r;
+    };
+
+    RtVal() : i(0) {}
+
+    static RtVal
+    fromInt(int64_t v)
+    {
+        RtVal x;
+        x.kind = Kind::Int;
+        x.i = v;
+        return x;
+    }
+
+    static RtVal
+    fromFloat(double v)
+    {
+        RtVal x;
+        x.kind = Kind::Float;
+        x.f = v;
+        return x;
+    }
+
+    static RtVal
+    fromRef(void *p)
+    {
+        RtVal x;
+        x.kind = Kind::Ref;
+        x.r = p;
+        return x;
+    }
+
+    bool
+    bitsEqual(const RtVal &o) const
+    {
+        return kind == o.kind && i == o.i;
+    }
+};
+
+using BoxType = RtVal::Kind;
+
+/** IR operations (RPython ResOperation analog). */
+enum class IrOp : uint8_t
+{
+    // control
+    Label,
+    Jump,
+    Finish,
+    DebugMergePoint,
+
+    // guards
+    GuardTrue,
+    GuardFalse,
+    GuardClass,
+    GuardValue,
+    GuardNonnull,
+    GuardIsnull,
+    GuardNoOverflow,
+
+    // integer
+    IntAdd,
+    IntSub,
+    IntMul,
+    IntFloordiv,
+    IntMod,
+    IntAnd,
+    IntOr,
+    IntXor,
+    IntLshift,
+    IntRshift,
+    IntNeg,
+    IntAddOvf,
+    IntSubOvf,
+    IntMulOvf,
+    IntLt,
+    IntLe,
+    IntEq,
+    IntNe,
+    IntGt,
+    IntGe,
+    IntIsZero,
+    IntIsTrue,
+
+    // float
+    FloatAdd,
+    FloatSub,
+    FloatMul,
+    FloatTruediv,
+    FloatNeg,
+    FloatAbs,
+    FloatLt,
+    FloatLe,
+    FloatEq,
+    FloatNe,
+    FloatGt,
+    FloatGe,
+    CastIntToFloat,
+    CastFloatToInt,
+
+    // memory
+    GetfieldGc,
+    SetfieldGc,
+    GetarrayitemGc,
+    SetarrayitemGc,
+    ArraylenGc,
+
+    // string
+    Strgetitem,
+    Strlen,
+
+    // allocation
+    NewWithVtable,
+    NewArray,
+
+    // pointer
+    PtrEq,
+    PtrNe,
+    SameAs,
+
+    // calls
+    Call,
+    CallPure,
+    CallMayForce,
+    CallAssembler,
+
+    NumOps
+};
+
+constexpr uint32_t kNumIrOps = static_cast<uint32_t>(IrOp::NumOps);
+
+/** Categories used in the Figure 7 breakdown. */
+enum class IrCategory : uint8_t
+{
+    Ctrl,
+    Guard,
+    Int,
+    Float,
+    MemOp,
+    Str,
+    New,
+    Ptr,
+    CallOverhead,
+    NumCategories
+};
+
+constexpr uint32_t kNumIrCategories =
+    static_cast<uint32_t>(IrCategory::NumCategories);
+
+IrCategory irCategory(IrOp op);
+const char *irOpName(IrOp op);
+const char *irCategoryName(IrCategory c);
+bool isGuard(IrOp op);
+bool isCall(IrOp op);
+/** Pure ops are safe to constant-fold / CSE / dead-code-eliminate. */
+bool isPure(IrOp op);
+
+/** Operand encoding helpers. */
+constexpr int32_t kNoArg = INT32_MIN;
+
+/**
+ * Encoding ranges: boxes are >= 0; constants occupy [-2^24, -1]; the
+ * range below that is reserved for snapshot virtual references (see
+ * jit/opt.h) and the kNoArg sentinel.
+ */
+constexpr int32_t kMinConstRef = -(1 << 24);
+
+constexpr bool
+isConstRef(int32_t ref)
+{
+    return ref < 0 && ref >= kMinConstRef;
+}
+constexpr int32_t constIndex(int32_t ref) { return -(ref + 1); }
+constexpr int32_t makeConstRef(int32_t idx) { return -(idx + 1); }
+
+/** Number of operand slots per op. */
+constexpr int kMaxOpArgs = 4;
+
+/** One IR operation. */
+struct ResOp
+{
+    IrOp op = IrOp::Label;
+    int32_t args[kMaxOpArgs] = {kNoArg, kNoArg, kNoArg, kNoArg};
+    int32_t result = -1; ///< box index or -1
+
+    /**
+     * Operation-specific immediate:
+     *  - GuardClass / NewWithVtable: type id
+     *  - GetfieldGc / SetfieldGc: field index
+     *  - Call*: AOT function id; CallAssembler: target trace id
+     *  - DebugMergePoint: dispatch opcode payload
+     */
+    uint32_t aux = 0;
+
+    /** Guards: index into Trace::snapshots. */
+    int32_t snapshotIdx = -1;
+
+    /**
+     * GuardValue: expected constant (bit pattern).
+     * Call*: the language-layer call-semantic tag that tells the trace
+     * executor which runtime behaviour this call performs.
+     * CallAssembler: expected exit pc of the target trace.
+     */
+    uint64_t expect = 0;
+};
+
+/**
+ * Resume information for one interpreter frame. The code pointer is
+ * opaque to the JIT (the language layer owns it).
+ */
+struct FrameSnapshot
+{
+    void *code = nullptr;
+    uint32_t pc = 0;
+    std::vector<int32_t> locals; ///< operand encodings
+    std::vector<int32_t> stack;
+};
+
+/** Resume state at a guard: the virtualizable frame stack. */
+struct Snapshot
+{
+    std::vector<FrameSnapshot> frames; ///< outermost first
+};
+
+/**
+ * A virtual object created by allocation sinking: blackhole materializes
+ * it from the type id and field operand encodings.
+ */
+struct VirtualObj
+{
+    uint32_t typeId = 0;
+    uint32_t numFields = 0;
+    std::vector<int32_t> fieldRefs; ///< per field index, kNoArg if unset
+    bool isArray = false;
+    std::vector<int32_t> arrayRefs; ///< for NewArray virtuals
+};
+
+/** Per-guard runtime bookkeeping (fail counters, bridges). */
+struct GuardState
+{
+    uint32_t failCount = 0;
+    int32_t bridgeTraceId = -1;
+};
+
+struct Trace
+{
+    uint32_t id = 0;
+    bool isBridge = false;
+    /** Merge-point key this trace starts at (loop) or guard origin. */
+    void *anchorCode = nullptr;
+    uint32_t anchorPc = 0;
+    /** Number of frame locals at the anchor (inputs = locals + stack). */
+    uint32_t anchorNumLocals = 0;
+
+    std::vector<ResOp> ops;
+    std::vector<RtVal> consts;
+    std::vector<BoxType> boxTypes; ///< boxTypes.size() == number of boxes
+    std::vector<Snapshot> snapshots;
+    uint32_t numInputs = 0; ///< boxes [0, numInputs) are trace inputs
+
+    /**
+     * Virtual objects introduced by the optimizer. boxToVirtual[i] >= 0
+     * maps box i to an index into virtuals.
+     */
+    std::vector<VirtualObj> virtuals;
+    std::vector<int32_t> boxToVirtual;
+
+    /** Backend artifacts. */
+    uint64_t codePc = 0;
+    uint32_t codeInsts = 0;
+    uint32_t irNodeBase = 0; ///< first global IR-node id for this trace
+
+    /** Runtime state. */
+    std::vector<GuardState> guardStates; ///< parallel to ops (guards only)
+    uint64_t executions = 0;
+
+    int32_t
+    newBox(BoxType t)
+    {
+        boxTypes.push_back(t);
+        return static_cast<int32_t>(boxTypes.size() - 1);
+    }
+
+    int32_t
+    addConst(const RtVal &v)
+    {
+        for (size_t i = 0; i < consts.size(); ++i) {
+            if (consts[i].bitsEqual(v))
+                return makeConstRef(static_cast<int32_t>(i));
+        }
+        consts.push_back(v);
+        return makeConstRef(static_cast<int32_t>(consts.size() - 1));
+    }
+
+    const RtVal &
+    constAt(int32_t ref) const
+    {
+        XLVM_ASSERT(isConstRef(ref), "not a const ref");
+        return consts[constIndex(ref)];
+    }
+
+    /** Count ops excluding pure debug markers (Figure 6 "IR nodes"). */
+    uint32_t countIrNodes() const;
+
+    /** Human-readable dump (the PyPy Log analog). */
+    std::string dump() const;
+};
+
+} // namespace jit
+} // namespace xlvm
+
+#endif // XLVM_JIT_IR_H

@@ -1,0 +1,663 @@
+#include "jit/opt.h"
+
+#include <unordered_map>
+
+#include "jit/eval.h"
+
+namespace xlvm {
+namespace jit {
+
+namespace {
+
+/** Per-box virtual-object state during optimization. */
+struct VState
+{
+    uint32_t typeId = 0;
+    std::unordered_map<uint32_t, int32_t> fields; ///< fieldIdx -> out ref
+    bool escaped = false;
+};
+
+class Optimizer
+{
+  public:
+    Optimizer(const Trace &in, const OptParams &p, OptStats *stats)
+        : in_(in), params(p), stats_(stats)
+    {
+    }
+
+    Trace run();
+
+  private:
+    // ---- ref plumbing ------------------------------------------------
+
+    /** Map an input-trace operand encoding to an output encoding. */
+    int32_t
+    mapRef(int32_t ref)
+    {
+        if (ref == kNoArg)
+            return kNoArg;
+        if (isConstRef(ref))
+            return out.addConst(in_.constAt(ref));
+        XLVM_ASSERT(ref >= 0 && size_t(ref) < env.size(),
+                    "unmapped box ", ref);
+        return env[ref];
+    }
+
+    bool
+    constValOf(int32_t out_ref, RtVal *v)
+    {
+        if (!isConstRef(out_ref))
+            return false;
+        *v = out.constAt(out_ref);
+        return true;
+    }
+
+    int32_t
+    defineBox(int32_t in_box, BoxType t)
+    {
+        int32_t b = out.newBox(t);
+        if (in_box >= 0)
+            env[in_box] = b;
+        return b;
+    }
+
+    // ---- virtuals ------------------------------------------------------
+
+    VState *
+    virtualOf(int32_t out_ref)
+    {
+        if (out_ref < 0)
+            return nullptr;
+        auto it = virtuals.find(out_ref);
+        if (it == virtuals.end() || it->second.escaped)
+            return nullptr;
+        return &it->second;
+    }
+
+    /** Force (materialize) a virtual before an escape point. */
+    int32_t
+    force(int32_t out_ref)
+    {
+        VState *v = virtualOf(out_ref);
+        if (!v)
+            return out_ref;
+        v->escaped = true;
+        if (stats_)
+            ++stats_->forcedAllocations;
+        // Allocate for real, then initialize the fields. Field values may
+        // themselves be virtuals: force them first (cycles terminate
+        // because we set escaped above).
+        ResOp alloc;
+        alloc.op = IrOp::NewWithVtable;
+        alloc.aux = v->typeId;
+        int32_t real = out.newBox(BoxType::Ref);
+        alloc.result = real;
+        out.ops.push_back(alloc);
+        knownClass[real] = v->typeId;
+        for (auto &[idx, val] : v->fields) {
+            int32_t fv = force(val);
+            ResOp st;
+            st.op = IrOp::SetfieldGc;
+            st.args[0] = real;
+            st.args[1] = fv;
+            st.aux = idx;
+            out.ops.push_back(st);
+        }
+        // Alias the virtual box to the real object from here on.
+        forced[out_ref] = real;
+        return real;
+    }
+
+    /** Resolve a possibly-forced virtual alias. */
+    int32_t
+    resolve(int32_t out_ref)
+    {
+        auto it = forced.find(out_ref);
+        return it == forced.end() ? out_ref : it->second;
+    }
+
+    // ---- snapshots -----------------------------------------------------
+
+    int32_t rewriteSnapshotRef(int32_t in_ref,
+                               std::unordered_map<int32_t, int32_t> &memo);
+    /** Like rewriteSnapshotRef but for refs already in out-space
+     *  (virtual field values are stored as out encodings). */
+    int32_t rewriteOutRef(int32_t out_ref,
+                          std::unordered_map<int32_t, int32_t> &memo);
+    int32_t rewriteSnapshot(int32_t in_snap_idx);
+
+    // ---- op handlers -----------------------------------------------------
+
+    void processGuard(const ResOp &op);
+    void processHeapOp(const ResOp &op);
+    void processCall(const ResOp &op);
+    void processCallAssembler(const ResOp &op);
+    void processJump(const ResOp &op);
+    void passThrough(const ResOp &op, bool clears_heap_cache = false);
+
+    const Trace &in_;
+    const OptParams &params;
+    OptStats *stats_;
+    Trace out;
+
+    std::vector<int32_t> env; ///< in box -> out encoding
+    std::unordered_map<int32_t, uint32_t> knownClass; ///< out box -> type
+    /** guard_value already established: out box -> pinned bits. */
+    std::unordered_map<int32_t, uint64_t> knownValue;
+    std::unordered_map<int32_t, VState> virtuals;     ///< out box -> state
+    std::unordered_map<int32_t, int32_t> forced;      ///< virtual -> real
+    /** Heap cache: (base out box, field) -> out value encoding. */
+    std::unordered_map<uint64_t, int32_t> heapCache;
+    /** Array cache: (base out box, const index) -> out value encoding. */
+    std::unordered_map<uint64_t, int32_t> arrayCache;
+
+    static uint64_t
+    hkey(int32_t base, uint32_t field)
+    {
+        return (uint64_t(uint32_t(base)) << 32) | field;
+    }
+
+    void
+    invalidateFieldAliases(uint32_t field, int32_t keep_base)
+    {
+        for (auto it = heapCache.begin(); it != heapCache.end();) {
+            if ((it->first & 0xffffffffull) == field &&
+                int32_t(it->first >> 32) != keep_base) {
+                it = heapCache.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    void
+    clearMemoryCaches()
+    {
+        heapCache.clear();
+        arrayCache.clear();
+    }
+};
+
+int32_t
+Optimizer::rewriteOutRef(int32_t out_ref,
+                         std::unordered_map<int32_t, int32_t> &memo)
+{
+    if (out_ref == kNoArg)
+        return kNoArg;
+    if (isConstRef(out_ref))
+        return out_ref; // already an out-space constant
+    int32_t r = resolve(out_ref);
+    VState *v = r >= 0 ? virtualOf(r) : nullptr;
+    if (!v)
+        return r;
+
+    // The box is a live virtual: describe it for the blackhole.
+    auto it = memo.find(r);
+    if (it != memo.end())
+        return makeVirtualRef(it->second);
+    int32_t vidx = int32_t(out.virtuals.size());
+    memo[r] = vidx;
+    out.virtuals.emplace_back();
+    out.virtuals[vidx].typeId = v->typeId;
+    // Two-phase fill so cyclic virtuals terminate via the memo.
+    std::vector<std::pair<uint32_t, int32_t>> fieldRefs;
+    for (auto &[idx, val] : v->fields)
+        fieldRefs.emplace_back(idx, val);
+    for (auto &[idx, val] : fieldRefs) {
+        int32_t enc = rewriteOutRef(val, memo);
+        VirtualObj &vo = out.virtuals[vidx];
+        if (vo.fieldRefs.size() <= idx)
+            vo.fieldRefs.resize(idx + 1, kNoArg);
+        vo.fieldRefs[idx] = enc;
+        vo.numFields = uint32_t(vo.fieldRefs.size());
+    }
+    return makeVirtualRef(vidx);
+}
+
+int32_t
+Optimizer::rewriteSnapshotRef(int32_t in_ref,
+                              std::unordered_map<int32_t, int32_t> &memo)
+{
+    if (in_ref == kNoArg)
+        return kNoArg;
+    if (isConstRef(in_ref))
+        return out.addConst(in_.constAt(in_ref));
+    return rewriteOutRef(mapRef(in_ref), memo);
+}
+
+int32_t
+Optimizer::rewriteSnapshot(int32_t in_snap_idx)
+{
+    if (in_snap_idx < 0)
+        return -1;
+    const Snapshot &src = in_.snapshots[in_snap_idx];
+    Snapshot dst;
+    std::unordered_map<int32_t, int32_t> memo;
+    for (const FrameSnapshot &f : src.frames) {
+        FrameSnapshot nf;
+        nf.code = f.code;
+        nf.pc = f.pc;
+        nf.locals.reserve(f.locals.size());
+        for (int32_t r : f.locals)
+            nf.locals.push_back(rewriteSnapshotRef(r, memo));
+        nf.stack.reserve(f.stack.size());
+        for (int32_t r : f.stack)
+            nf.stack.push_back(rewriteSnapshotRef(r, memo));
+        dst.frames.push_back(std::move(nf));
+    }
+    out.snapshots.push_back(std::move(dst));
+    return int32_t(out.snapshots.size() - 1);
+}
+
+void
+Optimizer::processGuard(const ResOp &op)
+{
+    int32_t a = op.args[0] == kNoArg
+                    ? kNoArg
+                    : resolve(mapRef(op.args[0]));
+
+    if (params.elideGuards) {
+        RtVal cv;
+        switch (op.op) {
+          case IrOp::GuardClass: {
+            VState *v = a >= 0 ? virtualOf(a) : nullptr;
+            if (v) {
+                // Virtual classes are statically known.
+                if (stats_)
+                    ++stats_->elidedGuards;
+                return;
+            }
+            auto it = a >= 0 ? knownClass.find(a) : knownClass.end();
+            if (it != knownClass.end() && it->second == op.aux) {
+                if (stats_)
+                    ++stats_->elidedGuards;
+                return;
+            }
+            if (constValOf(a, &cv) && params.classOf &&
+                params.classOf(cv.r) == op.aux) {
+                if (stats_)
+                    ++stats_->elidedGuards;
+                return;
+            }
+            break;
+          }
+          case IrOp::GuardTrue:
+            if (constValOf(a, &cv) && cv.i != 0) {
+                if (stats_)
+                    ++stats_->elidedGuards;
+                return;
+            }
+            break;
+          case IrOp::GuardFalse:
+            if (constValOf(a, &cv) && cv.i == 0) {
+                if (stats_)
+                    ++stats_->elidedGuards;
+                return;
+            }
+            break;
+          case IrOp::GuardNonnull:
+            if (a >= 0 && (virtualOf(a) || knownClass.count(a))) {
+                if (stats_)
+                    ++stats_->elidedGuards;
+                return;
+            }
+            if (constValOf(a, &cv) && cv.r != nullptr) {
+                if (stats_)
+                    ++stats_->elidedGuards;
+                return;
+            }
+            break;
+          case IrOp::GuardValue: {
+            if (constValOf(a, &cv) && cv.i == int64_t(op.expect)) {
+                if (stats_)
+                    ++stats_->elidedGuards;
+                return;
+            }
+            auto it = a >= 0 ? knownValue.find(a) : knownValue.end();
+            if (it != knownValue.end() && it->second == op.expect) {
+                if (stats_)
+                    ++stats_->elidedGuards;
+                return;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    ResOp g = op;
+    g.args[0] = a >= 0 ? force(a) : a;
+    g.snapshotIdx = rewriteSnapshot(op.snapshotIdx);
+    out.ops.push_back(g);
+
+    // Post-guard knowledge.
+    if (op.op == IrOp::GuardClass && g.args[0] >= 0)
+        knownClass[g.args[0]] = op.aux;
+    if (op.op == IrOp::GuardValue && g.args[0] >= 0)
+        knownValue[g.args[0]] = op.expect;
+}
+
+void
+Optimizer::processHeapOp(const ResOp &op)
+{
+    switch (op.op) {
+      case IrOp::NewWithVtable: {
+        if (params.virtualize) {
+            // Optimistically virtual; forced on escape.
+            int32_t vbox = out.newBox(BoxType::Ref);
+            env[op.result] = vbox;
+            VState vs;
+            vs.typeId = op.aux;
+            virtuals[vbox] = vs;
+            if (stats_)
+                ++stats_->removedAllocations;
+            return;
+        }
+        ResOp r = op;
+        r.result = defineBox(op.result, BoxType::Ref);
+        out.ops.push_back(r);
+        knownClass[r.result] = op.aux;
+        return;
+      }
+      case IrOp::GetfieldGc: {
+        int32_t base = resolve(mapRef(op.args[0]));
+        if (VState *v = virtualOf(base)) {
+            auto it = v->fields.find(op.aux);
+            int32_t val;
+            if (it != v->fields.end()) {
+                val = it->second;
+            } else {
+                // Unset field: typed default (0 / 0.0 / null).
+                switch (in_.boxTypes[op.result]) {
+                  case BoxType::Int:
+                    val = out.addConst(RtVal::fromInt(0));
+                    break;
+                  case BoxType::Float:
+                    val = out.addConst(RtVal::fromFloat(0.0));
+                    break;
+                  default:
+                    val = out.addConst(RtVal::fromRef(nullptr));
+                    break;
+                }
+            }
+            env[op.result] = resolve(val);
+            if (stats_)
+                ++stats_->forwardedLoads;
+            return;
+        }
+        if (params.heapCache) {
+            auto it = heapCache.find(hkey(base, op.aux));
+            if (it != heapCache.end()) {
+                env[op.result] = resolve(it->second);
+                if (stats_)
+                    ++stats_->forwardedLoads;
+                return;
+            }
+        }
+        ResOp r = op;
+        r.args[0] = force(base);
+        r.result = defineBox(op.result, in_.boxTypes[op.result]);
+        out.ops.push_back(r);
+        if (params.heapCache)
+            heapCache[hkey(r.args[0], op.aux)] = r.result;
+        return;
+      }
+      case IrOp::SetfieldGc: {
+        int32_t base = resolve(mapRef(op.args[0]));
+        int32_t val = resolve(mapRef(op.args[1]));
+        if (VState *v = virtualOf(base)) {
+            v->fields[op.aux] = val;
+            return;
+        }
+        ResOp r = op;
+        r.args[0] = force(base);
+        r.args[1] = force(val);
+        out.ops.push_back(r);
+        if (params.heapCache) {
+            invalidateFieldAliases(op.aux, r.args[0]);
+            heapCache[hkey(r.args[0], op.aux)] = r.args[1];
+        }
+        return;
+      }
+      case IrOp::GetarrayitemGc: {
+        int32_t base = force(resolve(mapRef(op.args[0])));
+        int32_t idx = force(resolve(mapRef(op.args[1])));
+        if (params.heapCache && isConstRef(idx)) {
+            uint64_t key = hkey(base, uint32_t(out.constAt(idx).i));
+            auto it = arrayCache.find(key);
+            if (it != arrayCache.end()) {
+                env[op.result] = resolve(it->second);
+                if (stats_)
+                    ++stats_->forwardedLoads;
+                return;
+            }
+        }
+        ResOp r = op;
+        r.args[0] = base;
+        r.args[1] = idx;
+        r.result = defineBox(op.result, in_.boxTypes[op.result]);
+        out.ops.push_back(r);
+        if (params.heapCache && isConstRef(idx)) {
+            arrayCache[hkey(base, uint32_t(out.constAt(idx).i))] =
+                r.result;
+        }
+        return;
+      }
+      case IrOp::SetarrayitemGc: {
+        ResOp r = op;
+        r.args[0] = force(resolve(mapRef(op.args[0])));
+        r.args[1] = force(resolve(mapRef(op.args[1])));
+        r.args[2] = force(resolve(mapRef(op.args[2])));
+        out.ops.push_back(r);
+        // Conservative: any array store invalidates the array cache.
+        arrayCache.clear();
+        return;
+      }
+      default:
+        passThrough(op);
+        return;
+    }
+}
+
+void
+Optimizer::processCall(const ResOp &op)
+{
+    ResOp r = op;
+    for (int i = 0; i < kMaxOpArgs; ++i) {
+        if (op.args[i] != kNoArg)
+            r.args[i] = force(resolve(mapRef(op.args[i])));
+    }
+    if (op.result >= 0)
+        r.result = defineBox(op.result, in_.boxTypes[op.result]);
+    out.ops.push_back(r);
+    if (op.op != IrOp::CallPure)
+        clearMemoryCaches();
+}
+
+void
+Optimizer::processCallAssembler(const ResOp &op)
+{
+    // Inputs live in snapshot frames[0].stack; outputs are fresh boxes
+    // in frames[1]. Virtuals among the inputs must be forced (the inner
+    // trace receives real objects).
+    const Snapshot &src = in_.snapshots[op.snapshotIdx];
+    Snapshot dst;
+    FrameSnapshot inF;
+    inF.stack.reserve(src.frames[0].stack.size());
+    for (int32_t r : src.frames[0].stack) {
+        inF.stack.push_back(r == kNoArg
+                                ? kNoArg
+                                : force(resolve(mapRef(r))));
+    }
+    dst.frames.push_back(std::move(inF));
+
+    FrameSnapshot outF;
+    outF.code = src.frames[1].code;
+    outF.pc = src.frames[1].pc;
+    for (int32_t b : src.frames[1].locals)
+        outF.locals.push_back(b >= 0 ? defineBox(b, BoxType::Ref) : b);
+    for (int32_t b : src.frames[1].stack)
+        outF.stack.push_back(b >= 0 ? defineBox(b, BoxType::Ref) : b);
+    dst.frames.push_back(std::move(outF));
+
+    // frames[2..]: outer-frame resume state (regular snapshot refs).
+    std::unordered_map<int32_t, int32_t> memo;
+    for (size_t fi = 2; fi < src.frames.size(); ++fi) {
+        const FrameSnapshot &f = src.frames[fi];
+        FrameSnapshot nf;
+        nf.code = f.code;
+        nf.pc = f.pc;
+        for (int32_t r : f.locals)
+            nf.locals.push_back(rewriteSnapshotRef(r, memo));
+        for (int32_t r : f.stack)
+            nf.stack.push_back(rewriteSnapshotRef(r, memo));
+        dst.frames.push_back(std::move(nf));
+    }
+
+    out.snapshots.push_back(std::move(dst));
+    ResOp r = op;
+    for (int i = 0; i < kMaxOpArgs; ++i)
+        r.args[i] = kNoArg;
+    r.snapshotIdx = int32_t(out.snapshots.size() - 1);
+    out.ops.push_back(r);
+    clearMemoryCaches();
+}
+
+void
+Optimizer::processJump(const ResOp &op)
+{
+    ResOp r = op;
+    // Jump args live in a snapshot frame; rewrite and force virtuals
+    // (no cross-iteration virtuals in this implementation).
+    const Snapshot &src = in_.snapshots[op.snapshotIdx];
+    Snapshot dst;
+    FrameSnapshot nf;
+    for (int32_t ref : src.frames[0].stack) {
+        int32_t v = ref == kNoArg ? kNoArg
+                                  : force(resolve(mapRef(ref)));
+        nf.stack.push_back(v);
+    }
+    dst.frames.push_back(std::move(nf));
+    out.snapshots.push_back(std::move(dst));
+    r.snapshotIdx = int32_t(out.snapshots.size() - 1);
+    out.ops.push_back(r);
+}
+
+void
+Optimizer::passThrough(const ResOp &op, bool clears_heap_cache)
+{
+    // Pure op: try folding first.
+    if (params.foldConstants && isPure(op.op) && op.result >= 0) {
+        int32_t a = op.args[0] == kNoArg ? kNoArg
+                                         : resolve(mapRef(op.args[0]));
+        int32_t b = op.args[1] == kNoArg ? kNoArg
+                                         : resolve(mapRef(op.args[1]));
+        RtVal av, bv, outv;
+        bool aConst = a != kNoArg && constValOf(a, &av);
+        bool bConst = b == kNoArg || constValOf(b, &bv);
+        if (aConst && bConst && op.args[2] == kNoArg &&
+            evalPure(op.op, av, b == kNoArg ? RtVal() : bv, &outv)) {
+            env[op.result] = out.addConst(outv);
+            if (stats_)
+                ++stats_->foldedOps;
+            return;
+        }
+        ResOp r = op;
+        r.args[0] = a == kNoArg ? kNoArg : force(a);
+        r.args[1] = b == kNoArg ? kNoArg : force(b);
+        if (op.args[2] != kNoArg)
+            r.args[2] = force(resolve(mapRef(op.args[2])));
+        r.result = defineBox(op.result, in_.boxTypes[op.result]);
+        out.ops.push_back(r);
+        return;
+    }
+
+    ResOp r = op;
+    for (int i = 0; i < kMaxOpArgs; ++i) {
+        if (op.args[i] != kNoArg)
+            r.args[i] = force(resolve(mapRef(op.args[i])));
+    }
+    if (op.result >= 0)
+        r.result = defineBox(op.result, in_.boxTypes[op.result]);
+    if (op.snapshotIdx >= 0 && !isGuard(op.op) && op.op != IrOp::Jump)
+        r.snapshotIdx = rewriteSnapshot(op.snapshotIdx);
+    out.ops.push_back(r);
+    if (clears_heap_cache)
+        clearMemoryCaches();
+}
+
+Trace
+Optimizer::run()
+{
+    out.id = in_.id;
+    out.isBridge = in_.isBridge;
+    out.anchorCode = in_.anchorCode;
+    out.anchorPc = in_.anchorPc;
+    out.anchorNumLocals = in_.anchorNumLocals;
+
+    env.assign(in_.boxTypes.size(), kNoArg);
+
+    // Inputs map one-to-one.
+    for (uint32_t i = 0; i < in_.numInputs; ++i) {
+        int32_t b = out.newBox(in_.boxTypes[i]);
+        env[i] = b;
+    }
+    out.numInputs = in_.numInputs;
+
+    if (stats_)
+        stats_->inputOps = uint32_t(in_.ops.size());
+
+    for (const ResOp &op : in_.ops) {
+        switch (op.op) {
+          case IrOp::Label:
+            out.ops.push_back(op);
+            break;
+          case IrOp::Jump:
+            processJump(op);
+            break;
+          case IrOp::Finish:
+          case IrOp::DebugMergePoint:
+            passThrough(op);
+            break;
+          case IrOp::NewWithVtable:
+          case IrOp::GetfieldGc:
+          case IrOp::SetfieldGc:
+          case IrOp::GetarrayitemGc:
+          case IrOp::SetarrayitemGc:
+            processHeapOp(op);
+            break;
+          case IrOp::Call:
+          case IrOp::CallPure:
+          case IrOp::CallMayForce:
+            processCall(op);
+            break;
+          case IrOp::CallAssembler:
+            processCallAssembler(op);
+            break;
+          default:
+            if (isGuard(op.op)) {
+                processGuard(op);
+            } else {
+                passThrough(op);
+            }
+            break;
+        }
+    }
+
+    if (stats_)
+        stats_->outputOps = uint32_t(out.ops.size());
+    return std::move(out);
+}
+
+} // namespace
+
+Trace
+optimize(const Trace &in, const OptParams &params, OptStats *stats)
+{
+    Optimizer opt(in, params, stats);
+    return opt.run();
+}
+
+} // namespace jit
+} // namespace xlvm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trace optimizer.
+ *
+ * A single forward rewriting pass over the recorded trace implementing
+ * the RPython optimizer stages the paper's characterization depends on:
+ *
+ *  - constant folding / propagation of pure ops;
+ *  - redundant guard elimination (known-class / known-nonnull /
+ *    guard_value dedup);
+ *  - heap caching: forwarding getfield_gc through earlier setfield_gc /
+ *    getfield_gc, invalidated by calls and aliasing stores;
+ *  - escape analysis (allocation sinking): new_with_vtable whose result
+ *    never escapes is removed together with its setfields/getfields;
+ *    guards' resume snapshots describe such objects as *virtuals* that
+ *    the blackhole interpreter rematerializes on deoptimization. This is
+ *    the optimization responsible for the paper's observation that "GC is
+ *    used more heavily before the JIT phase" (Section V-B).
+ */
+
+#ifndef XLVM_JIT_OPT_H
+#define XLVM_JIT_OPT_H
+
+#include <functional>
+
+#include "jit/ir.h"
+
+namespace xlvm {
+namespace jit {
+
+struct OptParams
+{
+    bool foldConstants = true;
+    bool elideGuards = true;
+    bool heapCache = true;
+    bool virtualize = true;
+    /** Resolves a constant object reference to its class id. */
+    std::function<uint32_t(void *)> classOf;
+};
+
+struct OptStats
+{
+    uint32_t inputOps = 0;
+    uint32_t outputOps = 0;
+    uint32_t foldedOps = 0;
+    uint32_t elidedGuards = 0;
+    uint32_t forwardedLoads = 0;
+    uint32_t removedAllocations = 0;
+    uint32_t forcedAllocations = 0;
+};
+
+/** Optimize @p in, producing a new trace; preserves id/anchor fields. */
+Trace optimize(const Trace &in, const OptParams &params,
+               OptStats *stats = nullptr);
+
+/** Snapshot virtual-reference encoding. */
+constexpr int32_t kVirtualRefBase = INT32_MIN + 1;
+constexpr int32_t makeVirtualRef(int32_t idx) { return kVirtualRefBase + idx; }
+constexpr bool
+isVirtualRef(int32_t ref)
+{
+    return ref != kNoArg && ref < 0 && ref >= kVirtualRefBase &&
+           ref < kVirtualRefBase + (1 << 24);
+}
+constexpr int32_t virtualIndex(int32_t ref) { return ref - kVirtualRefBase; }
+
+} // namespace jit
+} // namespace xlvm
+
+#endif // XLVM_JIT_OPT_H

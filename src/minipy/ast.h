@@ -1,0 +1,103 @@
+/**
+ * @file
+ * MiniPy abstract syntax tree.
+ */
+
+#ifndef XLVM_MINIPY_AST_H
+#define XLVM_MINIPY_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xlvm {
+namespace minipy {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind : uint8_t
+{
+    IntLit,
+    FloatLit,
+    StrLit,
+    BoolLit,
+    NoneLit,
+    Name,
+    BinOp,     ///< op in text: + - * / // % ** & | ^ << >>
+    UnaryOp,   ///< "-" or "not"
+    Compare,   ///< op: < <= == != > >= is isnot in notin
+    BoolOp,    ///< "and" / "or", short-circuit
+    Call,
+    Attribute, ///< value.attr
+    Subscript, ///< value[index]
+    Slice,     ///< value[lo:hi] (as Subscript with slice=true)
+    ListDisplay,
+    TupleDisplay,
+    DictDisplay,
+    SetDisplay,
+};
+
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    bool boolValue = false;
+    std::string strValue; ///< literal text / name / attr / op
+
+    ExprPtr a; ///< left operand / callee / value
+    ExprPtr b; ///< right operand / index / slice lo
+    ExprPtr c; ///< slice hi
+    std::vector<ExprPtr> items; ///< call args / display elements
+    std::vector<ExprPtr> values; ///< dict display values
+};
+
+enum class StmtKind : uint8_t
+{
+    ExprStmt,
+    Assign,     ///< target(s) = value; target in a; multi via items
+    AugAssign,  ///< target op= value (op in strValue)
+    If,
+    While,
+    For,
+    Def,
+    ClassDef,
+    Return,
+    Break,
+    Continue,
+    Pass,
+    Global,
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    std::string name; ///< def/class name, aug op
+    ExprPtr target;   ///< assign target / for target / condition
+    ExprPtr value;    ///< assigned value / return value / iterable
+    std::vector<ExprPtr> targets; ///< tuple-unpack targets
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> orelse;
+    std::vector<std::string> params;       ///< def params
+    std::vector<ExprPtr> defaults;         ///< def default values
+    std::vector<StmtPtr> methods;          ///< class body defs
+    std::vector<std::string> globalNames;  ///< global statement
+};
+
+/** A parsed module. */
+struct Module
+{
+    std::vector<StmtPtr> body;
+};
+
+} // namespace minipy
+} // namespace xlvm
+
+#endif // XLVM_MINIPY_AST_H

@@ -1,0 +1,762 @@
+/**
+ * @file
+ * MiniPy builtin functions and methods.
+ *
+ * Builtins execute through object-space operations so they record
+ * correctly while the meta-interpreter is tracing; non-inlinable ones
+ * record explicit AOT calls.
+ */
+
+#include <cmath>
+
+#include "minipy/interp.h"
+#include "rt/rstr.h"
+
+namespace xlvm {
+namespace minipy {
+
+using jit::BoxType;
+using jit::IrOp;
+using jit::kNoArg;
+using obj::ObjSpace;
+using obj::W_Dict;
+using obj::W_List;
+using obj::W_Object;
+using obj::W_Set;
+using obj::W_Str;
+
+namespace {
+
+void
+expectArgs(const std::vector<W_Object *> &args, size_t lo, size_t hi,
+           const char *name)
+{
+    XLVM_ASSERT(args.size() >= lo && args.size() <= hi,
+                "bad argument count to ", name, ": ", args.size());
+}
+
+/** Record a math-library call: guard arg type, call, map result. */
+W_Object *
+mathCall(ObjSpace &sp, uint32_t fn, W_Object *arg, double value)
+{
+    // Software libm costs: sqrt is near-hardware, transcendentals are
+    // polynomial evaluations.
+    uint64_t units = fn == rt::kAotCSqrt ? 10 : 28;
+    sp.env().aotCall(fn, units);
+    obj::W_Float *out = sp.newFloat(value);
+    if (jit::Recorder *r = sp.rec()) {
+        sp.recGuardType(arg);
+        int32_t enc = sp.recCall(IrOp::Call, fn, BoxType::Ref,
+                                 sp.recRef(arg));
+        r->mapRef(out, enc);
+    }
+    return out;
+}
+
+} // namespace
+
+uint32_t
+builtinMethodFor(uint16_t type_id, const std::string &name)
+{
+    switch (type_id) {
+      case obj::kTypeList:
+        if (name == "append")
+            return kBiListAppend;
+        if (name == "pop")
+            return kBiListPop;
+        if (name == "sort")
+            return kBiListSort;
+        if (name == "reverse")
+            return kBiListReverse;
+        if (name == "extend")
+            return kBiListExtend;
+        if (name == "index")
+            return kBiListIndex;
+        if (name == "insert")
+            return kBiListInsert;
+        break;
+      case obj::kTypeStr:
+        if (name == "join")
+            return kBiStrJoin;
+        if (name == "split")
+            return kBiStrSplit;
+        if (name == "replace")
+            return kBiStrReplace;
+        if (name == "find")
+            return kBiStrFind;
+        if (name == "lower")
+            return kBiStrLower;
+        if (name == "upper")
+            return kBiStrUpper;
+        if (name == "strip")
+            return kBiStrStrip;
+        if (name == "startswith")
+            return kBiStrStartswith;
+        if (name == "endswith")
+            return kBiStrEndswith;
+        if (name == "count")
+            return kBiStrCount;
+        break;
+      case obj::kTypeDict:
+        if (name == "get")
+            return kBiDictGet;
+        if (name == "keys")
+            return kBiDictKeys;
+        if (name == "values")
+            return kBiDictValues;
+        if (name == "pop")
+            return kBiDictPop;
+        break;
+      case obj::kTypeSet:
+        if (name == "add")
+            return kBiSetAdd;
+        if (name == "discard")
+            return kBiSetDiscard;
+        if (name == "remove")
+            return kBiSetDiscard;
+        if (name == "issubset")
+            return kBiSetIssubset;
+        if (name == "union")
+            return kBiSetUnion;
+        if (name == "intersection")
+            return kBiSetIntersection;
+        if (name == "difference")
+            return kBiSetDifference;
+        break;
+      default:
+        break;
+    }
+    return 0;
+}
+
+void
+installBuiltins(obj::ObjSpace &space, obj::W_Dict *globals)
+{
+    auto add = [&](const char *name, uint32_t id) {
+        obj::W_NativeFunc *fn =
+            space.heap().alloc<obj::W_NativeFunc>(id, name);
+        space.setGlobal(globals, space.intern(name), fn);
+    };
+    add("print", kBiPrint);
+    add("range", kBiRange);
+    add("len", kBiLen);
+    add("abs", kBiAbs);
+    add("min", kBiMin);
+    add("max", kBiMax);
+    add("int", kBiInt);
+    add("float", kBiFloat);
+    add("str", kBiStr);
+    add("bool", kBiBool);
+    add("chr", kBiChr);
+    add("ord", kBiOrd);
+    add("list", kBiList);
+    add("tuple", kBiTuple);
+    add("dict", kBiDict);
+    add("set", kBiSet);
+    add("sqrt", kBiSqrt);
+    add("sin", kBiSin);
+    add("cos", kBiCos);
+    add("exp", kBiExp);
+    add("log", kBiLog);
+    add("floor", kBiFloor);
+    add("pow", kBiPow);
+    add("json_escape", kBiJsonEscape);
+    // MiniRkt runtime names.
+    add("display", kBiDisplay);
+    add("newline", kBiNewline);
+    add("cons", kBiCons);
+    add("car", kBiCar);
+    add("cdr", kBiCdr);
+    add("make_vector", kBiMakeVector);
+}
+
+W_Object *
+callBuiltin(Interp &in, uint32_t id, std::vector<W_Object *> &args)
+{
+    ObjSpace &sp = in.ctx.space;
+    jit::Recorder *rec = sp.rec();
+
+    switch (id) {
+      case kBiPrint: {
+        if (rec) {
+            in.abortTrace("print while tracing");
+            rec = nullptr;
+        }
+        std::string line;
+        for (size_t i = 0; i < args.size(); ++i) {
+            if (i)
+                line += " ";
+            line += sp.str(args[i])->value;
+        }
+        line += "\n";
+        in.printed += line;
+        return sp.none();
+      }
+
+      case kBiRange: {
+        expectArgs(args, 1, 3, "range");
+        int64_t b = 0, e = 0, s = 1;
+        if (args.size() == 1) {
+            e = sp.unwrapInt(args[0]);
+        } else {
+            b = sp.unwrapInt(args[0]);
+            e = sp.unwrapInt(args[1]);
+            if (args.size() == 3)
+                s = sp.unwrapInt(args[2]);
+        }
+        XLVM_ASSERT(s != 0, "range() step must not be zero");
+        obj::W_Range *r = sp.heap().alloc<obj::W_Range>(b, e, s);
+        if (rec) {
+            for (W_Object *a : args)
+                sp.recGuardType(a);
+            int32_t be = args.size() == 1 ? rec->constInt(0)
+                                          : sp.recUnboxInt(args[0]);
+            int32_t ee = args.size() == 1 ? sp.recUnboxInt(args[0])
+                                          : sp.recUnboxInt(args[1]);
+            int32_t se = args.size() == 3 ? sp.recUnboxInt(args[2])
+                                          : rec->constInt(1);
+            int32_t box = rec->emit(IrOp::NewWithVtable, kNoArg, kNoArg,
+                                    kNoArg, obj::kTypeRange);
+            rec->emit(IrOp::SetfieldGc, box, be, kNoArg,
+                      obj::kFieldRangeCur);
+            rec->emit(IrOp::SetfieldGc, box, ee, kNoArg,
+                      obj::kFieldRangeStop);
+            rec->emit(IrOp::SetfieldGc, box, se, kNoArg,
+                      obj::kFieldRangeStep);
+            rec->mapRef(r, box);
+        }
+        return r;
+      }
+
+      case kBiLen:
+        expectArgs(args, 1, 1, "len");
+        return sp.len(args[0]);
+
+      case kBiAbs:
+        expectArgs(args, 1, 1, "abs");
+        return sp.abs_(args[0]);
+
+      case kBiMin:
+      case kBiMax: {
+        expectArgs(args, 1, 2, id == kBiMin ? "min" : "max");
+        if (args.size() == 2) {
+            W_Object *c = sp.cmp(id == kBiMin ? obj::CmpOp::Lt
+                                              : obj::CmpOp::Gt,
+                                 args[0], args[1]);
+            return sp.isTrueAndGuard(c) ? args[0] : args[1];
+        }
+        // min/max over a list.
+        XLVM_ASSERT(args[0]->typeId() == obj::kTypeList,
+                    "min/max needs a list");
+        auto *lst = static_cast<W_List *>(args[0]);
+        XLVM_ASSERT(lst->length() > 0, "min/max of empty list");
+        if (rec) {
+            // Opaque runtime scan.
+            sp.recGuardType(args[0]);
+            int32_t enc = sp.recCall(IrOp::Call, rt::kAotListSafeFind,
+                                     BoxType::Ref, sp.recRef(args[0]));
+            W_Object *best = sp.listGetRaw(lst, 0);
+            for (size_t i = 1; i < lst->length(); ++i) {
+                W_Object *x = sp.listGetRaw(lst, i);
+                bool better = id == kBiMin
+                                  ? obj::objHash(x) != obj::objHash(x)
+                                  : false;
+                (void)better;
+                double dx = sp.toDouble(x), db = sp.toDouble(best);
+                if ((id == kBiMin && dx < db) ||
+                    (id == kBiMax && dx > db))
+                    best = x;
+            }
+            sp.env().aotCall(rt::kAotListSafeFind, lst->length() + 1);
+            rec->mapRef(best, enc);
+            return best;
+        }
+        W_Object *best = sp.listGetRaw(lst, 0);
+        for (size_t i = 1; i < lst->length(); ++i) {
+            W_Object *x = sp.listGetRaw(lst, i);
+            double dx = sp.toDouble(x), db = sp.toDouble(best);
+            if ((id == kBiMin && dx < db) || (id == kBiMax && dx > db))
+                best = x;
+        }
+        sp.env().aotCall(rt::kAotListSafeFind, lst->length() + 1);
+        return best;
+      }
+
+      case kBiInt: {
+        expectArgs(args, 1, 1, "int");
+        W_Object *a = args[0];
+        switch (a->typeId()) {
+          case obj::kTypeInt:
+            if (rec)
+                sp.recGuardType(a);
+            return a;
+          case obj::kTypeFloat: {
+            double d = sp.unwrapFloat(a);
+            if (rec) {
+                sp.recGuardType(a);
+                int32_t enc = rec->emit(IrOp::CastFloatToInt,
+                                        sp.recUnboxFloat(a));
+                return sp.recBoxInt(int64_t(d), enc);
+            }
+            return sp.newInt(int64_t(d));
+          }
+          case obj::kTypeStr: {
+            int64_t v = 0;
+            uint64_t cost = 0;
+            bool ok = rt::stringToInt(
+                static_cast<W_Str *>(a)->value, &v, &cost);
+            XLVM_ASSERT(ok, "invalid int literal");
+            sp.env().aotCall(rt::kAotStringToInt, cost * 3 + 12);
+            obj::W_Int *w = sp.newInt(v);
+            if (rec) {
+                sp.recGuardType(a);
+                int32_t enc = sp.recCall(IrOp::Call, rt::kAotStringToInt,
+                                         BoxType::Ref, sp.recRef(a));
+                rec->mapRef(w, enc);
+            }
+            return w;
+          }
+          case obj::kTypeBool:
+            if (rec)
+                sp.recGuardType(a);
+            return sp.newInt(sp.unwrapInt(a));
+          default:
+            XLVM_FATAL("int() of ", obj::typeName(a->typeId()));
+        }
+      }
+
+      case kBiFloat: {
+        expectArgs(args, 1, 1, "float");
+        W_Object *a = args[0];
+        if (a->typeId() == obj::kTypeFloat) {
+            if (rec)
+                sp.recGuardType(a);
+            return a;
+        }
+        if (a->typeId() == obj::kTypeStr) {
+            double d =
+                std::strtod(static_cast<W_Str *>(a)->value.c_str(),
+                            nullptr);
+            sp.env().aotCall(rt::kAotStringToFloat, 8);
+            obj::W_Float *w = sp.newFloat(d);
+            if (rec) {
+                sp.recGuardType(a);
+                int32_t enc = sp.recCall(IrOp::Call,
+                                         rt::kAotStringToFloat,
+                                         BoxType::Ref, sp.recRef(a));
+                rec->mapRef(w, enc);
+            }
+            return w;
+        }
+        double d = sp.toDouble(a);
+        if (rec) {
+            sp.recGuardType(a);
+            int32_t enc = rec->emit(IrOp::CastIntToFloat,
+                                    sp.recUnboxInt(a));
+            return sp.recBoxFloat(d, enc);
+        }
+        return sp.newFloat(d);
+      }
+
+      case kBiStr:
+        expectArgs(args, 1, 1, "str");
+        return sp.str(args[0]);
+
+      case kBiBool:
+        expectArgs(args, 1, 1, "bool");
+        return sp.newBool(sp.isTrueAndGuard(args[0]));
+
+      case kBiChr: {
+        expectArgs(args, 1, 1, "chr");
+        int64_t c = sp.unwrapInt(args[0]);
+        W_Str *w = sp.newStr(std::string(1, char(c)));
+        if (rec) {
+            sp.recGuardType(args[0]);
+            int32_t enc = sp.recCall(IrOp::Call, rt::kAotStrSlice,
+                                     BoxType::Ref, sp.recRef(args[0]),
+                                     sp.recUnboxInt(args[0]), kNoArg,
+                                     obj::kSemChr);
+            rec->mapRef(w, enc);
+        }
+        return w;
+      }
+      case kBiOrd: {
+        expectArgs(args, 1, 1, "ord");
+        const std::string &s = sp.unwrapStr(args[0]);
+        XLVM_ASSERT(s.size() == 1, "ord() needs a 1-char string");
+        if (rec) {
+            sp.recGuardType(args[0]);
+            int32_t enc = rec->emitTyped(IrOp::Strgetitem, BoxType::Int,
+                                         sp.recRef(args[0]),
+                                         rec->constInt(0));
+            return sp.recBoxInt(uint8_t(s[0]), enc);
+        }
+        return sp.newInt(uint8_t(s[0]));
+      }
+
+      case kBiList: {
+        expectArgs(args, 0, 1, "list");
+        W_List *out = sp.newList();
+        if (rec) {
+            int32_t enc = sp.recCall(IrOp::Call, rt::kAotAllocContainer,
+                                     BoxType::Ref, kNoArg, kNoArg,
+                                     kNoArg, obj::kSemNewList);
+            rec->mapRef(out, enc);
+        }
+        if (!args.empty()) {
+            if (args[0]->typeId() == obj::kTypeList ||
+                args[0]->typeId() == obj::kTypeTuple) {
+                sp.listExtend(out, args[0]);
+            } else {
+                // Generic iteration (range, dict, set, str).
+                W_Object *it = sp.iter(args[0]);
+                while (W_Object *x = sp.iterNext(it))
+                    sp.listAppend(out, x);
+            }
+        }
+        return out;
+      }
+
+      case kBiTuple: {
+        expectArgs(args, 0, 1, "tuple");
+        std::vector<W_Object *> items;
+        if (!args.empty()) {
+            XLVM_ASSERT(args[0]->typeId() == obj::kTypeList,
+                        "tuple() needs a list");
+            auto *lst = static_cast<W_List *>(args[0]);
+            for (size_t i = 0; i < lst->length(); ++i)
+                items.push_back(sp.listGetRaw(lst, int64_t(i)));
+        }
+        obj::W_Tuple *t = sp.newTuple(std::move(items));
+        if (rec) {
+            int32_t enc = sp.recCall(
+                IrOp::Call, rt::kAotAllocContainer, BoxType::Ref,
+                args.empty() ? kNoArg : sp.recRef(args[0]), kNoArg,
+                kNoArg, obj::kSemListToTuple);
+            rec->mapRef(t, enc);
+        }
+        return t;
+      }
+
+      case kBiDict: {
+        W_Dict *d = sp.newDict();
+        if (rec) {
+            int32_t enc = sp.recCall(IrOp::Call, rt::kAotAllocContainer,
+                                     BoxType::Ref, kNoArg, kNoArg,
+                                     kNoArg, obj::kSemNewDict);
+            rec->mapRef(d, enc);
+        }
+        return d;
+      }
+      case kBiSet: {
+        W_Set *s = sp.newSet();
+        if (rec) {
+            int32_t enc = sp.recCall(IrOp::Call, rt::kAotAllocContainer,
+                                     BoxType::Ref, kNoArg, kNoArg,
+                                     kNoArg, obj::kSemNewSet);
+            rec->mapRef(s, enc);
+        }
+        if (!args.empty()) {
+            W_Object *it = sp.iter(args[0]);
+            while (W_Object *x = sp.iterNext(it))
+                sp.setAdd(s, x);
+        }
+        return s;
+      }
+
+      case kBiSqrt:
+        expectArgs(args, 1, 1, "sqrt");
+        return mathCall(sp, rt::kAotCSqrt, args[0],
+                        std::sqrt(sp.toDouble(args[0])));
+      case kBiSin:
+        return mathCall(sp, rt::kAotCSin, args[0],
+                        std::sin(sp.toDouble(args[0])));
+      case kBiCos:
+        return mathCall(sp, rt::kAotCCos, args[0],
+                        std::cos(sp.toDouble(args[0])));
+      case kBiExp:
+        return mathCall(sp, rt::kAotCExp, args[0],
+                        std::exp(sp.toDouble(args[0])));
+      case kBiLog:
+        return mathCall(sp, rt::kAotCLog, args[0],
+                        std::log(sp.toDouble(args[0])));
+      case kBiFloor: {
+        expectArgs(args, 1, 1, "floor");
+        double d = std::floor(sp.toDouble(args[0]));
+        if (rec) {
+            sp.recGuardType(args[0]);
+            int32_t fv = args[0]->typeId() == obj::kTypeFloat
+                             ? sp.recUnboxFloat(args[0])
+                             : rec->emit(IrOp::CastIntToFloat,
+                                         sp.recUnboxInt(args[0]));
+            int32_t enc = rec->emit(IrOp::CastFloatToInt, fv);
+            return sp.recBoxInt(int64_t(d), enc);
+        }
+        return sp.newInt(int64_t(d));
+      }
+      case kBiPow:
+        expectArgs(args, 2, 2, "pow");
+        return sp.pow_(args[0], args[1]);
+
+      case kBiJsonEscape: {
+        expectArgs(args, 1, 1, "json_escape");
+        uint64_t cost = 0;
+        std::string s = rt::jsonEscape(sp.unwrapStr(args[0]), &cost);
+        sp.env().aotCall(rt::kAotJsonEscape, cost);
+        W_Str *w = sp.newStr(std::move(s));
+        if (rec) {
+            sp.recGuardType(args[0]);
+            int32_t enc = sp.recCall(IrOp::Call, rt::kAotJsonEscape,
+                                     BoxType::Ref, sp.recRef(args[0]));
+            rec->mapRef(w, enc);
+        }
+        return w;
+      }
+
+      // ---- methods ------------------------------------------------------
+      case kBiListAppend:
+        expectArgs(args, 2, 2, "append");
+        sp.listAppend(static_cast<W_List *>(args[0]), args[1]);
+        return sp.none();
+      case kBiListPop: {
+        expectArgs(args, 1, 2, "pop");
+        int64_t idx = args.size() == 2 ? sp.unwrapInt(args[1]) : -1;
+        int32_t ie = kNoArg;
+        if (rec && args.size() == 2) {
+            sp.recGuardType(args[1]);
+            ie = sp.recUnboxInt(args[1]);
+        }
+        return sp.listPop(static_cast<W_List *>(args[0]), idx, ie);
+      }
+      case kBiListSort:
+        sp.listSort(static_cast<W_List *>(args[0]));
+        return sp.none();
+      case kBiListReverse:
+        sp.listReverse(static_cast<W_List *>(args[0]));
+        return sp.none();
+      case kBiListExtend:
+        expectArgs(args, 2, 2, "extend");
+        sp.listExtend(static_cast<W_List *>(args[0]), args[1]);
+        return sp.none();
+      case kBiListIndex: {
+        expectArgs(args, 2, 2, "index");
+        int64_t i =
+            sp.listIndexOf(static_cast<W_List *>(args[0]), args[1]);
+        XLVM_ASSERT(i >= 0, "ValueError: not in list");
+        // listIndexOf pinned the found index with a guard, so the boxed
+        // result carries the (now-constant) value.
+        if (rec)
+            return sp.recBoxInt(i, rec->constInt(i));
+        return sp.newInt(i);
+      }
+      case kBiListInsert: {
+        expectArgs(args, 3, 3, "insert");
+        auto *lst = static_cast<W_List *>(args[0]);
+        int64_t at = sp.unwrapInt(args[1]);
+        // insert == setslice [at:at] = [x]
+        W_List *one = sp.newList();
+        sp.listAppend(one, args[2]);
+        if (rec) {
+            int32_t enc = sp.recCall(IrOp::Call, rt::kAotAllocContainer,
+                                     BoxType::Ref, kNoArg, kNoArg,
+                                     kNoArg, obj::kSemNewList);
+            rec->mapRef(one, enc);
+            sp.recGuardType(args[1]);
+            sp.listSetSlice(lst, at, at, one, sp.recUnboxInt(args[1]),
+                            sp.recUnboxInt(args[1]));
+        } else {
+            sp.listSetSlice(lst, at, at, one);
+        }
+        return sp.none();
+      }
+
+      case kBiStrJoin:
+        expectArgs(args, 2, 2, "join");
+        return sp.strJoin(static_cast<W_Str *>(args[0]),
+                          static_cast<W_List *>(args[1]));
+      case kBiStrSplit:
+        expectArgs(args, 2, 2, "split");
+        return sp.strSplit(static_cast<W_Str *>(args[0]),
+                           static_cast<W_Str *>(args[1]));
+      case kBiStrReplace:
+        expectArgs(args, 3, 3, "replace");
+        return sp.strReplace(static_cast<W_Str *>(args[0]),
+                             static_cast<W_Str *>(args[1]),
+                             static_cast<W_Str *>(args[2]));
+      case kBiStrFind: {
+        expectArgs(args, 2, 3, "find");
+        int64_t start =
+            args.size() == 3 ? sp.unwrapInt(args[2]) : 0;
+        int32_t se = kNoArg;
+        if (rec && args.size() == 3) {
+            sp.recGuardType(args[2]);
+            se = sp.recUnboxInt(args[2]);
+        }
+        return sp.strFind(static_cast<W_Str *>(args[0]),
+                          static_cast<W_Str *>(args[1]), start, se);
+      }
+      case kBiStrLower:
+        return sp.strLower(static_cast<W_Str *>(args[0]));
+      case kBiStrUpper:
+        return sp.strUpper(static_cast<W_Str *>(args[0]));
+      case kBiStrStrip:
+        return sp.strStrip(static_cast<W_Str *>(args[0]));
+      case kBiStrStartswith:
+      case kBiStrEndswith: {
+        expectArgs(args, 2, 2, "startswith");
+        const std::string &s = sp.unwrapStr(args[0]);
+        const std::string &p = sp.unwrapStr(args[1]);
+        bool res = id == kBiStrStartswith ? rt::startsWith(s, p)
+                                          : rt::endsWith(s, p);
+        sp.env().aotCall(rt::kAotStrCmp, p.size() + 1);
+        if (rec) {
+            sp.recGuardType(args[0]);
+            int32_t enc = sp.recCall(IrOp::Call, rt::kAotStrCmp,
+                                     BoxType::Int, sp.recRef(args[0]),
+                                     sp.recRef(args[1]), kNoArg,
+                                     id == kBiStrStartswith
+                                         ? obj::kSemStrStartswith
+                                         : obj::kSemStrEndswith);
+            if (res)
+                rec->guardTrue(enc);
+            else
+                rec->guardFalse(enc);
+        }
+        return sp.newBool(res);
+      }
+      case kBiStrCount: {
+        expectArgs(args, 2, 2, "count");
+        uint64_t cost = 0;
+        int64_t n = rt::count(sp.unwrapStr(args[0]),
+                              sp.unwrapStr(args[1]), &cost);
+        sp.env().aotCall(rt::kAotStrFind, cost);
+        obj::W_Int *w = sp.newInt(n);
+        if (rec) {
+            sp.recGuardType(args[0]);
+            int32_t enc = sp.recCall(IrOp::Call, rt::kAotStrFind,
+                                     BoxType::Ref, sp.recRef(args[0]),
+                                     sp.recRef(args[1]), kNoArg,
+                                     obj::kSemStrCount);
+            rec->mapRef(w, enc);
+        }
+        return w;
+      }
+
+      case kBiDictGet: {
+        expectArgs(args, 2, 3, "get");
+        W_Object *fallback = args.size() == 3
+                                 ? args[2]
+                                 : static_cast<W_Object *>(sp.none());
+        W_Object *v = sp.dictGet(static_cast<W_Dict *>(args[0]),
+                                 args[1], nullptr);
+        if (!v)
+            return fallback;
+        return v;
+      }
+      case kBiDictKeys:
+        return sp.dictKeys(static_cast<W_Dict *>(args[0]));
+      case kBiDictValues:
+        return sp.dictValues(static_cast<W_Dict *>(args[0]));
+      case kBiDictPop: {
+        expectArgs(args, 2, 2, "pop");
+        auto *d = static_cast<W_Dict *>(args[0]);
+        W_Object *v = sp.dictGet(d, args[1], nullptr);
+        XLVM_ASSERT(v, "KeyError in dict.pop");
+        sp.dictDel(d, args[1]);
+        return v;
+      }
+
+      case kBiSetAdd:
+        expectArgs(args, 2, 2, "add");
+        sp.setAdd(static_cast<W_Set *>(args[0]), args[1]);
+        return sp.none();
+      case kBiSetDiscard:
+        expectArgs(args, 2, 2, "discard");
+        sp.setDiscard(static_cast<W_Set *>(args[0]), args[1]);
+        return sp.none();
+      case kBiSetIssubset:
+        return sp.newBool(sp.setIsSubset(static_cast<W_Set *>(args[0]),
+                                         static_cast<W_Set *>(args[1])));
+      case kBiSetUnion:
+        return sp.setUnion(static_cast<W_Set *>(args[0]),
+                           static_cast<W_Set *>(args[1]));
+      case kBiSetIntersection:
+        return sp.setIntersect(static_cast<W_Set *>(args[0]),
+                               static_cast<W_Set *>(args[1]));
+      case kBiSetDifference:
+        return sp.setDifference(static_cast<W_Set *>(args[0]),
+                                static_cast<W_Set *>(args[1]));
+
+      case kBiDisplay: {
+        if (rec) {
+            in.abortTrace("display while tracing");
+            rec = nullptr;
+        }
+        expectArgs(args, 1, 1, "display");
+        in.printed += sp.str(args[0])->value;
+        return sp.none();
+      }
+      case kBiNewline:
+        if (rec) {
+            in.abortTrace("newline while tracing");
+            rec = nullptr;
+        }
+        in.printed += "\n";
+        return sp.none();
+
+      case kBiCons: {
+        expectArgs(args, 2, 2, "cons");
+        obj::W_Pair *p =
+            sp.heap().alloc<obj::W_Pair>(args[0], args[1]);
+        if (rec) {
+            int32_t box = rec->emit(IrOp::NewWithVtable, kNoArg, kNoArg,
+                                    kNoArg, obj::kTypePair);
+            rec->emit(IrOp::SetfieldGc, box, sp.recRef(args[0]), kNoArg,
+                      obj::kFieldCar);
+            rec->emit(IrOp::SetfieldGc, box, sp.recRef(args[1]), kNoArg,
+                      obj::kFieldCdr);
+            rec->mapRef(p, box);
+        }
+        return p;
+      }
+      case kBiCar:
+      case kBiCdr: {
+        expectArgs(args, 1, 1, "car/cdr");
+        XLVM_ASSERT(args[0]->typeId() == obj::kTypePair,
+                    "car/cdr of non-pair");
+        auto *p = static_cast<obj::W_Pair *>(args[0]);
+        W_Object *out = id == kBiCar ? p->car : p->cdr;
+        if (rec) {
+            sp.recGuardType(args[0]);
+            int32_t enc = rec->emitTyped(
+                IrOp::GetfieldGc, BoxType::Ref, sp.recRef(args[0]),
+                kNoArg, kNoArg,
+                id == kBiCar ? obj::kFieldCar : obj::kFieldCdr);
+            rec->mapRef(out, enc);
+        }
+        return out;
+      }
+      case kBiMakeVector: {
+        expectArgs(args, 2, 2, "make_vector");
+        int64_t count = sp.unwrapInt(args[0]);
+        W_List *out = sp.newList();
+        for (int64_t i = 0; i < count; ++i)
+            sp.listAppend(out, args[1]);
+        if (rec) {
+            sp.recGuardType(args[0]);
+            int32_t enc = sp.recCall(
+                IrOp::Call, rt::kAotAllocContainer, BoxType::Ref,
+                sp.recUnboxInt(args[0]), sp.recRef(args[1]), kNoArg,
+                obj::kSemMakeVector);
+            rec->mapRef(out, enc);
+        }
+        return out;
+      }
+
+      default:
+        XLVM_PANIC("unknown builtin id ", id);
+    }
+}
+
+} // namespace minipy
+} // namespace xlvm

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * MiniPy code objects and compiled programs.
+ */
+
+#ifndef XLVM_MINIPY_CODE_H
+#define XLVM_MINIPY_CODE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gc/heap.h"
+#include "obj/wobject.h"
+
+namespace xlvm {
+namespace minipy {
+
+/** Bytecode operations (CPython-flavored). */
+enum class Op : uint8_t
+{
+    LoadConst,  ///< arg = const index
+    LoadFast,   ///< arg = local index
+    StoreFast,
+    LoadGlobal, ///< arg = name index
+    StoreGlobal,
+    LoadAttr,   ///< arg = name index
+    StoreAttr,
+
+    BinAdd,
+    BinSub,
+    BinMul,
+    BinTrueDiv,
+    BinFloorDiv,
+    BinMod,
+    BinPow,
+    BinAnd,
+    BinOr,
+    BinXor,
+    BinLshift,
+    BinRshift,
+    UnaryNeg,
+    UnaryNot,
+
+    CmpLt,
+    CmpLe,
+    CmpEq,
+    CmpNe,
+    CmpGt,
+    CmpGe,
+    CmpIs,
+    CmpIsNot,
+    CmpIn,
+    CmpNotIn,
+
+    BinSubscr,
+    StoreSubscr,
+    LoadSlice,  ///< obj, lo, hi on stack (None = open end)
+    StoreSlice, ///< value, obj, lo, hi on stack
+
+    Jump,           ///< arg = absolute target
+    JumpBack,       ///< arg = absolute target (loop back edge)
+    PopJumpIfFalse, ///< arg = absolute target
+    PopJumpIfTrue,
+    JumpIfFalseOrPop,
+    JumpIfTrueOrPop,
+
+    GetIter,
+    ForIter, ///< arg = loop-exit target; pushes next or jumps
+
+    CallFunction, ///< arg = positional arg count
+    ReturnValue,
+    PopTop,
+    DupTop,
+    DupTopTwo,
+    RotTwo,
+    RotThree, ///< [a b c] -> [c a b]
+
+    BuildList,  ///< arg = element count
+    BuildTuple,
+    BuildMap,   ///< arg = pair count
+    BuildSet,
+    UnpackSequence, ///< arg = target count
+
+    MakeFunction, ///< arg = code index (defaults on stack per code)
+    MakeClass,    ///< arg = class-spec index
+
+    Nop,
+    NumOps
+};
+
+const char *opName(Op op);
+
+struct Instr
+{
+    Op op = Op::Nop;
+    int32_t arg = 0;
+};
+
+struct Code
+{
+    std::string name;
+    std::vector<Instr> instrs;
+    std::vector<obj::W_Object *> consts;
+    std::vector<obj::W_Str *> names;
+    std::vector<std::string> localNames;
+    uint32_t numParams = 0;
+    uint32_t numDefaults = 0;
+    /** pcs that are targets of backward jumps (app-level loop headers). */
+    std::vector<bool> isLoopHeader;
+};
+
+struct ClassSpec
+{
+    std::string name;
+    std::string baseName; ///< empty if none
+    std::vector<std::pair<std::string, Code *>> methods;
+};
+
+/**
+ * A compiled module: owns every code object and class spec; consts are
+ * GC objects pinned through rootProvider registration by the runner.
+ */
+struct Program : public gc::RootProvider
+{
+    std::vector<std::unique_ptr<Code>> codes;
+    std::vector<ClassSpec> classes;
+    Code *module = nullptr;
+
+    void
+    forEachRoot(gc::GcVisitor &v) override
+    {
+        for (const auto &c : codes) {
+            for (obj::W_Object *w : c->consts)
+                v.visit(w);
+            for (obj::W_Str *w : c->names)
+                v.visit(w);
+        }
+    }
+};
+
+} // namespace minipy
+} // namespace xlvm
+
+#endif // XLVM_MINIPY_CODE_H

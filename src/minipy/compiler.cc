@@ -1,0 +1,606 @@
+#include "minipy/compiler.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "minipy/parser.h"
+
+namespace xlvm {
+namespace minipy {
+
+namespace {
+
+/** Collect names assigned within a function body (locals candidates). */
+void
+collectAssigned(const std::vector<StmtPtr> &body,
+                std::unordered_set<std::string> &assigned,
+                std::unordered_set<std::string> &declared_global)
+{
+    for (const StmtPtr &s : body) {
+        switch (s->kind) {
+          case StmtKind::Assign:
+            if (s->target && s->target->kind == ExprKind::Name)
+                assigned.insert(s->target->strValue);
+            for (const ExprPtr &t : s->targets) {
+                if (t->kind == ExprKind::Name)
+                    assigned.insert(t->strValue);
+            }
+            break;
+          case StmtKind::AugAssign:
+            if (s->target->kind == ExprKind::Name)
+                assigned.insert(s->target->strValue);
+            break;
+          case StmtKind::For:
+            for (const ExprPtr &t : s->targets)
+                assigned.insert(t->strValue);
+            collectAssigned(s->body, assigned, declared_global);
+            break;
+          case StmtKind::If:
+          case StmtKind::While:
+            collectAssigned(s->body, assigned, declared_global);
+            collectAssigned(s->orelse, assigned, declared_global);
+            break;
+          case StmtKind::Global:
+            for (const std::string &n : s->globalNames)
+                declared_global.insert(n);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+class FnCompiler
+{
+  public:
+    FnCompiler(Program &prog, obj::ObjSpace &space, std::string name,
+               const std::vector<std::string> &params, bool is_module)
+        : program(prog), space_(space), isModule(is_module)
+    {
+        code = std::make_unique<Code>();
+        code->name = std::move(name);
+        code->numParams = uint32_t(params.size());
+        for (const std::string &p : params)
+            localIndex(p);
+    }
+
+    Code *
+    compileBody(const std::vector<StmtPtr> &body)
+    {
+        if (!isModule) {
+            std::unordered_set<std::string> assigned, declaredGlobal;
+            collectAssigned(body, assigned, declaredGlobal);
+            globals = std::move(declaredGlobal);
+            for (const std::string &n : assigned) {
+                if (!globals.count(n))
+                    localIndex(n);
+            }
+        }
+        for (const StmtPtr &s : body)
+            stmt(*s);
+        // Implicit return None.
+        emit(Op::LoadConst, constIdx(space_.none()));
+        emit(Op::ReturnValue);
+        markLoopHeaders();
+        Code *raw = code.get();
+        program.codes.push_back(std::move(code));
+        return raw;
+    }
+
+  private:
+    // ---- emission helpers ------------------------------------------------
+
+    int
+    emit(Op op, int32_t arg = 0)
+    {
+        code->instrs.push_back(Instr{op, arg});
+        return int(code->instrs.size() - 1);
+    }
+
+    int here() const { return int(code->instrs.size()); }
+
+    void patch(int at, int32_t target) { code->instrs[at].arg = target; }
+
+    int32_t
+    constIdx(obj::W_Object *w)
+    {
+        for (size_t i = 0; i < code->consts.size(); ++i) {
+            if (code->consts[i] == w)
+                return int32_t(i);
+        }
+        code->consts.push_back(w);
+        return int32_t(code->consts.size() - 1);
+    }
+
+    int32_t
+    constInt(int64_t v)
+    {
+        // Cache small int constants by value.
+        for (size_t i = 0; i < code->consts.size(); ++i) {
+            auto *w = code->consts[i];
+            if (w->typeId() == obj::kTypeInt &&
+                static_cast<obj::W_Int *>(w)->value == v)
+                return int32_t(i);
+        }
+        return constIdx(space_.newInt(v));
+    }
+
+    int32_t
+    nameIdx(const std::string &n)
+    {
+        obj::W_Str *w = space_.intern(n);
+        for (size_t i = 0; i < code->names.size(); ++i) {
+            if (code->names[i] == w)
+                return int32_t(i);
+        }
+        code->names.push_back(w);
+        return int32_t(code->names.size() - 1);
+    }
+
+    int32_t
+    localIndex(const std::string &n)
+    {
+        for (size_t i = 0; i < code->localNames.size(); ++i) {
+            if (code->localNames[i] == n)
+                return int32_t(i);
+        }
+        code->localNames.push_back(n);
+        return int32_t(code->localNames.size() - 1);
+    }
+
+    bool
+    isLocal(const std::string &n) const
+    {
+        if (isModule)
+            return false;
+        for (const auto &ln : code->localNames) {
+            if (ln == n)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    markLoopHeaders()
+    {
+        code->isLoopHeader.assign(code->instrs.size() + 1, false);
+        for (const Instr &ins : code->instrs) {
+            if (ins.op == Op::JumpBack)
+                code->isLoopHeader[ins.arg] = true;
+        }
+        code->localNames.resize(code->localNames.size());
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    struct LoopCtx
+    {
+        int headerPc;
+        std::vector<int> breakJumps;
+    };
+
+    void
+    stmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::ExprStmt:
+            expr(*s.value);
+            emit(Op::PopTop);
+            break;
+          case StmtKind::Assign:
+            assign(s);
+            break;
+          case StmtKind::AugAssign:
+            augAssign(s);
+            break;
+          case StmtKind::If:
+            ifStmt(s);
+            break;
+          case StmtKind::While:
+            whileStmt(s);
+            break;
+          case StmtKind::For:
+            forStmt(s);
+            break;
+          case StmtKind::Return:
+            if (s.value)
+                expr(*s.value);
+            else
+                emit(Op::LoadConst, constIdx(space_.none()));
+            emit(Op::ReturnValue);
+            break;
+          case StmtKind::Break: {
+            XLVM_ASSERT(!loops.empty(), "break outside loop, line ",
+                        s.line);
+            loops.back().breakJumps.push_back(emit(Op::Jump, -1));
+            break;
+          }
+          case StmtKind::Continue:
+            XLVM_ASSERT(!loops.empty(), "continue outside loop, line ",
+                        s.line);
+            emit(Op::JumpBack, loops.back().headerPc);
+            break;
+          case StmtKind::Pass:
+          case StmtKind::Global:
+            break;
+          case StmtKind::Def: {
+            // Defaults pushed first, then MakeFunction.
+            for (const ExprPtr &d : s.defaults)
+                expr(*d);
+            FnCompiler sub(program, space_, s.name, s.params, false);
+            sub.code->numDefaults = uint32_t(s.defaults.size());
+            Code *fn = sub.compileBody(s.body);
+            int32_t codeIdx = -1;
+            for (size_t i = 0; i < program.codes.size(); ++i) {
+                if (program.codes[i].get() == fn)
+                    codeIdx = int32_t(i);
+            }
+            emit(Op::MakeFunction, codeIdx);
+            storeName(s.name);
+            break;
+          }
+          case StmtKind::ClassDef: {
+            ClassSpec spec;
+            spec.name = s.name;
+            if (!s.globalNames.empty())
+                spec.baseName = s.globalNames[0];
+            for (const StmtPtr &m : s.methods) {
+                XLVM_ASSERT(m->defaults.empty(),
+                            "method defaults unsupported, line ",
+                            m->line);
+                FnCompiler sub(program, space_,
+                               s.name + "." + m->name, m->params,
+                               false);
+                Code *fn = sub.compileBody(m->body);
+                spec.methods.emplace_back(m->name, fn);
+            }
+            program.classes.push_back(std::move(spec));
+            emit(Op::MakeClass, int32_t(program.classes.size() - 1));
+            storeName(s.name);
+            break;
+          }
+        }
+    }
+
+    void
+    storeName(const std::string &n)
+    {
+        if (isLocal(n))
+            emit(Op::StoreFast, localIndex(n));
+        else
+            emit(Op::StoreGlobal, nameIdx(n));
+    }
+
+    void
+    storeTarget(const Expr &t)
+    {
+        switch (t.kind) {
+          case ExprKind::Name:
+            storeName(t.strValue);
+            break;
+          case ExprKind::Attribute:
+            // stack: value; push obj, then StoreAttr pops obj, value.
+            expr(*t.a);
+            emit(Op::StoreAttr, nameIdx(t.strValue));
+            break;
+          case ExprKind::Subscript:
+            // stack: value; push obj, index; StoreSubscr pops them.
+            expr(*t.a);
+            expr(*t.b);
+            emit(Op::StoreSubscr);
+            break;
+          case ExprKind::Slice:
+            expr(*t.a);
+            if (t.b)
+                expr(*t.b);
+            else
+                emit(Op::LoadConst, constIdx(space_.none()));
+            if (t.c)
+                expr(*t.c);
+            else
+                emit(Op::LoadConst, constIdx(space_.none()));
+            emit(Op::StoreSlice);
+            break;
+          default:
+            XLVM_FATAL("invalid assignment target, line ", t.line);
+        }
+    }
+
+    void
+    assign(const Stmt &s)
+    {
+        expr(*s.value);
+        if (s.target) {
+            storeTarget(*s.target);
+            return;
+        }
+        // Tuple unpack.
+        emit(Op::UnpackSequence, int32_t(s.targets.size()));
+        for (const ExprPtr &t : s.targets)
+            storeTarget(*t);
+    }
+
+    void
+    augAssign(const Stmt &s)
+    {
+        const Expr &t = *s.target;
+        Op binop = binOpFor(s.name, s.line);
+        switch (t.kind) {
+          case ExprKind::Name:
+            expr(t);
+            expr(*s.value);
+            emit(binop);
+            storeName(t.strValue);
+            break;
+          case ExprKind::Subscript:
+            // obj[i] op= v: evaluate obj and i once.
+            expr(*t.a);
+            expr(*t.b);
+            emit(Op::DupTopTwo);   // obj i obj i
+            emit(Op::BinSubscr);   // obj i cur
+            expr(*s.value);        // obj i cur v
+            emit(binop);           // obj i new
+            emit(Op::RotThree);    // new obj i
+            emit(Op::StoreSubscr);
+            break;
+          case ExprKind::Attribute:
+            expr(*t.a);
+            emit(Op::DupTop);
+            emit(Op::LoadAttr, nameIdx(t.strValue));
+            expr(*s.value);
+            emit(binop);
+            emit(Op::RotTwo);
+            emit(Op::StoreAttr, nameIdx(t.strValue));
+            break;
+          default:
+            XLVM_FATAL("invalid augmented target, line ", t.line);
+        }
+    }
+
+    Op
+    binOpFor(const std::string &op, int line)
+    {
+        if (op == "+")
+            return Op::BinAdd;
+        if (op == "-")
+            return Op::BinSub;
+        if (op == "*")
+            return Op::BinMul;
+        if (op == "/")
+            return Op::BinTrueDiv;
+        if (op == "//")
+            return Op::BinFloorDiv;
+        if (op == "%")
+            return Op::BinMod;
+        if (op == "**")
+            return Op::BinPow;
+        if (op == "&")
+            return Op::BinAnd;
+        if (op == "|")
+            return Op::BinOr;
+        if (op == "^")
+            return Op::BinXor;
+        if (op == "<<")
+            return Op::BinLshift;
+        if (op == ">>")
+            return Op::BinRshift;
+        XLVM_FATAL("unknown operator ", op, " at line ", line);
+    }
+
+    void
+    ifStmt(const Stmt &s)
+    {
+        expr(*s.target);
+        int jfalse = emit(Op::PopJumpIfFalse, -1);
+        for (const StmtPtr &b : s.body)
+            stmt(*b);
+        if (!s.orelse.empty()) {
+            int jend = emit(Op::Jump, -1);
+            patch(jfalse, here());
+            for (const StmtPtr &b : s.orelse)
+                stmt(*b);
+            patch(jend, here());
+        } else {
+            patch(jfalse, here());
+        }
+    }
+
+    void
+    whileStmt(const Stmt &s)
+    {
+        int header = here();
+        loops.push_back(LoopCtx{header, {}});
+        expr(*s.target);
+        int jexit = emit(Op::PopJumpIfFalse, -1);
+        for (const StmtPtr &b : s.body)
+            stmt(*b);
+        emit(Op::JumpBack, header);
+        patch(jexit, here());
+        for (int j : loops.back().breakJumps)
+            patch(j, here());
+        loops.pop_back();
+    }
+
+    void
+    forStmt(const Stmt &s)
+    {
+        expr(*s.value);
+        emit(Op::GetIter);
+        int header = here();
+        loops.push_back(LoopCtx{header, {}});
+        int forIter = emit(Op::ForIter, -1);
+        if (s.targets.size() == 1) {
+            storeTarget(*s.targets[0]);
+        } else {
+            emit(Op::UnpackSequence, int32_t(s.targets.size()));
+            for (const ExprPtr &t : s.targets)
+                storeTarget(*t);
+        }
+        for (const StmtPtr &b : s.body)
+            stmt(*b);
+        emit(Op::JumpBack, header);
+        patch(forIter, here());
+        for (int j : loops.back().breakJumps)
+            patch(j, here());
+        loops.pop_back();
+        emit(Op::PopTop); // discard exhausted iterator
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    void
+    expr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            emit(Op::LoadConst, constInt(e.intValue));
+            break;
+          case ExprKind::FloatLit:
+            emit(Op::LoadConst, constIdx(space_.newFloat(e.floatValue)));
+            break;
+          case ExprKind::StrLit:
+            emit(Op::LoadConst, constIdx(space_.intern(e.strValue)));
+            break;
+          case ExprKind::BoolLit:
+            emit(Op::LoadConst,
+                 constIdx(e.boolValue ? space_.trueObj()
+                                      : space_.falseObj()));
+            break;
+          case ExprKind::NoneLit:
+            emit(Op::LoadConst, constIdx(space_.none()));
+            break;
+          case ExprKind::Name:
+            if (isLocal(e.strValue))
+                emit(Op::LoadFast, localIndex(e.strValue));
+            else
+                emit(Op::LoadGlobal, nameIdx(e.strValue));
+            break;
+          case ExprKind::BinOp:
+            expr(*e.a);
+            expr(*e.b);
+            emit(binOpFor(e.strValue, e.line));
+            break;
+          case ExprKind::UnaryOp:
+            expr(*e.a);
+            emit(e.strValue == "not" ? Op::UnaryNot : Op::UnaryNeg);
+            break;
+          case ExprKind::Compare: {
+            expr(*e.a);
+            expr(*e.b);
+            const std::string &op = e.strValue;
+            if (op == "<")
+                emit(Op::CmpLt);
+            else if (op == "<=")
+                emit(Op::CmpLe);
+            else if (op == "==")
+                emit(Op::CmpEq);
+            else if (op == "!=")
+                emit(Op::CmpNe);
+            else if (op == ">")
+                emit(Op::CmpGt);
+            else if (op == ">=")
+                emit(Op::CmpGe);
+            else if (op == "is")
+                emit(Op::CmpIs);
+            else if (op == "isnot")
+                emit(Op::CmpIsNot);
+            else if (op == "in")
+                emit(Op::CmpIn);
+            else if (op == "notin")
+                emit(Op::CmpNotIn);
+            else
+                XLVM_FATAL("bad comparison ", op);
+            break;
+          }
+          case ExprKind::BoolOp: {
+            expr(*e.a);
+            int j = emit(e.strValue == "and" ? Op::JumpIfFalseOrPop
+                                             : Op::JumpIfTrueOrPop,
+                         -1);
+            expr(*e.b);
+            patch(j, here());
+            break;
+          }
+          case ExprKind::Call: {
+            expr(*e.a);
+            for (const ExprPtr &arg : e.items)
+                expr(*arg);
+            emit(Op::CallFunction, int32_t(e.items.size()));
+            break;
+          }
+          case ExprKind::Attribute:
+            expr(*e.a);
+            emit(Op::LoadAttr, nameIdx(e.strValue));
+            break;
+          case ExprKind::Subscript:
+            expr(*e.a);
+            expr(*e.b);
+            emit(Op::BinSubscr);
+            break;
+          case ExprKind::Slice:
+            expr(*e.a);
+            if (e.b)
+                expr(*e.b);
+            else
+                emit(Op::LoadConst, constIdx(space_.none()));
+            if (e.c)
+                expr(*e.c);
+            else
+                emit(Op::LoadConst, constIdx(space_.none()));
+            emit(Op::LoadSlice);
+            break;
+          case ExprKind::ListDisplay:
+            for (const ExprPtr &it : e.items)
+                expr(*it);
+            emit(Op::BuildList, int32_t(e.items.size()));
+            break;
+          case ExprKind::TupleDisplay:
+            for (const ExprPtr &it : e.items)
+                expr(*it);
+            emit(Op::BuildTuple, int32_t(e.items.size()));
+            break;
+          case ExprKind::DictDisplay:
+            for (size_t i = 0; i < e.items.size(); ++i) {
+                expr(*e.items[i]);
+                expr(*e.values[i]);
+            }
+            emit(Op::BuildMap, int32_t(e.items.size()));
+            break;
+          case ExprKind::SetDisplay:
+            for (const ExprPtr &it : e.items)
+                expr(*it);
+            emit(Op::BuildSet, int32_t(e.items.size()));
+            break;
+        }
+    }
+
+    Program &program;
+    obj::ObjSpace &space_;
+    bool isModule;
+    std::unique_ptr<Code> code;
+    std::unordered_set<std::string> globals;
+    std::vector<LoopCtx> loops;
+};
+
+} // namespace
+
+std::unique_ptr<Program>
+compile(const Module &mod, obj::ObjSpace &space)
+{
+    auto prog = std::make_unique<Program>();
+    FnCompiler top(*prog, space, "<module>", {}, true);
+    Code *m = top.compileBody(mod.body);
+    prog->module = m;
+    return prog;
+}
+
+std::unique_ptr<Program>
+compileSource(const std::string &source, obj::ObjSpace &space)
+{
+    Module mod = parse(source);
+    return compile(mod, space);
+}
+
+} // namespace minipy
+} // namespace xlvm

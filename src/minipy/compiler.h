@@ -1,0 +1,31 @@
+/**
+ * @file
+ * MiniPy bytecode compiler.
+ */
+
+#ifndef XLVM_MINIPY_COMPILER_H
+#define XLVM_MINIPY_COMPILER_H
+
+#include <memory>
+
+#include "minipy/ast.h"
+#include "minipy/code.h"
+#include "obj/space.h"
+
+namespace xlvm {
+namespace minipy {
+
+/**
+ * Compile a parsed module. Constants are allocated in @p space's heap;
+ * register the returned Program as a GC root provider before executing.
+ */
+std::unique_ptr<Program> compile(const Module &mod, obj::ObjSpace &space);
+
+/** Convenience: parse + compile. */
+std::unique_ptr<Program> compileSource(const std::string &source,
+                                       obj::ObjSpace &space);
+
+} // namespace minipy
+} // namespace xlvm
+
+#endif // XLVM_MINIPY_COMPILER_H

@@ -1,0 +1,514 @@
+#include "minipy/interp.h"
+
+#include "jit/opt.h"
+#include "xlayer/annot.h"
+
+namespace xlvm {
+namespace minipy {
+
+using jit::BoxType;
+using jit::IrOp;
+using jit::kNoArg;
+using obj::CmpOp;
+using obj::W_BoundMethod;
+using obj::W_Class;
+using obj::W_Dict;
+using obj::W_Func;
+using obj::W_Instance;
+using obj::W_List;
+using obj::W_NativeFunc;
+using obj::W_Object;
+using obj::W_Str;
+using obj::W_Tuple;
+
+namespace {
+
+uint64_t
+mergeKey(const Code *code, uint32_t pc)
+{
+    return reinterpret_cast<uint64_t>(code) ^
+           (uint64_t(pc) * 0x9e3779b97f4a7c15ull);
+}
+
+} // namespace
+
+Interp::Interp(vm::VmContext &context, Program &program)
+    : ctx(context), prog(program)
+{
+    ctx.heap.addRootProvider(this);
+    ctx.heap.addRootProvider(&prog);
+    globalsDict = ctx.space.newDict();
+    installBuiltins(ctx.space, globalsDict);
+    dispatchPc = ctx.env.allocSite(64);
+    tracingCostPc = ctx.env.allocSite(64);
+    handlerPc.resize(size_t(Op::NumOps));
+    for (size_t i = 0; i < handlerPc.size(); ++i)
+        handlerPc[i] = ctx.env.allocSite(96);
+}
+
+Interp::~Interp()
+{
+    ctx.heap.removeRootProvider(&prog);
+    ctx.heap.removeRootProvider(this);
+}
+
+void
+Interp::forEachRoot(gc::GcVisitor &v)
+{
+    v.visit(globalsDict);
+    for (const auto &f : frames) {
+        for (W_Object *w : f->locals)
+            v.visit(w);
+        for (W_Object *w : f->stack)
+            v.visit(w);
+    }
+    if (recorder) {
+        recorder->forEachLiveRef([&](void *p) {
+            v.visit(static_cast<gc::GcObject *>(p));
+        });
+    }
+}
+
+bool
+Interp::run()
+{
+    pushFrame(prog.module, {}, {}, nullptr, false);
+    return loop();
+}
+
+void
+Interp::pushFrame(Code *code, std::vector<W_Object *> args,
+                  std::vector<int32_t> arg_encs, W_Func *fn,
+                  bool discard_return)
+{
+    auto f = std::make_unique<Frame>();
+    f->code = code;
+    f->locals.assign(code->localNames.size(), nullptr);
+    XLVM_ASSERT(args.size() <= code->numParams, "too many args to ",
+                code->name);
+    uint32_t missing = code->numParams - uint32_t(args.size());
+    XLVM_ASSERT(missing <= code->numDefaults, "missing args to ",
+                code->name, " (got ", args.size(), ", want ",
+                code->numParams, ")");
+    for (size_t i = 0; i < args.size(); ++i)
+        f->locals[i] = args[i];
+    if (missing && fn) {
+        size_t base = fn->defaults.size() - missing;
+        for (uint32_t i = 0; i < missing; ++i)
+            f->locals[args.size() + i] = fn->defaults[base + i];
+    }
+    if (recorder) {
+        f->localEnc.assign(f->locals.size(),
+                           recorder->constRef(nullptr));
+        for (size_t i = 0; i < args.size(); ++i) {
+            f->localEnc[i] = i < arg_encs.size() &&
+                                     arg_encs[i] != jit::kNoArg
+                                 ? arg_encs[i]
+                                 : recorder->refEncoding(args[i]);
+        }
+        if (missing && fn) {
+            size_t base = fn->defaults.size() - missing;
+            for (uint32_t i = 0; i < missing; ++i) {
+                f->localEnc[args.size() + i] =
+                    recorder->refEncoding(fn->defaults[base + i]);
+            }
+        }
+    }
+    f->discardReturn = discard_return;
+    frames.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------- JIT glue
+
+void
+Interp::bumpLoopCounter(Code *code, uint32_t target_pc)
+{
+    if (!ctx.config.jit.enableJit || tracing())
+        return;
+    uint64_t key = mergeKey(code, target_pc);
+    auto pen = abortPenalty.find(key);
+    if (pen != abortPenalty.end()) {
+        if (--pen->second > 0)
+            return;
+        abortPenalty.erase(pen);
+    }
+    uint32_t &ctr = loopCounters[key];
+    if (++ctr >= ctx.config.jit.loopThreshold) {
+        ctr = 0;
+        if (!ctx.registry.loopFor(code, target_pc))
+            startLoopTrace(code, target_pc);
+    }
+}
+
+void
+Interp::startLoopTrace(Code *code, uint32_t pc)
+{
+    recorder = std::make_unique<jit::Recorder>(
+        code, pc, /*bridge=*/false,
+        jit::RecorderLimits{ctx.config.jit.maxTraceOps});
+    traceRootFrame = frames.back().get();
+    traceRootDepth = frames.size() - 1;
+    traceAnchorCode = code;
+    traceAnchorPc = pc;
+    recordingBridge = false;
+    lastRecordedOps = 0;
+    ++tracesStarted;
+
+    // Inputs: root frame locals + stack; each slot's shadow encoding is
+    // its own input box.
+    recorder->setAnchorLocals(uint32_t(traceRootFrame->locals.size()));
+    Frame &rf = *traceRootFrame;
+    rf.localEnc.clear();
+    rf.stackEnc.clear();
+    for (W_Object *w : rf.locals)
+        rf.localEnc.push_back(recorder->addInputRef(w));
+    for (W_Object *w : rf.stack)
+        rf.stackEnc.push_back(recorder->addInputRef(w));
+
+    ctx.env.setRecorder(recorder.get());
+    sim::BlockEmitter e(ctx.core, tracingCostPc);
+    e.annot(xlayer::kPhaseEnter, uint32_t(xlayer::Phase::Tracing));
+}
+
+void
+Interp::startBridgeTrace(uint32_t parent_trace, uint32_t guard_idx,
+                         size_t root_depth)
+{
+    recorder = std::make_unique<jit::Recorder>(
+        frames[root_depth]->code, frames[root_depth]->pc, /*bridge=*/true,
+        jit::RecorderLimits{ctx.config.jit.maxTraceOps});
+    traceRootFrame = frames[root_depth].get();
+    traceRootDepth = root_depth;
+    traceAnchorCode = nullptr;
+    traceAnchorPc = 0;
+    recordingBridge = true;
+    bridgeParentTrace = parent_trace;
+    bridgeGuardIdx = guard_idx;
+    lastRecordedOps = 0;
+    ++tracesStarted;
+
+    // Inputs: every slot of every frame from the bridge root to the top,
+    // matching TraceExecutor's flattenState order; slot shadows are the
+    // input boxes.
+    for (size_t d = root_depth; d < frames.size(); ++d) {
+        Frame &bf = *frames[d];
+        bf.localEnc.clear();
+        bf.stackEnc.clear();
+        for (W_Object *w : bf.locals)
+            bf.localEnc.push_back(recorder->addInputRef(w));
+        for (W_Object *w : bf.stack)
+            bf.stackEnc.push_back(recorder->addInputRef(w));
+    }
+
+    ctx.env.setRecorder(recorder.get());
+    sim::BlockEmitter e(ctx.core, tracingCostPc);
+    e.annot(xlayer::kPhaseEnter, uint32_t(xlayer::Phase::Tracing));
+}
+
+void
+Interp::abortTrace(const char *reason)
+{
+#ifdef XLVM_DEBUG_TRACE
+    std::fprintf(stderr, "ABORT: %s (bridge=%d)\n", reason,
+                 int(recordingBridge));
+#endif
+    (void)reason;
+    ++tracesAbortedCount;
+    if (traceAnchorCode) {
+        abortPenalty[mergeKey(traceAnchorCode, traceAnchorPc)] =
+            ctx.config.jit.abortPenalty;
+    }
+    sim::BlockEmitter e(ctx.core, tracingCostPc);
+    e.annot(xlayer::kTraceAborted, 0);
+    e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Tracing));
+    ctx.env.setRecorder(nullptr);
+    recorder.reset();
+}
+
+void
+Interp::registerAndAttach(jit::Trace &&raw, bool is_bridge,
+                          jit::Trace *bridge_target)
+{
+    (void)bridge_target;
+    uint32_t id = ctx.registry.nextId();
+
+    // Optimize + assemble; charge compilation cost to the Tracing phase
+    // proportional to the recorded trace length.
+    jit::OptParams op;
+    op.foldConstants = ctx.config.jit.optFoldConstants;
+    op.elideGuards = ctx.config.jit.optElideGuards;
+    op.heapCache = ctx.config.jit.optHeapCache;
+    op.virtualize = ctx.config.jit.optVirtualize;
+    op.classOf = [](void *p) {
+        return p ? uint32_t(static_cast<W_Object *>(p)->typeId()) : 0u;
+    };
+    uint32_t rawOps = uint32_t(raw.ops.size());
+#ifdef XLVM_DEBUG_TRACE
+    raw.id = id;
+    std::fprintf(stderr, "=== RAW %s\n", raw.dump().c_str());
+#endif
+    auto optimized = std::make_unique<jit::Trace>(
+        jit::optimize(raw, op, nullptr));
+    optimized->id = id;
+    ctx.backend.compile(*optimized);
+
+    uint64_t work =
+        uint64_t(rawOps) * ctx.env.costs().optPerOpInsts;
+    for (uint64_t i = 0; i < work; i += 4) {
+        sim::BlockEmitter body(ctx.core, tracingCostPc + 32);
+        body.load(tracingCostPc + (i % 256) * 8, 1);
+        body.alu(2);
+        body.branch(i % 16 == 0);
+    }
+
+    sim::BlockEmitter e(ctx.core, tracingCostPc);
+    e.annot(is_bridge ? xlayer::kBridgeCompiled : xlayer::kLoopCompiled,
+            id);
+    e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Tracing));
+
+    ctx.registry.add(std::move(optimized));
+}
+
+std::vector<int32_t>
+Interp::frameSlotEncodings(Frame &f)
+{
+    XLVM_ASSERT(f.localEnc.size() == f.locals.size() &&
+                    f.stackEnc.size() == f.stack.size(),
+                "shadow stacks out of sync in ", f.code->name);
+    std::vector<int32_t> out;
+    out.reserve(f.localEnc.size() + f.stackEnc.size());
+    out.insert(out.end(), f.localEnc.begin(), f.localEnc.end());
+    out.insert(out.end(), f.stackEnc.begin(), f.stackEnc.end());
+    return out;
+}
+
+void
+Interp::finishLoopTrace()
+{
+    recorder->closeLoop(frameSlotEncodings(*traceRootFrame));
+    jit::Trace raw = recorder->take();
+    ctx.env.setRecorder(nullptr);
+    recorder.reset();
+    ++tracesCompleted;
+    registerAndAttach(std::move(raw), false, nullptr);
+}
+
+void
+Interp::finishBridgeTrace(jit::Trace *target)
+{
+    recorder->closeBridge(target->id,
+                          frameSlotEncodings(*traceRootFrame));
+    jit::Trace raw = recorder->take();
+    ctx.env.setRecorder(nullptr);
+    recorder.reset();
+    ++bridgesCompleted;
+    uint32_t bridgeId = ctx.registry.nextId();
+    registerAndAttach(std::move(raw), true, target);
+    ctx.registry.byId(bridgeParentTrace)
+        ->guardStates[bridgeGuardIdx]
+        .bridgeTraceId = int32_t(bridgeId);
+}
+
+jit::Snapshot
+Interp::captureSnapshot()
+{
+    jit::Snapshot snap;
+    for (size_t d = traceRootDepth; d < frames.size(); ++d) {
+        Frame &f = *frames[d];
+        XLVM_ASSERT(f.localEnc.size() == f.locals.size() &&
+                        f.stackEnc.size() == f.stack.size(),
+                    "shadow stacks out of sync in ", f.code->name);
+        jit::FrameSnapshot fs;
+        fs.code = f.code;
+        fs.pc = f.pc;
+        fs.locals = f.localEnc;
+        fs.stack = f.stackEnc;
+        snap.frames.push_back(std::move(fs));
+    }
+    return snap;
+}
+
+bool
+Interp::maybeEnterCompiledTrace(Frame &f)
+{
+    jit::Trace *t = ctx.registry.loopFor(f.code, f.pc);
+    if (!t)
+        return false;
+    if (t->numInputs != f.locals.size() + f.stack.size())
+        return false;
+    std::vector<jit::RtVal> inputs;
+    inputs.reserve(t->numInputs);
+    for (W_Object *w : f.locals)
+        inputs.push_back(jit::RtVal::fromRef(w));
+    for (W_Object *w : f.stack)
+        inputs.push_back(jit::RtVal::fromRef(w));
+
+    size_t rootDepth = frames.size() - 1;
+    vm::DeoptResult res = ctx.executor.run(*t, std::move(inputs));
+    applyDeopt(res, rootDepth);
+
+    // Bridge requests from hot guard exits.
+    if (!ctx.executor.hotGuards.empty()) {
+        auto [tid, gidx] = ctx.executor.hotGuards.back();
+        ctx.executor.hotGuards.clear();
+        if (!tracing() && tid == res.traceId && gidx == res.guardOpIdx) {
+            size_t bridgeRoot = frames.size() - res.frames.size();
+            startBridgeTrace(tid, gidx, bridgeRoot);
+        }
+    }
+    return true;
+}
+
+void
+Interp::applyDeopt(const vm::DeoptResult &res, size_t root_depth)
+{
+    XLVM_ASSERT(!res.frames.empty(), "empty deopt state");
+    XLVM_ASSERT(root_depth < frames.size(), "bad deopt root depth");
+    // The outermost deopt frame replaces the frame the trace was entered
+    // from; inlined frames are pushed above it.
+    frames.resize(root_depth + 1);
+    Frame &base = *frames[root_depth];
+    XLVM_ASSERT(base.code == static_cast<Code *>(res.frames[0].code),
+                "deopt code mismatch");
+    base.pc = res.frames[0].pc;
+    base.locals = res.frames[0].locals;
+    base.stack = res.frames[0].stack;
+    for (size_t i = 1; i < res.frames.size(); ++i) {
+        auto nf = std::make_unique<Frame>();
+        nf->code = static_cast<Code *>(res.frames[i].code);
+        nf->pc = res.frames[i].pc;
+        nf->locals = res.frames[i].locals;
+        nf->stack = res.frames[i].stack;
+        frames.push_back(std::move(nf));
+    }
+}
+
+bool
+Interp::maybeCallAssembler(Frame &f)
+{
+    // While tracing, an inner compiled loop becomes call_assembler.
+    jit::Trace *t = ctx.registry.loopFor(f.code, f.pc);
+    if (!t)
+        return false;
+    if (t->numInputs != f.locals.size() + f.stack.size())
+        return false;
+    // If an inner trace entered here deopts without advancing (e.g., an
+    // exhausted iterator at the header), re-running it would loop
+    // forever without ever reaching the trace-length check. Require one
+    // interpreted dispatch in between.
+    if (lastCallAsmDispatch == executedCount &&
+        lastCallAsmFrame == &f && lastCallAsmPc == f.pc)
+        return false;
+    lastCallAsmDispatch = executedCount;
+    lastCallAsmFrame = &f;
+    lastCallAsmPc = f.pc;
+
+    // Capture input encodings before executing.
+    std::vector<int32_t> inEncs = frameSlotEncodings(f);
+    std::vector<jit::RtVal> inputs;
+    inputs.reserve(t->numInputs);
+    for (W_Object *w : f.locals)
+        inputs.push_back(jit::RtVal::fromRef(w));
+    for (W_Object *w : f.stack)
+        inputs.push_back(jit::RtVal::fromRef(w));
+
+    size_t depthBefore = frames.size() - 1;
+    vm::DeoptResult res = ctx.executor.run(*t, std::move(inputs));
+    ctx.executor.hotGuards.clear(); // no bridges while tracing
+
+    if (res.frames.size() != 1 ||
+        static_cast<Code *>(res.frames[0].code) != f.code) {
+        // Exit state not expressible as call_assembler: the real state
+        // has advanced, so the recording is no longer a prefix — abort.
+        abortTrace("call_assembler multi-frame exit");
+        applyDeopt(res, depthBefore);
+        return true;
+    }
+
+    // Record the call with input refs, fresh output boxes, and (from
+    // frames[2] on) a resume snapshot of the *outer* frames so an
+    // unexpected inner exit can reconstruct the full interpreter state.
+    jit::Snapshot io;
+    jit::FrameSnapshot inF;
+    inF.stack = std::move(inEncs);
+    io.frames.push_back(std::move(inF));
+    jit::FrameSnapshot outF;
+    outF.code = res.frames[0].code;
+    outF.pc = res.frames[0].pc;
+    for (W_Object *w : res.frames[0].locals) {
+        int32_t box = recorder->newRefBox();
+        if (w)
+            recorder->mapRef(w, box);
+        outF.locals.push_back(box);
+    }
+    for (W_Object *w : res.frames[0].stack) {
+        int32_t box = recorder->newRefBox();
+        if (w)
+            recorder->mapRef(w, box);
+        outF.stack.push_back(box);
+    }
+    io.frames.push_back(std::move(outF));
+    for (size_t d = traceRootDepth; d + 1 < frames.size(); ++d) {
+        Frame &outer = *frames[d];
+        jit::FrameSnapshot ofs;
+        ofs.code = outer.code;
+        ofs.pc = outer.pc;
+        for (W_Object *w : outer.locals) {
+            ofs.locals.push_back(w ? recorder->refEncoding(w)
+                                   : recorder->constRef(nullptr));
+        }
+        for (W_Object *w : outer.stack)
+            ofs.stack.push_back(recorder->refEncoding(w));
+        io.frames.push_back(std::move(ofs));
+    }
+    // Keep a copy of the output encodings to restore slot shadows.
+    std::vector<int32_t> outLocalEnc = io.frames[1].locals;
+    std::vector<int32_t> outStackEnc = io.frames[1].stack;
+    recorder->recordCallAssembler(t->id, std::move(io),
+                                  res.frames[0].pc);
+
+    applyDeopt(res, depthBefore);
+    Frame &restored = *frames.back();
+    restored.localEnc = std::move(outLocalEnc);
+    restored.stackEnc = std::move(outStackEnc);
+    return true;
+}
+
+void
+Interp::emitTracingCost()
+{
+    uint32_t ops = recorder->numOps();
+    uint32_t delta = ops - lastRecordedOps;
+    lastRecordedOps = ops;
+    uint64_t work =
+        uint64_t(delta) * ctx.env.costs().tracePerOpInsts;
+    for (uint64_t i = 0; i < work; i += 5) {
+        sim::BlockEmitter e(ctx.core, tracingCostPc + 16);
+        e.load(tracingCostPc + (i % 128) * 8, 2);
+        e.alu(2);
+        e.store(tracingCostPc + 0x400 + (i % 128) * 8);
+        e.branch(i % 10 == 0);
+    }
+}
+
+void
+Interp::emitDispatch(uint8_t opcode)
+{
+    const obj::CostParams &c = ctx.env.costs();
+    sim::BlockEmitter e(ctx.core, dispatchPc);
+    e.annot(xlayer::kDispatch, opcode);
+    for (uint32_t i = 0; i < c.dispatchLoads; ++i)
+        e.loadPtr(this, c.interpLoadStall);
+    e.alu(c.dispatchAlus);
+    if (ctx.env.isRPython()) {
+        e.alu(c.rpyDispatchExtraAlus);
+        for (uint32_t i = 0; i < c.rpyDispatchExtraLoads; ++i)
+            e.loadPtr(&frames, 1);
+    }
+    e.indirectJump(handlerPc[opcode]);
+    sim::BlockEmitter h(ctx.core, handlerPc[opcode]);
+    h.alu(c.handlerEntryAlus);
+}
+
+} // namespace minipy
+} // namespace xlvm

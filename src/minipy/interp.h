@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The MiniPy bytecode interpreter, written against the meta-tracing
+ * framework the way an RPython interpreter is:
+ *
+ *  - every dispatch-loop iteration emits the kDispatch cross-layer
+ *    annotation (the paper's unit of completed work);
+ *  - backward jumps are can_enter_jit points with hot-loop counters;
+ *  - when a loop gets hot the interpreter keeps executing while the
+ *    recorder captures every object-space operation (meta-tracing);
+ *  - compiled loops are entered at their merge points; guard failures
+ *    return deoptimized frame states that the interpreter resumes;
+ *  - hot guard exits trigger bridge tracing; inner compiled loops
+ *    encountered while tracing become call_assembler ops.
+ */
+
+#ifndef XLVM_MINIPY_INTERP_H
+#define XLVM_MINIPY_INTERP_H
+
+#include <string>
+#include <unordered_map>
+
+#include "minipy/code.h"
+#include "vm/context.h"
+
+namespace xlvm {
+namespace minipy {
+
+/** Builtin function ids (W_NativeFunc::builtinId). */
+enum BuiltinId : uint32_t
+{
+    kBiPrint = 0,
+    kBiRange,
+    kBiLen,
+    kBiAbs,
+    kBiMin,
+    kBiMax,
+    kBiInt,
+    kBiFloat,
+    kBiStr,
+    kBiBool,
+    kBiChr,
+    kBiOrd,
+    kBiList,
+    kBiTuple,
+    kBiDict,
+    kBiSet,
+    kBiSqrt,
+    kBiSin,
+    kBiCos,
+    kBiExp,
+    kBiLog,
+    kBiFloor,
+    kBiPow,
+    kBiJsonEscape,
+    // methods
+    kBiListAppend,
+    kBiListPop,
+    kBiListSort,
+    kBiListReverse,
+    kBiListExtend,
+    kBiListIndex,
+    kBiListInsert,
+    kBiStrJoin,
+    kBiStrSplit,
+    kBiStrReplace,
+    kBiStrFind,
+    kBiStrLower,
+    kBiStrUpper,
+    kBiStrStrip,
+    kBiStrStartswith,
+    kBiStrEndswith,
+    kBiStrCount,
+    kBiDictGet,
+    kBiDictKeys,
+    kBiDictValues,
+    kBiDictPop,
+    kBiSetAdd,
+    kBiSetDiscard,
+    kBiSetIssubset,
+    kBiSetUnion,
+    kBiSetIntersection,
+    kBiSetDifference,
+    // MiniRkt support
+    kBiDisplay,
+    kBiNewline,
+    kBiCons,
+    kBiCar,
+    kBiCdr,
+    kBiMakeVector,
+    kBiNumBuiltins
+};
+
+class Interp : public gc::RootProvider
+{
+  public:
+    Interp(vm::VmContext &ctx, Program &program);
+    ~Interp() override;
+
+    /**
+     * Execute the module body. Returns false if the instruction budget
+     * ran out before completion.
+     */
+    bool run();
+
+    /** Accumulated print() output. */
+    const std::string &output() const { return printed; }
+
+    obj::W_Dict *globals() { return globalsDict; }
+
+    void forEachRoot(gc::GcVisitor &v) override;
+
+    // ---- statistics -----------------------------------------------------
+    uint64_t dispatchCount = 0;
+    /** Bytecodes actually executed (excludes merge-point re-dispatches). */
+    uint64_t executedCount = 0;
+    uint64_t tracesStarted = 0;
+    uint64_t tracesCompleted = 0;
+    uint64_t tracesAbortedCount = 0;
+    uint64_t bridgesCompleted = 0;
+
+  private:
+    struct Frame
+    {
+        Code *code = nullptr;
+        uint32_t pc = 0;
+        std::vector<obj::W_Object *> locals;
+        std::vector<obj::W_Object *> stack;
+        /**
+         * Shadow encodings, maintained only while tracing: the IR
+         * encoding of each local / stack slot, captured when the value
+         * entered the slot (slot-accurate, unlike identity lookup).
+         */
+        std::vector<int32_t> localEnc;
+        std::vector<int32_t> stackEnc;
+        /** Class-instantiation frames discard their return value. */
+        bool discardReturn = false;
+
+        obj::W_Object *top() { return stack.back(); }
+    };
+
+    /** Push/pop carrying shadow encodings (kNoArg = capture now). */
+    void pushV(Frame &f, obj::W_Object *w, int32_t enc = jit::kNoArg);
+    obj::W_Object *popV(Frame &f, int32_t *enc = nullptr);
+
+    // ---- main loop -------------------------------------------------------
+    bool loop();
+    void pushFrame(Code *code, std::vector<obj::W_Object *> args,
+                   std::vector<int32_t> arg_encs, obj::W_Func *fn,
+                   bool discard_return);
+    void callValue(Frame &f, obj::W_Object *callee, int32_t callee_enc,
+                   std::vector<obj::W_Object *> args,
+                   std::vector<int32_t> arg_encs);
+    friend obj::W_Object *callBuiltin(Interp &in, uint32_t id,
+                                      std::vector<obj::W_Object *> &args);
+
+    // ---- JIT glue ---------------------------------------------------------
+    void bumpLoopCounter(Code *code, uint32_t target_pc);
+    void startLoopTrace(Code *code, uint32_t pc);
+    void startBridgeTrace(uint32_t parent_trace, uint32_t guard_idx,
+                          size_t root_depth);
+    void abortTrace(const char *reason);
+    void finishLoopTrace();
+    void finishBridgeTrace(jit::Trace *target);
+    bool maybeEnterCompiledTrace(Frame &f);
+    /** Returns true if an inner compiled trace was executed. */
+    bool maybeCallAssembler(Frame &f);
+    void applyDeopt(const vm::DeoptResult &res, size_t root_depth);
+    jit::Snapshot captureSnapshot();
+    std::vector<int32_t> frameSlotEncodings(Frame &f);
+    void emitTracingCost();
+    void registerAndAttach(jit::Trace &&raw, bool is_bridge,
+                           jit::Trace *bridge_target);
+
+    // ---- helpers ------------------------------------------------------
+    void emitDispatch(uint8_t opcode);
+    obj::ObjSpace &space() { return ctx.space; }
+    jit::Recorder *rec() { return ctx.env.recorder(); }
+    bool tracing() const { return recorder != nullptr; }
+
+    vm::VmContext &ctx;
+    Program &prog;
+    obj::W_Dict *globalsDict = nullptr;
+    std::vector<std::unique_ptr<Frame>> frames;
+    std::string printed;
+
+    /** Hot-loop counters keyed by (code, pc). */
+    std::unordered_map<uint64_t, uint32_t> loopCounters;
+    /** Merge points blacklisted after aborts (penalty countdown). */
+    std::unordered_map<uint64_t, uint32_t> abortPenalty;
+
+    // Active recording state.
+    std::unique_ptr<jit::Recorder> recorder;
+    Frame *traceRootFrame = nullptr;
+    size_t traceRootDepth = 0;
+    Code *traceAnchorCode = nullptr;
+    uint32_t traceAnchorPc = 0;
+    bool recordingBridge = false;
+    uint32_t bridgeParentTrace = 0;
+    uint32_t bridgeGuardIdx = 0;
+    uint32_t lastRecordedOps = 0;
+    /** Re-arm guard: one interpreted dispatch required between two
+     *  call_assembler attempts at the same merge point. */
+    uint64_t lastCallAsmDispatch = ~0ull;
+    void *lastCallAsmFrame = nullptr;
+    uint32_t lastCallAsmPc = 0;
+
+    // Synthetic code sites.
+    uint64_t dispatchPc = 0;
+    uint64_t tracingCostPc = 0;
+    std::vector<uint64_t> handlerPc;
+};
+
+/** Perform one builtin call (implemented in builtins.cc). */
+obj::W_Object *callBuiltin(Interp &in, uint32_t id,
+                           std::vector<obj::W_Object *> &args);
+
+/** Install builtin functions into a globals dict. */
+void installBuiltins(obj::ObjSpace &space, obj::W_Dict *globals);
+
+/** Builtin method lookup for non-instance receivers; 0 if unknown. */
+uint32_t builtinMethodFor(uint16_t type_id, const std::string &name);
+
+} // namespace minipy
+} // namespace xlvm
+
+#endif // XLVM_MINIPY_INTERP_H

@@ -1,0 +1,445 @@
+#include "minipy/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace minipy {
+
+namespace {
+
+const std::unordered_map<std::string, Tok> kKeywords = {
+    {"def", Tok::KwDef},       {"class", Tok::KwClass},
+    {"if", Tok::KwIf},         {"elif", Tok::KwElif},
+    {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+    {"for", Tok::KwFor},       {"in", Tok::KwIn},
+    {"return", Tok::KwReturn}, {"pass", Tok::KwPass},
+    {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+    {"and", Tok::KwAnd},       {"or", Tok::KwOr},
+    {"not", Tok::KwNot},       {"True", Tok::KwTrue},
+    {"False", Tok::KwFalse},   {"None", Tok::KwNone},
+    {"global", Tok::KwGlobal}, {"is", Tok::KwIs},
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : s(src) {}
+
+    std::vector<Token>
+    run()
+    {
+        indents.push_back(0);
+        bool at_line_start = true;
+        while (pos < s.size()) {
+            if (at_line_start && bracketDepth == 0) {
+                if (!handleIndentation())
+                    break;
+                at_line_start = false;
+                continue;
+            }
+            char c = s[pos];
+            if (c == '\n') {
+                ++pos;
+                ++line;
+                if (bracketDepth == 0) {
+                    if (!out.empty() && out.back().kind != Tok::Newline &&
+                        out.back().kind != Tok::Indent &&
+                        out.back().kind != Tok::Dedent) {
+                        push(Tok::Newline);
+                    }
+                    at_line_start = true;
+                }
+                continue;
+            }
+            if (c == ' ' || c == '\t' || c == '\r') {
+                ++pos;
+                continue;
+            }
+            if (c == '#') {
+                while (pos < s.size() && s[pos] != '\n')
+                    ++pos;
+                continue;
+            }
+            if (c == '\\' && pos + 1 < s.size() && s[pos + 1] == '\n') {
+                pos += 2;
+                ++line;
+                continue;
+            }
+            if (std::isdigit(uint8_t(c)) ||
+                (c == '.' && pos + 1 < s.size() &&
+                 std::isdigit(uint8_t(s[pos + 1])))) {
+                lexNumber();
+                continue;
+            }
+            if (std::isalpha(uint8_t(c)) || c == '_') {
+                lexNameOrKeyword();
+                continue;
+            }
+            if (c == '"' || c == '\'') {
+                lexString(c);
+                continue;
+            }
+            lexOperator();
+        }
+        // Final newline + dedents.
+        if (!out.empty() && out.back().kind != Tok::Newline)
+            push(Tok::Newline);
+        while (indents.size() > 1) {
+            indents.pop_back();
+            push(Tok::Dedent);
+        }
+        push(Tok::End);
+        return std::move(out);
+    }
+
+  private:
+    void
+    push(Tok kind)
+    {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        out.push_back(std::move(t));
+    }
+
+    /** Returns false at end of input. */
+    bool
+    handleIndentation()
+    {
+        // Measure leading whitespace; skip blank/comment-only lines.
+        while (true) {
+            size_t start = pos;
+            int width = 0;
+            while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) {
+                width += s[pos] == '\t' ? 8 - width % 8 : 1;
+                ++pos;
+            }
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == '\n') {
+                ++pos;
+                ++line;
+                continue;
+            }
+            if (s[pos] == '#') {
+                while (pos < s.size() && s[pos] != '\n')
+                    ++pos;
+                continue;
+            }
+            (void)start;
+            if (width > indents.back()) {
+                indents.push_back(width);
+                push(Tok::Indent);
+            } else {
+                while (width < indents.back()) {
+                    indents.pop_back();
+                    push(Tok::Dedent);
+                }
+                XLVM_ASSERT(width == indents.back(),
+                            "inconsistent indentation at line ", line);
+            }
+            return true;
+        }
+    }
+
+    void
+    lexNumber()
+    {
+        size_t start = pos;
+        bool isFloat = false;
+        if (s[pos] == '0' && pos + 1 < s.size() &&
+            (s[pos + 1] == 'x' || s[pos + 1] == 'X')) {
+            pos += 2;
+            while (pos < s.size() && std::isxdigit(uint8_t(s[pos])))
+                ++pos;
+            Token t;
+            t.kind = Tok::Int;
+            t.line = line;
+            t.intValue = int64_t(
+                std::stoull(s.substr(start + 2, pos - start - 2), nullptr,
+                            16));
+            out.push_back(std::move(t));
+            return;
+        }
+        while (pos < s.size() && std::isdigit(uint8_t(s[pos])))
+            ++pos;
+        if (pos < s.size() && s[pos] == '.' &&
+            !(pos + 1 < s.size() && s[pos + 1] == '.')) {
+            isFloat = true;
+            ++pos;
+            while (pos < s.size() && std::isdigit(uint8_t(s[pos])))
+                ++pos;
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            isFloat = true;
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            while (pos < s.size() && std::isdigit(uint8_t(s[pos])))
+                ++pos;
+        }
+        Token t;
+        t.line = line;
+        std::string text = s.substr(start, pos - start);
+        if (isFloat) {
+            t.kind = Tok::Float;
+            t.floatValue = std::stod(text);
+        } else {
+            t.kind = Tok::Int;
+            t.intValue = int64_t(std::stoull(text));
+        }
+        out.push_back(std::move(t));
+    }
+
+    void
+    lexNameOrKeyword()
+    {
+        size_t start = pos;
+        while (pos < s.size() &&
+               (std::isalnum(uint8_t(s[pos])) || s[pos] == '_'))
+            ++pos;
+        std::string name = s.substr(start, pos - start);
+        auto it = kKeywords.find(name);
+        if (it != kKeywords.end()) {
+            // Synthesize "not in" and "is not".
+            if (it->second == Tok::KwNot && !out.empty() &&
+                out.back().kind == Tok::KwIs) {
+                out.back().kind = Tok::KwIsNot;
+                return;
+            }
+            if (it->second == Tok::KwIn && !out.empty() &&
+                out.back().kind == Tok::KwNot) {
+                out.back().kind = Tok::KwNotIn;
+                return;
+            }
+            push(it->second);
+            return;
+        }
+        Token t;
+        t.kind = Tok::Name;
+        t.text = std::move(name);
+        t.line = line;
+        out.push_back(std::move(t));
+    }
+
+    void
+    lexString(char quote)
+    {
+        ++pos;
+        std::string value;
+        while (pos < s.size() && s[pos] != quote) {
+            char c = s[pos];
+            if (c == '\\' && pos + 1 < s.size()) {
+                ++pos;
+                switch (s[pos]) {
+                  case 'n':
+                    value.push_back('\n');
+                    break;
+                  case 't':
+                    value.push_back('\t');
+                    break;
+                  case 'r':
+                    value.push_back('\r');
+                    break;
+                  case '0':
+                    value.push_back('\0');
+                    break;
+                  case '\\':
+                    value.push_back('\\');
+                    break;
+                  case '\'':
+                    value.push_back('\'');
+                    break;
+                  case '"':
+                    value.push_back('"');
+                    break;
+                  default:
+                    value.push_back(s[pos]);
+                    break;
+                }
+                ++pos;
+            } else {
+                XLVM_ASSERT(c != '\n', "unterminated string at line ",
+                            line);
+                value.push_back(c);
+                ++pos;
+            }
+        }
+        XLVM_ASSERT(pos < s.size(), "unterminated string at line ", line);
+        ++pos;
+        Token t;
+        t.kind = Tok::Str;
+        t.text = std::move(value);
+        t.line = line;
+        out.push_back(std::move(t));
+    }
+
+    void
+    lexOperator()
+    {
+        char c = s[pos];
+        auto two = [&](char n) {
+            return pos + 1 < s.size() && s[pos + 1] == n;
+        };
+        auto three = [&](char n1, char n2) {
+            return pos + 2 < s.size() && s[pos + 1] == n1 &&
+                   s[pos + 2] == n2;
+        };
+        Tok kind;
+        int len = 1;
+        switch (c) {
+          case '(':
+            kind = Tok::LParen;
+            ++bracketDepth;
+            break;
+          case ')':
+            kind = Tok::RParen;
+            --bracketDepth;
+            break;
+          case '[':
+            kind = Tok::LBracket;
+            ++bracketDepth;
+            break;
+          case ']':
+            kind = Tok::RBracket;
+            --bracketDepth;
+            break;
+          case '{':
+            kind = Tok::LBrace;
+            ++bracketDepth;
+            break;
+          case '}':
+            kind = Tok::RBrace;
+            --bracketDepth;
+            break;
+          case ',':
+            kind = Tok::Comma;
+            break;
+          case ':':
+            kind = Tok::Colon;
+            break;
+          case '.':
+            kind = Tok::Dot;
+            break;
+          case '+':
+            kind = two('=') ? (len = 2, Tok::PlusEq) : Tok::Plus;
+            break;
+          case '-':
+            kind = two('=') ? (len = 2, Tok::MinusEq) : Tok::Minus;
+            break;
+          case '*':
+            if (two('*'))
+                kind = (len = 2, Tok::StarStar);
+            else if (two('='))
+                kind = (len = 2, Tok::StarEq);
+            else
+                kind = Tok::Star;
+            break;
+          case '/':
+            if (three('/', '='))
+                kind = (len = 3, Tok::SlashSlashEq);
+            else if (two('/'))
+                kind = (len = 2, Tok::SlashSlash);
+            else if (two('='))
+                kind = (len = 2, Tok::SlashEq);
+            else
+                kind = Tok::Slash;
+            break;
+          case '%':
+            kind = two('=') ? (len = 2, Tok::PercentEq) : Tok::Percent;
+            break;
+          case '&':
+            kind = two('=') ? (len = 2, Tok::AmpEq) : Tok::Amp;
+            break;
+          case '|':
+            kind = two('=') ? (len = 2, Tok::PipeEq) : Tok::Pipe;
+            break;
+          case '^':
+            kind = two('=') ? (len = 2, Tok::CaretEq) : Tok::Caret;
+            break;
+          case '<':
+            if (three('<', '='))
+                kind = (len = 3, Tok::LtLtEq);
+            else if (two('<'))
+                kind = (len = 2, Tok::LtLt);
+            else if (two('='))
+                kind = (len = 2, Tok::Le);
+            else
+                kind = Tok::Lt;
+            break;
+          case '>':
+            if (three('>', '='))
+                kind = (len = 3, Tok::GtGtEq);
+            else if (two('>'))
+                kind = (len = 2, Tok::GtGt);
+            else if (two('='))
+                kind = (len = 2, Tok::Ge);
+            else
+                kind = Tok::Gt;
+            break;
+          case '=':
+            kind = two('=') ? (len = 2, Tok::EqEq) : Tok::Assign;
+            break;
+          case '!':
+            XLVM_ASSERT(two('='), "unexpected '!' at line ", line);
+            kind = Tok::NotEq;
+            len = 2;
+            break;
+          default:
+            XLVM_FATAL("unexpected character '", c, "' at line ", line);
+        }
+        pos += len;
+        push(kind);
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+    int line = 1;
+    int bracketDepth = 0;
+    std::vector<int> indents;
+    std::vector<Token> out;
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End: return "<end>";
+      case Tok::Newline: return "<newline>";
+      case Tok::Indent: return "<indent>";
+      case Tok::Dedent: return "<dedent>";
+      case Tok::Name: return "name";
+      case Tok::Int: return "int";
+      case Tok::Float: return "float";
+      case Tok::Str: return "str";
+      case Tok::KwDef: return "def";
+      case Tok::KwClass: return "class";
+      case Tok::KwIf: return "if";
+      case Tok::KwElif: return "elif";
+      case Tok::KwElse: return "else";
+      case Tok::KwWhile: return "while";
+      case Tok::KwFor: return "for";
+      case Tok::KwIn: return "in";
+      case Tok::KwReturn: return "return";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::Comma: return ",";
+      case Tok::Colon: return ":";
+      case Tok::Assign: return "=";
+      default: return "<tok>";
+    }
+}
+
+} // namespace minipy
+} // namespace xlvm

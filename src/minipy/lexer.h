@@ -1,0 +1,111 @@
+/**
+ * @file
+ * MiniPy lexer: a Python-style tokenizer with INDENT/DEDENT tracking.
+ */
+
+#ifndef XLVM_MINIPY_LEXER_H
+#define XLVM_MINIPY_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xlvm {
+namespace minipy {
+
+enum class Tok : uint8_t
+{
+    End,
+    Newline,
+    Indent,
+    Dedent,
+    Name,
+    Int,
+    Float,
+    Str,
+    // keywords
+    KwDef,
+    KwClass,
+    KwIf,
+    KwElif,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwIn,
+    KwNotIn, // synthesized
+    KwReturn,
+    KwPass,
+    KwBreak,
+    KwContinue,
+    KwAnd,
+    KwOr,
+    KwNot,
+    KwTrue,
+    KwFalse,
+    KwNone,
+    KwGlobal,
+    KwIs,
+    KwIsNot, // synthesized
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    SlashSlash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    LtLt,
+    GtGt,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    SlashSlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    LtLtEq,
+    GtGtEq,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;   ///< for Name/Str
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    int line = 0;
+};
+
+/**
+ * Tokenize MiniPy source. Throws via XLVM_FATAL on malformed input.
+ * Handles comments, line continuation inside brackets, and indentation.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+const char *tokName(Tok t);
+
+} // namespace minipy
+} // namespace xlvm
+
+#endif // XLVM_MINIPY_LEXER_H

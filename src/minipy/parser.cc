@@ -1,0 +1,670 @@
+#include "minipy/parser.h"
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace minipy {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : tokens(std::move(toks)) {}
+
+    Module
+    run()
+    {
+        Module m;
+        skipNewlines();
+        while (!check(Tok::End)) {
+            m.body.push_back(statement());
+            skipNewlines();
+        }
+        return m;
+    }
+
+  private:
+    // ---- token helpers -------------------------------------------------
+
+    const Token &peek(int k = 0) const { return tokens[pos + k]; }
+    bool check(Tok t) const { return peek().kind == t; }
+
+    bool
+    accept(Tok t)
+    {
+        if (check(t)) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    const Token &
+    expect(Tok t, const char *what)
+    {
+        XLVM_ASSERT(check(t), "parse error at line ", peek().line,
+                    ": expected ", what, ", got ", tokName(peek().kind));
+        return tokens[pos++];
+    }
+
+    void
+    skipNewlines()
+    {
+        while (accept(Tok::Newline)) {
+        }
+    }
+
+    ExprPtr
+    makeExpr(ExprKind k)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = k;
+        e->line = peek().line;
+        return e;
+    }
+
+    StmtPtr
+    makeStmt(StmtKind k)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = k;
+        s->line = peek().line;
+        return s;
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    std::vector<StmtPtr>
+    block()
+    {
+        expect(Tok::Colon, "':'");
+        expect(Tok::Newline, "newline");
+        skipNewlines();
+        expect(Tok::Indent, "indented block");
+        std::vector<StmtPtr> body;
+        skipNewlines();
+        while (!check(Tok::Dedent) && !check(Tok::End)) {
+            body.push_back(statement());
+            skipNewlines();
+        }
+        accept(Tok::Dedent);
+        return body;
+    }
+
+    StmtPtr
+    statement()
+    {
+        switch (peek().kind) {
+          case Tok::KwDef:
+            return defStatement();
+          case Tok::KwClass:
+            return classStatement();
+          case Tok::KwIf:
+            return ifStatement();
+          case Tok::KwWhile:
+            return whileStatement();
+          case Tok::KwFor:
+            return forStatement();
+          case Tok::KwReturn: {
+            auto s = makeStmt(StmtKind::Return);
+            ++pos;
+            if (!check(Tok::Newline))
+                s->value = expression();
+            expect(Tok::Newline, "newline");
+            return s;
+          }
+          case Tok::KwBreak: {
+            auto s = makeStmt(StmtKind::Break);
+            ++pos;
+            expect(Tok::Newline, "newline");
+            return s;
+          }
+          case Tok::KwContinue: {
+            auto s = makeStmt(StmtKind::Continue);
+            ++pos;
+            expect(Tok::Newline, "newline");
+            return s;
+          }
+          case Tok::KwPass: {
+            auto s = makeStmt(StmtKind::Pass);
+            ++pos;
+            expect(Tok::Newline, "newline");
+            return s;
+          }
+          case Tok::KwGlobal: {
+            auto s = makeStmt(StmtKind::Global);
+            ++pos;
+            s->globalNames.push_back(
+                expect(Tok::Name, "name").text);
+            while (accept(Tok::Comma))
+                s->globalNames.push_back(
+                    expect(Tok::Name, "name").text);
+            expect(Tok::Newline, "newline");
+            return s;
+          }
+          default:
+            return exprOrAssignStatement();
+        }
+    }
+
+    StmtPtr
+    defStatement()
+    {
+        auto s = makeStmt(StmtKind::Def);
+        expect(Tok::KwDef, "def");
+        s->name = expect(Tok::Name, "function name").text;
+        expect(Tok::LParen, "'('");
+        if (!check(Tok::RParen)) {
+            do {
+                s->params.push_back(expect(Tok::Name, "parameter").text);
+                if (accept(Tok::Assign))
+                    s->defaults.push_back(expression());
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "')'");
+        s->body = block();
+        return s;
+    }
+
+    StmtPtr
+    classStatement()
+    {
+        auto s = makeStmt(StmtKind::ClassDef);
+        expect(Tok::KwClass, "class");
+        s->name = expect(Tok::Name, "class name").text;
+        if (accept(Tok::LParen)) {
+            if (!check(Tok::RParen))
+                s->globalNames.push_back(
+                    expect(Tok::Name, "base class").text);
+            expect(Tok::RParen, "')'");
+        }
+        auto body = block();
+        for (auto &st : body) {
+            if (st->kind == StmtKind::Def) {
+                s->methods.push_back(std::move(st));
+            } else {
+                XLVM_ASSERT(st->kind == StmtKind::Pass,
+                            "only methods allowed in class body, line ",
+                            st->line);
+            }
+        }
+        return s;
+    }
+
+    StmtPtr
+    ifStatement()
+    {
+        auto s = makeStmt(StmtKind::If);
+        ++pos; // if / elif
+        s->target = expression();
+        s->body = block();
+        skipNewlines();
+        if (check(Tok::KwElif)) {
+            s->orelse.push_back(ifStatement());
+        } else if (accept(Tok::KwElse)) {
+            s->orelse = block();
+        }
+        return s;
+    }
+
+    StmtPtr
+    whileStatement()
+    {
+        auto s = makeStmt(StmtKind::While);
+        expect(Tok::KwWhile, "while");
+        s->target = expression();
+        s->body = block();
+        return s;
+    }
+
+    StmtPtr
+    forStatement()
+    {
+        auto s = makeStmt(StmtKind::For);
+        expect(Tok::KwFor, "for");
+        s->targets.push_back(namedTarget());
+        while (accept(Tok::Comma))
+            s->targets.push_back(namedTarget());
+        expect(Tok::KwIn, "in");
+        s->value = expression();
+        s->body = block();
+        return s;
+    }
+
+    ExprPtr
+    namedTarget()
+    {
+        auto e = makeExpr(ExprKind::Name);
+        e->strValue = expect(Tok::Name, "loop variable").text;
+        return e;
+    }
+
+    StmtPtr
+    exprOrAssignStatement()
+    {
+        ExprPtr first = expression();
+
+        // Tuple-unpack assignment: a, b = expr
+        if (check(Tok::Comma)) {
+            auto s = makeStmt(StmtKind::Assign);
+            s->targets.push_back(std::move(first));
+            while (accept(Tok::Comma))
+                s->targets.push_back(expression());
+            expect(Tok::Assign, "'='");
+            s->value = expression();
+            // Allow "a, b = c, d": pack RHS tuple.
+            if (check(Tok::Comma)) {
+                auto tup = makeExpr(ExprKind::TupleDisplay);
+                tup->items.push_back(std::move(s->value));
+                while (accept(Tok::Comma))
+                    tup->items.push_back(expression());
+                s->value = std::move(tup);
+            }
+            expect(Tok::Newline, "newline");
+            return s;
+        }
+
+        if (accept(Tok::Assign)) {
+            auto s = makeStmt(StmtKind::Assign);
+            s->target = std::move(first);
+            s->value = expression();
+            if (check(Tok::Comma)) {
+                auto tup = makeExpr(ExprKind::TupleDisplay);
+                tup->items.push_back(std::move(s->value));
+                while (accept(Tok::Comma))
+                    tup->items.push_back(expression());
+                s->value = std::move(tup);
+            }
+            expect(Tok::Newline, "newline");
+            return s;
+        }
+
+        static const struct
+        {
+            Tok tok;
+            const char *op;
+        } kAug[] = {
+            {Tok::PlusEq, "+"},        {Tok::MinusEq, "-"},
+            {Tok::StarEq, "*"},        {Tok::SlashEq, "/"},
+            {Tok::SlashSlashEq, "//"}, {Tok::PercentEq, "%"},
+            {Tok::AmpEq, "&"},         {Tok::PipeEq, "|"},
+            {Tok::CaretEq, "^"},       {Tok::LtLtEq, "<<"},
+            {Tok::GtGtEq, ">>"},
+        };
+        for (const auto &aug : kAug) {
+            if (accept(aug.tok)) {
+                auto s = makeStmt(StmtKind::AugAssign);
+                s->name = aug.op;
+                s->target = std::move(first);
+                s->value = expression();
+                expect(Tok::Newline, "newline");
+                return s;
+            }
+        }
+
+        auto s = makeStmt(StmtKind::ExprStmt);
+        s->value = std::move(first);
+        expect(Tok::Newline, "newline");
+        return s;
+    }
+
+    // ---- expressions (precedence climbing) -----------------------------
+
+    ExprPtr
+    expression()
+    {
+        return orExpr();
+    }
+
+    ExprPtr
+    orExpr()
+    {
+        ExprPtr e = andExpr();
+        while (check(Tok::KwOr)) {
+            ++pos;
+            auto n = makeExpr(ExprKind::BoolOp);
+            n->strValue = "or";
+            n->a = std::move(e);
+            n->b = andExpr();
+            e = std::move(n);
+        }
+        return e;
+    }
+
+    ExprPtr
+    andExpr()
+    {
+        ExprPtr e = notExpr();
+        while (check(Tok::KwAnd)) {
+            ++pos;
+            auto n = makeExpr(ExprKind::BoolOp);
+            n->strValue = "and";
+            n->a = std::move(e);
+            n->b = notExpr();
+            e = std::move(n);
+        }
+        return e;
+    }
+
+    ExprPtr
+    notExpr()
+    {
+        if (accept(Tok::KwNot)) {
+            auto n = makeExpr(ExprKind::UnaryOp);
+            n->strValue = "not";
+            n->a = notExpr();
+            return n;
+        }
+        return comparison();
+    }
+
+    ExprPtr
+    comparison()
+    {
+        ExprPtr e = bitOrExpr();
+        const char *op = nullptr;
+        switch (peek().kind) {
+          case Tok::Lt: op = "<"; break;
+          case Tok::Le: op = "<="; break;
+          case Tok::EqEq: op = "=="; break;
+          case Tok::NotEq: op = "!="; break;
+          case Tok::Gt: op = ">"; break;
+          case Tok::Ge: op = ">="; break;
+          case Tok::KwIs: op = "is"; break;
+          case Tok::KwIsNot: op = "isnot"; break;
+          case Tok::KwIn: op = "in"; break;
+          case Tok::KwNotIn: op = "notin"; break;
+          default: return e;
+        }
+        ++pos;
+        auto n = makeExpr(ExprKind::Compare);
+        n->strValue = op;
+        n->a = std::move(e);
+        n->b = bitOrExpr();
+        return n;
+    }
+
+    ExprPtr
+    binOp(ExprPtr lhs, const char *op, ExprPtr rhs)
+    {
+        auto n = std::make_unique<Expr>();
+        n->kind = ExprKind::BinOp;
+        n->line = lhs->line;
+        n->strValue = op;
+        n->a = std::move(lhs);
+        n->b = std::move(rhs);
+        return n;
+    }
+
+    ExprPtr
+    bitOrExpr()
+    {
+        ExprPtr e = bitXorExpr();
+        while (accept(Tok::Pipe))
+            e = binOp(std::move(e), "|", bitXorExpr());
+        return e;
+    }
+
+    ExprPtr
+    bitXorExpr()
+    {
+        ExprPtr e = bitAndExpr();
+        while (accept(Tok::Caret))
+            e = binOp(std::move(e), "^", bitAndExpr());
+        return e;
+    }
+
+    ExprPtr
+    bitAndExpr()
+    {
+        ExprPtr e = shiftExpr();
+        while (accept(Tok::Amp))
+            e = binOp(std::move(e), "&", shiftExpr());
+        return e;
+    }
+
+    ExprPtr
+    shiftExpr()
+    {
+        ExprPtr e = arith();
+        while (true) {
+            if (accept(Tok::LtLt))
+                e = binOp(std::move(e), "<<", arith());
+            else if (accept(Tok::GtGt))
+                e = binOp(std::move(e), ">>", arith());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr
+    arith()
+    {
+        ExprPtr e = term();
+        while (true) {
+            if (accept(Tok::Plus))
+                e = binOp(std::move(e), "+", term());
+            else if (accept(Tok::Minus))
+                e = binOp(std::move(e), "-", term());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr
+    term()
+    {
+        ExprPtr e = factor();
+        while (true) {
+            if (accept(Tok::Star))
+                e = binOp(std::move(e), "*", factor());
+            else if (accept(Tok::Slash))
+                e = binOp(std::move(e), "/", factor());
+            else if (accept(Tok::SlashSlash))
+                e = binOp(std::move(e), "//", factor());
+            else if (accept(Tok::Percent))
+                e = binOp(std::move(e), "%", factor());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr
+    factor()
+    {
+        if (accept(Tok::Minus)) {
+            auto n = makeExpr(ExprKind::UnaryOp);
+            n->strValue = "-";
+            n->a = factor();
+            return n;
+        }
+        if (accept(Tok::Plus))
+            return factor();
+        return power();
+    }
+
+    ExprPtr
+    power()
+    {
+        ExprPtr e = postfix();
+        if (accept(Tok::StarStar))
+            return binOp(std::move(e), "**", factor()); // right assoc
+        return e;
+    }
+
+    ExprPtr
+    postfix()
+    {
+        ExprPtr e = atom();
+        while (true) {
+            if (accept(Tok::Dot)) {
+                auto n = makeExpr(ExprKind::Attribute);
+                n->strValue = expect(Tok::Name, "attribute").text;
+                n->a = std::move(e);
+                e = std::move(n);
+            } else if (accept(Tok::LParen)) {
+                auto n = makeExpr(ExprKind::Call);
+                n->a = std::move(e);
+                if (!check(Tok::RParen)) {
+                    do {
+                        n->items.push_back(expression());
+                    } while (accept(Tok::Comma));
+                }
+                expect(Tok::RParen, "')'");
+                e = std::move(n);
+            } else if (accept(Tok::LBracket)) {
+                // Subscript or slice.
+                ExprPtr lo, hi;
+                bool isSlice = false;
+                if (!check(Tok::Colon))
+                    lo = expression();
+                if (accept(Tok::Colon)) {
+                    isSlice = true;
+                    if (!check(Tok::RBracket))
+                        hi = expression();
+                }
+                expect(Tok::RBracket, "']'");
+                auto n = makeExpr(isSlice ? ExprKind::Slice
+                                          : ExprKind::Subscript);
+                n->a = std::move(e);
+                n->b = std::move(lo);
+                n->c = std::move(hi);
+                e = std::move(n);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr
+    atom()
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case Tok::Int: {
+            auto e = makeExpr(ExprKind::IntLit);
+            e->intValue = t.intValue;
+            ++pos;
+            return e;
+          }
+          case Tok::Float: {
+            auto e = makeExpr(ExprKind::FloatLit);
+            e->floatValue = t.floatValue;
+            ++pos;
+            return e;
+          }
+          case Tok::Str: {
+            auto e = makeExpr(ExprKind::StrLit);
+            e->strValue = t.text;
+            ++pos;
+            // Adjacent string literal concatenation.
+            while (check(Tok::Str)) {
+                e->strValue += peek().text;
+                ++pos;
+            }
+            return e;
+          }
+          case Tok::KwTrue:
+          case Tok::KwFalse: {
+            auto e = makeExpr(ExprKind::BoolLit);
+            e->boolValue = t.kind == Tok::KwTrue;
+            ++pos;
+            return e;
+          }
+          case Tok::KwNone: {
+            auto e = makeExpr(ExprKind::NoneLit);
+            ++pos;
+            return e;
+          }
+          case Tok::Name: {
+            auto e = makeExpr(ExprKind::Name);
+            e->strValue = t.text;
+            ++pos;
+            return e;
+          }
+          case Tok::LParen: {
+            ++pos;
+            if (check(Tok::RParen)) {
+                ++pos;
+                return makeExpr(ExprKind::TupleDisplay);
+            }
+            ExprPtr e = expression();
+            if (check(Tok::Comma)) {
+                auto tup = makeExpr(ExprKind::TupleDisplay);
+                tup->items.push_back(std::move(e));
+                while (accept(Tok::Comma)) {
+                    if (check(Tok::RParen))
+                        break;
+                    tup->items.push_back(expression());
+                }
+                expect(Tok::RParen, "')'");
+                return tup;
+            }
+            expect(Tok::RParen, "')'");
+            return e;
+          }
+          case Tok::LBracket: {
+            ++pos;
+            auto e = makeExpr(ExprKind::ListDisplay);
+            if (!check(Tok::RBracket)) {
+                do {
+                    if (check(Tok::RBracket))
+                        break;
+                    e->items.push_back(expression());
+                } while (accept(Tok::Comma));
+            }
+            expect(Tok::RBracket, "']'");
+            return e;
+          }
+          case Tok::LBrace: {
+            ++pos;
+            if (check(Tok::RBrace)) {
+                ++pos;
+                return makeExpr(ExprKind::DictDisplay);
+            }
+            ExprPtr first = expression();
+            if (accept(Tok::Colon)) {
+                auto e = makeExpr(ExprKind::DictDisplay);
+                e->items.push_back(std::move(first));
+                e->values.push_back(expression());
+                while (accept(Tok::Comma)) {
+                    if (check(Tok::RBrace))
+                        break;
+                    e->items.push_back(expression());
+                    expect(Tok::Colon, "':'");
+                    e->values.push_back(expression());
+                }
+                expect(Tok::RBrace, "'}'");
+                return e;
+            }
+            auto e = makeExpr(ExprKind::SetDisplay);
+            e->items.push_back(std::move(first));
+            while (accept(Tok::Comma)) {
+                if (check(Tok::RBrace))
+                    break;
+                e->items.push_back(expression());
+            }
+            expect(Tok::RBrace, "'}'");
+            return e;
+          }
+          default:
+            XLVM_FATAL("parse error at line ", t.line,
+                       ": unexpected token ", tokName(t.kind));
+        }
+    }
+
+    std::vector<Token> tokens;
+    size_t pos = 0;
+};
+
+} // namespace
+
+Module
+parse(const std::string &source)
+{
+    return Parser(tokenize(source)).run();
+}
+
+} // namespace minipy
+} // namespace xlvm

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * MiniPy recursive-descent parser.
+ */
+
+#ifndef XLVM_MINIPY_PARSER_H
+#define XLVM_MINIPY_PARSER_H
+
+#include "minipy/ast.h"
+#include "minipy/lexer.h"
+
+namespace xlvm {
+namespace minipy {
+
+/** Parse source text into a Module. Fatal on syntax errors. */
+Module parse(const std::string &source);
+
+} // namespace minipy
+} // namespace xlvm
+
+#endif // XLVM_MINIPY_PARSER_H

@@ -1,0 +1,591 @@
+#include "minirkt/compiler.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "minipy/interp.h"
+#include "minirkt/reader.h"
+
+namespace xlvm {
+namespace minirkt {
+
+using minipy::Code;
+using minipy::Instr;
+using minipy::Op;
+using minipy::Program;
+
+namespace {
+
+/** Innermost enclosing tail-callable loop (named let or define). */
+struct TailLoop
+{
+    std::string name;
+    int labelPc = 0;
+    std::vector<int32_t> paramLocals;
+};
+
+class FnCompiler
+{
+  public:
+    FnCompiler(Program &prog, obj::ObjSpace &space, std::string name,
+               bool is_module)
+        : program(prog), space_(space), isModule(is_module)
+    {
+        code = std::make_unique<Code>();
+        code->name = std::move(name);
+    }
+
+    Code *
+    finish()
+    {
+        emit(Op::LoadConst, constIdx(space_.none()));
+        emit(Op::ReturnValue);
+        code->isLoopHeader.assign(code->instrs.size() + 1, false);
+        for (const Instr &ins : code->instrs) {
+            if (ins.op == Op::JumpBack)
+                code->isLoopHeader[ins.arg] = true;
+        }
+        Code *raw = code.get();
+        program.codes.push_back(std::move(code));
+        return raw;
+    }
+
+    std::unique_ptr<Code> code;
+    std::vector<std::pair<std::string, int32_t>> scope; ///< name -> local
+    std::vector<TailLoop> tailLoops;
+    Program &program;
+    obj::ObjSpace &space_;
+    bool isModule;
+    int tempCounter = 0;
+
+    // ---- emission -------------------------------------------------------
+
+    int
+    emit(Op op, int32_t arg = 0)
+    {
+        code->instrs.push_back(Instr{op, arg});
+        return int(code->instrs.size() - 1);
+    }
+
+    int here() const { return int(code->instrs.size()); }
+    void patch(int at, int32_t v) { code->instrs[at].arg = v; }
+
+    int32_t
+    constIdx(obj::W_Object *w)
+    {
+        for (size_t i = 0; i < code->consts.size(); ++i) {
+            if (code->consts[i] == w)
+                return int32_t(i);
+        }
+        code->consts.push_back(w);
+        return int32_t(code->consts.size() - 1);
+    }
+
+    int32_t
+    nameIdx(const std::string &n)
+    {
+        obj::W_Str *w = space_.intern(n);
+        for (size_t i = 0; i < code->names.size(); ++i) {
+            if (code->names[i] == w)
+                return int32_t(i);
+        }
+        code->names.push_back(w);
+        return int32_t(code->names.size() - 1);
+    }
+
+    int32_t
+    newLocal(const std::string &n)
+    {
+        code->localNames.push_back(n + "$" +
+                                   std::to_string(tempCounter++));
+        int32_t idx = int32_t(code->localNames.size() - 1);
+        scope.emplace_back(n, idx);
+        return idx;
+    }
+
+    int32_t
+    lookupLocal(const std::string &n) const
+    {
+        for (auto it = scope.rbegin(); it != scope.rend(); ++it) {
+            if (it->first == n)
+                return it->second;
+        }
+        return -1;
+    }
+
+    // ---- expression compilation ----------------------------------------
+
+    void
+    compileBody(const std::vector<Sexp> &forms, size_t from, bool tail)
+    {
+        XLVM_ASSERT(forms.size() > from, "empty body");
+        for (size_t i = from; i < forms.size(); ++i) {
+            bool last = i + 1 == forms.size();
+            expr(forms[i], tail && last);
+            if (!last)
+                emit(Op::PopTop);
+        }
+    }
+
+    void
+    expr(const Sexp &e, bool tail)
+    {
+        switch (e.kind) {
+          case Sexp::Kind::Int:
+            emit(Op::LoadConst, constIdx(space_.newInt(e.intValue)));
+            return;
+          case Sexp::Kind::Float:
+            emit(Op::LoadConst,
+                 constIdx(space_.newFloat(e.floatValue)));
+            return;
+          case Sexp::Kind::Str:
+            emit(Op::LoadConst, constIdx(space_.intern(e.text)));
+            return;
+          case Sexp::Kind::Symbol: {
+            int32_t loc = lookupLocal(e.text);
+            if (loc >= 0)
+                emit(Op::LoadFast, loc);
+            else
+                emit(Op::LoadGlobal, nameIdx(e.text));
+            return;
+          }
+          case Sexp::Kind::List:
+            list(e, tail);
+            return;
+        }
+    }
+
+    void
+    list(const Sexp &e, bool tail)
+    {
+        XLVM_ASSERT(!e.items.empty(), "empty application");
+        const Sexp &head = e.items[0];
+        if (head.kind == Sexp::Kind::Symbol) {
+            const std::string &op = head.text;
+            if (op == "define") {
+                compileDefine(e);
+                emit(Op::LoadConst, constIdx(space_.none()));
+                return;
+            }
+            if (op == "let") {
+                compileLet(e, tail);
+                return;
+            }
+            if (op == "if") {
+                XLVM_ASSERT(e.items.size() == 4,
+                            "(if c t e) requires both branches");
+                expr(e.items[1], false);
+                int jf = emit(Op::PopJumpIfFalse, -1);
+                expr(e.items[2], tail);
+                int jend = emit(Op::Jump, -1);
+                patch(jf, here());
+                expr(e.items[3], tail);
+                patch(jend, here());
+                return;
+            }
+            if (op == "begin") {
+                compileBody(e.items, 1, tail);
+                return;
+            }
+            if (op == "set!") {
+                expr(e.items[2], false);
+                int32_t loc = lookupLocal(e.items[1].text);
+                if (loc >= 0)
+                    emit(Op::StoreFast, loc);
+                else
+                    emit(Op::StoreGlobal, nameIdx(e.items[1].text));
+                emit(Op::LoadConst, constIdx(space_.none()));
+                return;
+            }
+            if (op == "quote") {
+                XLVM_ASSERT(e.items[1].kind == Sexp::Kind::List &&
+                                e.items[1].items.empty(),
+                            "only '() literals supported");
+                emit(Op::LoadConst, constIdx(space_.none()));
+                return;
+            }
+            if (op == "and" || op == "or") {
+                expr(e.items[1], false);
+                for (size_t i = 2; i < e.items.size(); ++i) {
+                    int j = emit(op == "and" ? Op::JumpIfFalseOrPop
+                                             : Op::JumpIfTrueOrPop,
+                                 -1);
+                    expr(e.items[i], false);
+                    patch(j, here());
+                }
+                return;
+            }
+            if (compileBuiltin(e, op))
+                return;
+
+            // Tail self-call of the innermost matching loop?
+            if (tail) {
+                for (auto it = tailLoops.rbegin();
+                     it != tailLoops.rend(); ++it) {
+                    if (it->name == op) {
+                        XLVM_ASSERT(e.items.size() - 1 ==
+                                        it->paramLocals.size(),
+                                    "tail-call arity mismatch for ", op);
+                        for (size_t i = 1; i < e.items.size(); ++i)
+                            expr(e.items[i], false);
+                        for (size_t i = it->paramLocals.size(); i-- > 0;)
+                            emit(Op::StoreFast, it->paramLocals[i]);
+                        emit(Op::JumpBack, it->labelPc);
+                        // Control never falls through; the loop's value
+                        // comes from a non-recursive branch. Keep the
+                        // stack shape consistent for the compiler.
+                        emit(Op::LoadConst, constIdx(space_.none()));
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Plain call.
+        expr(head, false);
+        for (size_t i = 1; i < e.items.size(); ++i)
+            expr(e.items[i], false);
+        emit(Op::CallFunction, int32_t(e.items.size() - 1));
+    }
+
+    /** Built-in operators; returns false if not one. */
+    bool
+    compileBuiltin(const Sexp &e, const std::string &op)
+    {
+        size_t n = e.items.size() - 1;
+        auto binFold = [&](Op bop) {
+            XLVM_ASSERT(n >= 2, op, " needs >= 2 args");
+            expr(e.items[1], false);
+            for (size_t i = 2; i <= n; ++i) {
+                expr(e.items[i], false);
+                emit(bop);
+            }
+        };
+        auto cmp2 = [&](Op cop) {
+            XLVM_ASSERT(n == 2, op, " needs 2 args");
+            expr(e.items[1], false);
+            expr(e.items[2], false);
+            emit(cop);
+        };
+
+        if (op == "+") {
+            binFold(Op::BinAdd);
+            return true;
+        }
+        if (op == "-") {
+            if (n == 1) {
+                expr(e.items[1], false);
+                emit(Op::UnaryNeg);
+                return true;
+            }
+            binFold(Op::BinSub);
+            return true;
+        }
+        if (op == "*") {
+            binFold(Op::BinMul);
+            return true;
+        }
+        if (op == "/") {
+            binFold(Op::BinTrueDiv);
+            return true;
+        }
+        if (op == "modulo") {
+            cmp2(Op::BinMod);
+            return true;
+        }
+        if (op == "quotient") {
+            cmp2(Op::BinFloorDiv);
+            return true;
+        }
+        if (op == "expt") {
+            cmp2(Op::BinPow);
+            return true;
+        }
+        if (op == "<") {
+            cmp2(Op::CmpLt);
+            return true;
+        }
+        if (op == "<=") {
+            cmp2(Op::CmpLe);
+            return true;
+        }
+        if (op == "=") {
+            cmp2(Op::CmpEq);
+            return true;
+        }
+        if (op == ">") {
+            cmp2(Op::CmpGt);
+            return true;
+        }
+        if (op == ">=") {
+            cmp2(Op::CmpGe);
+            return true;
+        }
+        if (op == "eq?") {
+            cmp2(Op::CmpIs);
+            return true;
+        }
+        if (op == "not") {
+            expr(e.items[1], false);
+            emit(Op::UnaryNot);
+            return true;
+        }
+        if (op == "null?") {
+            expr(e.items[1], false);
+            emit(Op::LoadConst, constIdx(space_.none()));
+            emit(Op::CmpIs);
+            return true;
+        }
+        if (op == "arithmetic-shift") {
+            cmp2(Op::BinLshift);
+            return true;
+        }
+        if (op == "bitwise-and") {
+            cmp2(Op::BinAnd);
+            return true;
+        }
+        if (op == "bitwise-ior") {
+            cmp2(Op::BinOr);
+            return true;
+        }
+        if (op == "bitwise-not") {
+            // ~x == -x - 1
+            emit(Op::LoadConst, constIdx(space_.newInt(0)));
+            expr(e.items[1], false);
+            emit(Op::BinSub);
+            emit(Op::LoadConst, constIdx(space_.newInt(1)));
+            emit(Op::BinSub);
+            return true;
+        }
+        if (op == "vector") {
+            for (size_t i = 1; i <= n; ++i)
+                expr(e.items[i], false);
+            emit(Op::BuildList, int32_t(n));
+            return true;
+        }
+        if (op == "vector-ref") {
+            expr(e.items[1], false);
+            expr(e.items[2], false);
+            emit(Op::BinSubscr);
+            return true;
+        }
+        if (op == "vector-set!") {
+            // StoreSubscr pops idx, obj, value.
+            expr(e.items[3], false);
+            expr(e.items[1], false);
+            expr(e.items[2], false);
+            emit(Op::StoreSubscr);
+            emit(Op::LoadConst, constIdx(space_.none()));
+            return true;
+        }
+        if (op == "hash-ref") {
+            // h.get(k, default)
+            expr(e.items[1], false);
+            emit(Op::LoadAttr, nameIdx("get"));
+            expr(e.items[2], false);
+            expr(e.items[3], false);
+            emit(Op::CallFunction, 2);
+            return true;
+        }
+        if (op == "hash-set!") {
+            expr(e.items[3], false);
+            expr(e.items[1], false);
+            expr(e.items[2], false);
+            emit(Op::StoreSubscr);
+            emit(Op::LoadConst, constIdx(space_.none()));
+            return true;
+        }
+        if (op == "hash-count" || op == "vector-length" ||
+            op == "string-length") {
+            emit(Op::LoadGlobal, nameIdx("len"));
+            expr(e.items[1], false);
+            emit(Op::CallFunction, 1);
+            return true;
+        }
+        if (op == "string-ref") {
+            expr(e.items[1], false);
+            expr(e.items[2], false);
+            emit(Op::BinSubscr);
+            return true;
+        }
+        if (op == "char->integer") {
+            emit(Op::LoadGlobal, nameIdx("ord"));
+            expr(e.items[1], false);
+            emit(Op::CallFunction, 1);
+            return true;
+        }
+        if (op == "string-append") {
+            binFold(Op::BinAdd);
+            return true;
+        }
+        if (op == "number->string") {
+            emit(Op::LoadGlobal, nameIdx("str"));
+            expr(e.items[1], false);
+            emit(Op::CallFunction, 1);
+            return true;
+        }
+        if (op == "floor") {
+            emit(Op::LoadGlobal, nameIdx("floor"));
+            expr(e.items[1], false);
+            emit(Op::CallFunction, 1);
+            return true;
+        }
+        if (op == "inexact->exact") {
+            emit(Op::LoadGlobal, nameIdx("int"));
+            expr(e.items[1], false);
+            emit(Op::CallFunction, 1);
+            return true;
+        }
+        if (op == "sqrt") {
+            emit(Op::LoadGlobal, nameIdx("sqrt"));
+            expr(e.items[1], false);
+            emit(Op::CallFunction, 1);
+            return true;
+        }
+        if (op == "make-vector") {
+            emit(Op::LoadGlobal, nameIdx("make_vector"));
+            expr(e.items[1], false);
+            if (n >= 2)
+                expr(e.items[2], false);
+            else
+                emit(Op::LoadConst, constIdx(space_.newInt(0)));
+            emit(Op::CallFunction, 2);
+            return true;
+        }
+        if (op == "make-hash") {
+            emit(Op::LoadGlobal, nameIdx("dict"));
+            emit(Op::CallFunction, 0);
+            return true;
+        }
+        if (op == "cons") {
+            emit(Op::LoadGlobal, nameIdx("cons"));
+            expr(e.items[1], false);
+            expr(e.items[2], false);
+            emit(Op::CallFunction, 2);
+            return true;
+        }
+        if (op == "car" || op == "cdr") {
+            emit(Op::LoadGlobal, nameIdx(op));
+            expr(e.items[1], false);
+            emit(Op::CallFunction, 1);
+            return true;
+        }
+        if (op == "display") {
+            emit(Op::LoadGlobal, nameIdx("display"));
+            expr(e.items[1], false);
+            emit(Op::CallFunction, 1);
+            return true;
+        }
+        if (op == "newline") {
+            emit(Op::LoadGlobal, nameIdx("newline"));
+            emit(Op::CallFunction, 0);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    compileLet(const Sexp &e, bool tail)
+    {
+        size_t bindIdx = 1;
+        bool named = e.items[1].kind == Sexp::Kind::Symbol;
+        if (named)
+            bindIdx = 2;
+        const Sexp &binds = e.items[bindIdx];
+        XLVM_ASSERT(binds.kind == Sexp::Kind::List, "bad let bindings");
+
+        // Evaluate inits left-to-right, then bind.
+        for (const Sexp &b : binds.items)
+            expr(b.items[1], false);
+        size_t scopeMark = scope.size();
+        std::vector<int32_t> locals;
+        for (const Sexp &b : binds.items)
+            locals.push_back(newLocal(b.items[0].text));
+        for (size_t i = binds.items.size(); i-- > 0;)
+            emit(Op::StoreFast, locals[i]);
+
+        if (named) {
+            TailLoop loop;
+            loop.name = e.items[1].text;
+            loop.labelPc = here();
+            loop.paramLocals = locals;
+            tailLoops.push_back(loop);
+            compileBody(e.items, bindIdx + 1, true);
+            tailLoops.pop_back();
+        } else {
+            compileBody(e.items, bindIdx + 1, tail);
+        }
+        scope.resize(scopeMark);
+    }
+
+    void
+    compileDefine(const Sexp &e)
+    {
+        XLVM_ASSERT(isModule, "define only at top level");
+        const Sexp &target = e.items[1];
+        if (target.kind == Sexp::Kind::Symbol) {
+            // (define name expr)
+            expr(e.items[2], false);
+            emit(Op::StoreGlobal, nameIdx(target.text));
+            return;
+        }
+        // (define (f a b) body...)
+        XLVM_ASSERT(target.kind == Sexp::Kind::List &&
+                        !target.items.empty(),
+                    "bad define");
+        std::string fname = target.items[0].text;
+        FnCompiler sub(program, space_, fname, /*module=*/false);
+        TailLoop self;
+        self.name = fname;
+        for (size_t i = 1; i < target.items.size(); ++i) {
+            int32_t loc = sub.newLocal(target.items[i].text);
+            self.paramLocals.push_back(loc);
+        }
+        sub.code->numParams = uint32_t(target.items.size() - 1);
+        // Function entry is a tail-recursion merge point.
+        self.labelPc = 0;
+        sub.tailLoops.push_back(self);
+        // Body: last expression is the return value.
+        for (size_t i = 2; i < e.items.size(); ++i) {
+            bool last = i + 1 == e.items.size();
+            sub.expr(e.items[i], last);
+            if (!last)
+                sub.emit(Op::PopTop);
+        }
+        sub.emit(Op::ReturnValue);
+        sub.code->isLoopHeader.assign(sub.code->instrs.size() + 1,
+                                      false);
+        for (const Instr &ins : sub.code->instrs) {
+            if (ins.op == Op::JumpBack)
+                sub.code->isLoopHeader[ins.arg] = true;
+        }
+        Code *raw = sub.code.get();
+        program.codes.push_back(std::move(sub.code));
+        int32_t codeIdx = -1;
+        for (size_t i = 0; i < program.codes.size(); ++i) {
+            if (program.codes[i].get() == raw)
+                codeIdx = int32_t(i);
+        }
+        emit(Op::MakeFunction, codeIdx);
+        emit(Op::StoreGlobal, nameIdx(fname));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Program>
+compileRkt(const std::string &source, obj::ObjSpace &space)
+{
+    std::vector<Sexp> forms = readProgram(source);
+    auto prog = std::make_unique<Program>();
+    FnCompiler top(*prog, space, "<module>", /*module=*/true);
+    for (const Sexp &f : forms) {
+        top.expr(f, false);
+        top.emit(Op::PopTop);
+    }
+    prog->module = top.finish();
+    return prog;
+}
+
+} // namespace minirkt
+} // namespace xlvm

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * MiniRkt compiler: Scheme subset -> MiniPy bytecode.
+ *
+ * The Pycket analog: a second language front end on the same
+ * meta-tracing framework. Named-let / define tail self-calls compile to
+ * backward jumps, so Scheme loops hit exactly the same can_enter_jit
+ * merge points as Python loops — the Scheme flavor of "write the
+ * interpreter, get the JIT for free".
+ *
+ * Supported forms: define (variables and functions), let, named let,
+ * lambda-free tail recursion, if, cond-free (use nested if), begin,
+ * set!, quote '(), and / or, numeric tower (fixnum/flonum/bignum via
+ * the shared object model), pairs (cons/car/cdr/null?), vectors
+ * (mapped to lists), hash tables (mapped to dicts), strings, display.
+ */
+
+#ifndef XLVM_MINIRKT_COMPILER_H
+#define XLVM_MINIRKT_COMPILER_H
+
+#include <memory>
+
+#include "minipy/code.h"
+#include "obj/space.h"
+
+namespace xlvm {
+namespace minirkt {
+
+/** Compile MiniRkt source into an executable MiniPy program. */
+std::unique_ptr<minipy::Program> compileRkt(const std::string &source,
+                                            obj::ObjSpace &space);
+
+} // namespace minirkt
+} // namespace xlvm
+
+#endif // XLVM_MINIRKT_COMPILER_H

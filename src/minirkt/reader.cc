@@ -1,0 +1,138 @@
+#include "minirkt/reader.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace minirkt {
+
+namespace {
+
+class Reader
+{
+  public:
+    explicit Reader(const std::string &src) : s(src) {}
+
+    std::vector<Sexp>
+    run()
+    {
+        std::vector<Sexp> out;
+        skipWs();
+        while (pos < s.size()) {
+            out.push_back(readDatum());
+            skipWs();
+        }
+        return out;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c == ';') {
+                while (pos < s.size() && s[pos] != '\n')
+                    ++pos;
+            } else if (std::isspace(uint8_t(c))) {
+                ++pos;
+            } else {
+                break;
+            }
+        }
+    }
+
+    Sexp
+    readDatum()
+    {
+        skipWs();
+        XLVM_ASSERT(pos < s.size(), "unexpected end of input");
+        char c = s[pos];
+        if (c == '(' || c == '[') {
+            char close = c == '(' ? ')' : ']';
+            ++pos;
+            Sexp list;
+            list.kind = Sexp::Kind::List;
+            skipWs();
+            while (pos < s.size() && s[pos] != close) {
+                list.items.push_back(readDatum());
+                skipWs();
+            }
+            XLVM_ASSERT(pos < s.size(), "missing '", close, "'");
+            ++pos;
+            return list;
+        }
+        if (c == '\'') {
+            ++pos;
+            Sexp quote;
+            quote.kind = Sexp::Kind::List;
+            Sexp q;
+            q.kind = Sexp::Kind::Symbol;
+            q.text = "quote";
+            quote.items.push_back(std::move(q));
+            quote.items.push_back(readDatum());
+            return quote;
+        }
+        if (c == '"') {
+            ++pos;
+            Sexp str;
+            str.kind = Sexp::Kind::Str;
+            while (pos < s.size() && s[pos] != '"') {
+                if (s[pos] == '\\' && pos + 1 < s.size()) {
+                    ++pos;
+                    str.text.push_back(s[pos] == 'n' ? '\n' : s[pos]);
+                } else {
+                    str.text.push_back(s[pos]);
+                }
+                ++pos;
+            }
+            XLVM_ASSERT(pos < s.size(), "unterminated string");
+            ++pos;
+            return str;
+        }
+        // Atom: number or symbol.
+        size_t start = pos;
+        while (pos < s.size() && !std::isspace(uint8_t(s[pos])) &&
+               s[pos] != '(' && s[pos] != ')' && s[pos] != '[' &&
+               s[pos] != ']' && s[pos] != ';')
+            ++pos;
+        std::string text = s.substr(start, pos - start);
+        // Numeric?
+        bool maybeNum = !text.empty() &&
+                        (std::isdigit(uint8_t(text[0])) ||
+                         ((text[0] == '-' || text[0] == '+') &&
+                          text.size() > 1 &&
+                          std::isdigit(uint8_t(text[1]))));
+        if (maybeNum) {
+            Sexp num;
+            if (text.find('.') != std::string::npos ||
+                text.find('e') != std::string::npos) {
+                num.kind = Sexp::Kind::Float;
+                num.floatValue = std::stod(text);
+            } else {
+                num.kind = Sexp::Kind::Int;
+                num.intValue = int64_t(std::stoll(text));
+            }
+            return num;
+        }
+        Sexp sym;
+        sym.kind = Sexp::Kind::Symbol;
+        sym.text = std::move(text);
+        return sym;
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+} // namespace
+
+std::vector<Sexp>
+readProgram(const std::string &source)
+{
+    return Reader(source).run();
+}
+
+} // namespace minirkt
+} // namespace xlvm

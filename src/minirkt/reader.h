@@ -1,0 +1,39 @@
+/**
+ * @file
+ * MiniRkt s-expression reader.
+ */
+
+#ifndef XLVM_MINIRKT_READER_H
+#define XLVM_MINIRKT_READER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xlvm {
+namespace minirkt {
+
+/** One datum: atom or list. */
+struct Sexp
+{
+    enum class Kind : uint8_t { Symbol, Int, Float, Str, List };
+
+    Kind kind = Kind::List;
+    std::string text;   ///< symbol name / string value
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    std::vector<Sexp> items;
+
+    bool isSym(const char *s) const
+    {
+        return kind == Kind::Symbol && text == s;
+    }
+};
+
+/** Parse a sequence of top-level forms. */
+std::vector<Sexp> readProgram(const std::string &source);
+
+} // namespace minirkt
+} // namespace xlvm
+
+#endif // XLVM_MINIRKT_READER_H

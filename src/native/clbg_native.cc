@@ -1,0 +1,325 @@
+#include "native/clbg_native.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/code_space.h"
+#include "sim/core.h"
+#include "sim/emitter.h"
+#include "workloads/workloads.h"
+#include "xlayer/annot.h"
+#include "xlayer/phase.h"
+
+namespace xlvm {
+namespace native {
+
+namespace {
+
+std::string gLastOutput;
+
+/**
+ * Cost accounting for straight-line compiled code: real algorithms run
+ * in C++, and each inner-loop step charges a small, dense instruction
+ * pattern (the statically compiled contrast to interpreters: no
+ * dispatch, direct branches, register-resident values).
+ */
+class NativeRun
+{
+  public:
+    NativeRun() : core(params())
+    {
+        pc = space.alloc(sim::CodeSegment::Interp, 4096);
+        sim::BlockEmitter e(core, pc);
+        e.annot(xlayer::kPhaseEnter, uint32_t(xlayer::Phase::Native));
+    }
+
+    static sim::CoreParams
+    params()
+    {
+        return sim::CoreParams();
+    }
+
+    /** Charge one loop step: a few ALU ops, a load, a taken branch. */
+    void
+    step(uint32_t alu = 3, bool load = false, bool fp = false)
+    {
+        sim::BlockEmitter e(core, pc + 64);
+        if (fp)
+            e.fpAlu(alu);
+        else
+            e.alu(alu);
+        if (load)
+            e.load(pc + 0x1000 + (steps % 512) * 8, 0);
+        e.branch((steps & 7) != 0);
+        ++steps;
+    }
+
+    double
+    seconds()
+    {
+        sim::BlockEmitter e(core, pc + 128);
+        e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Native));
+        return core.seconds();
+    }
+
+    sim::CodeSpace space;
+    sim::Core core;
+    uint64_t pc = 0;
+    uint64_t steps = 0;
+};
+
+int64_t
+scaleOf(const std::string &name)
+{
+    for (const workloads::Workload &w : workloads::clbgSuite()) {
+        if (w.name == name)
+            return w.defaultScale;
+    }
+    return 0;
+}
+
+// ---- kernels ----------------------------------------------------------
+
+double
+nativeBinarytrees(NativeRun &run, int64_t maxdepth)
+{
+    struct Node
+    {
+        Node *l = nullptr;
+        Node *r = nullptr;
+    };
+    std::vector<Node> pool;
+    pool.reserve(1u << (maxdepth + 2));
+
+    // Recursive build/check via explicit lambdas.
+    std::function<Node *(int)> make = [&](int d) -> Node * {
+        run.step(4, true);
+        pool.emplace_back();
+        Node *n = &pool.back();
+        if (d > 0) {
+            n->l = make(d - 1);
+            n->r = make(d - 1);
+        }
+        return n;
+    };
+    std::function<int64_t(Node *)> check = [&](Node *n) -> int64_t {
+        run.step(2, true);
+        if (!n->l)
+            return 1;
+        return 1 + check(n->l) + check(n->r);
+    };
+
+    pool.clear();
+    int64_t total = check(make(int(maxdepth) + 1));
+    pool.clear();
+    Node *longlived = make(int(maxdepth));
+    for (int64_t depth = 4; depth <= maxdepth; depth += 2) {
+        int64_t iters = int64_t(1) << (maxdepth - depth + 4);
+        for (int64_t i = 0; i < iters; ++i) {
+            size_t mark = pool.size();
+            total += check(make(int(depth)));
+            pool.resize(mark > 0 ? mark : 0);
+        }
+    }
+    total += check(longlived);
+    gLastOutput = std::to_string(total) + "\n";
+    return run.seconds();
+}
+
+double
+nativeMandelbrot(NativeRun &run, int64_t size)
+{
+    int64_t total = 0;
+    for (int64_t y = 0; y < size; ++y) {
+        double ci = 2.0 * y / size - 1.0;
+        for (int64_t x = 0; x < size; ++x) {
+            double cr = 2.0 * x / size - 1.5;
+            double zr = 0, zi = 0;
+            bool inside = true;
+            for (int i = 0; i < 50; ++i) {
+                run.step(5, false, true);
+                double zr2 = zr * zr, zi2 = zi * zi;
+                if (zr2 + zi2 > 4.0) {
+                    inside = false;
+                    break;
+                }
+                zi = 2.0 * zr * zi + ci;
+                zr = zr2 - zi2 + cr;
+            }
+            if (inside)
+                ++total;
+        }
+    }
+    gLastOutput = std::to_string(total) + "\n";
+    return run.seconds();
+}
+
+double
+nativeFannkuch(NativeRun &run, int64_t n)
+{
+    std::vector<int> perm1(n), perm(n), count(n, 0);
+    for (int64_t i = 0; i < n; ++i)
+        perm1[i] = int(i);
+    int64_t maxFlips = 0, checksum = 0, sign = 1;
+    while (true) {
+        if (perm1[0] != 0) {
+            perm = perm1;
+            int64_t flips = 0;
+            int k = perm[0];
+            while (k != 0) {
+                run.step(3, true);
+                std::reverse(perm.begin(), perm.begin() + k + 1);
+                ++flips;
+                k = perm[0];
+            }
+            if (flips > maxFlips)
+                maxFlips = flips;
+            checksum += sign * flips;
+        }
+        sign = -sign;
+        int64_t r = 1;
+        while (true) {
+            run.step(2, true);
+            if (r == n) {
+                gLastOutput = std::to_string(maxFlips * 100000 +
+                                             ((checksum % 100000) +
+                                              100000) %
+                                                 100000) +
+                              "\n";
+                return run.seconds();
+            }
+            int first = perm1[0];
+            for (int64_t i = 0; i < r; ++i)
+                perm1[i] = perm1[i + 1];
+            perm1[r] = first;
+            if (++count[r] <= r)
+                break;
+            count[r] = 0;
+            ++r;
+        }
+    }
+}
+
+double
+nativeSpectralnorm(NativeRun &run, int64_t n)
+{
+    auto evalA = [](int64_t i, int64_t j) {
+        return 1.0 / ((i + j) * (i + j + 1) / 2.0 + i + 1.0);
+    };
+    std::vector<double> u(n, 1.0), v(n, 0.0), w(n, 0.0);
+    for (int k = 0; k < 6; ++k) {
+        for (int64_t i = 0; i < n; ++i) {
+            double s = 0;
+            for (int64_t j = 0; j < n; ++j) {
+                run.step(3, true, true);
+                s += evalA(i, j) * u[j];
+            }
+            w[i] = s;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+            double s = 0;
+            for (int64_t j = 0; j < n; ++j) {
+                run.step(3, true, true);
+                s += evalA(j, i) * w[j];
+            }
+            v[i] = s;
+        }
+        u = v;
+    }
+    double vBv = 0, vv = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        vBv += u[i] * v[i];
+        vv += v[i] * v[i];
+    }
+    gLastOutput =
+        std::to_string(int64_t(std::sqrt(vBv / vv) * 1000000)) + "\n";
+    return run.seconds();
+}
+
+double
+nativeThreadring(NativeRun &run, int64_t token)
+{
+    const int ring = 503;
+    std::vector<int64_t> counts(ring, 0);
+    int pos = 0;
+    while (token > 0) {
+        run.step(2, true);
+        ++counts[pos];
+        pos = (pos + 1) % ring;
+        --token;
+    }
+    gLastOutput = std::to_string(pos + 1) + "\n";
+    return run.seconds();
+}
+
+double
+nativeFasta(NativeRun &run, int64_t n)
+{
+    const char alu[] = "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGG"
+                       "GAGGCCGAGG";
+    int64_t aluLen = int64_t(std::strlen(alu));
+    int64_t lines = 0;
+    // repeat_fasta analog.
+    int64_t produced = 0, pos = 0;
+    while (produced < n * 2) {
+        int64_t take = std::min<int64_t>(60, n * 2 - produced);
+        for (int64_t k = 0; k < take; ++k) {
+            run.step(2, true);
+            pos = (pos + 1) % aluLen;
+        }
+        produced += take;
+        ++lines;
+    }
+    // random_fasta analog.
+    int64_t seed = 42;
+    int64_t line = 0;
+    for (int64_t i = 0; i < n * 3; ++i) {
+        run.step(4, false);
+        seed = (seed * 3877 + 29573) % 139968;
+        if (++line == 60) {
+            line = 0;
+            ++lines;
+        }
+    }
+    if (line)
+        ++lines;
+    gLastOutput = std::to_string(lines) + "\n";
+    return run.seconds();
+}
+
+} // namespace
+
+double
+runNative(const std::string &workload)
+{
+    int64_t scale = scaleOf(workload);
+    if (scale <= 0)
+        return -1;
+    NativeRun run;
+    if (workload == "binarytrees")
+        return nativeBinarytrees(run, scale);
+    if (workload == "mandelbrot")
+        return nativeMandelbrot(run, scale);
+    if (workload == "fannkuchredux")
+        return nativeFannkuch(run, scale);
+    if (workload == "spectralnorm")
+        return nativeSpectralnorm(run, scale);
+    if (workload == "threadring")
+        return nativeThreadring(run, scale);
+    if (workload == "fasta")
+        return nativeFasta(run, scale);
+    return -1;
+}
+
+const std::string &
+lastNativeOutput()
+{
+    return gLastOutput;
+}
+
+} // namespace native
+} // namespace xlvm

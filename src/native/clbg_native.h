@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Statically compiled C++ reference implementations of the CLBG kernels
+ * (the paper's C/C++ column in Table II).
+ */
+
+#ifndef XLVM_NATIVE_CLBG_NATIVE_H
+#define XLVM_NATIVE_CLBG_NATIVE_H
+
+#include <string>
+
+namespace xlvm {
+namespace native {
+
+/**
+ * Run the native implementation of @p workload at its registry scale on
+ * the simulated core (Native phase) and return simulated seconds, or
+ * -1 if no native implementation exists.
+ */
+double runNative(const std::string &workload);
+
+/** Output of the last runNative call (for agreement checks). */
+const std::string &lastNativeOutput();
+
+} // namespace native
+} // namespace xlvm
+
+#endif // XLVM_NATIVE_CLBG_NATIVE_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Central cost-model constants.
+ *
+ * Everything tunable about the modeled machine-level behaviour of the VM
+ * stack lives here so calibration experiments and ablation benches have a
+ * single knob surface. All counts are synthetic instructions unless noted.
+ */
+
+#ifndef XLVM_OBJ_COSTPARAMS_H
+#define XLVM_OBJ_COSTPARAMS_H
+
+#include <cstdint>
+
+namespace xlvm {
+namespace obj {
+
+struct CostParams
+{
+    // ---- bytecode dispatch (per dispatch-loop iteration) -------------
+    /** Loads in fetch/decode (bytecode fetch, handler table, frame). */
+    uint32_t dispatchLoads = 3;
+    /** ALU ops in fetch/decode (pc bump, masks, bounds). */
+    uint32_t dispatchAlus = 3;
+
+    /**
+     * Extra per-dispatch and per-space-op instructions for the
+     * RPython-translated interpreter relative to the hand-written C
+     * interpreter. Models the paper's observation that CPython is ~2x
+     * faster than PyPy-without-JIT (Section V-A): the translated code is
+     * less dense and does more redundant work.
+     */
+    uint32_t rpyDispatchExtraAlus = 5;
+    uint32_t rpyDispatchExtraLoads = 3;
+    uint32_t rpyOpExtraAlus = 3;
+    uint32_t rpyOpExtraLoads = 2;
+
+    /** Per-handler entry overhead (push/pop of interpreter state). */
+    uint32_t handlerEntryAlus = 2;
+
+    /** CPython-analog refcount traffic per object operation. */
+    uint32_t refcountAlusPerOp = 2;
+
+    // ---- meta-tracing ------------------------------------------------
+    /** Meta-interpreter work per recorded IR op (record + bookkeeping). */
+    uint32_t tracePerOpInsts = 70;
+    /** Optimizer + assembler work per op of the recorded trace. */
+    uint32_t optPerOpInsts = 140;
+
+    // ---- deoptimization -----------------------------------------------
+    /** Blackhole per reconstructed frame slot. */
+    uint32_t blackholePerSlotInsts = 35;
+    /** Blackhole fixed overhead per deopt. */
+    uint32_t blackholeFixedInsts = 180;
+
+    // ---- garbage collection -------------------------------------------
+    double gcPerScannedObjInsts = 9.0;
+    double gcPerPromotedByteInsts = 0.5;
+    uint32_t gcMinorFixedInsts = 500;
+    uint32_t gcMajorFixedInsts = 4000;
+    double gcMajorPerByteInsts = 0.12;
+
+    // ---- AOT runtime calls ----------------------------------------------
+    /** Call/return sequence overhead at an AOT entry point. */
+    uint32_t aotFixedInsts = 18;
+    /** Instructions per reported work unit inside AOT functions. */
+    uint32_t aotPerUnitInsts = 3;
+
+    // ---- trace execution -------------------------------------------------
+    /**
+     * Dependence-stall hint attached to loads in interpreter code
+     * (pointer chasing) vs JIT code (type-specialized, denser).
+     */
+    uint8_t interpLoadStall = 2;
+    uint8_t jitLoadStall = 1;
+};
+
+} // namespace obj
+} // namespace xlvm
+
+#endif // XLVM_OBJ_COSTPARAMS_H

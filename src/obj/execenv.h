@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Execution environment threaded through object-space operations.
+ *
+ * Bundles the simulated core (for cost emission), the code space, the GC
+ * heap, the active trace recorder (non-null while the meta-interpreter is
+ * tracing), and the cost model. The flavor field selects between the
+ * CPython-analog cost model (hand-written C interpreter, refcounting) and
+ * the RPython-analog one (translated interpreter, tracing JIT, real GC).
+ */
+
+#ifndef XLVM_OBJ_EXECENV_H
+#define XLVM_OBJ_EXECENV_H
+
+#include "gc/heap.h"
+#include "jit/recorder.h"
+#include "obj/costparams.h"
+#include "rt/aot_registry.h"
+#include "sim/code_space.h"
+#include "sim/core.h"
+#include "sim/emitter.h"
+#include "xlayer/annot.h"
+#include "xlayer/phase.h"
+
+namespace xlvm {
+namespace obj {
+
+enum class VmFlavor : uint8_t
+{
+    RefInterp, ///< CPython analog: direct C interpreter, refcount costs
+    RPython    ///< translated interpreter + meta-tracing framework
+};
+
+class ExecEnv
+{
+  public:
+    ExecEnv(sim::Core &core, sim::CodeSpace &code_space, gc::Heap &heap,
+            VmFlavor flavor, const CostParams &costs = CostParams())
+        : core_(core), codeSpace_(code_space), heap_(heap),
+          flavor_(flavor), costs_(costs)
+    {
+    }
+
+    sim::Core &core() { return core_; }
+    sim::CodeSpace &codeSpace() { return codeSpace_; }
+    gc::Heap &heap() { return heap_; }
+    VmFlavor flavor() const { return flavor_; }
+    const CostParams &costs() const { return costs_; }
+    CostParams &mutableCosts() { return costs_; }
+
+    bool isRPython() const { return flavor_ == VmFlavor::RPython; }
+
+    /** Active trace recorder, or nullptr when not tracing. */
+    jit::Recorder *recorder() { return rec; }
+    void setRecorder(jit::Recorder *r) { rec = r; }
+    bool tracing() const { return rec != nullptr; }
+
+    /** True while executing JIT-compiled trace code. */
+    bool inJitCode() const { return inJit; }
+    void setInJitCode(bool v) { inJit = v; }
+
+    /** Allocate a stable synthetic code site in the interpreter text. */
+    uint64_t
+    allocSite(uint32_t insts)
+    {
+        return codeSpace_.alloc(sim::CodeSegment::Interp, insts);
+    }
+
+    /** Stable code site for the blackhole interpreter's text. */
+    uint64_t
+    blackholeSite()
+    {
+        if (!bhSite)
+            bhSite = allocSite(512);
+        return bhSite;
+    }
+
+    /**
+     * Execute an AOT runtime function's cost: call overhead plus work
+     * proportional to @p work_units, attributed to the JIT-call phase
+     * when invoked from JIT-compiled code. Emits kAotEnter/kAotExit so
+     * the AOT-call profiler (Table III) sees the entry points.
+     */
+    void
+    aotCall(uint32_t fn_id, uint64_t work_units)
+    {
+        const rt::AotFunction &fn = rt::AotRegistry::instance().fn(fn_id);
+        sim::BlockEmitter e(core_, fn.codePc);
+        bool fromJit = inJit;
+        if (fromJit) {
+            e.annot(xlayer::kPhaseEnter,
+                    uint32_t(xlayer::Phase::JitCall));
+        }
+        e.annot(xlayer::kAotEnter, fn_id);
+        // Entry overhead: spills, argument marshalling.
+        e.alu(costs_.aotFixedInsts / 2);
+        e.loadPtr(this, 1);
+        // Work body: a load + alu + loop branch per few units. The body
+        // loops within the function's code region, as real runtime
+        // functions do.
+        uint64_t units = work_units ? work_units : 1;
+        uint64_t body = units * costs_.aotPerUnitInsts;
+        uint64_t bodyPc = fn.codePc + 0x100;
+        for (uint64_t i = 0; i < body; i += 3) {
+            sim::BlockEmitter be(core_, bodyPc);
+            be.load(fn.codePc + 0x800 + (i % 512) * 8, 1);
+            be.alu(1);
+            be.branch(i + 3 < body);
+        }
+        e.alu(costs_.aotFixedInsts / 2);
+        e.annot(xlayer::kAotExit, fn_id);
+        if (fromJit)
+            e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::JitCall));
+    }
+
+  private:
+    sim::Core &core_;
+    sim::CodeSpace &codeSpace_;
+    gc::Heap &heap_;
+    VmFlavor flavor_;
+    CostParams costs_;
+    jit::Recorder *rec = nullptr;
+    bool inJit = false;
+    uint64_t bhSite = 0;
+};
+
+} // namespace obj
+} // namespace xlvm
+
+#endif // XLVM_OBJ_EXECENV_H

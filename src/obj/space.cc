@@ -1,0 +1,1344 @@
+#include "obj/space.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "rt/rstr.h"
+
+namespace xlvm {
+namespace obj {
+
+using jit::BoxType;
+using jit::IrOp;
+using jit::kNoArg;
+using jit::Recorder;
+using jit::RtVal;
+
+ObjSpace::ObjSpace(ExecEnv &env) : env_(env)
+{
+    sitePcs.resize(kNumSites);
+    for (uint32_t i = 0; i < kNumSites; ++i)
+        sitePcs[i] = env_.allocSite(64);
+    noneSingleton = heap().alloc<W_None>();
+    trueSingleton = heap().alloc<W_Bool>(true);
+    falseSingleton = heap().alloc<W_Bool>(false);
+    heap().addRootProvider(this);
+}
+
+ObjSpace::~ObjSpace()
+{
+    heap().removeRootProvider(this);
+}
+
+void
+ObjSpace::forEachRoot(gc::GcVisitor &v)
+{
+    v.visit(noneSingleton);
+    v.visit(trueSingleton);
+    v.visit(falseSingleton);
+    for (auto &[s, w] : internTable) {
+        (void)s;
+        v.visit(w);
+    }
+}
+
+sim::BlockEmitter
+ObjSpace::siteEmitter(Site s)
+{
+    ++nOps;
+    return sim::BlockEmitter(env_.core(), sitePcs[s]);
+}
+
+void
+ObjSpace::emitDispatchCost(sim::BlockEmitter &e, W_Object *l, W_Object *r)
+{
+    const CostParams &c = env_.costs();
+    // Load type words and dispatch.
+    e.loadPtr(l, c.interpLoadStall);
+    if (r)
+        e.loadPtr(r, c.interpLoadStall);
+    e.alu(2);
+    e.branch(false);
+    if (env_.isRPython()) {
+        e.alu(c.rpyOpExtraAlus);
+        for (uint32_t i = 0; i < c.rpyOpExtraLoads; ++i)
+            e.loadPtr(this, 1);
+    } else {
+        e.alu(c.refcountAlusPerOp);
+    }
+}
+
+// ------------------------------------------------------------ constructors
+
+W_Object *
+ObjSpace::newBool(bool v)
+{
+    return v ? static_cast<W_Object *>(trueSingleton)
+             : static_cast<W_Object *>(falseSingleton);
+}
+
+W_Bool *
+ObjSpace::newTracedBool(bool v, int32_t enc)
+{
+    W_Bool *w = heap().alloc<W_Bool>(v);
+    if (Recorder *r = rec()) {
+        int32_t box = r->emit(IrOp::NewWithVtable, kNoArg, kNoArg, kNoArg,
+                              kTypeBool);
+        r->emit(IrOp::SetfieldGc, box, enc, kNoArg, kFieldValue);
+        r->mapRef(w, box);
+    }
+    return w;
+}
+
+W_Int *
+ObjSpace::newInt(int64_t v)
+{
+    return heap().alloc<W_Int>(v);
+}
+
+W_Float *
+ObjSpace::newFloat(double v)
+{
+    return heap().alloc<W_Float>(v);
+}
+
+W_Str *
+ObjSpace::newStr(std::string s)
+{
+    return heap().alloc<W_Str>(std::move(s));
+}
+
+W_BigInt *
+ObjSpace::newBigInt(rt::RBigInt v)
+{
+    return heap().alloc<W_BigInt>(std::move(v));
+}
+
+W_List *
+ObjSpace::newList()
+{
+    return heap().alloc<W_List>();
+}
+
+W_Tuple *
+ObjSpace::newTuple(std::vector<W_Object *> items)
+{
+    return heap().alloc<W_Tuple>(std::move(items));
+}
+
+W_Dict *
+ObjSpace::newDict()
+{
+    return heap().alloc<W_Dict>();
+}
+
+W_Set *
+ObjSpace::newSet()
+{
+    return heap().alloc<W_Set>();
+}
+
+W_Str *
+ObjSpace::intern(const std::string &s)
+{
+    auto it = internTable.find(s);
+    if (it != internTable.end())
+        return it->second;
+    W_Str *w = newStr(s);
+    internTable[s] = w;
+    return w;
+}
+
+// ----------------------------------------------------------- rec helpers
+
+int32_t
+ObjSpace::recRef(W_Object *w)
+{
+    for (int i = 0; i < nHints; ++i) {
+        if (hintObjs[i] == w)
+            return hintEncs[i];
+    }
+    return rec()->refEncoding(w);
+}
+
+void
+ObjSpace::recGuardType(W_Object *w)
+{
+    rec()->guardClass(recRef(w), w->typeId());
+}
+
+int32_t
+ObjSpace::recUnboxInt(W_Object *w)
+{
+    Recorder *r = rec();
+    int32_t ref = takeHint(w);
+    if (ref == kNoArg)
+        ref = recRef(w);
+    int64_t actual = 0;
+    switch (w->typeId()) {
+      case kTypeInt:
+        actual = static_cast<W_Int *>(w)->value;
+        break;
+      case kTypeBool:
+        actual = static_cast<W_Bool *>(w)->value;
+        break;
+      default:
+        XLVM_PANIC("recUnboxInt on ", typeName(w->typeId()));
+    }
+    if (jit::isConstRef(ref)) {
+        // getfield_gc_pure on a constant folds to the value.
+        return r->constInt(actual);
+    }
+    return r->emitTyped(IrOp::GetfieldGc, BoxType::Int, ref, kNoArg,
+                        kNoArg, kFieldValue);
+}
+
+int32_t
+ObjSpace::recUnboxFloat(W_Object *w)
+{
+    Recorder *r = rec();
+    int32_t ref = takeHint(w);
+    if (ref == kNoArg)
+        ref = recRef(w);
+    XLVM_ASSERT(w->typeId() == kTypeFloat, "recUnboxFloat on ",
+                typeName(w->typeId()));
+    if (jit::isConstRef(ref))
+        return r->constFloat(static_cast<W_Float *>(w)->value);
+    return r->emitTyped(IrOp::GetfieldGc, BoxType::Float, ref, kNoArg,
+                        kNoArg, kFieldValue);
+}
+
+W_Int *
+ObjSpace::recBoxInt(int64_t v, int32_t enc)
+{
+    W_Int *w = newInt(v);
+    if (Recorder *r = rec()) {
+        int32_t box = r->emit(IrOp::NewWithVtable, kNoArg, kNoArg, kNoArg,
+                              kTypeInt);
+        r->emit(IrOp::SetfieldGc, box, enc, kNoArg, kFieldValue);
+        r->mapRef(w, box);
+    }
+    return w;
+}
+
+W_Float *
+ObjSpace::recBoxFloat(double v, int32_t enc)
+{
+    W_Float *w = newFloat(v);
+    if (Recorder *r = rec()) {
+        int32_t box = r->emit(IrOp::NewWithVtable, kNoArg, kNoArg, kNoArg,
+                              kTypeFloat);
+        r->emit(IrOp::SetfieldGc, box, enc, kNoArg, kFieldValue);
+        r->mapRef(w, box);
+    }
+    return w;
+}
+
+int32_t
+ObjSpace::recCall(IrOp kind, uint32_t fn_id, BoxType ret, int32_t a,
+                  int32_t b, int32_t c, uint32_t sem, int32_t d)
+{
+    return rec()->emitTyped(kind, ret, a, b, c, fn_id, d, sem);
+}
+
+// ------------------------------------------------------------ conversions
+
+int64_t
+ObjSpace::unwrapInt(W_Object *w) const
+{
+    switch (w->typeId()) {
+      case kTypeInt:
+        return static_cast<W_Int *>(w)->value;
+      case kTypeBool:
+        return static_cast<W_Bool *>(w)->value;
+      case kTypeBigInt: {
+        const auto *b = static_cast<W_BigInt *>(w);
+        XLVM_ASSERT(b->value.fitsInt64(), "bigint too large for index");
+        return b->value.toInt64();
+      }
+      default:
+        XLVM_FATAL("expected int, got ", typeName(w->typeId()));
+    }
+}
+
+double
+ObjSpace::unwrapFloat(W_Object *w) const
+{
+    XLVM_ASSERT(w->typeId() == kTypeFloat, "expected float, got ",
+                typeName(w->typeId()));
+    return static_cast<W_Float *>(w)->value;
+}
+
+const std::string &
+ObjSpace::unwrapStr(W_Object *w) const
+{
+    XLVM_ASSERT(w->typeId() == kTypeStr, "expected str, got ",
+                typeName(w->typeId()));
+    return static_cast<W_Str *>(w)->value;
+}
+
+double
+ObjSpace::toDouble(W_Object *w) const
+{
+    switch (w->typeId()) {
+      case kTypeInt:
+        return double(static_cast<W_Int *>(w)->value);
+      case kTypeBool:
+        return double(static_cast<W_Bool *>(w)->value);
+      case kTypeFloat:
+        return static_cast<W_Float *>(w)->value;
+      case kTypeBigInt:
+        return static_cast<W_BigInt *>(w)->value.toDouble();
+      default:
+        XLVM_FATAL("cannot convert ", typeName(w->typeId()), " to float");
+    }
+}
+
+rt::RBigInt
+ObjSpace::toBigInt(W_Object *w) const
+{
+    switch (w->typeId()) {
+      case kTypeInt:
+        return rt::RBigInt::fromInt64(static_cast<W_Int *>(w)->value);
+      case kTypeBool:
+        return rt::RBigInt::fromInt64(static_cast<W_Bool *>(w)->value);
+      case kTypeBigInt:
+        return static_cast<W_BigInt *>(w)->value;
+      default:
+        XLVM_FATAL("cannot convert ", typeName(w->typeId()), " to bigint");
+    }
+}
+
+W_Object *
+ObjSpace::normalizeBigInt(const rt::RBigInt &v, int32_t enc)
+{
+    // Demote back to a machine int when possible (PyPy does the same).
+    if (v.fitsInt64()) {
+        W_Int *w = newInt(v.toInt64());
+        if (Recorder *r = rec())
+            r->mapRef(w, enc);
+        return w;
+    }
+    W_BigInt *w = newBigInt(v);
+    if (Recorder *r = rec())
+        r->mapRef(w, enc);
+    return w;
+}
+
+// ------------------------------------------------------------ arithmetic
+
+W_Object *
+ObjSpace::intArith(IrOp op, IrOp ovf_op, int64_t a, int64_t b,
+                   W_Object *l, W_Object *r)
+{
+    Recorder *recd = rec();
+    int64_t res = 0;
+    bool overflow = false;
+    switch (op) {
+      case IrOp::IntAdd:
+        overflow = __builtin_add_overflow(a, b, &res);
+        break;
+      case IrOp::IntSub:
+        overflow = __builtin_sub_overflow(a, b, &res);
+        break;
+      case IrOp::IntMul:
+        overflow = __builtin_mul_overflow(a, b, &res);
+        break;
+      case IrOp::IntAnd:
+        res = a & b;
+        break;
+      case IrOp::IntOr:
+        res = a | b;
+        break;
+      case IrOp::IntXor:
+        res = a ^ b;
+        break;
+      case IrOp::IntLshift:
+        if (b < 0)
+            XLVM_FATAL("negative shift count");
+        overflow = b >= 63 || (a != 0 && (a >> (62 - b)) != 0 &&
+                               (a >> (62 - b)) != -1);
+        if (!overflow)
+            res = a << b;
+        break;
+      case IrOp::IntRshift:
+        if (b < 0)
+            XLVM_FATAL("negative shift count");
+        res = b >= 63 ? (a < 0 ? -1 : 0) : (a >> b);
+        break;
+      case IrOp::IntFloordiv:
+        if (b == 0)
+            XLVM_FATAL("integer division by zero");
+        res = a / b;
+        if ((a % b != 0) && ((a < 0) != (b < 0)))
+            --res;
+        break;
+      case IrOp::IntMod:
+        if (b == 0)
+            XLVM_FATAL("integer modulo by zero");
+        res = a % b;
+        if (res != 0 && ((res < 0) != (b < 0)))
+            res += b;
+        break;
+      default:
+        XLVM_PANIC("bad intArith op");
+    }
+
+    if (overflow) {
+        // Promote to bignum: the interpreter calls rbigint (AOT).
+        uint32_t fn = op == IrOp::IntMul ? rt::kAotBigIntMul
+                                         : op == IrOp::IntSub
+                                               ? rt::kAotBigIntSub
+                                               : op == IrOp::IntLshift
+                                                     ? rt::kAotBigIntLshift
+                                                     : rt::kAotBigIntAdd;
+        return bigIntArith(fn, l, r);
+    }
+
+    if (recd) {
+        int32_t ea = recUnboxInt(l);
+        int32_t eb = recUnboxInt(r);
+        bool useOvf = ovf_op != IrOp::Label;
+        int32_t er = recd->emit(useOvf ? ovf_op : op, ea, eb);
+        if (useOvf && !jit::isConstRef(er))
+            recd->guardNoOverflow();
+        return recBoxInt(res, er);
+    }
+    return newInt(res);
+}
+
+W_Object *
+ObjSpace::floatArith(IrOp op, double a, double b, W_Object *l, W_Object *r)
+{
+    Recorder *recd = rec();
+    double res = 0;
+    switch (op) {
+      case IrOp::FloatAdd:
+        res = a + b;
+        break;
+      case IrOp::FloatSub:
+        res = a - b;
+        break;
+      case IrOp::FloatMul:
+        res = a * b;
+        break;
+      case IrOp::FloatTruediv:
+        if (b == 0.0)
+            XLVM_FATAL("float division by zero");
+        res = a / b;
+        break;
+      default:
+        XLVM_PANIC("bad floatArith op");
+    }
+    if (recd) {
+        auto unboxAsFloat = [&](W_Object *w) -> int32_t {
+            if (w->typeId() == kTypeFloat)
+                return recUnboxFloat(w);
+            int32_t iv = recUnboxInt(w);
+            return recd->emit(IrOp::CastIntToFloat, iv);
+        };
+        int32_t ea = unboxAsFloat(l);
+        int32_t eb = unboxAsFloat(r);
+        int32_t er = recd->emit(op, ea, eb);
+        return recBoxFloat(res, er);
+    }
+    return newFloat(res);
+}
+
+W_Object *
+ObjSpace::bigIntArith(uint32_t fn, W_Object *l, W_Object *r, uint32_t sem)
+{
+    rt::RBigInt a = toBigInt(l);
+    rt::RBigInt b = toBigInt(r);
+    rt::RBigInt out;
+    uint64_t units = 1;
+    switch (fn) {
+      case rt::kAotBigIntAdd:
+        out = rt::RBigInt::add(a, b);
+        units = rt::RBigInt::addCostUnits(a, b);
+        break;
+      case rt::kAotBigIntSub:
+        out = rt::RBigInt::sub(a, b);
+        units = rt::RBigInt::addCostUnits(a, b);
+        break;
+      case rt::kAotBigIntMul:
+        out = rt::RBigInt::mul(a, b);
+        units = rt::RBigInt::mulCostUnits(a, b);
+        break;
+      case rt::kAotBigIntDivMod: {
+        rt::RBigInt q, rem;
+        rt::RBigInt::divmod(a, b, q, rem);
+        out = q;
+        units = rt::RBigInt::divmodCostUnits(a, b);
+        break;
+      }
+      case rt::kAotBigIntLshift:
+        out = a.lshift(uint32_t(b.toInt64()));
+        units = rt::RBigInt::shiftCostUnits(a, uint32_t(b.toInt64()));
+        break;
+      case rt::kAotBigIntRshift:
+        out = a.rshift(uint32_t(b.toInt64()));
+        units = rt::RBigInt::shiftCostUnits(a, uint32_t(b.toInt64()));
+        break;
+      default:
+        XLVM_PANIC("bad bigint fn ", fn);
+    }
+    env_.aotCall(fn, units);
+    int32_t enc = kNoArg;
+    if (rec()) {
+        recGuardType(l);
+        recGuardType(r);
+        enc = recCall(IrOp::Call, fn, BoxType::Ref, recRef(l), recRef(r),
+                      jit::kNoArg, sem);
+    }
+    return normalizeBigInt(out, enc);
+}
+
+namespace {
+
+bool
+bothIntLike(W_Object *l, W_Object *r)
+{
+    auto ok = [](uint16_t t) { return t == kTypeInt || t == kTypeBool; };
+    return ok(l->typeId()) && ok(r->typeId());
+}
+
+bool
+eitherFloat(W_Object *l, W_Object *r)
+{
+    auto num = [](uint16_t t) {
+        return t == kTypeInt || t == kTypeBool || t == kTypeFloat;
+    };
+    return (l->typeId() == kTypeFloat || r->typeId() == kTypeFloat) &&
+           num(l->typeId()) && num(r->typeId());
+}
+
+bool
+eitherBigInt(W_Object *l, W_Object *r)
+{
+    auto num = [](uint16_t t) {
+        return t == kTypeInt || t == kTypeBool || t == kTypeBigInt;
+    };
+    return (l->typeId() == kTypeBigInt || r->typeId() == kTypeBigInt) &&
+           num(l->typeId()) && num(r->typeId());
+}
+
+} // namespace
+
+W_Object *
+ObjSpace::add(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        e.alu(1);
+        return intArith(IrOp::IntAdd, IrOp::IntAddOvf, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    if (eitherFloat(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        e.fpAlu(1);
+        return floatArith(IrOp::FloatAdd, toDouble(l), toDouble(r), l, r);
+    }
+    if (eitherBigInt(l, r))
+        return bigIntArith(rt::kAotBigIntAdd, l, r);
+    if (l->typeId() == kTypeStr && r->typeId() == kTypeStr) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        return strConcat(static_cast<W_Str *>(l), static_cast<W_Str *>(r));
+    }
+    if (l->typeId() == kTypeList && r->typeId() == kTypeList) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        W_List *out = newList();
+        listExtend(out, l);
+        listExtend(out, r);
+        if (rec())
+            rec()->mapRef(out, recCall(IrOp::Call, rt::kAotListExtend,
+                                       BoxType::Ref, recRef(l), recRef(r),
+                                       jit::kNoArg, kSemListConcat));
+        return out;
+    }
+    if (l->typeId() == kTypeTuple && r->typeId() == kTypeTuple) {
+        auto *lt = static_cast<W_Tuple *>(l);
+        auto *rt_ = static_cast<W_Tuple *>(r);
+        std::vector<W_Object *> items = lt->items;
+        items.insert(items.end(), rt_->items.begin(), rt_->items.end());
+        W_Tuple *out = newTuple(std::move(items));
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+            rec()->mapRef(out, recCall(IrOp::Call, rt::kAotListExtend,
+                                       BoxType::Ref, recRef(l), recRef(r),
+                                       jit::kNoArg, kSemTupleConcat));
+        }
+        return out;
+    }
+    XLVM_FATAL("unsupported + between ", typeName(l->typeId()), " and ",
+               typeName(r->typeId()));
+}
+
+W_Object *
+ObjSpace::sub(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        e.alu(1);
+        return intArith(IrOp::IntSub, IrOp::IntSubOvf, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    if (eitherFloat(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        e.fpAlu(1);
+        return floatArith(IrOp::FloatSub, toDouble(l), toDouble(r), l, r);
+    }
+    if (eitherBigInt(l, r))
+        return bigIntArith(rt::kAotBigIntSub, l, r);
+    if (l->typeId() == kTypeSet && r->typeId() == kTypeSet)
+        return setDifference(static_cast<W_Set *>(l),
+                             static_cast<W_Set *>(r));
+    XLVM_FATAL("unsupported - between ", typeName(l->typeId()), " and ",
+               typeName(r->typeId()));
+}
+
+W_Object *
+ObjSpace::mul(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        e.mul();
+        return intArith(IrOp::IntMul, IrOp::IntMulOvf, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    if (eitherFloat(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        e.fpMul();
+        return floatArith(IrOp::FloatMul, toDouble(l), toDouble(r), l, r);
+    }
+    if (eitherBigInt(l, r))
+        return bigIntArith(rt::kAotBigIntMul, l, r);
+    if (l->typeId() == kTypeStr && r->typeId() == kTypeInt) {
+        int32_t ne = kNoArg;
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+            ne = recUnboxInt(r);
+        }
+        return strMul(static_cast<W_Str *>(l), unwrapInt(r), ne);
+    }
+    if (l->typeId() == kTypeList && r->typeId() == kTypeInt) {
+        auto *src = static_cast<W_List *>(l);
+        int64_t n = unwrapInt(r);
+        W_List *out = newList();
+        for (int64_t i = 0; i < n; ++i)
+            listExtend(out, src);
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+            rec()->mapRef(out, recCall(IrOp::Call, rt::kAotListExtend,
+                                       BoxType::Ref, recRef(l), recRef(r),
+                                       jit::kNoArg, kSemListRepeat));
+        }
+        return out;
+    }
+    XLVM_FATAL("unsupported * between ", typeName(l->typeId()), " and ",
+               typeName(r->typeId()));
+}
+
+W_Object *
+ObjSpace::truediv(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (rec()) {
+        recGuardType(l);
+        recGuardType(r);
+    }
+    e.fpDiv();
+    if (eitherBigInt(l, r)) {
+        double res = toBigInt(l).toDouble() / toBigInt(r).toDouble();
+        int32_t enc = kNoArg;
+        if (rec())
+            enc = recCall(IrOp::Call, rt::kAotBigIntDivMod, BoxType::Ref,
+                          recRef(l), recRef(r), jit::kNoArg,
+                          kSemBigIntTrueDiv);
+        W_Float *w = newFloat(res);
+        if (rec())
+            rec()->mapRef(w, enc);
+        return w;
+    }
+    return floatArith(IrOp::FloatTruediv, toDouble(l), toDouble(r), l, r);
+}
+
+W_Object *
+ObjSpace::floordiv(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        e.div();
+        return intArith(IrOp::IntFloordiv, IrOp::Label, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    if (eitherFloat(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        e.fpDiv();
+        double res = std::floor(toDouble(l) / toDouble(r));
+        int32_t enc = kNoArg;
+        if (Recorder *recd = rec()) {
+            int32_t ea = l->typeId() == kTypeFloat
+                             ? recUnboxFloat(l)
+                             : recd->emit(IrOp::CastIntToFloat,
+                                          recUnboxInt(l));
+            int32_t eb = r->typeId() == kTypeFloat
+                             ? recUnboxFloat(r)
+                             : recd->emit(IrOp::CastIntToFloat,
+                                          recUnboxInt(r));
+            enc = recd->emit(IrOp::FloatTruediv, ea, eb);
+        }
+        return recBoxFloat(res, enc);
+    }
+    if (eitherBigInt(l, r))
+        return bigIntArith(rt::kAotBigIntDivMod, l, r, kSemBigIntFloorDiv);
+    XLVM_FATAL("unsupported // between ", typeName(l->typeId()), " and ",
+               typeName(r->typeId()));
+}
+
+W_Object *
+ObjSpace::mod(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        e.div();
+        return intArith(IrOp::IntMod, IrOp::Label, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    if (eitherFloat(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        double a = toDouble(l), b = toDouble(r);
+        if (b == 0.0)
+            XLVM_FATAL("float modulo by zero");
+        double res = std::fmod(a, b);
+        if (res != 0.0 && ((res < 0) != (b < 0)))
+            res += b;
+        env_.aotCall(rt::kAotCPow, 12);
+        W_Float *w = newFloat(res);
+        if (rec()) {
+            int32_t enc = recCall(IrOp::Call, rt::kAotCPow, BoxType::Ref,
+                                  recRef(l), recRef(r), jit::kNoArg,
+                                  kSemFloatMod);
+            rec()->mapRef(w, enc);
+        }
+        return w;
+    }
+    if (eitherBigInt(l, r)) {
+        rt::RBigInt q, rem;
+        rt::RBigInt a = toBigInt(l), b = toBigInt(r);
+        rt::RBigInt::divmod(a, b, q, rem);
+        env_.aotCall(rt::kAotBigIntDivMod,
+                     rt::RBigInt::divmodCostUnits(a, b));
+        int32_t enc = kNoArg;
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+            enc = recCall(IrOp::Call, rt::kAotBigIntDivMod, BoxType::Ref,
+                          recRef(l), recRef(r), jit::kNoArg,
+                          kSemBigIntMod);
+        }
+        return normalizeBigInt(rem, enc);
+    }
+    XLVM_FATAL("unsupported %% between ", typeName(l->typeId()), " and ",
+               typeName(r->typeId()));
+}
+
+W_Object *
+ObjSpace::pow_(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r) && unwrapInt(r) >= 0) {
+        // Integer power via bigint to handle overflow uniformly.
+        rt::RBigInt out =
+            rt::RBigInt::pow(toBigInt(l), uint64_t(unwrapInt(r)));
+        env_.aotCall(rt::kAotBigIntPow,
+                     out.numDigits() * (uint64_t(unwrapInt(r)) + 1));
+        int32_t enc = kNoArg;
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+            enc = recCall(IrOp::Call, rt::kAotBigIntPow, BoxType::Ref,
+                          recRef(l), recRef(r), jit::kNoArg, kSemPow);
+        }
+        return normalizeBigInt(out, enc);
+    }
+    // float pow via C library (software libm: expensive).
+    double res = std::pow(toDouble(l), toDouble(r));
+    env_.aotCall(rt::kAotCPow, 48);
+    int32_t enc = kNoArg;
+    if (rec()) {
+        recGuardType(l);
+        recGuardType(r);
+        enc = recCall(IrOp::Call, rt::kAotCPow, BoxType::Ref, recRef(l),
+                      recRef(r), jit::kNoArg, kSemPow);
+    }
+    W_Float *w = newFloat(res);
+    if (rec())
+        rec()->mapRef(w, enc);
+    return w;
+}
+
+W_Object *
+ObjSpace::neg(W_Object *w)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, w);
+    switch (w->typeId()) {
+      case kTypeInt:
+      case kTypeBool: {
+        if (rec())
+            recGuardType(w);
+        int64_t v = unwrapInt(w);
+        if (v == INT64_MIN)
+            return bigIntArith(rt::kAotBigIntSub, newInt(0), w);
+        int32_t enc = kNoArg;
+        if (Recorder *recd = rec())
+            enc = recd->emit(IrOp::IntNeg, recUnboxInt(w));
+        return recBoxInt(-v, enc);
+      }
+      case kTypeFloat: {
+        if (rec())
+            recGuardType(w);
+        int32_t enc = kNoArg;
+        if (Recorder *recd = rec())
+            enc = recd->emit(IrOp::FloatNeg, recUnboxFloat(w));
+        return recBoxFloat(-unwrapFloat(w), enc);
+      }
+      case kTypeBigInt: {
+        int32_t enc = kNoArg;
+        if (rec()) {
+            recGuardType(w);
+            enc = recCall(IrOp::Call, rt::kAotBigIntSub, BoxType::Ref,
+                          recRef(w), jit::kNoArg, jit::kNoArg,
+                          kSemNegate);
+        }
+        env_.aotCall(rt::kAotBigIntSub, 1);
+        return normalizeBigInt(static_cast<W_BigInt *>(w)->value.neg(),
+                               enc);
+      }
+      default:
+        XLVM_FATAL("unsupported unary - on ", typeName(w->typeId()));
+    }
+}
+
+W_Object *
+ObjSpace::abs_(W_Object *w)
+{
+    switch (w->typeId()) {
+      case kTypeInt:
+      case kTypeBool: {
+        int64_t v = unwrapInt(w);
+        if (Recorder *recd = rec()) {
+            recGuardType(w);
+            // Pin the sign so the identity/negate specialization holds.
+            int32_t nonneg = recd->emit(IrOp::IntGe, recUnboxInt(w),
+                                        recd->constInt(0));
+            if (v >= 0)
+                recd->guardTrue(nonneg);
+            else
+                recd->guardFalse(nonneg);
+        }
+        return v < 0 ? neg(w) : w;
+      }
+      case kTypeFloat: {
+        auto e = siteEmitter(kSiteArith);
+        emitDispatchCost(e, w);
+        if (rec())
+            recGuardType(w);
+        int32_t enc = kNoArg;
+        if (Recorder *recd = rec())
+            enc = recd->emit(IrOp::FloatAbs, recUnboxFloat(w));
+        return recBoxFloat(std::fabs(unwrapFloat(w)), enc);
+      }
+      case kTypeBigInt:
+        return normalizeBigInt(static_cast<W_BigInt *>(w)->value.abs(),
+                               kNoArg);
+      default:
+        XLVM_FATAL("unsupported abs on ", typeName(w->typeId()));
+    }
+}
+
+W_Object *
+ObjSpace::bitAnd(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        return intArith(IrOp::IntAnd, IrOp::Label, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    if (l->typeId() == kTypeSet && r->typeId() == kTypeSet)
+        return setIntersect(static_cast<W_Set *>(l),
+                            static_cast<W_Set *>(r));
+    XLVM_FATAL("unsupported & between ", typeName(l->typeId()), " and ",
+               typeName(r->typeId()));
+}
+
+W_Object *
+ObjSpace::bitOr(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        return intArith(IrOp::IntOr, IrOp::Label, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    if (l->typeId() == kTypeSet && r->typeId() == kTypeSet)
+        return setUnion(static_cast<W_Set *>(l), static_cast<W_Set *>(r));
+    XLVM_FATAL("unsupported | between ", typeName(l->typeId()), " and ",
+               typeName(r->typeId()));
+}
+
+W_Object *
+ObjSpace::bitXor(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        return intArith(IrOp::IntXor, IrOp::Label, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    XLVM_FATAL("unsupported ^");
+}
+
+W_Object *
+ObjSpace::lshift(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        return intArith(IrOp::IntLshift, IrOp::Label, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    if (eitherBigInt(l, r))
+        return bigIntArith(rt::kAotBigIntLshift, l, r);
+    XLVM_FATAL("unsupported <<");
+}
+
+W_Object *
+ObjSpace::rshift(W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteArith);
+    emitDispatchCost(e, l, r);
+    if (bothIntLike(l, r)) {
+        if (rec()) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        return intArith(IrOp::IntRshift, IrOp::Label, unwrapInt(l),
+                        unwrapInt(r), l, r);
+    }
+    if (eitherBigInt(l, r))
+        return bigIntArith(rt::kAotBigIntRshift, l, r);
+    XLVM_FATAL("unsupported >>");
+}
+
+W_Object *
+ObjSpace::boolNot(W_Object *w)
+{
+    bool v = isTrueAndGuard(w);
+    return newBool(!v);
+}
+
+// ------------------------------------------------------------ comparisons
+
+W_Object *
+ObjSpace::cmp(CmpOp op, W_Object *l, W_Object *r)
+{
+    auto e = siteEmitter(kSiteCmp);
+    emitDispatchCost(e, l, r);
+    e.alu(1);
+    Recorder *recd = rec();
+
+    if (op == CmpOp::Is || op == CmpOp::IsNot) {
+        bool same = l == r;
+        bool res = op == CmpOp::Is ? same : !same;
+        if (recd) {
+            int32_t enc = recd->emit(op == CmpOp::Is ? IrOp::PtrEq
+                                                     : IrOp::PtrNe,
+                                     recRef(l), recRef(r));
+            return newTracedBool(res, enc);
+        }
+        return newBool(res);
+    }
+    if (op == CmpOp::In || op == CmpOp::NotIn) {
+        bool in = containsBool(r, l);
+        bool res = op == CmpOp::In ? in : !in;
+        // containsBool records; wrap plain bool here.
+        if (recd) {
+            // The contains call result already guards; result is const
+            // for this trace.
+            return newTracedBool(res, recd->constInt(res));
+        }
+        return newBool(res);
+    }
+
+    if (bothIntLike(l, r)) {
+        if (recd) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        int64_t a = unwrapInt(l);
+        int64_t b = unwrapInt(r);
+        bool res = false;
+        IrOp irop = IrOp::IntEq;
+        switch (op) {
+          case CmpOp::Lt:
+            res = a < b;
+            irop = IrOp::IntLt;
+            break;
+          case CmpOp::Le:
+            res = a <= b;
+            irop = IrOp::IntLe;
+            break;
+          case CmpOp::Eq:
+            res = a == b;
+            irop = IrOp::IntEq;
+            break;
+          case CmpOp::Ne:
+            res = a != b;
+            irop = IrOp::IntNe;
+            break;
+          case CmpOp::Gt:
+            res = a > b;
+            irop = IrOp::IntGt;
+            break;
+          case CmpOp::Ge:
+            res = a >= b;
+            irop = IrOp::IntGe;
+            break;
+          default:
+            break;
+        }
+        if (recd) {
+            int32_t enc = recd->emit(irop, recUnboxInt(l), recUnboxInt(r));
+            return newTracedBool(res, enc);
+        }
+        return newBool(res);
+    }
+
+    if (eitherFloat(l, r)) {
+        if (recd) {
+            recGuardType(l);
+            recGuardType(r);
+        }
+        double a = toDouble(l);
+        double b = toDouble(r);
+        bool res = false;
+        IrOp irop = IrOp::FloatEq;
+        switch (op) {
+          case CmpOp::Lt:
+            res = a < b;
+            irop = IrOp::FloatLt;
+            break;
+          case CmpOp::Le:
+            res = a <= b;
+            irop = IrOp::FloatLe;
+            break;
+          case CmpOp::Eq:
+            res = a == b;
+            irop = IrOp::FloatEq;
+            break;
+          case CmpOp::Ne:
+            res = a != b;
+            irop = IrOp::FloatNe;
+            break;
+          case CmpOp::Gt:
+            res = a > b;
+            irop = IrOp::FloatGt;
+            break;
+          case CmpOp::Ge:
+            res = a >= b;
+            irop = IrOp::FloatGe;
+            break;
+          default:
+            break;
+        }
+        if (recd) {
+            auto unboxAsFloat = [&](W_Object *w) -> int32_t {
+                if (w->typeId() == kTypeFloat)
+                    return recUnboxFloat(w);
+                return recd->emit(IrOp::CastIntToFloat, recUnboxInt(w));
+            };
+            int32_t enc = recd->emit(irop, unboxAsFloat(l),
+                                     unboxAsFloat(r));
+            return newTracedBool(res, enc);
+        }
+        return newBool(res);
+    }
+
+    if (eitherBigInt(l, r)) {
+        int c = rt::RBigInt::compare(toBigInt(l), toBigInt(r));
+        env_.aotCall(rt::kAotBigIntCmp,
+                     toBigInt(l).numDigits() + toBigInt(r).numDigits());
+        bool res = false;
+        switch (op) {
+          case CmpOp::Lt: res = c < 0; break;
+          case CmpOp::Le: res = c <= 0; break;
+          case CmpOp::Eq: res = c == 0; break;
+          case CmpOp::Ne: res = c != 0; break;
+          case CmpOp::Gt: res = c > 0; break;
+          case CmpOp::Ge: res = c >= 0; break;
+          default: break;
+        }
+        if (recd) {
+            recGuardType(l);
+            recGuardType(r);
+            // The call returns the three-way compare; derive the boolean.
+            int32_t call = recCall(IrOp::Call, rt::kAotBigIntCmp,
+                                   BoxType::Int, recRef(l), recRef(r));
+            IrOp irop = IrOp::IntEq;
+            switch (op) {
+              case CmpOp::Lt: irop = IrOp::IntLt; break;
+              case CmpOp::Le: irop = IrOp::IntLe; break;
+              case CmpOp::Eq: irop = IrOp::IntEq; break;
+              case CmpOp::Ne: irop = IrOp::IntNe; break;
+              case CmpOp::Gt: irop = IrOp::IntGt; break;
+              case CmpOp::Ge: irop = IrOp::IntGe; break;
+              default: break;
+            }
+            int32_t enc = recd->emit(irop, call, recd->constInt(0));
+            return newTracedBool(res, enc);
+        }
+        return newBool(res);
+    }
+
+    if (l->typeId() == kTypeStr && r->typeId() == kTypeStr) {
+        const std::string &a = static_cast<W_Str *>(l)->value;
+        const std::string &b = static_cast<W_Str *>(r)->value;
+        uint64_t units = std::min(a.size(), b.size()) + 1;
+        bool res = false;
+        switch (op) {
+          case CmpOp::Lt: res = a < b; break;
+          case CmpOp::Le: res = a <= b; break;
+          case CmpOp::Eq: res = a == b; break;
+          case CmpOp::Ne: res = a != b; break;
+          case CmpOp::Gt: res = a > b; break;
+          case CmpOp::Ge: res = a >= b; break;
+          default: break;
+        }
+        uint32_t fn = (op == CmpOp::Eq || op == CmpOp::Ne)
+                          ? rt::kAotStrEq
+                          : rt::kAotStrCmp;
+        env_.aotCall(fn, units);
+        if (recd) {
+            recGuardType(l);
+            recGuardType(r);
+            // ll_streq returns 0/1; ll_strcmp returns the three-way sign.
+            int32_t call = recCall(IrOp::Call, fn, BoxType::Int,
+                                   recRef(l), recRef(r));
+            int32_t enc;
+            if (fn == rt::kAotStrEq) {
+                enc = op == CmpOp::Eq
+                          ? call
+                          : recd->emit(IrOp::IntIsZero, call);
+            } else {
+                IrOp irop = IrOp::IntEq;
+                switch (op) {
+                  case CmpOp::Lt: irop = IrOp::IntLt; break;
+                  case CmpOp::Le: irop = IrOp::IntLe; break;
+                  case CmpOp::Gt: irop = IrOp::IntGt; break;
+                  case CmpOp::Ge: irop = IrOp::IntGe; break;
+                  default: break;
+                }
+                enc = recd->emit(irop, call, recd->constInt(0));
+            }
+            return newTracedBool(res, enc);
+        }
+        return newBool(res);
+    }
+
+    // Structural equality fallbacks.
+    if (op == CmpOp::Eq || op == CmpOp::Ne) {
+        bool eq = objEq(l, r);
+        bool res = op == CmpOp::Eq ? eq : !eq;
+        if (recd) {
+            // Generic equality is an opaque runtime call returning 0/1.
+            int32_t call = recCall(IrOp::Call, rt::kAotStrEq, BoxType::Int,
+                                   recRef(l), recRef(r), jit::kNoArg,
+                                   kSemGenericEq);
+            int32_t enc = op == CmpOp::Eq
+                              ? call
+                              : recd->emit(IrOp::IntIsZero, call);
+            return newTracedBool(res, enc);
+        }
+        return newBool(res);
+    }
+
+    // Tuple/list ordering for sort support.
+    XLVM_FATAL("unsupported comparison between ", typeName(l->typeId()),
+               " and ", typeName(r->typeId()));
+}
+
+// ------------------------------------------------------------ truthiness
+
+bool
+ObjSpace::isTrueAndGuard(W_Object *w)
+{
+    auto e = siteEmitter(kSiteTruth);
+    emitDispatchCost(e, w);
+    e.branch(true);
+    Recorder *recd = rec();
+    bool res;
+    switch (w->typeId()) {
+      case kTypeBool: {
+        res = static_cast<W_Bool *>(w)->value != 0;
+        if (recd) {
+            int32_t ref = recRef(w);
+            if (jit::isConstRef(ref)) {
+                // Singleton bool from outside the trace: pin identity.
+            } else {
+                recd->guardClass(ref, kTypeBool);
+                int32_t v = recUnboxInt(w);
+                if (res)
+                    recd->guardTrue(v);
+                else
+                    recd->guardFalse(v);
+            }
+        }
+        return res;
+      }
+      case kTypeNone:
+        if (recd)
+            recd->guardValueRef(recRef(w), noneSingleton);
+        return false;
+      case kTypeInt: {
+        res = static_cast<W_Int *>(w)->value != 0;
+        if (recd) {
+            recGuardType(w);
+            int32_t v = recd->emit(IrOp::IntIsTrue, recUnboxInt(w));
+            if (res)
+                recd->guardTrue(v);
+            else
+                recd->guardFalse(v);
+        }
+        return res;
+      }
+      case kTypeFloat: {
+        res = static_cast<W_Float *>(w)->value != 0.0;
+        if (recd) {
+            recGuardType(w);
+            int32_t v = recd->emit(IrOp::FloatNe, recUnboxFloat(w),
+                                   recd->constFloat(0.0));
+            if (res)
+                recd->guardTrue(v);
+            else
+                recd->guardFalse(v);
+        }
+        return res;
+      }
+      case kTypeBigInt:
+        return !static_cast<W_BigInt *>(w)->value.isZero();
+      case kTypeStr: {
+        res = !static_cast<W_Str *>(w)->value.empty();
+        if (recd) {
+            recGuardType(w);
+            int32_t n = recd->emitTyped(IrOp::Strlen, BoxType::Int,
+                                        recRef(w));
+            int32_t v = recd->emit(IrOp::IntIsTrue, n);
+            if (res)
+                recd->guardTrue(v);
+            else
+                recd->guardFalse(v);
+        }
+        return res;
+      }
+      case kTypeList: {
+        auto *lst = static_cast<W_List *>(w);
+        res = lst->length() != 0;
+        if (recd) {
+            recGuardType(w);
+            int32_t n = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                        recRef(w), kNoArg, kNoArg,
+                                        kFieldLength);
+            int32_t v = recd->emit(IrOp::IntIsTrue, n);
+            if (res)
+                recd->guardTrue(v);
+            else
+                recd->guardFalse(v);
+        }
+        return res;
+      }
+      case kTypeTuple:
+        return static_cast<W_Tuple *>(w)->items.size() != 0;
+      case kTypeDict:
+        return static_cast<W_Dict *>(w)->table.size() != 0;
+      case kTypeSet:
+        return static_cast<W_Set *>(w)->table.size() != 0;
+      default:
+        // Objects are truthy.
+        if (recd)
+            recd->guardNonnull(recRef(w));
+        return true;
+    }
+}
+
+} // namespace obj
+} // namespace xlvm

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * The object space: every operation the interpreters perform on objects.
+ *
+ * This is the C++ analog of PyPy's ObjSpace. Each operation has three
+ * simultaneous responsibilities:
+ *
+ *  1. *Execute*: perform the dynamic-language semantics on W_ objects.
+ *  2. *Account*: emit the interpreter-level instruction cost into the
+ *     simulated core (type-dispatch loads/branches, the operation body,
+ *     refcount traffic for the CPython-flavored VM).
+ *  3. *Record*: when the meta-interpreter is tracing (env.recorder() is
+ *     non-null), record the RPython-level operations — guard_class on the
+ *     observed types, getfield/setfield unboxing, int_*_ovf arithmetic,
+ *     new_with_vtable boxing, and Call ops into AOT runtime functions —
+ *     exactly the "trace the interpreter, not the application" mechanism
+ *     of meta-tracing.
+ *
+ * Non-inlinable operations (dict lookups, string building, bignum
+ * arithmetic, list reallocation, set algebra) are routed through
+ * ExecEnv::aotCall with work-unit costs from the rt layer; those are the
+ * functions that populate Table III.
+ */
+
+#ifndef XLVM_OBJ_SPACE_H
+#define XLVM_OBJ_SPACE_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obj/execenv.h"
+#include "obj/wobject.h"
+
+namespace xlvm {
+namespace obj {
+
+/** Comparison selector for ObjSpace::cmp. */
+enum class CmpOp : uint8_t { Lt, Le, Eq, Ne, Gt, Ge, Is, IsNot, In, NotIn };
+
+/**
+ * Call-semantic tags recorded into Call ops (ResOp::expect) so the trace
+ * executor knows which runtime behaviour to perform when the same AOT
+ * entry point backs several operations. kSemDefault means "the obvious
+ * behaviour of the function id".
+ */
+enum RtSem : uint32_t
+{
+    kSemDefault = 0,
+    kSemBigIntFloorDiv, ///< divmod -> quotient
+    kSemBigIntMod,      ///< divmod -> remainder
+    kSemBigIntTrueDiv,  ///< divmod -> float quotient
+    kSemNegate,         ///< sub -> unary negate
+    kSemFloatMod,       ///< pow entry -> fmod semantics
+    kSemPow,            ///< pow entry -> pow semantics
+    kSemGenericEq,      ///< streq entry -> objEq semantics
+    kSemDictLen,
+    kSemDictIterNew,
+    kSemDictIterNext,
+    kSemSetLen,
+    kSemSetIterNew,
+    kSemChr,            ///< strgetitem result -> 1-char string
+    kSemStrSlice,
+    kSemListConcat,
+    kSemListRepeat,
+    kSemTupleConcat,
+    kSemListExtend,
+    kSemStr,            ///< generic str() conversion
+    kSemContains,       ///< membership test
+    kSemListReverse,
+    kSemSetDiscard,
+    kSemNewList,        ///< allocate empty containers (BUILD_* opcodes)
+    kSemNewTuple,       ///< args = up to 4 elements
+    kSemNewDict,
+    kSemNewSet,
+    kSemListToTuple,
+    kSemStrStartswith,
+    kSemStrEndswith,
+    kSemStrCount,
+    kSemMakeVector, ///< list of n copies of fill
+};
+
+class ObjSpace : public gc::RootProvider
+{
+  public:
+    explicit ObjSpace(ExecEnv &env);
+    ~ObjSpace() override;
+
+    ExecEnv &env() { return env_; }
+    gc::Heap &heap() { return env_.heap(); }
+
+    // ---- singletons & constructors ------------------------------------
+    W_None *none() const { return noneSingleton; }
+    W_Bool *trueObj() const { return trueSingleton; }
+    W_Bool *falseObj() const { return falseSingleton; }
+    W_Object *newBool(bool v);
+
+    W_Int *newInt(int64_t v);
+    W_Float *newFloat(double v);
+    W_Str *newStr(std::string s);
+    W_BigInt *newBigInt(rt::RBigInt v);
+    W_List *newList();
+    W_Tuple *newTuple(std::vector<W_Object *> items);
+    W_Dict *newDict();
+    W_Set *newSet();
+
+    /** Interned string (identity-stable; used for attribute names). */
+    W_Str *intern(const std::string &s);
+
+    // ---- arithmetic -----------------------------------------------------
+    W_Object *add(W_Object *l, W_Object *r);
+    W_Object *sub(W_Object *l, W_Object *r);
+    W_Object *mul(W_Object *l, W_Object *r);
+    W_Object *truediv(W_Object *l, W_Object *r);
+    W_Object *floordiv(W_Object *l, W_Object *r);
+    W_Object *mod(W_Object *l, W_Object *r);
+    W_Object *pow_(W_Object *l, W_Object *r);
+    W_Object *neg(W_Object *w);
+    W_Object *abs_(W_Object *w);
+    W_Object *bitAnd(W_Object *l, W_Object *r);
+    W_Object *bitOr(W_Object *l, W_Object *r);
+    W_Object *bitXor(W_Object *l, W_Object *r);
+    W_Object *lshift(W_Object *l, W_Object *r);
+    W_Object *rshift(W_Object *l, W_Object *r);
+    W_Object *boolNot(W_Object *w);
+
+    // ---- comparisons ------------------------------------------------------
+    W_Object *cmp(CmpOp op, W_Object *l, W_Object *r);
+
+    /**
+     * Truthiness + guard: evaluates the object's truth value and, while
+     * tracing, records the guard pinning the taken direction.
+     */
+    bool isTrueAndGuard(W_Object *w);
+
+    // ---- containers -----------------------------------------------------
+    W_Object *getitem(W_Object *obj, W_Object *idx);
+    void setitem(W_Object *obj, W_Object *idx, W_Object *val);
+    W_Object *len(W_Object *obj);
+    bool containsBool(W_Object *container, W_Object *item);
+
+    void listAppend(W_List *lst, W_Object *item);
+    /** @param idx_enc recorded encoding of the index while tracing. */
+    W_Object *listPop(W_List *lst, int64_t idx,
+                      int32_t idx_enc = jit::kNoArg);
+    void listExtend(W_List *dst, W_Object *iterable);
+    W_List *listSlice(W_List *lst, int64_t start, int64_t stop,
+                      int32_t start_enc = jit::kNoArg,
+                      int32_t stop_enc = jit::kNoArg);
+    void listSetSlice(W_List *dst, int64_t start, int64_t stop,
+                      W_List *src, int32_t start_enc = jit::kNoArg,
+                      int32_t stop_enc = jit::kNoArg);
+    void listSort(W_List *lst);
+    void listReverse(W_List *lst);
+    int64_t listIndexOf(W_List *lst, W_Object *item);
+    /** Element access boxing primitives (no cost accounting). */
+    W_Object *listGetRaw(W_List *lst, int64_t idx);
+
+    W_Object *dictGet(W_Dict *d, W_Object *key, W_Object *fallback);
+    void dictSet(W_Dict *d, W_Object *key, W_Object *val);
+    bool dictDel(W_Dict *d, W_Object *key);
+    W_List *dictKeys(W_Dict *d);
+    W_List *dictValues(W_Dict *d);
+
+    void setAdd(W_Set *s, W_Object *item);
+    bool setContains(W_Set *s, W_Object *item);
+    W_Set *setDifference(W_Set *a, W_Set *b);
+    W_Set *setIntersect(W_Set *a, W_Set *b);
+    W_Set *setUnion(W_Set *a, W_Set *b);
+    bool setIsSubset(W_Set *a, W_Set *b);
+    void setDiscard(W_Set *s, W_Object *item);
+
+    // ---- strings -----------------------------------------------------------
+    W_Str *strConcat(W_Str *a, W_Str *b);
+    W_Str *strJoin(W_Str *sep, W_List *parts);
+    W_List *strSplit(W_Str *s, W_Str *sep);
+    W_Str *strReplace(W_Str *s, W_Str *from, W_Str *to);
+    W_Object *strFind(W_Str *s, W_Str *needle, int64_t start,
+                      int32_t start_enc = jit::kNoArg);
+    W_Str *strSlice(W_Str *s, int64_t start, int64_t stop,
+                    int32_t start_enc = jit::kNoArg,
+                    int32_t stop_enc = jit::kNoArg);
+    W_Str *strLower(W_Str *s);
+    W_Str *strUpper(W_Str *s);
+    W_Str *strStrip(W_Str *s);
+    W_Str *strMul(W_Str *s, int64_t n, int32_t n_enc = jit::kNoArg);
+    W_Str *str(W_Object *w); ///< str() conversion
+    W_Str *repr(W_Object *w);
+
+    // ---- iteration ------------------------------------------------------
+    W_Object *iter(W_Object *obj);
+    /** Returns nullptr when exhausted (guarded while tracing). */
+    W_Object *iterNext(W_Object *it);
+
+    // ---- attributes -----------------------------------------------------
+    W_Object *getattr(W_Object *obj, W_Str *name);
+    void setattr(W_Object *obj, W_Str *name, W_Object *val);
+
+    // ---- instances ----------------------------------------------------
+    W_Instance *instantiate(W_Class *cls);
+
+    // ---- global namespaces (versioned-dict JIT folding) ---------------
+    W_Object *getGlobal(W_Dict *globals, W_Str *name);
+    void setGlobal(W_Dict *globals, W_Str *name, W_Object *val);
+
+    // ---- conversions ------------------------------------------------------
+    int64_t unwrapInt(W_Object *w) const;
+    double unwrapFloat(W_Object *w) const;
+    const std::string &unwrapStr(W_Object *w) const;
+    double toDouble(W_Object *w) const;
+
+    // ---- recording helpers (used by interpreters too) ------------------
+    jit::Recorder *rec() { return env_.recorder(); }
+
+    /**
+     * Operand-encoding hints. Object-identity lookup alone goes stale
+     * for shared objects (None/bool singletons, interned strings): two
+     * stack slots may hold the same object now but diverge on later
+     * trace entries. The dispatch loop knows each operand's
+     * slot-accurate encoding (captured when the value was pushed) and
+     * hints it here before invoking the operation; recRef prefers hints.
+     */
+    void
+    hintClear()
+    {
+        nHints = 0;
+    }
+
+    void
+    hintOperand(W_Object *w, int32_t enc)
+    {
+        if (w && enc != jit::kNoArg && nHints < kMaxHints) {
+            hintObjs[nHints] = w;
+            hintEncs[nHints] = enc;
+            hintUsed[nHints] = false;
+            ++nHints;
+        }
+    }
+
+    int32_t recRef(W_Object *w);
+
+    /**
+     * Positional hint consumption: value-unboxing uses each operand's
+     * hint exactly once, in operand order, so two operands that happen
+     * to be the *same* object (e.g. `r + 1` while r holds the interned
+     * 1) still read their own slots' encodings.
+     */
+    int32_t
+    takeHint(W_Object *w)
+    {
+        for (int i = 0; i < nHints; ++i) {
+            if (!hintUsed[i] && hintObjs[i] == w) {
+                hintUsed[i] = true;
+                return hintEncs[i];
+            }
+        }
+        return jit::kNoArg;
+    }
+    /** guard_class on the observed type. */
+    void recGuardType(W_Object *w);
+    /** Unbox an int/float/bool value as an IR encoding. */
+    int32_t recUnboxInt(W_Object *w);
+    int32_t recUnboxFloat(W_Object *w);
+    /** Box a fresh W_Int/W_Float and record New+Setfield; maps identity. */
+    W_Int *recBoxInt(int64_t v, int32_t enc);
+    W_Float *recBoxFloat(double v, int32_t enc);
+    /** Record a Call op tagged with its runtime semantic. */
+    int32_t recCall(jit::IrOp kind, uint32_t fn_id, jit::BoxType ret,
+                    int32_t a = jit::kNoArg, int32_t b = jit::kNoArg,
+                    int32_t c = jit::kNoArg, uint32_t sem = kSemDefault,
+                    int32_t d = jit::kNoArg);
+
+    // ---- GC roots -----------------------------------------------------
+    void forEachRoot(gc::GcVisitor &v) override;
+
+    /** Number of emitted space operations (stats/tests). */
+    uint64_t opCount() const { return nOps; }
+
+  private:
+    /** Stable code sites for cost emission. */
+    enum Site : uint32_t
+    {
+        kSiteArith = 0,
+        kSiteCmp,
+        kSiteTruth,
+        kSiteItem,
+        kSiteIter,
+        kSiteAttr,
+        kSiteStrOp,
+        kSiteDictOp,
+        kSiteListOp,
+        kSiteSetOp,
+        kSiteAlloc,
+        kSiteGlobal,
+        kSiteConvert,
+        kNumSites
+    };
+
+    sim::BlockEmitter siteEmitter(Site s);
+    /** Binary-dispatch cost pattern: type loads + compare + branch. */
+    void emitDispatchCost(sim::BlockEmitter &e, W_Object *l,
+                          W_Object *r = nullptr);
+
+    W_Object *intArith(jit::IrOp op, jit::IrOp ovf_op, int64_t a,
+                       int64_t b, W_Object *l, W_Object *r);
+    W_Object *floatArith(jit::IrOp op, double a, double b, W_Object *l,
+                         W_Object *r);
+    W_Object *bigIntArith(uint32_t fn, W_Object *l, W_Object *r,
+                          uint32_t sem = kSemDefault);
+    rt::RBigInt toBigInt(W_Object *w) const;
+    W_Object *normalizeBigInt(const rt::RBigInt &v, int32_t enc);
+
+    /** List strategy helpers. */
+    void listEnsureStrategyFor(W_List *lst, W_Object *item);
+    W_Object *listGet(W_List *lst, int64_t idx);
+    void listSet(W_List *lst, int64_t idx, W_Object *val);
+    void setEnsureStrategyFor(W_Set *s, W_Object *item);
+
+    ExecEnv &env_;
+    W_None *noneSingleton = nullptr;
+    W_Bool *trueSingleton = nullptr;
+    W_Bool *falseSingleton = nullptr;
+    std::unordered_map<std::string, W_Str *> internTable;
+    std::vector<uint64_t> sitePcs;
+    uint64_t nOps = 0;
+
+    static constexpr int kMaxHints = 8;
+    W_Object *hintObjs[kMaxHints] = {};
+    int32_t hintEncs[kMaxHints] = {};
+    bool hintUsed[kMaxHints] = {};
+    int nHints = 0;
+
+    /** While tracing, fresh W_Bool results so guards bind to their op. */
+    W_Bool *newTracedBool(bool v, int32_t enc);
+};
+
+} // namespace obj
+} // namespace xlvm
+
+#endif // XLVM_OBJ_SPACE_H

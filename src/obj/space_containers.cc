@@ -1,0 +1,782 @@
+/**
+ * @file
+ * ObjSpace: containers, strings, iteration, attributes, globals.
+ */
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obj/space.h"
+#include "rt/rstr.h"
+
+namespace xlvm {
+namespace obj {
+
+using jit::BoxType;
+using jit::IrOp;
+using jit::kNoArg;
+using jit::Recorder;
+
+// ------------------------------------------------------------ list core
+
+void
+ObjSpace::listEnsureStrategyFor(W_List *lst, W_Object *item)
+{
+    ListStrategy want;
+    switch (item->typeId()) {
+      case kTypeInt:
+        want = ListStrategy::Int;
+        break;
+      case kTypeFloat:
+        want = ListStrategy::Float;
+        break;
+      default:
+        want = ListStrategy::Object;
+        break;
+    }
+    if (lst->strategy == want)
+        return;
+    if (lst->strategy == ListStrategy::Empty) {
+        lst->strategy = want;
+        return;
+    }
+    if (lst->strategy == ListStrategy::Object)
+        return;
+    // Generalize to object strategy: rewrap elements (AOT work).
+    size_t n = lst->length();
+    env_.aotCall(rt::kAotListStrategySwitch, n + 1);
+    std::vector<W_Object *> objs;
+    objs.reserve(n);
+    if (lst->strategy == ListStrategy::Int) {
+        for (int64_t v : lst->ints)
+            objs.push_back(newInt(v));
+        lst->ints.clear();
+    } else {
+        for (double v : lst->floats)
+            objs.push_back(newFloat(v));
+        lst->floats.clear();
+    }
+    lst->objs = std::move(objs);
+    lst->strategy = ListStrategy::Object;
+    heap().writeBarrier(lst);
+    heap().noteExtraBytes(n * 8);
+    // Strategy switches invalidate recorded strategy guards downstream;
+    // the recorder keeps going (the old guard simply fails later).
+    if (Recorder *r = rec())
+        r->unmapRef(lst);
+}
+
+W_Object *
+ObjSpace::listGet(W_List *lst, int64_t idx)
+{
+    switch (lst->strategy) {
+      case ListStrategy::Int:
+        return newInt(lst->ints[idx]);
+      case ListStrategy::Float:
+        return newFloat(lst->floats[idx]);
+      case ListStrategy::Object:
+        return lst->objs[idx];
+      default:
+        XLVM_FATAL("index into empty list");
+    }
+}
+
+void
+ObjSpace::listSet(W_List *lst, int64_t idx, W_Object *val)
+{
+    listEnsureStrategyFor(lst, val);
+    switch (lst->strategy) {
+      case ListStrategy::Int:
+        lst->ints[idx] = unwrapInt(val);
+        break;
+      case ListStrategy::Float:
+        lst->floats[idx] = unwrapFloat(val);
+        break;
+      case ListStrategy::Object:
+        lst->objs[idx] = val;
+        heap().writeBarrier(lst);
+        break;
+      default:
+        XLVM_FATAL("setitem on empty list");
+    }
+}
+
+// ------------------------------------------------------------ getitem
+
+W_Object *
+ObjSpace::getitem(W_Object *obj, W_Object *idx)
+{
+    auto e = siteEmitter(kSiteItem);
+    emitDispatchCost(e, obj, idx);
+    Recorder *recd = rec();
+
+    switch (obj->typeId()) {
+      case kTypeList: {
+        auto *lst = static_cast<W_List *>(obj);
+        int64_t i = unwrapInt(idx);
+        int64_t n = int64_t(lst->length());
+        if (i < 0)
+            i += n;
+        XLVM_ASSERT(i >= 0 && i < n, "list index out of range");
+        e.load(reinterpret_cast<uint64_t>(lst) + 16, 2);
+        if (recd) {
+            recGuardType(obj);
+            recGuardType(idx);
+            int32_t lref = recRef(obj);
+            int32_t strat = recd->emitTyped(IrOp::GetfieldGc,
+                                            BoxType::Int, lref, kNoArg,
+                                            kNoArg, kFieldStrategy);
+            recd->guardValueInt(strat, int64_t(lst->strategy));
+            int32_t iv = recUnboxInt(idx);
+            if (unwrapInt(idx) < 0) {
+                int32_t len = recd->emitTyped(IrOp::GetfieldGc,
+                                              BoxType::Int, lref, kNoArg,
+                                              kNoArg, kFieldLength);
+                iv = recd->emit(IrOp::IntAdd, iv, len);
+            }
+            int32_t len2 = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                           lref, kNoArg, kNoArg,
+                                           kFieldLength);
+            int32_t inBound = recd->emit(IrOp::IntLt, iv, len2);
+            recd->guardTrue(inBound);
+            BoxType bt = lst->strategy == ListStrategy::Int
+                             ? BoxType::Int
+                             : lst->strategy == ListStrategy::Float
+                                   ? BoxType::Float
+                                   : BoxType::Ref;
+            int32_t item = recd->emitTyped(IrOp::GetarrayitemGc, bt, lref,
+                                           iv);
+            switch (lst->strategy) {
+              case ListStrategy::Int:
+                return recBoxInt(lst->ints[i], item);
+              case ListStrategy::Float:
+                return recBoxFloat(lst->floats[i], item);
+              default: {
+                W_Object *w = lst->objs[i];
+                recd->mapRef(w, item);
+                return w;
+              }
+            }
+        }
+        return listGet(lst, i);
+      }
+      case kTypeTuple: {
+        auto *t = static_cast<W_Tuple *>(obj);
+        int64_t i = unwrapInt(idx);
+        if (i < 0)
+            i += int64_t(t->items.size());
+        XLVM_ASSERT(i >= 0 && size_t(i) < t->items.size(),
+                    "tuple index out of range");
+        e.load(reinterpret_cast<uint64_t>(t) + 16, 2);
+        W_Object *w = t->items[i];
+        if (recd) {
+            recGuardType(obj);
+            recGuardType(idx);
+            int32_t item = recd->emitTyped(IrOp::GetarrayitemGc,
+                                           BoxType::Ref, recRef(obj),
+                                           recUnboxInt(idx));
+            recd->mapRef(w, item);
+        }
+        return w;
+      }
+      case kTypeStr: {
+        auto *s = static_cast<W_Str *>(obj);
+        int64_t i = unwrapInt(idx);
+        if (i < 0)
+            i += int64_t(s->value.size());
+        XLVM_ASSERT(i >= 0 && size_t(i) < s->value.size(),
+                    "str index out of range");
+        W_Str *w = newStr(std::string(1, s->value[i]));
+        if (recd) {
+            recGuardType(obj);
+            recGuardType(idx);
+            int32_t ch = recd->emitTyped(IrOp::Strgetitem, BoxType::Int,
+                                         recRef(obj), recUnboxInt(idx));
+            // Wrapping the char is a runtime helper call.
+            int32_t enc = recCall(IrOp::Call, rt::kAotStrSlice,
+                                  BoxType::Ref, recRef(obj), ch,
+                                  jit::kNoArg, kSemChr);
+            recd->mapRef(w, enc);
+        }
+        return w;
+      }
+      case kTypeDict: {
+        auto *d = static_cast<W_Dict *>(obj);
+        rt::LookupCost cost;
+        W_Object **v = d->table.get(idx, objHash(idx), &cost);
+        env_.aotCall(rt::kAotDictLookup, cost.probes * 4 + 12);
+        XLVM_ASSERT(v, "KeyError");
+        if (recd) {
+            recGuardType(obj);
+            int32_t enc = recCall(IrOp::Call, rt::kAotDictLookup,
+                                  BoxType::Ref, recRef(obj), recRef(idx));
+            recd->guardNonnull(enc);
+            recd->mapRef(*v, enc);
+        }
+        return *v;
+      }
+      default:
+        XLVM_FATAL("unsupported [] on ", typeName(obj->typeId()));
+    }
+}
+
+void
+ObjSpace::setitem(W_Object *obj, W_Object *idx, W_Object *val)
+{
+    auto e = siteEmitter(kSiteItem);
+    emitDispatchCost(e, obj, idx);
+    Recorder *recd = rec();
+
+    switch (obj->typeId()) {
+      case kTypeList: {
+        auto *lst = static_cast<W_List *>(obj);
+        int64_t i = unwrapInt(idx);
+        int64_t n = int64_t(lst->length());
+        if (i < 0)
+            i += n;
+        XLVM_ASSERT(i >= 0 && i < n, "list assignment out of range");
+        e.store(reinterpret_cast<uint64_t>(lst) + 16);
+        ListStrategy before = lst->strategy;
+        if (recd) {
+            recGuardType(obj);
+            recGuardType(idx);
+            recGuardType(val);
+        }
+        listSet(lst, i, val);
+        if (recd) {
+            if (lst->strategy == before) {
+                int32_t lref = recRef(obj);
+                int32_t strat = recd->emitTyped(IrOp::GetfieldGc,
+                                                BoxType::Int, lref,
+                                                kNoArg, kNoArg,
+                                                kFieldStrategy);
+                recd->guardValueInt(strat, int64_t(before));
+                int32_t iv = recUnboxInt(idx);
+                int32_t vv;
+                switch (lst->strategy) {
+                  case ListStrategy::Int:
+                    vv = recUnboxInt(val);
+                    break;
+                  case ListStrategy::Float:
+                    vv = recUnboxFloat(val);
+                    break;
+                  default:
+                    vv = recRef(val);
+                    break;
+                }
+                recd->emit(IrOp::SetarrayitemGc, lref, iv, vv);
+            } else {
+                // Strategy switch: opaque call.
+                recCall(IrOp::Call, rt::kAotListStrategySwitch,
+                        BoxType::Ref, recRef(obj), recRef(idx),
+                        recRef(val));
+            }
+        }
+        return;
+      }
+      case kTypeDict: {
+        dictSet(static_cast<W_Dict *>(obj), idx, val);
+        return;
+      }
+      default:
+        XLVM_FATAL("unsupported []= on ", typeName(obj->typeId()));
+    }
+}
+
+W_Object *
+ObjSpace::len(W_Object *obj)
+{
+    auto e = siteEmitter(kSiteItem);
+    emitDispatchCost(e, obj);
+    Recorder *recd = rec();
+    int64_t n;
+    switch (obj->typeId()) {
+      case kTypeList:
+        n = int64_t(static_cast<W_List *>(obj)->length());
+        if (recd) {
+            recGuardType(obj);
+            int32_t enc = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                          recRef(obj), kNoArg, kNoArg,
+                                          kFieldLength);
+            return recBoxInt(n, enc);
+        }
+        break;
+      case kTypeStr:
+        n = int64_t(static_cast<W_Str *>(obj)->value.size());
+        if (recd) {
+            recGuardType(obj);
+            int32_t enc = recd->emitTyped(IrOp::Strlen, BoxType::Int,
+                                          recRef(obj));
+            return recBoxInt(n, enc);
+        }
+        break;
+      case kTypeTuple:
+        n = int64_t(static_cast<W_Tuple *>(obj)->items.size());
+        if (recd) {
+            recGuardType(obj);
+            int32_t enc = recd->emitTyped(IrOp::ArraylenGc, BoxType::Int,
+                                          recRef(obj));
+            return recBoxInt(n, enc);
+        }
+        break;
+      case kTypeDict:
+        n = int64_t(static_cast<W_Dict *>(obj)->table.size());
+        if (recd) {
+            recGuardType(obj);
+            int32_t enc = recCall(IrOp::Call, rt::kAotDictLookup,
+                                  BoxType::Int, recRef(obj), jit::kNoArg,
+                                  jit::kNoArg, kSemDictLen);
+            return recBoxInt(n, enc);
+        }
+        break;
+      case kTypeSet:
+        n = int64_t(static_cast<W_Set *>(obj)->table.size());
+        if (recd) {
+            recGuardType(obj);
+            int32_t enc = recCall(IrOp::Call, rt::kAotSetContains,
+                                  BoxType::Int, recRef(obj), jit::kNoArg,
+                                  jit::kNoArg, kSemSetLen);
+            return recBoxInt(n, enc);
+        }
+        break;
+      case kTypeRange:
+        n = static_cast<W_Range *>(obj)->rtLen();
+        break;
+      default:
+        XLVM_FATAL("unsupported len() on ", typeName(obj->typeId()));
+    }
+    return newInt(n);
+}
+
+bool
+ObjSpace::containsBool(W_Object *container, W_Object *item)
+{
+    auto e = siteEmitter(kSiteItem);
+    emitDispatchCost(e, container, item);
+    Recorder *recd = rec();
+    bool res = false;
+    uint32_t fn = rt::kAotListContains;
+
+    switch (container->typeId()) {
+      case kTypeList: {
+        auto *lst = static_cast<W_List *>(container);
+        size_t n = lst->length();
+        env_.aotCall(rt::kAotListContains, n + 1);
+        fn = rt::kAotListContains;
+        for (size_t i = 0; i < n; ++i) {
+            W_Object *el = lst->strategy == ListStrategy::Object
+                               ? lst->objs[i]
+                               : nullptr;
+            if (lst->strategy == ListStrategy::Int) {
+                if (item->typeId() == kTypeInt &&
+                    lst->ints[i] == static_cast<W_Int *>(item)->value) {
+                    res = true;
+                    break;
+                }
+            } else if (lst->strategy == ListStrategy::Float) {
+                if (item->typeId() == kTypeFloat &&
+                    lst->floats[i] ==
+                        static_cast<W_Float *>(item)->value) {
+                    res = true;
+                    break;
+                }
+            } else if (el && objEq(el, item)) {
+                res = true;
+                break;
+            }
+        }
+        break;
+      }
+      case kTypeSet: {
+        auto *s = static_cast<W_Set *>(container);
+        rt::LookupCost cost;
+        res = s->table.get(item, objHash(item), &cost) != nullptr;
+        env_.aotCall(rt::kAotSetContains, cost.probes + 2);
+        fn = rt::kAotSetContains;
+        break;
+      }
+      case kTypeDict: {
+        auto *d = static_cast<W_Dict *>(container);
+        rt::LookupCost cost;
+        res = d->table.get(item, objHash(item), &cost) != nullptr;
+        env_.aotCall(rt::kAotDictLookup, cost.probes + 2);
+        fn = rt::kAotDictLookup;
+        break;
+      }
+      case kTypeStr: {
+        const std::string &hay =
+            static_cast<W_Str *>(container)->value;
+        const std::string &needle = unwrapStr(item);
+        uint64_t cost;
+        res = rt::find(hay, needle, 0, &cost) >= 0;
+        env_.aotCall(rt::kAotStrContains, cost);
+        fn = rt::kAotStrContains;
+        break;
+      }
+      case kTypeTuple: {
+        auto *t = static_cast<W_Tuple *>(container);
+        env_.aotCall(rt::kAotListContains, t->items.size() + 1);
+        for (W_Object *el : t->items) {
+            if (objEq(el, item)) {
+                res = true;
+                break;
+            }
+        }
+        break;
+      }
+      default:
+        XLVM_FATAL("unsupported `in` on ", typeName(container->typeId()));
+    }
+
+    if (recd) {
+        recGuardType(container);
+        int32_t enc = recCall(IrOp::Call, fn, BoxType::Int,
+                              recRef(container), recRef(item),
+                              jit::kNoArg, kSemContains);
+        // Pin the observed membership outcome.
+        if (res)
+            recd->guardTrue(enc);
+        else
+            recd->guardFalse(enc);
+    }
+    return res;
+}
+
+// ------------------------------------------------------------ list ops
+
+void
+ObjSpace::listAppend(W_List *lst, W_Object *item)
+{
+    auto e = siteEmitter(kSiteListOp);
+    emitDispatchCost(e, lst, item);
+    ListStrategy before = lst->strategy;
+    listEnsureStrategyFor(lst, item);
+    bool regrow = false;
+    switch (lst->strategy) {
+      case ListStrategy::Int:
+        regrow = lst->ints.size() == lst->ints.capacity();
+        lst->ints.push_back(unwrapInt(item));
+        break;
+      case ListStrategy::Float:
+        regrow = lst->floats.size() == lst->floats.capacity();
+        lst->floats.push_back(unwrapFloat(item));
+        break;
+      case ListStrategy::Object:
+        regrow = lst->objs.size() == lst->objs.capacity();
+        lst->objs.push_back(item);
+        heap().writeBarrier(lst);
+        break;
+      default:
+        XLVM_PANIC("append left list empty");
+    }
+    if (regrow)
+        heap().noteExtraBytes(lst->length() * 8);
+    env_.aotCall(rt::kAotListAppendGrow, regrow ? lst->length() / 4 + 2 : 2);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(lst), kTypeList);
+        recGuardType(item);
+        (void)before;
+        recCall(IrOp::Call, rt::kAotListAppendGrow, BoxType::Ref,
+                recRef(lst), recRef(item));
+    }
+}
+
+W_Object *
+ObjSpace::listPop(W_List *lst, int64_t idx, int32_t idx_enc)
+{
+    auto e = siteEmitter(kSiteListOp);
+    emitDispatchCost(e, lst);
+    int64_t n = int64_t(lst->length());
+    XLVM_ASSERT(n > 0, "pop from empty list");
+    if (idx < 0)
+        idx += n;
+    XLVM_ASSERT(idx >= 0 && idx < n, "pop index out of range");
+    W_Object *out = listGet(lst, idx);
+    uint64_t moved = uint64_t(n - idx);
+    switch (lst->strategy) {
+      case ListStrategy::Int:
+        lst->ints.erase(lst->ints.begin() + idx);
+        break;
+      case ListStrategy::Float:
+        lst->floats.erase(lst->floats.begin() + idx);
+        break;
+      case ListStrategy::Object:
+        lst->objs.erase(lst->objs.begin() + idx);
+        break;
+      default:
+        break;
+    }
+    env_.aotCall(rt::kAotListPop, moved + 1);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(lst), kTypeList);
+        int32_t ie = idx_enc != kNoArg ? idx_enc : recd->constInt(idx);
+        int32_t enc = recCall(IrOp::Call, rt::kAotListPop, BoxType::Ref,
+                              recRef(lst), ie);
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+void
+ObjSpace::listExtend(W_List *dst, W_Object *iterable)
+{
+    auto e = siteEmitter(kSiteListOp);
+    emitDispatchCost(e, dst, iterable);
+    uint64_t added = 0;
+    if (iterable->typeId() == kTypeList) {
+        auto *src = static_cast<W_List *>(iterable);
+        added = src->length();
+        for (size_t i = 0; i < added; ++i) {
+            W_Object *item = listGetRaw(src, int64_t(i));
+            listEnsureStrategyFor(dst, item);
+            switch (dst->strategy) {
+              case ListStrategy::Int:
+                dst->ints.push_back(unwrapInt(item));
+                break;
+              case ListStrategy::Float:
+                dst->floats.push_back(unwrapFloat(item));
+                break;
+              case ListStrategy::Object:
+                dst->objs.push_back(item);
+                break;
+              default:
+                break;
+            }
+        }
+        if (dst->strategy == ListStrategy::Object)
+            heap().writeBarrier(dst);
+    } else if (iterable->typeId() == kTypeTuple) {
+        auto *src = static_cast<W_Tuple *>(iterable);
+        added = src->items.size();
+        for (W_Object *item : src->items) {
+            listEnsureStrategyFor(dst, item);
+            switch (dst->strategy) {
+              case ListStrategy::Int:
+                dst->ints.push_back(unwrapInt(item));
+                break;
+              case ListStrategy::Float:
+                dst->floats.push_back(unwrapFloat(item));
+                break;
+              case ListStrategy::Object:
+                dst->objs.push_back(item);
+                break;
+              default:
+                break;
+            }
+        }
+        if (dst->strategy == ListStrategy::Object)
+            heap().writeBarrier(dst);
+    } else {
+        XLVM_FATAL("extend with ", typeName(iterable->typeId()));
+    }
+    heap().noteExtraBytes(added * 8);
+    env_.aotCall(rt::kAotListExtend, added + 1);
+    if (rec()) {
+        recCall(IrOp::Call, rt::kAotListExtend, BoxType::Ref, recRef(dst),
+                recRef(iterable), jit::kNoArg, kSemListExtend);
+    }
+}
+
+W_List *
+ObjSpace::listSlice(W_List *lst, int64_t start, int64_t stop,
+                    int32_t start_enc, int32_t stop_enc)
+{
+    int64_t n = int64_t(lst->length());
+    if (start < 0)
+        start += n;
+    if (stop < 0)
+        stop += n;
+    start = std::clamp<int64_t>(start, 0, n);
+    stop = std::clamp<int64_t>(stop, start, n);
+    W_List *out = newList();
+    out->strategy = lst->strategy;
+    switch (lst->strategy) {
+      case ListStrategy::Int:
+        out->ints.assign(lst->ints.begin() + start,
+                         lst->ints.begin() + stop);
+        break;
+      case ListStrategy::Float:
+        out->floats.assign(lst->floats.begin() + start,
+                           lst->floats.begin() + stop);
+        break;
+      case ListStrategy::Object:
+        out->objs.assign(lst->objs.begin() + start,
+                         lst->objs.begin() + stop);
+        break;
+      default:
+        break;
+    }
+    heap().noteExtraBytes(uint64_t(stop - start) * 8);
+    env_.aotCall(rt::kAotListFillSliced, uint64_t(stop - start) + 1);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(lst), kTypeList);
+        int32_t se = start_enc != kNoArg ? start_enc
+                                         : recd->constInt(start);
+        int32_t pe = stop_enc != kNoArg ? stop_enc : recd->constInt(stop);
+        int32_t enc = recCall(IrOp::Call, rt::kAotListFillSliced,
+                              BoxType::Ref, recRef(lst), se, pe);
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+void
+ObjSpace::listSetSlice(W_List *dst, int64_t start, int64_t stop,
+                       W_List *src, int32_t start_enc, int32_t stop_enc)
+{
+    int64_t n = int64_t(dst->length());
+    if (start < 0)
+        start += n;
+    if (stop < 0)
+        stop += n;
+    start = std::clamp<int64_t>(start, 0, n);
+    stop = std::clamp<int64_t>(stop, start, n);
+    // Normalize both to a common strategy by materializing objects if
+    // they differ (rare in the benchmarks).
+    if (dst->strategy == src->strategy) {
+        switch (dst->strategy) {
+          case ListStrategy::Int:
+            dst->ints.erase(dst->ints.begin() + start,
+                            dst->ints.begin() + stop);
+            dst->ints.insert(dst->ints.begin() + start, src->ints.begin(),
+                             src->ints.end());
+            break;
+          case ListStrategy::Float:
+            dst->floats.erase(dst->floats.begin() + start,
+                              dst->floats.begin() + stop);
+            dst->floats.insert(dst->floats.begin() + start,
+                               src->floats.begin(), src->floats.end());
+            break;
+          case ListStrategy::Object:
+            dst->objs.erase(dst->objs.begin() + start,
+                            dst->objs.begin() + stop);
+            dst->objs.insert(dst->objs.begin() + start, src->objs.begin(),
+                             src->objs.end());
+            heap().writeBarrier(dst);
+            break;
+          default:
+            break;
+        }
+    } else {
+        // Generalize via pops/appends.
+        for (int64_t i = stop - 1; i >= start; --i)
+            listPop(dst, i);
+        for (size_t i = 0; i < src->length(); ++i) {
+            W_Object *item = listGetRaw(src, int64_t(i));
+            listEnsureStrategyFor(dst, item);
+            int64_t at = start + int64_t(i);
+            switch (dst->strategy) {
+              case ListStrategy::Int:
+                dst->ints.insert(dst->ints.begin() + at, unwrapInt(item));
+                break;
+              case ListStrategy::Float:
+                dst->floats.insert(dst->floats.begin() + at,
+                                   unwrapFloat(item));
+                break;
+              case ListStrategy::Object:
+                dst->objs.insert(dst->objs.begin() + at, item);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    env_.aotCall(rt::kAotListSetslice,
+                 uint64_t(n - start) + src->length() + 1);
+    if (Recorder *recd = rec()) {
+        int32_t se = start_enc != kNoArg ? start_enc
+                                         : recd->constInt(start);
+        int32_t pe = stop_enc != kNoArg ? stop_enc : recd->constInt(stop);
+        recCall(IrOp::Call, rt::kAotListSetslice, BoxType::Ref,
+                recRef(dst), recRef(src), se, kSemDefault, pe);
+    }
+}
+
+void
+ObjSpace::listSort(W_List *lst)
+{
+    size_t n = lst->length();
+    uint64_t units = n ? uint64_t(n) * (64 - __builtin_clzll(n)) : 1;
+    env_.aotCall(rt::kAotListSort, units);
+    switch (lst->strategy) {
+      case ListStrategy::Int:
+        std::stable_sort(lst->ints.begin(), lst->ints.end());
+        break;
+      case ListStrategy::Float:
+        std::stable_sort(lst->floats.begin(), lst->floats.end());
+        break;
+      case ListStrategy::Object: {
+        // Sort by generic ordering (ints/floats/strs).
+        std::stable_sort(
+            lst->objs.begin(), lst->objs.end(),
+            [this](W_Object *a, W_Object *b) {
+                if (a->typeId() == kTypeStr && b->typeId() == kTypeStr) {
+                    return static_cast<W_Str *>(a)->value <
+                           static_cast<W_Str *>(b)->value;
+                }
+                return toDouble(a) < toDouble(b);
+            });
+        break;
+      }
+      default:
+        break;
+    }
+    if (rec())
+        recCall(IrOp::Call, rt::kAotListSort, BoxType::Ref, recRef(lst));
+}
+
+void
+ObjSpace::listReverse(W_List *lst)
+{
+    env_.aotCall(rt::kAotListSetslice, lst->length() + 1);
+    switch (lst->strategy) {
+      case ListStrategy::Int:
+        std::reverse(lst->ints.begin(), lst->ints.end());
+        break;
+      case ListStrategy::Float:
+        std::reverse(lst->floats.begin(), lst->floats.end());
+        break;
+      case ListStrategy::Object:
+        std::reverse(lst->objs.begin(), lst->objs.end());
+        break;
+      default:
+        break;
+    }
+    if (rec())
+        recCall(IrOp::Call, rt::kAotListSetslice, BoxType::Ref,
+                recRef(lst), jit::kNoArg, jit::kNoArg, kSemListReverse);
+}
+
+int64_t
+ObjSpace::listIndexOf(W_List *lst, W_Object *item)
+{
+    size_t n = lst->length();
+    env_.aotCall(rt::kAotListSafeFind, n + 1);
+    int64_t found = -1;
+    for (size_t i = 0; i < n; ++i) {
+        W_Object *el = listGetRaw(lst, int64_t(i));
+        if (objEq(el, item)) {
+            found = int64_t(i);
+            break;
+        }
+    }
+    if (Recorder *recd = rec()) {
+        int32_t enc = recCall(IrOp::Call, rt::kAotListSafeFind,
+                              BoxType::Int, recRef(lst), recRef(item));
+        recd->guardValueInt(enc, found);
+    }
+    return found;
+}
+
+/**
+ * Raw element access without boxing cost accounting (internal helper);
+ * objects strategy returns the element, prim strategies box fresh.
+ */
+W_Object *
+ObjSpace::listGetRaw(W_List *lst, int64_t idx)
+{
+    return listGet(lst, idx);
+}
+
+} // namespace obj
+} // namespace xlvm

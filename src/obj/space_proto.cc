@@ -1,0 +1,1127 @@
+/**
+ * @file
+ * ObjSpace: dicts, sets, strings, iteration protocol, attributes with
+ * maps, versioned-dict globals, and str()/repr().
+ */
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obj/space.h"
+#include "rt/rstr.h"
+
+namespace xlvm {
+namespace obj {
+
+using jit::BoxType;
+using jit::IrOp;
+using jit::kNoArg;
+using jit::Recorder;
+
+// ------------------------------------------------------------ dict ops
+
+W_Object *
+ObjSpace::dictGet(W_Dict *d, W_Object *key, W_Object *fallback)
+{
+    auto e = siteEmitter(kSiteDictOp);
+    emitDispatchCost(e, d, key);
+    rt::LookupCost cost;
+    W_Object **v = d->table.get(key, objHash(key), &cost);
+    env_.aotCall(rt::kAotDictLookup, cost.probes * 4 + 12);
+    W_Object *out = v ? *v : fallback;
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(d), kTypeDict);
+        int32_t enc = recCall(IrOp::Call, rt::kAotDictLookup, BoxType::Ref,
+                              recRef(d), recRef(key));
+        if (v) {
+            recd->guardNonnull(enc);
+            recd->mapRef(out, enc);
+        } else {
+            recd->guardIsnull(enc);
+        }
+    }
+    return out;
+}
+
+void
+ObjSpace::dictSet(W_Dict *d, W_Object *key, W_Object *val)
+{
+    auto e = siteEmitter(kSiteDictOp);
+    emitDispatchCost(e, d, key);
+    rt::LookupCost cost;
+    size_t slotsBefore = d->table.slotCount();
+    bool fresh = d->table.set(key, objHash(key), val, &cost);
+    if (fresh)
+        heap().noteExtraBytes(40);
+    heap().writeBarrier(d);
+    env_.aotCall(rt::kAotDictSetitem, cost.probes * 4 + 14);
+    if (d->table.slotCount() != slotsBefore)
+        env_.aotCall(rt::kAotDictResize, d->table.slotCount());
+    if (rec()) {
+        rec()->guardClass(recRef(d), kTypeDict);
+        recCall(IrOp::Call, rt::kAotDictSetitem, BoxType::Ref, recRef(d),
+                recRef(key), recRef(val));
+    }
+}
+
+bool
+ObjSpace::dictDel(W_Dict *d, W_Object *key)
+{
+    auto e = siteEmitter(kSiteDictOp);
+    emitDispatchCost(e, d, key);
+    bool removed = d->table.erase(key, objHash(key));
+    env_.aotCall(rt::kAotDictDelitem, 4);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(d), kTypeDict);
+        int32_t enc = recCall(IrOp::Call, rt::kAotDictDelitem,
+                              BoxType::Int, recRef(d), recRef(key));
+        if (removed)
+            recd->guardTrue(enc);
+        else
+            recd->guardFalse(enc);
+    }
+    return removed;
+}
+
+W_List *
+ObjSpace::dictKeys(W_Dict *d)
+{
+    W_List *out = newList();
+    for (const auto &entry : d->table.rawEntries()) {
+        if (entry.live)
+            listAppend(out, entry.key);
+    }
+    return out;
+}
+
+W_List *
+ObjSpace::dictValues(W_Dict *d)
+{
+    W_List *out = newList();
+    for (const auto &entry : d->table.rawEntries()) {
+        if (entry.live)
+            listAppend(out, entry.value);
+    }
+    return out;
+}
+
+// ------------------------------------------------------------ set ops
+
+void
+ObjSpace::setEnsureStrategyFor(W_Set *s, W_Object *item)
+{
+    SetStrategy want;
+    switch (item->typeId()) {
+      case kTypeInt:
+        want = SetStrategy::Int;
+        break;
+      case kTypeStr:
+        want = SetStrategy::Bytes;
+        break;
+      default:
+        want = SetStrategy::Object;
+        break;
+    }
+    if (s->strategy == SetStrategy::Empty)
+        s->strategy = want;
+    else if (s->strategy != want)
+        s->strategy = SetStrategy::Object;
+}
+
+void
+ObjSpace::setAdd(W_Set *s, W_Object *item)
+{
+    auto e = siteEmitter(kSiteSetOp);
+    emitDispatchCost(e, s, item);
+    setEnsureStrategyFor(s, item);
+    rt::LookupCost cost;
+    bool fresh = s->table.set(item, objHash(item),
+                              static_cast<W_Object *>(noneSingleton),
+                              &cost);
+    if (fresh)
+        heap().noteExtraBytes(40);
+    heap().writeBarrier(s);
+    env_.aotCall(rt::kAotSetAdd, cost.probes + 2);
+    if (rec()) {
+        rec()->guardClass(recRef(s), kTypeSet);
+        recCall(IrOp::Call, rt::kAotSetAdd, BoxType::Ref, recRef(s),
+                recRef(item));
+    }
+}
+
+bool
+ObjSpace::setContains(W_Set *s, W_Object *item)
+{
+    return containsBool(s, item);
+}
+
+void
+ObjSpace::setDiscard(W_Set *s, W_Object *item)
+{
+    auto e = siteEmitter(kSiteSetOp);
+    emitDispatchCost(e, s, item);
+    s->table.erase(item, objHash(item));
+    env_.aotCall(rt::kAotSetAdd, 4);
+    if (rec()) {
+        rec()->guardClass(recRef(s), kTypeSet);
+        recCall(IrOp::Call, rt::kAotSetAdd, BoxType::Ref, recRef(s),
+                recRef(item), jit::kNoArg, kSemSetDiscard);
+    }
+}
+
+W_Set *
+ObjSpace::setDifference(W_Set *a, W_Set *b)
+{
+    auto e = siteEmitter(kSiteSetOp);
+    emitDispatchCost(e, a, b);
+    W_Set *out = newSet();
+    out->strategy = a->strategy;
+    uint64_t probes = 0;
+    for (const auto &entry : a->table.rawEntries()) {
+        if (!entry.live)
+            continue;
+        rt::LookupCost cost;
+        if (!b->table.get(entry.key, entry.hash, &cost)) {
+            out->table.set(entry.key, entry.hash,
+                           static_cast<W_Object *>(noneSingleton),
+                           nullptr);
+        }
+        probes += cost.probes;
+    }
+    heap().noteExtraBytes(out->table.size() * 40);
+    env_.aotCall(rt::kAotSetDifference, a->table.size() + probes + 1);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(a), kTypeSet);
+        recd->guardClass(recRef(b), kTypeSet);
+        int32_t enc = recCall(IrOp::Call, rt::kAotSetDifference,
+                              BoxType::Ref, recRef(a), recRef(b));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_Set *
+ObjSpace::setIntersect(W_Set *a, W_Set *b)
+{
+    auto e = siteEmitter(kSiteSetOp);
+    emitDispatchCost(e, a, b);
+    W_Set *out = newSet();
+    out->strategy = a->strategy;
+    const W_Set *small = a->table.size() <= b->table.size() ? a : b;
+    const W_Set *big = small == a ? b : a;
+    for (const auto &entry : small->table.rawEntries()) {
+        if (!entry.live)
+            continue;
+        if (big->table.get(entry.key, entry.hash, nullptr)) {
+            out->table.set(entry.key, entry.hash,
+                           static_cast<W_Object *>(noneSingleton),
+                           nullptr);
+        }
+    }
+    heap().noteExtraBytes(out->table.size() * 40);
+    env_.aotCall(rt::kAotSetIntersect, small->table.size() + 1);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(a), kTypeSet);
+        recd->guardClass(recRef(b), kTypeSet);
+        int32_t enc = recCall(IrOp::Call, rt::kAotSetIntersect,
+                              BoxType::Ref, recRef(a), recRef(b));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_Set *
+ObjSpace::setUnion(W_Set *a, W_Set *b)
+{
+    auto e = siteEmitter(kSiteSetOp);
+    emitDispatchCost(e, a, b);
+    W_Set *out = newSet();
+    out->strategy = a->strategy;
+    for (const W_Set *src : {a, b}) {
+        for (const auto &entry : src->table.rawEntries()) {
+            if (entry.live) {
+                out->table.set(entry.key, entry.hash,
+                               static_cast<W_Object *>(noneSingleton),
+                               nullptr);
+            }
+        }
+    }
+    heap().noteExtraBytes(out->table.size() * 40);
+    env_.aotCall(rt::kAotSetUnion, a->table.size() + b->table.size() + 1);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(a), kTypeSet);
+        recd->guardClass(recRef(b), kTypeSet);
+        int32_t enc = recCall(IrOp::Call, rt::kAotSetUnion, BoxType::Ref,
+                              recRef(a), recRef(b));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+bool
+ObjSpace::setIsSubset(W_Set *a, W_Set *b)
+{
+    auto e = siteEmitter(kSiteSetOp);
+    emitDispatchCost(e, a, b);
+    bool res = true;
+    for (const auto &entry : a->table.rawEntries()) {
+        if (entry.live && !b->table.get(entry.key, entry.hash, nullptr)) {
+            res = false;
+            break;
+        }
+    }
+    env_.aotCall(rt::kAotSetIssubset, a->table.size() + 1);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(a), kTypeSet);
+        recd->guardClass(recRef(b), kTypeSet);
+        int32_t enc = recCall(IrOp::Call, rt::kAotSetIssubset,
+                              BoxType::Int, recRef(a), recRef(b));
+        if (res)
+            recd->guardTrue(enc);
+        else
+            recd->guardFalse(enc);
+    }
+    return res;
+}
+
+// ------------------------------------------------------------ strings
+
+W_Str *
+ObjSpace::strConcat(W_Str *a, W_Str *b)
+{
+    auto e = siteEmitter(kSiteStrOp);
+    emitDispatchCost(e, a, b);
+    W_Str *out = newStr(a->value + b->value);
+    env_.aotCall(rt::kAotStrConcat, out->value.size() + 1);
+    if (Recorder *recd = rec()) {
+        int32_t enc = recCall(IrOp::Call, rt::kAotStrConcat, BoxType::Ref,
+                              recRef(a), recRef(b));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_Str *
+ObjSpace::strJoin(W_Str *sep, W_List *parts)
+{
+    auto e = siteEmitter(kSiteStrOp);
+    emitDispatchCost(e, sep, parts);
+    std::vector<std::string> pieces;
+    pieces.reserve(parts->length());
+    for (size_t i = 0; i < parts->length(); ++i) {
+        W_Object *p = listGetRaw(parts, int64_t(i));
+        pieces.push_back(unwrapStr(p));
+    }
+    uint64_t cost;
+    W_Str *out = newStr(rt::join(sep->value, pieces, &cost));
+    env_.aotCall(rt::kAotStrJoin, cost);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(sep), kTypeStr);
+        recd->guardClass(recRef(parts), kTypeList);
+        int32_t enc = recCall(IrOp::Call, rt::kAotStrJoin, BoxType::Ref,
+                              recRef(sep), recRef(parts));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_List *
+ObjSpace::strSplit(W_Str *s, W_Str *sep)
+{
+    auto e = siteEmitter(kSiteStrOp);
+    emitDispatchCost(e, s, sep);
+    uint64_t cost;
+    XLVM_ASSERT(sep->value.size() == 1, "only 1-char split supported");
+    auto parts = rt::split(s->value, sep->value[0], &cost);
+    env_.aotCall(rt::kAotStrSplit, cost);
+    W_List *out = newList();
+    for (auto &p : parts)
+        listAppend(out, newStr(std::move(p)));
+    if (Recorder *recd = rec()) {
+        int32_t enc = recCall(IrOp::Call, rt::kAotStrSplit, BoxType::Ref,
+                              recRef(s), recRef(sep));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_Str *
+ObjSpace::strReplace(W_Str *s, W_Str *from, W_Str *to)
+{
+    auto e = siteEmitter(kSiteStrOp);
+    emitDispatchCost(e, s, from);
+    uint64_t cost;
+    W_Str *out = newStr(rt::replace(s->value, from->value, to->value,
+                                    &cost));
+    env_.aotCall(rt::kAotStrReplace, cost);
+    if (Recorder *recd = rec()) {
+        int32_t enc = recCall(IrOp::Call, rt::kAotStrReplace, BoxType::Ref,
+                              recRef(s), recRef(from), recRef(to));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_Object *
+ObjSpace::strFind(W_Str *s, W_Str *needle, int64_t start,
+                  int32_t start_enc)
+{
+    auto e = siteEmitter(kSiteStrOp);
+    emitDispatchCost(e, s, needle);
+    uint64_t cost;
+    int64_t pos;
+    uint32_t fn;
+    if (needle->value.size() == 1) {
+        pos = rt::findChar(s->value, needle->value[0], start, &cost);
+        fn = rt::kAotStrFindChar;
+    } else {
+        pos = rt::find(s->value, needle->value, start, &cost);
+        fn = rt::kAotStrFind;
+    }
+    env_.aotCall(fn, cost);
+    if (Recorder *recd = rec()) {
+        int32_t se = start_enc != kNoArg ? start_enc
+                                         : recd->constInt(start);
+        // Result is a boxed int object (Ref-typed call).
+        int32_t enc = recCall(IrOp::Call, fn, BoxType::Ref, recRef(s),
+                              recRef(needle), se);
+        W_Int *out = newInt(pos);
+        recd->mapRef(out, enc);
+        return out;
+    }
+    return newInt(pos);
+}
+
+W_Str *
+ObjSpace::strSlice(W_Str *s, int64_t start, int64_t stop,
+                   int32_t start_enc, int32_t stop_enc)
+{
+    auto e = siteEmitter(kSiteStrOp);
+    emitDispatchCost(e, s);
+    int64_t n = int64_t(s->value.size());
+    if (start < 0)
+        start += n;
+    if (stop < 0)
+        stop += n;
+    start = std::clamp<int64_t>(start, 0, n);
+    stop = std::clamp<int64_t>(stop, start, n);
+    W_Str *out = newStr(s->value.substr(start, stop - start));
+    env_.aotCall(rt::kAotStrSlice, uint64_t(stop - start) + 1);
+    if (Recorder *recd = rec()) {
+        int32_t se = start_enc != kNoArg ? start_enc
+                                         : recd->constInt(start);
+        int32_t pe = stop_enc != kNoArg ? stop_enc : recd->constInt(stop);
+        int32_t enc = recCall(IrOp::Call, rt::kAotStrSlice, BoxType::Ref,
+                              recRef(s), se, pe, kSemStrSlice);
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_Str *
+ObjSpace::strLower(W_Str *s)
+{
+    uint64_t cost;
+    W_Str *out = newStr(rt::toLower(s->value, &cost));
+    env_.aotCall(rt::kAotStrLower, cost);
+    if (Recorder *recd = rec()) {
+        int32_t enc = recCall(IrOp::Call, rt::kAotStrLower, BoxType::Ref,
+                              recRef(s));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_Str *
+ObjSpace::strUpper(W_Str *s)
+{
+    uint64_t cost;
+    W_Str *out = newStr(rt::toUpper(s->value, &cost));
+    env_.aotCall(rt::kAotStrUpper, cost);
+    if (Recorder *recd = rec()) {
+        int32_t enc = recCall(IrOp::Call, rt::kAotStrUpper, BoxType::Ref,
+                              recRef(s));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_Str *
+ObjSpace::strStrip(W_Str *s)
+{
+    uint64_t cost;
+    W_Str *out = newStr(rt::strip(s->value, &cost));
+    env_.aotCall(rt::kAotStrStrip, cost);
+    if (Recorder *recd = rec()) {
+        int32_t enc = recCall(IrOp::Call, rt::kAotStrStrip, BoxType::Ref,
+                              recRef(s));
+        recd->mapRef(out, enc);
+    }
+    return out;
+}
+
+W_Str *
+ObjSpace::strMul(W_Str *s, int64_t n, int32_t n_enc)
+{
+    std::string out;
+    if (n > 0) {
+        out.reserve(s->value.size() * n);
+        for (int64_t i = 0; i < n; ++i)
+            out += s->value;
+    }
+    env_.aotCall(rt::kAotStrMul, out.size() + 1);
+    W_Str *w = newStr(std::move(out));
+    if (Recorder *recd = rec()) {
+        int32_t ne = n_enc != kNoArg ? n_enc : recd->constInt(n);
+        int32_t enc = recCall(IrOp::Call, rt::kAotStrMul, BoxType::Ref,
+                              recRef(s), ne);
+        recd->mapRef(w, enc);
+    }
+    return w;
+}
+
+// ------------------------------------------------------------ str/repr
+
+W_Str *
+ObjSpace::str(W_Object *w)
+{
+    auto e = siteEmitter(kSiteConvert);
+    emitDispatchCost(e, w);
+    std::string out;
+    uint32_t fn = rt::kAotInt2Dec;
+    uint64_t cost = 4;
+    switch (w->typeId()) {
+      case kTypeStr:
+        // Identity specialization: the observed class must be guarded,
+        // otherwise later snapshots would embed an unconverted value.
+        if (rec())
+            recGuardType(w);
+        return static_cast<W_Str *>(w);
+      case kTypeInt:
+        out = rt::int2dec(static_cast<W_Int *>(w)->value, &cost);
+        fn = rt::kAotInt2Dec;
+        break;
+      case kTypeBool:
+        out = static_cast<W_Bool *>(w)->value ? "True" : "False";
+        break;
+      case kTypeNone:
+        out = "None";
+        break;
+      case kTypeFloat: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", unwrapFloat(w));
+        out = buf;
+        fn = rt::kAotFloatToStr;
+        cost = 20;
+        break;
+      }
+      case kTypeBigInt:
+        out = static_cast<W_BigInt *>(w)->value.toDecimal();
+        fn = rt::kAotBigIntToStr;
+        cost = static_cast<W_BigInt *>(w)->value.toDecimalCostUnits();
+        break;
+      case kTypeList: {
+        auto *lst = static_cast<W_List *>(w);
+        out = "[";
+        for (size_t i = 0; i < lst->length(); ++i) {
+            if (i)
+                out += ", ";
+            out += repr(listGetRaw(lst, int64_t(i)))->value;
+        }
+        out += "]";
+        fn = rt::kAotStrJoin;
+        cost = out.size();
+        break;
+      }
+      case kTypeTuple: {
+        auto *t = static_cast<W_Tuple *>(w);
+        out = "(";
+        for (size_t i = 0; i < t->items.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += repr(t->items[i])->value;
+        }
+        out += ")";
+        fn = rt::kAotStrJoin;
+        cost = out.size();
+        break;
+      }
+      case kTypeDict: {
+        auto *d = static_cast<W_Dict *>(w);
+        out = "{";
+        bool first = true;
+        for (const auto &entry : d->table.rawEntries()) {
+            if (!entry.live)
+                continue;
+            if (!first)
+                out += ", ";
+            first = false;
+            out += repr(entry.key)->value + ": " +
+                   repr(entry.value)->value;
+        }
+        out += "}";
+        fn = rt::kAotStrJoin;
+        cost = out.size();
+        break;
+      }
+      case kTypeInstance: {
+        auto *inst = static_cast<W_Instance *>(w);
+        out = "<" + inst->cls->name + " object>";
+        break;
+      }
+      case kTypeFunc:
+        out = "<function " + static_cast<W_Func *>(w)->name + ">";
+        break;
+      case kTypeClass:
+        out = "<class " + static_cast<W_Class *>(w)->name + ">";
+        break;
+      default:
+        out = std::string("<") + typeName(w->typeId()) + ">";
+        break;
+    }
+    env_.aotCall(fn, cost);
+    W_Str *res = newStr(std::move(out));
+    if (Recorder *recd = rec()) {
+        int32_t enc = recCall(IrOp::Call, fn, BoxType::Ref, recRef(w),
+                              jit::kNoArg, jit::kNoArg, kSemStr);
+        recd->mapRef(res, enc);
+    }
+    return res;
+}
+
+W_Str *
+ObjSpace::repr(W_Object *w)
+{
+    if (w->typeId() == kTypeStr) {
+        W_Str *s = static_cast<W_Str *>(w);
+        return newStr("'" + s->value + "'");
+    }
+    return str(w);
+}
+
+// ------------------------------------------------------------ iteration
+
+W_Object *
+ObjSpace::iter(W_Object *obj)
+{
+    auto e = siteEmitter(kSiteIter);
+    emitDispatchCost(e, obj);
+    Recorder *recd = rec();
+    switch (obj->typeId()) {
+      case kTypeList: {
+        W_ListIter *it = heap().alloc<W_ListIter>(obj);
+        if (recd) {
+            recGuardType(obj);
+            int32_t box = recd->emit(IrOp::NewWithVtable, kNoArg, kNoArg,
+                                     kNoArg, kTypeListIter);
+            recd->emit(IrOp::SetfieldGc, box, recd->constInt(0), kNoArg,
+                       kFieldIterIndex);
+            recd->emit(IrOp::SetfieldGc, box, recRef(obj), kNoArg,
+                       kFieldIterTarget);
+            recd->mapRef(it, box);
+        }
+        return it;
+      }
+      case kTypeRange: {
+        auto *r = static_cast<W_Range *>(obj);
+        W_RangeIter *it =
+            heap().alloc<W_RangeIter>(r->begin, r->end, r->step);
+        if (recd) {
+            recGuardType(obj);
+            int32_t rref = recRef(obj);
+            int32_t b = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                        rref, kNoArg, kNoArg,
+                                        kFieldRangeCur);
+            int32_t s2 = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                         rref, kNoArg, kNoArg,
+                                         kFieldRangeStop);
+            int32_t st = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                         rref, kNoArg, kNoArg,
+                                         kFieldRangeStep);
+            int32_t box = recd->emit(IrOp::NewWithVtable, kNoArg, kNoArg,
+                                     kNoArg, kTypeRangeIter);
+            recd->emit(IrOp::SetfieldGc, box, b, kNoArg, kFieldRangeCur);
+            recd->emit(IrOp::SetfieldGc, box, s2, kNoArg,
+                       kFieldRangeStop);
+            recd->emit(IrOp::SetfieldGc, box, st, kNoArg,
+                       kFieldRangeStep);
+            recd->mapRef(it, box);
+        }
+        return it;
+      }
+      case kTypeTuple: {
+        W_TupleIter *it =
+            heap().alloc<W_TupleIter>(static_cast<W_Tuple *>(obj));
+        if (recd) {
+            recGuardType(obj);
+            int32_t box = recd->emit(IrOp::NewWithVtable, kNoArg, kNoArg,
+                                     kNoArg, kTypeTupleIter);
+            recd->emit(IrOp::SetfieldGc, box, recd->constInt(0), kNoArg,
+                       kFieldIterIndex);
+            recd->emit(IrOp::SetfieldGc, box, recRef(obj), kNoArg,
+                       kFieldIterTarget);
+            recd->mapRef(it, box);
+        }
+        return it;
+      }
+      case kTypeStr: {
+        W_StrIter *it =
+            heap().alloc<W_StrIter>(static_cast<W_Str *>(obj));
+        if (recd) {
+            recGuardType(obj);
+            int32_t box = recd->emit(IrOp::NewWithVtable, kNoArg, kNoArg,
+                                     kNoArg, kTypeStrIter);
+            recd->emit(IrOp::SetfieldGc, box, recd->constInt(0), kNoArg,
+                       kFieldIterIndex);
+            recd->emit(IrOp::SetfieldGc, box, recRef(obj), kNoArg,
+                       kFieldIterTarget);
+            recd->mapRef(it, box);
+        }
+        return it;
+      }
+      case kTypeDict: {
+        W_DictIter *it =
+            heap().alloc<W_DictIter>(obj, W_DictIter::Kind::Keys);
+        if (recd) {
+            recGuardType(obj);
+            int32_t enc = recCall(IrOp::Call, rt::kAotDictLookup,
+                                  BoxType::Ref, recRef(obj), jit::kNoArg,
+                                  jit::kNoArg, kSemDictIterNew);
+            recd->mapRef(it, enc);
+        }
+        return it;
+      }
+      case kTypeSet: {
+        W_DictIter *it =
+            heap().alloc<W_DictIter>(obj, W_DictIter::Kind::Keys);
+        if (recd) {
+            recGuardType(obj);
+            int32_t enc = recCall(IrOp::Call, rt::kAotSetContains,
+                                  BoxType::Ref, recRef(obj), jit::kNoArg,
+                                  jit::kNoArg, kSemSetIterNew);
+            recd->mapRef(it, enc);
+        }
+        return it;
+      }
+      case kTypeListIter:
+      case kTypeRangeIter:
+      case kTypeDictIter:
+      case kTypeStrIter:
+      case kTypeTupleIter:
+        if (recd)
+            recGuardType(obj);
+        return obj;
+      default:
+        XLVM_FATAL("unsupported iter() on ", typeName(obj->typeId()));
+    }
+}
+
+W_Object *
+ObjSpace::iterNext(W_Object *it)
+{
+    auto e = siteEmitter(kSiteIter);
+    emitDispatchCost(e, it);
+    e.branch(true);
+    Recorder *recd = rec();
+
+    switch (it->typeId()) {
+      case kTypeRangeIter: {
+        auto *ri = static_cast<W_RangeIter *>(it);
+        bool has = ri->step > 0 ? ri->cur < ri->stop : ri->cur > ri->stop;
+        if (recd) {
+            recGuardType(it);
+            int32_t iref = recRef(it);
+            int32_t cur = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                          iref, kNoArg, kNoArg,
+                                          kFieldRangeCur);
+            int32_t stop = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                           iref, kNoArg, kNoArg,
+                                           kFieldRangeStop);
+            int32_t hasEnc = recd->emit(
+                ri->step > 0 ? IrOp::IntLt : IrOp::IntGt, cur, stop);
+            if (has)
+                recd->guardTrue(hasEnc);
+            else
+                recd->guardFalse(hasEnc);
+            if (!has)
+                return nullptr;
+            int32_t step = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                           iref, kNoArg, kNoArg,
+                                           kFieldRangeStep);
+            int32_t next = recd->emit(IrOp::IntAdd, cur, step);
+            recd->emit(IrOp::SetfieldGc, iref, next, kNoArg,
+                       kFieldRangeCur);
+            int64_t value = ri->cur;
+            ri->cur += ri->step;
+            return recBoxInt(value, cur);
+        }
+        if (!has)
+            return nullptr;
+        int64_t value = ri->cur;
+        ri->cur += ri->step;
+        return newInt(value);
+      }
+      case kTypeListIter: {
+        auto *li = static_cast<W_ListIter *>(it);
+        auto *lst = static_cast<W_List *>(li->list);
+        bool has = size_t(li->index) < lst->length();
+        if (recd) {
+            recGuardType(it);
+            int32_t iref = recRef(it);
+            int32_t idx = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                          iref, kNoArg, kNoArg,
+                                          kFieldIterIndex);
+            int32_t lref = recd->emitTyped(IrOp::GetfieldGc, BoxType::Ref,
+                                           iref, kNoArg, kNoArg,
+                                           kFieldIterTarget);
+            recd->guardClass(lref, kTypeList);
+            int32_t strat = recd->emitTyped(IrOp::GetfieldGc,
+                                            BoxType::Int, lref, kNoArg,
+                                            kNoArg, kFieldStrategy);
+            recd->guardValueInt(strat, int64_t(lst->strategy));
+            int32_t lenEnc = recd->emitTyped(IrOp::GetfieldGc,
+                                             BoxType::Int, lref, kNoArg,
+                                             kNoArg, kFieldLength);
+            int32_t hasEnc = recd->emit(IrOp::IntLt, idx, lenEnc);
+            if (has)
+                recd->guardTrue(hasEnc);
+            else
+                recd->guardFalse(hasEnc);
+            if (!has)
+                return nullptr;
+            BoxType bt = lst->strategy == ListStrategy::Int
+                             ? BoxType::Int
+                             : lst->strategy == ListStrategy::Float
+                                   ? BoxType::Float
+                                   : BoxType::Ref;
+            int32_t item = recd->emitTyped(IrOp::GetarrayitemGc, bt, lref,
+                                           idx);
+            int32_t next = recd->emit(IrOp::IntAdd, idx,
+                                      recd->constInt(1));
+            recd->emit(IrOp::SetfieldGc, iref, next, kNoArg,
+                       kFieldIterIndex);
+            int64_t i = li->index++;
+            switch (lst->strategy) {
+              case ListStrategy::Int:
+                return recBoxInt(lst->ints[i], item);
+              case ListStrategy::Float:
+                return recBoxFloat(lst->floats[i], item);
+              default: {
+                W_Object *w = lst->objs[i];
+                recd->mapRef(w, item);
+                return w;
+              }
+            }
+        }
+        if (!has)
+            return nullptr;
+        return listGet(lst, li->index++);
+      }
+      case kTypeTupleIter: {
+        auto *ti = static_cast<W_TupleIter *>(it);
+        bool has = size_t(ti->index) < ti->tuple->items.size();
+        if (recd) {
+            recGuardType(it);
+            int32_t iref = recRef(it);
+            int32_t idx = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                          iref, kNoArg, kNoArg,
+                                          kFieldIterIndex);
+            int32_t tref = recd->emitTyped(IrOp::GetfieldGc, BoxType::Ref,
+                                           iref, kNoArg, kNoArg,
+                                           kFieldIterTarget);
+            int32_t lenEnc = recd->emitTyped(IrOp::ArraylenGc,
+                                             BoxType::Int, tref);
+            int32_t hasEnc = recd->emit(IrOp::IntLt, idx, lenEnc);
+            if (has)
+                recd->guardTrue(hasEnc);
+            else
+                recd->guardFalse(hasEnc);
+            if (!has)
+                return nullptr;
+            int32_t item = recd->emitTyped(IrOp::GetarrayitemGc,
+                                           BoxType::Ref, tref, idx);
+            int32_t next = recd->emit(IrOp::IntAdd, idx,
+                                      recd->constInt(1));
+            recd->emit(IrOp::SetfieldGc, iref, next, kNoArg,
+                       kFieldIterIndex);
+            W_Object *w = ti->tuple->items[ti->index++];
+            recd->mapRef(w, item);
+            return w;
+        }
+        if (!has)
+            return nullptr;
+        return ti->tuple->items[ti->index++];
+      }
+      case kTypeStrIter: {
+        auto *si = static_cast<W_StrIter *>(it);
+        bool has = size_t(si->index) < si->str->value.size();
+        if (recd) {
+            recGuardType(it);
+            int32_t iref = recRef(it);
+            int32_t idx = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                          iref, kNoArg, kNoArg,
+                                          kFieldIterIndex);
+            int32_t sref = recd->emitTyped(IrOp::GetfieldGc, BoxType::Ref,
+                                           iref, kNoArg, kNoArg,
+                                           kFieldIterTarget);
+            int32_t lenEnc = recd->emitTyped(IrOp::Strlen, BoxType::Int,
+                                             sref);
+            int32_t hasEnc = recd->emit(IrOp::IntLt, idx, lenEnc);
+            if (has)
+                recd->guardTrue(hasEnc);
+            else
+                recd->guardFalse(hasEnc);
+            if (!has)
+                return nullptr;
+            int32_t ch = recd->emitTyped(IrOp::Strgetitem, BoxType::Int,
+                                         sref, idx);
+            int32_t next = recd->emit(IrOp::IntAdd, idx,
+                                      recd->constInt(1));
+            recd->emit(IrOp::SetfieldGc, iref, next, kNoArg,
+                       kFieldIterIndex);
+            int32_t enc = recCall(IrOp::Call, rt::kAotStrSlice,
+                                  BoxType::Ref, sref, ch, jit::kNoArg,
+                                  kSemChr);
+            W_Str *w = newStr(std::string(1, si->str->value[si->index]));
+            ++si->index;
+            recd->mapRef(w, enc);
+            return w;
+        }
+        if (!has)
+            return nullptr;
+        return newStr(std::string(1, si->str->value[si->index++]));
+      }
+      case kTypeDictIter: {
+        auto *di = static_cast<W_DictIter *>(it);
+        const auto &entries =
+            di->dict->typeId() == kTypeDict
+                ? static_cast<W_Dict *>(di->dict)->table.rawEntries()
+                : static_cast<W_Set *>(di->dict)->table.rawEntries();
+        while (size_t(di->index) < entries.size() &&
+               !entries[di->index].live) {
+            ++di->index;
+        }
+        bool has = size_t(di->index) < entries.size();
+        env_.aotCall(rt::kAotDictLookup, 2);
+        if (recd) {
+            recGuardType(it);
+            int32_t enc = recCall(IrOp::Call, rt::kAotDictLookup,
+                                  BoxType::Ref, recRef(it), jit::kNoArg,
+                                  jit::kNoArg, kSemDictIterNext);
+            if (has)
+                recd->guardNonnull(enc);
+            else
+                recd->guardIsnull(enc);
+            if (!has)
+                return nullptr;
+            W_Object *w = entries[di->index++].key;
+            recd->mapRef(w, enc);
+            return w;
+        }
+        if (!has)
+            return nullptr;
+        return entries[di->index++].key;
+      }
+      default:
+        XLVM_FATAL("unsupported next() on ", typeName(it->typeId()));
+    }
+}
+
+// ------------------------------------------------------------ attributes
+
+W_Object *
+ObjSpace::getattr(W_Object *obj, W_Str *name)
+{
+    auto e = siteEmitter(kSiteAttr);
+    emitDispatchCost(e, obj, name);
+    Recorder *recd = rec();
+
+    XLVM_ASSERT(obj->typeId() == kTypeInstance, "getattr on ",
+                typeName(obj->typeId()));
+    auto *inst = static_cast<W_Instance *>(obj);
+
+    // 1. Instance attribute through the map (shape).
+    int32_t slot = inst->map->indexOf(name);
+    if (slot >= 0) {
+        e.load(reinterpret_cast<uint64_t>(inst->map), 2);
+        W_Object *w = inst->storage[slot];
+        if (recd) {
+            recGuardType(obj);
+            int32_t iref = recRef(obj);
+            int32_t mapEnc = recd->emitTyped(IrOp::GetfieldGc,
+                                             BoxType::Ref, iref, kNoArg,
+                                             kNoArg, kFieldMap);
+            recd->guardValueRef(mapEnc, inst->map);
+            // Slot index is now a constant: typed array read.
+            int32_t enc = recd->emitTyped(IrOp::GetarrayitemGc,
+                                          BoxType::Ref, iref,
+                                          recd->constInt(slot));
+            recd->mapRef(w, enc);
+        }
+        return w;
+    }
+
+    // 2. Class method lookup (bound method creation).
+    W_Object *m = inst->cls->findMethod(name);
+    env_.aotCall(rt::kAotDictLookup, 4);
+    XLVM_ASSERT(m, "AttributeError: ", name->value);
+    W_BoundMethod *bm = heap().alloc<W_BoundMethod>(inst, m);
+    if (recd) {
+        recGuardType(obj);
+        int32_t iref = recRef(obj);
+        int32_t mapEnc = recd->emitTyped(IrOp::GetfieldGc, BoxType::Ref,
+                                         iref, kNoArg, kNoArg, kFieldMap);
+        recd->guardValueRef(mapEnc, inst->map);
+        // Method lookup folds to a constant behind the map guard (the
+        // map determines the class layout in our model); the bound
+        // method is a fresh allocation (virtualizable).
+        int32_t box = recd->emit(IrOp::NewWithVtable, kNoArg, kNoArg,
+                                 kNoArg, kTypeBoundMethod);
+        recd->emit(IrOp::SetfieldGc, box, iref, kNoArg, kFieldBoundSelf);
+        recd->emit(IrOp::SetfieldGc, box, recd->constRef(m), kNoArg,
+                   kFieldBoundFunc);
+        recd->mapRef(bm, box);
+    }
+    return bm;
+}
+
+void
+ObjSpace::setattr(W_Object *obj, W_Str *name, W_Object *val)
+{
+    auto e = siteEmitter(kSiteAttr);
+    emitDispatchCost(e, obj, name);
+    Recorder *recd = rec();
+    XLVM_ASSERT(obj->typeId() == kTypeInstance, "setattr on ",
+                typeName(obj->typeId()));
+    auto *inst = static_cast<W_Instance *>(obj);
+
+    int32_t slot = inst->map->indexOf(name);
+    if (slot >= 0) {
+        e.store(reinterpret_cast<uint64_t>(inst) + 24);
+        if (recd) {
+            recGuardType(obj);
+            int32_t iref = recRef(obj);
+            int32_t mapEnc = recd->emitTyped(IrOp::GetfieldGc,
+                                             BoxType::Ref, iref, kNoArg,
+                                             kNoArg, kFieldMap);
+            recd->guardValueRef(mapEnc, inst->map);
+            recd->emit(IrOp::SetarrayitemGc, iref, recd->constInt(slot),
+                       recRef(val));
+        }
+        inst->storage[slot] = val;
+        heap().writeBarrier(inst);
+        return;
+    }
+
+    // New attribute: map transition.
+    W_Map *oldMap = inst->map;
+    W_Map *newMap = oldMap->withAttr(name, heap());
+    if (recd) {
+        recGuardType(obj);
+        int32_t iref = recRef(obj);
+        int32_t mapEnc = recd->emitTyped(IrOp::GetfieldGc, BoxType::Ref,
+                                         iref, kNoArg, kNoArg, kFieldMap);
+        recd->guardValueRef(mapEnc, oldMap);
+        recd->emit(IrOp::SetarrayitemGc, iref,
+                   recd->constInt(int32_t(inst->storage.size())),
+                   recRef(val));
+        recd->emit(IrOp::SetfieldGc, iref, recd->constRef(newMap), kNoArg,
+                   kFieldMap);
+    }
+    inst->map = newMap;
+    inst->storage.push_back(val);
+    heap().writeBarrier(inst);
+    heap().noteExtraBytes(8);
+    env_.aotCall(rt::kAotDictLookup, 3);
+}
+
+W_Instance *
+ObjSpace::instantiate(W_Class *cls)
+{
+    auto e = siteEmitter(kSiteAlloc);
+    emitDispatchCost(e, cls);
+    if (!cls->instanceMap) {
+        cls->instanceMap = heap().alloc<W_Map>();
+        heap().writeBarrier(cls);
+    }
+    W_Instance *inst = heap().alloc<W_Instance>(cls, cls->instanceMap);
+    if (Recorder *recd = rec()) {
+        int32_t box = recd->emit(IrOp::NewWithVtable, kNoArg, kNoArg,
+                                 kNoArg, kTypeInstance);
+        recd->emit(IrOp::SetfieldGc, box,
+                   recd->constRef(cls->instanceMap), kNoArg, kFieldMap);
+        recd->mapRef(inst, box);
+    }
+    return inst;
+}
+
+// ------------------------------------------------------------ globals
+
+W_Object *
+ObjSpace::getGlobal(W_Dict *globals, W_Str *name)
+{
+    // Module dicts store cells (PyPy's celldict): the dict structure is
+    // stable so its version guard folds the *cell* to a constant, and
+    // only a getfield of the cell's value remains in the trace. Plain
+    // value updates mutate the cell, not the dict.
+    auto e = siteEmitter(kSiteGlobal);
+    emitDispatchCost(e, globals, name);
+    rt::LookupCost cost;
+    W_Object **v = globals->table.get(name, name->hash(), &cost);
+    env_.aotCall(rt::kAotDictLookup, cost.probes + 2);
+    if (!v)
+        return nullptr;
+    XLVM_ASSERT((*v)->typeId() == kTypeCell, "globals hold cells");
+    W_Cell *cell = static_cast<W_Cell *>(*v);
+    if (Recorder *recd = rec()) {
+        recd->guardClass(recRef(globals), kTypeDict);
+        int32_t ver = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                      recRef(globals), kNoArg, kNoArg,
+                                      kFieldDictVersion);
+        recd->guardValueInt(ver, int64_t(globals->table.version()));
+        int32_t valEnc = recd->emitTyped(IrOp::GetfieldGc, BoxType::Ref,
+                                         recd->constRef(cell), kNoArg,
+                                         kNoArg, kFieldValue);
+        recd->mapRef(cell->value, valEnc);
+    }
+    return cell->value;
+}
+
+void
+ObjSpace::setGlobal(W_Dict *globals, W_Str *name, W_Object *val)
+{
+    auto e = siteEmitter(kSiteGlobal);
+    emitDispatchCost(e, globals, name);
+    rt::LookupCost cost;
+    W_Object **v = globals->table.get(name, name->hash(), &cost);
+    env_.aotCall(rt::kAotDictLookup, cost.probes + 2);
+    if (v) {
+        W_Cell *cell = static_cast<W_Cell *>(*v);
+        cell->value = val;
+        heap().writeBarrier(cell);
+        if (Recorder *recd = rec()) {
+            recd->guardClass(recRef(globals), kTypeDict);
+            int32_t ver = recd->emitTyped(IrOp::GetfieldGc, BoxType::Int,
+                                          recRef(globals), kNoArg,
+                                          kNoArg, kFieldDictVersion);
+            recd->guardValueInt(ver,
+                                int64_t(globals->table.version()));
+            recd->emit(IrOp::SetfieldGc, recd->constRef(cell),
+                       recRef(val), kNoArg, kFieldValue);
+        }
+        return;
+    }
+    // New global: dict structure changes (version bump).
+    W_Cell *cell = heap().alloc<W_Cell>(val);
+    globals->table.set(name, name->hash(), cell, nullptr);
+    heap().writeBarrier(globals);
+    heap().noteExtraBytes(48);
+    if (rec()) {
+        rec()->guardClass(recRef(globals), kTypeDict);
+        recCall(IrOp::Call, rt::kAotDictSetitem, BoxType::Ref,
+                recRef(globals), recRef(name), recRef(val));
+    }
+}
+
+} // namespace obj
+} // namespace xlvm

@@ -1,0 +1,128 @@
+#include "rt/aot_registry.h"
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace rt {
+
+namespace {
+
+struct FnDef
+{
+    AotFnId id;
+    const char *name;
+    AotSource src;
+};
+
+const FnDef kDefs[] = {
+    {kAotDictLookup, "rordereddict.ll_call_lookup_function",
+     AotSource::TypeIntrinsic},
+    {kAotDictResize, "rordereddict.ll_dict_resize",
+     AotSource::TypeIntrinsic},
+    {kAotStrJoin, "rstr.ll_join", AotSource::TypeIntrinsic},
+    {kAotStrFindChar, "rstr.ll_find_char", AotSource::TypeIntrinsic},
+    {kAotStrFind, "rstr.ll_find", AotSource::TypeIntrinsic},
+    {kAotStrReplace, "rstring.replace", AotSource::StdLib},
+    {kAotStrHash, "rstr.ll_strhash", AotSource::TypeIntrinsic},
+    {kAotStrSplit, "rstring.split", AotSource::StdLib},
+    {kAotStrTranslate, "W_UnicodeObject.descr_translate",
+     AotSource::Interp},
+    {kAotStrLower, "rstr.ll_lower", AotSource::TypeIntrinsic},
+    {kAotStrUpper, "rstr.ll_upper", AotSource::TypeIntrinsic},
+    {kAotStrStrip, "rstring.strip", AotSource::StdLib},
+    {kAotStrConcat, "rstr.ll_strconcat", AotSource::TypeIntrinsic},
+    {kAotStrEq, "rstr.ll_streq", AotSource::TypeIntrinsic},
+    {kAotStrCmp, "rstr.ll_strcmp", AotSource::TypeIntrinsic},
+    {kAotStrSlice, "rstr.ll_stringslice", AotSource::TypeIntrinsic},
+    {kAotStrMul, "rstr.ll_str_mul", AotSource::TypeIntrinsic},
+    {kAotInt2Dec, "ll_str.ll_int2dec", AotSource::TypeIntrinsic},
+    {kAotStringToInt, "rarithmetic.string_to_int", AotSource::StdLib},
+    {kAotStringToFloat, "rfloat.string_to_float", AotSource::StdLib},
+    {kAotFloatToStr, "rfloat.float_to_str", AotSource::StdLib},
+    {kAotBuilderAppend, "rbuilder.ll_append", AotSource::TypeIntrinsic},
+    {kAotBuilderBuild, "rbuilder.ll_build", AotSource::TypeIntrinsic},
+    {kAotBigIntAdd, "rbigint.add", AotSource::StdLib},
+    {kAotBigIntSub, "rbigint.sub", AotSource::StdLib},
+    {kAotBigIntMul, "rbigint.mul", AotSource::StdLib},
+    {kAotBigIntDivMod, "rbigint.divmod", AotSource::StdLib},
+    {kAotBigIntLshift, "rbigint.lshift", AotSource::StdLib},
+    {kAotBigIntRshift, "rbigint.rshift", AotSource::StdLib},
+    {kAotBigIntPow, "rbigint.pow", AotSource::StdLib},
+    {kAotBigIntToStr, "rbigint.str", AotSource::StdLib},
+    {kAotBigIntCmp, "rbigint.cmp", AotSource::StdLib},
+    {kAotListSetslice, "IntegerListStrategy.setslice", AotSource::Interp},
+    {kAotListFillSliced, "IntegerListStrategy.fill_in_with_sliced",
+     AotSource::Interp},
+    {kAotListSafeFind, "IntegerListStrategy.safe_find", AotSource::Interp},
+    {kAotListAppendGrow, "ListStrategy.append_grow", AotSource::Interp},
+    {kAotListStrategySwitch, "W_List.switch_strategy", AotSource::Interp},
+    {kAotListSort, "listsort.sort", AotSource::Interp},
+    {kAotListExtend, "ListStrategy.extend", AotSource::Interp},
+    {kAotListPop, "ListStrategy.pop", AotSource::Interp},
+    {kAotListContains, "ListStrategy.find", AotSource::Interp},
+    {kAotSetDifference, "BytesSetStrategy.difference_unwrapped",
+     AotSource::Interp},
+    {kAotSetIssubset, "BytesSetStrategy.issubset_unwrapped",
+     AotSource::Interp},
+    {kAotSetIntersect, "SetStrategy.intersect", AotSource::Interp},
+    {kAotSetUnion, "SetStrategy.union", AotSource::Interp},
+    {kAotSetGetStorage, "setobject.get_storage_from_list",
+     AotSource::Interp},
+    {kAotCPow, "pow", AotSource::CLib},
+    {kAotCMemcpy, "memcpy", AotSource::CLib},
+    {kAotCSqrt, "sqrt", AotSource::CLib},
+    {kAotCSin, "sin", AotSource::CLib},
+    {kAotCCos, "cos", AotSource::CLib},
+    {kAotCExp, "exp", AotSource::CLib},
+    {kAotCLog, "log", AotSource::CLib},
+    {kAotJsonEscape, "_pypyjson.raw_encode_basestring_ascii",
+     AotSource::Module},
+    {kAotReMatch, "rsre.match", AotSource::StdLib},
+    {kAotGcCollectHook, "gc.collect_nursery", AotSource::StdLib},
+    {kAotDictSetitem, "rordereddict.ll_dict_setitem",
+     AotSource::TypeIntrinsic},
+    {kAotDictDelitem, "rordereddict.ll_dict_delitem",
+     AotSource::TypeIntrinsic},
+    {kAotSetAdd, "SetStrategy.add", AotSource::Interp},
+    {kAotSetContains, "SetStrategy.contains", AotSource::Interp},
+    {kAotStrContains, "rstr.ll_contains", AotSource::TypeIntrinsic},
+    {kAotAllocContainer, "interp.alloc_container", AotSource::Interp},
+};
+
+} // namespace
+
+AotRegistry::AotRegistry()
+{
+    fns.resize(kAotNumFunctions);
+    uint64_t pc = 0x00a00000ull; // runtime text segment
+    for (const FnDef &d : kDefs) {
+        AotFunction f;
+        f.id = d.id;
+        f.name = d.name;
+        f.source = d.src;
+        f.codePc = pc;
+        pc += 0x1000;
+        fns[d.id] = f;
+    }
+    for (uint32_t i = 0; i < fns.size(); ++i) {
+        XLVM_ASSERT(!fns[i].name.empty(),
+                    "AOT function id ", i, " missing a definition");
+    }
+}
+
+const AotRegistry &
+AotRegistry::instance()
+{
+    static AotRegistry reg;
+    return reg;
+}
+
+const AotFunction &
+AotRegistry::fn(uint32_t id) const
+{
+    XLVM_ASSERT(id < fns.size(), "bad AOT fn id ", id);
+    return fns[id];
+}
+
+} // namespace rt
+} // namespace xlvm

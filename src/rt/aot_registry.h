@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Registry of AOT-compiled runtime entry points.
+ *
+ * Every runtime function that JIT-compiled traces can call is registered
+ * here with the name and source classification used in Table III:
+ * R = RPython type-system intrinsics, L = RPython standard library,
+ * C = external C stdlib, I = interpreter-defined, M = module-defined.
+ *
+ * The registry assigns stable integer ids (the kAotEnter/kAotExit
+ * annotation payloads) and a synthetic code address for each function so
+ * calls exercise the BTB and I-cache like real runtime calls.
+ */
+
+#ifndef XLVM_RT_AOT_REGISTRY_H
+#define XLVM_RT_AOT_REGISTRY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xlvm {
+namespace rt {
+
+/** Source classification per Table III. */
+enum class AotSource : uint8_t
+{
+    TypeIntrinsic, ///< R: rordereddict, rstr, rbuilder, ...
+    StdLib,        ///< L: RPython std lib (rbigint, runicode, ...)
+    CLib,          ///< C: external C library (pow, memcpy, ...)
+    Interp,        ///< I: interpreter-defined (list strategies, ...)
+    Module         ///< M: VM module (_pypyjson, ...)
+};
+
+inline char
+aotSourceTag(AotSource s)
+{
+    switch (s) {
+      case AotSource::TypeIntrinsic:
+        return 'R';
+      case AotSource::StdLib:
+        return 'L';
+      case AotSource::CLib:
+        return 'C';
+      case AotSource::Interp:
+        return 'I';
+      case AotSource::Module:
+        return 'M';
+    }
+    return '?';
+}
+
+struct AotFunction
+{
+    uint32_t id = 0;
+    std::string name;
+    AotSource source = AotSource::StdLib;
+    uint64_t codePc = 0; ///< synthetic entry address
+};
+
+/**
+ * Well-known AOT function ids. Kept as an enum so call sites are cheap
+ * and typo-proof; the registry provides names/sources for reporting.
+ */
+enum AotFnId : uint32_t
+{
+    kAotDictLookup = 0,       // rordereddict.ll_call_lookup_function
+    kAotDictResize,           // rordereddict.ll_dict_resize
+    kAotStrJoin,              // rstr.ll_join
+    kAotStrFindChar,          // rstr.ll_find_char
+    kAotStrFind,              // rstr.ll_find
+    kAotStrReplace,           // rstring.replace
+    kAotStrHash,              // rstr.ll_strhash
+    kAotStrSplit,             // rstring.split
+    kAotStrTranslate,         // W_UnicodeObject.descr_translate
+    kAotStrLower,             // rstr.ll_lower
+    kAotStrUpper,             // rstr.ll_upper
+    kAotStrStrip,             // rstring.strip
+    kAotStrConcat,            // rstr.ll_strconcat
+    kAotStrEq,                // rstr.ll_streq
+    kAotStrCmp,               // rstr.ll_strcmp
+    kAotStrSlice,             // rstr.ll_stringslice
+    kAotStrMul,               // rstr.ll_str_mul
+    kAotInt2Dec,              // ll_str.ll_int2dec
+    kAotStringToInt,          // rarithmetic.string_to_int
+    kAotStringToFloat,        // rfloat.string_to_float
+    kAotFloatToStr,           // rfloat.float_to_str
+    kAotBuilderAppend,        // rbuilder.ll_append
+    kAotBuilderBuild,         // rbuilder.ll_build
+    kAotBigIntAdd,            // rbigint.add
+    kAotBigIntSub,            // rbigint.sub
+    kAotBigIntMul,            // rbigint.mul
+    kAotBigIntDivMod,         // rbigint.divmod
+    kAotBigIntLshift,         // rbigint.lshift
+    kAotBigIntRshift,         // rbigint.rshift
+    kAotBigIntPow,            // rbigint.pow
+    kAotBigIntToStr,          // rbigint.str
+    kAotBigIntCmp,            // rbigint.cmp
+    kAotListSetslice,         // IntegerListStrategy.setslice
+    kAotListFillSliced,       // IntegerListStrategy.fill_in_with_sliced
+    kAotListSafeFind,         // IntegerListStrategy.safe_find
+    kAotListAppendGrow,       // ListStrategy.append_grow
+    kAotListStrategySwitch,   // W_List.switch_strategy
+    kAotListSort,             // listsort.sort
+    kAotListExtend,           // ListStrategy.extend
+    kAotListPop,              // ListStrategy.pop
+    kAotListContains,         // ListStrategy.find
+    kAotSetDifference,        // BytesSetStrategy.difference_unwrapped
+    kAotSetIssubset,          // BytesSetStrategy.issubset_unwrapped
+    kAotSetIntersect,         // SetStrategy.intersect
+    kAotSetUnion,             // SetStrategy.union
+    kAotSetGetStorage,        // setobject.get_storage_from_list
+    kAotCPow,                 // C pow
+    kAotCMemcpy,              // C memcpy
+    kAotCSqrt,                // C sqrt
+    kAotCSin,                 // C sin
+    kAotCCos,                 // C cos
+    kAotCExp,                 // C exp
+    kAotCLog,                 // C log
+    kAotJsonEscape,           // _pypyjson.raw_encode_basestring_ascii
+    kAotReMatch,              // rsre.match (regex engine)
+    kAotGcCollectHook,        // framework minor-collection entry
+    kAotDictSetitem,          // rordereddict.ll_dict_setitem
+    kAotDictDelitem,          // rordereddict.ll_dict_delitem
+    kAotSetAdd,               // SetStrategy.add
+    kAotSetContains,          // SetStrategy.contains
+    kAotStrContains,          // rstr.ll_contains
+    kAotAllocContainer,       // interp.alloc_container
+    kAotNumFunctions
+};
+
+/** Global, immutable table of the functions above. */
+class AotRegistry
+{
+  public:
+    /** Singleton accessor (construct-on-first-use). */
+    static const AotRegistry &instance();
+
+    const AotFunction &fn(uint32_t id) const;
+    size_t size() const { return fns.size(); }
+
+  private:
+    AotRegistry();
+    std::vector<AotFunction> fns;
+};
+
+} // namespace rt
+} // namespace xlvm
+
+#endif // XLVM_RT_AOT_REGISTRY_H

@@ -1,0 +1,492 @@
+#include "rt/rbigint.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace rt {
+
+namespace {
+
+constexpr uint64_t kBase = 1ull << RBigInt::kShift;
+
+} // namespace
+
+void
+RBigInt::normalize()
+{
+    while (!digits.empty() && digits.back() == 0)
+        digits.pop_back();
+    if (digits.empty())
+        sign_ = 1;
+}
+
+RBigInt
+RBigInt::fromInt64(int64_t v)
+{
+    RBigInt r;
+    if (v == 0)
+        return r;
+    r.sign_ = v < 0 ? -1 : 1;
+    // Careful with INT64_MIN: negate in unsigned space.
+    uint64_t mag = v < 0 ? ~static_cast<uint64_t>(v) + 1
+                         : static_cast<uint64_t>(v);
+    while (mag) {
+        r.digits.push_back(static_cast<Digit>(mag & kMask));
+        mag >>= kShift;
+    }
+    return r;
+}
+
+RBigInt
+RBigInt::fromDecimal(const std::string &s)
+{
+    RBigInt r;
+    size_t i = 0;
+    int sign = 1;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+        sign = s[i] == '-' ? -1 : 1;
+        ++i;
+    }
+    XLVM_ASSERT(i < s.size(), "empty bigint literal");
+    RBigInt ten = fromInt64(10);
+    for (; i < s.size(); ++i) {
+        XLVM_ASSERT(s[i] >= '0' && s[i] <= '9', "bad digit in ", s);
+        r = mul(r, ten);
+        r = add(r, fromInt64(s[i] - '0'));
+    }
+    if (sign < 0)
+        r = r.neg();
+    return r;
+}
+
+int
+RBigInt::compareMagnitude(const RBigInt &a, const RBigInt &b)
+{
+    if (a.digits.size() != b.digits.size())
+        return a.digits.size() < b.digits.size() ? -1 : 1;
+    for (size_t i = a.digits.size(); i-- > 0;) {
+        if (a.digits[i] != b.digits[i])
+            return a.digits[i] < b.digits[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+int
+RBigInt::compare(const RBigInt &a, const RBigInt &b)
+{
+    int sa = a.sign();
+    int sb = b.sign();
+    if (sa != sb)
+        return sa < sb ? -1 : 1;
+    int mag = compareMagnitude(a, b);
+    return sa >= 0 ? mag : -mag;
+}
+
+RBigInt
+RBigInt::addMagnitude(const RBigInt &a, const RBigInt &b)
+{
+    RBigInt r;
+    const auto &big = a.digits.size() >= b.digits.size() ? a : b;
+    const auto &small = a.digits.size() >= b.digits.size() ? b : a;
+    r.digits.reserve(big.digits.size() + 1);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < big.digits.size(); ++i) {
+        uint64_t v = carry + big.digits[i] +
+                     (i < small.digits.size() ? small.digits[i] : 0);
+        r.digits.push_back(static_cast<Digit>(v & kMask));
+        carry = v >> kShift;
+    }
+    if (carry)
+        r.digits.push_back(static_cast<Digit>(carry));
+    return r;
+}
+
+RBigInt
+RBigInt::subMagnitude(const RBigInt &a, const RBigInt &b)
+{
+    RBigInt r;
+    r.digits.reserve(a.digits.size());
+    int64_t borrow = 0;
+    for (size_t i = 0; i < a.digits.size(); ++i) {
+        int64_t v = int64_t(a.digits[i]) - borrow -
+                    (i < b.digits.size() ? int64_t(b.digits[i]) : 0);
+        if (v < 0) {
+            v += kBase;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        r.digits.push_back(static_cast<Digit>(v));
+    }
+    XLVM_ASSERT(borrow == 0, "subMagnitude underflow");
+    r.normalize();
+    return r;
+}
+
+RBigInt
+RBigInt::add(const RBigInt &a, const RBigInt &b)
+{
+    if (a.isZero())
+        return b;
+    if (b.isZero())
+        return a;
+    RBigInt r;
+    if (a.sign_ == b.sign_) {
+        r = addMagnitude(a, b);
+        r.sign_ = a.sign_;
+    } else {
+        int cmp = compareMagnitude(a, b);
+        if (cmp == 0)
+            return RBigInt();
+        if (cmp > 0) {
+            r = subMagnitude(a, b);
+            r.sign_ = a.sign_;
+        } else {
+            r = subMagnitude(b, a);
+            r.sign_ = b.sign_;
+        }
+    }
+    r.normalize();
+    return r;
+}
+
+RBigInt
+RBigInt::sub(const RBigInt &a, const RBigInt &b)
+{
+    return add(a, b.neg());
+}
+
+RBigInt
+RBigInt::mul(const RBigInt &a, const RBigInt &b)
+{
+    if (a.isZero() || b.isZero())
+        return RBigInt();
+    RBigInt r;
+    r.digits.assign(a.digits.size() + b.digits.size(), 0);
+    for (size_t i = 0; i < a.digits.size(); ++i) {
+        uint64_t carry = 0;
+        uint64_t ai = a.digits[i];
+        for (size_t j = 0; j < b.digits.size(); ++j) {
+            uint64_t v = uint64_t(r.digits[i + j]) + ai * b.digits[j] +
+                         carry;
+            r.digits[i + j] = static_cast<Digit>(v & kMask);
+            carry = v >> kShift;
+        }
+        size_t k = i + b.digits.size();
+        while (carry) {
+            uint64_t v = uint64_t(r.digits[k]) + carry;
+            r.digits[k] = static_cast<Digit>(v & kMask);
+            carry = v >> kShift;
+            ++k;
+        }
+    }
+    r.sign_ = a.sign_ * b.sign_;
+    r.normalize();
+    return r;
+}
+
+RBigInt::Digit
+RBigInt::divremSmall(const RBigInt &a, Digit d, RBigInt &q)
+{
+    q.digits.assign(a.digits.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.digits.size(); i-- > 0;) {
+        uint64_t cur = (rem << kShift) | a.digits[i];
+        q.digits[i] = static_cast<Digit>(cur / d);
+        rem = cur % d;
+    }
+    q.normalize();
+    return static_cast<Digit>(rem);
+}
+
+void
+RBigInt::divmod(const RBigInt &a, const RBigInt &b, RBigInt &q, RBigInt &r)
+{
+    XLVM_ASSERT(!b.isZero(), "bigint division by zero");
+
+    // Magnitude division first (truncating), then fix up for floor
+    // semantics with mixed signs.
+    RBigInt qm; // |a| / |b|
+    RBigInt rm; // |a| % |b|
+
+    int magcmp = compareMagnitude(a, b);
+    if (a.isZero() || magcmp < 0) {
+        qm = RBigInt();
+        rm = a.abs();
+    } else if (b.digits.size() == 1) {
+        Digit rem = divremSmall(a, b.digits[0], qm);
+        rm = fromInt64(rem);
+    } else {
+        // Knuth Algorithm D on base-2^30 digits.
+        uint32_t shift = 0;
+        Digit top = b.digits.back();
+        while ((top << shift & ~kMask) == 0 &&
+               ((top << shift) & (1u << (kShift - 1))) == 0)
+            ++shift;
+        RBigInt u = a.abs().lshift(shift);
+        RBigInt v = b.abs().lshift(shift);
+        size_t n = v.digits.size();
+        size_t m = u.digits.size() - n;
+        u.digits.push_back(0); // u has m+n+1 digits
+        qm.digits.assign(m + 1, 0);
+
+        uint64_t vtop = v.digits[n - 1];
+        uint64_t vsecond = n >= 2 ? v.digits[n - 2] : 0;
+
+        for (size_t j = m + 1; j-- > 0;) {
+            uint64_t num = (uint64_t(u.digits[j + n]) << kShift) |
+                           u.digits[j + n - 1];
+            uint64_t qhat = num / vtop;
+            uint64_t rhat = num % vtop;
+            while (qhat >= kBase ||
+                   qhat * vsecond >
+                       ((rhat << kShift) |
+                        (n >= 2 ? u.digits[j + n - 2] : 0))) {
+                --qhat;
+                rhat += vtop;
+                if (rhat >= kBase)
+                    break;
+            }
+            // Multiply-subtract qhat*v from u[j..j+n].
+            int64_t borrow = 0;
+            uint64_t carry = 0;
+            for (size_t i = 0; i < n; ++i) {
+                uint64_t p = qhat * v.digits[i] + carry;
+                carry = p >> kShift;
+                int64_t t = int64_t(u.digits[i + j]) -
+                            int64_t(p & kMask) - borrow;
+                if (t < 0) {
+                    t += kBase;
+                    borrow = 1;
+                } else {
+                    borrow = 0;
+                }
+                u.digits[i + j] = static_cast<Digit>(t);
+            }
+            int64_t t = int64_t(u.digits[j + n]) - int64_t(carry) - borrow;
+            if (t < 0) {
+                // qhat was one too large: add back v.
+                t += kBase;
+                --qhat;
+                uint64_t c2 = 0;
+                for (size_t i = 0; i < n; ++i) {
+                    uint64_t s = uint64_t(u.digits[i + j]) + v.digits[i] +
+                                 c2;
+                    u.digits[i + j] = static_cast<Digit>(s & kMask);
+                    c2 = s >> kShift;
+                }
+                t += int64_t(c2);
+                t &= int64_t(kMask);
+            }
+            u.digits[j + n] = static_cast<Digit>(t);
+            qm.digits[j] = static_cast<Digit>(qhat);
+        }
+        qm.normalize();
+        u.digits.resize(n);
+        u.normalize();
+        u.sign_ = 1;
+        rm = u.rshift(shift);
+    }
+
+    qm.normalize();
+    rm.normalize();
+
+    int sa = a.sign() == 0 ? 1 : a.sign();
+    int sb = b.sign();
+    if (sa == sb) {
+        q = qm;
+        if (!q.isZero())
+            q.sign_ = 1;
+        r = rm;
+        if (!r.isZero())
+            r.sign_ = sb;
+    } else if (rm.isZero()) {
+        q = qm;
+        if (!q.isZero())
+            q.sign_ = -1;
+        r = RBigInt();
+    } else {
+        // Floor division with mixed signs: q = -(qm+1), r = b_sign*(|b|-rm)
+        q = add(qm, fromInt64(1)).neg();
+        r = subMagnitude(b.abs(), rm);
+        if (!r.isZero())
+            r.sign_ = sb;
+    }
+}
+
+RBigInt
+RBigInt::lshift(uint32_t bits) const
+{
+    if (isZero() || bits == 0)
+        return *this;
+    uint32_t wordShift = bits / kShift;
+    uint32_t bitShift = bits % kShift;
+    RBigInt r;
+    r.sign_ = sign_;
+    r.digits.assign(digits.size() + wordShift + 1, 0);
+    for (size_t i = 0; i < digits.size(); ++i) {
+        uint64_t v = uint64_t(digits[i]) << bitShift;
+        r.digits[i + wordShift] |= static_cast<Digit>(v & kMask);
+        r.digits[i + wordShift + 1] |= static_cast<Digit>(v >> kShift);
+    }
+    r.normalize();
+    return r;
+}
+
+RBigInt
+RBigInt::rshift(uint32_t bits) const
+{
+    if (isZero() || bits == 0)
+        return *this;
+    uint32_t wordShift = bits / kShift;
+    uint32_t bitShift = bits % kShift;
+    if (wordShift >= digits.size())
+        return RBigInt();
+    RBigInt r;
+    r.sign_ = sign_;
+    size_t n = digits.size() - wordShift;
+    r.digits.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t v = digits[i + wordShift] >> bitShift;
+        if (bitShift && i + wordShift + 1 < digits.size()) {
+            v |= (uint64_t(digits[i + wordShift + 1])
+                  << (kShift - bitShift)) &
+                 kMask;
+        }
+        r.digits[i] = static_cast<Digit>(v);
+    }
+    r.normalize();
+    return r;
+}
+
+RBigInt
+RBigInt::neg() const
+{
+    RBigInt r = *this;
+    if (!r.isZero())
+        r.sign_ = -r.sign_;
+    return r;
+}
+
+RBigInt
+RBigInt::abs() const
+{
+    RBigInt r = *this;
+    r.sign_ = 1;
+    return r;
+}
+
+RBigInt
+RBigInt::pow(const RBigInt &base, uint64_t exp)
+{
+    RBigInt result = fromInt64(1);
+    RBigInt acc = base;
+    while (exp) {
+        if (exp & 1)
+            result = mul(result, acc);
+        exp >>= 1;
+        if (exp)
+            acc = mul(acc, acc);
+    }
+    return result;
+}
+
+bool
+RBigInt::fitsInt64() const
+{
+    if (digits.size() > 3)
+        return false;
+    if (digits.size() < 3)
+        return true;
+    // 3 digits = up to 90 bits; check against int64 range.
+    unsigned __int128 mag = 0;
+    for (size_t i = digits.size(); i-- > 0;)
+        mag = (mag << kShift) | digits[i];
+    if (sign_ > 0)
+        return mag <= static_cast<unsigned __int128>(INT64_MAX);
+    return mag <= static_cast<unsigned __int128>(INT64_MAX) + 1;
+}
+
+int64_t
+RBigInt::toInt64() const
+{
+    XLVM_ASSERT(fitsInt64(), "bigint does not fit int64");
+    uint64_t mag = 0;
+    for (size_t i = digits.size(); i-- > 0;)
+        mag = (mag << kShift) | digits[i];
+    return sign() < 0 ? -static_cast<int64_t>(mag)
+                      : static_cast<int64_t>(mag);
+}
+
+double
+RBigInt::toDouble() const
+{
+    double v = 0;
+    for (size_t i = digits.size(); i-- > 0;)
+        v = v * double(kBase) + digits[i];
+    return sign() < 0 ? -v : v;
+}
+
+std::string
+RBigInt::toDecimal() const
+{
+    if (isZero())
+        return "0";
+    std::string out;
+    RBigInt cur = abs();
+    // Divide by 10^9 chunks for fewer passes.
+    constexpr Digit kChunk = 1000000000u;
+    while (!cur.isZero()) {
+        RBigInt q;
+        Digit rem = divremSmall(cur, kChunk, q);
+        bool last = q.isZero();
+        for (int k = 0; k < 9 && (!last || rem); ++k) {
+            out.push_back('0' + rem % 10);
+            rem /= 10;
+        }
+        if (last && out.empty())
+            out.push_back('0');
+        cur = q;
+    }
+    if (sign() < 0)
+        out.push_back('-');
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+uint64_t
+RBigInt::addCostUnits(const RBigInt &a, const RBigInt &b)
+{
+    return std::max(a.numDigits(), b.numDigits()) + 1;
+}
+
+uint64_t
+RBigInt::mulCostUnits(const RBigInt &a, const RBigInt &b)
+{
+    return a.numDigits() * b.numDigits() + 1;
+}
+
+uint64_t
+RBigInt::divmodCostUnits(const RBigInt &a, const RBigInt &b)
+{
+    size_t n = b.numDigits();
+    size_t m = a.numDigits() > n ? a.numDigits() - n : 0;
+    return (m + 1) * (n + 1);
+}
+
+uint64_t
+RBigInt::shiftCostUnits(const RBigInt &a, uint32_t bits)
+{
+    return a.numDigits() + bits / kShift + 1;
+}
+
+uint64_t
+RBigInt::toDecimalCostUnits() const
+{
+    return numDigits() * numDigits() / 9 + numDigits() + 1;
+}
+
+} // namespace rt
+} // namespace xlvm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * String builder — the analog of RPython's rbuilder (ll_append), which
+ * appears in Table III for json_bench and spitfire.
+ */
+
+#ifndef XLVM_RT_RBUILDER_H
+#define XLVM_RT_RBUILDER_H
+
+#include <cstdint>
+#include <string>
+
+namespace xlvm {
+namespace rt {
+
+class RBuilder
+{
+  public:
+    /** Append a piece; returns cost units (chars copied + realloc work). */
+    uint64_t
+    append(const std::string &piece)
+    {
+        uint64_t cost = piece.size() + 1;
+        if (buf.capacity() < buf.size() + piece.size())
+            cost += buf.size() / 4; // amortized realloc copy
+        buf.append(piece);
+        return cost;
+    }
+
+    uint64_t
+    appendChar(char c)
+    {
+        buf.push_back(c);
+        return 1;
+    }
+
+    const std::string &view() const { return buf; }
+    std::string take() { return std::move(buf); }
+    size_t size() const { return buf.size(); }
+
+  private:
+    std::string buf;
+};
+
+} // namespace rt
+} // namespace xlvm
+
+#endif // XLVM_RT_RBUILDER_H

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Insertion-ordered hash dictionary — the analog of RPython's
+ * rordereddict, whose ll_call_lookup_function is the single most common
+ * significant AOT function in Table III.
+ *
+ * Layout mirrors rordereddict/CPython 3.6+: a sparse index table of
+ * entry indices (open addressing, perturb probing) plus a dense,
+ * insertion-ordered entry array. Deletions tombstone the dense entry and
+ * are compacted when more than half the entries are dead.
+ *
+ * The template is generic over key/value and a traits class providing
+ * hash/equality so the same code backs W_Dict (object keys), string maps
+ * (interpreter namespaces), and internal tables.
+ */
+
+#ifndef XLVM_RT_RDICT_H
+#define XLVM_RT_RDICT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace rt {
+
+/** Statistics/cost feedback from one lookup. */
+struct LookupCost
+{
+    uint32_t probes = 0;   ///< index-table probes performed
+    bool keyCompared = 0;  ///< at least one full key comparison ran
+};
+
+template <typename K, typename V, typename Traits>
+class ROrderedDict
+{
+  public:
+    struct Entry
+    {
+        K key{};
+        V value{};
+        uint64_t hash = 0;
+        bool live = false;
+    };
+
+    ROrderedDict() { indexTable.assign(kInitialSlots, kEmpty); }
+
+    size_t size() const { return numLive; }
+    bool empty() const { return numLive == 0; }
+
+    /**
+     * Core probing routine (ll_call_lookup_function). Returns the dense
+     * entry index for the key or -1.
+     */
+    int64_t
+    lookup(const K &key, uint64_t hash, LookupCost *cost) const
+    {
+        size_t mask = indexTable.size() - 1;
+        size_t slot = hash & mask;
+        uint64_t perturb = hash;
+        uint32_t probes = 0;
+        bool compared = false;
+        while (true) {
+            ++probes;
+            int32_t idx = indexTable[slot];
+            if (idx == kEmpty) {
+                if (cost)
+                    *cost = {probes, compared};
+                return -1;
+            }
+            if (idx != kTombstone) {
+                const Entry &e = entries[idx];
+                if (e.live && e.hash == hash) {
+                    compared = true;
+                    if (Traits::equal(e.key, key)) {
+                        if (cost)
+                            *cost = {probes, compared};
+                        return idx;
+                    }
+                }
+            }
+            perturb >>= 5;
+            slot = (slot * 5 + perturb + 1) & mask;
+        }
+    }
+
+    /** Lookup returning value pointer or nullptr. */
+    V *
+    get(const K &key, uint64_t hash, LookupCost *cost = nullptr)
+    {
+        int64_t idx = lookup(key, hash, cost);
+        return idx < 0 ? nullptr : &entries[idx].value;
+    }
+
+    const V *
+    get(const K &key, uint64_t hash, LookupCost *cost = nullptr) const
+    {
+        int64_t idx = lookup(key, hash, cost);
+        return idx < 0 ? nullptr : &entries[idx].value;
+    }
+
+    /**
+     * Insert or update. Returns true if a new key was inserted.
+     * @param cost accumulates probing cost if non-null.
+     */
+    bool
+    set(const K &key, uint64_t hash, const V &value,
+        LookupCost *cost = nullptr)
+    {
+        int64_t idx = lookup(key, hash, cost);
+        if (idx >= 0) {
+            entries[idx].value = value;
+            return false;
+        }
+        if ((entries.size() + 1) * 3 >= indexTable.size() * 2)
+            grow();
+        int32_t newIdx = static_cast<int32_t>(entries.size());
+        entries.push_back(Entry{key, value, hash, true});
+        insertIndex(hash, newIdx);
+        ++numLive;
+        ++version_;
+        return true;
+    }
+
+    /** Delete a key; returns true if it was present. */
+    bool
+    erase(const K &key, uint64_t hash)
+    {
+        int64_t idx = lookup(key, hash, nullptr);
+        if (idx < 0)
+            return false;
+        entries[idx].live = false;
+        entries[idx].value = V{};
+        --numLive;
+        ++version_;
+        if (numLive * 2 < entries.size())
+            compact();
+        return true;
+    }
+
+    /**
+     * Dense entries in insertion order; dead entries have live == false.
+     * Iteration must skip them.
+     */
+    const std::vector<Entry> &rawEntries() const { return entries; }
+
+    /** Mutable access for GC tracing of keys/values. */
+    std::vector<Entry> &rawEntriesMut() { return entries; }
+
+    /**
+     * Monotonic mutation counter: the versioned-dict mechanism the JIT
+     * uses to constant-fold global lookups behind a guard.
+     */
+    uint64_t version() const { return version_; }
+
+    void
+    clear()
+    {
+        entries.clear();
+        indexTable.assign(kInitialSlots, kEmpty);
+        numLive = 0;
+        ++version_;
+    }
+
+    size_t slotCount() const { return indexTable.size(); }
+
+  private:
+    static constexpr int32_t kEmpty = -1;
+    static constexpr int32_t kTombstone = -2;
+    static constexpr size_t kInitialSlots = 8;
+
+    void
+    insertIndex(uint64_t hash, int32_t idx)
+    {
+        size_t mask = indexTable.size() - 1;
+        size_t slot = hash & mask;
+        uint64_t perturb = hash;
+        while (indexTable[slot] != kEmpty &&
+               indexTable[slot] != kTombstone) {
+            perturb >>= 5;
+            slot = (slot * 5 + perturb + 1) & mask;
+        }
+        indexTable[slot] = idx;
+    }
+
+    void
+    rebuildIndex()
+    {
+        for (auto &s : indexTable)
+            s = kEmpty;
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].live)
+                insertIndex(entries[i].hash, static_cast<int32_t>(i));
+        }
+    }
+
+    void
+    grow()
+    {
+        size_t target = indexTable.size() * 2;
+        while (entries.size() * 3 >= target * 2)
+            target *= 2;
+        indexTable.assign(target, kEmpty);
+        compactEntries();
+        rebuildIndex();
+    }
+
+    void
+    compact()
+    {
+        compactEntries();
+        rebuildIndex();
+    }
+
+    void
+    compactEntries()
+    {
+        std::vector<Entry> dense;
+        dense.reserve(numLive);
+        for (auto &e : entries) {
+            if (e.live)
+                dense.push_back(e);
+        }
+        entries.swap(dense);
+    }
+
+    std::vector<int32_t> indexTable;
+    std::vector<Entry> entries;
+    size_t numLive = 0;
+    uint64_t version_ = 0;
+};
+
+} // namespace rt
+} // namespace xlvm
+
+#endif // XLVM_RT_RDICT_H

@@ -1,0 +1,258 @@
+#include "rt/rstr.h"
+
+#include <cctype>
+
+namespace xlvm {
+namespace rt {
+
+int64_t
+findChar(const std::string &s, char ch, int64_t start, uint64_t *cost_units)
+{
+    if (start < 0)
+        start = 0;
+    for (size_t i = start; i < s.size(); ++i) {
+        if (s[i] == ch) {
+            *cost_units = i - start + 1;
+            return static_cast<int64_t>(i);
+        }
+    }
+    *cost_units = s.size() >= size_t(start) ? s.size() - start + 1 : 1;
+    return -1;
+}
+
+int64_t
+find(const std::string &s, const std::string &needle, int64_t start,
+     uint64_t *cost_units)
+{
+    if (start < 0)
+        start = 0;
+    if (needle.empty()) {
+        *cost_units = 1;
+        return start <= int64_t(s.size()) ? start : -1;
+    }
+    size_t pos = s.find(needle, start);
+    if (pos == std::string::npos) {
+        *cost_units = (s.size() - start) + needle.size() + 1;
+        return -1;
+    }
+    *cost_units = (pos - start) + needle.size() + 1;
+    return static_cast<int64_t>(pos);
+}
+
+std::string
+replace(const std::string &s, const std::string &from, const std::string &to,
+        uint64_t *cost_units)
+{
+    *cost_units = s.size() + 1;
+    if (from.empty())
+        return s;
+    std::string out;
+    out.reserve(s.size());
+    size_t pos = 0;
+    while (true) {
+        size_t hit = s.find(from, pos);
+        if (hit == std::string::npos) {
+            out.append(s, pos, std::string::npos);
+            break;
+        }
+        out.append(s, pos, hit - pos);
+        out.append(to);
+        *cost_units += to.size();
+        pos = hit + from.size();
+    }
+    return out;
+}
+
+std::string
+join(const std::string &sep, const std::vector<std::string> &parts,
+     uint64_t *cost_units)
+{
+    std::string out;
+    size_t total = 0;
+    for (const auto &p : parts)
+        total += p.size() + sep.size();
+    out.reserve(total);
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out.append(sep);
+        out.append(parts[i]);
+    }
+    *cost_units = out.size() + parts.size() + 1;
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep, uint64_t *cost_units)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    *cost_units = s.size() + out.size() + 1;
+    return out;
+}
+
+uint64_t
+strHash(const std::string &s, uint64_t *cost_units)
+{
+    // RPython's ll_strhash uses the CPython -5381-style multiplicative
+    // hash; reproduce its structure.
+    uint64_t x = s.empty() ? 0 : (uint64_t(uint8_t(s[0])) << 7);
+    for (char c : s)
+        x = (1000003ull * x) ^ uint8_t(c);
+    x ^= s.size();
+    *cost_units = s.size() + 1;
+    return x ? x : 1;
+}
+
+std::string
+int2dec(int64_t v, uint64_t *cost_units)
+{
+    std::string s = std::to_string(v);
+    *cost_units = s.size() + 2;
+    return s;
+}
+
+bool
+stringToInt(const std::string &s, int64_t *out, uint64_t *cost_units)
+{
+    *cost_units = s.size() + 2;
+    size_t i = 0, n = s.size();
+    while (i < n && std::isspace(uint8_t(s[i])))
+        ++i;
+    bool neg = false;
+    if (i < n && (s[i] == '+' || s[i] == '-')) {
+        neg = s[i] == '-';
+        ++i;
+    }
+    if (i >= n || !std::isdigit(uint8_t(s[i])))
+        return false;
+    int64_t acc = 0;
+    for (; i < n && std::isdigit(uint8_t(s[i])); ++i)
+        acc = acc * 10 + (s[i] - '0');
+    while (i < n && std::isspace(uint8_t(s[i])))
+        ++i;
+    if (i != n)
+        return false;
+    *out = neg ? -acc : acc;
+    return true;
+}
+
+std::string
+toLower(const std::string &s, uint64_t *cost_units)
+{
+    *cost_units = s.size() + 1;
+    std::string out = s;
+    for (char &c : out)
+        c = char(std::tolower(uint8_t(c)));
+    return out;
+}
+
+std::string
+toUpper(const std::string &s, uint64_t *cost_units)
+{
+    *cost_units = s.size() + 1;
+    std::string out = s;
+    for (char &c : out)
+        c = char(std::toupper(uint8_t(c)));
+    return out;
+}
+
+std::string
+strip(const std::string &s, uint64_t *cost_units)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(uint8_t(s[b])))
+        ++b;
+    while (e > b && std::isspace(uint8_t(s[e - 1])))
+        --e;
+    *cost_units = s.size() + 1;
+    return s.substr(b, e - b);
+}
+
+int64_t
+count(const std::string &s, const std::string &needle, uint64_t *cost_units)
+{
+    *cost_units = s.size() + 1;
+    if (needle.empty())
+        return int64_t(s.size()) + 1;
+    int64_t n = 0;
+    size_t pos = 0;
+    while ((pos = s.find(needle, pos)) != std::string::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string
+translate(const std::string &s, const std::string &table256,
+          uint64_t *cost_units)
+{
+    std::string out = s;
+    if (table256.size() >= 256) {
+        for (char &c : out)
+            c = table256[uint8_t(c)];
+    }
+    *cost_units = s.size() + 1;
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s, uint64_t *cost_units)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    *cost_units = out.size() + 1;
+    return out;
+}
+
+} // namespace rt
+} // namespace xlvm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * String runtime operations — the analog of RPython's rstr/rstring
+ * modules (ll_find_char, ll_join, replace, ll_strhash, ll_int2dec, ...).
+ *
+ * Each function returns its result plus enough information (via
+ * *cost_units) for the caller to charge instruction cost proportional to
+ * the characters actually touched, which is what makes string-heavy
+ * benchmarks (spitfire, django, bm_mako) AOT-call-bound as in Table III.
+ */
+
+#ifndef XLVM_RT_RSTR_H
+#define XLVM_RT_RSTR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xlvm {
+namespace rt {
+
+/** Find first occurrence of @p ch at/after @p start; -1 if absent. */
+int64_t findChar(const std::string &s, char ch, int64_t start,
+                 uint64_t *cost_units);
+
+/** Find first occurrence of @p needle at/after @p start; -1 if absent. */
+int64_t find(const std::string &s, const std::string &needle, int64_t start,
+             uint64_t *cost_units);
+
+/** Replace all occurrences of @p from with @p to. */
+std::string replace(const std::string &s, const std::string &from,
+                    const std::string &to, uint64_t *cost_units);
+
+/** Join parts with a separator. */
+std::string join(const std::string &sep,
+                 const std::vector<std::string> &parts,
+                 uint64_t *cost_units);
+
+/** Split on a single-character separator. */
+std::vector<std::string> split(const std::string &s, char sep,
+                               uint64_t *cost_units);
+
+/** Deterministic string hash (RPython-style multiplicative). */
+uint64_t strHash(const std::string &s, uint64_t *cost_units);
+
+/** Decimal rendering of a signed 64-bit integer (ll_int2dec). */
+std::string int2dec(int64_t v, uint64_t *cost_units);
+
+/**
+ * Parse a decimal integer with optional sign and surrounding spaces
+ * (rarithmetic.string_to_int). Returns false on malformed input.
+ */
+bool stringToInt(const std::string &s, int64_t *out, uint64_t *cost_units);
+
+/** Lower-case ASCII copy. */
+std::string toLower(const std::string &s, uint64_t *cost_units);
+
+/** Upper-case ASCII copy. */
+std::string toUpper(const std::string &s, uint64_t *cost_units);
+
+/** Strip ASCII whitespace from both ends. */
+std::string strip(const std::string &s, uint64_t *cost_units);
+
+/**
+ * Count non-overlapping occurrences of @p needle.
+ */
+int64_t count(const std::string &s, const std::string &needle,
+              uint64_t *cost_units);
+
+/** startswith/endswith. */
+bool startsWith(const std::string &s, const std::string &prefix);
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/**
+ * Translate characters through a 256-entry map (W_Unicode.descr_translate
+ * analog used by html5lib).
+ */
+std::string translate(const std::string &s, const std::string &table256,
+                      uint64_t *cost_units);
+
+/**
+ * Encode to "ascii with escapes" the way a JSON encoder would
+ * (_pypyjson.raw_encode_basestring_ascii analog).
+ */
+std::string jsonEscape(const std::string &s, uint64_t *cost_units);
+
+} // namespace rt
+} // namespace xlvm
+
+#endif // XLVM_RT_RSTR_H

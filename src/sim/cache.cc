@@ -1,0 +1,70 @@
+#include "sim/cache.h"
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace sim {
+
+namespace {
+
+inline uint32_t
+log2u(uint32_t x)
+{
+    uint32_t r = 0;
+    while ((1u << r) < x)
+        ++r;
+    return r;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &p)
+{
+    numWays = p.ways;
+    uint32_t lines = p.sizeBytes / p.lineBytes;
+    XLVM_ASSERT(lines % p.ways == 0, "cache geometry mismatch");
+    numSets = lines / p.ways;
+    XLVM_ASSERT((numSets & (numSets - 1)) == 0, "sets must be power of 2");
+    lineShift = log2u(p.lineBytes);
+    ways_.resize(numSets * numWays);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    uint64_t line = addr >> lineShift;
+    uint32_t set = static_cast<uint32_t>(line) & (numSets - 1);
+    uint64_t tag = line >> 1; // keep some set bits in the tag; cheap
+    Way *base = &ways_[set * numWays];
+    ++useClock;
+
+    for (uint32_t w = 0; w < numWays; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = useClock;
+            ++nHits;
+            return true;
+        }
+    }
+
+    // Miss: fill LRU way.
+    uint32_t victim = 0;
+    uint32_t oldest = base[0].lastUse;
+    for (uint32_t w = 0; w < numWays; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lastUse < oldest) {
+            oldest = base[w].lastUse;
+            victim = w;
+        }
+    }
+    base[victim].valid = true;
+    base[victim].tag = tag;
+    base[victim].lastUse = useClock;
+    ++nMisses;
+    return false;
+}
+
+} // namespace sim
+} // namespace xlvm

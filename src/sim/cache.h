@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Used for the L1 instruction and data caches of the modeled core. Only
+ * hit/miss behaviour is modeled (no MSHRs or bandwidth); the Core charges
+ * a fixed partially-overlapped penalty per miss.
+ */
+
+#ifndef XLVM_SIM_CACHE_H
+#define XLVM_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace xlvm {
+namespace sim {
+
+struct CacheParams
+{
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t lineBytes = 64;
+    uint32_t ways = 8;
+};
+
+/** Simple LRU set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &p = CacheParams());
+
+    /** Access one address; returns true on hit (and updates state). */
+    bool access(uint64_t addr);
+
+    uint64_t hits() const { return nHits; }
+    uint64_t misses() const { return nMisses; }
+
+    void resetStats() { nHits = nMisses = 0; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~0ull;
+        uint32_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::vector<Way> ways_;
+    uint32_t numSets;
+    uint32_t numWays;
+    uint32_t lineShift;
+    uint32_t useClock = 0;
+    uint64_t nHits = 0;
+    uint64_t nMisses = 0;
+};
+
+} // namespace sim
+} // namespace xlvm
+
+#endif // XLVM_SIM_CACHE_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic code-address allocation.
+ *
+ * Every emitter site (interpreter dispatch loop, each bytecode handler,
+ * each AOT runtime function, each JIT-compiled trace) owns a region of
+ * synthetic PC space so that branch predictors and the I-cache observe a
+ * stable, realistic code layout. Regions are handed out by a simple
+ * monotonic allocator with distinct "segments" per code kind, mimicking
+ * the separation of the interpreter binary, the C runtime, and the JIT
+ * code arena in a real PyPy process.
+ */
+
+#ifndef XLVM_SIM_CODE_SPACE_H
+#define XLVM_SIM_CODE_SPACE_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace sim {
+
+/** Code segments laid out like a real VM process image. */
+enum class CodeSegment : uint8_t
+{
+    Interp,  ///< translated interpreter text
+    Runtime, ///< AOT-compiled runtime library text
+    JitArena ///< dynamically generated trace code
+};
+
+class CodeSpace
+{
+  public:
+    CodeSpace()
+        : interpCursor(0x00400000ull),
+          runtimeCursor(0x00a00000ull),
+          jitCursor(0x7f0000000000ull)
+    {
+    }
+
+    /**
+     * Allocate a code region of @p num_insts synthetic instructions
+     * (4 bytes each), 16-byte aligned.
+     */
+    uint64_t
+    alloc(CodeSegment seg, uint32_t num_insts)
+    {
+        uint64_t bytes = (uint64_t(num_insts) * 4 + 15) & ~15ull;
+        uint64_t *cursor = nullptr;
+        switch (seg) {
+          case CodeSegment::Interp:
+            cursor = &interpCursor;
+            break;
+          case CodeSegment::Runtime:
+            cursor = &runtimeCursor;
+            break;
+          case CodeSegment::JitArena:
+            cursor = &jitCursor;
+            break;
+        }
+        uint64_t base = *cursor;
+        *cursor += bytes;
+        return base;
+    }
+
+    uint64_t jitCodeBytes() const { return jitCursor - 0x7f0000000000ull; }
+
+  private:
+    uint64_t interpCursor;
+    uint64_t runtimeCursor;
+    uint64_t jitCursor;
+};
+
+} // namespace sim
+} // namespace xlvm
+
+#endif // XLVM_SIM_CODE_SPACE_H

@@ -1,0 +1,69 @@
+#include "sim/core.h"
+
+#include "common/logging.h"
+
+namespace xlvm {
+namespace sim {
+
+Core::Core(const CoreParams &p)
+    : params(p),
+      issueCostFp(kCycleFp / p.issueWidth),
+      branchUnit(p.branchPred),
+      icache(p.icache),
+      dcache(p.dcache)
+{
+    XLVM_ASSERT(p.issueWidth > 0 && p.issueWidth <= kCycleFp,
+                "unsupported issue width");
+}
+
+const PerfCounters &
+Core::bucketCounters(uint32_t b) const
+{
+    XLVM_ASSERT(b < kMaxBuckets, "bucket out of range");
+    return buckets[b];
+}
+
+PerfCounters
+Core::totalCounters() const
+{
+    PerfCounters total;
+    for (const auto &b : buckets)
+        total.accumulate(b);
+    return total;
+}
+
+uint64_t
+Core::totalInstructions() const
+{
+    uint64_t n = 0;
+    for (const auto &b : buckets)
+        n += b.instructions;
+    return n;
+}
+
+double
+Core::totalCycles() const
+{
+    uint64_t c = 0;
+    for (const auto &b : buckets)
+        c += b.cyclesFp;
+    return double(c) / kCycleFp;
+}
+
+double
+Core::seconds() const
+{
+    return totalCycles() / (params.frequencyGhz * 1e9);
+}
+
+void
+Core::resetStats()
+{
+    for (auto &b : buckets)
+        b = PerfCounters();
+    icache.resetStats();
+    dcache.resetStats();
+}
+
+} // namespace sim
+} // namespace xlvm

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The modeled processor core.
+ *
+ * Core consumes the dynamic instruction stream emitted by the VM layers
+ * and plays the role of the paper's real hardware: it drives the branch
+ * predictors and L1 caches, charges cycles with a simple issue-width +
+ * penalty model, and maintains per-bucket performance counters. Buckets
+ * correspond to the paper's execution phases (interpreter / tracing / JIT
+ * / JIT-call / GC / blackhole); the instrumentation layer switches the
+ * active bucket when it intercepts phase annotations, which is exactly how
+ * the paper's PinTool + PAPI combination attributes counters to phases.
+ */
+
+#ifndef XLVM_SIM_CORE_H
+#define XLVM_SIM_CORE_H
+
+#include <array>
+#include <cstdint>
+
+#include "sim/branch_pred.h"
+#include "sim/cache.h"
+#include "sim/inst.h"
+
+namespace xlvm {
+namespace sim {
+
+/** Fixed-point cycle units: 1/16 of a cycle. */
+constexpr uint64_t kCycleFp = 16;
+
+struct CoreParams
+{
+    uint32_t issueWidth = 4;
+    uint32_t mispredictPenalty = 14; ///< cycles
+    uint32_t icacheMissPenalty = 8;  ///< cycles (partially overlapped)
+    uint32_t dcacheMissPenalty = 10; ///< cycles (partially overlapped)
+    /**
+     * Cycle cost charged per annotation, in kCycleFp units. Defaults to 0
+     * (ideal instrumentation); the perturbation ablation bench raises it
+     * to model real tagged nops occupying issue slots.
+     */
+    uint32_t annotCostFp = 0;
+    double frequencyGhz = 3.0;
+    BranchPredParams branchPred;
+    CacheParams icache;
+    CacheParams dcache;
+};
+
+/** One bucket of performance counters (the PAPI analog). */
+struct PerfCounters
+{
+    uint64_t instructions = 0;
+    uint64_t cyclesFp = 0; ///< in kCycleFp units
+    uint64_t branches = 0; ///< all control-flow instructions
+    uint64_t condBranches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t icacheMisses = 0;
+    uint64_t dcacheMisses = 0;
+    uint64_t annotations = 0;
+
+    double cycles() const { return double(cyclesFp) / kCycleFp; }
+
+    double
+    ipc() const
+    {
+        return cyclesFp ? double(instructions) * kCycleFp / cyclesFp : 0.0;
+    }
+
+    /** Branch mispredictions per 1000 instructions. */
+    double
+    mpki() const
+    {
+        return instructions ? 1000.0 * mispredicts / instructions : 0.0;
+    }
+
+    double
+    branchRate() const
+    {
+        return instructions ? double(branches) / instructions : 0.0;
+    }
+
+    double
+    branchMissRate() const
+    {
+        return branches ? double(mispredicts) / branches : 0.0;
+    }
+
+    void
+    accumulate(const PerfCounters &o)
+    {
+        instructions += o.instructions;
+        cyclesFp += o.cyclesFp;
+        branches += o.branches;
+        condBranches += o.condBranches;
+        mispredicts += o.mispredicts;
+        loads += o.loads;
+        stores += o.stores;
+        icacheMisses += o.icacheMisses;
+        dcacheMisses += o.dcacheMisses;
+        annotations += o.annotations;
+    }
+};
+
+/** Interface through which the core hands annotations to instrumentation. */
+class AnnotSink
+{
+  public:
+    virtual ~AnnotSink() = default;
+    virtual void onAnnot(uint32_t tag, uint32_t payload) = 0;
+};
+
+/** Maximum number of counter buckets (phases). */
+constexpr uint32_t kMaxBuckets = 16;
+
+class Core
+{
+  public:
+    explicit Core(const CoreParams &p = CoreParams());
+
+    /** Consume one dynamic instruction (hot path). */
+    void
+    consume(const Inst &inst)
+    {
+        PerfCounters &pc = buckets[bucket];
+
+        if (inst.cls == InstClass::Annot) {
+            // Annotations are metadata: by default they do not perturb
+            // the counters they are used to collect (see annotCostFp).
+            ++pc.annotations;
+            pc.cyclesFp += params.annotCostFp;
+            if (sink)
+                sink->onAnnot(annotTag(inst.target),
+                              annotPayload(inst.target));
+            return;
+        }
+
+        ++pc.instructions;
+        uint64_t cost = issueCostFp;
+
+        if (!icache.access(inst.pc)) {
+            ++pc.icacheMisses;
+            cost += params.icacheMissPenalty * kCycleFp;
+        }
+        cost += uint64_t(inst.extraLat) * kCycleFp;
+
+        switch (inst.cls) {
+          case InstClass::Load:
+            ++pc.loads;
+            if (!dcache.access(inst.memAddr)) {
+                ++pc.dcacheMisses;
+                cost += params.dcacheMissPenalty * kCycleFp;
+            }
+            break;
+          case InstClass::Store:
+            ++pc.stores;
+            if (!dcache.access(inst.memAddr))
+                ++pc.dcacheMisses; // write-allocate; latency hidden
+            break;
+          case InstClass::IntMul:
+            cost += 2 * kCycleFp;
+            break;
+          case InstClass::IntDiv:
+            cost += 18 * kCycleFp;
+            break;
+          case InstClass::FpAlu:
+            cost += 1 * kCycleFp;
+            break;
+          case InstClass::FpMul:
+            cost += 2 * kCycleFp;
+            break;
+          case InstClass::FpDiv:
+            cost += 12 * kCycleFp;
+            break;
+          default:
+            break;
+        }
+
+        if (isControl(inst.cls)) {
+            ++pc.branches;
+            if (inst.cls == InstClass::Branch)
+                ++pc.condBranches;
+            if (branchUnit.process(inst)) {
+                ++pc.mispredicts;
+                cost += params.mispredictPenalty * kCycleFp;
+            }
+        }
+
+        pc.cyclesFp += cost;
+    }
+
+    /** Select which counter bucket subsequent instructions charge. */
+    void setBucket(uint32_t b) { bucket = b < kMaxBuckets ? b : 0; }
+    uint32_t currentBucket() const { return bucket; }
+
+    void setAnnotSink(AnnotSink *s) { sink = s; }
+
+    const PerfCounters &bucketCounters(uint32_t b) const;
+
+    /** Sum of all buckets. */
+    PerfCounters totalCounters() const;
+
+    uint64_t totalInstructions() const;
+    double totalCycles() const;
+
+    /** Simulated wall-clock seconds at the configured frequency. */
+    double seconds() const;
+
+    void resetStats();
+
+    const CoreParams &coreParams() const { return params; }
+
+  private:
+    CoreParams params;
+    uint64_t issueCostFp;
+    BranchUnit branchUnit;
+    Cache icache;
+    Cache dcache;
+    AnnotSink *sink = nullptr;
+    uint32_t bucket = 0;
+    std::array<PerfCounters, kMaxBuckets> buckets;
+};
+
+} // namespace sim
+} // namespace xlvm
+
+#endif // XLVM_SIM_CORE_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The synthetic target ISA.
+ *
+ * xlvm is execution-driven: every layer of the modeled VM stack (reference
+ * interpreter, RPython-style translated interpreter, meta-interpreter,
+ * JIT-compiled traces, AOT runtime functions, the garbage collector)
+ * *emits* a stream of Inst records into sim::Core, which plays the role of
+ * the hardware in the paper: it accounts cycles, drives branch predictors
+ * and caches, and surfaces per-phase performance counters.
+ *
+ * Annot is the cross-layer annotation instruction: the analog of the
+ * paper's tagged x86 `nop`. It does not change "program" behaviour but is
+ * observed by the instrumentation layer (xlayer::AnnotationBus), exactly
+ * like the paper's PinTool observing nops.
+ */
+
+#ifndef XLVM_SIM_INST_H
+#define XLVM_SIM_INST_H
+
+#include <cstdint>
+
+namespace xlvm {
+namespace sim {
+
+/** Broad instruction classes; enough detail for the cycle model. */
+enum class InstClass : uint8_t
+{
+    IntAlu,       ///< integer add/sub/logic/compare/lea
+    IntMul,       ///< integer multiply
+    IntDiv,       ///< integer divide/modulo
+    FpAlu,        ///< floating add/sub/convert
+    FpMul,        ///< floating multiply
+    FpDiv,        ///< floating divide/sqrt
+    Load,         ///< memory read
+    Store,        ///< memory write
+    Branch,       ///< conditional direct branch
+    Jump,         ///< unconditional direct jump
+    IndirectJump, ///< computed jump (interpreter dispatch, jump tables)
+    Call,         ///< direct call
+    IndirectCall, ///< computed call (vtables, function pointers)
+    Ret,          ///< return
+    Nop,          ///< plain no-op / fence
+    Annot,        ///< tagged no-op: cross-layer annotation carrier
+};
+
+constexpr int kNumInstClasses = 16;
+
+/** One dynamic instruction record. */
+struct Inst
+{
+    InstClass cls = InstClass::Nop;
+    /** Extra dependence-induced stall cycles charged to this inst. */
+    uint8_t extraLat = 0;
+    /** Conditional-branch outcome. */
+    bool taken = false;
+    /** Synthetic program counter (4-byte granule). */
+    uint64_t pc = 0;
+    /**
+     * Branch/jump/call target; for Annot this carries the encoded
+     * (tag, payload) pair; for Load/Store it is unused.
+     */
+    uint64_t target = 0;
+    /** Effective address for Load/Store. */
+    uint64_t memAddr = 0;
+};
+
+/** Encode an annotation tag + payload into Inst::target. */
+constexpr uint64_t
+encodeAnnot(uint32_t tag, uint32_t payload)
+{
+    return (static_cast<uint64_t>(tag) << 32) | payload;
+}
+
+constexpr uint32_t annotTag(uint64_t enc) { return enc >> 32; }
+constexpr uint32_t annotPayload(uint64_t enc)
+{
+    return static_cast<uint32_t>(enc);
+}
+
+/** True for classes the branch predictor must handle. */
+constexpr bool
+isControl(InstClass c)
+{
+    switch (c) {
+      case InstClass::Branch:
+      case InstClass::Jump:
+      case InstClass::IndirectJump:
+      case InstClass::Call:
+      case InstClass::IndirectCall:
+      case InstClass::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace sim
+} // namespace xlvm
+
+#endif // XLVM_SIM_INST_H

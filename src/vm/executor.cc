@@ -1,0 +1,662 @@
+#include "vm/executor.h"
+
+#include <cmath>
+
+#include "rt/rstr.h"
+#include "xlayer/annot.h"
+
+namespace xlvm {
+namespace vm {
+
+using jit::BoxType;
+using jit::IrOp;
+using jit::kNoArg;
+using jit::ResOp;
+using jit::RtVal;
+using jit::Trace;
+using obj::W_Object;
+
+TraceExecutor::TraceExecutor(obj::ObjSpace &sp, TraceRegistry &reg,
+                             jit::Backend &be, const JitParams &p)
+    : space(sp), registry(reg), backend(be), params(p)
+{
+    space.heap().addRootProvider(this);
+}
+
+TraceExecutor::~TraceExecutor()
+{
+    space.heap().removeRootProvider(this);
+}
+
+void
+TraceExecutor::forEachRoot(gc::GcVisitor &v)
+{
+    for (Level &lvl : active) {
+        for (RtVal &r : *lvl.regs) {
+            if (r.kind == RtVal::Kind::Ref && r.r)
+                v.visit(static_cast<gc::GcObject *>(r.r));
+        }
+        for (const RtVal &c : lvl.trace->consts) {
+            if (c.kind == RtVal::Kind::Ref && c.r)
+                v.visit(static_cast<gc::GcObject *>(c.r));
+        }
+    }
+}
+
+namespace {
+
+inline W_Object *
+asObj(const RtVal &v)
+{
+    return static_cast<W_Object *>(v.r);
+}
+
+/** Flatten a deopt state's slots into trace-input values (bridge ABI). */
+std::vector<RtVal>
+flattenState(const DeoptResult &state)
+{
+    std::vector<RtVal> out;
+    for (const FrameState &f : state.frames) {
+        for (W_Object *w : f.locals)
+            out.push_back(RtVal::fromRef(w));
+        for (W_Object *w : f.stack)
+            out.push_back(RtVal::fromRef(w));
+    }
+    return out;
+}
+
+} // namespace
+
+DeoptResult
+TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
+{
+    obj::ExecEnv &env = space.env();
+    sim::Core &core = env.core();
+    JitCodeScope jitScope(env);
+
+    Trace *t = &trace;
+    std::vector<RtVal> regs;
+    auto enterTrace = [&](Trace *target, std::vector<RtVal> &&in) {
+        t = target;
+        XLVM_ASSERT(in.size() == target->numInputs,
+                    "trace input arity mismatch: ", in.size(), " vs ",
+                    target->numInputs, " (trace ", target->id, ")");
+        regs.assign(target->boxTypes.size(), RtVal());
+        for (size_t i = 0; i < in.size(); ++i)
+            regs[i] = in[i];
+        ++target->executions;
+    };
+
+    {
+        sim::BlockEmitter e(core, trace.codePc);
+        e.annot(xlayer::kTraceEnter, trace.id);
+        e.annot(xlayer::kPhaseEnter, uint32_t(xlayer::Phase::Jit));
+    }
+    enterTrace(&trace, std::move(inputs));
+    active.push_back(Level{t, &regs});
+
+    auto leave = [&](DeoptResult &&res) {
+        active.pop_back();
+        sim::BlockEmitter e(core, t->codePc + t->codeInsts * 4);
+        e.annot(xlayer::kTraceLeave, t->id);
+        e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Jit));
+        return std::move(res);
+    };
+
+    size_t idx = 0;
+    bool pendingOverflow = false;
+    uint64_t steps = 0;
+
+    while (true) {
+        if (++steps > (1ull << 34)) {
+            // Runaway backstop: a correct program cannot execute this
+            // many IR ops in one JIT entry at our benchmark scales.
+            std::string all;
+            for (const auto &tr : registry.all()) {
+                all += tr->dump();
+                for (size_t g = 0; g < tr->guardStates.size(); ++g) {
+                    if (tr->guardStates[g].failCount) {
+                        all += "  guard@" + std::to_string(g) +
+                               " fails=" +
+                               std::to_string(
+                                   tr->guardStates[g].failCount) +
+                               " bridge=" +
+                               std::to_string(
+                                   tr->guardStates[g].bridgeTraceId) +
+                               "\n";
+                    }
+                }
+            }
+            XLVM_PANIC("runaway trace execution, in trace ", t->id,
+                       "; all traces:\n", all);
+        }
+        XLVM_ASSERT(idx < t->ops.size(), "ran off trace end");
+        const ResOp &op = t->ops[idx];
+        const auto &offsets = backend.opOffsets(t->id);
+        const auto &nodeIds = backend.opNodeIds(t->id);
+        uint64_t pc = t->codePc + uint64_t(offsets[idx]) * 4;
+        sim::BlockEmitter e(core, pc);
+
+        if (params.irNodeAnnotations && nodeIds[idx] >= 0)
+            e.annot(xlayer::kIrNode, uint32_t(nodeIds[idx]));
+
+        auto A = [&](int i) { return val(*t, regs, op.args[i]); };
+        auto setRes = [&](RtVal v) {
+            if (op.result >= 0)
+                regs[op.result] = v;
+        };
+
+        // ---- guard handling ------------------------------------------
+        if (jit::isGuard(op.op)) {
+            bool ok = true;
+            switch (op.op) {
+              case IrOp::GuardTrue:
+                ok = A(0).i != 0;
+                e.alu(1);
+                break;
+              case IrOp::GuardFalse:
+                ok = A(0).i == 0;
+                e.alu(1);
+                break;
+              case IrOp::GuardClass: {
+                W_Object *w = asObj(A(0));
+                e.loadPtr(w, env.costs().jitLoadStall);
+                e.alu(1);
+                ok = w && w->typeId() == op.aux;
+                break;
+              }
+              case IrOp::GuardValue: {
+                RtVal v = A(0);
+                e.alu(1);
+                ok = uint64_t(v.i) == op.expect;
+                break;
+              }
+              case IrOp::GuardNonnull:
+                ok = A(0).r != nullptr;
+                e.alu(1);
+                break;
+              case IrOp::GuardIsnull:
+                ok = A(0).r == nullptr;
+                e.alu(1);
+                break;
+              case IrOp::GuardNoOverflow:
+                ok = !pendingOverflow;
+                break;
+              default:
+                break;
+            }
+            e.branch(!ok);
+            if (ok) {
+                ++idx;
+                continue;
+            }
+
+            // Guard failed.
+            jit::GuardState &gs = t->guardStates[idx];
+            ++gs.failCount;
+            ++nDeopts;
+#ifdef XLVM_DEBUG_DEOPT
+            if (nDeopts > 5000 && nDeopts < 5040) {
+                std::fprintf(stderr,
+                             "deopt trace=%u op=%zu %s arg=%lld "
+                             "expect=%llu\n",
+                             t->id, idx, jit::irOpName(op.op),
+                             (long long)A(0).i,
+                             (unsigned long long)op.expect);
+            }
+#endif
+            {
+                sim::BlockEmitter ed(core, pc + 8);
+                ed.annot(xlayer::kDeopt, uint32_t(idx));
+            }
+            if (gs.bridgeTraceId >= 0) {
+                // Transfer into the attached bridge.
+                Trace *bridge = registry.byId(uint32_t(gs.bridgeTraceId));
+                DeoptResult state = materializeState(
+                    space, *t, t->snapshots[op.snapshotIdx], regs);
+                std::vector<RtVal> bridgeIn = flattenState(state);
+                if (bridgeIn.size() != bridge->numInputs) {
+                    // Shape mismatch (shouldn't happen): hard deopt.
+                    return leave(blackholeMaterialize(
+                        space, *t, t->snapshots[op.snapshotIdx], regs,
+                        uint32_t(idx)));
+                }
+                enterTrace(bridge, std::move(bridgeIn));
+                active.back().trace = t;
+                idx = 0;
+                continue;
+            }
+            if (gs.failCount == params.bridgeThreshold)
+                hotGuards.emplace_back(t->id, uint32_t(idx));
+            return leave(blackholeMaterialize(
+                space, *t, t->snapshots[op.snapshotIdx], regs,
+                uint32_t(idx)));
+        }
+
+        // ---- everything else ------------------------------------------
+        switch (op.op) {
+          case IrOp::Label:
+            // Loop header: GC safepoint.
+            space.heap().safepoint();
+            ++idx;
+            continue;
+
+          case IrOp::DebugMergePoint:
+            e.annot(xlayer::kDispatch, op.aux);
+            ++idx;
+            continue;
+
+          case IrOp::Jump: {
+            e.jump(t->codePc);
+            const jit::Snapshot &snap = t->snapshots[op.snapshotIdx];
+            const std::vector<int32_t> &argRefs = snap.frames[0].stack;
+            std::vector<RtVal> next;
+            next.reserve(argRefs.size());
+            for (int32_t r : argRefs)
+                next.push_back(val(*t, regs, r));
+            ++nIterations;
+            if (op.aux == 0) {
+                // Self loop.
+                XLVM_ASSERT(next.size() == t->numInputs,
+                            "jump arity mismatch");
+                for (size_t i = 0; i < next.size(); ++i)
+                    regs[i] = next[i];
+                ++t->executions;
+                idx = 0;
+            } else {
+                Trace *target = registry.byId(op.aux - 1);
+                enterTrace(target, std::move(next));
+                active.back().trace = t;
+                idx = 0;
+            }
+            continue;
+          }
+
+          case IrOp::Finish:
+            e.alu(2);
+            return leave(blackholeMaterialize(
+                space, *t, t->snapshots[op.snapshotIdx], regs,
+                uint32_t(idx)));
+
+          // ---- integer -------------------------------------------------
+          case IrOp::IntAdd:
+            e.alu(1);
+            setRes(RtVal::fromInt(
+                int64_t(uint64_t(A(0).i) + uint64_t(A(1).i))));
+            break;
+          case IrOp::IntSub:
+            e.alu(1);
+            setRes(RtVal::fromInt(
+                int64_t(uint64_t(A(0).i) - uint64_t(A(1).i))));
+            break;
+          case IrOp::IntMul:
+            e.mul();
+            setRes(RtVal::fromInt(
+                int64_t(uint64_t(A(0).i) * uint64_t(A(1).i))));
+            break;
+          case IrOp::IntAddOvf: {
+            e.alu(1);
+            int64_t r;
+            pendingOverflow = __builtin_add_overflow(A(0).i, A(1).i, &r);
+            setRes(RtVal::fromInt(r));
+            break;
+          }
+          case IrOp::IntSubOvf: {
+            e.alu(1);
+            int64_t r;
+            pendingOverflow = __builtin_sub_overflow(A(0).i, A(1).i, &r);
+            setRes(RtVal::fromInt(r));
+            break;
+          }
+          case IrOp::IntMulOvf: {
+            e.alu(1);
+            int64_t r;
+            pendingOverflow = __builtin_mul_overflow(A(0).i, A(1).i, &r);
+            setRes(RtVal::fromInt(r));
+            break;
+          }
+          case IrOp::IntFloordiv: {
+            e.div();
+            e.alu(3);
+            int64_t a = A(0).i, b = A(1).i;
+            XLVM_ASSERT(b != 0, "division by zero in trace");
+            int64_t q = a / b;
+            if ((a % b != 0) && ((a < 0) != (b < 0)))
+                --q;
+            setRes(RtVal::fromInt(q));
+            break;
+          }
+          case IrOp::IntMod: {
+            e.div();
+            e.alu(3);
+            int64_t a = A(0).i, b = A(1).i;
+            XLVM_ASSERT(b != 0, "modulo by zero in trace");
+            int64_t r = a % b;
+            if (r != 0 && ((r < 0) != (b < 0)))
+                r += b;
+            setRes(RtVal::fromInt(r));
+            break;
+          }
+          case IrOp::IntAnd:
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).i & A(1).i));
+            break;
+          case IrOp::IntOr:
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).i | A(1).i));
+            break;
+          case IrOp::IntXor:
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).i ^ A(1).i));
+            break;
+          case IrOp::IntLshift:
+            e.alu(1);
+            setRes(RtVal::fromInt(
+                int64_t(uint64_t(A(0).i) << (A(1).i & 63))));
+            break;
+          case IrOp::IntRshift:
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).i >> (A(1).i & 63)));
+            break;
+          case IrOp::IntNeg:
+            e.alu(1);
+            setRes(RtVal::fromInt(-A(0).i));
+            break;
+          case IrOp::IntLt:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).i < A(1).i));
+            break;
+          case IrOp::IntLe:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).i <= A(1).i));
+            break;
+          case IrOp::IntEq:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).i == A(1).i));
+            break;
+          case IrOp::IntNe:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).i != A(1).i));
+            break;
+          case IrOp::IntGt:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).i > A(1).i));
+            break;
+          case IrOp::IntGe:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).i >= A(1).i));
+            break;
+          case IrOp::IntIsZero:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).i == 0));
+            break;
+          case IrOp::IntIsTrue:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).i != 0));
+            break;
+
+          // ---- float --------------------------------------------------
+          case IrOp::FloatAdd:
+            e.fpAlu(1);
+            setRes(RtVal::fromFloat(A(0).f + A(1).f));
+            break;
+          case IrOp::FloatSub:
+            e.fpAlu(1);
+            setRes(RtVal::fromFloat(A(0).f - A(1).f));
+            break;
+          case IrOp::FloatMul:
+            e.fpMul();
+            setRes(RtVal::fromFloat(A(0).f * A(1).f));
+            break;
+          case IrOp::FloatTruediv:
+            e.fpDiv();
+            setRes(RtVal::fromFloat(A(0).f / A(1).f));
+            break;
+          case IrOp::FloatNeg:
+            e.fpAlu(1);
+            setRes(RtVal::fromFloat(-A(0).f));
+            break;
+          case IrOp::FloatAbs:
+            e.fpAlu(1);
+            setRes(RtVal::fromFloat(std::fabs(A(0).f)));
+            break;
+          case IrOp::FloatLt:
+            e.fpAlu(1);
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).f < A(1).f));
+            break;
+          case IrOp::FloatLe:
+            e.fpAlu(1);
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).f <= A(1).f));
+            break;
+          case IrOp::FloatEq:
+            e.fpAlu(1);
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).f == A(1).f));
+            break;
+          case IrOp::FloatNe:
+            e.fpAlu(1);
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).f != A(1).f));
+            break;
+          case IrOp::FloatGt:
+            e.fpAlu(1);
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).f > A(1).f));
+            break;
+          case IrOp::FloatGe:
+            e.fpAlu(1);
+            e.alu(1);
+            setRes(RtVal::fromInt(A(0).f >= A(1).f));
+            break;
+          case IrOp::CastIntToFloat:
+            e.fpAlu(1);
+            setRes(RtVal::fromFloat(double(A(0).i)));
+            break;
+          case IrOp::CastFloatToInt:
+            e.fpAlu(1);
+            setRes(RtVal::fromInt(int64_t(A(0).f)));
+            break;
+
+          // ---- pointer ------------------------------------------------
+          case IrOp::PtrEq:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).r == A(1).r));
+            break;
+          case IrOp::PtrNe:
+            e.alu(2);
+            setRes(RtVal::fromInt(A(0).r != A(1).r));
+            break;
+          case IrOp::SameAs:
+            e.alu(1);
+            setRes(A(0));
+            break;
+
+          // ---- memory -------------------------------------------------
+          case IrOp::GetfieldGc: {
+            W_Object *w = asObj(A(0));
+            e.load(reinterpret_cast<uint64_t>(w) + 8 + op.aux * 8,
+                   env.costs().jitLoadStall);
+            setRes(w->rtGetField(op.aux));
+            break;
+          }
+          case IrOp::SetfieldGc: {
+            W_Object *w = asObj(A(0));
+            e.store(reinterpret_cast<uint64_t>(w) + 8 + op.aux * 8);
+            e.alu(1);
+            e.branch(false); // write-barrier fast path
+            w->rtSetField(op.aux, A(1), space.heap());
+            break;
+          }
+          case IrOp::GetarrayitemGc: {
+            W_Object *w = asObj(A(0));
+            int64_t i = A(1).i;
+            e.alu(1);
+            e.load(reinterpret_cast<uint64_t>(w) + 32 + uint64_t(i) * 8,
+                   env.costs().jitLoadStall);
+            setRes(w->rtGetItem(i));
+            break;
+          }
+          case IrOp::SetarrayitemGc: {
+            W_Object *w = asObj(A(0));
+            int64_t i = A(1).i;
+            e.alu(1);
+            e.store(reinterpret_cast<uint64_t>(w) + 32 + uint64_t(i) * 8);
+            e.branch(false);
+            w->rtSetItem(i, A(2), space.heap());
+            break;
+          }
+          case IrOp::ArraylenGc: {
+            W_Object *w = asObj(A(0));
+            e.load(reinterpret_cast<uint64_t>(w) + 16, 1);
+            setRes(RtVal::fromInt(w->rtLen()));
+            break;
+          }
+          case IrOp::Strlen: {
+            W_Object *w = asObj(A(0));
+            e.load(reinterpret_cast<uint64_t>(w) + 16, 1);
+            setRes(RtVal::fromInt(w->rtLen()));
+            break;
+          }
+          case IrOp::Strgetitem: {
+            W_Object *w = asObj(A(0));
+            int64_t i = A(1).i;
+            e.alu(1);
+            e.load(reinterpret_cast<uint64_t>(w) + 32 + uint64_t(i), 1);
+            setRes(w->rtGetItem(i));
+            break;
+          }
+
+          // ---- allocation ---------------------------------------------
+          case IrOp::NewWithVtable: {
+            // Nursery bump + header init.
+            e.load(t->codePc + 8, 1);
+            e.alu(3);
+            e.branch(false);
+            e.store(pc + 16);
+            e.store(pc + 24);
+            e.alu(1);
+            W_Object *w = allocByTypeId(space, op.aux);
+            setRes(RtVal::fromRef(w));
+            break;
+          }
+
+          // ---- calls ---------------------------------------------------
+          case IrOp::Call:
+          case IrOp::CallPure:
+          case IrOp::CallMayForce: {
+            uint32_t n = jit::loweredInstCount(op.op);
+            e.alu(n / 2 - 1);
+            uint64_t target =
+                rt::AotRegistry::instance().fn(op.aux).codePc;
+            e.call(target);
+            RtVal res = performCall(op, *t, regs);
+            sim::BlockEmitter e2(core, pc + (n / 2 + 1) * 4);
+            e2.ret(pc + (n / 2) * 4);
+            e2.alu(n - n / 2 - 2);
+            setRes(res);
+            break;
+          }
+
+          case IrOp::CallAssembler: {
+            uint32_t n = jit::loweredInstCount(op.op);
+            e.alu(n / 2 - 1);
+            Trace *inner = registry.byId(op.aux);
+            e.call(inner->codePc);
+            const jit::Snapshot &snap = t->snapshots[op.snapshotIdx];
+            const std::vector<int32_t> &argRefs = snap.frames[0].stack;
+            std::vector<RtVal> innerIn;
+            innerIn.reserve(argRefs.size());
+            for (int32_t r : argRefs)
+                innerIn.push_back(val(*t, regs, r));
+#ifdef XLVM_DEBUG_DEOPT
+            if (runDepth == 12) {
+                static bool dumped = false;
+                if (!dumped) {
+                    dumped = true;
+                    for (const auto &tr : registry.all()) {
+                        std::fprintf(stderr, "%s anchorPc=%u\n",
+                                     tr->dump().c_str(), tr->anchorPc);
+                    }
+                }
+                std::fprintf(stderr, "deep callasm: trace %u -> %u\n",
+                             t->id, op.aux);
+            }
+#endif
+            // On an unexpected inner exit the full interpreter state is
+            // the call's recorded outer-frame snapshot (frames[2..])
+            // plus whatever the inner execution reports.
+            auto outerFrames = [&]() {
+                jit::Snapshot outerSnap;
+                outerSnap.frames.assign(snap.frames.begin() + 2,
+                                        snap.frames.end());
+                return materializeState(space, *t, outerSnap, regs);
+            };
+            if (runDepth >= 16) {
+                // Mutually recursive call_assembler chains are bounded
+                // here: the call arguments ARE the inner loop's anchor
+                // frame state, so deoptimize straight to it and let the
+                // interpreter make progress.
+                DeoptResult st = outerFrames();
+                st.traceId = t->id;
+                FrameState fs;
+                fs.code = inner->anchorCode;
+                fs.pc = inner->anchorPc;
+                for (size_t i = 0; i < innerIn.size(); ++i) {
+                    W_Object *w = asObj(innerIn[i]);
+                    if (i < inner->anchorNumLocals)
+                        fs.locals.push_back(w);
+                    else
+                        fs.stack.push_back(w);
+                }
+                st.frames.push_back(std::move(fs));
+                return leave(std::move(st));
+            }
+            ++runDepth;
+            DeoptResult innerState = run(*inner, std::move(innerIn));
+            --runDepth;
+            sim::BlockEmitter e2(core, pc + (n / 2 + 1) * 4);
+            e2.ret(pc + (n / 2) * 4);
+            e2.alu(n - n / 2 - 2);
+
+            // Validate the expected exit contract.
+            const jit::FrameSnapshot &outs = snap.frames[1];
+            bool match = innerState.frames.size() == 1 &&
+                         innerState.frames[0].code == outs.code &&
+                         innerState.frames[0].pc == uint32_t(op.expect) &&
+                         innerState.frames[0].locals.size() ==
+                             outs.locals.size() &&
+                         innerState.frames[0].stack.size() ==
+                             outs.stack.size();
+            if (!match) {
+                DeoptResult full = outerFrames();
+                full.traceId = innerState.traceId;
+                for (FrameState &fs : innerState.frames)
+                    full.frames.push_back(std::move(fs));
+                return leave(std::move(full));
+            }
+            for (size_t i = 0; i < outs.locals.size(); ++i) {
+                if (outs.locals[i] >= 0) {
+                    regs[outs.locals[i]] =
+                        RtVal::fromRef(innerState.frames[0].locals[i]);
+                }
+            }
+            for (size_t i = 0; i < outs.stack.size(); ++i) {
+                if (outs.stack[i] >= 0) {
+                    regs[outs.stack[i]] =
+                        RtVal::fromRef(innerState.frames[0].stack[i]);
+                }
+            }
+            break;
+          }
+
+          default:
+            XLVM_PANIC("executor: unhandled op ", jit::irOpName(op.op));
+        }
+        ++idx;
+    }
+}
+
+} // namespace vm
+} // namespace xlvm

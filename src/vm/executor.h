@@ -1,0 +1,114 @@
+/**
+ * @file
+ * JIT-compiled trace execution.
+ *
+ * The executor plays the role of the generated machine code: it walks the
+ * optimized IR with an unboxed register file, emitting each op's lowered
+ * instruction expansion (exactly the Backend's Figure-9 templates, with
+ * live memory addresses and branch outcomes) while performing the
+ * semantics directly on raw object fields — no dynamic dispatch, which is
+ * precisely why the JIT phase has the best IPC in Table IV.
+ *
+ * Guard failures bump per-guard counters, either transfer to an attached
+ * bridge trace or deoptimize through the blackhole. Loop back-edges are
+ * GC safepoints (the register file is a root provider). call_assembler
+ * ops run nested traces and validate the expected exit state.
+ */
+
+#ifndef XLVM_VM_EXECUTOR_H
+#define XLVM_VM_EXECUTOR_H
+
+#include <vector>
+
+#include "jit/backend.h"
+#include "obj/space.h"
+#include "vm/blackhole.h"
+#include "vm/registry.h"
+
+namespace xlvm {
+namespace vm {
+
+class TraceExecutor : public gc::RootProvider
+{
+  public:
+    TraceExecutor(obj::ObjSpace &space, TraceRegistry &registry,
+                  jit::Backend &backend, const JitParams &params);
+    ~TraceExecutor() override;
+
+    /**
+     * Execute @p trace with the given input values until a guard fails
+     * without a bridge (or an unexpected call_assembler exit). Returns
+     * the reconstructed interpreter state.
+     */
+    DeoptResult run(jit::Trace &trace, std::vector<jit::RtVal> inputs);
+
+    /**
+     * Ids of guards that just crossed the bridge threshold; the dispatch
+     * glue consumes these to start bridge tracing. Pair of (trace id,
+     * guard op index).
+     */
+    std::vector<std::pair<uint32_t, uint32_t>> hotGuards;
+
+    void forEachRoot(gc::GcVisitor &v) override;
+
+    uint64_t deoptCount() const { return nDeopts; }
+    uint64_t iterationCount() const { return nIterations; }
+
+  private:
+    struct Level
+    {
+        jit::Trace *trace;
+        std::vector<jit::RtVal> *regs;
+    };
+
+    jit::RtVal
+    val(const jit::Trace &t, const std::vector<jit::RtVal> &regs,
+        int32_t ref) const
+    {
+        if (jit::isConstRef(ref))
+            return t.constAt(ref);
+        return regs[ref];
+    }
+
+    /** Perform one recorded AOT call (the recorded ABI). */
+    jit::RtVal performCall(const jit::ResOp &op, const jit::Trace &t,
+                           std::vector<jit::RtVal> &regs);
+
+    obj::ObjSpace &space;
+    TraceRegistry &registry;
+    jit::Backend &backend;
+    JitParams params;
+    std::vector<Level> active; ///< for GC root enumeration
+    uint64_t nDeopts = 0;
+    uint64_t nIterations = 0;
+    /** Nested call_assembler depth (bounded; see executor.cc). */
+    int runDepth = 0;
+};
+
+/** RAII: enter "JIT code" mode (clears recorder, sets phase flags). */
+class JitCodeScope
+{
+  public:
+    explicit JitCodeScope(obj::ExecEnv &env)
+        : env_(env), savedRec(env.recorder()), savedInJit(env.inJitCode())
+    {
+        env_.setRecorder(nullptr);
+        env_.setInJitCode(true);
+    }
+
+    ~JitCodeScope()
+    {
+        env_.setRecorder(savedRec);
+        env_.setInJitCode(savedInJit);
+    }
+
+  private:
+    obj::ExecEnv &env_;
+    jit::Recorder *savedRec;
+    bool savedInJit;
+};
+
+} // namespace vm
+} // namespace xlvm
+
+#endif // XLVM_VM_EXECUTOR_H

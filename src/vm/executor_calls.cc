@@ -1,0 +1,369 @@
+/**
+ * @file
+ * TraceExecutor::performCall — the recorded-call ABI.
+ *
+ * Every Call op recorded by the object space names an AOT function id and
+ * a semantic tag; this file dispatches on those to perform the runtime
+ * behaviour. Most semantics delegate to ObjSpace methods (which account
+ * the AOT cost and the JIT-call phase themselves via ExecEnv::aotCall).
+ */
+
+#include <cmath>
+
+#include "rt/rstr.h"
+#include "vm/executor.h"
+
+namespace xlvm {
+namespace vm {
+
+using jit::kNoArg;
+using jit::ResOp;
+using jit::RtVal;
+using jit::Trace;
+using obj::CmpOp;
+using obj::RtSem;
+using obj::W_Dict;
+using obj::W_List;
+using obj::W_Object;
+using obj::W_Set;
+using obj::W_Str;
+using obj::W_Tuple;
+
+RtVal
+TraceExecutor::performCall(const ResOp &op, const Trace &t,
+                           std::vector<RtVal> &regs)
+{
+    auto A = [&](int i) -> RtVal {
+        XLVM_ASSERT(op.args[i] != kNoArg, "missing call arg ", i);
+        return val(t, regs, op.args[i]);
+    };
+    auto hasArg = [&](int i) { return op.args[i] != kNoArg; };
+    auto obj = [&](int i) -> W_Object * {
+        return static_cast<W_Object *>(A(i).r);
+    };
+
+    uint32_t sem = uint32_t(op.expect);
+    uint32_t fn = op.aux;
+
+    // ---- semantics that override the function id --------------------
+    switch (sem) {
+      case obj::kSemBigIntFloorDiv:
+        return RtVal::fromRef(space.floordiv(obj(0), obj(1)));
+      case obj::kSemBigIntMod:
+        return RtVal::fromRef(space.mod(obj(0), obj(1)));
+      case obj::kSemBigIntTrueDiv:
+        return RtVal::fromRef(space.truediv(obj(0), obj(1)));
+      case obj::kSemNegate:
+        return RtVal::fromRef(space.neg(obj(0)));
+      case obj::kSemFloatMod:
+        return RtVal::fromRef(space.mod(obj(0), obj(1)));
+      case obj::kSemPow:
+        return RtVal::fromRef(space.pow_(obj(0), obj(1)));
+      case obj::kSemGenericEq:
+        return RtVal::fromInt(obj::objEq(obj(0), obj(1)) ? 1 : 0);
+      case obj::kSemDictLen:
+        return RtVal::fromInt(
+            static_cast<W_Dict *>(obj(0))->table.size());
+      case obj::kSemSetLen:
+        return RtVal::fromInt(static_cast<W_Set *>(obj(0))->table.size());
+      case obj::kSemDictIterNew:
+      case obj::kSemSetIterNew:
+        return RtVal::fromRef(space.iter(obj(0)));
+      case obj::kSemDictIterNext: {
+#ifdef XLVM_DEBUG_DEOPT
+        auto *di = static_cast<obj::W_DictIter *>(obj(0));
+        static int dbgN = 0;
+        if (dbgN++ < 12) {
+            std::fprintf(stderr, "iternext idx=%lld dictsize=%lld type=%u\n",
+                         (long long)di->index,
+                         (long long)static_cast<obj::W_Dict *>(di->dict)
+                             ->table.size(),
+                         di->dict->typeId());
+        }
+#endif
+        return RtVal::fromRef(space.iterNext(obj(0)));
+      }
+      case obj::kSemChr:
+        return RtVal::fromRef(
+            space.newStr(std::string(1, char(A(1).i))));
+      case obj::kSemStrSlice:
+        return RtVal::fromRef(space.strSlice(
+            static_cast<W_Str *>(obj(0)), A(1).i, A(2).i));
+      case obj::kSemListConcat: {
+        W_List *out = space.newList();
+        space.listExtend(out, obj(0));
+        space.listExtend(out, obj(1));
+        return RtVal::fromRef(out);
+      }
+      case obj::kSemTupleConcat: {
+        auto *a = static_cast<W_Tuple *>(obj(0));
+        auto *b = static_cast<W_Tuple *>(obj(1));
+        std::vector<W_Object *> items = a->items;
+        items.insert(items.end(), b->items.begin(), b->items.end());
+        return RtVal::fromRef(space.newTuple(std::move(items)));
+      }
+      case obj::kSemListRepeat: {
+        auto *src = static_cast<W_List *>(obj(0));
+        int64_t n = space.unwrapInt(obj(1));
+        W_List *out = space.newList();
+        for (int64_t i = 0; i < n; ++i)
+            space.listExtend(out, src);
+        return RtVal::fromRef(out);
+      }
+      case obj::kSemListExtend:
+        space.listExtend(static_cast<W_List *>(obj(0)), obj(1));
+        return RtVal::fromRef(obj(0));
+      case obj::kSemStr:
+        return RtVal::fromRef(space.str(obj(0)));
+      case obj::kSemContains:
+        return RtVal::fromInt(space.containsBool(obj(0), obj(1)) ? 1 : 0);
+      case obj::kSemListReverse:
+        space.listReverse(static_cast<W_List *>(obj(0)));
+        return RtVal::fromRef(obj(0));
+      case obj::kSemSetDiscard:
+        space.setDiscard(static_cast<W_Set *>(obj(0)), obj(1));
+        return RtVal::fromRef(obj(0));
+      case obj::kSemNewList:
+        return RtVal::fromRef(space.newList());
+      case obj::kSemNewDict:
+        return RtVal::fromRef(space.newDict());
+      case obj::kSemNewSet:
+        return RtVal::fromRef(space.newSet());
+      case obj::kSemNewTuple: {
+        std::vector<W_Object *> items;
+        for (int i = 0; i < jit::kMaxOpArgs; ++i) {
+            if (hasArg(i))
+                items.push_back(obj(i));
+        }
+        return RtVal::fromRef(space.newTuple(std::move(items)));
+      }
+      case obj::kSemStrStartswith:
+      case obj::kSemStrEndswith: {
+        uint64_t cost = 0;
+        const std::string &s = static_cast<W_Str *>(obj(0))->value;
+        const std::string &p = static_cast<W_Str *>(obj(1))->value;
+        (void)cost;
+        bool res = sem == obj::kSemStrStartswith ? rt::startsWith(s, p)
+                                                 : rt::endsWith(s, p);
+        space.env().aotCall(rt::kAotStrCmp, p.size() + 1);
+        return RtVal::fromInt(res ? 1 : 0);
+      }
+      case obj::kSemStrCount: {
+        uint64_t cost = 0;
+        int64_t n = rt::count(static_cast<W_Str *>(obj(0))->value,
+                              static_cast<W_Str *>(obj(1))->value,
+                              &cost);
+        space.env().aotCall(rt::kAotStrFind, cost);
+        return RtVal::fromRef(space.newInt(n));
+      }
+      case obj::kSemMakeVector: {
+        int64_t count = A(0).i;
+        W_List *out = space.newList();
+        for (int64_t i = 0; i < count; ++i)
+            space.listAppend(out, obj(1));
+        return RtVal::fromRef(out);
+      }
+      case obj::kSemListToTuple: {
+        auto *lst = static_cast<W_List *>(obj(0));
+        std::vector<W_Object *> items;
+        for (size_t i = 0; i < lst->length(); ++i)
+            items.push_back(space.listGetRaw(lst, int64_t(i)));
+        return RtVal::fromRef(space.newTuple(std::move(items)));
+      }
+      default:
+        break;
+    }
+
+    // ---- default behaviour by function id ----------------------------
+    switch (fn) {
+      case rt::kAotDictLookup:
+        return RtVal::fromRef(space.dictGet(
+            static_cast<W_Dict *>(obj(0)), obj(1), nullptr));
+      case rt::kAotDictSetitem:
+        space.dictSet(static_cast<W_Dict *>(obj(0)), obj(1), obj(2));
+        return RtVal::fromRef(obj(0));
+      case rt::kAotDictDelitem:
+        return RtVal::fromInt(
+            space.dictDel(static_cast<W_Dict *>(obj(0)), obj(1)) ? 1 : 0);
+      case rt::kAotSetAdd:
+        space.setAdd(static_cast<W_Set *>(obj(0)), obj(1));
+        return RtVal::fromRef(obj(0));
+      case rt::kAotSetContains:
+        return RtVal::fromInt(
+            space.containsBool(obj(0), obj(1)) ? 1 : 0);
+      case rt::kAotSetDifference:
+        return RtVal::fromRef(space.setDifference(
+            static_cast<W_Set *>(obj(0)), static_cast<W_Set *>(obj(1))));
+      case rt::kAotSetIntersect:
+        return RtVal::fromRef(space.setIntersect(
+            static_cast<W_Set *>(obj(0)), static_cast<W_Set *>(obj(1))));
+      case rt::kAotSetUnion:
+        return RtVal::fromRef(space.setUnion(
+            static_cast<W_Set *>(obj(0)), static_cast<W_Set *>(obj(1))));
+      case rt::kAotSetIssubset:
+        return RtVal::fromInt(
+            space.setIsSubset(static_cast<W_Set *>(obj(0)),
+                              static_cast<W_Set *>(obj(1)))
+                ? 1
+                : 0);
+
+      case rt::kAotListAppendGrow:
+        space.listAppend(static_cast<W_List *>(obj(0)), obj(1));
+        return RtVal::fromRef(obj(0));
+      case rt::kAotListPop:
+        return RtVal::fromRef(
+            space.listPop(static_cast<W_List *>(obj(0)), A(1).i));
+      case rt::kAotListExtend:
+        space.listExtend(static_cast<W_List *>(obj(0)), obj(1));
+        return RtVal::fromRef(obj(0));
+      case rt::kAotListFillSliced:
+        return RtVal::fromRef(space.listSlice(
+            static_cast<W_List *>(obj(0)), A(1).i, A(2).i));
+      case rt::kAotListSetslice:
+        space.listSetSlice(static_cast<W_List *>(obj(0)), A(2).i,
+                           A(3).i, static_cast<W_List *>(obj(1)));
+        return RtVal::fromRef(obj(0));
+      case rt::kAotListSafeFind:
+        return RtVal::fromInt(
+            space.listIndexOf(static_cast<W_List *>(obj(0)), obj(1)));
+      case rt::kAotListSort:
+        space.listSort(static_cast<W_List *>(obj(0)));
+        return RtVal::fromRef(obj(0));
+      case rt::kAotListContains:
+        return RtVal::fromInt(
+            space.containsBool(obj(0), obj(1)) ? 1 : 0);
+
+      case rt::kAotStrConcat:
+        return RtVal::fromRef(space.strConcat(
+            static_cast<W_Str *>(obj(0)), static_cast<W_Str *>(obj(1))));
+      case rt::kAotStrJoin:
+        return RtVal::fromRef(space.strJoin(
+            static_cast<W_Str *>(obj(0)), static_cast<W_List *>(obj(1))));
+      case rt::kAotStrSplit:
+        return RtVal::fromRef(space.strSplit(
+            static_cast<W_Str *>(obj(0)), static_cast<W_Str *>(obj(1))));
+      case rt::kAotStrReplace:
+        return RtVal::fromRef(space.strReplace(
+            static_cast<W_Str *>(obj(0)), static_cast<W_Str *>(obj(1)),
+            static_cast<W_Str *>(obj(2))));
+      case rt::kAotStrFindChar:
+      case rt::kAotStrFind:
+        return RtVal::fromRef(space.strFind(
+            static_cast<W_Str *>(obj(0)), static_cast<W_Str *>(obj(1)),
+            A(2).i));
+      case rt::kAotStrSlice:
+        return RtVal::fromRef(space.strSlice(
+            static_cast<W_Str *>(obj(0)), A(1).i, A(2).i));
+      case rt::kAotStrLower:
+        return RtVal::fromRef(
+            space.strLower(static_cast<W_Str *>(obj(0))));
+      case rt::kAotStrUpper:
+        return RtVal::fromRef(
+            space.strUpper(static_cast<W_Str *>(obj(0))));
+      case rt::kAotStrStrip:
+        return RtVal::fromRef(
+            space.strStrip(static_cast<W_Str *>(obj(0))));
+      case rt::kAotStrMul:
+        return RtVal::fromRef(
+            space.strMul(static_cast<W_Str *>(obj(0)), A(1).i));
+      case rt::kAotStrEq: {
+        const auto *a = static_cast<W_Str *>(obj(0));
+        const auto *b = static_cast<W_Str *>(obj(1));
+        return RtVal::fromInt(a->value == b->value ? 1 : 0);
+      }
+      case rt::kAotStrCmp: {
+        const auto *a = static_cast<W_Str *>(obj(0));
+        const auto *b = static_cast<W_Str *>(obj(1));
+        int c = a->value.compare(b->value);
+        return RtVal::fromInt(c < 0 ? -1 : c > 0 ? 1 : 0);
+      }
+      case rt::kAotStrContains: {
+        return RtVal::fromInt(
+            space.containsBool(obj(0), obj(1)) ? 1 : 0);
+      }
+
+      case rt::kAotBigIntAdd:
+        return RtVal::fromRef(space.add(obj(0), obj(1)));
+      case rt::kAotBigIntSub:
+        return RtVal::fromRef(space.sub(obj(0), obj(1)));
+      case rt::kAotBigIntMul:
+        return RtVal::fromRef(space.mul(obj(0), obj(1)));
+      case rt::kAotBigIntDivMod:
+        return RtVal::fromRef(space.floordiv(obj(0), obj(1)));
+      case rt::kAotBigIntLshift:
+        return RtVal::fromRef(space.lshift(obj(0), obj(1)));
+      case rt::kAotBigIntRshift:
+        return RtVal::fromRef(space.rshift(obj(0), obj(1)));
+      case rt::kAotBigIntPow:
+        return RtVal::fromRef(space.pow_(obj(0), obj(1)));
+      case rt::kAotBigIntCmp: {
+        W_Object *lt =
+            space.cmp(CmpOp::Lt, obj(0), obj(1));
+        bool isLt = space.isTrueAndGuard(lt);
+        if (isLt)
+            return RtVal::fromInt(-1);
+        W_Object *eq = space.cmp(CmpOp::Eq, obj(0), obj(1));
+        return RtVal::fromInt(space.isTrueAndGuard(eq) ? 0 : 1);
+      }
+
+      case rt::kAotInt2Dec:
+      case rt::kAotFloatToStr:
+      case rt::kAotBigIntToStr:
+        return RtVal::fromRef(space.str(obj(0)));
+
+      case rt::kAotCPow:
+        return RtVal::fromRef(space.pow_(obj(0), obj(1)));
+      case rt::kAotCSqrt:
+        return RtVal::fromRef(
+            space.newFloat(std::sqrt(space.toDouble(obj(0)))));
+      case rt::kAotCSin:
+        return RtVal::fromRef(
+            space.newFloat(std::sin(space.toDouble(obj(0)))));
+      case rt::kAotCCos:
+        return RtVal::fromRef(
+            space.newFloat(std::cos(space.toDouble(obj(0)))));
+      case rt::kAotCExp:
+        return RtVal::fromRef(
+            space.newFloat(std::exp(space.toDouble(obj(0)))));
+      case rt::kAotCLog:
+        return RtVal::fromRef(
+            space.newFloat(std::log(space.toDouble(obj(0)))));
+
+      case rt::kAotStringToInt: {
+        int64_t out = 0;
+        uint64_t cost = 0;
+        bool ok = rt::stringToInt(space.unwrapStr(obj(0)), &out, &cost);
+        space.env().aotCall(rt::kAotStringToInt, cost);
+        XLVM_ASSERT(ok, "string_to_int failed in trace");
+        return RtVal::fromRef(space.newInt(out));
+      }
+      case rt::kAotStringToFloat: {
+        double d = std::strtod(space.unwrapStr(obj(0)).c_str(), nullptr);
+        space.env().aotCall(rt::kAotStringToFloat, 8);
+        return RtVal::fromRef(space.newFloat(d));
+      }
+
+      case rt::kAotJsonEscape: {
+        uint64_t cost = 0;
+        std::string s =
+            rt::jsonEscape(space.unwrapStr(obj(0)), &cost);
+        space.env().aotCall(rt::kAotJsonEscape, cost);
+        return RtVal::fromRef(space.newStr(std::move(s)));
+      }
+
+      case rt::kAotBuilderAppend:
+      case rt::kAotBuilderBuild:
+        // Builders are modeled through string concat in the language
+        // layer; these entries are cost-only.
+        space.env().aotCall(fn, 2);
+        return RtVal::fromRef(obj(0));
+
+      default:
+        XLVM_PANIC("performCall: unhandled AOT fn ",
+                   rt::AotRegistry::instance().fn(fn).name, " sem=",
+                   sem);
+    }
+}
+
+} // namespace vm
+} // namespace xlvm

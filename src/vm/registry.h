@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Trace registry: owns every compiled trace, indexes loop traces by merge
+ * point (code object, pc), and keeps trace constants alive for the GC.
+ */
+
+#ifndef XLVM_VM_REGISTRY_H
+#define XLVM_VM_REGISTRY_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gc/heap.h"
+#include "jit/ir.h"
+
+namespace xlvm {
+namespace vm {
+
+struct JitParams
+{
+    /** Loop-header hotness threshold before tracing (PyPy: 1039). */
+    uint32_t loopThreshold = 1039;
+    /** Guard-failure count before a bridge is attempted (PyPy: 200). */
+    uint32_t bridgeThreshold = 200;
+    /** Trace-length abort limit (ops). */
+    uint32_t maxTraceOps = 6000;
+    /** After an abort, back off before retrying this merge point. */
+    uint32_t abortPenalty = 4000;
+    /** Emit kIrNode annotations during trace execution. */
+    bool irNodeAnnotations = false;
+    bool enableJit = true;
+    /** Optimizer toggles (ablations). */
+    bool optFoldConstants = true;
+    bool optElideGuards = true;
+    bool optHeapCache = true;
+    bool optVirtualize = true;
+};
+
+class TraceRegistry : public gc::RootProvider
+{
+  public:
+    explicit TraceRegistry(gc::Heap &heap) : heap_(heap)
+    {
+        heap.addRootProvider(this);
+    }
+
+    ~TraceRegistry() override { heap_.removeRootProvider(this); }
+
+    /** Register a compiled trace; takes ownership. Returns the trace. */
+    jit::Trace *
+    add(std::unique_ptr<jit::Trace> t)
+    {
+        jit::Trace *raw = t.get();
+        if (!raw->isBridge)
+            loops[key(raw->anchorCode, raw->anchorPc)] = raw;
+        traces.push_back(std::move(t));
+        return raw;
+    }
+
+    /** Loop trace anchored at (code, pc), or nullptr. */
+    jit::Trace *
+    loopFor(void *code, uint32_t pc) const
+    {
+        auto it = loops.find(key(code, pc));
+        return it == loops.end() ? nullptr : it->second;
+    }
+
+    jit::Trace *
+    byId(uint32_t id)
+    {
+        XLVM_ASSERT(id < traces.size(), "bad trace id");
+        return traces[id].get();
+    }
+
+    uint32_t nextId() const { return uint32_t(traces.size()); }
+    size_t size() const { return traces.size(); }
+
+    const std::vector<std::unique_ptr<jit::Trace>> &all() const
+    {
+        return traces;
+    }
+
+    /** Keep every trace constant alive. */
+    void
+    forEachRoot(gc::GcVisitor &v) override
+    {
+        for (const auto &t : traces) {
+            for (const jit::RtVal &c : t->consts) {
+                if (c.kind == jit::RtVal::Kind::Ref && c.r)
+                    v.visit(static_cast<gc::GcObject *>(c.r));
+            }
+        }
+    }
+
+  private:
+    static uint64_t
+    key(void *code, uint32_t pc)
+    {
+        return reinterpret_cast<uint64_t>(code) ^
+               (uint64_t(pc) * 0x9e3779b97f4a7c15ull);
+    }
+
+    gc::Heap &heap_;
+    std::vector<std::unique_ptr<jit::Trace>> traces;
+    std::unordered_map<uint64_t, jit::Trace *> loops;
+};
+
+} // namespace vm
+} // namespace xlvm
+
+#endif // XLVM_VM_REGISTRY_H

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * CLBG (Computer Language Benchmarks Game) workloads in MiniPy.
+ * MiniRkt translations live in clbg_rkt.cc and are attached by
+ * workloads.cc. Benchmarks shared with the PyPy suite (fannkuchredux,
+ * nbody, pidigits, spectralnorm, meteor) reuse those sources.
+ */
+
+#include "workloads/suites.h"
+
+namespace xlvm {
+namespace workloads {
+
+std::vector<Workload>
+clbgPart()
+{
+    std::vector<Workload> out;
+
+    out.push_back({
+        "binarytrees", "clbg",
+        R"PY(
+class Tree:
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+def make(depth):
+    if depth == 0:
+        return Tree(None, None)
+    return Tree(make(depth - 1), make(depth - 1))
+
+def check(t):
+    if t.left is None:
+        return 1
+    return 1 + check(t.left) + check(t.right)
+
+maxdepth = {N}
+stretch = make(maxdepth + 1)
+total = check(stretch)
+longlived = make(maxdepth)
+depth = 4
+while depth <= maxdepth:
+    iters = 1 << (maxdepth - depth + 4)
+    i = 0
+    while i < iters:
+        total += check(make(depth))
+        i += 1
+    depth += 2
+total += check(longlived)
+print(total)
+)PY",
+        "",
+        "binarytrees: allocation/GC stress; large GC phase share "
+        "(Fig 4: 'large usage of GC in binarytrees')",
+        6, ""});
+
+    out.push_back({
+        "fasta", "clbg",
+        R"PY(
+alu = "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGG"
+codes = "acgtBDHKMNRSVWY"
+
+def repeat_fasta(src, n):
+    out = []
+    pos = 0
+    produced = 0
+    while produced < n:
+        take = 60
+        if n - produced < 60:
+            take = n - produced
+        chunk = []
+        k = 0
+        while k < take:
+            chunk.append(src[(pos + k) % len(src)])
+            k += 1
+        out.append("".join(chunk))
+        pos = (pos + take) % len(src)
+        produced += take
+    return out
+
+def random_fasta(n, seed):
+    out = []
+    produced = 0
+    line = []
+    while produced < n:
+        seed = (seed * 3877 + 29573) % 139968
+        idx = seed * len(codes) // 139968
+        line.append(codes[idx])
+        produced += 1
+        if len(line) == 60:
+            out.append("".join(line))
+            line = []
+    if len(line) > 0:
+        out.append("".join(line))
+    return out
+
+n = {N}
+a = repeat_fasta(alu, n * 2)
+b = random_fasta(n * 3, 42)
+print(len(a) + len(b))
+)PY",
+        "",
+        "fasta: sequence generation; JIT-phase dominated (Fig 4 'large "
+        "usage of the JIT in fasta'), string building",
+        900, ""});
+
+    out.push_back({
+        "knucleotide", "clbg",
+        R"PY(
+def count_kmers(seq, k):
+    counts = {}
+    i = 0
+    stop = len(seq) - k + 1
+    while i < stop:
+        kmer = seq[i:i + k]
+        counts[kmer] = counts.get(kmer, 0) + 1
+        i += 1
+    return counts
+
+parts = []
+seed = 7
+i = 0
+while i < {N}:
+    seed = (seed * 3877 + 29573) % 139968
+    parts.append("acgt"[seed % 4])
+    i += 1
+seq = "".join(parts)
+
+total = 0
+for k in [1, 2, 3, 4]:
+    counts = count_kmers(seq, k)
+    best = 0
+    for kmer in counts:
+        c = counts[kmer]
+        if c > best:
+            best = c
+    total += best + len(counts)
+print(total)
+)PY",
+        "",
+        "knucleotide: k-mer counting; string slicing + hash-dict "
+        "updates (dict-bound, modest JIT benefit as in Table II)",
+        2600, ""});
+
+    out.push_back({
+        "mandelbrot", "clbg",
+        R"PY(
+size = {N}
+bits = 0
+total = 0
+y = 0
+while y < size:
+    ci = 2.0 * y / size - 1.0
+    x = 0
+    while x < size:
+        cr = 2.0 * x / size - 1.5
+        zr = 0.0
+        zi = 0.0
+        i = 0
+        inside = True
+        while i < 50:
+            zr2 = zr * zr
+            zi2 = zi * zi
+            if zr2 + zi2 > 4.0:
+                inside = False
+                break
+            zi = 2.0 * zr * zi + ci
+            zr = zr2 - zi2 + cr
+            i += 1
+        if inside:
+            total += 1
+        x += 1
+    y += 1
+print(total)
+)PY",
+        "",
+        "mandelbrot: escape-time fractal; pure float loops, huge JIT "
+        "speedup (Table II PyPy 29x over CPython-analog)",
+        48, ""});
+
+    out.push_back({
+        "revcomp", "clbg",
+        R"PY(
+table = []
+i = 0
+while i < 256:
+    table.append(chr(i))
+    i += 1
+pairs = "ATCGGCTAUAMKRYWWSSYRKMVBHDDHBVNN"
+i = 0
+while i < len(pairs):
+    table[ord(pairs[i])] = pairs[i + 1]
+    table[ord(pairs[i].lower())] = pairs[i + 1]
+    i += 2
+trans = "".join(table)
+
+parts = []
+seed = 11
+i = 0
+while i < {N}:
+    seed = (seed * 3877 + 29573) % 139968
+    parts.append("ACGTacgt"[seed % 8])
+    i += 1
+seq = "".join(parts)
+
+rev = []
+i = len(seq) - 1
+while i >= 0:
+    rev.append(seq[i])
+    i -= 1
+out = "".join(rev)
+count = 0
+i = 0
+while i < len(out):
+    if trans[ord(out[i])] == "T":
+        count += 1
+    i += 1
+print(count)
+)PY",
+        "",
+        "revcomp: reverse complement; translate-table + per-char "
+        "scanning (interp-heavy on PyPy per Fig 4, Pycket compiles "
+        "quickly)",
+        2400, ""});
+
+    out.push_back({
+        "regexdna", "clbg",
+        R"PY(
+patterns = ["agggtaaa", "cgggtaaa", "aggggaaa", "agggtttt",
+            "ttaccct", "tttaccc"]
+
+parts = []
+seed = 5
+i = 0
+while i < {N}:
+    seed = (seed * 3877 + 29573) % 139968
+    parts.append("acgt"[seed % 4])
+    i += 1
+seq = "".join(parts)
+
+total = 0
+for pat in patterns:
+    pos = 0
+    while True:
+        hit = seq.find(pat, pos)
+        if hit < 0:
+            break
+        total += 1
+        pos = hit + 1
+    total += seq.count(pat[0:4])
+print(total)
+)PY",
+        "",
+        "regexdna: pattern scanning; modeled with the runtime's string-"
+        "search AOT ops (rsre analog), per DESIGN.md substitution",
+        2600, ""});
+
+    out.push_back({
+        "chameneosredux", "clbg",
+        R"PY(
+def complement(c1, c2):
+    if c1 == c2:
+        return c1
+    if c1 == 0:
+        if c2 == 1:
+            return 2
+        return 1
+    if c1 == 1:
+        if c2 == 0:
+            return 2
+        return 0
+    if c2 == 0:
+        return 1
+    return 0
+
+colors = [0, 1, 2, 1, 0, 2, 2, 1]
+meetings = 0
+counts = []
+i = 0
+while i < len(colors):
+    counts.append(0)
+    i += 1
+n = {N}
+a = 0
+while meetings < n:
+    b = (a + 1 + meetings % (len(colors) - 1)) % len(colors)
+    if a == b:
+        b = (b + 1) % len(colors)
+    newc = complement(colors[a], colors[b])
+    colors[a] = newc
+    colors[b] = newc
+    counts[a] += 1
+    counts[b] += 1
+    meetings += 1
+    a = (a + 1) % len(colors)
+total = 0
+i = 0
+while i < len(counts):
+    total += counts[i]
+    i += 1
+print(total)
+)PY",
+        "",
+        "chameneosredux: single-threaded meeting simulation (paper "
+        "restricts to one hardware thread); branch-heavy int code",
+        4000, ""});
+
+    out.push_back({
+        "threadring", "clbg",
+        R"PY(
+ring = 503
+token = {N}
+counts = []
+i = 0
+while i < ring:
+    counts.append(0)
+    i += 1
+pos = 0
+while token > 0:
+    counts[pos] += 1
+    pos = (pos + 1) % ring
+    token -= 1
+print(pos + 1)
+)PY",
+        "",
+        "threadring: cooperative token passing in one thread (GIL "
+        "restriction per Section III); pure dispatch overhead",
+        40000, ""});
+
+    return out;
+}
+
+} // namespace workloads
+} // namespace xlvm

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * MiniRkt (Scheme-subset) translations of the CLBG workloads, used for
+ * the Racket / Pycket columns of Table II and Figure 4.
+ */
+
+#include "workloads/suites.h"
+
+namespace xlvm {
+namespace workloads {
+
+namespace {
+
+struct RktSource
+{
+    const char *name;
+    const char *source;
+};
+
+const RktSource kRktSources[] = {
+    {"binarytrees", R"RKT(
+(define (make-tree depth)
+  (if (= depth 0)
+      (cons '() '())
+      (cons (make-tree (- depth 1)) (make-tree (- depth 1)))))
+(define (check t)
+  (if (null? (car t))
+      1
+      (+ 1 (check (car t)) (check (cdr t)))))
+(define maxdepth {N})
+(define total (check (make-tree (+ maxdepth 1))))
+(define longlived (make-tree maxdepth))
+(let loop ((depth 4))
+  (if (<= depth maxdepth)
+      (begin
+        (let iter ((i 0) (n (arithmetic-shift 1 (+ (- maxdepth depth) 4))))
+          (if (< i n)
+              (begin
+                (set! total (+ total (check (make-tree depth))))
+                (iter (+ i 1) n))
+              0))
+        (loop (+ depth 2)))
+      0))
+(set! total (+ total (check longlived)))
+(display total)
+(newline)
+)RKT"},
+
+    {"fasta", R"RKT(
+(define codes "acgtBDHKMNRSVWY")
+(define (random-line n seed acc)
+  (if (= n 0)
+      (cons acc seed)
+      (let ((s2 (modulo (+ (* seed 3877) 29573) 139968)))
+        (random-line (- n 1) s2
+                     (+ acc (char->integer
+                             (string-ref codes
+                                         (quotient (* s2 15) 139968))))))))
+(define n {N})
+(define total 0)
+(let loop ((produced 0) (seed 42))
+  (if (< produced n)
+      (let ((r (random-line 60 seed 0)))
+        (set! total (+ total (car r)))
+        (loop (+ produced 60) (cdr r)))
+      0))
+(display total)
+(newline)
+)RKT"},
+
+    {"mandelbrot", R"RKT(
+(define size {N})
+(define total 0)
+(let yloop ((y 0))
+  (if (< y size)
+      (begin
+        (let xloop ((x 0))
+          (if (< x size)
+              (let ((ci (- (/ (* 2.0 y) size) 1.0))
+                    (cr (- (/ (* 2.0 x) size) 1.5)))
+                (let iter ((zr 0.0) (zi 0.0) (i 0))
+                  (if (< i 50)
+                      (let ((zr2 (* zr zr)) (zi2 (* zi zi)))
+                        (if (> (+ zr2 zi2) 4.0)
+                            0
+                            (iter (+ (- zr2 zi2) cr)
+                                  (+ (* 2.0 (* zr zi)) ci)
+                                  (+ i 1))))
+                      (set! total (+ total 1))))
+                (xloop (+ x 1)))
+              0))
+        (yloop (+ y 1)))
+      0))
+(display total)
+(newline)
+)RKT"},
+
+    {"nbody", R"RKT(
+(define xs (vector 0.0 4.84 8.34 12.89 15.37))
+(define ys (vector 0.0 -1.16 4.12 -15.11 -25.91))
+(define vxs (vector 0.0 0.16 -0.27 0.29 0.26))
+(define vys (vector 0.0 0.77 0.49 0.23 0.15))
+(define ms (vector 39.47 0.037 0.011 0.0017 0.0002))
+(define dt 0.01)
+(define (advance steps)
+  (let sloop ((s 0))
+    (if (< s steps)
+        (begin
+          (let iloop ((i 0))
+            (if (< i 5)
+                (begin
+                  (let jloop ((j (+ i 1)))
+                    (if (< j 5)
+                        (let ((dx (- (vector-ref xs i) (vector-ref xs j)))
+                              (dy (- (vector-ref ys i) (vector-ref ys j))))
+                          (let ((d2 (+ (* dx dx) (* dy dy))))
+                            (let ((mag (/ dt (* d2 (sqrt d2)))))
+                              (vector-set! vxs i
+                                (- (vector-ref vxs i)
+                                   (* dx (* (vector-ref ms j) mag))))
+                              (vector-set! vys i
+                                (- (vector-ref vys i)
+                                   (* dy (* (vector-ref ms j) mag))))
+                              (vector-set! vxs j
+                                (+ (vector-ref vxs j)
+                                   (* dx (* (vector-ref ms i) mag))))
+                              (vector-set! vys j
+                                (+ (vector-ref vys j)
+                                   (* dy (* (vector-ref ms i) mag))))
+                              (jloop (+ j 1)))))
+                        0))
+                  (vector-set! xs i (+ (vector-ref xs i)
+                                       (* dt (vector-ref vxs i))))
+                  (vector-set! ys i (+ (vector-ref ys i)
+                                       (* dt (vector-ref vys i))))
+                  (iloop (+ i 1)))
+                0))
+          (sloop (+ s 1)))
+        0)))
+(advance {N})
+(display (inexact->exact
+          (floor (* 1000000 (+ (vector-ref xs 1) (vector-ref ys 2))))))
+(newline)
+)RKT"},
+
+    {"spectralnorm", R"RKT(
+(define n {N})
+(define (eval-a i j)
+  (/ 1.0 (+ (+ (/ (* (+ i j) (+ (+ i j) 1)) 2.0) i) 1.0)))
+(define (times-u u out transpose)
+  (let iloop ((i 0))
+    (if (< i n)
+        (begin
+          (let jloop ((j 0) (s 0.0))
+            (if (< j n)
+                (jloop (+ j 1)
+                       (+ s (* (if (= transpose 0)
+                                   (eval-a i j)
+                                   (eval-a j i))
+                               (vector-ref u j))))
+                (vector-set! out i s)))
+          (iloop (+ i 1)))
+        0)))
+(define u (make-vector n 1.0))
+(define v (make-vector n 0.0))
+(define w (make-vector n 0.0))
+(let kloop ((k 0))
+  (if (< k 6)
+      (begin
+        (times-u u w 0)
+        (times-u w v 1)
+        (let cloop2 ((i 0))
+          (if (< i n)
+              (begin
+                (vector-set! u i (vector-ref v i))
+                (cloop2 (+ i 1)))
+              0))
+        (kloop (+ k 1)))
+      0))
+(define vbv 0.0)
+(define vv 0.0)
+(let floop ((i 0))
+  (if (< i n)
+      (begin
+        (set! vbv (+ vbv (* (vector-ref u i) (vector-ref v i))))
+        (set! vv (+ vv (* (vector-ref v i) (vector-ref v i))))
+        (floop (+ i 1)))
+      0))
+(display (inexact->exact (floor (* 1000000 (sqrt (/ vbv vv))))))
+(newline)
+)RKT"},
+
+    {"fannkuchredux", R"RKT(
+(define n {N})
+(define perm1 (make-vector n 0))
+(let init ((i 0))
+  (if (< i n) (begin (vector-set! perm1 i i) (init (+ i 1))) 0))
+(define count (make-vector n 0))
+(define maxflips 0)
+(define checksum 0)
+(define sign 1)
+(define perm (make-vector n 0))
+(define (copy-perm)
+  (let loop ((i 0))
+    (if (< i n)
+        (begin (vector-set! perm i (vector-ref perm1 i))
+               (loop (+ i 1)))
+        0)))
+(define (reverse-prefix k)
+  (let loop ((lo 0) (hi k))
+    (if (< lo hi)
+        (let ((tmp (vector-ref perm lo)))
+          (vector-set! perm lo (vector-ref perm hi))
+          (vector-set! perm hi tmp)
+          (loop (+ lo 1) (- hi 1)))
+        0)))
+(define (flip-count)
+  (copy-perm)
+  (let loop ((flips 0))
+    (let ((k (vector-ref perm 0)))
+      (if (= k 0)
+          flips
+          (begin (reverse-prefix k) (loop (+ flips 1)))))))
+(define done 0)
+(let outer ()
+  (if (= done 0)
+      (begin
+        (if (> (vector-ref perm1 0) 0)
+            (let ((flips (flip-count)))
+              (if (> flips maxflips) (set! maxflips flips) 0)
+              (set! checksum (+ checksum (* sign flips))))
+            0)
+        (set! sign (- 0 sign))
+        (let rot ((r 1))
+          (if (= r n)
+              (set! done 1)
+              (let ((first (vector-ref perm1 0)))
+                (let shift ((i 0))
+                  (if (< i r)
+                      (begin
+                        (vector-set! perm1 i (vector-ref perm1 (+ i 1)))
+                        (shift (+ i 1)))
+                      0))
+                (vector-set! perm1 r first)
+                (vector-set! count r (+ (vector-ref count r) 1))
+                (if (<= (vector-ref count r) r)
+                    0
+                    (begin (vector-set! count r 0) (rot (+ r 1)))))))
+        (outer))
+      0))
+(display (+ (* maxflips 100000) (modulo checksum 100000)))
+(newline)
+)RKT"},
+
+    {"pidigits", R"RKT(
+(define (pi-digits n)
+  (let loop ((q 1) (r 0) (t 1) (k 1) (digits 0) (out 0))
+    (if (< digits n)
+        (if (< (- (+ (* 4 q) r) t) (* (quotient (+ (+ (* 2 q) r) 1) t) t))
+            (let ((d (quotient (+ (* 3 q) r) t)))
+              (loop (* 10 q)
+                    (* 10 (- r (* d t)))
+                    t k (+ digits 1)
+                    (modulo (+ (* out 10) d) 1000000007)))
+            (loop (* q k)
+                  (* (+ (* 2 q) r) (+ (* 2 k) 1))
+                  (* t (+ (* 2 k) 1))
+                  (+ k 1) digits out))
+        out)))
+(display (pi-digits {N}))
+(newline)
+)RKT"},
+
+    {"chameneosredux", R"RKT(
+(define (complement c1 c2)
+  (if (= c1 c2) c1
+      (if (= c1 0) (if (= c2 1) 2 1)
+          (if (= c1 1) (if (= c2 0) 2 0)
+              (if (= c2 0) 1 0)))))
+(define colors (vector 0 1 2 1 0 2 2 1))
+(define counts (make-vector 8 0))
+(define n {N})
+(let loop ((meetings 0) (a 0))
+  (if (< meetings n)
+      (let ((b0 (modulo (+ (+ a 1) (modulo meetings 7)) 8)))
+        (let ((b (if (= a b0) (modulo (+ b0 1) 8) b0)))
+          (let ((newc (complement (vector-ref colors a)
+                                  (vector-ref colors b))))
+            (vector-set! colors a newc)
+            (vector-set! colors b newc)
+            (vector-set! counts a (+ (vector-ref counts a) 1))
+            (vector-set! counts b (+ (vector-ref counts b) 1))
+            (loop (+ meetings 1) (modulo (+ a 1) 8)))))
+      0))
+(define total 0)
+(let sum ((i 0))
+  (if (< i 8)
+      (begin (set! total (+ total (vector-ref counts i)))
+             (sum (+ i 1)))
+      0))
+(display total)
+(newline)
+)RKT"},
+
+    {"threadring", R"RKT(
+(define ring 503)
+(define counts (make-vector ring 0))
+(let loop ((token {N}) (pos 0))
+  (if (> token 0)
+      (begin
+        (vector-set! counts pos (+ (vector-ref counts pos) 1))
+        (loop (- token 1) (modulo (+ pos 1) ring)))
+      (begin (display (+ pos 1)) (newline))))
+)RKT"},
+
+    {"knucleotide", R"RKT(
+(define h (make-hash))
+(define n {N})
+(define seq (make-vector n 0))
+(let gen ((i 0) (seed 7))
+  (if (< i n)
+      (let ((s2 (modulo (+ (* seed 3877) 29573) 139968)))
+        (vector-set! seq i (modulo s2 4))
+        (gen (+ i 1) s2))
+      0))
+(define total 0)
+(let kloop ((k 1))
+  (if (<= k 4)
+      (begin
+        (let scan ((i 0))
+          (if (<= i (- n k))
+              (let ((key (let build ((j 0) (acc 0))
+                           (if (< j k)
+                               (build (+ j 1)
+                                      (+ (* acc 4)
+                                         (vector-ref seq (+ i j))))
+                               acc))))
+                (hash-set! h key (+ (hash-ref h key 0) 1))
+                (scan (+ i 1)))
+              0))
+        (kloop (+ k 1)))
+      0))
+(display (hash-count h))
+(newline)
+)RKT"},
+
+    {"revcomp", R"RKT(
+(define n {N})
+(define seq (make-vector n 0))
+(let gen ((i 0) (seed 11))
+  (if (< i n)
+      (let ((s2 (modulo (+ (* seed 3877) 29573) 139968)))
+        (vector-set! seq i (modulo s2 4))
+        (gen (+ i 1) s2))
+      0))
+(define count 0)
+(let loop ((i (- n 1)))
+  (if (>= i 0)
+      (begin
+        (if (= (- 3 (vector-ref seq i)) 3) (set! count (+ count 1)) 0)
+        (loop (- i 1)))
+      0))
+(display count)
+(newline)
+)RKT"},
+
+    {"meteor", R"RKT(
+(define masks (make-vector 40 0))
+(let init ((i 0))
+  (if (< i 40)
+      (begin
+        (let bits ((k 0) (m 0))
+          (if (< k 6)
+              (bits (+ k 1)
+                    (bitwise-ior m
+                                 (arithmetic-shift
+                                  1 (modulo (+ (* i 5) (* k 3)) 50))))
+              (vector-set! masks i m)))
+        (init (+ i 1)))
+      0))
+(define free (- (arithmetic-shift 1 50) 1))
+(define solutions 0)
+(let rloop ((r 0))
+  (if (< r {N})
+      (begin
+        (let iloop ((i 0))
+          (if (< i 40)
+              (let ((m (vector-ref masks i)))
+                (if (= (bitwise-and m free) m)
+                    (let ((remaining (bitwise-and free (bitwise-not m))))
+                      (let jloop ((j (+ i 1)))
+                        (if (< j 40)
+                            (begin
+                              (if (= (bitwise-and (vector-ref masks j)
+                                                  remaining)
+                                     (vector-ref masks j))
+                                  (set! solutions (+ solutions 1))
+                                  0)
+                              (jloop (+ j 1)))
+                            0)))
+                    0)
+                (iloop (+ i 1)))
+              0))
+        (rloop (+ r 1)))
+      0))
+(display solutions)
+(newline)
+)RKT"},
+
+    {"regexdna", R"RKT(
+(define n {N})
+(define seq (make-vector n 0))
+(let gen ((i 0) (seed 5))
+  (if (< i n)
+      (let ((s2 (modulo (+ (* seed 3877) 29573) 139968)))
+        (vector-set! seq i (modulo s2 4))
+        (gen (+ i 1) s2))
+      0))
+(define pat (vector 0 2 2 2 3 0 0 0))
+(define total 0)
+(let scan ((i 0))
+  (if (<= i (- n 8))
+      (begin
+        (let match ((j 0) (ok 1))
+          (if (< j 8)
+              (if (= (vector-ref seq (+ i j)) (vector-ref pat j))
+                  (match (+ j 1) ok)
+                  0)
+              (set! total (+ total 1))))
+        (scan (+ i 1)))
+      0))
+(display total)
+(newline)
+)RKT"},
+};
+
+} // namespace
+
+void
+attachRktSources(std::vector<Workload> &clbg)
+{
+    for (Workload &w : clbg) {
+        for (const RktSource &r : kRktSources) {
+            if (w.name == r.name) {
+                w.rktSource = r.source;
+                break;
+            }
+        }
+    }
+}
+
+} // namespace workloads
+} // namespace xlvm

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * PyPy-suite workloads, part A: arithmetic / object-oriented kernels.
+ */
+
+#include "workloads/suites.h"
+
+namespace xlvm {
+namespace workloads {
+
+std::vector<Workload>
+pypySuiteA()
+{
+    std::vector<Workload> out;
+
+    out.push_back({
+        "richards", "pypy",
+        R"PY(
+class Packet:
+    def __init__(self, link, ident, kind):
+        self.link = link
+        self.ident = ident
+        self.kind = kind
+        self.datum = 0
+
+class Task:
+    def __init__(self, ident, priority, kind):
+        self.ident = ident
+        self.priority = priority
+        self.kind = kind
+        self.queue = []
+        self.holdCount = 0
+        self.workDone = 0
+
+    def addPacket(self, p):
+        self.queue.append(p)
+
+    def runIdle(self, state):
+        state.idleCount += 1
+        if state.control % 2 == 0:
+            state.control = state.control // 2
+            return 1
+        state.control = (state.control // 2) ^ 53256
+        return 2
+
+    def runWorker(self, state):
+        if len(self.queue) > 0:
+            p = self.queue.pop(0)
+            p.datum = p.datum + 1
+            self.workDone += 1
+            state.handled += 1
+            return 3
+        return 0
+
+    def runHandler(self, state):
+        if len(self.queue) > 0:
+            p = self.queue.pop(0)
+            if p.kind == 1:
+                state.devPackets += 1
+            else:
+                state.workPackets += 1
+            return 1
+        return 0
+
+class State:
+    def __init__(self):
+        self.control = 491
+        self.idleCount = 0
+        self.handled = 0
+        self.devPackets = 0
+        self.workPackets = 0
+
+def schedule(tasks, state, rounds):
+    r = 0
+    while r < rounds:
+        i = 0
+        while i < len(tasks):
+            t = tasks[i]
+            k = t.kind
+            if k == 0:
+                nxt = t.runIdle(state)
+            elif k == 1:
+                nxt = t.runWorker(state)
+            else:
+                nxt = t.runHandler(state)
+            if nxt == 3:
+                tasks[(i + 1) % len(tasks)].addPacket(
+                    Packet(0, t.ident, r % 2))
+            i += 1
+        r += 1
+    return state
+
+tasks = []
+kinds = [0, 1, 2, 1, 2, 0]
+i = 0
+while i < 6:
+    t = Task(i, i % 3, kinds[i])
+    t.addPacket(Packet(0, i, i % 2))
+    tasks.append(t)
+    i += 1
+st = schedule(tasks, State(), {N})
+print(st.idleCount + st.handled + st.devPackets + st.workPackets)
+)PY",
+        "",
+        "richards: OS-scheduler simulation; polymorphic method dispatch, "
+        "guard-heavy control flow (Table I best speedup, Fig 7 guard-"
+        "dominated)",
+        600, ""});
+
+    out.push_back({
+        "crypto_pyaes", "pypy",
+        R"PY(
+sbox = []
+i = 0
+while i < 256:
+    sbox.append((i * 7 + 99) % 256)
+    i += 1
+
+def encrypt_block(block, rounds):
+    b0 = block[0]
+    b1 = block[1]
+    b2 = block[2]
+    b3 = block[3]
+    r = 0
+    while r < rounds:
+        b0 = sbox[b0] ^ b1
+        b1 = sbox[b1] ^ b2
+        b2 = sbox[b2] ^ b3
+        b3 = sbox[b3] ^ (b0 & 255)
+        b0 = (b0 + r) % 256
+        r += 1
+    return ((b0 << 24) | (b1 << 16) | (b2 << 8) | b3)
+
+total = 0
+n = 0
+while n < {N}:
+    total = (total + encrypt_block([n % 256, (n * 3) % 256,
+                                    (n * 5) % 256, (n * 7) % 256],
+                                   14)) % 1000000007
+    n += 1
+print(total)
+)PY",
+        "",
+        "crypto_pyaes: AES-style S-box rounds; int ops + int-strategy "
+        "list indexing (Table I ~30x speedup)",
+        900, ""});
+
+    out.push_back({
+        "chaos", "pypy",
+        R"PY(
+class GVector:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+    def dist(self, other):
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return sqrt(dx * dx + dy * dy)
+    def linear_combination(self, other, l1):
+        return GVector(self.x * l1 + other.x * (1.0 - l1),
+                       self.y * l1 + other.y * (1.0 - l1))
+
+def chaos_game(points, iters):
+    seed = 1234
+    pos = GVector(0.5, 0.5)
+    acc = 0.0
+    i = 0
+    while i < iters:
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        target = points[seed % len(points)]
+        pos = pos.linear_combination(target, 0.5)
+        acc = acc + pos.dist(target)
+        i += 1
+    return acc
+
+pts = [GVector(0.0, 0.0), GVector(1.0, 0.0), GVector(0.5, 1.0)]
+r = chaos_game(pts, {N})
+print(int(r))
+)PY",
+        "",
+        "chaos: chaosgame fractal; float arithmetic in short-lived "
+        "GVector objects (escape analysis showcase)",
+        4000, ""});
+
+    out.push_back({
+        "telco", "pypy",
+        R"PY(
+def process_call(duration, rate_kind):
+    price = duration * 9
+    if rate_kind == 1:
+        price = duration * 13
+    basic_tax = price * 6 // 100
+    dist_tax = 0
+    if rate_kind == 1:
+        dist_tax = price * 12 // 100
+    return price + basic_tax + dist_tax
+
+lines = []
+i = 0
+while i < {N}:
+    lines.append(str(i * 37 % 2800) + "," + str(i % 2))
+    i += 1
+
+total = 0
+for line in lines:
+    parts = line.split(",")
+    duration = int(parts[0])
+    kind = int(parts[1])
+    total += process_call(duration, kind)
+print(total)
+)PY",
+        "",
+        "telco: billing; string parsing (string_to_int AOT calls per "
+        "Table III) + integer rating arithmetic",
+        1500, ""});
+
+    out.push_back({
+        "spectral_norm", "pypy",
+        R"PY(
+def eval_A(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) / 2.0 + i + 1.0)
+
+def eval_A_times_u(u, n):
+    out = []
+    i = 0
+    while i < n:
+        s = 0.0
+        j = 0
+        while j < n:
+            s = s + eval_A(i, j) * u[j]
+            j += 1
+        out.append(s)
+        i += 1
+    return out
+
+def eval_At_times_u(u, n):
+    out = []
+    i = 0
+    while i < n:
+        s = 0.0
+        j = 0
+        while j < n:
+            s = s + eval_A(j, i) * u[j]
+            j += 1
+        out.append(s)
+        i += 1
+    return out
+
+n = {N}
+u = []
+i = 0
+while i < n:
+    u.append(1.0)
+    i += 1
+k = 0
+while k < 6:
+    v = eval_At_times_u(eval_A_times_u(u, n), n)
+    u = v
+    k += 1
+vBv = 0.0
+vv = 0.0
+i = 0
+while i < n:
+    vBv = vBv + u[i] * v[i]
+    vv = vv + v[i] * v[i]
+    i += 1
+print(int(sqrt(vBv / vv) * 1000000))
+)PY",
+        "",
+        "spectralnorm: power iteration; float-strategy lists, nested "
+        "loops (call_assembler), high JIT-phase share (Fig 4)",
+        70, ""});
+
+    out.push_back({
+        "float", "pypy",
+        R"PY(
+class Point:
+    def __init__(self, i):
+        self.x = sin(i * 0.1)
+        self.y = cos(i * 0.1) * 3.0
+        self.z = self.x * self.x / 2.0
+
+    def normalize(self):
+        norm = sqrt(self.x * self.x + self.y * self.y + self.z * self.z)
+        self.x = self.x / norm
+        self.y = self.y / norm
+        self.z = self.z / norm
+
+def maximize(points):
+    nx = 0.0
+    ny = 0.0
+    nz = 0.0
+    for p in points:
+        if p.x > nx:
+            nx = p.x
+        if p.y > ny:
+            ny = p.y
+        if p.z > nz:
+            nz = p.z
+    return nx + ny + nz
+
+total = 0.0
+rounds = 0
+while rounds < 8:
+    points = []
+    i = 0
+    while i < {N}:
+        points.append(Point(i))
+        i += 1
+    for p in points:
+        p.normalize()
+    total = total + maximize(points)
+    rounds += 1
+print(int(total * 1000))
+)PY",
+        "",
+        "float: bulk Point allocation + trig; allocation pressure the "
+        "nursery absorbs, few compiled IR nodes (Fig 6a low end)",
+        220, ""});
+
+    out.push_back({
+        "nbody_modified", "pypy",
+        R"PY(
+def advance(xs, ys, zs, vxs, vys, vzs, ms, dt, steps):
+    n = len(xs)
+    s = 0
+    while s < steps:
+        i = 0
+        while i < n:
+            j = i + 1
+            while j < n:
+                dx = xs[i] - xs[j]
+                dy = ys[i] - ys[j]
+                dz = zs[i] - zs[j]
+                d2 = dx * dx + dy * dy + dz * dz
+                mag = dt / (d2 * pow(d2, 0.5))
+                vxs[i] = vxs[i] - dx * ms[j] * mag
+                vys[i] = vys[i] - dy * ms[j] * mag
+                vzs[i] = vzs[i] - dz * ms[j] * mag
+                vxs[j] = vxs[j] + dx * ms[i] * mag
+                vys[j] = vys[j] + dy * ms[i] * mag
+                vzs[j] = vzs[j] + dz * ms[i] * mag
+                j += 1
+            i += 1
+        i = 0
+        while i < n:
+            xs[i] = xs[i] + dt * vxs[i]
+            ys[i] = ys[i] + dt * vys[i]
+            zs[i] = zs[i] + dt * vzs[i]
+            i += 1
+        s += 1
+
+xs = [0.0, 4.84, 8.34, 12.89, 15.37]
+ys = [0.0, -1.16, 4.12, -15.11, -25.91]
+zs = [0.0, -0.1, -0.4, -0.22, 0.17]
+vxs = [0.0, 0.16, -0.27, 0.29, 0.26]
+vys = [0.0, 0.77, 0.49, 0.23, 0.15]
+vzs = [0.0, -0.002, 0.002, -0.002, -0.003]
+ms = [39.47, 0.037, 0.011, 0.0017, 0.0002]
+advance(xs, ys, zs, vxs, vys, vzs, ms, 0.01, {N})
+print(int((xs[1] + ys[2] + vxs[3]) * 1000000))
+)PY",
+        "",
+        "nbody_modified: planetary dynamics; C `pow` dominates (Table "
+        "III: 44.6% in pow)",
+        250, ""});
+
+    out.push_back({
+        "ai", "pypy",
+        R"PY(
+def ok(queens, row, col):
+    i = 0
+    while i < len(queens):
+        qc = queens[i]
+        if qc == col:
+            return False
+        if qc - (row - i) == col:
+            return False
+        if qc + (row - i) == col:
+            return False
+        i += 1
+    return True
+
+def solve(n, queens, row):
+    if row == n:
+        return 1
+    count = 0
+    col = 0
+    while col < n:
+        if ok(queens, row, col):
+            queens.append(col)
+            count += solve(n, queens, row + 1)
+            queens.pop()
+        col += 1
+    return count
+
+total = 0
+round = 0
+while round < {N}:
+    total += solve(7, [], 0)
+    round += 1
+print(total)
+)PY",
+        "",
+        "ai: n-queens backtracking; recursion inlined into traces, "
+        "int-list scanning (Table III setobject storage analog)",
+        12, ""});
+
+    out.push_back({
+        "raytrace_simple", "pypy",
+        R"PY(
+class Vec:
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+    def dot(self, o):
+        return self.x * o.x + self.y * o.y + self.z * o.z
+    def sub(self, o):
+        return Vec(self.x - o.x, self.y - o.y, self.z - o.z)
+    def scale(self, k):
+        return Vec(self.x * k, self.y * k, self.z * k)
+
+class Sphere:
+    def __init__(self, cx, cy, cz, r):
+        self.center = Vec(cx, cy, cz)
+        self.r2 = r * r
+    def hit(self, orig, dir):
+        oc = self.center.sub(orig)
+        b = oc.dot(dir)
+        disc = b * b - oc.dot(oc) + self.r2
+        if disc < 0.0:
+            return -1.0
+        return b - sqrt(disc)
+
+spheres = [Sphere(0.0, 0.0, -5.0, 1.0), Sphere(2.0, 1.0, -6.0, 1.5),
+           Sphere(-2.0, -1.0, -4.0, 0.7)]
+orig = Vec(0.0, 0.0, 0.0)
+hits = 0
+py = 0
+while py < {N}:
+    px = 0
+    while px < {N}:
+        dx = (px - {N} / 2.0) / {N}
+        dy = (py - {N} / 2.0) / {N}
+        norm = sqrt(dx * dx + dy * dy + 1.0)
+        dir = Vec(dx / norm, dy / norm, -1.0 / norm)
+        best = 1000000.0
+        for s in spheres:
+            t = s.hit(orig, dir)
+            if t > 0.0 and t < best:
+                best = t
+                hits += 1
+        px += 1
+    py += 1
+print(hits)
+)PY",
+        "",
+        "raytrace-simple: ray-sphere intersection; virtualized Vec "
+        "temporaries, float math through sqrt AOT calls",
+        42, ""});
+
+    return out;
+}
+
+} // namespace workloads
+} // namespace xlvm

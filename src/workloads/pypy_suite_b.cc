@@ -1,0 +1,551 @@
+/**
+ * @file
+ * PyPy-suite workloads, part B: template engines, string building,
+ * dictionary-heavy web-framework analogs.
+ */
+
+#include "workloads/suites.h"
+
+namespace xlvm {
+namespace workloads {
+
+std::vector<Workload>
+pypySuiteB()
+{
+    std::vector<Workload> out;
+
+    out.push_back({
+        "django", "pypy",
+        R"PY(
+template = "<tr><td>{a}</td><td>{b}</td><td>{c}</td></tr>"
+
+def render_row(ctx):
+    row = template
+    for key in ctx:
+        row = row.replace("{" + key + "}", str(ctx[key]))
+    return row
+
+rows = []
+i = 0
+while i < {N}:
+    ctx = {}
+    ctx["a"] = i
+    ctx["b"] = i * i % 93
+    ctx["c"] = "name_" + str(i % 10)
+    rows.append(render_row(ctx))
+    i += 1
+page = "\n".join(rows)
+print(len(page))
+)PY",
+        "",
+        "django: template rendering; rstring.replace + "
+        "rordereddict.ll_call_lookup_function dominate (Table III)",
+        550, ""});
+
+    out.push_back({
+        "spitfire", "pypy",
+        R"PY(
+def make_row(row, width):
+    cells = []
+    col = 0
+    while col < width:
+        cells.append(str(row * width + col))
+        col += 1
+    return "<td>" + "</td><td>".join(cells) + "</td>"
+
+rows = []
+r = 0
+while r < {N}:
+    rows.append("<tr>" + make_row(r, 12) + "</tr>")
+    r += 1
+table = "<table>" + "\n".join(rows) + "</table>"
+print(len(table))
+)PY",
+        "",
+        "spitfire: HTML table template; rstr.ll_join + ll_int2dec + "
+        "rbuilder.ll_append (Table III)",
+        450, ""});
+
+    out.push_back({
+        "slowspitfire", "pypy",
+        R"PY(
+table = ""
+r = 0
+while r < {N}:
+    row = "<tr>"
+    col = 0
+    while col < 10:
+        row = row + "<td>" + str(r * 10 + col) + "</td>"
+        col += 1
+    table = table + row + "</tr>"
+    r += 1
+print(len(table))
+)PY",
+        "",
+        "slowspitfire: naive O(n^2) string concatenation; ll_strconcat "
+        "copies dominate, few hot IR nodes (Fig 6b)",
+        170, ""});
+
+    out.push_back({
+        "spitfire_cstringio", "pypy",
+        R"PY(
+pieces = []
+r = 0
+while r < {N}:
+    pieces.append("<tr>")
+    col = 0
+    while col < 12:
+        pieces.append("<td>")
+        pieces.append(str(r * 12 + col))
+        pieces.append("</td>")
+        col += 1
+    pieces.append("</tr>")
+    r += 1
+table = "".join(pieces)
+print(len(table))
+)PY",
+        "",
+        "spitfire_cstringio: buffered template output; builder-append "
+        "pattern, join-dominated JIT calls",
+        420, ""});
+
+    out.push_back({
+        "json_bench", "pypy",
+        R"PY(
+def encode_value(v, parts):
+    parts.append(json_escape(v))
+
+def encode_record(rec, keys, parts):
+    parts.append("{")
+    first = True
+    for k in keys:
+        if not first:
+            parts.append(",")
+        first = False
+        parts.append(json_escape(k))
+        parts.append(":")
+        encode_value(str(rec[k]), parts)
+    parts.append("}")
+
+keys = ["id", "name", "flag", "payload"]
+parts = []
+parts.append("[")
+i = 0
+while i < {N}:
+    rec = {}
+    rec["id"] = i
+    rec["name"] = "record_" + str(i)
+    rec["flag"] = i % 2 == 0
+    rec["payload"] = "data \"x\" " + str(i * 17 % 97)
+    if i > 0:
+        parts.append(",")
+    encode_record(rec, keys, parts)
+    i += 1
+parts.append("]")
+doc = "".join(parts)
+print(len(doc))
+)PY",
+        "",
+        "json_bench: JSON encoding; _pypyjson.raw_encode_basestring_"
+        "ascii + rbuilder.ll_append (Table III)",
+        380, ""});
+
+    out.push_back({
+        "bm_mako", "pypy",
+        R"PY(
+def render(title, items):
+    buf = []
+    buf.append("<html><head><title>")
+    buf.append(title.upper())
+    buf.append("</title></head><body><ul>")
+    for it in items:
+        buf.append("<li>")
+        buf.append(it.replace("&", "&amp;").replace("<", "&lt;"))
+        buf.append("</li>")
+    buf.append("</ul></body></html>")
+    return "".join(buf)
+
+total = 0
+page = 0
+while page < {N}:
+    items = []
+    k = 0
+    while k < 14:
+        items.append("item<" + str(page) + "&" + str(k) + ">")
+        k += 1
+    total += len(render("page " + str(page), items))
+    page += 1
+print(total)
+)PY",
+        "",
+        "bm_mako: template engine; unicode_encode_ucs1 analog (upper/"
+        "replace) + dict lookups (Table III: 26.1%)",
+        160, ""});
+
+    out.push_back({
+        "bm_chameleon", "pypy",
+        R"PY(
+registry = {}
+i = 0
+while i < 64:
+    registry["macro_" + str(i)] = "<span>" + str(i) + "</span>"
+    i += 1
+
+out = []
+step = 0
+while step < {N}:
+    name = "macro_" + str(step * 7 % 64)
+    body = registry[name]
+    out.append(body)
+    if step % 5 == 0:
+        registry[name + "_hot"] = body
+    step += 1
+print(len("".join(out)))
+)PY",
+        "",
+        "bm_chameleon: macro registry; ll_call_lookup_function is "
+        "17.9% of execution (Table III top entry)",
+        1400, ""});
+
+    out.push_back({
+        "bm_mdp", "pypy",
+        R"PY(
+values = {}
+s = 0
+while s < 60:
+    values[s] = 0
+    s += 1
+
+sweep = 0
+while sweep < {N}:
+    s = 0
+    while s < 60:
+        left = values[(s + 59) % 60]
+        right = values[(s + 1) % 60]
+        reward = s % 7
+        best = left
+        if right > left:
+            best = right
+        values[s] = (reward + best * 9 // 10)
+        s += 1
+    sweep += 1
+total = 0
+s = 0
+while s < 60:
+    total += values[s]
+    s += 1
+print(total)
+)PY",
+        "",
+        "bm_mdp: value-iteration MDP; dict lookups per state transition "
+        "(Table III 16.8% in ll_call_lookup_function)",
+        300, ""});
+
+    out.push_back({
+        "eparse", "pypy",
+        R"PY(
+def tokenize_expr(text):
+    toks = []
+    cur = []
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c == "+" or c == "*" or c == "(" or c == ")":
+            if len(cur) > 0:
+                toks.append("".join(cur))
+                cur = []
+            toks.append(c)
+        elif c == " ":
+            if len(cur) > 0:
+                toks.append("".join(cur))
+                cur = []
+        else:
+            cur.append(c)
+        i += 1
+    if len(cur) > 0:
+        toks.append("".join(cur))
+    return toks
+
+total = 0
+n = 0
+while n < {N}:
+    expr = "(a" + str(n) + " + b) * (c + d" + str(n % 7) + ") + x"
+    toks = tokenize_expr(expr)
+    total += len(toks)
+    total += len(" ".join(toks))
+    n += 1
+print(total)
+)PY",
+        "",
+        "eparse: expression tokenizer; rstr.ll_join 12.3% (Table III), "
+        "char-at-a-time string scanning",
+        420, ""});
+
+    out.push_back({
+        "genshi_xml", "pypy",
+        R"PY(
+def escape(s):
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(
+        ">", "&gt;")
+
+def emit(tag, text, buf):
+    buf.append("<")
+    buf.append(tag)
+    buf.append(">")
+    buf.append(escape(text))
+    buf.append("</")
+    buf.append(tag)
+    buf.append(">")
+
+buf = []
+i = 0
+while i < {N}:
+    emit("item", "value <" + str(i) + "> & more", buf)
+    if i % 8 == 0:
+        emit("group", "hdr" + str(i), buf)
+    i += 1
+doc = "".join(buf)
+print(len(doc))
+)PY",
+        "",
+        "genshi_xml: XML stream generation; dict-lookup + replace mix "
+        "(Table III 12.4%)",
+        800, ""});
+
+    out.push_back({
+        "html5lib", "pypy",
+        R"PY(
+table = []
+i = 0
+while i < 256:
+    table.append(chr(i))
+    i += 1
+i = ord("A")
+while i <= ord("Z"):
+    table[i] = chr(i + 32)
+    i += 1
+lower_table = "".join(table)
+
+def tokenize(html, counts):
+    pos = 0
+    tags = 0
+    while True:
+        lt = html.find("<", pos)
+        if lt < 0:
+            break
+        gt = html.find(">", lt)
+        if gt < 0:
+            break
+        tags += 1
+        pos = gt + 1
+    return tags
+
+doc_parts = []
+i = 0
+while i < {N}:
+    doc_parts.append("<DIV Class='x'>Text " + str(i) + "</DIV>")
+    i += 1
+doc = "".join(doc_parts)
+total = tokenize(doc, {}) + len(doc)
+print(total)
+)PY",
+        "",
+        "html5lib: HTML tokenizer; descr_translate + ll_find_char "
+        "(Table III 13.1%)",
+        700, ""});
+
+    out.push_back({
+        "sympy_str", "pypy",
+        R"PY(
+class Sym:
+    def __init__(self, kind, name, left, right):
+        self.kind = kind
+        self.name = name
+        self.left = left
+        self.right = right
+
+    def tostr(self):
+        if self.kind == 0:
+            return self.name
+        if self.kind == 1:
+            return "(" + self.left.tostr() + " + " + self.right.tostr() + ")"
+        if self.kind == 2:
+            return "(" + self.left.tostr() + "*" + self.right.tostr() + ")"
+        return "?"
+
+def var(n):
+    return Sym(0, n, None, None)
+
+def add(a, b):
+    return Sym(1, "", a, b)
+
+def mul(a, b):
+    return Sym(2, "", a, b)
+
+total = 0
+i = 0
+while i < {N}:
+    e = var("x")
+    k = 0
+    while k < 12:
+        if k % 3 == 0:
+            e = add(e, var("y" + str(k)))
+        elif k % 3 == 1:
+            e = mul(e, var("z"))
+        else:
+            e = add(mul(e, var("w")), e)
+        k += 1
+    total += len(e.tostr())
+    i += 1
+print(total)
+)PY",
+        "",
+        "sympy_str: symbolic expression stringification; deep branchy "
+        "trees, many equally-used traces (Fig 6b high end), heavy "
+        "interpreter share (Fig 2)",
+        55, ""});
+
+    out.push_back({
+        "sympy_integrate", "pypy",
+        R"PY(
+class Node:
+    def __init__(self, kind, val, a, b):
+        self.kind = kind
+        self.val = val
+        self.a = a
+        self.b = b
+
+def num(v):
+    return Node(0, v, None, None)
+
+def x():
+    return Node(1, 0, None, None)
+
+def plus(a, b):
+    return Node(2, 0, a, b)
+
+def times(a, b):
+    return Node(3, 0, a, b)
+
+def power(a, n):
+    return Node(4, n, a, None)
+
+def integrate(e):
+    if e.kind == 0:
+        return times(num(e.val), x())
+    if e.kind == 1:
+        return times(num(1), power(x(), 2))
+    if e.kind == 2:
+        return plus(integrate(e.a), integrate(e.b))
+    if e.kind == 3:
+        if e.a.kind == 0:
+            return times(e.a, integrate(e.b))
+        return plus(integrate(e.a), integrate(e.b))
+    if e.kind == 4:
+        return power(x(), e.val + 1)
+    return e
+
+def size(e):
+    if e is None:
+        return 0
+    n = 1
+    if e.a is not None:
+        n += size(e.a)
+    if e.b is not None:
+        n += size(e.b)
+    return n
+
+total = 0
+i = 0
+while i < {N}:
+    e = plus(times(num(3), power(x(), i % 5)),
+             plus(x(), num(i % 11)))
+    k = 0
+    while k < 4:
+        e = integrate(e)
+        k += 1
+    total += size(e)
+    i += 1
+print(total)
+)PY",
+        "",
+        "sympy_integrate: symbolic integration; the largest compiled-IR "
+        "count in Fig 6a (branchy, trace explosion)",
+        220, ""});
+
+    out.push_back({
+        "twisted_iteration", "pypy",
+        R"PY(
+class Deferred:
+    def __init__(self):
+        self.callbacks = []
+        self.result = None
+    def addCallback(self, fn_id):
+        self.callbacks.append(fn_id)
+    def fire(self, value):
+        self.result = value
+        for fn_id in self.callbacks:
+            if fn_id == 0:
+                self.result = self.result + 1
+            elif fn_id == 1:
+                self.result = self.result * 2 % 1000003
+            else:
+                self.result = self.result - 3
+        return self.result
+
+total = 0
+i = 0
+while i < {N}:
+    d = Deferred()
+    d.addCallback(i % 3)
+    d.addCallback((i + 1) % 3)
+    d.addCallback(2)
+    total = (total + d.fire(i)) % 1000000007
+    i += 1
+print(total)
+)PY",
+        "",
+        "twisted_iteration: reactor callback chains; small objects + "
+        "list iteration per event (Table I 15x)",
+        1200, ""});
+
+    out.push_back({
+        "twisted_tcp", "pypy",
+        R"PY(
+chunks = []
+i = 0
+while i < 40:
+    chunks.append("payload-" + str(i) + "-" + "x" * (i % 17 + 8))
+    i += 1
+
+total = 0
+round = 0
+while round < {N}:
+    buffer = []
+    size = 0
+    k = 0
+    while k < len(chunks):
+        c = chunks[(k + round) % len(chunks)]
+        buffer.append(c)
+        size += len(c)
+        if size > 512:
+            sent = "".join(buffer)
+            total += len(sent)
+            buffer = []
+            size = 0
+        k += 1
+    if len(buffer) > 0:
+        total += len("".join(buffer))
+    round += 1
+print(total)
+)PY",
+        "",
+        "twisted_tcp: socket write buffering; memcpy-analog join "
+        "traffic (Table III: C memcpy 16.6%)",
+        260, ""});
+
+    return out;
+}
+
+} // namespace workloads
+} // namespace xlvm

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * PyPy-suite workloads, part C: search/solver, bignum, and
+ * data-structure-intensive benchmarks.
+ */
+
+#include "workloads/suites.h"
+
+namespace xlvm {
+namespace workloads {
+
+std::vector<Workload>
+pypySuiteC()
+{
+    std::vector<Workload> out;
+
+    out.push_back({
+        "hexiom2", "pypy",
+        R"PY(
+def neighbors(cell, width):
+    out = []
+    if cell % width > 0:
+        out.append(cell - 1)
+    if cell % width < width - 1:
+        out.append(cell + 1)
+    if cell >= width:
+        out.append(cell - width)
+    return out
+
+def solve(board, targets, pos, width, depth):
+    if depth == 0 or pos >= len(board):
+        score = 0
+        i = 0
+        while i < len(board):
+            n = 0
+            for nb in neighbors(i, width):
+                n += board[nb]
+            if n == targets[i]:
+                score += 1
+            i += 1
+        return score
+    best = 0
+    v = 0
+    while v < 2:
+        board[pos] = v
+        s = solve(board, targets, pos + 1, width, depth - 1)
+        if s > best:
+            best = s
+        v += 1
+    board[pos] = 0
+    return best
+
+width = 4
+board = []
+targets = []
+i = 0
+while i < width * width:
+    board.append(0)
+    targets.append(i * 7 % 3)
+    i += 1
+total = 0
+r = 0
+while r < {N}:
+    total += solve(board, targets, 0, width, 9)
+    r += 1
+print(total)
+)PY",
+        "",
+        "hexiom2: puzzle solver; deep recursion, int-list "
+        "IntegerListStrategy.safe_find-style scans (Table III 10.8%)",
+        10, ""});
+
+    out.push_back({
+        "meteor_contest", "pypy",
+        R"PY(
+masks = []
+i = 0
+while i < 40:
+    s = set()
+    k = 0
+    while k < 6:
+        s.add((i * 5 + k * 3) % 50)
+        k += 1
+    masks.append(s)
+    i += 1
+
+free = set()
+i = 0
+while i < 50:
+    free.add(i)
+    i += 1
+
+solutions = 0
+r = 0
+while r < {N}:
+    i = 0
+    while i < len(masks):
+        m = masks[i]
+        if m.issubset(free):
+            remaining = free.difference(m)
+            j = i + 1
+            while j < len(masks):
+                if masks[j].issubset(remaining):
+                    solutions += 1
+                j += 1
+        i += 1
+    r += 1
+print(solutions)
+)PY",
+        "",
+        "meteor_contest: piece placement; BytesSetStrategy.difference/"
+        "issubset dominate (Table III 35.4% + 22.2%)",
+        25, ""});
+
+    out.push_back({
+        "fannkuch", "pypy",
+        R"PY(
+def fannkuch(n):
+    perm1 = []
+    i = 0
+    while i < n:
+        perm1.append(i)
+        i += 1
+    count = []
+    i = 0
+    while i < n:
+        count.append(0)
+        i += 1
+    maxFlips = 0
+    checksum = 0
+    r = n
+    sign = 1
+    while True:
+        if perm1[0] != 0:
+            perm = perm1[0:n]
+            flips = 0
+            k = perm[0]
+            while k != 0:
+                sub = perm[0:k + 1]
+                sub.reverse()
+                perm[0:k + 1] = sub
+                flips += 1
+                k = perm[0]
+            if flips > maxFlips:
+                maxFlips = flips
+            checksum += sign * flips
+        sign = 0 - sign
+        r = 1
+        while True:
+            if r == n:
+                return maxFlips * 100000 + checksum % 100000
+            first = perm1[0]
+            i = 0
+            while i < r:
+                perm1[i] = perm1[i + 1]
+                i += 1
+            perm1[r] = first
+            count[r] += 1
+            if count[r] <= r:
+                break
+            count[r] = 0
+            r += 1
+
+print(fannkuch({N}))
+)PY",
+        "",
+        "fannkuch: pancake flipping; IntegerListStrategy.setslice + "
+        "fill_in_with_sliced (Table III 20.0% + 15.9%)",
+        7, ""});
+
+    out.push_back({
+        "pidigits", "pypy",
+        R"PY(
+def pi_digits(n):
+    q = 1
+    r = 0
+    t = 1
+    k = 1
+    digits = 0
+    out = 0
+    while digits < n:
+        if 4 * q + r - t < (1 + 2 * q + r) // t * t:
+            out = (out * 10 + (3 * q + r) // t) % 1000000007
+            nr = 10 * (r - (3 * q + r) // t * t)
+            q = 10 * q
+            r = nr
+            digits += 1
+        else:
+            nr = (2 * q + r) * (2 * k + 1)
+            nt = t * (2 * k + 1)
+            q = q * k
+            r = nr
+            t = nt
+            k += 1
+    return out
+
+print(pi_digits({N}))
+)PY",
+        "",
+        "pidigits: spigot with unbounded integers; rbigint.add/divmod/"
+        "mul dominate as AOT calls (Table III 36.1%+33.2%+...)",
+        130, ""});
+
+    out.push_back({
+        "pyflate_fast", "pypy",
+        R"PY(
+class BitReader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+        self.bit = 0
+        self.cur = 0
+
+    def readbit(self):
+        if self.bit == 0:
+            self.cur = ord(self.data[self.pos])
+            self.pos += 1
+            self.bit = 8
+        b = self.cur & 1
+        self.cur = self.cur >> 1
+        self.bit -= 1
+        return b
+
+    def readbits(self, n):
+        v = 0
+        i = 0
+        while i < n:
+            v = v | (self.readbit() << i)
+            i += 1
+        return v
+
+data_parts = []
+i = 0
+while i < 120:
+    data_parts.append(chr((i * 37 + 11) % 256))
+    i += 1
+data = "".join(data_parts)
+
+total = 0
+r = 0
+while r < {N}:
+    br = BitReader(data)
+    symbols = []
+    while br.pos < len(br.data) - 2:
+        symbols.append(br.readbits(3 + r % 3))
+    total += len(symbols) + symbols[0]
+    r += 1
+print(total)
+)PY",
+        "",
+        "pyflate-fast: bit-stream decoding; strgetitem + shifts + "
+        "BytesListStrategy appends (Table III ll_find_char/setslice)",
+        90, ""});
+
+    out.push_back({
+        "spambayes", "pypy",
+        R"PY(
+ham_counts = {}
+spam_counts = {}
+
+def train(words, counts):
+    for w in words:
+        c = counts.get(w, 0)
+        counts[w] = c + 1
+
+def score(words):
+    p = 1.0
+    for w in words:
+        h = ham_counts.get(w, 0) + 1
+        s = spam_counts.get(w, 0) + 1
+        p = p * (s * 1.0 / (h + s))
+        if p < 0.000001:
+            p = p * 1000000.0
+    return p
+
+vocab = []
+i = 0
+while i < 80:
+    vocab.append("word" + str(i))
+    i += 1
+
+i = 0
+while i < {N}:
+    msg = []
+    k = 0
+    while k < 12:
+        msg.append(vocab[(i * 7 + k * 3) % 80])
+        k += 1
+    if i % 3 == 0:
+        train(msg, spam_counts)
+    else:
+        train(msg, ham_counts)
+    i += 1
+
+spammy = 0
+i = 0
+while i < {N}:
+    msg = []
+    k = 0
+    while k < 12:
+        msg.append(vocab[(i * 11 + k) % 80])
+        k += 1
+    if score(msg) < 0.5:
+        spammy += 1
+    i += 1
+print(spammy)
+)PY",
+        "",
+        "spambayes: Bayesian token scoring; string-keyed dict lookups "
+        "+ float products (dict-lookup bound per Table III)",
+        280, ""});
+
+    out.push_back({
+        "go", "pypy",
+        R"PY(
+SIZE = 9
+
+def flood(board, pos, color, seen):
+    stack = [pos]
+    group = []
+    libs = 0
+    while len(stack) > 0:
+        p = stack.pop()
+        if p in seen:
+            continue
+        seen.add(p)
+        group.append(p)
+        for d in [0 - 1, 1, 0 - SIZE, SIZE]:
+            q = p + d
+            if q < 0 or q >= SIZE * SIZE:
+                continue
+            v = board[q]
+            if v == 0:
+                libs += 1
+            elif v == color and q not in seen:
+                stack.append(q)
+    return libs + len(group)
+
+board = []
+i = 0
+while i < SIZE * SIZE:
+    board.append(i * 7 % 3)
+    i += 1
+
+total = 0
+r = 0
+while r < {N}:
+    p = 0
+    while p < SIZE * SIZE:
+        if board[p] != 0:
+            total += flood(board, p, board[p], set())
+        p += 1
+    board[r % (SIZE * SIZE)] = (board[r % (SIZE * SIZE)] + 1) % 3
+    r += 1
+print(total)
+)PY",
+        "",
+        "go: Monte-Carlo Go helper; set membership + int-list board "
+        "scans, branchy flood fill",
+        30, ""});
+
+    return out;
+}
+
+} // namespace workloads
+} // namespace xlvm

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Internal: per-part suite constructors assembled by workloads.cc.
+ */
+
+#ifndef XLVM_WORKLOADS_SUITES_H
+#define XLVM_WORKLOADS_SUITES_H
+
+#include "workloads/workloads.h"
+
+namespace xlvm {
+namespace workloads {
+
+std::vector<Workload> pypySuiteA();
+std::vector<Workload> pypySuiteB();
+std::vector<Workload> pypySuiteC();
+std::vector<Workload> clbgPart();
+void attachRktSources(std::vector<Workload> &clbg);
+
+} // namespace workloads
+} // namespace xlvm
+
+#endif // XLVM_WORKLOADS_SUITES_H

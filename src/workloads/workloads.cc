@@ -1,0 +1,104 @@
+#include "workloads/workloads.h"
+
+#include "common/logging.h"
+#include "workloads/suites.h"
+
+namespace xlvm {
+namespace workloads {
+
+namespace {
+
+std::vector<Workload>
+buildPypy()
+{
+    std::vector<Workload> all;
+    for (auto &part : {pypySuiteA(), pypySuiteB(), pypySuiteC()}) {
+        for (const Workload &w : part)
+            all.push_back(w);
+    }
+    return all;
+}
+
+/** Find a workload by name in a list. */
+const Workload *
+findIn(const std::vector<Workload> &ws, const std::string &name)
+{
+    for (const Workload &w : ws) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+std::vector<Workload>
+buildClbg()
+{
+    std::vector<Workload> all = clbgPart();
+    // Benchmarks shared with the PyPy suite reuse those sources under
+    // their CLBG names.
+    const std::vector<Workload> &py = pypySuite();
+    struct Alias
+    {
+        const char *clbgName;
+        const char *pypyName;
+    };
+    const Alias aliases[] = {
+        {"fannkuchredux", "fannkuch"},
+        {"nbody", "nbody_modified"},
+        {"pidigits", "pidigits"},
+        {"spectralnorm", "spectral_norm"},
+        {"meteor", "meteor_contest"},
+    };
+    for (const Alias &a : aliases) {
+        const Workload *src = findIn(py, a.pypyName);
+        XLVM_ASSERT(src, "missing alias source ", a.pypyName);
+        Workload w = *src;
+        w.name = a.clbgName;
+        w.suite = "clbg";
+        all.push_back(std::move(w));
+    }
+    attachRktSources(all);
+    return all;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+pypySuite()
+{
+    static const std::vector<Workload> suite = buildPypy();
+    return suite;
+}
+
+const std::vector<Workload> &
+clbgSuite()
+{
+    static const std::vector<Workload> suite = buildClbg();
+    return suite;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    if (const Workload *w = findIn(pypySuite(), name))
+        return w;
+    return findIn(clbgSuite(), name);
+}
+
+std::string
+instantiate(const Workload &w, int64_t scale)
+{
+    if (scale <= 0)
+        scale = w.defaultScale;
+    std::string out = w.source;
+    std::string n = std::to_string(scale);
+    size_t pos = 0;
+    while ((pos = out.find("{N}", pos)) != std::string::npos) {
+        out.replace(pos, 3, n);
+        pos += n.size();
+    }
+    return out;
+}
+
+} // namespace workloads
+} // namespace xlvm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Benchmark workload registry.
+ *
+ * Each workload is a miniature of a PyPy-Benchmark-Suite or CLBG entry,
+ * written in MiniPy (and, for CLBG, also MiniRkt) to exercise the same
+ * dominant mechanism the paper attributes to the original: pidigits →
+ * rbigint AOT calls, richards → guard-heavy polymorphic dispatch,
+ * binarytrees → GC pressure, spitfire → string building, and so on.
+ * The `models` string documents the correspondence per workload.
+ */
+
+#ifndef XLVM_WORKLOADS_WORKLOADS_H
+#define XLVM_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace xlvm {
+namespace workloads {
+
+struct Workload
+{
+    std::string name;
+    std::string suite; ///< "pypy" or "clbg"
+    std::string source; ///< MiniPy source (with optional {N} placeholder)
+    std::string rktSource; ///< MiniRkt source (CLBG only)
+    std::string models; ///< which original benchmark + mechanism
+    int64_t defaultScale = 0; ///< substituted for {N}
+    /** Expected final print line (sanity check), empty if data-dependent */
+    std::string expect;
+};
+
+/** Table I / Figures 2-9 workloads (PyPy Benchmark Suite analogs). */
+const std::vector<Workload> &pypySuite();
+
+/** Table II / Figure 4 workloads (CLBG analogs). */
+const std::vector<Workload> &clbgSuite();
+
+const Workload *findWorkload(const std::string &name);
+
+/** Substitute the {N} scale placeholder. */
+std::string instantiate(const Workload &w, int64_t scale = 0);
+
+} // namespace workloads
+} // namespace xlvm
+
+#endif // XLVM_WORKLOADS_WORKLOADS_H

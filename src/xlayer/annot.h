@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cross-layer annotation tag vocabulary.
+ *
+ * An annotation is a (tag, payload) pair carried by a sim::InstClass::Annot
+ * instruction — the analog of the paper's x86 `nop` with a unique address
+ * serving as the tag. Annotations are *inserted* at higher layers
+ * (application, interpreter dispatch loop, JIT framework, IR lowering) and
+ * *collected* at the instruction layer by the AnnotationBus, the analog of
+ * the custom PinTool.
+ */
+
+#ifndef XLVM_XLAYER_ANNOT_H
+#define XLVM_XLAYER_ANNOT_H
+
+#include <cstdint>
+
+namespace xlvm {
+namespace xlayer {
+
+enum AnnotTag : uint32_t
+{
+    /** Framework level: phase transitions. payload = Phase. */
+    kPhaseEnter = 1,
+    kPhaseExit = 2,
+
+    /**
+     * Interpreter level: beginning of one dispatch-loop iteration.
+     * payload = opcode. This is the paper's unit of "work" that stays
+     * valid across interpreter, tracing, and JIT execution.
+     */
+    kDispatch = 3,
+
+    /** Framework level: JIT compilation lifecycle. payload = trace id. */
+    kLoopCompiled = 4,
+    kBridgeCompiled = 5,
+    kTraceAborted = 6,
+
+    /** Framework level: trace execution entry/exit. payload = trace id. */
+    kTraceEnter = 7,
+    kTraceLeave = 8,
+
+    /** Framework level: deoptimization. payload = guard id. */
+    kDeopt = 9,
+
+    /** Framework level: GC events. payload = collection ordinal. */
+    kGcMinor = 10,
+    kGcMajor = 11,
+
+    /**
+     * Runtime level: AOT-compiled function entry/exit.
+     * payload = AOT function id.
+     */
+    kAotEnter = 12,
+    kAotExit = 13,
+
+    /**
+     * JIT-IR level: emitted when the lowered code of one IR node begins
+     * executing. payload = global IR node id.
+     */
+    kIrNode = 14,
+
+    /** Application level: user-defined event. payload = event id. */
+    kAppEvent = 15,
+};
+
+} // namespace xlayer
+} // namespace xlvm
+
+#endif // XLVM_XLAYER_ANNOT_H

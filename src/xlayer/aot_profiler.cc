@@ -1,0 +1,63 @@
+#include "xlayer/aot_profiler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "xlayer/annot.h"
+
+namespace xlvm {
+namespace xlayer {
+
+AotCallProfiler::AotCallProfiler(AnnotationBus &bus) : bus_(bus)
+{
+    bus_.addListener(this);
+}
+
+AotCallProfiler::~AotCallProfiler()
+{
+    bus_.removeListener(this);
+}
+
+void
+AotCallProfiler::onAnnot(uint32_t tag, uint32_t payload)
+{
+    if (tag == kAotEnter) {
+        active.emplace_back(payload, bus_.core().totalCycles());
+        ++nCalls;
+    } else if (tag == kAotExit) {
+        XLVM_ASSERT(!active.empty(), "AOT exit without enter");
+        XLVM_ASSERT(active.back().first == payload,
+                    "mismatched AOT exit, fn ", payload);
+        auto [fn, entry_cycles] = active.back();
+        active.pop_back();
+        // Attribute to the outermost entry point only.
+        if (active.empty()) {
+            if (fn >= perFn.size())
+                perFn.resize(fn + 1);
+            perFn[fn].fnId = fn;
+            ++perFn[fn].calls;
+            perFn[fn].cycles += bus_.core().totalCycles() - entry_cycles;
+        }
+    }
+}
+
+std::vector<AotFunctionStats>
+AotCallProfiler::significantFunctions(double min_share) const
+{
+    double total = bus_.core().totalCycles();
+    std::vector<AotFunctionStats> out;
+    for (const auto &f : perFn) {
+        if (f.calls == 0)
+            continue;
+        if (total <= 0 || f.cycles / total >= min_share)
+            out.push_back(f);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const AotFunctionStats &a, const AotFunctionStats &b) {
+                  return a.cycles > b.cycles;
+              });
+    return out;
+}
+
+} // namespace xlayer
+} // namespace xlvm

@@ -1,0 +1,53 @@
+#include "xlayer/event_profiler.h"
+
+#include "xlayer/annot.h"
+
+namespace xlvm {
+namespace xlayer {
+
+EventProfiler::EventProfiler(AnnotationBus &bus) : bus_(bus)
+{
+    bus_.addListener(this);
+}
+
+EventProfiler::~EventProfiler()
+{
+    bus_.removeListener(this);
+}
+
+void
+EventProfiler::onAnnot(uint32_t tag, uint32_t payload)
+{
+    (void)payload;
+    switch (tag) {
+      case kLoopCompiled:
+        ++loopsCompiled;
+        break;
+      case kBridgeCompiled:
+        ++bridgesCompiled;
+        break;
+      case kTraceAborted:
+        ++tracesAborted;
+        break;
+      case kTraceEnter:
+        ++traceEnters;
+        break;
+      case kDeopt:
+        ++deopts;
+        break;
+      case kGcMinor:
+        ++gcMinor;
+        break;
+      case kGcMajor:
+        ++gcMajor;
+        break;
+      case kAppEvent:
+        ++appEvents;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace xlayer
+} // namespace xlvm

@@ -1,0 +1,30 @@
+#include "xlayer/irnode_profiler.h"
+
+#include "xlayer/annot.h"
+
+namespace xlvm {
+namespace xlayer {
+
+IrNodeProfiler::IrNodeProfiler(AnnotationBus &bus) : bus_(bus)
+{
+    bus_.addListener(this);
+}
+
+IrNodeProfiler::~IrNodeProfiler()
+{
+    bus_.removeListener(this);
+}
+
+void
+IrNodeProfiler::onAnnot(uint32_t tag, uint32_t payload)
+{
+    if (tag != kIrNode)
+        return;
+    if (payload >= counts.size())
+        counts.resize(payload + 1024, 0);
+    ++counts[payload];
+    ++total;
+}
+
+} // namespace xlayer
+} // namespace xlvm

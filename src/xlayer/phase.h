@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Execution phases of a meta-tracing JIT VM (Section V-B of the paper).
+ */
+
+#ifndef XLVM_XLAYER_PHASE_H
+#define XLVM_XLAYER_PHASE_H
+
+#include <cstdint>
+
+namespace xlvm {
+namespace xlayer {
+
+/**
+ * The six phases the paper's framework-level characterization teases
+ * apart, plus Native for statically compiled baseline runs. Phase values
+ * double as sim::Core counter-bucket indices.
+ */
+enum class Phase : uint8_t
+{
+    Interpreter = 0, ///< bytecode/AST interpretation
+    Tracing,         ///< meta-interpreter recording + optimizing a trace
+    Jit,             ///< executing JIT-compiled trace code
+    JitCall,         ///< AOT-compiled runtime functions called from traces
+    Gc,              ///< minor/major garbage collection
+    Blackhole,       ///< deoptimization via the blackhole interpreter
+    Native,          ///< statically compiled baseline execution
+    NumPhases
+};
+
+constexpr uint32_t kNumPhases = static_cast<uint32_t>(Phase::NumPhases);
+
+/** Short display name for a phase. */
+inline const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Interpreter:
+        return "interp";
+      case Phase::Tracing:
+        return "tracing";
+      case Phase::Jit:
+        return "jit";
+      case Phase::JitCall:
+        return "jit-call";
+      case Phase::Gc:
+        return "gc";
+      case Phase::Blackhole:
+        return "blackhole";
+      case Phase::Native:
+        return "native";
+      default:
+        return "?";
+    }
+}
+
+} // namespace xlayer
+} // namespace xlvm
+
+#endif // XLVM_XLAYER_PHASE_H

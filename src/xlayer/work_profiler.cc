@@ -1,0 +1,66 @@
+#include "xlayer/work_profiler.h"
+
+#include "xlayer/annot.h"
+
+namespace xlvm {
+namespace xlayer {
+
+WorkRateProfiler::WorkRateProfiler(AnnotationBus &bus,
+                                   uint64_t sample_instrs)
+    : bus_(bus), sampleInstrs(sample_instrs), nextSample(sample_instrs)
+{
+    bus_.addListener(this);
+}
+
+WorkRateProfiler::~WorkRateProfiler()
+{
+    bus_.removeListener(this);
+}
+
+void
+WorkRateProfiler::takeSample()
+{
+    WorkSample s;
+    s.instructions = bus_.core().totalInstructions();
+    s.cycles = bus_.core().totalCycles();
+    s.work = work;
+    samples_.push_back(s);
+}
+
+void
+WorkRateProfiler::onAnnot(uint32_t tag, uint32_t payload)
+{
+    if (tag != kDispatch)
+        return;
+    ++work;
+    if (payload >= opcodes.size())
+        opcodes.resize(payload + 1, 0);
+    ++opcodes[payload];
+    if (bus_.core().totalInstructions() >= nextSample) {
+        takeSample();
+        nextSample += sampleInstrs;
+    }
+}
+
+void
+WorkRateProfiler::finalize()
+{
+    takeSample();
+}
+
+uint64_t
+breakEvenInstructions(const std::vector<WorkSample> &curve,
+                      double baseline_work_per_instr)
+{
+    if (baseline_work_per_instr <= 0.0)
+        return 0;
+    for (const WorkSample &s : curve) {
+        double baseline_work = baseline_work_per_instr * s.instructions;
+        if (double(s.work) >= baseline_work)
+            return s.instructions;
+    }
+    return UINT64_MAX;
+}
+
+} // namespace xlayer
+} // namespace xlvm

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace xlvm {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng r(11);
+    int buckets[10] = {};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[r.nextBelow(10)];
+    for (int b : buckets) {
+        EXPECT_GT(b, n / 10 - n / 50);
+        EXPECT_LT(b, n / 10 + n / 50);
+    }
+}
+
+TEST(RunningStat, Basics)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(3.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.minimum(), 1.0);
+    EXPECT_DOUBLE_EQ(s.maximum(), 3.0);
+    EXPECT_NEAR(s.stddev(), 0.8165, 1e-3);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleValueHasZeroStddev)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(RunningStat, Reset)
+{
+    RunningStat s;
+    s.add(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.total(), 0.0);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Format, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(1.2345, 2), "1.23");
+    EXPECT_EQ(formatFixed(0.5, 0), "0"); // banker-ish rounding via printf
+}
+
+TEST(Format, FormatCount)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+} // namespace
+} // namespace xlvm

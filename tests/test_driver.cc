@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "driver/runner.h"
+#include "native/clbg_native.h"
+#include "xlayer/phase.h"
+
+namespace xlvm {
+namespace driver {
+namespace {
+
+RunOptions
+opts(const char *name, VmKind vm)
+{
+    RunOptions o;
+    o.workload = name;
+    o.vm = vm;
+    o.scale = 60;
+    o.loopThreshold = 25;
+    o.bridgeThreshold = 12;
+    o.maxInstructions = 200u * 1000 * 1000;
+    return o;
+}
+
+TEST(Runner, ThreeVmsAgreeOnOutput)
+{
+    RunResult cpy = runWorkload(opts("crypto_pyaes", VmKind::CPythonLike));
+    RunResult nojit = runWorkload(opts("crypto_pyaes", VmKind::PyPyNoJit));
+    RunResult jit = runWorkload(opts("crypto_pyaes", VmKind::PyPyJit));
+    EXPECT_TRUE(cpy.completed);
+    EXPECT_EQ(cpy.output, nojit.output);
+    EXPECT_EQ(cpy.output, jit.output);
+    // Table I shape: translated interpreter slower than the C one; JIT
+    // fastest; JIT mispredicts less.
+    EXPECT_GT(nojit.seconds, cpy.seconds);
+    EXPECT_LT(jit.seconds, cpy.seconds);
+    EXPECT_LT(jit.branchMpki, cpy.branchMpki);
+    EXPECT_GT(jit.ipc, nojit.ipc);
+}
+
+TEST(Runner, PhaseSharesSumToOne)
+{
+    RunResult r = runWorkload(opts("richards", VmKind::PyPyJit));
+    double sum = 0;
+    for (double s : r.phaseShares)
+        sum += s;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(r.phaseShares[uint32_t(xlayer::Phase::Jit)], 0.0);
+    EXPECT_GT(r.loopsCompiled, 0u);
+}
+
+TEST(Runner, InterpreterOnlyHasNoJitPhases)
+{
+    RunResult r = runWorkload(opts("richards", VmKind::CPythonLike));
+    EXPECT_EQ(r.loopsCompiled, 0u);
+    EXPECT_EQ(r.phaseShares[uint32_t(xlayer::Phase::Jit)], 0.0);
+    EXPECT_EQ(r.phaseShares[uint32_t(xlayer::Phase::Tracing)], 0.0);
+    EXPECT_GT(r.work, 0u);
+}
+
+TEST(Runner, IrAnnotationsPopulateCounts)
+{
+    RunOptions o = opts("crypto_pyaes", VmKind::PyPyJit);
+    o.irAnnotations = true;
+    RunResult r = runWorkload(o);
+    EXPECT_GT(r.irNodesCompiled, 0u);
+    ASSERT_EQ(r.irExecCounts.size(), r.irNodeMeta.size());
+    uint64_t total = 0;
+    for (uint64_t c : r.irExecCounts)
+        total += c;
+    EXPECT_GT(total, 0u);
+}
+
+TEST(Runner, AblationVirtualizeIncreasesGc)
+{
+    RunOptions full = opts("chaos", VmKind::PyPyJit);
+    full.scale = 3000;
+    RunOptions noVirt = full;
+    noVirt.optVirtualize = false;
+    RunResult a = runWorkload(full);
+    RunResult b = runWorkload(noVirt);
+    EXPECT_EQ(a.output, b.output);
+    // Escape analysis removes boxing allocations; disabling it must
+    // produce at least as many minor collections and more cycles.
+    EXPECT_GE(b.gcMinor, a.gcMinor);
+    EXPECT_GT(b.cycles, a.cycles);
+}
+
+TEST(Runner, RktRunnerAgreesAcrossVms)
+{
+    RunOptions o = opts("mandelbrot", VmKind::PycketJit);
+    RunResult pycket = runRktWorkload(o);
+    o.vm = VmKind::RacketLike;
+    RunResult racket = runRktWorkload(o);
+    EXPECT_TRUE(pycket.completed);
+    EXPECT_EQ(pycket.output, racket.output);
+    EXPECT_GT(pycket.loopsCompiled, 0u);
+    EXPECT_EQ(racket.loopsCompiled, 0u);
+}
+
+TEST(Runner, PythonAndSchemeAgreeOnSharedKernels)
+{
+    // The same CLBG kernel in both languages computes the same result.
+    RunResult py = runWorkload(opts("mandelbrot", VmKind::PyPyJit));
+    RunResult rkt = runRktWorkload(opts("mandelbrot", VmKind::PycketJit));
+    EXPECT_EQ(py.output, rkt.output);
+}
+
+TEST(Native, KernelsRunAndCost)
+{
+    double secs = native::runNative("mandelbrot");
+    ASSERT_GT(secs, 0.0);
+    EXPECT_FALSE(native::lastNativeOutput().empty());
+    // Native must be much faster than the JIT VM on the same kernel.
+    RunResult jit = runWorkload(opts("mandelbrot", VmKind::PyPyJit));
+    jit.output.clear();
+    EXPECT_LT(secs, jit.seconds);
+    EXPECT_LT(native::runNative("no_such"), 0.0);
+}
+
+TEST(Native, MandelbrotOutputMatchesVm)
+{
+    native::runNative("mandelbrot");
+    RunOptions o = opts("mandelbrot", VmKind::PyPyJit);
+    o.scale = 0; // registry scale, same as native
+    RunResult r = runWorkload(o);
+    EXPECT_EQ(native::lastNativeOutput(), r.output);
+}
+
+} // namespace
+} // namespace driver
+} // namespace xlvm

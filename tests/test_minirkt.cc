@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "minipy/interp.h"
+#include "minirkt/compiler.h"
+#include "minirkt/reader.h"
+#include "vm/context.h"
+#include "workloads/workloads.h"
+
+namespace xlvm {
+namespace minirkt {
+namespace {
+
+std::string
+runRkt(const std::string &src, bool jit, uint32_t threshold = 20)
+{
+    vm::VmConfig cfg;
+    cfg.jit.enableJit = jit;
+    cfg.jit.loopThreshold = threshold;
+    cfg.jit.bridgeThreshold = 10;
+    cfg.maxInstructions = 400u * 1000 * 1000;
+    vm::VmContext ctx(cfg);
+    auto prog = compileRkt(src, ctx.space);
+    minipy::Interp interp(ctx, *prog);
+    EXPECT_TRUE(interp.run());
+    return interp.output();
+}
+
+void
+checkAgreement(const std::string &src)
+{
+    std::string off = runRkt(src, false);
+    std::string on = runRkt(src, true);
+    EXPECT_EQ(off, on) << src;
+    EXPECT_FALSE(off.empty());
+}
+
+TEST(Reader, ParsesAtomsAndLists)
+{
+    auto forms = readProgram("(+ 1 2.5 \"ab\" foo) ; comment\n(bar)");
+    ASSERT_EQ(forms.size(), 2u);
+    ASSERT_EQ(forms[0].items.size(), 5u);
+    EXPECT_TRUE(forms[0].items[0].isSym("+"));
+    EXPECT_EQ(forms[0].items[1].intValue, 1);
+    EXPECT_DOUBLE_EQ(forms[0].items[2].floatValue, 2.5);
+    EXPECT_EQ(forms[0].items[3].text, "ab");
+    EXPECT_TRUE(forms[1].items[0].isSym("bar"));
+}
+
+TEST(Reader, QuoteAndNegativeNumbers)
+{
+    auto forms = readProgram("(cons '() -5)");
+    ASSERT_EQ(forms.size(), 1u);
+    EXPECT_TRUE(forms[0].items[1].items[0].isSym("quote"));
+    EXPECT_EQ(forms[0].items[2].intValue, -5);
+}
+
+TEST(Rkt, ArithmeticAndDisplay)
+{
+    EXPECT_EQ(runRkt("(display (+ 1 2 3)) (newline)", false), "6\n");
+    EXPECT_EQ(runRkt("(display (* 2.5 4)) (newline)", false), "10\n");
+    EXPECT_EQ(runRkt("(display (quotient 7 2)) (display (modulo 7 2))",
+                     false),
+              "31");
+}
+
+TEST(Rkt, DefineAndCall)
+{
+    EXPECT_EQ(runRkt("(define (sq x) (* x x))\n"
+                     "(display (sq 9)) (newline)",
+                     false),
+              "81\n");
+}
+
+TEST(Rkt, NamedLetLoop)
+{
+    EXPECT_EQ(runRkt("(define total 0)\n"
+                     "(let loop ((i 0))\n"
+                     "  (if (< i 10)\n"
+                     "      (begin (set! total (+ total i))"
+                     " (loop (+ i 1)))\n"
+                     "      0))\n"
+                     "(display total) (newline)",
+                     false),
+              "45\n");
+}
+
+TEST(Rkt, TailRecursiveDefine)
+{
+    EXPECT_EQ(runRkt("(define (count n acc)\n"
+                     "  (if (= n 0) acc (count (- n 1) (+ acc 1))))\n"
+                     "(display (count 100 0)) (newline)",
+                     false),
+              "100\n");
+}
+
+TEST(Rkt, PairsAndNull)
+{
+    EXPECT_EQ(runRkt("(define p (cons 1 (cons 2 '())))\n"
+                     "(display (car p))\n"
+                     "(display (car (cdr p)))\n"
+                     "(display (null? (cdr (cdr p))))\n",
+                     false),
+              "12True");
+}
+
+TEST(Rkt, VectorsAndHashes)
+{
+    EXPECT_EQ(runRkt("(define v (make-vector 3 7))\n"
+                     "(vector-set! v 1 9)\n"
+                     "(display (+ (vector-ref v 0) (vector-ref v 1)))\n",
+                     false),
+              "16");
+    EXPECT_EQ(runRkt("(define h (make-hash))\n"
+                     "(hash-set! h 5 50)\n"
+                     "(display (hash-ref h 5 0))\n"
+                     "(display (hash-ref h 9 -1))\n",
+                     false),
+              "50-1");
+}
+
+TEST(Rkt, JitAgreementLoop)
+{
+    checkAgreement("(define total 0)\n"
+                   "(let loop ((i 0))\n"
+                   "  (if (< i 500)\n"
+                   "      (begin (set! total (+ total (* i 2)))"
+                   " (loop (+ i 1)))\n"
+                   "      0))\n"
+                   "(display total) (newline)");
+}
+
+TEST(Rkt, JitAgreementTailRecursion)
+{
+    checkAgreement("(define (sum n acc)\n"
+                   "  (if (= n 0) acc (sum (- n 1) (+ acc n))))\n"
+                   "(display (sum 400 0)) (newline)");
+}
+
+TEST(Rkt, JitAgreementConsTree)
+{
+    checkAgreement(
+        "(define (make-tree d)\n"
+        "  (if (= d 0) (cons '() '())\n"
+        "      (cons (make-tree (- d 1)) (make-tree (- d 1)))))\n"
+        "(define (check t)\n"
+        "  (if (null? (car t)) 1\n"
+        "      (+ 1 (check (car t)) (check (cdr t)))))\n"
+        "(define total 0)\n"
+        "(let loop ((i 0))\n"
+        "  (if (< i 30)\n"
+        "      (begin (set! total (+ total (check (make-tree 4))))\n"
+        "             (loop (+ i 1)))\n"
+        "      0))\n"
+        "(display total) (newline)");
+}
+
+class RktWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RktWorkloads, CompilesRunsAndAgrees)
+{
+    // Search the CLBG suite directly: a same-named PyPy-suite workload
+    // (without a Racket translation) would shadow it in findWorkload.
+    const workloads::Workload *w = nullptr;
+    for (const workloads::Workload &c : workloads::clbgSuite()) {
+        if (c.name == GetParam())
+            w = &c;
+    }
+    ASSERT_NE(w, nullptr);
+    ASSERT_FALSE(w->rktSource.empty());
+    workloads::Workload tmp = *w;
+    tmp.source = tmp.rktSource;
+    std::string src =
+        workloads::instantiate(tmp, std::max<int64_t>(
+                                        w->defaultScale / 8, 1));
+    std::string off = runRkt(src, false);
+    std::string on = runRkt(src, true);
+    EXPECT_FALSE(off.empty()) << GetParam();
+    EXPECT_EQ(off, on) << GetParam() << " diverges under JIT";
+}
+
+std::vector<std::string>
+rktNames()
+{
+    std::vector<std::string> out;
+    for (const workloads::Workload &w : workloads::clbgSuite()) {
+        if (!w.rktSource.empty())
+            out.push_back(w.name);
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clbg, RktWorkloads, ::testing::ValuesIn(rktNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace minirkt
+} // namespace xlvm

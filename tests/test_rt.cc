@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "rt/aot_registry.h"
+#include "rt/rbigint.h"
+#include "rt/rbuilder.h"
+#include "rt/rdict.h"
+#include "rt/rstr.h"
+
+namespace xlvm {
+namespace rt {
+namespace {
+
+// ---------------------------------------------------------------- RBigInt
+
+TEST(RBigInt, Int64RoundTrip)
+{
+    for (int64_t v : {int64_t(0), int64_t(1), int64_t(-1), int64_t(12345),
+                      int64_t(-987654321), INT64_MAX, INT64_MIN}) {
+        RBigInt b = RBigInt::fromInt64(v);
+        EXPECT_TRUE(b.fitsInt64());
+        EXPECT_EQ(b.toInt64(), v);
+    }
+}
+
+TEST(RBigInt, DecimalRoundTrip)
+{
+    const char *cases[] = {"0", "1", "-1", "123456789012345678901234567890",
+                           "-99999999999999999999999999"};
+    for (const char *s : cases) {
+        RBigInt b = RBigInt::fromDecimal(s);
+        EXPECT_EQ(b.toDecimal(), s);
+    }
+}
+
+TEST(RBigInt, AddSubAgainstInt128)
+{
+    Rng rng(101);
+    for (int i = 0; i < 2000; ++i) {
+        // Keep operands below 2^62 so sums/differences fit in int64.
+        int64_t a = int64_t(rng.next()) >> (2 + rng.nextBelow(32));
+        int64_t b = int64_t(rng.next()) >> (2 + rng.nextBelow(32));
+        RBigInt ba = RBigInt::fromInt64(a);
+        RBigInt bb = RBigInt::fromInt64(b);
+        EXPECT_EQ(RBigInt::add(ba, bb).toInt64(), a + b)
+            << a << " + " << b;
+        EXPECT_EQ(RBigInt::sub(ba, bb).toInt64(), a - b)
+            << a << " - " << b;
+    }
+}
+
+TEST(RBigInt, MulAgainstInt128)
+{
+    Rng rng(102);
+    for (int i = 0; i < 2000; ++i) {
+        int64_t a = int64_t(rng.next() >> 33) - (1ll << 30);
+        int64_t b = int64_t(rng.next() >> 33) - (1ll << 30);
+        __int128 p = __int128(a) * b;
+        RBigInt bp = RBigInt::mul(RBigInt::fromInt64(a),
+                                  RBigInt::fromInt64(b));
+        // p fits in 64 bits here (31-bit operands).
+        EXPECT_TRUE(bp.fitsInt64());
+        EXPECT_EQ(__int128(bp.toInt64()), p) << a << " * " << b;
+    }
+}
+
+TEST(RBigInt, DivmodFloorSemanticsSmall)
+{
+    // Python floor-division semantics across sign combinations.
+    struct Case
+    {
+        int64_t a, b, q, r;
+    };
+    Case cases[] = {
+        {7, 3, 2, 1},   {-7, 3, -3, 2},  {7, -3, -3, -2},
+        {-7, -3, 2, -1}, {6, 3, 2, 0},   {-6, 3, -2, 0},
+        {0, 5, 0, 0},    {1, 100, 0, 1}, {-1, 100, -1, 99},
+    };
+    for (const Case &c : cases) {
+        RBigInt q, r;
+        RBigInt::divmod(RBigInt::fromInt64(c.a), RBigInt::fromInt64(c.b),
+                        q, r);
+        EXPECT_EQ(q.toInt64(), c.q) << c.a << " // " << c.b;
+        EXPECT_EQ(r.toInt64(), c.r) << c.a << " % " << c.b;
+    }
+}
+
+TEST(RBigInt, DivmodIdentityRandomLarge)
+{
+    Rng rng(103);
+    for (int i = 0; i < 500; ++i) {
+        // Build random multi-digit operands from decimal strings.
+        std::string as, bs;
+        int alen = 1 + rng.nextBelow(40);
+        int blen = 1 + rng.nextBelow(20);
+        for (int k = 0; k < alen; ++k)
+            as.push_back('0' + rng.nextBelow(10));
+        for (int k = 0; k < blen; ++k)
+            bs.push_back('0' + rng.nextBelow(10));
+        RBigInt a = RBigInt::fromDecimal(as);
+        RBigInt b = RBigInt::fromDecimal(bs);
+        if (b.isZero())
+            continue;
+        if (rng.next() & 1)
+            a = a.neg();
+        if (rng.next() & 1)
+            b = b.neg();
+        RBigInt q, r;
+        RBigInt::divmod(a, b, q, r);
+        // a == q*b + r
+        RBigInt recon = RBigInt::add(RBigInt::mul(q, b), r);
+        EXPECT_EQ(RBigInt::compare(recon, a), 0)
+            << as << " / " << bs << " q=" << q.toDecimal()
+            << " r=" << r.toDecimal();
+        // 0 <= |r| < |b| and r has b's sign (or zero)
+        EXPECT_LT(RBigInt::compare(r.abs(), b.abs()), 0);
+        if (!r.isZero()) {
+            EXPECT_EQ(r.sign(), b.sign());
+        }
+    }
+}
+
+TEST(RBigInt, ShiftsMatchMultiplication)
+{
+    RBigInt x = RBigInt::fromDecimal("123456789123456789");
+    RBigInt shifted = x.lshift(37);
+    RBigInt mult = RBigInt::mul(x, RBigInt::pow(RBigInt::fromInt64(2), 37));
+    EXPECT_EQ(RBigInt::compare(shifted, mult), 0);
+    EXPECT_EQ(RBigInt::compare(shifted.rshift(37), x), 0);
+}
+
+TEST(RBigInt, PowMatchesRepeatedMul)
+{
+    RBigInt b = RBigInt::fromInt64(7);
+    RBigInt acc = RBigInt::fromInt64(1);
+    for (int e = 0; e < 30; ++e) {
+        EXPECT_EQ(RBigInt::compare(RBigInt::pow(b, e), acc), 0) << e;
+        acc = RBigInt::mul(acc, b);
+    }
+}
+
+TEST(RBigInt, CompareOrdering)
+{
+    RBigInt neg = RBigInt::fromInt64(-5);
+    RBigInt zero;
+    RBigInt pos = RBigInt::fromInt64(3);
+    RBigInt big = RBigInt::fromDecimal("10000000000000000000000");
+    EXPECT_LT(RBigInt::compare(neg, zero), 0);
+    EXPECT_LT(RBigInt::compare(zero, pos), 0);
+    EXPECT_LT(RBigInt::compare(pos, big), 0);
+    EXPECT_GT(RBigInt::compare(big, neg), 0);
+    EXPECT_EQ(RBigInt::compare(pos, pos), 0);
+}
+
+TEST(RBigInt, CostUnitsScaleWithSize)
+{
+    RBigInt small = RBigInt::fromInt64(42);
+    RBigInt big = RBigInt::pow(RBigInt::fromInt64(10), 500);
+    EXPECT_GT(RBigInt::mulCostUnits(big, big),
+              100 * RBigInt::mulCostUnits(small, small));
+    EXPECT_GT(big.toDecimalCostUnits(), small.toDecimalCostUnits());
+}
+
+// ---------------------------------------------------------------- RStr
+
+TEST(RStr, FindChar)
+{
+    uint64_t c = 0;
+    EXPECT_EQ(findChar("hello", 'l', 0, &c), 2);
+    EXPECT_EQ(findChar("hello", 'l', 3, &c), 3);
+    EXPECT_EQ(findChar("hello", 'z', 0, &c), -1);
+    EXPECT_GT(c, 0u);
+}
+
+TEST(RStr, FindAndReplace)
+{
+    uint64_t c = 0;
+    EXPECT_EQ(find("abcabc", "bc", 0, &c), 1);
+    EXPECT_EQ(find("abcabc", "bc", 2, &c), 4);
+    EXPECT_EQ(find("abcabc", "zz", 0, &c), -1);
+    EXPECT_EQ(replace("a-b-c", "-", "+", &c), "a+b+c");
+    EXPECT_EQ(replace("aaa", "aa", "b", &c), "ba");
+    EXPECT_EQ(replace("abc", "", "x", &c), "abc");
+}
+
+TEST(RStr, JoinSplit)
+{
+    uint64_t c = 0;
+    EXPECT_EQ(join(", ", {"a", "b", "c"}, &c), "a, b, c");
+    EXPECT_EQ(join("", {}, &c), "");
+    auto parts = split("a,b,,c", ',', &c);
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(RStr, HashStableAndSpread)
+{
+    uint64_t c = 0;
+    EXPECT_EQ(strHash("hello", &c), strHash("hello", &c));
+    EXPECT_NE(strHash("hello", &c), strHash("hellp", &c));
+    EXPECT_NE(strHash("", &c), 0u); // never returns 0
+}
+
+TEST(RStr, IntConversions)
+{
+    uint64_t c = 0;
+    EXPECT_EQ(int2dec(-12345, &c), "-12345");
+    int64_t out = 0;
+    EXPECT_TRUE(stringToInt("  42 ", &out, &c));
+    EXPECT_EQ(out, 42);
+    EXPECT_TRUE(stringToInt("-7", &out, &c));
+    EXPECT_EQ(out, -7);
+    EXPECT_FALSE(stringToInt("12x", &out, &c));
+    EXPECT_FALSE(stringToInt("", &out, &c));
+}
+
+TEST(RStr, CaseAndStrip)
+{
+    uint64_t c = 0;
+    EXPECT_EQ(toLower("HeLLo", &c), "hello");
+    EXPECT_EQ(toUpper("HeLLo", &c), "HELLO");
+    EXPECT_EQ(strip("  hi \n", &c), "hi");
+}
+
+TEST(RStr, CountStartsEnds)
+{
+    uint64_t c = 0;
+    EXPECT_EQ(count("abababa", "aba", &c), 2);
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_FALSE(startsWith("hello", "hello!"));
+    EXPECT_TRUE(endsWith("hello", "llo"));
+}
+
+TEST(RStr, TranslateAndJsonEscape)
+{
+    uint64_t c = 0;
+    std::string table;
+    for (int i = 0; i < 256; ++i)
+        table.push_back(char(i));
+    table['a'] = 'A';
+    EXPECT_EQ(translate("banana", table, &c), "bAnAnA");
+    EXPECT_EQ(jsonEscape("a\"b\n", &c), "\"a\\\"b\\n\"");
+}
+
+// ---------------------------------------------------------------- RDict
+
+struct IntTraits
+{
+    static bool equal(int a, int b) { return a == b; }
+};
+
+using IntDict = ROrderedDict<int, int, IntTraits>;
+
+uint64_t
+ihash(int k)
+{
+    return uint64_t(k) * 0x9e3779b97f4a7c15ull;
+}
+
+TEST(RDict, SetGetBasic)
+{
+    IntDict d;
+    EXPECT_TRUE(d.set(1, ihash(1), 100));
+    EXPECT_FALSE(d.set(1, ihash(1), 200)); // update
+    ASSERT_NE(d.get(1, ihash(1)), nullptr);
+    EXPECT_EQ(*d.get(1, ihash(1)), 200);
+    EXPECT_EQ(d.get(2, ihash(2)), nullptr);
+    EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(RDict, GrowthKeepsAllKeys)
+{
+    IntDict d;
+    for (int i = 0; i < 1000; ++i)
+        d.set(i, ihash(i), i * 3);
+    EXPECT_EQ(d.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) {
+        auto *v = d.get(i, ihash(i));
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, i * 3);
+    }
+    EXPECT_GT(d.slotCount(), 1000u);
+}
+
+TEST(RDict, InsertionOrderPreserved)
+{
+    IntDict d;
+    int keys[] = {5, 3, 9, 1};
+    for (int k : keys)
+        d.set(k, ihash(k), k);
+    std::vector<int> seen;
+    for (const auto &e : d.rawEntries()) {
+        if (e.live)
+            seen.push_back(e.key);
+    }
+    EXPECT_EQ(seen, (std::vector<int>{5, 3, 9, 1}));
+}
+
+TEST(RDict, EraseAndCompaction)
+{
+    IntDict d;
+    for (int i = 0; i < 100; ++i)
+        d.set(i, ihash(i), i);
+    for (int i = 0; i < 80; ++i)
+        EXPECT_TRUE(d.erase(i, ihash(i)));
+    EXPECT_FALSE(d.erase(5, ihash(5)));
+    EXPECT_EQ(d.size(), 20u);
+    for (int i = 80; i < 100; ++i)
+        ASSERT_NE(d.get(i, ihash(i)), nullptr) << i;
+    // Compaction kicked in: dense entries shrank.
+    EXPECT_LE(d.rawEntries().size(), 40u);
+}
+
+TEST(RDict, VersionBumpsOnMutation)
+{
+    IntDict d;
+    uint64_t v0 = d.version();
+    d.set(1, ihash(1), 1);
+    uint64_t v1 = d.version();
+    EXPECT_GT(v1, v0);
+    d.set(1, ihash(1), 2); // value update: no new key
+    EXPECT_EQ(d.version(), v1);
+    d.erase(1, ihash(1));
+    EXPECT_GT(d.version(), v1);
+}
+
+TEST(RDict, LookupCostReported)
+{
+    IntDict d;
+    LookupCost cost;
+    d.set(7, ihash(7), 7);
+    d.lookup(7, ihash(7), &cost);
+    EXPECT_GE(cost.probes, 1u);
+    EXPECT_TRUE(cost.keyCompared);
+    d.lookup(1234, ihash(1234), &cost);
+    EXPECT_GE(cost.probes, 1u);
+}
+
+TEST(RDict, CollisionsResolved)
+{
+    // Same hash for all keys: forces probe chains.
+    IntDict d;
+    for (int i = 0; i < 50; ++i)
+        d.set(i, 42, i * 2);
+    for (int i = 0; i < 50; ++i) {
+        auto *v = d.get(i, 42);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, i * 2);
+    }
+    EXPECT_EQ(d.get(99, 42), nullptr);
+}
+
+// ---------------------------------------------------------------- RBuilder
+
+TEST(RBuilder, AppendsAndCosts)
+{
+    RBuilder b;
+    uint64_t c1 = b.append("hello ");
+    uint64_t c2 = b.append("world");
+    b.appendChar('!');
+    EXPECT_EQ(b.view(), "hello world!");
+    EXPECT_GT(c1, 0u);
+    EXPECT_GT(c2, 0u);
+    std::string s = b.take();
+    EXPECT_EQ(s, "hello world!");
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(AotRegistry, AllFunctionsDefined)
+{
+    const AotRegistry &reg = AotRegistry::instance();
+    EXPECT_EQ(reg.size(), size_t(kAotNumFunctions));
+    for (uint32_t i = 0; i < kAotNumFunctions; ++i) {
+        EXPECT_FALSE(reg.fn(i).name.empty()) << i;
+        EXPECT_NE(reg.fn(i).codePc, 0u);
+    }
+}
+
+TEST(AotRegistry, TableIIINamesPresent)
+{
+    const AotRegistry &reg = AotRegistry::instance();
+    EXPECT_EQ(reg.fn(kAotDictLookup).name,
+              "rordereddict.ll_call_lookup_function");
+    EXPECT_EQ(aotSourceTag(reg.fn(kAotDictLookup).source), 'R');
+    EXPECT_EQ(reg.fn(kAotCPow).name, "pow");
+    EXPECT_EQ(aotSourceTag(reg.fn(kAotCPow).source), 'C');
+    EXPECT_EQ(aotSourceTag(reg.fn(kAotListSetslice).source), 'I');
+    EXPECT_EQ(aotSourceTag(reg.fn(kAotJsonEscape).source), 'M');
+    EXPECT_EQ(aotSourceTag(reg.fn(kAotBigIntAdd).source), 'L');
+}
+
+TEST(AotRegistry, DistinctCodeAddresses)
+{
+    const AotRegistry &reg = AotRegistry::instance();
+    for (uint32_t i = 1; i < kAotNumFunctions; ++i)
+        EXPECT_NE(reg.fn(i).codePc, reg.fn(i - 1).codePc);
+}
+
+} // namespace
+} // namespace rt
+} // namespace xlvm

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/branch_pred.h"
+#include "sim/cache.h"
+#include "sim/code_space.h"
+#include "sim/core.h"
+#include "sim/emitter.h"
+
+namespace xlvm {
+namespace sim {
+namespace {
+
+TEST(Cache, HitsAfterFill)
+{
+    Cache c;
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1004)); // same line
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, DistinctLinesMiss)
+{
+    Cache c;
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_FALSE(c.access(0x2000));
+    EXPECT_TRUE(c.access(0x1000));
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 2 sets, 64B lines => 256B cache.
+    CacheParams p;
+    p.sizeBytes = 256;
+    p.lineBytes = 64;
+    p.ways = 2;
+    Cache c(p);
+    // Three lines mapping to set 0 (line addr stride = 2 sets * 64).
+    c.access(0 * 128);
+    c.access(1 * 128);
+    c.access(2 * 128);          // evicts line 0
+    EXPECT_FALSE(c.access(0));  // must miss again
+    EXPECT_TRUE(c.access(256)); // line 2 still resident
+}
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    BranchPredParams p;
+    GsharePredictor g(p);
+    int correct = 0;
+    for (int i = 0; i < 200; ++i)
+        correct += g.predictAndUpdate(0x400000, true);
+    // The first ~historyBits iterations walk fresh PHT entries while the
+    // global history fills with 1s; after that prediction is perfect.
+    EXPECT_GT(correct, 180);
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    BranchPredParams p;
+    GsharePredictor g(p);
+    int correct = 0;
+    for (int i = 0; i < 2000; ++i)
+        correct += g.predictAndUpdate(0x400000, i % 2 == 0);
+    // With history the alternating pattern becomes highly predictable.
+    EXPECT_GT(correct, 1800);
+}
+
+TEST(Indirect, LearnsStableTarget)
+{
+    BranchPredParams p;
+    p.useHistoryForBtb = false;
+    IndirectPredictor ip(p);
+    EXPECT_FALSE(ip.predictAndUpdate(0x400000, 0x500000, 0));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(ip.predictAndUpdate(0x400000, 0x500000, 0));
+}
+
+TEST(Indirect, ChangingTargetsMispredict)
+{
+    BranchPredParams p;
+    p.useHistoryForBtb = false;
+    IndirectPredictor ip(p);
+    int correct = 0;
+    for (int i = 0; i < 100; ++i)
+        correct += ip.predictAndUpdate(0x400000, 0x500000 + (i % 7) * 64, 0);
+    EXPECT_LT(correct, 30);
+}
+
+TEST(ReturnStack, MatchesCallReturn)
+{
+    BranchPredParams p;
+    ReturnStack ras(p);
+    ras.pushCall(0x1004);
+    ras.pushCall(0x2004);
+    EXPECT_TRUE(ras.predictReturn(0x2004));
+    EXPECT_TRUE(ras.predictReturn(0x1004));
+    EXPECT_FALSE(ras.predictReturn(0x3004)); // empty stack
+}
+
+TEST(CodeSpace, SegmentsAreDisjointAndAligned)
+{
+    CodeSpace cs;
+    uint64_t a = cs.alloc(CodeSegment::Interp, 10);
+    uint64_t b = cs.alloc(CodeSegment::Interp, 10);
+    uint64_t r = cs.alloc(CodeSegment::Runtime, 10);
+    uint64_t j = cs.alloc(CodeSegment::JitArena, 10);
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_GE(b, a + 40);
+    EXPECT_GT(r, b);
+    EXPECT_GT(j, r);
+    EXPECT_GT(cs.jitCodeBytes(), 0u);
+}
+
+TEST(Core, CountsInstructionsAndClasses)
+{
+    Core core;
+    BlockEmitter e(core, 0x400000);
+    e.alu(3);
+    e.loadPtr(&core);
+    e.storePtr(&core);
+    e.branch(true);
+    auto t = core.totalCounters();
+    EXPECT_EQ(t.instructions, 6u);
+    EXPECT_EQ(t.loads, 1u);
+    EXPECT_EQ(t.stores, 1u);
+    EXPECT_EQ(t.branches, 1u);
+    EXPECT_EQ(t.condBranches, 1u);
+}
+
+TEST(Core, IpcBoundedByIssueWidth)
+{
+    CoreParams p;
+    p.issueWidth = 4;
+    Core core(p);
+    BlockEmitter e(core, 0x400000);
+    // Re-emit the same block so the icache warms up.
+    for (int i = 0; i < 1000; ++i) {
+        BlockEmitter blk(core, 0x400000);
+        blk.alu(16);
+    }
+    double ipc = core.totalCounters().ipc();
+    EXPECT_LE(ipc, 4.0);
+    EXPECT_GT(ipc, 3.0); // pure ALU should get close to width
+}
+
+TEST(Core, MispredictsCostCycles)
+{
+    Core a, b;
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        BlockEmitter ea(a, 0x400000);
+        ea.branch(true); // predictable
+        BlockEmitter eb(b, 0x400000);
+        eb.branch(rng.next() & 1); // random
+    }
+    EXPECT_LT(a.totalCounters().mpki(), 10.0);
+    EXPECT_GT(b.totalCounters().mpki(), 200.0);
+    EXPECT_LT(a.totalCycles(), b.totalCycles());
+}
+
+TEST(Core, BucketsSeparateCounters)
+{
+    Core core;
+    core.setBucket(0);
+    BlockEmitter e0(core, 0x400000);
+    e0.alu(5);
+    core.setBucket(2);
+    BlockEmitter e2(core, 0x500000);
+    e2.alu(7);
+    EXPECT_EQ(core.bucketCounters(0).instructions, 5u);
+    EXPECT_EQ(core.bucketCounters(2).instructions, 7u);
+    EXPECT_EQ(core.totalInstructions(), 12u);
+}
+
+class RecordingSink : public AnnotSink
+{
+  public:
+    std::vector<std::pair<uint32_t, uint32_t>> seen;
+    void
+    onAnnot(uint32_t tag, uint32_t payload) override
+    {
+        seen.emplace_back(tag, payload);
+    }
+};
+
+TEST(Core, AnnotationsReachSinkAndAreFree)
+{
+    Core core;
+    RecordingSink sink;
+    core.setAnnotSink(&sink);
+    BlockEmitter e(core, 0x400000);
+    e.annot(7, 1234);
+    e.annot(8, 0);
+    ASSERT_EQ(sink.seen.size(), 2u);
+    EXPECT_EQ(sink.seen[0], std::make_pair(7u, 1234u));
+    // Annotations are metadata: not retired instructions, no cycles.
+    EXPECT_EQ(core.totalInstructions(), 0u);
+    EXPECT_EQ(core.totalCycles(), 0.0);
+    EXPECT_EQ(core.totalCounters().annotations, 2u);
+}
+
+TEST(Core, AnnotCostAblation)
+{
+    CoreParams p;
+    p.annotCostFp = kCycleFp; // one full cycle per annotation
+    Core core(p);
+    BlockEmitter e(core, 0x400000);
+    e.annot(1, 0);
+    EXPECT_DOUBLE_EQ(core.totalCycles(), 1.0);
+}
+
+TEST(Core, SecondsUsesFrequency)
+{
+    CoreParams p;
+    p.frequencyGhz = 1.0;
+    Core core(p);
+    for (int i = 0; i < 1000; ++i) {
+        BlockEmitter e(core, 0x400000);
+        e.alu(4);
+    }
+    EXPECT_NEAR(core.seconds(), core.totalCycles() / 1e9, 1e-15);
+}
+
+TEST(Core, ResetStats)
+{
+    Core core;
+    BlockEmitter e(core, 0x400000);
+    e.alu(5);
+    core.resetStats();
+    EXPECT_EQ(core.totalInstructions(), 0u);
+    EXPECT_EQ(core.totalCycles(), 0.0);
+}
+
+TEST(Core, DispatchLoopIndirectPredictability)
+{
+    // An interpreter-style dispatch loop over a repeating "bytecode"
+    // sequence: the BTB + history should learn the repeating pattern
+    // far better than a random one.
+    Core regular, random;
+    Rng rng(17);
+    const uint64_t dispatch_pc = 0x400000;
+    auto handler_pc = [](int op) { return 0x410000 + op * 0x100; };
+
+    for (int it = 0; it < 30000; ++it) {
+        int op_reg = it % 4;
+        BlockEmitter er(regular, dispatch_pc);
+        er.indirectJump(handler_pc(op_reg));
+        int op_rnd = rng.nextBelow(16);
+        BlockEmitter ex(random, dispatch_pc);
+        ex.indirectJump(handler_pc(op_rnd));
+    }
+    double miss_regular = regular.totalCounters().branchMissRate();
+    double miss_random = random.totalCounters().branchMissRate();
+    EXPECT_LT(miss_regular, 0.15);
+    EXPECT_GT(miss_random, 0.5);
+}
+
+TEST(PerfCounters, DerivedMetrics)
+{
+    PerfCounters c;
+    c.instructions = 2000;
+    c.cyclesFp = 1000 * kCycleFp;
+    c.branches = 200;
+    c.mispredicts = 10;
+    EXPECT_DOUBLE_EQ(c.ipc(), 2.0);
+    EXPECT_DOUBLE_EQ(c.mpki(), 5.0);
+    EXPECT_DOUBLE_EQ(c.branchRate(), 0.1);
+    EXPECT_DOUBLE_EQ(c.branchMissRate(), 0.05);
+}
+
+} // namespace
+} // namespace sim
+} // namespace xlvm

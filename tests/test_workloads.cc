@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Every workload must parse, compile, run to completion at a reduced
+ * scale, and — the key meta-tracing property — produce identical output
+ * with the JIT enabled and disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minipy/compiler.h"
+#include "minipy/interp.h"
+#include "vm/context.h"
+#include "workloads/workloads.h"
+
+namespace xlvm {
+namespace workloads {
+namespace {
+
+/** Reduced scales so the whole suite runs in seconds. */
+int64_t
+testScale(const Workload &w)
+{
+    int64_t n = w.defaultScale / 4;
+    return n > 0 ? n : 1;
+}
+
+std::string
+runPyAt(const std::string &src, bool jit, uint32_t loop_threshold,
+        uint32_t bridge_threshold)
+{
+    vm::VmConfig cfg;
+    cfg.jit.enableJit = jit;
+    cfg.jit.loopThreshold = loop_threshold;
+    cfg.jit.bridgeThreshold = bridge_threshold;
+    cfg.maxInstructions = 400u * 1000 * 1000;
+    vm::VmContext ctx(cfg);
+    auto prog = minipy::compileSource(src, ctx.space);
+    minipy::Interp interp(ctx, *prog);
+    EXPECT_TRUE(interp.run()) << "instruction budget exhausted";
+    return interp.output();
+}
+
+std::string
+runPy(const std::string &src, bool jit)
+{
+    return runPyAt(src, jit, 25, 12);
+}
+
+class WorkloadAgreement : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadAgreement, JitMatchesInterp)
+{
+    const Workload *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    std::string src = instantiate(*w, testScale(*w));
+    std::string off = runPy(src, false);
+    std::string on = runPy(src, true);
+    EXPECT_FALSE(off.empty()) << w->name << " produced no output";
+    EXPECT_EQ(off, on) << w->name << " diverges under JIT";
+}
+
+/**
+ * Output must be invariant across the whole JIT-threshold space.
+ * Threshold 1 is the stress corner: every loop traces on its first
+ * JumpBack, so traces are recorded from cold state (empty caches, maps
+ * mid-transition, iterators freshly created) and bridges grow off
+ * guards that have fired exactly once.
+ */
+class ThresholdSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, uint32_t>>
+{
+};
+
+TEST_P(ThresholdSweep, OutputInvariant)
+{
+    const auto &[name, threshold] = GetParam();
+    const Workload *w = findWorkload(name);
+    ASSERT_NE(w, nullptr);
+    std::string src = instantiate(*w, testScale(*w));
+    std::string ref = runPyAt(src, false, 25, 12);
+    std::string got =
+        runPyAt(src, true, threshold, std::max(threshold / 2, 1u));
+    EXPECT_EQ(ref, got)
+        << name << " diverges at loopThreshold=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stress, ThresholdSweep,
+    ::testing::Combine(
+        ::testing::Values("richards", "fannkuch", "json_bench", "chaos",
+                          "float", "hexiom2", "go", "pyflate_fast"),
+        ::testing::Values(1u, 3u, 7u, 60u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, uint32_t>>
+           &info) {
+        return std::get<0>(info.param) + "_t" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : pypySuite())
+        names.push_back(w.name);
+    for (const Workload &w : clbgSuite()) {
+        if (!findWorkload(w.name) || w.suite == "clbg") {
+            // Skip aliases that reuse a pypy source already covered.
+            bool aliased = false;
+            for (const Workload &p : pypySuite()) {
+                if (p.source == w.source)
+                    aliased = true;
+            }
+            if (!aliased)
+                names.push_back(w.name);
+        }
+    }
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadAgreement, ::testing::ValuesIn(allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Registry, SuitesPopulated)
+{
+    EXPECT_GE(pypySuite().size(), 20u);
+    EXPECT_GE(clbgSuite().size(), 12u);
+    for (const Workload &w : pypySuite()) {
+        EXPECT_FALSE(w.source.empty()) << w.name;
+        EXPECT_FALSE(w.models.empty()) << w.name;
+        EXPECT_GT(w.defaultScale, 0) << w.name;
+    }
+}
+
+TEST(Registry, FindAndInstantiate)
+{
+    const Workload *w = findWorkload("pidigits");
+    ASSERT_NE(w, nullptr);
+    std::string src = instantiate(*w, 5);
+    EXPECT_EQ(src.find("{N}"), std::string::npos);
+    EXPECT_NE(src.find("pi_digits(5)"), std::string::npos);
+    EXPECT_EQ(findWorkload("no_such_bench"), nullptr);
+}
+
+TEST(Registry, ClbgRktSourcesAttached)
+{
+    int withRkt = 0;
+    for (const Workload &w : clbgSuite()) {
+        if (!w.rktSource.empty())
+            ++withRkt;
+    }
+    EXPECT_GE(withRkt, 10);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace xlvm
