@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_instrumentation.dir/ablation_instrumentation.cc.o"
+  "CMakeFiles/ablation_instrumentation.dir/ablation_instrumentation.cc.o.d"
+  "ablation_instrumentation"
+  "ablation_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

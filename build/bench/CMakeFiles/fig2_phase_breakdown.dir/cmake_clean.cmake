@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_phase_breakdown.dir/fig2_phase_breakdown.cc.o"
+  "CMakeFiles/fig2_phase_breakdown.dir/fig2_phase_breakdown.cc.o.d"
+  "fig2_phase_breakdown"
+  "fig2_phase_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

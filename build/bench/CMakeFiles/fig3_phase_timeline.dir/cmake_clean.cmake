@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_phase_timeline.dir/fig3_phase_timeline.cc.o"
+  "CMakeFiles/fig3_phase_timeline.dir/fig3_phase_timeline.cc.o.d"
+  "fig3_phase_timeline"
+  "fig3_phase_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_phase_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_clbg_phases.dir/fig4_clbg_phases.cc.o"
+  "CMakeFiles/fig4_clbg_phases.dir/fig4_clbg_phases.cc.o.d"
+  "fig4_clbg_phases"
+  "fig4_clbg_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_clbg_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_clbg_phases.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_warmup.dir/fig5_warmup.cc.o"
+  "CMakeFiles/fig5_warmup.dir/fig5_warmup.cc.o.d"
+  "fig5_warmup"
+  "fig5_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

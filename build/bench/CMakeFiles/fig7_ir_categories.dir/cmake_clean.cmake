@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ir_categories.dir/fig7_ir_categories.cc.o"
+  "CMakeFiles/fig7_ir_categories.dir/fig7_ir_categories.cc.o.d"
+  "fig7_ir_categories"
+  "fig7_ir_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ir_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

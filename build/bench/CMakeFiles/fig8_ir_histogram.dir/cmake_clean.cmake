@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ir_histogram.dir/fig8_ir_histogram.cc.o"
+  "CMakeFiles/fig8_ir_histogram.dir/fig8_ir_histogram.cc.o.d"
+  "fig8_ir_histogram"
+  "fig8_ir_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ir_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_asm_per_ir.dir/fig9_asm_per_ir.cc.o"
+  "CMakeFiles/fig9_asm_per_ir.dir/fig9_asm_per_ir.cc.o.d"
+  "fig9_asm_per_ir"
+  "fig9_asm_per_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_asm_per_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

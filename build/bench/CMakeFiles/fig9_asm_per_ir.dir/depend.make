@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_asm_per_ir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_sim_throughput.dir/gbench_sim_throughput.cc.o"
+  "CMakeFiles/gbench_sim_throughput.dir/gbench_sim_throughput.cc.o.d"
+  "gbench_sim_throughput"
+  "gbench_sim_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_sim_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pypy_suite.dir/table1_pypy_suite.cc.o"
+  "CMakeFiles/table1_pypy_suite.dir/table1_pypy_suite.cc.o.d"
+  "table1_pypy_suite"
+  "table1_pypy_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pypy_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_clbg.dir/table2_clbg.cc.o"
+  "CMakeFiles/table2_clbg.dir/table2_clbg.cc.o.d"
+  "table2_clbg"
+  "table2_clbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_clbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_aot_calls.dir/table3_aot_calls.cc.o"
+  "CMakeFiles/table3_aot_calls.dir/table3_aot_calls.cc.o.d"
+  "table3_aot_calls"
+  "table3_aot_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_aot_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

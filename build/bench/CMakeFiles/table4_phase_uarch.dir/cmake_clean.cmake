@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_phase_uarch.dir/table4_phase_uarch.cc.o"
+  "CMakeFiles/table4_phase_uarch.dir/table4_phase_uarch.cc.o.d"
+  "table4_phase_uarch"
+  "table4_phase_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_phase_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

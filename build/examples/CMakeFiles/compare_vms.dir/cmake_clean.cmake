@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_vms.dir/compare_vms.cpp.o"
+  "CMakeFiles/compare_vms.dir/compare_vms.cpp.o.d"
+  "compare_vms"
+  "compare_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

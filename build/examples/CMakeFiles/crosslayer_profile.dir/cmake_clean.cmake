@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosslayer_profile.dir/crosslayer_profile.cpp.o"
+  "CMakeFiles/crosslayer_profile.dir/crosslayer_profile.cpp.o.d"
+  "crosslayer_profile"
+  "crosslayer_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosslayer_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/scheme_quickstart.cpp" "examples/CMakeFiles/scheme_quickstart.dir/scheme_quickstart.cpp.o" "gcc" "examples/CMakeFiles/scheme_quickstart.dir/scheme_quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/xlvm_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/minirkt/CMakeFiles/xlvm_minirkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/minipy/CMakeFiles/xlvm_minipy.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/xlvm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/xlvm_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/xlayer/CMakeFiles/xlvm_xlayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/xlvm_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/xlvm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/xlvm_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xlvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xlvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xlvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_quickstart.dir/scheme_quickstart.cpp.o"
+  "CMakeFiles/scheme_quickstart.dir/scheme_quickstart.cpp.o.d"
+  "scheme_quickstart"
+  "scheme_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_common.dir/stats.cc.o"
+  "CMakeFiles/xlvm_common.dir/stats.cc.o.d"
+  "libxlvm_common.a"
+  "libxlvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_driver.dir/runner.cc.o"
+  "CMakeFiles/xlvm_driver.dir/runner.cc.o.d"
+  "libxlvm_driver.a"
+  "libxlvm_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxlvm_driver.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_gc.dir/heap.cc.o"
+  "CMakeFiles/xlvm_gc.dir/heap.cc.o.d"
+  "libxlvm_gc.a"
+  "libxlvm_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

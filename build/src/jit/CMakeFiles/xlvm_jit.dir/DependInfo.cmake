@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/backend.cc" "src/jit/CMakeFiles/xlvm_jit.dir/backend.cc.o" "gcc" "src/jit/CMakeFiles/xlvm_jit.dir/backend.cc.o.d"
+  "/root/repo/src/jit/eval.cc" "src/jit/CMakeFiles/xlvm_jit.dir/eval.cc.o" "gcc" "src/jit/CMakeFiles/xlvm_jit.dir/eval.cc.o.d"
+  "/root/repo/src/jit/ir.cc" "src/jit/CMakeFiles/xlvm_jit.dir/ir.cc.o" "gcc" "src/jit/CMakeFiles/xlvm_jit.dir/ir.cc.o.d"
+  "/root/repo/src/jit/opt.cc" "src/jit/CMakeFiles/xlvm_jit.dir/opt.cc.o" "gcc" "src/jit/CMakeFiles/xlvm_jit.dir/opt.cc.o.d"
+  "/root/repo/src/jit/recorder.cc" "src/jit/CMakeFiles/xlvm_jit.dir/recorder.cc.o" "gcc" "src/jit/CMakeFiles/xlvm_jit.dir/recorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xlvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xlvm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

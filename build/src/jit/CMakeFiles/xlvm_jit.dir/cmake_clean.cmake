@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_jit.dir/backend.cc.o"
+  "CMakeFiles/xlvm_jit.dir/backend.cc.o.d"
+  "CMakeFiles/xlvm_jit.dir/eval.cc.o"
+  "CMakeFiles/xlvm_jit.dir/eval.cc.o.d"
+  "CMakeFiles/xlvm_jit.dir/ir.cc.o"
+  "CMakeFiles/xlvm_jit.dir/ir.cc.o.d"
+  "CMakeFiles/xlvm_jit.dir/opt.cc.o"
+  "CMakeFiles/xlvm_jit.dir/opt.cc.o.d"
+  "CMakeFiles/xlvm_jit.dir/recorder.cc.o"
+  "CMakeFiles/xlvm_jit.dir/recorder.cc.o.d"
+  "libxlvm_jit.a"
+  "libxlvm_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

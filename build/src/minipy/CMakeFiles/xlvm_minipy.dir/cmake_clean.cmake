@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_minipy.dir/builtins.cc.o"
+  "CMakeFiles/xlvm_minipy.dir/builtins.cc.o.d"
+  "CMakeFiles/xlvm_minipy.dir/compiler.cc.o"
+  "CMakeFiles/xlvm_minipy.dir/compiler.cc.o.d"
+  "CMakeFiles/xlvm_minipy.dir/interp.cc.o"
+  "CMakeFiles/xlvm_minipy.dir/interp.cc.o.d"
+  "CMakeFiles/xlvm_minipy.dir/interp_loop.cc.o"
+  "CMakeFiles/xlvm_minipy.dir/interp_loop.cc.o.d"
+  "CMakeFiles/xlvm_minipy.dir/lexer.cc.o"
+  "CMakeFiles/xlvm_minipy.dir/lexer.cc.o.d"
+  "CMakeFiles/xlvm_minipy.dir/parser.cc.o"
+  "CMakeFiles/xlvm_minipy.dir/parser.cc.o.d"
+  "libxlvm_minipy.a"
+  "libxlvm_minipy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_minipy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

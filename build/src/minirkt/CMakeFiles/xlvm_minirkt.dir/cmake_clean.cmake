@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_minirkt.dir/compiler.cc.o"
+  "CMakeFiles/xlvm_minirkt.dir/compiler.cc.o.d"
+  "CMakeFiles/xlvm_minirkt.dir/reader.cc.o"
+  "CMakeFiles/xlvm_minirkt.dir/reader.cc.o.d"
+  "libxlvm_minirkt.a"
+  "libxlvm_minirkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_minirkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_native.dir/clbg_native.cc.o"
+  "CMakeFiles/xlvm_native.dir/clbg_native.cc.o.d"
+  "libxlvm_native.a"
+  "libxlvm_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

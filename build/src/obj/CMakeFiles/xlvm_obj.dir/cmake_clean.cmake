@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_obj.dir/space.cc.o"
+  "CMakeFiles/xlvm_obj.dir/space.cc.o.d"
+  "CMakeFiles/xlvm_obj.dir/space_containers.cc.o"
+  "CMakeFiles/xlvm_obj.dir/space_containers.cc.o.d"
+  "CMakeFiles/xlvm_obj.dir/space_proto.cc.o"
+  "CMakeFiles/xlvm_obj.dir/space_proto.cc.o.d"
+  "CMakeFiles/xlvm_obj.dir/wobject.cc.o"
+  "CMakeFiles/xlvm_obj.dir/wobject.cc.o.d"
+  "libxlvm_obj.a"
+  "libxlvm_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_rt.dir/aot_registry.cc.o"
+  "CMakeFiles/xlvm_rt.dir/aot_registry.cc.o.d"
+  "CMakeFiles/xlvm_rt.dir/rbigint.cc.o"
+  "CMakeFiles/xlvm_rt.dir/rbigint.cc.o.d"
+  "CMakeFiles/xlvm_rt.dir/rstr.cc.o"
+  "CMakeFiles/xlvm_rt.dir/rstr.cc.o.d"
+  "libxlvm_rt.a"
+  "libxlvm_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_pred.cc" "src/sim/CMakeFiles/xlvm_sim.dir/branch_pred.cc.o" "gcc" "src/sim/CMakeFiles/xlvm_sim.dir/branch_pred.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/xlvm_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/xlvm_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/xlvm_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/xlvm_sim.dir/core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xlvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_sim.dir/branch_pred.cc.o"
+  "CMakeFiles/xlvm_sim.dir/branch_pred.cc.o.d"
+  "CMakeFiles/xlvm_sim.dir/cache.cc.o"
+  "CMakeFiles/xlvm_sim.dir/cache.cc.o.d"
+  "CMakeFiles/xlvm_sim.dir/core.cc.o"
+  "CMakeFiles/xlvm_sim.dir/core.cc.o.d"
+  "libxlvm_sim.a"
+  "libxlvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

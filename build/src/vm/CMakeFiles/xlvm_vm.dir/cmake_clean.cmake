@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_vm.dir/blackhole.cc.o"
+  "CMakeFiles/xlvm_vm.dir/blackhole.cc.o.d"
+  "CMakeFiles/xlvm_vm.dir/executor.cc.o"
+  "CMakeFiles/xlvm_vm.dir/executor.cc.o.d"
+  "CMakeFiles/xlvm_vm.dir/executor_calls.cc.o"
+  "CMakeFiles/xlvm_vm.dir/executor_calls.cc.o.d"
+  "libxlvm_vm.a"
+  "libxlvm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/clbg.cc" "src/workloads/CMakeFiles/xlvm_workloads.dir/clbg.cc.o" "gcc" "src/workloads/CMakeFiles/xlvm_workloads.dir/clbg.cc.o.d"
+  "/root/repo/src/workloads/clbg_rkt.cc" "src/workloads/CMakeFiles/xlvm_workloads.dir/clbg_rkt.cc.o" "gcc" "src/workloads/CMakeFiles/xlvm_workloads.dir/clbg_rkt.cc.o.d"
+  "/root/repo/src/workloads/pypy_suite_a.cc" "src/workloads/CMakeFiles/xlvm_workloads.dir/pypy_suite_a.cc.o" "gcc" "src/workloads/CMakeFiles/xlvm_workloads.dir/pypy_suite_a.cc.o.d"
+  "/root/repo/src/workloads/pypy_suite_b.cc" "src/workloads/CMakeFiles/xlvm_workloads.dir/pypy_suite_b.cc.o" "gcc" "src/workloads/CMakeFiles/xlvm_workloads.dir/pypy_suite_b.cc.o.d"
+  "/root/repo/src/workloads/pypy_suite_c.cc" "src/workloads/CMakeFiles/xlvm_workloads.dir/pypy_suite_c.cc.o" "gcc" "src/workloads/CMakeFiles/xlvm_workloads.dir/pypy_suite_c.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/xlvm_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/xlvm_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xlvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

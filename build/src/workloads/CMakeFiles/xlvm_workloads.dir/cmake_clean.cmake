@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_workloads.dir/clbg.cc.o"
+  "CMakeFiles/xlvm_workloads.dir/clbg.cc.o.d"
+  "CMakeFiles/xlvm_workloads.dir/clbg_rkt.cc.o"
+  "CMakeFiles/xlvm_workloads.dir/clbg_rkt.cc.o.d"
+  "CMakeFiles/xlvm_workloads.dir/pypy_suite_a.cc.o"
+  "CMakeFiles/xlvm_workloads.dir/pypy_suite_a.cc.o.d"
+  "CMakeFiles/xlvm_workloads.dir/pypy_suite_b.cc.o"
+  "CMakeFiles/xlvm_workloads.dir/pypy_suite_b.cc.o.d"
+  "CMakeFiles/xlvm_workloads.dir/pypy_suite_c.cc.o"
+  "CMakeFiles/xlvm_workloads.dir/pypy_suite_c.cc.o.d"
+  "CMakeFiles/xlvm_workloads.dir/workloads.cc.o"
+  "CMakeFiles/xlvm_workloads.dir/workloads.cc.o.d"
+  "libxlvm_workloads.a"
+  "libxlvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xlayer/aot_profiler.cc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/aot_profiler.cc.o" "gcc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/aot_profiler.cc.o.d"
+  "/root/repo/src/xlayer/event_profiler.cc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/event_profiler.cc.o" "gcc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/event_profiler.cc.o.d"
+  "/root/repo/src/xlayer/irnode_profiler.cc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/irnode_profiler.cc.o" "gcc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/irnode_profiler.cc.o.d"
+  "/root/repo/src/xlayer/phase_profiler.cc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/phase_profiler.cc.o" "gcc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/phase_profiler.cc.o.d"
+  "/root/repo/src/xlayer/work_profiler.cc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/work_profiler.cc.o" "gcc" "src/xlayer/CMakeFiles/xlvm_xlayer.dir/work_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xlvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xlvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlvm_xlayer.dir/aot_profiler.cc.o"
+  "CMakeFiles/xlvm_xlayer.dir/aot_profiler.cc.o.d"
+  "CMakeFiles/xlvm_xlayer.dir/event_profiler.cc.o"
+  "CMakeFiles/xlvm_xlayer.dir/event_profiler.cc.o.d"
+  "CMakeFiles/xlvm_xlayer.dir/irnode_profiler.cc.o"
+  "CMakeFiles/xlvm_xlayer.dir/irnode_profiler.cc.o.d"
+  "CMakeFiles/xlvm_xlayer.dir/phase_profiler.cc.o"
+  "CMakeFiles/xlvm_xlayer.dir/phase_profiler.cc.o.d"
+  "CMakeFiles/xlvm_xlayer.dir/work_profiler.cc.o"
+  "CMakeFiles/xlvm_xlayer.dir/work_profiler.cc.o.d"
+  "libxlvm_xlayer.a"
+  "libxlvm_xlayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlvm_xlayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jit_ir.dir/test_jit_ir.cc.o"
+  "CMakeFiles/test_jit_ir.dir/test_jit_ir.cc.o.d"
+  "test_jit_ir"
+  "test_jit_ir.pdb"
+  "test_jit_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jit_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jit_opt.dir/test_jit_opt.cc.o"
+  "CMakeFiles/test_jit_opt.dir/test_jit_opt.cc.o.d"
+  "test_jit_opt"
+  "test_jit_opt.pdb"
+  "test_jit_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jit_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minipy.dir/test_minipy.cc.o"
+  "CMakeFiles/test_minipy.dir/test_minipy.cc.o.d"
+  "test_minipy"
+  "test_minipy.pdb"
+  "test_minipy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minipy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

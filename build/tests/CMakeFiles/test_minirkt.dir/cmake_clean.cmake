@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minirkt.dir/test_minirkt.cc.o"
+  "CMakeFiles/test_minirkt.dir/test_minirkt.cc.o.d"
+  "test_minirkt"
+  "test_minirkt.pdb"
+  "test_minirkt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minirkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xlayer.dir/test_xlayer.cc.o"
+  "CMakeFiles/test_xlayer.dir/test_xlayer.cc.o.d"
+  "test_xlayer"
+  "test_xlayer.pdb"
+  "test_xlayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xlayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

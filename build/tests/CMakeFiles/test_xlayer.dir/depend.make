@@ -1,0 +1,2 @@
+# Empty dependencies file for test_xlayer.
+# This may be replaced when dependencies are built.
