@@ -16,7 +16,7 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const char *names[] = {"chaos", "float", "crypto_pyaes",
                            "richards", "spectral_norm"};
@@ -45,22 +45,30 @@ main()
     std::printf("\n");
     printRule(18 + 16 * 5);
 
-    std::vector<double> baseline;
+    constexpr size_t kCols = 5;
+    std::vector<driver::RunOptions> runs;
     for (const Variant &v : variants) {
-        std::printf("%-18s", v.label);
-        int i = 0;
         for (const char *n : names) {
             driver::RunOptions o = baseOptions(n, driver::VmKind::PyPyJit);
             v.tweak(o);
-            driver::RunResult r = driver::runWorkload(o);
-            if (baseline.size() <= size_t(i))
-                baseline.push_back(r.cycles);
+            runs.push_back(o);
+        }
+    }
+    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
+
+    // Row 0 ("full optimizer") is the normalization baseline.
+    size_t vi = 0;
+    for (const Variant &v : variants) {
+        std::printf("%-18s", v.label);
+        for (size_t i = 0; i < kCols; ++i) {
+            const driver::RunResult &r = res[vi * kCols + i];
+            double base = res[i].cycles;
             std::printf("   %5.2fx gc=%-4llu",
-                        baseline[i] > 0 ? r.cycles / baseline[i] : 0.0,
+                        base > 0 ? r.cycles / base : 0.0,
                         (unsigned long long)r.gcMinor);
-            ++i;
         }
         std::printf("\n");
+        ++vi;
     }
     printRule(18 + 16 * 5);
     return 0;

@@ -17,11 +17,26 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "driver/parallel.h"
 #include "driver/runner.h"
 #include "workloads/workloads.h"
 
 namespace xlvm {
 namespace bench {
+
+/**
+ * Run a sweep through the thread-pool harness, honoring --jobs/-j and
+ * XLVM_JOBS. The job count goes to stderr so stdout stays byte-identical
+ * to a sequential (--jobs 1) run; simulated counters are deterministic
+ * regardless of job count, so the table/figure content never varies.
+ */
+inline std::vector<driver::RunResult>
+runSweep(const std::vector<driver::RunOptions> &runs, int argc, char **argv)
+{
+    unsigned jobs = driver::jobsFromArgs(argc, argv);
+    std::fprintf(stderr, "[%u job%s]\n", jobs, jobs == 1 ? "" : "s");
+    return driver::runWorkloadsParallel(runs, jobs);
+}
 
 /** Table I / figures workload subset (order follows the paper). */
 inline std::vector<std::string>

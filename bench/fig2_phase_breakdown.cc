@@ -16,7 +16,7 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Figure 2: time spent in each phase (%% of cycles)\n");
     std::printf("%-20s %7s %8s %6s %9s %6s %10s\n", "Benchmark",
@@ -24,9 +24,15 @@ main()
                 "blackhole");
     printRule(78);
 
-    for (const std::string &name : figureWorkloads()) {
-        driver::RunResult r = driver::runWorkload(
-            baseOptions(name, driver::VmKind::PyPyJit));
+    const std::vector<std::string> names = figureWorkloads();
+    std::vector<driver::RunOptions> runs;
+    for (const std::string &name : names)
+        runs.push_back(baseOptions(name, driver::VmKind::PyPyJit));
+    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
+
+    for (size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const driver::RunResult &r = res[i];
         auto pct = [&](xlayer::Phase p) {
             return 100.0 * r.phaseShares[uint32_t(p)];
         };

@@ -16,7 +16,7 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Figure 5: JIT warmup break-even points "
                 "(instructions; window capped)\n");
@@ -24,18 +24,23 @@ main()
                 "vs CPython*", "vs PyPy*-nojit", "final speedup");
     printRule(70);
 
-    for (const std::string &name : figureWorkloads()) {
-        driver::RunOptions cpyOpt =
-            baseOptions(name, driver::VmKind::CPythonLike);
-        driver::RunOptions nojitOpt =
-            baseOptions(name, driver::VmKind::PyPyNoJit);
+    const std::vector<std::string> names = figureWorkloads();
+    std::vector<driver::RunOptions> runs;
+    for (const std::string &name : names) {
+        runs.push_back(baseOptions(name, driver::VmKind::CPythonLike));
+        runs.push_back(baseOptions(name, driver::VmKind::PyPyNoJit));
         driver::RunOptions jitOpt =
             baseOptions(name, driver::VmKind::PyPyJit);
         jitOpt.workSampleInstrs = 20000;
+        runs.push_back(jitOpt);
+    }
+    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
 
-        driver::RunResult cpy = driver::runWorkload(cpyOpt);
-        driver::RunResult nojit = driver::runWorkload(nojitOpt);
-        driver::RunResult jit = driver::runWorkload(jitOpt);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const driver::RunResult &cpy = res[3 * i];
+        const driver::RunResult &nojit = res[3 * i + 1];
+        const driver::RunResult &jit = res[3 * i + 2];
 
         double cpyRate = cpy.instructions
                              ? double(cpy.work) / cpy.instructions

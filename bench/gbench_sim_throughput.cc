@@ -9,9 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "driver/parallel.h"
 #include "driver/runner.h"
 #include "rt/rbigint.h"
 #include "rt/rdict.h"
+#include "sim/cache.h"
 #include "sim/core.h"
 #include "sim/emitter.h"
 
@@ -33,6 +35,25 @@ BM_CoreConsume(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()) * 10);
 }
 BENCHMARK(BM_CoreConsume);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    // range(0)==0: repeated hits to one line (MRU fast path);
+    // range(0)==1: stride walk over 4x the cache capacity (miss-heavy).
+    sim::CacheParams cfg; // defaults: model L1
+    sim::Cache cache(cfg);
+    bool strided = state.range(0) != 0;
+    uint64_t span = uint64_t(cfg.sizeBytes) * 4;
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        if (strided)
+            addr = (addr + 64) % span;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(0)->Arg(1);
 
 void
 BM_DictLookup(benchmark::State &state)
@@ -82,6 +103,37 @@ BM_VmEndToEnd(benchmark::State &state)
 }
 BENCHMARK(BM_VmEndToEnd)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_ParallelHarness(benchmark::State &state)
+{
+    // A small sweep (3 VMs x 2 workloads) through the thread-pool
+    // harness at Arg(0) jobs; Arg(0)==1 is the sequential baseline the
+    // wall-clock speedup is measured against.
+    unsigned jobs = unsigned(state.range(0));
+    std::vector<driver::RunOptions> runs;
+    for (const char *w : {"crypto_pyaes", "chaos"}) {
+        for (driver::VmKind vm : {driver::VmKind::CPythonLike,
+                                  driver::VmKind::PyPyNoJit,
+                                  driver::VmKind::PyPyJit}) {
+            driver::RunOptions o;
+            o.workload = w;
+            o.scale = 120;
+            o.vm = vm;
+            o.loopThreshold = 60;
+            runs.push_back(o);
+        }
+    }
+    for (auto _ : state) {
+        std::vector<driver::RunResult> res =
+            driver::runWorkloadsParallel(runs, jobs);
+        benchmark::DoNotOptimize(res[0].instructions);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(runs.size()));
+}
+BENCHMARK(BM_ParallelHarness)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 } // namespace
 

@@ -16,7 +16,7 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Table I: PyPy Benchmark Suite Performance (simulated; "
                 "time = cycles @ 3GHz)\n");
@@ -35,13 +35,20 @@ main()
     std::vector<Row> rows;
     std::vector<double> speedups;
 
-    for (const std::string &name : tableOneWorkloads()) {
-        driver::RunResult cpy = driver::runWorkload(
-            baseOptions(name, driver::VmKind::CPythonLike));
-        driver::RunResult nojit = driver::runWorkload(
-            baseOptions(name, driver::VmKind::PyPyNoJit));
-        driver::RunResult jit = driver::runWorkload(
-            baseOptions(name, driver::VmKind::PyPyJit));
+    const std::vector<std::string> names = tableOneWorkloads();
+    std::vector<driver::RunOptions> runs;
+    for (const std::string &name : names) {
+        runs.push_back(baseOptions(name, driver::VmKind::CPythonLike));
+        runs.push_back(baseOptions(name, driver::VmKind::PyPyNoJit));
+        runs.push_back(baseOptions(name, driver::VmKind::PyPyJit));
+    }
+    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
+
+    for (size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const driver::RunResult &cpy = res[3 * i];
+        const driver::RunResult &nojit = res[3 * i + 1];
+        const driver::RunResult &jit = res[3 * i + 2];
 
         if (cpy.output != jit.output || cpy.output != nojit.output) {
             std::printf("%-20s | OUTPUT MISMATCH\n", name.c_str());

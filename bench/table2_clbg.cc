@@ -16,7 +16,7 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Table II: CLBG performance (simulated seconds; '-' = "
                 "no implementation)\n");
@@ -25,19 +25,33 @@ main()
                 "C++*");
     printRule(92);
 
+    // Each workload contributes 2 runs, plus 2 more (Racket*/Pycket*)
+    // when a MiniRkt translation exists; `first[i]` is workload i's
+    // offset into the flat run list.
+    std::vector<driver::RunOptions> runs;
+    std::vector<size_t> first;
     for (const workloads::Workload &w : workloads::clbgSuite()) {
-        driver::RunResult cpy = driver::runWorkload(
-            baseOptions(w.name, driver::VmKind::CPythonLike));
-        driver::RunResult pypy = driver::runWorkload(
-            baseOptions(w.name, driver::VmKind::PyPyJit));
+        first.push_back(runs.size());
+        runs.push_back(baseOptions(w.name, driver::VmKind::CPythonLike));
+        runs.push_back(baseOptions(w.name, driver::VmKind::PyPyJit));
+        if (!w.rktSource.empty()) {
+            runs.push_back(baseOptions(w.name, driver::VmKind::RacketLike));
+            runs.push_back(baseOptions(w.name, driver::VmKind::PycketJit));
+        }
+    }
+    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
+
+    size_t wi = 0;
+    for (const workloads::Workload &w : workloads::clbgSuite()) {
+        size_t base = first[wi++];
+        const driver::RunResult &cpy = res[base];
+        const driver::RunResult &pypy = res[base + 1];
         bool outputsAgree = cpy.output == pypy.output;
 
         std::string racketCol = "-", pycketCol = "-", vrCol = "-";
         if (!w.rktSource.empty()) {
-            driver::RunResult racket = driver::runRktWorkload(
-                baseOptions(w.name, driver::VmKind::RacketLike));
-            driver::RunResult pycket = driver::runRktWorkload(
-                baseOptions(w.name, driver::VmKind::PycketJit));
+            const driver::RunResult &racket = res[base + 2];
+            const driver::RunResult &pycket = res[base + 3];
             racketCol = formatFixed(racket.seconds, 5);
             pycketCol = formatFixed(pycket.seconds, 5);
             if (pycket.seconds > 0) {

@@ -1,5 +1,7 @@
 #include "driver/runner.h"
 
+#include <stdexcept>
+
 #include "common/logging.h"
 #include "minipy/compiler.h"
 #include "minipy/interp.h"
@@ -117,8 +119,10 @@ runRktWorkload(const RunOptions &opts)
         if (c.name == opts.workload)
             w = &c;
     }
-    XLVM_ASSERT(w && !w->rktSource.empty(),
-                "no MiniRkt translation for ", opts.workload);
+    if (!w || w->rktSource.empty()) {
+        throw std::invalid_argument("no MiniRkt translation for " +
+                                    opts.workload);
+    }
 
     RunResult out;
     vm::VmConfig cfg = configFor(opts);
@@ -138,15 +142,16 @@ RunResult
 runWorkload(const RunOptions &opts)
 {
     const workloads::Workload *w = workloads::findWorkload(opts.workload);
-    XLVM_ASSERT(w, "unknown workload ", opts.workload);
+    if (!w)
+        throw std::invalid_argument("unknown workload " + opts.workload);
+    if (opts.vm == VmKind::RacketLike || opts.vm == VmKind::PycketJit) {
+        throw std::invalid_argument(
+            "use runRktWorkload for the Racket-family VMs");
+    }
 
     RunResult out;
     vm::VmConfig cfg = configFor(opts);
     vm::VmContext ctx(cfg);
-
-    XLVM_ASSERT(opts.vm != VmKind::RacketLike &&
-                    opts.vm != VmKind::PycketJit,
-                "use runRktWorkload for the Racket-family VMs");
 
     std::string src = workloads::instantiate(*w, opts.scale);
     auto prog = minipy::compileSource(src, ctx.space);

@@ -54,6 +54,8 @@ struct RunResult
 {
     bool completed = false;
     std::string output;
+    /** Non-empty if the run failed (exception text); see runWorkloadsParallel. */
+    std::string error;
 
     // Overall machine-level metrics (Table I / II).
     double seconds = 0.0;
@@ -90,7 +92,12 @@ struct RunResult
     std::vector<xlayer::AotFunctionStats> aotFunctions;
 };
 
-/** Run one workload on one VM configuration. */
+/**
+ * Run one workload on one VM configuration.
+ * @throws std::invalid_argument for an unknown workload name or a VM
+ *         kind this entry point cannot model (internal invariant
+ *         violations still abort via XLVM_ASSERT).
+ */
 RunResult runWorkload(const RunOptions &opts);
 
 /**

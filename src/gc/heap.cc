@@ -81,6 +81,8 @@ Heap::collectMinor()
         } else {
             ++cs.objectsFreed;
             cs.bytesFreed += o->heapBytes();
+            if (hooks)
+                hooks->onObjectFree(o);
             delete o;
         }
     }
@@ -127,6 +129,8 @@ Heap::collectMajor()
         } else {
             ++cs.objectsFreed;
             cs.bytesFreed += o->heapBytes();
+            if (hooks)
+                hooks->onObjectFree(o);
             delete o;
         }
     }
@@ -142,6 +146,8 @@ Heap::collectMajor()
         } else {
             ++cs.objectsFreed;
             cs.bytesFreed += o->heapBytes();
+            if (hooks)
+                hooks->onObjectFree(o);
             delete o;
         }
     }

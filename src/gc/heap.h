@@ -50,6 +50,14 @@ class GcObject
     bool isOld() const { return gcFlags & kOld; }
     bool inRemSet() const { return gcFlags & kRemembered; }
 
+    /**
+     * Allocation ordinal within the owning heap (1-based; 0 = never
+     * heap-allocated). Identity hashing uses this instead of the host
+     * address so hash-probe sequences are reproducible across runs and
+     * across worker threads.
+     */
+    uint64_t allocId() const { return allocSeq; }
+
   private:
     friend class Heap;
     friend class GcVisitor;
@@ -57,6 +65,7 @@ class GcObject
     static constexpr uint8_t kOld = 2;
     static constexpr uint8_t kRemembered = 4;
     uint8_t gcFlags = 0;
+    uint64_t allocSeq = 0;
 };
 
 /** Mark-phase visitor handed to traceRefs. */
@@ -115,6 +124,12 @@ class GcHooks
     virtual ~GcHooks() = default;
     virtual void onCollectStart(bool major) = 0;
     virtual void onCollectEnd(const GcCollectionStats &stats) = 0;
+    /**
+     * Called for each object a collection is about to free, so the
+     * instrumentation layer can drop per-pointer state (the simulated
+     * data-address mapping) before the host memory is recycled.
+     */
+    virtual void onObjectFree(const GcObject *) {}
 };
 
 struct HeapParams
@@ -146,7 +161,7 @@ class Heap
         T *obj = new T(std::forward<Args>(args)...);
         young.push_back(obj);
         youngBytes += obj->heapBytes();
-        ++stats_.allocations;
+        obj->allocSeq = ++stats_.allocations;
         return obj;
     }
 

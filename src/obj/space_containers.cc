@@ -118,7 +118,7 @@ ObjSpace::getitem(W_Object *obj, W_Object *idx)
         if (i < 0)
             i += n;
         XLVM_ASSERT(i >= 0 && i < n, "list index out of range");
-        e.load(reinterpret_cast<uint64_t>(lst) + 16, 2);
+        e.loadPtrOff(lst, 16, 2);
         if (recd) {
             recGuardType(obj);
             recGuardType(idx);
@@ -167,7 +167,7 @@ ObjSpace::getitem(W_Object *obj, W_Object *idx)
             i += int64_t(t->items.size());
         XLVM_ASSERT(i >= 0 && size_t(i) < t->items.size(),
                     "tuple index out of range");
-        e.load(reinterpret_cast<uint64_t>(t) + 16, 2);
+        e.loadPtrOff(t, 16, 2);
         W_Object *w = t->items[i];
         if (recd) {
             recGuardType(obj);
@@ -235,7 +235,7 @@ ObjSpace::setitem(W_Object *obj, W_Object *idx, W_Object *val)
         if (i < 0)
             i += n;
         XLVM_ASSERT(i >= 0 && i < n, "list assignment out of range");
-        e.store(reinterpret_cast<uint64_t>(lst) + 16);
+        e.storePtrOff(lst, 16);
         ListStrategy before = lst->strategy;
         if (recd) {
             recGuardType(obj);

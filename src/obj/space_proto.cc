@@ -943,7 +943,7 @@ ObjSpace::getattr(W_Object *obj, W_Str *name)
     // 1. Instance attribute through the map (shape).
     int32_t slot = inst->map->indexOf(name);
     if (slot >= 0) {
-        e.load(reinterpret_cast<uint64_t>(inst->map), 2);
+        e.loadPtr(inst->map, 2);
         W_Object *w = inst->storage[slot];
         if (recd) {
             recGuardType(obj);
@@ -997,7 +997,7 @@ ObjSpace::setattr(W_Object *obj, W_Str *name, W_Object *val)
 
     int32_t slot = inst->map->indexOf(name);
     if (slot >= 0) {
-        e.store(reinterpret_cast<uint64_t>(inst) + 24);
+        e.storePtrOff(inst, 24);
         if (recd) {
             recGuardType(obj);
             int32_t iref = recRef(obj);

@@ -280,8 +280,9 @@ objHash(const W_Object *o)
         return h ? h : 1;
       }
       default:
-        // Identity hash.
-        return reinterpret_cast<uint64_t>(o) >> 4;
+        // Identity hash: the heap allocation ordinal, not the host
+        // address, so probe sequences are reproducible across runs.
+        return o->allocId() * 0x9e3779b97f4a7c15ull;
     }
 }
 

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic data-address virtualization.
+ *
+ * The VM layers model data accesses with the host addresses of the C++
+ * objects backing simulated values. Host addresses depend on ASLR and on
+ * which malloc arena a thread happens to draw from, so cache set mapping
+ * — and with it every reported cycle count — varied from process to
+ * process and, once runs execute on worker threads, with the thread
+ * interleaving. DataAddrSpace removes that dependence: each distinct
+ * host pointer is assigned a synthetic line-aligned address in
+ * first-access order, which is a property of the simulated program
+ * alone. Identical runs therefore produce bit-identical counters no
+ * matter where the host allocator placed the objects.
+ *
+ * Pointers whose memory is recycled mid-run (GC-collected objects) must
+ * be release()d when freed so a reused host address maps to a fresh
+ * synthetic line instead of silently aliasing the dead object's cache
+ * footprint — the GC free path forwards deletions here via
+ * gc::GcHooks::onObjectFree.
+ */
+
+#ifndef XLVM_SIM_ADDR_MAP_H
+#define XLVM_SIM_ADDR_MAP_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace xlvm {
+namespace sim {
+
+class DataAddrSpace
+{
+  public:
+    /** Synthetic data segment; far above every CodeSpace segment. */
+    static constexpr uint64_t kBase = 1ull << 40;
+    /** Each mapped pointer owns one line-sized slot. */
+    static constexpr uint64_t kSlotBytes = 64;
+
+    /** Map a host pointer to its stable synthetic address. */
+    uint64_t
+    translate(const void *p)
+    {
+        uintptr_t key = reinterpret_cast<uintptr_t>(p);
+        uint32_t slot = cacheSlot(key);
+        if (cacheKeys[slot] == key)
+            return cacheVals[slot];
+        uint64_t v;
+        auto it = map.find(key);
+        if (it != map.end()) {
+            v = it->second;
+        } else {
+            v = kBase + nextSlot++ * kSlotBytes;
+            map.emplace(key, v);
+        }
+        cacheKeys[slot] = key;
+        cacheVals[slot] = v;
+        return v;
+    }
+
+    /**
+     * Forget a pointer whose memory is being freed. The next allocation
+     * reusing the host address gets a fresh synthetic line.
+     */
+    void
+    release(const void *p)
+    {
+        uintptr_t key = reinterpret_cast<uintptr_t>(p);
+        uint32_t slot = cacheSlot(key);
+        if (cacheKeys[slot] == key)
+            cacheKeys[slot] = 0;
+        map.erase(key);
+    }
+
+    size_t mappedCount() const { return map.size(); }
+
+  private:
+    static constexpr uint32_t kCacheEntries = 256;
+
+    static uint32_t
+    cacheSlot(uintptr_t key)
+    {
+        // Host allocations are >= 16-byte aligned; drop the dead bits.
+        return uint32_t(key >> 4) & (kCacheEntries - 1);
+    }
+
+    /** Direct-mapped front cache: the hot loop re-translates the same
+     *  few pointers (interpreter, frame stack, current objects). */
+    uintptr_t cacheKeys[kCacheEntries] = {};
+    uint64_t cacheVals[kCacheEntries] = {};
+    std::unordered_map<uintptr_t, uint64_t> map;
+    uint64_t nextSlot = 0;
+};
+
+} // namespace sim
+} // namespace xlvm
+
+#endif // XLVM_SIM_ADDR_MAP_H

@@ -1,5 +1,7 @@
 #include "sim/branch_pred.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace xlvm {
@@ -40,6 +42,13 @@ GsharePredictor::predictAndUpdate(uint64_t pc, bool taken)
     return pred == taken;
 }
 
+void
+GsharePredictor::reset()
+{
+    std::fill(pht.begin(), pht.end(), uint8_t(1)); // weakly not-taken
+    ghr = 0;
+}
+
 IndirectPredictor::IndirectPredictor(const BranchPredParams &p)
     : table(p.btbEntries),
       indexMask(p.btbEntries - 1),
@@ -64,6 +73,13 @@ IndirectPredictor::predictAndUpdate(uint64_t pc, uint64_t target,
     e.target = target;
     pathHistory = (pathHistory << 5) ^ (mix(target) & 0x7fffu);
     return correct;
+}
+
+void
+IndirectPredictor::reset()
+{
+    std::fill(table.begin(), table.end(), Entry());
+    pathHistory = 0;
 }
 
 ReturnStack::ReturnStack(const BranchPredParams &p)
@@ -95,6 +111,14 @@ ReturnStack::predictReturn(uint64_t actual_return_pc)
 BranchUnit::BranchUnit(const BranchPredParams &p)
     : gshare(p), indirect(p), ras(p)
 {
+}
+
+void
+BranchUnit::reset()
+{
+    gshare.reset();
+    indirect.reset();
+    ras.reset();
 }
 
 bool

@@ -44,6 +44,9 @@ class GsharePredictor
 
     uint32_t history() const { return ghr; }
 
+    /** Restore the freshly constructed state (counters and history). */
+    void reset();
+
   private:
     std::vector<uint8_t> pht; ///< 2-bit saturating counters
     uint32_t indexMask;
@@ -65,6 +68,9 @@ class IndirectPredictor
      * @return true if the predicted target matched.
      */
     bool predictAndUpdate(uint64_t pc, uint64_t target, uint32_t history);
+
+    /** Invalidate the table and clear the path history. */
+    void reset();
 
   private:
     struct Entry
@@ -98,6 +104,8 @@ class ReturnStack
     /** Predict + pop for a return; true if prediction correct. */
     bool predictReturn(uint64_t actual_return_pc);
 
+    void reset() { top = 0; }
+
   private:
     std::vector<uint64_t> stack;
     size_t top = 0;   ///< number of valid entries (clamped to depth)
@@ -118,6 +126,9 @@ class BranchUnit
      * @return true if it was mispredicted.
      */
     bool process(const Inst &inst);
+
+    /** Forget all learned state (history, PHT, BTB, RAS). */
+    void reset();
 
   private:
     GsharePredictor gshare;

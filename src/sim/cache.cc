@@ -1,5 +1,7 @@
 #include "sim/cache.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace xlvm {
@@ -27,26 +29,38 @@ Cache::Cache(const CacheParams &p)
     XLVM_ASSERT((numSets & (numSets - 1)) == 0, "sets must be power of 2");
     lineShift = log2u(p.lineBytes);
     ways_.resize(numSets * numWays);
+    mru_.resize(numSets, 0);
 }
 
 bool
-Cache::access(uint64_t addr)
+Cache::accessN(uint64_t addr, uint32_t n)
 {
     uint64_t line = addr >> lineShift;
     uint32_t set = static_cast<uint32_t>(line) & (numSets - 1);
     uint64_t tag = line >> 1; // keep some set bits in the tag; cheap
     Way *base = &ways_[set * numWays];
-    ++useClock;
+    useClock += n;
+
+    // MRU fast path: straight-line and loopy code mostly re-touches the
+    // way it hit last time, skipping the associative scan.
+    uint32_t m = mru_[set];
+    if (base[m].valid && base[m].tag == tag) {
+        base[m].lastUse = useClock;
+        nHits += n;
+        return true;
+    }
 
     for (uint32_t w = 0; w < numWays; ++w) {
         if (base[w].valid && base[w].tag == tag) {
             base[w].lastUse = useClock;
-            ++nHits;
+            mru_[set] = uint8_t(w);
+            nHits += n;
             return true;
         }
     }
 
-    // Miss: fill LRU way.
+    // Miss: fill LRU way. The n-1 follow-up probes of a batched access
+    // hit the just-filled line.
     uint32_t victim = 0;
     uint32_t oldest = base[0].lastUse;
     for (uint32_t w = 0; w < numWays; ++w) {
@@ -62,8 +76,19 @@ Cache::access(uint64_t addr)
     base[victim].valid = true;
     base[victim].tag = tag;
     base[victim].lastUse = useClock;
+    mru_[set] = uint8_t(victim);
     ++nMisses;
+    nHits += n - 1;
     return false;
+}
+
+void
+Cache::reset()
+{
+    std::fill(ways_.begin(), ways_.end(), Way());
+    std::fill(mru_.begin(), mru_.end(), uint8_t(0));
+    useClock = 0;
+    nHits = nMisses = 0;
 }
 
 } // namespace sim

@@ -61,8 +61,9 @@ Core::resetStats()
 {
     for (auto &b : buckets)
         b = PerfCounters();
-    icache.resetStats();
-    dcache.resetStats();
+    icache.reset();
+    dcache.reset();
+    branchUnit.reset();
 }
 
 } // namespace sim

@@ -15,9 +15,11 @@
 #ifndef XLVM_SIM_CORE_H
 #define XLVM_SIM_CORE_H
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
+#include "sim/addr_map.h"
 #include "sim/branch_pred.h"
 #include "sim/cache.h"
 #include "sim/inst.h"
@@ -145,6 +147,13 @@ class Core
         }
         cost += uint64_t(inst.extraLat) * kCycleFp;
 
+        // Plain ALU ops dominate every instruction mix; retire them
+        // without touching the class switch or the control-flow checks.
+        if (inst.cls == InstClass::IntAlu || inst.cls == InstClass::Nop) {
+            pc.cyclesFp += cost;
+            return;
+        }
+
         switch (inst.cls) {
           case InstClass::Load:
             ++pc.loads;
@@ -190,6 +199,46 @@ class Core
         pc.cyclesFp += cost;
     }
 
+    /**
+     * Consume @p n consecutive instructions of one arithmetic class
+     * starting at @p start_pc (4-byte spacing). Counters and cache/LRU
+     * state are bit-identical to emitting the instructions one by one;
+     * the per-instruction call and icache probes are amortized by
+     * batching same-line fetches through Cache::accessN. @p cls must be
+     * a non-memory, non-control class.
+     */
+    void
+    consumeStraight(InstClass cls, uint64_t start_pc, uint32_t n,
+                    uint8_t extra_lat = 0)
+    {
+        if (n == 0)
+            return;
+        PerfCounters &pc = buckets[bucket];
+        pc.instructions += n;
+        uint64_t cost =
+            uint64_t(n) * (issueCostFp + uint64_t(extra_lat) * kCycleFp +
+                           classCostFp(cls));
+        const uint64_t lineBytes = icache.lineBytes();
+        uint64_t p = start_pc;
+        uint64_t end = start_pc + 4ull * n;
+        while (p < end) {
+            uint64_t lineEnd = (p / lineBytes + 1) * lineBytes;
+            uint32_t k = uint32_t((std::min(lineEnd, end) - p) / 4);
+            if (!icache.accessN(p, k)) {
+                ++pc.icacheMisses;
+                cost += params.icacheMissPenalty * kCycleFp;
+            }
+            p += 4ull * k;
+        }
+        pc.cyclesFp += cost;
+    }
+
+    /** Translate a host pointer to its deterministic simulated address. */
+    uint64_t dataAddr(const void *p) { return dataSpace.translate(p); }
+
+    /** Forget a host pointer whose memory is being freed (GC). */
+    void releaseDataAddr(const void *p) { dataSpace.release(p); }
+
     /** Select which counter bucket subsequent instructions charge. */
     void setBucket(uint32_t b) { bucket = b < kMaxBuckets ? b : 0; }
     uint32_t currentBucket() const { return bucket; }
@@ -207,16 +256,44 @@ class Core
     /** Simulated wall-clock seconds at the configured frequency. */
     double seconds() const;
 
+    /**
+     * Reset every stat source to its freshly constructed state: counter
+     * buckets, both caches (counters, contents, and LRU clocks), and the
+     * branch unit's learned state. Replaying an identical instruction
+     * stream after resetStats() yields bit-identical counters. The data
+     * address map survives — it is an address-space property, not a
+     * statistic.
+     */
     void resetStats();
 
     const CoreParams &coreParams() const { return params; }
 
   private:
+    /** Fixed extra cycles of a non-memory, non-control class, in fp units. */
+    static uint64_t
+    classCostFp(InstClass cls)
+    {
+        switch (cls) {
+          case InstClass::IntMul:
+          case InstClass::FpMul:
+            return 2 * kCycleFp;
+          case InstClass::IntDiv:
+            return 18 * kCycleFp;
+          case InstClass::FpAlu:
+            return 1 * kCycleFp;
+          case InstClass::FpDiv:
+            return 12 * kCycleFp;
+          default:
+            return 0;
+        }
+    }
+
     CoreParams params;
     uint64_t issueCostFp;
     BranchUnit branchUnit;
     Cache icache;
     Cache dcache;
+    DataAddrSpace dataSpace;
     AnnotSink *sink = nullptr;
     uint32_t bucket = 0;
     std::array<PerfCounters, kMaxBuckets> buckets;

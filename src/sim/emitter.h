@@ -32,17 +32,12 @@ class BlockEmitter
     void
     alu(uint32_t n = 1, uint8_t extra_lat = 0)
     {
-        for (uint32_t i = 0; i < n; ++i)
-            emit(InstClass::IntAlu, extra_lat);
+        straight(InstClass::IntAlu, n, extra_lat);
     }
 
     void mul() { emit(InstClass::IntMul); }
     void div() { emit(InstClass::IntDiv); }
-    void fpAlu(uint32_t n = 1)
-    {
-        for (uint32_t i = 0; i < n; ++i)
-            emit(InstClass::FpAlu);
-    }
+    void fpAlu(uint32_t n = 1) { straight(InstClass::FpAlu, n); }
     void fpMul() { emit(InstClass::FpMul); }
     void fpDiv() { emit(InstClass::FpDiv); }
 
@@ -57,11 +52,23 @@ class BlockEmitter
         core_.consume(i);
     }
 
-    /** Load from an arbitrary host pointer (the usual case). */
+    /**
+     * Load from an arbitrary host pointer (the usual case). The pointer
+     * is translated to a deterministic simulated address so cache
+     * behaviour does not depend on where the host allocator placed the
+     * object (see sim::DataAddrSpace).
+     */
     void
     loadPtr(const void *p, uint8_t extra_lat = 0)
     {
-        load(reinterpret_cast<uint64_t>(p), extra_lat);
+        load(core_.dataAddr(p), extra_lat);
+    }
+
+    /** Load of a field at @p off bytes into the object behind @p p. */
+    void
+    loadPtrOff(const void *p, uint64_t off, uint8_t extra_lat = 0)
+    {
+        load(core_.dataAddr(p) + off, extra_lat);
     }
 
     void
@@ -74,7 +81,14 @@ class BlockEmitter
         core_.consume(i);
     }
 
-    void storePtr(const void *p) { store(reinterpret_cast<uint64_t>(p)); }
+    void storePtr(const void *p) { store(core_.dataAddr(p)); }
+
+    /** Store to a field at @p off bytes into the object behind @p p. */
+    void
+    storePtrOff(const void *p, uint64_t off)
+    {
+        store(core_.dataAddr(p) + off);
+    }
 
     void
     branch(bool taken)
@@ -151,6 +165,14 @@ class BlockEmitter
     }
 
   private:
+    /** Batched straight-line emission (amortizes per-inst call cost). */
+    void
+    straight(InstClass cls, uint32_t n, uint8_t extra_lat = 0)
+    {
+        core_.consumeStraight(cls, pc_, n, extra_lat);
+        pc_ += 4ull * n;
+    }
+
     uint64_t
     step()
     {

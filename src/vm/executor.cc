@@ -476,14 +476,14 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
           // ---- memory -------------------------------------------------
           case IrOp::GetfieldGc: {
             W_Object *w = asObj(A(0));
-            e.load(reinterpret_cast<uint64_t>(w) + 8 + op.aux * 8,
-                   env.costs().jitLoadStall);
+            e.loadPtrOff(w, 8 + uint64_t(op.aux) * 8,
+                         env.costs().jitLoadStall);
             setRes(w->rtGetField(op.aux));
             break;
           }
           case IrOp::SetfieldGc: {
             W_Object *w = asObj(A(0));
-            e.store(reinterpret_cast<uint64_t>(w) + 8 + op.aux * 8);
+            e.storePtrOff(w, 8 + uint64_t(op.aux) * 8);
             e.alu(1);
             e.branch(false); // write-barrier fast path
             w->rtSetField(op.aux, A(1), space.heap());
@@ -493,8 +493,8 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
             W_Object *w = asObj(A(0));
             int64_t i = A(1).i;
             e.alu(1);
-            e.load(reinterpret_cast<uint64_t>(w) + 32 + uint64_t(i) * 8,
-                   env.costs().jitLoadStall);
+            e.loadPtrOff(w, 32 + uint64_t(i) * 8,
+                         env.costs().jitLoadStall);
             setRes(w->rtGetItem(i));
             break;
           }
@@ -502,20 +502,20 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
             W_Object *w = asObj(A(0));
             int64_t i = A(1).i;
             e.alu(1);
-            e.store(reinterpret_cast<uint64_t>(w) + 32 + uint64_t(i) * 8);
+            e.storePtrOff(w, 32 + uint64_t(i) * 8);
             e.branch(false);
             w->rtSetItem(i, A(2), space.heap());
             break;
           }
           case IrOp::ArraylenGc: {
             W_Object *w = asObj(A(0));
-            e.load(reinterpret_cast<uint64_t>(w) + 16, 1);
+            e.loadPtrOff(w, 16, 1);
             setRes(RtVal::fromInt(w->rtLen()));
             break;
           }
           case IrOp::Strlen: {
             W_Object *w = asObj(A(0));
-            e.load(reinterpret_cast<uint64_t>(w) + 16, 1);
+            e.loadPtrOff(w, 16, 1);
             setRes(RtVal::fromInt(w->rtLen()));
             break;
           }
@@ -523,7 +523,7 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
             W_Object *w = asObj(A(0));
             int64_t i = A(1).i;
             e.alu(1);
-            e.load(reinterpret_cast<uint64_t>(w) + 32 + uint64_t(i), 1);
+            e.loadPtrOff(w, 32 + uint64_t(i), 1);
             setRes(w->rtGetItem(i));
             break;
           }

@@ -58,6 +58,14 @@ class GcPhaseHooks : public gc::GcHooks
         e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Gc));
     }
 
+    void
+    onObjectFree(const gc::GcObject *o) override
+    {
+        // Drop the simulated address so a recycled host allocation gets
+        // a fresh line instead of aliasing the dead object's.
+        env_.core().releaseDataAddr(o);
+    }
+
   private:
     obj::ExecEnv &env_;
     uint64_t sitePc = 0;

@@ -45,6 +45,40 @@ TEST(Cache, LruEviction)
     EXPECT_TRUE(c.access(256)); // line 2 still resident
 }
 
+TEST(Cache, AccessNMatchesRepeatedAccess)
+{
+    // accessN(addr, n) must leave counters and replacement state exactly
+    // as n back-to-back access(addr) calls would.
+    CacheParams p;
+    p.sizeBytes = 1024;
+    p.lineBytes = 64;
+    p.ways = 2;
+    Cache batched(p), looped(p);
+    Rng rng(42);
+    for (int it = 0; it < 5000; ++it) {
+        uint64_t addr = (rng.next() % 64) * 64;
+        uint32_t n = 1 + rng.next() % 7;
+        bool hitB = batched.accessN(addr, n);
+        bool hitL = looped.access(addr);
+        for (uint32_t i = 1; i < n; ++i)
+            looped.access(addr);
+        ASSERT_EQ(hitB, hitL) << "iteration " << it;
+        ASSERT_EQ(batched.hits(), looped.hits()) << "iteration " << it;
+        ASSERT_EQ(batched.misses(), looped.misses()) << "iteration " << it;
+    }
+}
+
+TEST(Cache, FullResetRestoresColdState)
+{
+    Cache c;
+    c.access(0x1000);
+    c.access(0x1000);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.access(0x1000)) << "line survived reset";
+}
+
 TEST(Gshare, LearnsAlwaysTaken)
 {
     BranchPredParams p;
@@ -232,6 +266,37 @@ TEST(Core, ResetStats)
     core.resetStats();
     EXPECT_EQ(core.totalInstructions(), 0u);
     EXPECT_EQ(core.totalCycles(), 0.0);
+}
+
+TEST(Core, ResetStatsClearsMicroarchState)
+{
+    // Regression: resetStats() must also reset predictor history and
+    // cache contents, so a replayed stream reproduces a fresh core's
+    // counters exactly (mispredicts and cache misses included).
+    auto stream = [](Core &core) {
+        Rng rng(7);
+        for (int i = 0; i < 5000; ++i) {
+            BlockEmitter e(core, 0x400000 + (rng.next() % 16) * 0x40);
+            e.alu(1 + int(rng.next() % 4));
+            e.loadPtr(&core, 1);
+            e.branch(rng.next() & 1);
+            e.indirectJump(0x410000 + (rng.next() % 8) * 0x100);
+        }
+    };
+
+    Core replayed, fresh;
+    stream(replayed); // warm predictors, caches, LRU clocks
+    replayed.resetStats();
+    stream(replayed);
+    stream(fresh);
+
+    PerfCounters a = replayed.totalCounters();
+    PerfCounters b = fresh.totalCounters();
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cyclesFp, b.cyclesFp);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
 }
 
 TEST(Core, DispatchLoopIndirectPredictability)
