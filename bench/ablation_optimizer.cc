@@ -18,6 +18,7 @@ using namespace xlvm::bench;
 int
 main(int argc, char **argv)
 {
+    Session session("ablation_optimizer", argc, argv);
     const char *names[] = {"chaos", "float", "crypto_pyaes",
                            "richards", "spectral_norm"};
     struct Variant
@@ -54,7 +55,7 @@ main(int argc, char **argv)
             runs.push_back(o);
         }
     }
-    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
+    std::vector<driver::RunResult> res = session.sweep(runs);
 
     // Row 0 ("full optimizer") is the normalization baseline.
     size_t vi = 0;
@@ -71,5 +72,5 @@ main(int argc, char **argv)
         ++vi;
     }
     printRule(18 + 16 * 5);
-    return 0;
+    return session.finish();
 }

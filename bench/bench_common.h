@@ -13,29 +13,145 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "driver/parallel.h"
 #include "driver/runner.h"
+#include "report/metrics.h"
 #include "workloads/workloads.h"
 
 namespace xlvm {
 namespace bench {
 
 /**
- * Run a sweep through the thread-pool harness, honoring --jobs/-j and
- * XLVM_JOBS. The job count goes to stderr so stdout stays byte-identical
- * to a sequential (--jobs 1) run; simulated counters are deterministic
- * regardless of job count, so the table/figure content never varies.
+ * One bench binary's run context: executes sweeps through the
+ * thread-pool harness (honoring --jobs/-j and XLVM_JOBS) and records
+ * every run into a report::MetricsRegistry so "--report json[:path]" /
+ * "--report csv[:path]" can emit a machine-readable report alongside —
+ * never instead of — the human-readable table on stdout.
+ *
+ * Job counts and report destinations go to stderr so stdout stays
+ * byte-identical to a sequential run; simulated counters are
+ * deterministic regardless of job count, so both the printed table and
+ * the exported report never vary with parallelism.
  */
-inline std::vector<driver::RunResult>
-runSweep(const std::vector<driver::RunOptions> &runs, int argc, char **argv)
+class Session
 {
-    unsigned jobs = driver::jobsFromArgs(argc, argv);
-    std::fprintf(stderr, "[%u job%s]\n", jobs, jobs == 1 ? "" : "s");
-    return driver::runWorkloadsParallel(runs, jobs);
+  public:
+    Session(const char *report_name, int argc, char **argv)
+        : registry(report_name), jobs_(driver::jobsFromArgs(argc, argv))
+    {
+        std::string err;
+        if (!report::targetsFromArgs(argc, argv, report_name, &targets_,
+                                     &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            std::exit(2);
+        }
+    }
+
+    /** Run a sweep through the harness; results keep the runs' order. */
+    std::vector<driver::RunResult>
+    sweep(const std::vector<driver::RunOptions> &runs)
+    {
+        std::fprintf(stderr, "[%u job%s]\n", jobs_,
+                     jobs_ == 1 ? "" : "s");
+        std::vector<driver::RunResult> res =
+            driver::runWorkloadsParallel(runs, jobs_);
+        for (size_t i = 0; i < runs.size(); ++i)
+            registry.addRun(runs[i], res[i]);
+        return res;
+    }
+
+    /** Run one configuration inline (Racket-family kinds dispatch). */
+    driver::RunResult
+    run(const driver::RunOptions &o)
+    {
+        driver::RunResult r =
+            (o.vm == driver::VmKind::RacketLike ||
+             o.vm == driver::VmKind::PycketJit)
+                ? driver::runRktWorkload(o)
+                : driver::runWorkload(o);
+        registry.addRun(o, r);
+        return r;
+    }
+
+    /** Emit every --report target; returns the process exit code. */
+    int
+    finish() const
+    {
+        std::string err;
+        if (!registry.writeAll(targets_, &err)) {
+            std::fprintf(stderr, "report: %s\n", err.c_str());
+            return 1;
+        }
+        for (const report::ReportTarget &t : targets_) {
+            if (t.path != "-")
+                std::fprintf(stderr, "[report: %s]\n", t.path.c_str());
+        }
+        return 0;
+    }
+
+    report::MetricsRegistry registry;
+
+  private:
+    std::vector<report::ReportTarget> targets_;
+    unsigned jobs_;
+};
+
+/**
+ * Apply a "--workloads a,b,c" (or --workloads=a,b,c) filter to a bench
+ * binary's default workload list, preserving the default order. Used by
+ * CI smoke jobs to run a reduced set. Requested names that are not in
+ * the default set are reported to stderr and ignored.
+ */
+inline std::vector<std::string>
+selectWorkloads(std::vector<std::string> defaults, int argc, char **argv)
+{
+    std::string spec;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--workloads") == 0 && i + 1 < argc)
+            spec = argv[i + 1];
+        else if (std::strncmp(argv[i], "--workloads=", 12) == 0)
+            spec = argv[i] + 12;
+    }
+    if (spec.empty())
+        return defaults;
+
+    std::vector<std::string> wanted;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        if (comma > start)
+            wanted.push_back(spec.substr(start, comma - start));
+        start = comma + 1;
+    }
+
+    std::vector<std::string> out;
+    for (const std::string &name : defaults) {
+        if (std::find(wanted.begin(), wanted.end(), name) != wanted.end())
+            out.push_back(name);
+    }
+    for (const std::string &name : wanted) {
+        if (std::find(defaults.begin(), defaults.end(), name) ==
+            defaults.end())
+            std::fprintf(stderr, "[--workloads: '%s' not in this "
+                                 "bench's set, ignored]\n",
+                         name.c_str());
+    }
+    return out;
+}
+
+/** Membership helper for benches that iterate a suite directly. */
+inline bool
+contains(const std::vector<std::string> &names, const std::string &name)
+{
+    return std::find(names.begin(), names.end(), name) != names.end();
 }
 
 /** Table I / figures workload subset (order follows the paper). */

@@ -18,17 +18,19 @@ using namespace xlvm::bench;
 int
 main(int argc, char **argv)
 {
+    Session session("fig2", argc, argv);
     std::printf("Figure 2: time spent in each phase (%% of cycles)\n");
     std::printf("%-20s %7s %8s %6s %9s %6s %10s\n", "Benchmark",
                 "interp", "tracing", "jit", "jit-call", "gc",
                 "blackhole");
     printRule(78);
 
-    const std::vector<std::string> names = figureWorkloads();
+    const std::vector<std::string> names =
+        selectWorkloads(figureWorkloads(), argc, argv);
     std::vector<driver::RunOptions> runs;
     for (const std::string &name : names)
         runs.push_back(baseOptions(name, driver::VmKind::PyPyJit));
-    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
+    std::vector<driver::RunResult> res = session.sweep(runs);
 
     for (size_t i = 0; i < names.size(); ++i) {
         const std::string &name = names[i];
@@ -44,5 +46,5 @@ main(int argc, char **argv)
                     pct(xlayer::Phase::Blackhole));
     }
     printRule(78);
-    return 0;
+    return session.finish();
 }

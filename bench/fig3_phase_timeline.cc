@@ -18,15 +18,16 @@ using namespace xlvm::bench;
 namespace {
 
 void
-timelineFor(const char *name)
+timelineFor(Session &session, const char *name)
 {
     driver::RunOptions o = bench::baseOptions(name,
                                               driver::VmKind::PyPyJit);
-    // ~40 bins across the run.
+    // ~40 bins across the run. The probe pass only sizes the bin, so
+    // it is not recorded in the metrics report.
     driver::RunResult probe = driver::runWorkload(o);
     uint64_t bin = std::max<uint64_t>(probe.instructions / 40, 2000);
     o.timelineBin = bin;
-    driver::RunResult r = driver::runWorkload(o);
+    driver::RunResult r = session.run(o);
 
     std::printf("\n%s (bin = %s instructions)\n", name,
                 formatCount(bin).c_str());
@@ -58,13 +59,15 @@ timelineFor(const char *name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session("fig3", argc, argv);
     std::printf("Figure 3: phase timeline for best- and worst-performing "
                 "benchmarks\n");
     // Best and worst JIT speedups from Table I plus a GC-heavy case.
-    timelineFor("spectral_norm");
-    timelineFor("django");
-    timelineFor("float");
-    return 0;
+    const std::vector<std::string> names = selectWorkloads(
+        {"spectral_norm", "django", "float"}, argc, argv);
+    for (const std::string &name : names)
+        timelineFor(session, name.c_str());
+    return session.finish();
 }

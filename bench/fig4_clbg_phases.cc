@@ -33,25 +33,31 @@ row(const char *vm, const driver::RunResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session("fig4", argc, argv);
     std::printf("Figure 4: phase breakdown for PyPy* and Pycket* on "
                 "CLBG\n");
     std::printf("%-18s %7s %8s %6s %9s %6s %10s\n", "Benchmark",
                 "interp", "tracing", "jit", "jit-call", "gc",
                 "blackhole");
     printRule(78);
+    std::vector<std::string> rktNames;
     for (const workloads::Workload &w : workloads::clbgSuite()) {
-        if (w.rktSource.empty())
-            continue;
-        std::printf("%s\n", w.name.c_str());
-        driver::RunResult pypy = driver::runWorkload(
-            baseOptions(w.name, driver::VmKind::PyPyJit));
+        if (!w.rktSource.empty())
+            rktNames.push_back(w.name);
+    }
+    const std::vector<std::string> names =
+        selectWorkloads(rktNames, argc, argv);
+    for (const std::string &name : names) {
+        std::printf("%s\n", name.c_str());
+        driver::RunResult pypy =
+            session.run(baseOptions(name, driver::VmKind::PyPyJit));
         row("PyPy*", pypy);
-        driver::RunResult pycket = driver::runRktWorkload(
-            baseOptions(w.name, driver::VmKind::PycketJit));
+        driver::RunResult pycket =
+            session.run(baseOptions(name, driver::VmKind::PycketJit));
         row("Pycket*", pycket);
     }
     printRule(78);
-    return 0;
+    return session.finish();
 }

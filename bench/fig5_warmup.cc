@@ -18,13 +18,15 @@ using namespace xlvm::bench;
 int
 main(int argc, char **argv)
 {
+    Session session("fig5", argc, argv);
     std::printf("Figure 5: JIT warmup break-even points "
                 "(instructions; window capped)\n");
     std::printf("%-20s %14s %16s %12s\n", "Benchmark",
                 "vs CPython*", "vs PyPy*-nojit", "final speedup");
     printRule(70);
 
-    const std::vector<std::string> names = figureWorkloads();
+    const std::vector<std::string> names =
+        selectWorkloads(figureWorkloads(), argc, argv);
     std::vector<driver::RunOptions> runs;
     for (const std::string &name : names) {
         runs.push_back(baseOptions(name, driver::VmKind::CPythonLike));
@@ -34,7 +36,7 @@ main(int argc, char **argv)
         jitOpt.workSampleInstrs = 20000;
         runs.push_back(jitOpt);
     }
-    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
+    std::vector<driver::RunResult> res = session.sweep(runs);
 
     for (size_t i = 0; i < names.size(); ++i) {
         const std::string &name = names[i];
@@ -65,5 +67,5 @@ main(int argc, char **argv)
     printRule(70);
     std::printf("(break-even: earliest point where cumulative bytecodes "
                 "on the JIT VM match the baseline's rate)\n");
-    return 0;
+    return session.finish();
 }

@@ -18,17 +18,19 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session("fig6", argc, argv);
     std::printf("Figure 6: JIT IR node statistics\n");
     std::printf("%-20s %12s %18s %18s\n", "Benchmark", "(a) compiled",
                 "(b) %% for 95%% exec", "(c) exec/Minstr");
     printRule(74);
 
-    for (const std::string &name : figureWorkloads()) {
+    for (const std::string &name :
+         selectWorkloads(figureWorkloads(), argc, argv)) {
         driver::RunOptions o = baseOptions(name, driver::VmKind::PyPyJit);
         o.irAnnotations = true;
-        driver::RunResult r = driver::runWorkload(o);
+        driver::RunResult r = session.run(o);
 
         // (b): sort node executions descending; count nodes covering 95%.
         std::vector<uint64_t> execs = r.irExecCounts;
@@ -57,5 +59,5 @@ main()
                     formatCount(uint64_t(perM)).c_str());
     }
     printRule(74);
-    return 0;
+    return session.finish();
 }

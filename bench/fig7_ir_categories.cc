@@ -17,8 +17,9 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session("fig7", argc, argv);
     std::printf("Figure 7: IR category breakdown per benchmark "
                 "(%% of dynamic IR executions, weighted by lowered "
                 "instructions)\n");
@@ -30,10 +31,11 @@ main()
     std::array<double, jit::kNumIrCategories> grand{};
     double grandTotal = 0;
 
-    for (const std::string &name : figureWorkloads()) {
+    for (const std::string &name :
+         selectWorkloads(figureWorkloads(), argc, argv)) {
         driver::RunOptions o = baseOptions(name, driver::VmKind::PyPyJit);
         o.irAnnotations = true;
-        driver::RunResult r = driver::runWorkload(o);
+        driver::RunResult r = session.run(o);
 
         std::array<double, jit::kNumIrCategories> weight{};
         double total = 0;
@@ -88,5 +90,5 @@ main()
                     100 * grand[uint32_t(jit::IrCategory::Ptr)] /
                         grandTotal);
     }
-    return 0;
+    return session.finish();
 }

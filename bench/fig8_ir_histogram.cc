@@ -17,15 +17,17 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session("fig8", argc, argv);
     std::map<jit::IrOp, uint64_t> freq;
     uint64_t total = 0;
 
-    for (const std::string &name : figureWorkloads()) {
+    for (const std::string &name :
+         selectWorkloads(figureWorkloads(), argc, argv)) {
         driver::RunOptions o = baseOptions(name, driver::VmKind::PyPyJit);
         o.irAnnotations = true;
-        driver::RunResult r = driver::runWorkload(o);
+        driver::RunResult r = session.run(o);
         for (size_t i = 0; i < r.irNodeMeta.size(); ++i) {
             freq[r.irNodeMeta[i].op] += r.irExecCounts[i];
             total += r.irExecCounts[i];
@@ -54,5 +56,5 @@ main()
     printRule(70);
     std::printf("%d of %zu node types are below 1%% of executions\n",
                 below1pct, sorted.size());
-    return 0;
+    return session.finish();
 }

@@ -17,14 +17,16 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session("fig9", argc, argv);
     // Dynamic execution counts to report only node types that occur.
     std::map<jit::IrOp, uint64_t> freq;
-    for (const std::string &name : figureWorkloads()) {
+    for (const std::string &name :
+         selectWorkloads(figureWorkloads(), argc, argv)) {
         driver::RunOptions o = baseOptions(name, driver::VmKind::PyPyJit);
         o.irAnnotations = true;
-        driver::RunResult r = driver::runWorkload(o);
+        driver::RunResult r = session.run(o);
         for (size_t i = 0; i < r.irNodeMeta.size(); ++i)
             freq[r.irNodeMeta[i].op] += r.irExecCounts[i];
     }
@@ -48,5 +50,5 @@ main()
                     std::string(n, '#').c_str());
     }
     printRule(70);
-    return 0;
+    return session.finish();
 }

@@ -18,6 +18,7 @@ using namespace xlvm::bench;
 int
 main(int argc, char **argv)
 {
+    Session session("table1", argc, argv);
     std::printf("Table I: PyPy Benchmark Suite Performance (simulated; "
                 "time = cycles @ 3GHz)\n");
     std::printf("%-20s | %9s %5s %5s | %9s %6s %5s %5s | %9s %6s %5s "
@@ -35,14 +36,15 @@ main(int argc, char **argv)
     std::vector<Row> rows;
     std::vector<double> speedups;
 
-    const std::vector<std::string> names = tableOneWorkloads();
+    const std::vector<std::string> names =
+        selectWorkloads(tableOneWorkloads(), argc, argv);
     std::vector<driver::RunOptions> runs;
     for (const std::string &name : names) {
         runs.push_back(baseOptions(name, driver::VmKind::CPythonLike));
         runs.push_back(baseOptions(name, driver::VmKind::PyPyNoJit));
         runs.push_back(baseOptions(name, driver::VmKind::PyPyJit));
     }
-    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
+    std::vector<driver::RunResult> res = session.sweep(runs);
 
     for (size_t i = 0; i < names.size(); ++i) {
         const std::string &name = names[i];
@@ -80,5 +82,5 @@ main(int argc, char **argv)
                 geomean(speedups));
     std::printf("(vC columns: noJIT shows slowdown factor vs CPython*, "
                 "JIT shows speedup)\n");
-    return 0;
+    return session.finish();
 }

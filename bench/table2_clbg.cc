@@ -18,6 +18,7 @@ using namespace xlvm::bench;
 int
 main(int argc, char **argv)
 {
+    Session session("table2", argc, argv);
     std::printf("Table II: CLBG performance (simulated seconds; '-' = "
                 "no implementation)\n");
     std::printf("%-16s %10s %10s %7s %10s %10s %7s %10s\n", "Benchmark",
@@ -28,9 +29,17 @@ main(int argc, char **argv)
     // Each workload contributes 2 runs, plus 2 more (Racket*/Pycket*)
     // when a MiniRkt translation exists; `first[i]` is workload i's
     // offset into the flat run list.
+    std::vector<std::string> clbgNames;
+    for (const workloads::Workload &w : workloads::clbgSuite())
+        clbgNames.push_back(w.name);
+    const std::vector<std::string> names =
+        selectWorkloads(clbgNames, argc, argv);
+
     std::vector<driver::RunOptions> runs;
     std::vector<size_t> first;
     for (const workloads::Workload &w : workloads::clbgSuite()) {
+        if (!contains(names, w.name))
+            continue;
         first.push_back(runs.size());
         runs.push_back(baseOptions(w.name, driver::VmKind::CPythonLike));
         runs.push_back(baseOptions(w.name, driver::VmKind::PyPyJit));
@@ -39,10 +48,12 @@ main(int argc, char **argv)
             runs.push_back(baseOptions(w.name, driver::VmKind::PycketJit));
         }
     }
-    std::vector<driver::RunResult> res = runSweep(runs, argc, argv);
+    std::vector<driver::RunResult> res = session.sweep(runs);
 
     size_t wi = 0;
     for (const workloads::Workload &w : workloads::clbgSuite()) {
+        if (!contains(names, w.name))
+            continue;
         size_t base = first[wi++];
         const driver::RunResult &cpy = res[base];
         const driver::RunResult &pypy = res[base + 1];
@@ -74,5 +85,5 @@ main(int argc, char **argv)
     printRule(92);
     std::printf("vC = PyPy* speedup over CPython*; vR = Pycket* speedup "
                 "over Racket*.\n");
-    return 0;
+    return session.finish();
 }

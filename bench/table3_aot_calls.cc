@@ -16,17 +16,19 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session("table3", argc, argv);
     std::printf("Table III: significant AOT-compiled functions from "
                 "meta-traces (>= 10%% of execution)\n");
     std::printf("%-20s %6s  %s\n", "Benchmark", "%", "Src Function");
     printRule(78);
 
     const rt::AotRegistry &reg = rt::AotRegistry::instance();
-    for (const std::string &name : figureWorkloads()) {
-        driver::RunResult r = driver::runWorkload(
-            baseOptions(name, driver::VmKind::PyPyJit));
+    for (const std::string &name :
+         selectWorkloads(figureWorkloads(), argc, argv)) {
+        driver::RunResult r =
+            session.run(baseOptions(name, driver::VmKind::PyPyJit));
         bool any = false;
         for (const auto &fn : r.aotFunctions) {
             double share = r.cycles > 0 ? fn.cycles / r.cycles : 0;
@@ -46,5 +48,5 @@ main()
     printRule(78);
     std::printf("Src: R = RPython type intrinsics, L = RPython stdlib, "
                 "C = external C, I = interpreter, M = module\n");
-    return 0;
+    return session.finish();
 }

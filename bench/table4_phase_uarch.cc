@@ -16,13 +16,15 @@ using namespace xlvm;
 using namespace xlvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Session session("table4", argc, argv);
     std::array<RunningStat, xlayer::kNumPhases> ipc, brPerInst, missRate;
 
-    for (const std::string &name : figureWorkloads()) {
-        driver::RunResult r = driver::runWorkload(
-            baseOptions(name, driver::VmKind::PyPyJit));
+    for (const std::string &name :
+         selectWorkloads(figureWorkloads(), argc, argv)) {
+        driver::RunResult r =
+            session.run(baseOptions(name, driver::VmKind::PyPyJit));
         // Like the paper, fold AOT calls from JIT code into the JIT
         // phase for this table.
         r.phaseCounters[uint32_t(xlayer::Phase::Jit)].accumulate(
@@ -60,5 +62,5 @@ main()
                     missRate[i].mean(), missRate[i].stddev());
     }
     printRule(70);
-    return 0;
+    return session.finish();
 }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Golden-snapshot regression gate.
+#
+# Regenerates the metrics report for every golden committed under
+# tests/golden/ and compares it with xlvm-check-golden. Counters are
+# deterministic regardless of --jobs, so any diff is a real behavior
+# change: either fix the regression, or — when the change is intended
+# to move counters — rerun with --update and commit the new goldens.
+#
+# Usage: ci/check_goldens.sh [build-dir] [--jobs N] [--update]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build=build
+jobs=$(nproc)
+update=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --jobs) jobs=$2; shift 2 ;;
+      --update) update="--update"; shift ;;
+      *) build=$1; shift ;;
+    esac
+done
+
+# golden stem -> bench binary that regenerates it
+bench_for() {
+    case "$1" in
+      table1) echo table1_pypy_suite ;;
+      table2) echo table2_clbg ;;
+      table3) echo table3_aot_calls ;;
+      table4) echo table4_phase_uarch ;;
+      fig2) echo fig2_phase_breakdown ;;
+      fig3) echo fig3_phase_timeline ;;
+      fig4) echo fig4_clbg_phases ;;
+      fig5) echo fig5_warmup ;;
+      fig6) echo fig6_ir_stats ;;
+      fig7) echo fig7_ir_categories ;;
+      fig8) echo fig8_ir_histogram ;;
+      fig9) echo fig9_asm_per_ir ;;
+      ablation_optimizer) echo ablation_optimizer ;;
+      *) echo "" ;;
+    esac
+}
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+fail=0
+
+for golden in tests/golden/*.json; do
+    stem=$(basename "$golden" .json)
+    bin=$(bench_for "$stem")
+    if [ -z "$bin" ]; then
+        echo "SKIP $golden: no bench binary mapped" >&2
+        continue
+    fi
+    echo "== $stem ($bin, $jobs jobs)"
+    "$build/bench/$bin" --jobs "$jobs" \
+        --report "json:$out/$stem.json" > /dev/null
+    "$build/tools/xlvm-check-golden" "$out/$stem.json" "$golden" \
+        $update || fail=1
+done
+
+exit $fail

@@ -14,7 +14,12 @@
 
 namespace xlvm {
 
-/** Running scalar statistic: count/sum/min/max/mean/stddev. */
+/**
+ * Running scalar statistic: count/sum/min/max/mean/stddev. Variance uses
+ * Welford's online algorithm: the naive sumSq/n - mean^2 form cancels
+ * catastrophically for large-mean/small-variance inputs (it can go
+ * negative and silently clamp to zero).
+ */
 class RunningStat
 {
   public:
@@ -23,22 +28,23 @@ class RunningStat
     {
         ++n;
         sum += x;
-        sumSq += x * x;
+        double delta = x - runMean;
+        runMean += delta / double(n);
+        m2 += delta * (x - runMean);
         minV = std::min(minV, x);
         maxV = std::max(maxV, x);
     }
 
     uint64_t count() const { return n; }
     double total() const { return sum; }
-    double mean() const { return n ? sum / n : 0.0; }
+    double mean() const { return n ? runMean : 0.0; }
 
     double
     stddev() const
     {
         if (n < 2)
             return 0.0;
-        double m = mean();
-        double var = sumSq / n - m * m;
+        double var = m2 / double(n);
         return var > 0 ? std::sqrt(var) : 0.0;
     }
 
@@ -49,7 +55,7 @@ class RunningStat
     reset()
     {
         n = 0;
-        sum = sumSq = 0.0;
+        sum = runMean = m2 = 0.0;
         minV = 1e300;
         maxV = -1e300;
     }
@@ -57,7 +63,8 @@ class RunningStat
   private:
     uint64_t n = 0;
     double sum = 0.0;
-    double sumSq = 0.0;
+    double runMean = 0.0;
+    double m2 = 0.0; ///< sum of squared deviations from the running mean
     double minV = 1e300;
     double maxV = -1e300;
 };

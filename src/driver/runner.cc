@@ -97,9 +97,25 @@ collect(vm::VmContext &ctx, RunResult &out)
     out.loopsCompiled = ctx.events.loopsCompiled;
     out.bridgesCompiled = ctx.events.bridgesCompiled;
     out.tracesAborted = ctx.events.tracesAborted;
+    out.traceEnters = ctx.events.traceEnters;
     out.deopts = ctx.events.deopts;
     out.gcMinor = ctx.events.gcMinor;
     out.gcMajor = ctx.events.gcMajor;
+
+    out.icacheHits = ctx.core.icacheUnit().hits();
+    out.icacheMisses = ctx.core.icacheUnit().misses();
+    out.dcacheHits = ctx.core.dcacheUnit().hits();
+    out.dcacheMisses = ctx.core.dcacheUnit().misses();
+
+    const gc::Heap::HeapStats &hs = ctx.heap.stats();
+    out.gcAllocations = hs.allocations;
+    out.gcPromotedBytes = hs.totalPromotedBytes;
+    out.gcFreedObjects = hs.totalFreed;
+    out.gcLiveYoungBytes = ctx.heap.youngByteCount();
+    out.gcLiveOldBytes = ctx.heap.oldByteCount();
+    out.gcLiveYoungObjects = ctx.heap.youngObjectCount();
+    out.gcLiveOldObjects = ctx.heap.oldObjectCount();
+    out.spaceOps = ctx.space.opCount();
 
     out.irNodesCompiled = ctx.backend.totalIrNodesCompiled();
     out.irNodeMeta = ctx.backend.nodeMeta();

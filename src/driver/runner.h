@@ -79,9 +79,26 @@ struct RunResult
     uint64_t loopsCompiled = 0;
     uint64_t bridgesCompiled = 0;
     uint64_t tracesAborted = 0;
+    uint64_t traceEnters = 0;
     uint64_t deopts = 0;
     uint64_t gcMinor = 0;
     uint64_t gcMajor = 0;
+
+    // Machine-level structure counters (caches; metrics reports).
+    uint64_t icacheHits = 0;
+    uint64_t icacheMisses = 0;
+    uint64_t dcacheHits = 0;
+    uint64_t dcacheMisses = 0;
+
+    // GC heap / object-space level (metrics reports).
+    uint64_t gcAllocations = 0;
+    uint64_t gcPromotedBytes = 0;
+    uint64_t gcFreedObjects = 0;
+    uint64_t gcLiveYoungBytes = 0;
+    uint64_t gcLiveOldBytes = 0;
+    uint64_t gcLiveYoungObjects = 0;
+    uint64_t gcLiveOldObjects = 0;
+    uint64_t spaceOps = 0; ///< object-space operations emitted
 
     // JIT-IR level (Figures 6-9).
     uint32_t irNodesCompiled = 0;

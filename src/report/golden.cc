@@ -1,0 +1,195 @@
+#include "report/golden.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace xlvm {
+namespace report {
+
+namespace {
+
+std::string
+renderValue(const Json &v)
+{
+    switch (v.kind()) {
+      case Json::Kind::String:
+        return v.asString();
+      default:
+        return v.dump(0);
+    }
+}
+
+struct Comparator
+{
+    const GoldenOptions &opts;
+    std::vector<Drift> drifts;
+
+    void
+    drift(const std::string &path, const Json *g, const Json *f,
+          std::string note)
+    {
+        Drift d;
+        d.path = path;
+        d.golden = g ? renderValue(*g) : "<missing>";
+        d.fresh = f ? renderValue(*f) : "<missing>";
+        d.note = std::move(note);
+        drifts.push_back(std::move(d));
+    }
+
+    /** Label an array element: prefer workload/vm identity when present. */
+    static std::string
+    elementLabel(const Json &el, size_t idx)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%zu", idx);
+        if (el.isObject()) {
+            const Json *w = el.get("workload");
+            const Json *vm = el.get("vm");
+            if (w && vm)
+                return std::string(buf) + ":" + w->asString() + "/" +
+                       vm->asString();
+        }
+        return buf;
+    }
+
+    void
+    compare(const std::string &path, const Json &g, const Json &f)
+    {
+        // Numbers: exact for integer-vs-integer, tolerant otherwise.
+        if (g.isNumber() && f.isNumber()) {
+            if (g.isInteger() && f.isInteger()) {
+                // Compare through the signed/unsigned union exactly.
+                bool gNeg = g.kind() == Json::Kind::Int && g.asInt() < 0;
+                bool fNeg = f.kind() == Json::Kind::Int && f.asInt() < 0;
+                if (gNeg != fNeg || (gNeg ? g.asInt() != f.asInt()
+                                          : g.asUInt() != f.asUInt())) {
+                    drift(path, &g, &f, "integer counter drift");
+                }
+                return;
+            }
+            double a = g.asDouble(), b = f.asDouble();
+            double diff = std::fabs(a - b);
+            double scale = std::max(std::fabs(a), std::fabs(b));
+            if (diff > opts.atol && diff > opts.rtol * scale) {
+                char note[64];
+                std::snprintf(note, sizeof(note), "rel err %.3g",
+                              scale > 0 ? diff / scale : diff);
+                drift(path, &g, &f, note);
+            }
+            return;
+        }
+
+        if (g.kind() != f.kind()) {
+            drift(path, &g, &f, "type mismatch");
+            return;
+        }
+
+        switch (g.kind()) {
+          case Json::Kind::Null:
+            return;
+          case Json::Kind::Bool:
+            if (g.asBool() != f.asBool())
+                drift(path, &g, &f, "bool drift");
+            return;
+          case Json::Kind::String:
+            if (g.asString() != f.asString())
+                drift(path, &g, &f, "string drift");
+            return;
+          case Json::Kind::Array: {
+            size_t n = std::min(g.size(), f.size());
+            for (size_t k = 0; k < n; ++k) {
+                std::string label = elementLabel(g.at(k), k);
+                compare(path + "[" + label + "]", g.at(k), f.at(k));
+            }
+            for (size_t k = n; k < g.size(); ++k)
+                drift(path + "[" + elementLabel(g.at(k), k) + "]",
+                      &g.at(k), nullptr, "element missing from fresh");
+            for (size_t k = n; k < f.size(); ++k)
+                drift(path + "[" + elementLabel(f.at(k), k) + "]", nullptr,
+                      &f.at(k), "element missing from golden");
+            return;
+          }
+          case Json::Kind::Object: {
+            for (const auto &kv : g.members()) {
+                std::string sub =
+                    path.empty() ? kv.first : path + "." + kv.first;
+                const Json *other = f.get(kv.first);
+                if (!other)
+                    drift(sub, &kv.second, nullptr, "key missing from fresh");
+                else
+                    compare(sub, kv.second, *other);
+            }
+            for (const auto &kv : f.members()) {
+                if (!g.get(kv.first)) {
+                    std::string sub =
+                        path.empty() ? kv.first : path + "." + kv.first;
+                    drift(sub, nullptr, &kv.second,
+                          "key missing from golden");
+                }
+            }
+            return;
+          }
+          default:
+            return;
+        }
+    }
+};
+
+} // namespace
+
+std::vector<Drift>
+compareReports(const Json &golden, const Json &fresh,
+               const GoldenOptions &opts)
+{
+    Comparator c{opts, {}};
+    c.compare("", golden, fresh);
+    return c.drifts;
+}
+
+std::string
+formatDriftDiff(const std::string &golden_name, const std::string &fresh_name,
+                const std::vector<Drift> &drifts)
+{
+    std::string out;
+    out += "--- " + golden_name + " (golden)\n";
+    out += "+++ " + fresh_name + " (fresh)\n";
+    for (const Drift &d : drifts) {
+        out += "@@ " + d.path;
+        if (!d.note.empty())
+            out += "  [" + d.note + "]";
+        out += "\n";
+        if (d.golden != "<missing>")
+            out += "-" + d.path + " = " + d.golden + "\n";
+        if (d.fresh != "<missing>")
+            out += "+" + d.path + " = " + d.fresh + "\n";
+    }
+    return out;
+}
+
+bool
+loadReport(const std::string &path, Json *out, std::string *err)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::string parseErr;
+    Json doc = Json::parse(ss.str(), &parseErr);
+    if (doc.isNull() && !parseErr.empty()) {
+        if (err)
+            *err = path + ":" + parseErr;
+        return false;
+    }
+    *out = std::move(doc);
+    return true;
+}
+
+} // namespace report
+} // namespace xlvm

@@ -1,0 +1,499 @@
+#include "report/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xlvm {
+namespace report {
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    kind_ = Kind::Object;
+    for (auto &kv : obj) {
+        if (kv.first == key) {
+            kv.second = std::move(value);
+            return kv.second;
+        }
+    }
+    obj.emplace_back(key, std::move(value));
+    return obj.back().second;
+}
+
+const Json *
+Json::get(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &kv : obj) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+Json &
+Json::push(Json value)
+{
+    kind_ = Kind::Array;
+    arr.push_back(std::move(value));
+    return arr.back();
+}
+
+void
+Json::escape(const std::string &s, std::string &out)
+{
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(char(c));
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+std::string
+Json::formatDouble(double v)
+{
+    if (std::isnan(v))
+        return "null"; // JSON has no NaN; counters never produce one
+    if (std::isinf(v))
+        return v > 0 ? "1e999" : "-1e999";
+    // Shortest form that round-trips to the identical bit pattern, so
+    // equal doubles always serialize to equal bytes.
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    // Make sure the token reads back as a float, not an integer.
+    if (!std::strpbrk(buf, ".eEn")) {
+        size_t len = std::strlen(buf);
+        buf[len] = '.';
+        buf[len + 1] = '0';
+        buf[len + 2] = '\0';
+    }
+    return buf;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? "\n" + std::string(size_t(indent) * (depth + 1), ' ')
+                   : "";
+    const std::string padClose =
+        indent > 0 ? "\n" + std::string(size_t(indent) * depth, ' ') : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    char buf[32];
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += b ? "true" : "false";
+        break;
+      case Kind::UInt:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, u);
+        out += buf;
+        break;
+      case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, i);
+        out += buf;
+        break;
+      case Kind::Float:
+        out += formatDouble(d);
+        break;
+      case Kind::String:
+        escape(str, out);
+        break;
+      case Kind::Array:
+        if (arr.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (size_t k = 0; k < arr.size(); ++k) {
+            if (k)
+                out.push_back(',');
+            out += pad;
+            arr[k].dumpTo(out, indent, depth + 1);
+        }
+        out += padClose;
+        out.push_back(']');
+        break;
+      case Kind::Object:
+        if (obj.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (size_t k = 0; k < obj.size(); ++k) {
+            if (k)
+                out.push_back(',');
+            out += pad;
+            escape(obj[k].first, out);
+            out += colon;
+            obj[k].second.dumpTo(out, indent, depth + 1);
+        }
+        out += padClose;
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---- parser -------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : s(text), err(error)
+    {
+    }
+
+    Json
+    run()
+    {
+        Json v = parseValue();
+        if (failed)
+            return Json();
+        skipWs();
+        if (pos != s.size()) {
+            fail("trailing characters after JSON value");
+            return Json();
+        }
+        return v;
+    }
+
+    bool ok() const { return !failed; }
+
+  private:
+    void
+    fail(const std::string &msg)
+    {
+        if (failed)
+            return;
+        failed = true;
+        if (err) {
+            size_t line = 1, col = 1;
+            for (size_t k = 0; k < pos && k < s.size(); ++k) {
+                if (s[k] == '\n') {
+                    ++line;
+                    col = 1;
+                } else {
+                    ++col;
+                }
+            }
+            *err = std::to_string(line) + ":" + std::to_string(col) + ": " +
+                   msg;
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        if (pos >= s.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        char c = s[pos];
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+            return parseLiteral("true", Json(true));
+          case 'f':
+            return parseLiteral("false", Json(false));
+          case 'n':
+            return parseLiteral("null", Json());
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber();
+            fail(std::string("unexpected character '") + c + "'");
+            return Json();
+        }
+    }
+
+    Json
+    parseLiteral(const char *word, Json value)
+    {
+        size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) == 0) {
+            pos += n;
+            return value;
+        }
+        fail(std::string("invalid literal, expected ") + word);
+        return Json();
+    }
+
+    Json
+    parseObject()
+    {
+        ++pos; // '{'
+        Json o = Json::object();
+        skipWs();
+        if (consume('}'))
+            return o;
+        while (!failed) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"') {
+                fail("expected object key string");
+                return Json();
+            }
+            Json key = parseString();
+            if (failed)
+                return Json();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return Json();
+            }
+            Json val = parseValue();
+            if (failed)
+                return Json();
+            o.set(key.asString(), std::move(val));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return o;
+            fail("expected ',' or '}' in object");
+        }
+        return Json();
+    }
+
+    Json
+    parseArray()
+    {
+        ++pos; // '['
+        Json a = Json::array();
+        skipWs();
+        if (consume(']'))
+            return a;
+        while (!failed) {
+            Json val = parseValue();
+            if (failed)
+                return Json();
+            a.push(std::move(val));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return a;
+            fail("expected ',' or ']' in array");
+        }
+        return Json();
+    }
+
+    Json
+    parseString()
+    {
+        ++pos; // opening quote
+        std::string out;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return Json(std::move(out));
+            }
+            if (c == '\\') {
+                if (pos + 1 >= s.size())
+                    break;
+                char e = s[pos + 1];
+                pos += 2;
+                switch (e) {
+                  case '"':
+                    out.push_back('"');
+                    break;
+                  case '\\':
+                    out.push_back('\\');
+                    break;
+                  case '/':
+                    out.push_back('/');
+                    break;
+                  case 'b':
+                    out.push_back('\b');
+                    break;
+                  case 'f':
+                    out.push_back('\f');
+                    break;
+                  case 'n':
+                    out.push_back('\n');
+                    break;
+                  case 'r':
+                    out.push_back('\r');
+                    break;
+                  case 't':
+                    out.push_back('\t');
+                    break;
+                  case 'u': {
+                    if (pos + 4 > s.size()) {
+                        fail("truncated \\u escape");
+                        return Json();
+                    }
+                    unsigned cp = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        char h = s[pos + size_t(k)];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else {
+                            fail("invalid \\u escape digit");
+                            return Json();
+                        }
+                    }
+                    pos += 4;
+                    // Encode the BMP code point as UTF-8 (surrogate
+                    // pairs are passed through as two 3-byte units).
+                    if (cp < 0x80) {
+                        out.push_back(char(cp));
+                    } else if (cp < 0x800) {
+                        out.push_back(char(0xC0 | (cp >> 6)));
+                        out.push_back(char(0x80 | (cp & 0x3F)));
+                    } else {
+                        out.push_back(char(0xE0 | (cp >> 12)));
+                        out.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+                        out.push_back(char(0x80 | (cp & 0x3F)));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape sequence");
+                    return Json();
+                }
+                continue;
+            }
+            out.push_back(c);
+            ++pos;
+        }
+        fail("unterminated string");
+        return Json();
+    }
+
+    Json
+    parseNumber()
+    {
+        size_t start = pos;
+        bool negative = consume('-');
+        bool integral = true;
+        while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9')
+            ++pos;
+        if (pos < s.size() && (s[pos] == '.' || s[pos] == 'e' ||
+                               s[pos] == 'E')) {
+            integral = false;
+            while (pos < s.size() &&
+                   (s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                    s[pos] == '+' || s[pos] == '-' ||
+                    (s[pos] >= '0' && s[pos] <= '9')))
+                ++pos;
+        }
+        std::string tok = s.substr(start, pos - start);
+        if (tok.empty() || tok == "-") {
+            fail("invalid number");
+            return Json();
+        }
+        if (integral) {
+            errno = 0;
+            if (negative) {
+                int64_t v = std::strtoll(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE)
+                    return Json(v);
+            } else {
+                uint64_t v = std::strtoull(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE)
+                    return Json(v);
+            }
+            // Out of 64-bit range: fall back to double.
+        }
+        return Json(std::strtod(tok.c_str(), nullptr));
+    }
+
+    const std::string &s;
+    std::string *err;
+    size_t pos = 0;
+    bool failed = false;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser p(text, error);
+    return p.run();
+}
+
+} // namespace report
+} // namespace xlvm

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Dependency-free JSON document model, serializer, and parser.
+ *
+ * Purpose-built for the metrics-export subsystem: object members keep
+ * insertion order (so a report serializes to a byte-stable layout),
+ * unsigned/signed 64-bit integers are first-class kinds emitted without
+ * any double round-trip (counters up to 2^64-1 survive exactly), and
+ * doubles are printed with the shortest decimal form that parses back
+ * to the identical bit pattern.
+ */
+
+#ifndef XLVM_REPORT_JSON_H
+#define XLVM_REPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xlvm {
+namespace report {
+
+class Json
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        UInt,
+        Int,
+        Float,
+        String,
+        Array,
+        Object
+    };
+
+    Json() : kind_(Kind::Null) {}
+    Json(bool v) : kind_(Kind::Bool), b(v) {}
+    Json(uint64_t v) : kind_(Kind::UInt), u(v) {}
+    Json(int64_t v) : kind_(Kind::Int), i(v) {}
+    Json(int v) : kind_(Kind::Int), i(v) {}
+    Json(unsigned v) : kind_(Kind::UInt), u(v) {}
+    Json(double v) : kind_(Kind::Float), d(v) {}
+    Json(std::string v) : kind_(Kind::String), str(std::move(v)) {}
+    Json(const char *v) : kind_(Kind::String), str(v) {}
+
+    static Json
+    array()
+    {
+        Json j;
+        j.kind_ = Kind::Array;
+        return j;
+    }
+
+    static Json
+    object()
+    {
+        Json j;
+        j.kind_ = Kind::Object;
+        return j;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    bool
+    isNumber() const
+    {
+        return kind_ == Kind::UInt || kind_ == Kind::Int ||
+               kind_ == Kind::Float;
+    }
+
+    /** True for the integer kinds (exact-comparison counters). */
+    bool isInteger() const { return kind_ == Kind::UInt || kind_ == Kind::Int; }
+
+    bool asBool() const { return b; }
+    uint64_t asUInt() const { return kind_ == Kind::Int ? uint64_t(i) : u; }
+    int64_t asInt() const { return kind_ == Kind::UInt ? int64_t(u) : i; }
+    const std::string &asString() const { return str; }
+
+    /** Numeric value widened to double (lossy above 2^53). */
+    double
+    asDouble() const
+    {
+        switch (kind_) {
+          case Kind::UInt:
+            return double(u);
+          case Kind::Int:
+            return double(i);
+          case Kind::Float:
+            return d;
+          default:
+            return 0.0;
+        }
+    }
+
+    // ---- object interface (insertion-ordered) -------------------------
+
+    /** Set a member, replacing in place if the key already exists. */
+    Json &set(const std::string &key, Json value);
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Json *get(const std::string &key) const;
+
+    const std::vector<std::pair<std::string, Json>> &
+    members() const
+    {
+        return obj;
+    }
+
+    // ---- array interface ----------------------------------------------
+
+    Json &push(Json value);
+    size_t size() const { return kind_ == Kind::Array ? arr.size() : obj.size(); }
+    const Json &at(size_t idx) const { return arr[idx]; }
+    const std::vector<Json> &items() const { return arr; }
+
+    // ---- serialization -------------------------------------------------
+
+    /**
+     * Serialize with the given indent width (0 = compact single line).
+     * Object members appear in insertion order; output is byte-stable
+     * for equal documents.
+     */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse a JSON text. On failure returns a Null value and, when
+     * @p error is non-null, stores a "line:col: message" description.
+     * Integers without fraction/exponent parse to UInt (or Int when
+     * negative); everything else numeric parses to Float.
+     */
+    static Json parse(const std::string &text, std::string *error = nullptr);
+
+    /** Format a double exactly as dump() would (shortest round-trip). */
+    static std::string formatDouble(double v);
+
+    /** Append the JSON string-escape of @p s (with quotes) to @p out. */
+    static void escape(const std::string &s, std::string &out);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool b = false;
+    uint64_t u = 0;
+    int64_t i = 0;
+    double d = 0.0;
+    std::string str;
+    std::vector<Json> arr;
+    std::vector<std::pair<std::string, Json>> obj;
+};
+
+} // namespace report
+} // namespace xlvm
+
+#endif // XLVM_REPORT_JSON_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Machine-readable metrics export (the paper-as-data subsystem).
+ *
+ * MetricsRegistry walks every layer's counters for each completed run —
+ * the xlayer phase/event/IR-node/AOT/work profilers, the sim core,
+ * cache, and branch-predictor statistics, the GC heap and object-space
+ * accounting, and the JIT trace/bridge/deopt counts — and flattens them
+ * into one stable, versioned schema:
+ *
+ *   { "schema_version": N, "report": <name>,
+ *     "runs": [ { "workload", "vm", "completed",
+ *                 "metrics": { section -> { counter -> value } } } ] }
+ *
+ * Deterministic integer counters stay 64-bit integers end to end (no
+ * double round-trip); derived ratios (IPC, MPKI, phase shares) are
+ * floats. Section names may nest with '/'. The same flat walk feeds the
+ * JSON and CSV serializers, so both formats always agree on coverage.
+ */
+
+#ifndef XLVM_REPORT_METRICS_H
+#define XLVM_REPORT_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/runner.h"
+#include "report/json.h"
+
+namespace xlvm {
+namespace report {
+
+/** One "--report fmt[:path]" destination. */
+struct ReportTarget
+{
+    enum class Format
+    {
+        Json,
+        Csv
+    };
+    Format format = Format::Json;
+    /** Output file; empty means "<default_stem>.<ext>" in the cwd. */
+    std::string path;
+};
+
+/**
+ * Collect every "--report json[:path]" / "--report csv[:path]" (also
+ * the --report=... spelling) from argv. Empty paths are defaulted to
+ * "<default_stem>.json|csv". Returns false and sets @p err on a
+ * malformed or unknown format.
+ */
+bool targetsFromArgs(int argc, char **argv, const std::string &default_stem,
+                     std::vector<ReportTarget> *out, std::string *err);
+
+class MetricsRegistry
+{
+  public:
+    /** Bump when the counter walk changes shape; goldens pin this. */
+    static constexpr uint64_t kSchemaVersion = 1;
+
+    explicit MetricsRegistry(std::string report_name);
+
+    /** Record one run: walks all layers' counters out of @p result. */
+    void addRun(const driver::RunOptions &opts,
+                const driver::RunResult &result);
+
+    size_t runCount() const { return runs_.size(); }
+
+    /** Full report document (stable member order). */
+    Json toJson() const;
+
+    /** Flat CSV: workload,vm,run,section,counter,value. */
+    std::string toCsv() const;
+
+    /**
+     * Serialize to @p target ("-" as path = stdout). Returns false and
+     * sets @p err on I/O failure.
+     */
+    bool write(const ReportTarget &target, std::string *err) const;
+    bool writeAll(const std::vector<ReportTarget> &targets,
+                  std::string *err) const;
+
+  private:
+    struct Metric
+    {
+        std::string section; ///< '/'-nested, e.g. "phases/interp"
+        std::string name;
+        bool isFloat = false;
+        uint64_t u = 0;
+        double d = 0.0;
+    };
+
+    struct Run
+    {
+        std::string workload;
+        std::string vm;
+        bool completed = false;
+        std::string error;
+        std::vector<Metric> metrics;
+    };
+
+    std::string name_;
+    std::vector<Run> runs_;
+};
+
+} // namespace report
+} // namespace xlvm
+
+#endif // XLVM_REPORT_METRICS_H

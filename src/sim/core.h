@@ -247,6 +247,10 @@ class Core
 
     const PerfCounters &bucketCounters(uint32_t b) const;
 
+    /** Read-only view of the L1 caches (hit/miss counters for reports). */
+    const Cache &icacheUnit() const { return icache; }
+    const Cache &dcacheUnit() const { return dcache; }
+
     /** Sum of all buckets. */
     PerfCounters totalCounters() const;
 

@@ -78,6 +78,32 @@ TEST(RunningStat, SingleValueHasZeroStddev)
     EXPECT_DOUBLE_EQ(s.mean(), 5.0);
 }
 
+TEST(RunningStat, LargeMeanSmallVariance)
+{
+    // Regression: the naive sumSq/n - mean^2 variance cancels
+    // catastrophically here (it went negative and clamped to 0);
+    // Welford's update keeps full precision.
+    RunningStat s;
+    const double base = 1e9;
+    s.add(base + 4.0);
+    s.add(base + 7.0);
+    s.add(base + 13.0);
+    s.add(base + 16.0);
+    // Population stddev of {4,7,13,16} is 4.7434...
+    EXPECT_NEAR(s.stddev(), 4.74341649, 1e-6);
+    EXPECT_DOUBLE_EQ(s.mean(), base + 10.0);
+}
+
+TEST(RunningStat, HugeOffsetStddevStaysExact)
+{
+    // With mean ~1e15 and unit spread, sumSq loses all variance bits.
+    RunningStat s;
+    for (int i = -2; i <= 2; ++i)
+        s.add(1e15 + i);
+    // Population stddev of {-2,-1,0,1,2} is sqrt(2).
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-6);
+}
+
 TEST(RunningStat, Reset)
 {
     RunningStat s;
