@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Host-side microbenchmarks for the trace execution engine: wall-clock
+ * throughput of TraceExecutor::run over hand-built hot traces (the same
+ * canonical loops the vm-layer unit tests use). This is the benchmark
+ * the threaded-code/micro-op engine's speedup target is measured on.
+ *
+ * The fusion on/off variants toggle superinstruction fusion through the
+ * XLVM_NO_FUSE environment escape hatch (checked at Backend::compile
+ * time), so the source also builds against engines that predate the
+ * in-config toggle — which is exactly what the before/after comparison
+ * needs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "jit/opt.h"
+#include "jit/recorder.h"
+#include "vm/context.h"
+
+namespace {
+
+using namespace xlvm;
+
+using jit::BoxType;
+using jit::IrOp;
+using jit::kNoArg;
+using jit::RtVal;
+
+jit::Snapshot
+frameSnap(void *code, uint32_t pc, std::vector<int32_t> stack)
+{
+    jit::Snapshot s;
+    jit::FrameSnapshot f;
+    f.code = code;
+    f.pc = pc;
+    f.stack = std::move(stack);
+    s.frames.push_back(std::move(f));
+    return s;
+}
+
+jit::Trace *
+registerTrace(vm::VmContext &ctx, jit::Recorder &rec)
+{
+    jit::OptParams op;
+    op.classOf = [](void *p) {
+        return p ? uint32_t(static_cast<obj::W_Object *>(p)->typeId())
+                 : 0u;
+    };
+    auto optimized =
+        std::make_unique<jit::Trace>(jit::optimize(rec.take(), op));
+    optimized->id = ctx.registry.nextId();
+    ctx.backend.compile(*optimized);
+    return ctx.registry.add(std::move(optimized));
+}
+
+/**
+ * "while i < limit: i += 1" over boxed ints — the canonical meta-trace
+ * (guard_class, getfield, int_lt+guard_true, int_add_ovf+guard_no_
+ * overflow, virtualized re-box, jump). The hot int-arithmetic loop.
+ */
+jit::Trace *
+buildCountingLoop(vm::VmContext &ctx, void *code, int64_t limit)
+{
+    jit::Recorder rec(code, 7, false);
+    rec.setAnchorLocals(1);
+    obj::W_Int *seed = ctx.space.newInt(0);
+    int32_t in0 = rec.addInputRef(seed);
+    rec.atMergePoint(0, [&] { return frameSnap(code, 7, {in0}); });
+    rec.guardClass(in0, obj::kTypeInt);
+    int32_t v = rec.emitTyped(IrOp::GetfieldGc, BoxType::Int, in0,
+                              kNoArg, kNoArg, obj::kFieldValue);
+    int32_t cmp = rec.emit(IrOp::IntLt, v, rec.constInt(limit));
+    rec.guardTrue(cmp);
+    int32_t next = rec.emit(IrOp::IntAddOvf, v, rec.constInt(1));
+    rec.guardNoOverflow();
+    int32_t box = rec.emit(IrOp::NewWithVtable, kNoArg, kNoArg, kNoArg,
+                           obj::kTypeInt);
+    rec.emit(IrOp::SetfieldGc, box, next, kNoArg, obj::kFieldValue);
+    rec.closeLoop({box});
+    return registerTrace(ctx, rec);
+}
+
+/**
+ * A branchy, guard-heavy loop body: five guards per iteration (four of
+ * them fusible compare→guard / ovf→guard pairs), plus masking
+ * arithmetic between them. Models the polymorphic-dispatch-style traces
+ * where dispatch overhead, not arithmetic, dominates.
+ */
+jit::Trace *
+buildBranchyLoop(vm::VmContext &ctx, void *code, int64_t limit)
+{
+    jit::Recorder rec(code, 11, false);
+    rec.setAnchorLocals(1);
+    obj::W_Int *seed = ctx.space.newInt(0);
+    int32_t in0 = rec.addInputRef(seed);
+    rec.atMergePoint(0, [&] { return frameSnap(code, 11, {in0}); });
+    rec.guardClass(in0, obj::kTypeInt);
+    int32_t v = rec.emitTyped(IrOp::GetfieldGc, BoxType::Int, in0,
+                              kNoArg, kNoArg, obj::kFieldValue);
+    int32_t cmp = rec.emit(IrOp::IntLt, v, rec.constInt(limit));
+    rec.guardTrue(cmp);
+    int32_t low = rec.emit(IrOp::IntAnd, v, rec.constInt(0xff));
+    int32_t nonneg = rec.emit(IrOp::IntGe, low, rec.constInt(0));
+    rec.guardTrue(nonneg);
+    int32_t sentinel = rec.emit(IrOp::IntEq, v, rec.constInt(-1));
+    rec.guardFalse(sentinel);
+    int32_t mix = rec.emit(IrOp::IntXor, low, rec.constInt(0x55));
+    int32_t bounded = rec.emit(IrOp::IntLe, mix, rec.constInt(0xff));
+    rec.guardTrue(bounded);
+    int32_t next = rec.emit(IrOp::IntAddOvf, v, rec.constInt(1));
+    rec.guardNoOverflow();
+    int32_t box = rec.emit(IrOp::NewWithVtable, kNoArg, kNoArg, kNoArg,
+                           obj::kTypeInt);
+    rec.emit(IrOp::SetfieldGc, box, next, kNoArg, obj::kFieldValue);
+    rec.closeLoop({box});
+    return registerTrace(ctx, rec);
+}
+
+constexpr int64_t kIters = 4096; ///< loop iterations per executor entry
+
+/** RAII toggle for the XLVM_NO_FUSE escape hatch. */
+struct ScopedNoFuse
+{
+    explicit ScopedNoFuse(bool disable)
+    {
+        if (disable)
+            setenv("XLVM_NO_FUSE", "1", 1);
+        else
+            unsetenv("XLVM_NO_FUSE");
+    }
+    ~ScopedNoFuse() { unsetenv("XLVM_NO_FUSE"); }
+};
+
+void
+runTraceExecBench(benchmark::State &state,
+                  jit::Trace *(*build)(vm::VmContext &, void *, int64_t),
+                  bool noFuse)
+{
+    ScopedNoFuse guard(noFuse);
+    vm::VmContext ctx;
+    int code;
+    jit::Trace *t = build(ctx, &code, kIters);
+    for (auto _ : state) {
+        obj::W_Int *start = ctx.space.newInt(0);
+        vm::DeoptResult res =
+            ctx.executor.run(*t, {RtVal::fromRef(start)});
+        benchmark::DoNotOptimize(res.frames.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * kIters);
+    state.counters["deopts"] =
+        benchmark::Counter(double(ctx.executor.deoptCount()));
+}
+
+void
+BM_TraceExec_HotLoop(benchmark::State &state)
+{
+    runTraceExecBench(state, buildCountingLoop, false);
+}
+BENCHMARK(BM_TraceExec_HotLoop);
+
+void
+BM_TraceExec_HotLoop_NoFuse(benchmark::State &state)
+{
+    runTraceExecBench(state, buildCountingLoop, true);
+}
+BENCHMARK(BM_TraceExec_HotLoop_NoFuse);
+
+void
+BM_TraceExec_Branchy(benchmark::State &state)
+{
+    runTraceExecBench(state, buildBranchyLoop, false);
+}
+BENCHMARK(BM_TraceExec_Branchy);
+
+void
+BM_TraceExec_Branchy_NoFuse(benchmark::State &state)
+{
+    runTraceExecBench(state, buildBranchyLoop, true);
+}
+BENCHMARK(BM_TraceExec_Branchy_NoFuse);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -60,6 +60,7 @@ configFor(const RunOptions &opts)
     cfg.jit.loopThreshold = opts.loopThreshold;
     cfg.jit.bridgeThreshold = opts.bridgeThreshold;
     cfg.jit.irNodeAnnotations = opts.irAnnotations;
+    cfg.jit.fuseMicroOps = opts.jitFuseMicroOps;
     cfg.jit.optVirtualize = opts.optVirtualize;
     cfg.jit.optHeapCache = opts.optHeapCache;
     cfg.jit.optElideGuards = opts.optElideGuards;

@@ -43,6 +43,9 @@ struct RunOptions
     uint64_t workSampleInstrs = 50000;
     uint32_t loopThreshold = 1039;
     uint32_t bridgeThreshold = 200;
+    /** Superinstruction fusion in the trace execution engine (host
+     *  dispatch only; modeled counters are invariant). */
+    bool jitFuseMicroOps = true;
     /** Optimizer ablation toggles. */
     bool optVirtualize = true;
     bool optHeapCache = true;

@@ -1,7 +1,17 @@
 #include "jit/backend.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace xlvm {
 namespace jit {
+
+bool
+fusionDisabledByEnv()
+{
+    const char *e = std::getenv("XLVM_NO_FUSE");
+    return e && *e && std::strcmp(e, "0") != 0;
+}
 
 uint32_t
 loweredInstCount(IrOp op)
@@ -144,9 +154,19 @@ Backend::compile(Trace &trace)
     if (offsets.size() <= trace.id) {
         offsets.resize(trace.id + 1);
         nodeIds.resize(trace.id + 1);
+        programs.resize(trace.id + 1);
     }
+    programs[trace.id] =
+        lowerTrace(trace, offs, ids, fuseMicroOps && !fusionDisabledByEnv());
     offsets[trace.id] = std::move(offs);
     nodeIds[trace.id] = std::move(ids);
+}
+
+MicroProgram &
+Backend::program(uint32_t trace_id)
+{
+    XLVM_ASSERT(trace_id < programs.size(), "trace not compiled");
+    return programs[trace_id];
 }
 
 const std::vector<int32_t> &

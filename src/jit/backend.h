@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "jit/ir.h"
+#include "jit/lower.h"
 #include "sim/code_space.h"
 
 namespace xlvm {
@@ -28,6 +29,10 @@ namespace jit {
 
 /** Synthetic instructions in the lowering of one IR op. */
 uint32_t loweredInstCount(IrOp op);
+
+/** True when the XLVM_NO_FUSE escape hatch disables superinstruction
+ *  fusion for the whole process (differential testing / debugging). */
+bool fusionDisabledByEnv();
 
 /** Metadata for one compiled (countable) IR node. */
 struct IrNodeMeta
@@ -39,11 +44,15 @@ struct IrNodeMeta
 class Backend
 {
   public:
-    explicit Backend(sim::CodeSpace &cs) : codeSpace(cs) {}
+    explicit Backend(sim::CodeSpace &cs, bool fuse_micro_ops = true)
+        : codeSpace(cs), fuseMicroOps(fuse_micro_ops)
+    {
+    }
 
     /**
      * Assemble @p trace: assigns codePc / codeInsts / opPc offsets /
-     * irNodeBase, registers node metadata, sizes guardStates.
+     * irNodeBase, registers node metadata, sizes guardStates, and
+     * pre-lowers the trace into its micro-op program (jit/lower.h).
      */
     void compile(Trace &trace);
 
@@ -53,16 +62,24 @@ class Backend
     /** Per-op global IR-node id (-1 for labels/debug markers). */
     const std::vector<int32_t> &opNodeIds(uint32_t trace_id) const;
 
+    /** The pre-lowered micro-op program the executor dispatches over.
+     *  Mutable: the executor patches handler pointers on first entry. */
+    MicroProgram &program(uint32_t trace_id);
+
     /** All compiled IR nodes across all traces, indexed by global id. */
     const std::vector<IrNodeMeta> &nodeMeta() const { return nodes; }
 
     uint32_t totalIrNodesCompiled() const { return uint32_t(nodes.size()); }
 
+    bool fusionEnabled() const { return fuseMicroOps; }
+
   private:
     sim::CodeSpace &codeSpace;
+    bool fuseMicroOps;
     std::vector<IrNodeMeta> nodes;
     std::vector<std::vector<uint32_t>> offsets; ///< per trace id
     std::vector<std::vector<int32_t>> nodeIds;  ///< per trace id
+    std::vector<MicroProgram> programs;         ///< per trace id
 };
 
 } // namespace jit

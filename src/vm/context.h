@@ -59,7 +59,7 @@ class VmContext
           env(core, codeSpace, heap, cfg.flavor, cfg.costs),
           gcHooks(env),
           space(env),
-          backend(codeSpace),
+          backend(codeSpace, cfg.jit.fuseMicroOps),
           registry(heap),
           executor(space, registry, backend, cfg.jit)
     {

@@ -2,12 +2,15 @@
  * @file
  * JIT-compiled trace execution.
  *
- * The executor plays the role of the generated machine code: it walks the
- * optimized IR with an unboxed register file, emitting each op's lowered
- * instruction expansion (exactly the Backend's Figure-9 templates, with
- * live memory addresses and branch outcomes) while performing the
- * semantics directly on raw object fields — no dynamic dispatch, which is
- * precisely why the JIT phase has the best IPC in Table IV.
+ * The executor plays the role of the generated machine code: it
+ * dispatches threaded-code style over the micro-op program the backend
+ * pre-lowered from the optimized IR (jit/lower.h), with an unboxed
+ * register file whose tail holds the trace constants. Each handler emits
+ * the op's lowered instruction expansion (exactly the Backend's Figure-9
+ * templates, with live memory addresses and branch outcomes) while
+ * performing the semantics directly on raw object fields — no dynamic
+ * dispatch in the modeled code, which is precisely why the JIT phase has
+ * the best IPC in Table IV.
  *
  * Guard failures bump per-guard counters, either transfer to an attached
  * bridge trace or deoptimize through the blackhole. Loop back-edges are
@@ -61,18 +64,9 @@ class TraceExecutor : public gc::RootProvider
         std::vector<jit::RtVal> *regs;
     };
 
-    jit::RtVal
-    val(const jit::Trace &t, const std::vector<jit::RtVal> &regs,
-        int32_t ref) const
-    {
-        if (jit::isConstRef(ref))
-            return t.constAt(ref);
-        return regs[ref];
-    }
-
-    /** Perform one recorded AOT call (the recorded ABI). */
-    jit::RtVal performCall(const jit::ResOp &op, const jit::Trace &t,
-                           std::vector<jit::RtVal> &regs);
+    /** Perform one recorded AOT call (the recorded ABI). Operands come
+     *  pre-decoded as direct register-file indices in the micro-op. */
+    jit::RtVal performCall(const jit::MicroOp &m, jit::RtVal *regs);
 
     obj::ObjSpace &space;
     TraceRegistry &registry;

@@ -16,10 +16,8 @@
 namespace xlvm {
 namespace vm {
 
-using jit::kNoArg;
-using jit::ResOp;
+using jit::MicroOp;
 using jit::RtVal;
-using jit::Trace;
 using obj::CmpOp;
 using obj::RtSem;
 using obj::W_Dict;
@@ -30,20 +28,19 @@ using obj::W_Str;
 using obj::W_Tuple;
 
 RtVal
-TraceExecutor::performCall(const ResOp &op, const Trace &t,
-                           std::vector<RtVal> &regs)
+TraceExecutor::performCall(const MicroOp &m, RtVal *regs)
 {
     auto A = [&](int i) -> RtVal {
-        XLVM_ASSERT(op.args[i] != kNoArg, "missing call arg ", i);
-        return val(t, regs, op.args[i]);
+        XLVM_ASSERT(m.argMask & (1u << i), "missing call arg ", i);
+        return regs[m.arg[i]];
     };
-    auto hasArg = [&](int i) { return op.args[i] != kNoArg; };
+    auto hasArg = [&](int i) { return (m.argMask & (1u << i)) != 0; };
     auto obj = [&](int i) -> W_Object * {
         return static_cast<W_Object *>(A(i).r);
     };
 
-    uint32_t sem = uint32_t(op.expect);
-    uint32_t fn = op.aux;
+    uint32_t sem = uint32_t(m.expect);
+    uint32_t fn = m.aux;
 
     // ---- semantics that override the function id --------------------
     switch (sem) {

@@ -30,6 +30,10 @@ struct JitParams
     /** Emit kIrNode annotations during trace execution. */
     bool irNodeAnnotations = false;
     bool enableJit = true;
+    /** Fuse compare→guard / getfield→guard_class / int-ovf→guard pairs
+     *  into superinstructions at trace-lowering time (host dispatch win
+     *  only; the modeled instruction stream is invariant). */
+    bool fuseMicroOps = true;
     /** Optimizer toggles (ablations). */
     bool optFoldConstants = true;
     bool optElideGuards = true;
