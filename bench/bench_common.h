@@ -22,6 +22,7 @@
 #include "driver/parallel.h"
 #include "driver/runner.h"
 #include "report/metrics.h"
+#include "report/trace_export.h"
 #include "workloads/workloads.h"
 
 namespace xlvm {
@@ -38,6 +39,16 @@ namespace bench {
  * byte-identical to a sequential run; simulated counters are
  * deterministic regardless of job count, so both the printed table and
  * the exported report never vary with parallelism.
+ *
+ * Event tracing: a repeatable "--trace[:path]" (or --trace=path) flag —
+ * or the XLVM_TRACE environment variable (XLVM_TRACE=1 for the default
+ * path, XLVM_TRACE=path otherwise; flags win) — streams every recorded
+ * run's cross-layer events into one combined Chrome trace-event JSON
+ * file (one process per run; open in ui.perfetto.dev, inspect with
+ * tools/xlvm-trace). "--trace-buffer-events N" sizes the per-run ring
+ * buffer; when a run overflows it, the newest events survive, the
+ * overwritten oldest ones are counted, and a one-line warning is
+ * printed at exit.
  */
 class Session
 {
@@ -51,6 +62,7 @@ class Session
             std::fprintf(stderr, "%s\n", err.c_str());
             std::exit(2);
         }
+        parseTraceArgs(report_name, argc, argv);
     }
 
     /** Run a sweep through the harness; results keep the runs' order. */
@@ -59,27 +71,52 @@ class Session
     {
         std::fprintf(stderr, "[%u job%s]\n", jobs_,
                      jobs_ == 1 ? "" : "s");
+        std::vector<driver::RunOptions> traced = runs;
+        if (tracing()) {
+            for (driver::RunOptions &o : traced) {
+                o.traceBufferEvents = traceBufferEvents_;
+                o.traceRunId = uint32_t(traceBuilder_.runCount() +
+                                        (&o - traced.data()));
+            }
+        }
         std::vector<driver::RunResult> res =
-            driver::runWorkloadsParallel(runs, jobs_);
-        for (size_t i = 0; i < runs.size(); ++i)
-            registry.addRun(runs[i], res[i]);
+            driver::runWorkloadsParallel(traced, jobs_);
+        for (size_t i = 0; i < traced.size(); ++i) {
+            registry.addRun(traced[i], res[i]);
+            if (tracing()) {
+                traceBuilder_.addRun(traced[i].workload,
+                                     driver::vmKindName(traced[i].vm),
+                                     res[i].trace);
+            }
+        }
         return res;
     }
 
     /** Run one configuration inline (Racket-family kinds dispatch). */
     driver::RunResult
-    run(const driver::RunOptions &o)
+    run(const driver::RunOptions &opts)
     {
+        driver::RunOptions o = opts;
+        if (tracing()) {
+            o.traceBufferEvents = traceBufferEvents_;
+            o.traceRunId = uint32_t(traceBuilder_.runCount());
+        }
         driver::RunResult r =
             (o.vm == driver::VmKind::RacketLike ||
              o.vm == driver::VmKind::PycketJit)
                 ? driver::runRktWorkload(o)
                 : driver::runWorkload(o);
         registry.addRun(o, r);
+        if (tracing()) {
+            traceBuilder_.addRun(o.workload, driver::vmKindName(o.vm),
+                                 r.trace);
+        }
         return r;
     }
 
-    /** Emit every --report target; returns the process exit code. */
+    bool tracing() const { return !tracePaths_.empty(); }
+
+    /** Emit every --report and --trace target; returns the exit code. */
     int
     finish() const
     {
@@ -92,14 +129,72 @@ class Session
             if (t.path != "-")
                 std::fprintf(stderr, "[report: %s]\n", t.path.c_str());
         }
+        if (tracing()) {
+            report::Json doc = traceBuilder_.toJson();
+            for (const std::string &path : tracePaths_) {
+                if (!report::writeChromeTrace(doc, path, &err)) {
+                    std::fprintf(stderr, "trace: %s\n", err.c_str());
+                    return 1;
+                }
+                if (path != "-")
+                    std::fprintf(stderr, "[trace: %s]\n", path.c_str());
+            }
+            if (traceBuilder_.droppedEvents() > 0) {
+                std::fprintf(stderr,
+                             "xlvm: trace: %llu events dropped (ring "
+                             "wrapped; oldest overwritten) — raise "
+                             "--trace-buffer-events\n",
+                             (unsigned long long)
+                                 traceBuilder_.droppedEvents());
+            }
+        }
         return 0;
     }
 
     report::MetricsRegistry registry;
 
   private:
+    void
+    parseTraceArgs(const char *report_name, int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            if (std::strcmp(a, "--trace") == 0) {
+                tracePaths_.push_back("");
+            } else if (std::strncmp(a, "--trace:", 8) == 0) {
+                tracePaths_.push_back(a + 8);
+            } else if (std::strncmp(a, "--trace=", 8) == 0) {
+                tracePaths_.push_back(a + 8);
+            } else if (std::strcmp(a, "--trace-buffer-events") == 0 &&
+                       i + 1 < argc) {
+                traceBufferEvents_ = std::strtoull(argv[++i], nullptr, 10);
+            } else if (std::strncmp(a, "--trace-buffer-events=", 22) ==
+                       0) {
+                traceBufferEvents_ = std::strtoull(a + 22, nullptr, 10);
+            }
+        }
+        if (tracePaths_.empty()) {
+            const char *env = std::getenv("XLVM_TRACE");
+            if (env && *env && std::strcmp(env, "0") != 0) {
+                tracePaths_.push_back(std::strcmp(env, "1") == 0 ? ""
+                                                                 : env);
+            }
+        }
+        if (traceBufferEvents_ == 0)
+            traceBufferEvents_ = kDefaultTraceBufferEvents;
+        for (std::string &p : tracePaths_) {
+            if (p.empty())
+                p = std::string(report_name) + "-trace.json";
+        }
+    }
+
+    static constexpr uint64_t kDefaultTraceBufferEvents = 1u << 20;
+
     std::vector<report::ReportTarget> targets_;
     unsigned jobs_;
+    std::vector<std::string> tracePaths_;
+    uint64_t traceBufferEvents_ = kDefaultTraceBufferEvents;
+    report::ChromeTraceBuilder traceBuilder_;
 };
 
 /**

@@ -68,6 +68,9 @@ configFor(const RunOptions &opts)
     cfg.maxInstructions = opts.maxInstructions;
     cfg.phaseTimelineBin = opts.timelineBin;
     cfg.workSampleInstrs = opts.workSampleInstrs;
+    cfg.tracer.capacityEvents = opts.traceBufferEvents;
+    cfg.tracer.tagMask = opts.traceTagMask;
+    cfg.tracer.runId = uint8_t(opts.traceRunId);
     return cfg;
 }
 
@@ -94,6 +97,9 @@ collect(vm::VmContext &ctx, RunResult &out)
 
     out.work = ctx.work.totalWork();
     out.warmupCurve = ctx.work.samples();
+
+    out.trace = ctx.tracer.take();
+    out.phaseUnderflows = ctx.phases.phaseUnderflows();
 
     out.loopsCompiled = ctx.events.loopsCompiled;
     out.bridgesCompiled = ctx.events.bridgesCompiled;

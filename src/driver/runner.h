@@ -15,6 +15,7 @@
 #include "vm/registry.h"
 #include "xlayer/aot_profiler.h"
 #include "xlayer/phase_profiler.h"
+#include "xlayer/tracer.h"
 #include "xlayer/work_profiler.h"
 
 namespace xlvm {
@@ -51,6 +52,16 @@ struct RunOptions
     bool optHeapCache = true;
     bool optElideGuards = true;
     bool optFoldConstants = true;
+    /**
+     * Streaming event-tracer ring capacity in events (0 = tracing off).
+     * When full the ring wraps: the newest events survive, overwritten
+     * ones are counted in RunResult::trace.droppedEvents.
+     */
+    uint64_t traceBufferEvents = 0;
+    /** Which AnnotTags the tracer records (bit per tag). */
+    uint32_t traceTagMask = xlayer::kDefaultTraceTagMask;
+    /** Run identity stamped into every trace record (sweep index). */
+    uint32_t traceRunId = 0;
 };
 
 struct RunResult
@@ -77,6 +88,11 @@ struct RunResult
     // Interpreter-level (Figure 5).
     uint64_t work = 0; ///< dispatch quanta completed
     std::vector<xlayer::WorkSample> warmupCurve;
+
+    // Streaming event tracer (empty unless traceBufferEvents > 0).
+    xlayer::TraceLog trace;
+    /** Malformed kPhaseExit events rejected by the phase profiler. */
+    uint64_t phaseUnderflows = 0;
 
     // Framework events.
     uint64_t loopsCompiled = 0;

@@ -103,6 +103,7 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("config", "opt_heap_cache", opts.optHeapCache);
     addU("config", "opt_elide_guards", opts.optElideGuards);
     addU("config", "opt_fold_constants", opts.optFoldConstants);
+    addU("config", "trace_buffer_events", opts.traceBufferEvents);
 
     // Machine level: whole-run counters and derived ratios (Tables I/II).
     uint64_t totalInstrs = 0;
@@ -170,6 +171,14 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("events", "deopts", r.deopts);
     addU("events", "gc_minor", r.gcMinor);
     addU("events", "gc_major", r.gcMajor);
+    addU("events", "phase_underflows", r.phaseUnderflows);
+
+    // Streaming event tracer: ring occupancy and loss accounting.
+    addU("tracer", "capacity_events", r.trace.capacityEvents);
+    addU("tracer", "events_recorded", r.trace.recordedEvents);
+    addU("tracer", "events_dropped", r.trace.droppedEvents);
+    addU("tracer", "counter_samples", uint64_t(r.trace.counters.size()));
+    addU("tracer", "counter_samples_dropped", r.trace.droppedCounters);
 
     // GC heap / object space.
     addU("gc", "allocations", r.gcAllocations);

@@ -56,8 +56,12 @@ bool targetsFromArgs(int argc, char **argv, const std::string &default_stem,
 class MetricsRegistry
 {
   public:
-    /** Bump when the counter walk changes shape; goldens pin this. */
-    static constexpr uint64_t kSchemaVersion = 1;
+    /**
+     * Bump when the counter walk changes shape; goldens pin this.
+     * v2: added config/trace_buffer_events, events/phase_underflows,
+     * and the tracer drop/overflow section.
+     */
+    static constexpr uint64_t kSchemaVersion = 2;
 
     explicit MetricsRegistry(std::string report_name);
 

@@ -41,13 +41,19 @@ Core::totalInstructions() const
     return n;
 }
 
-double
-Core::totalCycles() const
+uint64_t
+Core::totalCyclesFp() const
 {
     uint64_t c = 0;
     for (const auto &b : buckets)
         c += b.cyclesFp;
-    return double(c) / kCycleFp;
+    return c;
+}
+
+double
+Core::totalCycles() const
+{
+    return double(totalCyclesFp()) / kCycleFp;
 }
 
 double

@@ -255,6 +255,8 @@ class Core
     PerfCounters totalCounters() const;
 
     uint64_t totalInstructions() const;
+    /** Exact whole-run cycle count in kCycleFp units (all buckets). */
+    uint64_t totalCyclesFp() const;
     double totalCycles() const;
 
     /** Simulated wall-clock seconds at the configured frequency. */

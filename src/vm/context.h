@@ -23,6 +23,7 @@
 #include "xlayer/event_profiler.h"
 #include "xlayer/irnode_profiler.h"
 #include "xlayer/phase_profiler.h"
+#include "xlayer/tracer.h"
 #include "xlayer/work_profiler.h"
 
 namespace xlvm {
@@ -37,6 +38,8 @@ struct VmConfig
     JitParams jit;
     /** Timeline bin width for the phase profiler (0 = off). */
     uint64_t phaseTimelineBin = 0;
+    /** Streaming event tracer (capacityEvents == 0 keeps it off). */
+    xlayer::TracerOptions tracer;
     /** Warmup-curve sample interval in instructions. */
     uint64_t workSampleInstrs = 100000;
     /** Instruction budget: dispatch loops stop at the next safe point. */
@@ -55,6 +58,7 @@ class VmContext
           aotProfiler(bus),
           irProfiler(bus),
           events(bus),
+          tracer(bus, cfg.tracer),
           heap(cfg.heap),
           env(core, codeSpace, heap, cfg.flavor, cfg.costs),
           gcHooks(env),
@@ -64,6 +68,14 @@ class VmContext
           executor(space, registry, backend, cfg.jit)
     {
         heap.setHooks(&gcHooks);
+        if (tracer.enabled()) {
+            tracer.setCounterSampler([this] {
+                xlayer::TraceCounterSample s{};
+                s.heapBytes = heap.youngByteCount() + heap.oldByteCount();
+                s.traceCacheBytes = codeSpace.jitCodeBytes();
+                return s;
+            });
+        }
     }
 
     /** True if the instruction budget has been exhausted. */
@@ -85,6 +97,7 @@ class VmContext
     xlayer::AotCallProfiler aotProfiler;
     xlayer::IrNodeProfiler irProfiler;
     xlayer::EventProfiler events;
+    xlayer::EventTracer tracer;
     gc::Heap heap;
     obj::ExecEnv env;
     GcPhaseHooks gcHooks;

@@ -60,7 +60,19 @@ PhaseProfiler::onAnnot(uint32_t tag, uint32_t payload)
         bus_.core().setBucket(payload);
         break;
       case kPhaseExit:
-        XLVM_ASSERT(stack.size() > 1, "phase stack underflow");
+        if (stack.size() <= 1) {
+            // A kPhaseExit with nothing but the Interpreter sentinel on
+            // the stack is a malformed event stream (e.g. an exit
+            // emitted twice). Popping the sentinel would leave
+            // currentPhase() reading an empty stack, so reject the
+            // event: count it, warn once, and keep the sentinel.
+            ++underflows_;
+            if (underflows_ == 1) {
+                XLVM_WARN("phase exit (", phaseName(Phase(payload)),
+                          ") on bottomed-out phase stack; ignored");
+            }
+            break;
+        }
         XLVM_ASSERT(static_cast<uint32_t>(stack.back()) == payload,
                     "mismatched phase exit: in ",
                     phaseName(stack.back()), " exiting ",

@@ -58,6 +58,9 @@ class PhaseProfiler : public AnnotListener
     /** Depth of the phase stack (for tests). */
     size_t stackDepth() const { return stack.size(); }
 
+    /** kPhaseExit events rejected on a bottomed-out phase stack. */
+    uint64_t phaseUnderflows() const { return underflows_; }
+
   private:
     void maybeCloseBin();
     std::array<double, kNumPhases> cyclesNow() const;
@@ -68,6 +71,7 @@ class PhaseProfiler : public AnnotListener
     std::vector<PhaseTimelineBin> bins;
     std::array<double, kNumPhases> binStartCycles{};
     uint64_t nextBinEnd = 0;
+    uint64_t underflows_ = 0;
 };
 
 } // namespace xlayer

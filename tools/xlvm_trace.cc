@@ -1,0 +1,181 @@
+/**
+ * @file
+ * xlvm-trace — inspector for streamed cross-layer event traces.
+ *
+ * Operates on the Chrome trace-event JSON written by the bench
+ * harness's --trace flag (or XLVM_TRACE). The same file both loads in
+ * ui.perfetto.dev and carries full-fidelity per-event args, so the
+ * inspector needs no second format. Exit codes: 0 ok, 1 command
+ * failure, 2 usage/I-O error.
+ *
+ *   xlvm-trace dump      <trace.json> [filter flags]
+ *   xlvm-trace summarize <trace.json> [--top N] [--json] [filter flags]
+ *   xlvm-trace filter    <trace.json> -o out.json [filter flags]
+ *   xlvm-trace export    <trace.json> --chrome out.json [filter flags]
+ *
+ * Filter flags:
+ *   --tag T          annotation tag, by name (deopt, gc_minor, ...) or
+ *                    number
+ *   --phase P        phase name (interp, tracing, jit, jit-call, gc,
+ *                    blackhole, native)
+ *   --cycle-range A:B  keep events with A <= simulated cycle <= B
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "report/golden.h"
+#include "report/trace_export.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <command> <trace.json> [options]\n"
+        "\n"
+        "commands:\n"
+        "  dump       print every event, one line each\n"
+        "  summarize  per-phase event counts, instants, top guard\n"
+        "             failures, compile/deopt timeline\n"
+        "  filter     write the matching subset as a new trace file\n"
+        "             (-o out.json, \"-\" = stdout)\n"
+        "  export     re-emit as Chrome trace-event JSON\n"
+        "             (--chrome out.json), e.g. after filtering\n"
+        "\n"
+        "options:\n"
+        "  --tag T            keep only tag T (name or number)\n"
+        "  --phase P          keep only events in phase P\n"
+        "  --cycle-range A:B  keep only cycles A..B (inclusive)\n"
+        "  --top N            summarize: top-N guard failures (10)\n"
+        "  --json             summarize: machine-readable output\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace xlvm::report;
+
+    if (argc >= 2 && (std::strcmp(argv[1], "-h") == 0 ||
+                      std::strcmp(argv[1], "--help") == 0)) {
+        usage(argv[0]);
+        return 0;
+    }
+    if (argc < 3) {
+        usage(argv[0]);
+        return 2;
+    }
+    std::string command = argv[1];
+    std::string inPath;
+    std::string outPath;
+    TraceFilter filter;
+    size_t topN = 10;
+    bool jsonOut = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--tag") == 0 && i + 1 < argc) {
+            filter.tag = annotTagFromString(argv[++i]);
+            if (filter.tag < 0) {
+                std::fprintf(stderr, "%s: unknown tag '%s'\n", argv[0],
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(a, "--phase") == 0 && i + 1 < argc) {
+            filter.phase = argv[++i];
+        } else if (std::strcmp(a, "--cycle-range") == 0 && i + 1 < argc) {
+            const char *spec = argv[++i];
+            const char *colon = std::strchr(spec, ':');
+            if (!colon) {
+                std::fprintf(stderr,
+                             "%s: --cycle-range expects A:B, got '%s'\n",
+                             argv[0], spec);
+                return 2;
+            }
+            filter.cycleMin = std::strtoull(spec, nullptr, 10);
+            filter.cycleMax = std::strtoull(colon + 1, nullptr, 10);
+        } else if (std::strcmp(a, "--top") == 0 && i + 1 < argc) {
+            topN = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(a, "--json") == 0) {
+            jsonOut = true;
+        } else if (std::strcmp(a, "-o") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strcmp(a, "--chrome") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strcmp(a, "-h") == 0 ||
+                   std::strcmp(a, "--help") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (a[0] == '-' && a[1] != '\0') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0], a);
+            usage(argv[0]);
+            return 2;
+        } else if (inPath.empty()) {
+            inPath = a;
+        } else {
+            std::fprintf(stderr, "%s: too many arguments\n", argv[0]);
+            return 2;
+        }
+    }
+    if (inPath.empty()) {
+        std::fprintf(stderr, "%s: no trace file given\n", argv[0]);
+        return 2;
+    }
+
+    std::string err;
+    Json doc;
+    if (!loadReport(inPath, &doc, &err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
+    }
+    if (!doc.get("traceEvents")) {
+        std::fprintf(stderr,
+                     "%s: %s has no traceEvents array (not an xlvm "
+                     "trace export?)\n",
+                     argv[0], inPath.c_str());
+        return 2;
+    }
+
+    if (filter.active())
+        doc = filterChromeTrace(doc, filter);
+
+    if (command == "dump") {
+        std::string text = dumpChromeTrace(doc);
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+    if (command == "summarize") {
+        Json summary = summarizeChromeTrace(doc, topN);
+        std::string text = jsonOut ? summary.dump(2) + "\n"
+                                   : formatTraceSummary(summary);
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+    if (command == "filter" || command == "export") {
+        if (outPath.empty()) {
+            std::fprintf(stderr,
+                         "%s: %s needs an output path (%s)\n", argv[0],
+                         command.c_str(),
+                         command == "filter" ? "-o out.json"
+                                             : "--chrome out.json");
+            return 2;
+        }
+        if (!writeChromeTrace(doc, outPath, &err)) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
+    std::fprintf(stderr, "%s: unknown command '%s'\n", argv[0],
+                 command.c_str());
+    usage(argv[0]);
+    return 2;
+}
