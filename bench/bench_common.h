@@ -48,7 +48,11 @@ namespace bench {
  * tools/xlvm-trace). "--trace-buffer-events N" sizes the per-run ring
  * buffer; when a run overflows it, the newest events survive, the
  * overwritten oldest ones are counted, and a one-line warning is
- * printed at exit.
+ * printed at exit. "--trace-tags name,name,..." opts additional event
+ * tags into the recording mask on top of the default set (names as
+ * printed by xlvm-trace, e.g. memo_hit, dispatch; "all" enables every
+ * tag) — the high-frequency firehoses are off by default because they
+ * flush the ring within milliseconds.
  */
 class Session
 {
@@ -72,9 +76,12 @@ class Session
         std::fprintf(stderr, "[%u job%s]\n", jobs_,
                      jobs_ == 1 ? "" : "s");
         std::vector<driver::RunOptions> traced = runs;
+        for (driver::RunOptions &o : traced)
+            o.simMemo = simMemo_;
         if (tracing()) {
             for (driver::RunOptions &o : traced) {
                 o.traceBufferEvents = traceBufferEvents_;
+                o.traceTagMask = traceTagMask_;
                 o.traceRunId = uint32_t(traceBuilder_.runCount() +
                                         (&o - traced.data()));
             }
@@ -97,8 +104,10 @@ class Session
     run(const driver::RunOptions &opts)
     {
         driver::RunOptions o = opts;
+        o.simMemo = simMemo_;
         if (tracing()) {
             o.traceBufferEvents = traceBufferEvents_;
+            o.traceTagMask = traceTagMask_;
             o.traceRunId = uint32_t(traceBuilder_.runCount());
         }
         driver::RunResult r =
@@ -171,6 +180,15 @@ class Session
             } else if (std::strncmp(a, "--trace-buffer-events=", 22) ==
                        0) {
                 traceBufferEvents_ = std::strtoull(a + 22, nullptr, 10);
+            } else if (std::strcmp(a, "--trace-tags") == 0 &&
+                       i + 1 < argc) {
+                addTraceTags(argv[++i]);
+            } else if (std::strncmp(a, "--trace-tags=", 13) == 0) {
+                addTraceTags(a + 13);
+            } else if (std::strcmp(a, "--sim-memo") == 0) {
+                simMemo_ = true;
+            } else if (std::strcmp(a, "--no-sim-memo") == 0) {
+                simMemo_ = false;
             }
         }
         if (tracePaths_.empty()) {
@@ -188,12 +206,49 @@ class Session
         }
     }
 
+    /** OR extra tags from a comma-separated name list into the
+     *  recording mask ("all" enables everything). Unknown names warn
+     *  and are ignored so a typo cannot silently record nothing. */
+    void
+    addTraceTags(const char *list)
+    {
+        std::string names(list);
+        size_t pos = 0;
+        while (pos <= names.size()) {
+            size_t comma = names.find(',', pos);
+            std::string name = names.substr(
+                pos, comma == std::string::npos ? comma : comma - pos);
+            if (name == "all") {
+                traceTagMask_ = ~0u;
+            } else if (!name.empty()) {
+                int32_t tag = report::annotTagFromString(name);
+                if (tag < 0) {
+                    std::fprintf(stderr,
+                                 "[--trace-tags: unknown tag '%s' "
+                                 "ignored]\n",
+                                 name.c_str());
+                } else {
+                    traceTagMask_ |= xlayer::traceTagBit(uint32_t(tag));
+                }
+            }
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+
     static constexpr uint64_t kDefaultTraceBufferEvents = 1u << 20;
 
     std::vector<report::ReportTarget> targets_;
     unsigned jobs_;
+    /** "--sim-memo"/"--no-sim-memo": sim-layer block memoization (a
+     *  host-side accelerator; modeled counters are invariant, so CI
+     *  runs the golden gate under both settings). */
+    bool simMemo_ = true;
     std::vector<std::string> tracePaths_;
     uint64_t traceBufferEvents_ = kDefaultTraceBufferEvents;
+    /** "--trace-tags": recording mask for the per-run event tracer. */
+    uint32_t traceTagMask_ = xlayer::kDefaultTraceTagMask;
     report::ChromeTraceBuilder traceBuilder_;
 };
 

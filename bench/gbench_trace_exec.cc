@@ -18,6 +18,7 @@
 
 #include "jit/opt.h"
 #include "jit/recorder.h"
+#include "sim/block_memo.h"
 #include "vm/context.h"
 
 namespace {
@@ -134,12 +135,27 @@ struct ScopedNoFuse
     ~ScopedNoFuse() { unsetenv("XLVM_NO_FUSE"); }
 };
 
+/** RAII toggle for the XLVM_NO_SIM_MEMO escape hatch (checked at Core
+ *  construction time, i.e. when VmContext is built). */
+struct ScopedNoMemo
+{
+    explicit ScopedNoMemo(bool disable)
+    {
+        if (disable)
+            setenv("XLVM_NO_SIM_MEMO", "1", 1);
+        else
+            unsetenv("XLVM_NO_SIM_MEMO");
+    }
+    ~ScopedNoMemo() { unsetenv("XLVM_NO_SIM_MEMO"); }
+};
+
 void
 runTraceExecBench(benchmark::State &state,
                   jit::Trace *(*build)(vm::VmContext &, void *, int64_t),
-                  bool noFuse)
+                  bool noFuse, bool noMemo = false)
 {
     ScopedNoFuse guard(noFuse);
+    ScopedNoMemo memoGuard(noMemo);
     vm::VmContext ctx;
     int code;
     jit::Trace *t = build(ctx, &code, kIters);
@@ -152,6 +168,8 @@ runTraceExecBench(benchmark::State &state,
     state.SetItemsProcessed(int64_t(state.iterations()) * kIters);
     state.counters["deopts"] =
         benchmark::Counter(double(ctx.executor.deoptCount()));
+    sim::MemoStats ms = ctx.core.memoStats();
+    state.counters["memo_hit_rate"] = benchmark::Counter(ms.hitRate());
 }
 
 void
@@ -169,6 +187,13 @@ BM_TraceExec_HotLoop_NoFuse(benchmark::State &state)
 BENCHMARK(BM_TraceExec_HotLoop_NoFuse);
 
 void
+BM_TraceExec_HotLoop_NoMemo(benchmark::State &state)
+{
+    runTraceExecBench(state, buildCountingLoop, false, true);
+}
+BENCHMARK(BM_TraceExec_HotLoop_NoMemo);
+
+void
 BM_TraceExec_Branchy(benchmark::State &state)
 {
     runTraceExecBench(state, buildBranchyLoop, false);
@@ -181,6 +206,13 @@ BM_TraceExec_Branchy_NoFuse(benchmark::State &state)
     runTraceExecBench(state, buildBranchyLoop, true);
 }
 BENCHMARK(BM_TraceExec_Branchy_NoFuse);
+
+void
+BM_TraceExec_Branchy_NoMemo(benchmark::State &state)
+{
+    runTraceExecBench(state, buildBranchyLoop, false, true);
+}
+BENCHMARK(BM_TraceExec_Branchy_NoMemo);
 
 } // namespace
 

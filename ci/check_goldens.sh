@@ -7,6 +7,15 @@
 # change: either fix the regression, or — when the change is intended
 # to move counters — rerun with --update and commit the new goldens.
 #
+# The gate runs twice: once with the sim-layer block memoization active
+# (the default) and once with XLVM_NO_SIM_MEMO=1. Memoization is a
+# host-side accelerator whose contract is that every modeled counter is
+# bit-identical either way; the second pass enforces that contract on
+# all 13 goldens and excludes only the sim_memo telemetry section
+# (--ignore-section), whose counters are legitimately zero when the
+# layer is off. --update skips the second pass (goldens are recorded
+# memo-on).
+#
 # Usage: ci/check_goldens.sh [build-dir] [--jobs N] [--update]
 set -euo pipefail
 
@@ -54,11 +63,24 @@ for golden in tests/golden/*.json; do
         echo "SKIP $golden: no bench binary mapped" >&2
         continue
     fi
-    echo "== $stem ($bin, $jobs jobs)"
+    echo "== $stem ($bin, $jobs jobs, memo on)"
     "$build/bench/$bin" --jobs "$jobs" \
         --report "json:$out/$stem.json" > /dev/null
     "$build/tools/xlvm-check-golden" "$out/$stem.json" "$golden" \
         $update || fail=1
 done
+
+if [ -z "$update" ]; then
+    for golden in tests/golden/*.json; do
+        stem=$(basename "$golden" .json)
+        bin=$(bench_for "$stem")
+        [ -z "$bin" ] && continue
+        echo "== $stem ($bin, $jobs jobs, memo off)"
+        XLVM_NO_SIM_MEMO=1 "$build/bench/$bin" --jobs "$jobs" \
+            --report "json:$out/$stem.nomemo.json" > /dev/null
+        "$build/tools/xlvm-check-golden" "$out/$stem.nomemo.json" \
+            "$golden" --ignore-section sim_memo || fail=1
+    done
+fi
 
 exit $fail

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "minipy/compiler.h"
+#include "sim/block_memo.h"
 #include "minipy/interp.h"
 #include "minirkt/compiler.h"
 #include "vm/context.h"
@@ -65,6 +66,7 @@ configFor(const RunOptions &opts)
     cfg.jit.optHeapCache = opts.optHeapCache;
     cfg.jit.optElideGuards = opts.optElideGuards;
     cfg.jit.optFoldConstants = opts.optFoldConstants;
+    cfg.core.simMemo = opts.simMemo;
     cfg.maxInstructions = opts.maxInstructions;
     cfg.phaseTimelineBin = opts.timelineBin;
     cfg.workSampleInstrs = opts.workSampleInstrs;
@@ -113,6 +115,15 @@ collect(vm::VmContext &ctx, RunResult &out)
     out.icacheMisses = ctx.core.icacheUnit().misses();
     out.dcacheHits = ctx.core.dcacheUnit().hits();
     out.dcacheMisses = ctx.core.dcacheUnit().misses();
+
+    sim::MemoStats ms = ctx.core.memoStats();
+    out.memoBlocksCached = ms.blocksCached;
+    out.memoHits = ms.hits;
+    out.memoMisses = ms.misses;
+    out.memoInvalidations = ms.invalidations;
+    out.memoReplayedInstructions = ms.replayedInstructions;
+    out.memoReplayedCyclesFp = ms.replayedCyclesFp;
+    out.memoHitRate = ms.hitRate();
 
     const gc::Heap::HeapStats &hs = ctx.heap.stats();
     out.gcAllocations = hs.allocations;

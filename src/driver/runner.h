@@ -47,6 +47,10 @@ struct RunOptions
     /** Superinstruction fusion in the trace execution engine (host
      *  dispatch only; modeled counters are invariant). */
     bool jitFuseMicroOps = true;
+    /** Basic-block cost memoization in the simulated core (host-side
+     *  replay only; modeled counters are invariant — CI gates the
+     *  goldens with it both on and off). XLVM_NO_SIM_MEMO overrides. */
+    bool simMemo = true;
     /** Optimizer ablation toggles. */
     bool optVirtualize = true;
     bool optHeapCache = true;
@@ -108,6 +112,15 @@ struct RunResult
     uint64_t icacheMisses = 0;
     uint64_t dcacheHits = 0;
     uint64_t dcacheMisses = 0;
+
+    // Sim-layer block memoization (host-side; schema v3 sim_memo).
+    uint64_t memoBlocksCached = 0;
+    uint64_t memoHits = 0;
+    uint64_t memoMisses = 0;
+    uint64_t memoInvalidations = 0;
+    uint64_t memoReplayedInstructions = 0;
+    uint64_t memoReplayedCyclesFp = 0;
+    double memoHitRate = 0.0;
 
     // GC heap / object-space level (metrics reports).
     uint64_t gcAllocations = 0;

@@ -157,7 +157,8 @@ Backend::compile(Trace &trace)
         programs.resize(trace.id + 1);
     }
     programs[trace.id] =
-        lowerTrace(trace, offs, ids, fuseMicroOps && !fusionDisabledByEnv());
+        lowerTrace(trace, offs, ids, fuseMicroOps && !fusionDisabledByEnv(),
+                   loadStall, irNodeAnnots);
     offsets[trace.id] = std::move(offs);
     nodeIds[trace.id] = std::move(ids);
 }

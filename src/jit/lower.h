@@ -185,6 +185,32 @@ struct MicroOp
     uint32_t extraLen = 0;
 };
 
+/**
+ * The program's simulated-instruction stream, baked at lowering time in
+ * structure-of-arrays form: one entry per emission *record* (a single
+ * Inst, one straight-line run, or one annotation) of a full happy-path
+ * iteration — every guard passing, every branch on its fast path.
+ *
+ * `sigs` is the fused class/latency/run-length stream packed with the
+ * sim-layer's memoization signature encoding (sim::BlockMemo::sigInst /
+ * sigStraight / sigAnnot), `pcOff` is the pc stream (byte offset of each
+ * record's first instruction from the trace's codePc), and `memIdx`
+ * lists the records that are memory operations (the ones whose d-cache
+ * access must stay live at replay). The memo layer uses estRecords to
+ * size its record scratch; tests/test_sim_memo.cc proves the baked
+ * stream equals what live recording observes, record for record.
+ */
+struct SimStream
+{
+    std::vector<uint64_t> sigs;
+    std::vector<uint32_t> pcOff;
+    std::vector<uint32_t> memIdx;
+    uint32_t estRecords = 0;
+    /** False when the program emits call-class instructions (RAS/BTB
+     *  state is not memoized) or contains unimplemented ops. */
+    bool memoEligible = true;
+};
+
 /** The pre-lowered form of one compiled trace. */
 struct MicroProgram
 {
@@ -192,6 +218,7 @@ struct MicroProgram
     /** Pre-decoded register indices for Jump / CallAssembler argument
      *  lists (the anchor snapshot's frames[0].stack refs). */
     std::vector<uint32_t> extra;
+    SimStream sim; ///< baked emission stream (see SimStream)
     uint32_t numRegs = 0;   ///< boxes + materialized consts
     uint32_t constBase = 0; ///< first constant register (== num boxes)
     uint32_t numConsts = 0; ///< consts materialized at trace entry
@@ -202,11 +229,15 @@ struct MicroProgram
 /**
  * Lower @p trace into a micro-op program. @p offsets / @p node_ids are
  * the backend's per-op code offsets and global IR-node ids (parallel to
- * trace.ops). @p fuse enables the superinstruction pass.
+ * trace.ops). @p fuse enables the superinstruction pass. @p load_stall
+ * and @p annotate must match the executor's runtime configuration
+ * (jitLoadStall cost, irNodeAnnotations) so the baked SimStream mirrors
+ * the emitted stream exactly.
  */
 MicroProgram lowerTrace(const Trace &trace,
                         const std::vector<uint32_t> &offsets,
-                        const std::vector<int32_t> &node_ids, bool fuse);
+                        const std::vector<int32_t> &node_ids, bool fuse,
+                        uint8_t load_stall = 1, bool annotate = false);
 
 } // namespace jit
 } // namespace xlvm

@@ -27,6 +27,16 @@ struct Comparator
     const GoldenOptions &opts;
     std::vector<Drift> drifts;
 
+    bool
+    ignored(const std::string &key) const
+    {
+        for (const std::string &k : opts.ignoreKeys) {
+            if (k == key)
+                return true;
+        }
+        return false;
+    }
+
     void
     drift(const std::string &path, const Json *g, const Json *f,
           std::string note)
@@ -114,6 +124,8 @@ struct Comparator
           }
           case Json::Kind::Object: {
             for (const auto &kv : g.members()) {
+                if (ignored(kv.first))
+                    continue;
                 std::string sub =
                     path.empty() ? kv.first : path + "." + kv.first;
                 const Json *other = f.get(kv.first);
@@ -123,6 +135,8 @@ struct Comparator
                     compare(sub, kv.second, *other);
             }
             for (const auto &kv : f.members()) {
+                if (ignored(kv.first))
+                    continue;
                 if (!g.get(kv.first)) {
                     std::string sub =
                         path.empty() ? kv.first : path + "." + kv.first;

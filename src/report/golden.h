@@ -28,6 +28,14 @@ struct GoldenOptions
     double rtol = 1e-6;
     /** Absolute floor below which two floats always compare equal. */
     double atol = 1e-12;
+    /**
+     * Object keys to skip wherever they appear (both sides): a key
+     * listed here never produces a drift, whether its values differ or
+     * it is missing from one report entirely. Used by the memo-off CI
+     * pass to exclude the host-side "sim_memo" section whose counters
+     * legitimately differ between the two gate runs.
+     */
+    std::vector<std::string> ignoreKeys;
 };
 
 /** One drifted counter (or shape mismatch). */

@@ -196,6 +196,16 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("caches", "dcache_hits", r.dcacheHits);
     addU("caches", "dcache_misses", r.dcacheMisses);
 
+    // Sim-layer block memoization (host-side accelerator telemetry; the
+    // modeled counters above are invariant to it by construction).
+    addU("sim_memo", "blocks_cached", r.memoBlocksCached);
+    addU("sim_memo", "hits", r.memoHits);
+    addU("sim_memo", "misses", r.memoMisses);
+    addU("sim_memo", "invalidations", r.memoInvalidations);
+    addU("sim_memo", "replayed_instructions", r.memoReplayedInstructions);
+    addU("sim_memo", "replayed_cycles_fp", r.memoReplayedCyclesFp);
+    addF("sim_memo", "hit_rate", r.memoHitRate);
+
     // Interpreter level: completed work and warmup curve (Fig 5).
     addU("interp", "total_work", r.work);
     addU("interp", "warmup_samples", uint64_t(r.warmupCurve.size()));

@@ -60,8 +60,11 @@ class MetricsRegistry
      * Bump when the counter walk changes shape; goldens pin this.
      * v2: added config/trace_buffer_events, events/phase_underflows,
      * and the tracer drop/overflow section.
+     * v3: added the sim_memo section (block-memoization host-side
+     * counters; excluded from golden comparison in the memo-off CI
+     * pass via --ignore-section).
      */
-    static constexpr uint64_t kSchemaVersion = 2;
+    static constexpr uint64_t kSchemaVersion = 3;
 
     explicit MetricsRegistry(std::string report_name);
 

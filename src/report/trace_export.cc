@@ -1,6 +1,7 @@
 #include "report/trace_export.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -126,6 +127,12 @@ annotTagName(uint32_t tag)
         return "ir_node";
       case kAppEvent:
         return "app_event";
+      case kMemoHit:
+        return "memo_hit";
+      case kMemoInvalidate:
+        return "memo_invalidate";
+      case kMemoMiss:
+        return "memo_miss";
       default:
         return "unknown";
     }
@@ -454,6 +461,8 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
     std::map<std::string, std::pair<uint64_t, uint64_t>> phaseCounts;
     std::map<std::string, uint64_t> instantCounts;
     std::map<uint64_t, uint64_t> guardFailures;
+    /** phase name -> {hits, misses, invalidations} (sim memoization). */
+    std::map<std::string, std::array<uint64_t, 3>> memoByPhase;
     Json timeline = Json::array();
     uint64_t timelineTruncated = 0;
     uint64_t counterSamples = 0;
@@ -490,6 +499,19 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
             }
             if (ph == "i")
                 ++instantCounts[annotTagName(tag)];
+            if (tag == kMemoHit || tag == kMemoMiss ||
+                tag == kMemoInvalidate) {
+                const Json *phasej = eventArg(ev, "phase");
+                std::string phase =
+                    phasej ? phasej->asString() : std::string("?");
+                auto &mc = memoByPhase[phase];
+                if (tag == kMemoHit)
+                    ++mc[0];
+                else if (tag == kMemoMiss)
+                    ++mc[1];
+                else
+                    ++mc[2];
+            }
             if (tag == kDeopt)
                 ++guardFailures[payload];
             if (tag == kLoopCompiled || tag == kBridgeCompiled ||
@@ -539,6 +561,16 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
         topGuards.push(std::move(entry));
     }
     summary.set("top_guard_failures", std::move(topGuards));
+
+    Json memo = Json::object();
+    for (const auto &mc : memoByPhase) {
+        Json counts = Json::object();
+        counts.set("hits", Json(mc.second[0]));
+        counts.set("misses", Json(mc.second[1]));
+        counts.set("invalidations", Json(mc.second[2]));
+        memo.set(mc.first, std::move(counts));
+    }
+    summary.set("memo_by_phase", std::move(memo));
 
     summary.set("compile_deopt_timeline", std::move(timeline));
     summary.set("timeline_truncated", Json(timelineTruncated));
@@ -608,6 +640,23 @@ formatTraceSummary(const Json &summary)
                     buf, sizeof(buf), "  guard %llu: %llu\n",
                     (unsigned long long)g.get("guard")->asUInt(),
                     (unsigned long long)g.get("count")->asUInt());
+                out += buf;
+            }
+        }
+    }
+
+    if (const Json *memo = summary.get("memo_by_phase")) {
+        if (memo->size() > 0) {
+            out += "sim memoization by phase (hit/miss/invalidate):\n";
+            for (const auto &m : memo->members()) {
+                auto mu = [&m](const char *k) -> unsigned long long {
+                    const Json *v = m.second.get(k);
+                    return v ? (unsigned long long)v->asUInt() : 0;
+                };
+                std::snprintf(buf, sizeof(buf),
+                              "  %-10s %llu/%llu/%llu\n", m.first.c_str(),
+                              mu("hits"), mu("misses"),
+                              mu("invalidations"));
                 out += buf;
             }
         }

@@ -1,0 +1,635 @@
+#include "sim/block_memo.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/hashmix.h"
+
+namespace xlvm {
+namespace sim {
+
+BlockMemo::BlockMemo(Core &core) : core_(core)
+{
+    recRecs_.reserve(64);
+    recLines_.reserve(16);
+    recPht_.reserve(16);
+}
+
+void
+BlockMemo::sessionBegin(uint32_t est_records)
+{
+    if (depth_ != 0) {
+        // Nested entry (trace calls assembler). The call emission that
+        // led here already dropped the outer block (Call is not
+        // memoizable), but close out defensively.
+        if (mode_ == Mode::Record)
+            abortRecord(false);
+        else if (mode_ == Mode::Skip)
+            divergenceAbort(skipIdx());
+    }
+    ++depth_;
+    mode_ = Mode::Armed;
+    if (est_records)
+        recRecs_.reserve(std::min<size_t>(est_records, kMaxRecs));
+}
+
+void
+BlockMemo::sessionEnd()
+{
+    XLVM_ASSERT(depth_ > 0, "memo session underflow");
+    if (mode_ == Mode::Record) {
+        finalizeRecord();
+    } else if (mode_ == Mode::Skip) {
+        if (skipIdx() == skipEntry_->recs.size())
+            applyEntry(*skipEntry_, skipKey_);
+        else
+            divergenceAbort(skipIdx());
+    }
+    --depth_;
+    mode_ = Mode::Armed;
+}
+
+void
+BlockMemo::boundary()
+{
+    if (mode_ == Mode::Record) {
+        finalizeRecord();
+    } else if (mode_ == Mode::Skip) {
+        if (skipIdx() == skipEntry_->recs.size())
+            applyEntry(*skipEntry_, skipKey_);
+        else
+            divergenceAbort(skipIdx());
+    }
+    mode_ = Mode::Armed;
+}
+
+void
+BlockMemo::flush()
+{
+    invalidateEntries();
+    stats_ = MemoStats();
+}
+
+void
+BlockMemo::invalidateEntries()
+{
+    entries_.clear();
+    liveEntries_ = 0;
+    ++tableGen_;
+    pred_ = nullptr;
+    exitSkip();
+    recRecs_.clear();
+    recLines_.clear();
+    recPht_.clear();
+    mode_ = Mode::Armed;
+}
+
+bool
+BlockMemo::impureAnnot(uint64_t encoded) const
+{
+    uint32_t tag = annotTag(encoded);
+    if (tag >= 32)
+        return true; // out-of-vocabulary: conservatively live
+    return (core_.impureTagMask_ >> tag) & 1u;
+}
+
+bool
+BlockMemo::onInst(const Inst &inst)
+{
+    switch (mode_) {
+      case Mode::Skip:
+        return skipInst(inst);
+      case Mode::Record:
+        return recordInst(inst);
+      case Mode::Armed:
+        return armedInst(inst);
+      case Mode::Dormant:
+        // An impure annotation delimits the dead block; the next
+        // emission starts fresh.
+        if (inst.cls == InstClass::Annot && impureAnnot(inst.target))
+            mode_ = Mode::Armed;
+        return false;
+    }
+    return false;
+}
+
+bool
+BlockMemo::onStraight(InstClass cls, uint64_t start_pc, uint32_t n,
+                      uint8_t extra_lat)
+{
+    switch (mode_) {
+      case Mode::Skip:
+        // The inline cursor compare in Core::consumeStraight already
+        // declined: the stream diverged from the record (or ran past
+        // its end). Re-step the matched prefix and fall back to live.
+        divergenceAbort(skipIdx());
+        return false;
+      case Mode::Record:
+        if (recRecs_.size() >= kMaxRecs) {
+            abortRecord(true);
+            return false;
+        }
+        recRecs_.push_back({sigStraight(cls, extra_lat, n), start_pc});
+        if (!observeIcacheRun(start_pc, n))
+            abortRecord(false); // cold fetch: all-hit rule failed
+        return false;
+      case Mode::Armed: {
+        uint64_t sig = sigStraight(cls, extra_lat, n);
+        if (armedLookup(sig, start_pc))
+            return true;
+        if (mode_ == Mode::Record) {
+            recRecs_.push_back({sig, start_pc});
+            if (!observeIcacheRun(start_pc, n))
+                abortRecord(false);
+        }
+        return false;
+      }
+      case Mode::Dormant:
+        return false;
+    }
+    return false;
+}
+
+bool
+BlockMemo::armedInst(const Inst &inst)
+{
+    uint64_t sig;
+    if (inst.cls == InstClass::Annot) {
+        if (impureAnnot(inst.target))
+            return false; // delimiter; stay armed
+        sig = sigAnnot(inst.target);
+    } else {
+        if (!memoizableClass(inst.cls))
+            return false; // cannot open a block; stay armed
+        sig = sigInst(inst.cls, inst.extraLat, inst.taken);
+    }
+    if (armedLookup(sig, inst.pc)) {
+        // Replay entered; the opening emission is rec[0], already
+        // matched by verification. Memory ops still touch the dcache
+        // live.
+        if (inst.cls == InstClass::Load || inst.cls == InstClass::Store)
+            liveDcache(inst);
+        return true;
+    }
+    if (mode_ == Mode::Record)
+        return recordInst(inst); // logs rec[0] + its observations
+    return false;                // dormant (tombstone / table full)
+}
+
+bool
+BlockMemo::armedLookup(uint64_t sig, uint64_t key)
+{
+    Entry *ep;
+    if (pred_ && predGen_ == tableGen_ && pred_->nextGen == tableGen_ &&
+        pred_->nextKey == key) {
+        // Successor hint: the block that just completed saw this key
+        // follow it last time — no hash lookup needed.
+        ep = pred_->next;
+    } else {
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            ++stats_.misses;
+            if (entries_.size() >= kMaxEntries) {
+                mode_ = Mode::Dormant;
+                return false;
+            }
+            beginRecord(key);
+            return false;
+        }
+        ep = &it->second;
+        if (pred_ && predGen_ == tableGen_) {
+            pred_->next = ep;
+            pred_->nextKey = key;
+            pred_->nextGen = tableGen_;
+        }
+    }
+    Entry &e = *ep;
+    if (e.tombstone) {
+        ++stats_.misses;
+        mode_ = Mode::Dormant;
+        return false;
+    }
+    if (!verifyEntry(e, sig, key)) {
+        // Machine state moved under the entry (icache eviction, PHT or
+        // history drift, or a different opening emission): invalidate
+        // and re-record against the current state.
+        ++stats_.invalidations;
+        ++stats_.misses;
+        emitEvent(kMemoEventInvalidate, key);
+        entries_.erase(key);
+        --liveEntries_;
+        ++tableGen_; // hints into or out of the erased entry are dead
+        pred_ = nullptr;
+        beginRecord(key);
+        return false;
+    }
+    enterSkip(e, key);
+    return true;
+}
+
+bool
+BlockMemo::recordInst(const Inst &inst)
+{
+    if (inst.cls == InstClass::Annot) {
+        if (impureAnnot(inst.target)) {
+            finalizeRecord(); // impure annot delimits; stepped live
+            return false;
+        }
+        if (recRecs_.size() >= kMaxRecs) {
+            abortRecord(true);
+            return false;
+        }
+        // Pure annotations perturb counters (annotations/annotCostFp)
+        // and are part of the record; listeners ignore them by
+        // declaration, so replay may elide the sink call.
+        recRecs_.push_back({sigAnnot(inst.target), inst.pc});
+        return false;
+    }
+    if (!memoizableClass(inst.cls)) {
+        abortRecord(true); // RAS/BTB state is not fingerprinted
+        return false;
+    }
+    if (recRecs_.size() >= kMaxRecs) {
+        abortRecord(true);
+        return false;
+    }
+    recRecs_.push_back({sigInst(inst.cls, inst.extraLat, inst.taken),
+                        inst.pc});
+    if (!observeIcacheRun(inst.pc, 1)) {
+        abortRecord(false); // cold fetch: re-record once lines are warm
+        return false;
+    }
+    switch (inst.cls) {
+      case InstClass::Load:
+      case InstClass::Store:
+        observeDcache(inst.cls, inst.memAddr);
+        break;
+      case InstClass::Branch:
+        observeBranch(inst.pc);
+        break;
+      default:
+        break;
+    }
+    return false;
+}
+
+bool
+BlockMemo::skipInst(const Inst &inst)
+{
+    // Reached only when the inline cursor compare in Core::consume
+    // declined: an impure annotation, a signature/pc mismatch, or a
+    // stream that ran past the record's end.
+    Entry &e = *skipEntry_;
+    const size_t idx = skipIdx();
+    if (inst.cls == InstClass::Annot && impureAnnot(inst.target)) {
+        // Delimiter mid-replay: a complete match applies the entry, a
+        // short one diverges. Either way the annotation steps live with
+        // fully caught-up counters and the next emission re-arms.
+        if (idx == e.recs.size())
+            applyEntry(e, skipKey_);
+        else
+            divergenceAbort(idx);
+        mode_ = Mode::Armed;
+        return false;
+    }
+    // Mismatch, or the recorded path was a proper prefix of this one.
+    divergenceAbort(idx);
+    return false;
+}
+
+void
+BlockMemo::beginRecord(uint64_t key)
+{
+    mode_ = Mode::Record;
+    recKey_ = key;
+    recRecs_.clear();
+    recLines_.clear();
+    recPht_.clear();
+    startCounters_ = core_.buckets[core_.bucket];
+    recPreGhr_ = core_.branchUnit.gshare.ghr;
+    recWeight_ = 0;
+    recDcacheMisses_ = 0;
+    recLoadPenaltyFp_ = 0;
+    emitEvent(kMemoEventMiss, key);
+}
+
+void
+BlockMemo::finalizeRecord()
+{
+    mode_ = Mode::Armed;
+    if (recRecs_.empty())
+        return; // consecutive delimiters: nothing to store
+
+    const GsharePredictor &g = core_.branchUnit.gshare;
+
+    Entry e;
+    e.recs.assign(recRecs_.begin(), recRecs_.end());
+    e.lines.assign(recLines_.begin(), recLines_.end());
+    // Replay re-stamps lines oldest-touch first so the final per-set
+    // MRU way matches stepping.
+    std::sort(e.lines.begin(), e.lines.end(),
+              [](const IcacheTouch &a, const IcacheTouch &b) {
+                  return a.lastTouchOff < b.lastTouchOff;
+              });
+    e.pht.assign(recPht_.begin(), recPht_.end());
+    for (PhtTouch &t : e.pht)
+        t.post = g.pht[t.idx];
+    e.preGhr = recPreGhr_;
+    e.postGhr = g.ghr;
+    e.icacheWeight = recWeight_;
+    e.fillGen = core_.icache.nMisses;
+
+    // The delta is the bucket movement across the block minus the
+    // dcache-dependent parts, which replay re-applies live.
+    const PerfCounters &cur = core_.buckets[core_.bucket];
+    PerfCounters d;
+    d.instructions = cur.instructions - startCounters_.instructions;
+    d.cyclesFp =
+        cur.cyclesFp - startCounters_.cyclesFp - recLoadPenaltyFp_;
+    d.branches = cur.branches - startCounters_.branches;
+    d.condBranches = cur.condBranches - startCounters_.condBranches;
+    d.mispredicts = cur.mispredicts - startCounters_.mispredicts;
+    d.loads = cur.loads - startCounters_.loads;
+    d.stores = cur.stores - startCounters_.stores;
+    d.icacheMisses = cur.icacheMisses - startCounters_.icacheMisses;
+    d.dcacheMisses =
+        cur.dcacheMisses - startCounters_.dcacheMisses - recDcacheMisses_;
+    d.annotations = cur.annotations - startCounters_.annotations;
+    e.delta = d;
+
+    auto it = entries_.find(recKey_);
+    if (it == entries_.end()) {
+        it = entries_.emplace(recKey_, std::move(e)).first;
+        ++liveEntries_;
+    } else {
+        it->second = std::move(e); // defensive; lookup precludes this
+    }
+    pred_ = &it->second;
+    predGen_ = tableGen_;
+    ++stats_.blocksCached;
+}
+
+void
+BlockMemo::abortRecord(bool tombstone)
+{
+    mode_ = Mode::Dormant;
+    if (tombstone && entries_.size() < 2 * kMaxEntries) {
+        Entry t;
+        t.tombstone = true;
+        entries_[recKey_] = std::move(t);
+    }
+    recRecs_.clear();
+    recLines_.clear();
+    recPht_.clear();
+}
+
+bool
+BlockMemo::verifyEntry(Entry &e, uint64_t first_sig, uint64_t first_pc)
+{
+    const MemoRec &r0 = e.recs[0];
+    if (r0.sig != first_sig || r0.pc != first_pc)
+        return false;
+    const GsharePredictor &g = core_.branchUnit.gshare;
+    if (g.ghr != e.preGhr)
+        return false;
+    for (const PhtTouch &t : e.pht)
+        if (g.pht[t.idx] != t.pre)
+            return false;
+    // Footprint check: lines leave the icache only through miss-driven
+    // fills, so an unchanged miss count since the last verification
+    // proves every line is still resident. Only after intervening
+    // misses is the per-line scan needed (and the generation restamped).
+    const Cache &ic = core_.icache;
+    if (ic.nMisses != e.fillGen) {
+        for (const IcacheTouch &t : e.lines)
+            if (!ic.linePresent(t.line))
+                return false;
+        e.fillGen = ic.nMisses;
+    }
+    return true;
+}
+
+void
+BlockMemo::applyEntry(Entry &e, uint64_t key)
+{
+    core_.buckets[core_.bucket].accumulate(e.delta);
+
+    // icache: all probes hit (footprint verified present), so replay is
+    // pure bookkeeping: per line, final LRU stamp and per-set MRU way;
+    // globally, the use clock and hit counter advance by the block's
+    // probe count. Stamps wrap with the uint32 clock exactly as
+    // stepping would.
+    Cache &ic = core_.icache;
+    uint32_t preClock = ic.useClock;
+    for (const IcacheTouch &t : e.lines) {
+        uint32_t set = static_cast<uint32_t>(t.line) & (ic.numSets - 1);
+        uint64_t tag = t.line >> 1;
+        Cache::Way *base = &ic.ways_[set * ic.numWays];
+        for (uint32_t w = 0; w < ic.numWays; ++w) {
+            if (base[w].valid && base[w].tag == tag) {
+                base[w].lastUse = preClock + t.lastTouchOff;
+                ic.mru_[set] = uint8_t(w);
+                break;
+            }
+        }
+    }
+    ic.useClock = preClock + e.icacheWeight;
+    ic.nHits += e.icacheWeight;
+
+    GsharePredictor &g = core_.branchUnit.gshare;
+    for (const PhtTouch &t : e.pht)
+        g.pht[t.idx] = t.post;
+    g.ghr = e.postGhr;
+
+    e.divergences = 0;
+    ++stats_.hits;
+    stats_.replayedInstructions += e.delta.instructions;
+    stats_.replayedCyclesFp += e.delta.cyclesFp;
+    emitEvent(kMemoEventHit, key);
+    pred_ = &e;
+    predGen_ = tableGen_;
+    exitSkip();
+}
+
+void
+BlockMemo::divergenceAbort(size_t matched)
+{
+    Entry &e = *skipEntry_;
+    // Before re-stepping: hooks must pass through, and the inline
+    // cursor must be dead so re-stepped emissions are not re-verified.
+    mode_ = Mode::Dormant;
+    exitSkip();
+    stepRecords(e.recs.data(), matched);
+    ++stats_.invalidations;
+    emitEvent(kMemoEventInvalidate, skipKey_);
+    if (++e.divergences >= kMaxDivergences) {
+        entries_.erase(skipKey_);
+        --liveEntries_;
+        ++tableGen_; // hints into or out of the erased entry are dead
+        pred_ = nullptr;
+    }
+}
+
+void
+BlockMemo::enterSkip(Entry &e, uint64_t key)
+{
+    mode_ = Mode::Skip;
+    skipEntry_ = &e;
+    skipKey_ = key;
+    // rec[0] is the opening emission, already matched by verifyEntry.
+    core_.memoSkipCur_ = e.recs.data() + 1;
+    core_.memoSkipEnd_ = e.recs.data() + e.recs.size();
+}
+
+void
+BlockMemo::exitSkip()
+{
+    skipEntry_ = nullptr;
+    core_.memoSkipCur_ = nullptr;
+    core_.memoSkipEnd_ = nullptr;
+}
+
+void
+BlockMemo::stepRecords(const MemoRec *recs, size_t n)
+{
+    PerfCounters &pc = core_.buckets[core_.bucket];
+    const CoreParams &params = core_.params;
+    for (size_t i = 0; i < n; ++i) {
+        const MemoRec &r = recs[i];
+        const uint64_t kind = r.sig & (3ull << 62);
+        if (kind == kSigKindAnnot) {
+            // Pure by construction: counters, no sink delivery.
+            ++pc.annotations;
+            pc.cyclesFp += params.annotCostFp;
+            continue;
+        }
+        const InstClass cls = InstClass((r.sig >> 50) & 0xf);
+        const uint8_t lat = uint8_t((r.sig >> 54) & 0xff);
+        if (kind == kSigKindStraight) {
+            // Mode is Dormant here, so this passes the memo hook.
+            core_.consumeStraight(cls, r.pc, uint32_t(r.sig), lat);
+            continue;
+        }
+        ++pc.instructions;
+        uint64_t cost = core_.issueCostFp + uint64_t(lat) * kCycleFp;
+        if (!core_.icache.access(r.pc)) {
+            ++pc.icacheMisses;
+            cost += params.icacheMissPenalty * kCycleFp;
+        }
+        cost += Core::classCostFp(cls);
+        switch (cls) {
+          case InstClass::Load:
+            ++pc.loads; // dcache access already happened live
+            break;
+          case InstClass::Store:
+            ++pc.stores;
+            break;
+          case InstClass::Branch: {
+            ++pc.branches;
+            ++pc.condBranches;
+            const bool taken = (r.sig >> 49) & 1;
+            if (!core_.branchUnit.gshare.predictAndUpdate(r.pc, taken)) {
+                ++pc.mispredicts;
+                cost += params.mispredictPenalty * kCycleFp;
+            }
+            break;
+          }
+          case InstClass::Jump:
+            ++pc.branches; // direct: always predicted
+            break;
+          default:
+            break;
+        }
+        pc.cyclesFp += cost;
+    }
+}
+
+bool
+BlockMemo::observeIcacheRun(uint64_t start_pc, uint32_t n)
+{
+    const uint64_t lineBytes = core_.icache.lineBytes();
+    uint64_t p = start_pc;
+    const uint64_t end = start_pc + 4ull * n;
+    while (p < end) {
+        uint64_t lineEnd = (p / lineBytes + 1) * lineBytes;
+        uint32_t k = uint32_t((std::min(lineEnd, end) - p) / 4);
+        if (!touchLine(p, k))
+            return false;
+        p += 4ull * k;
+    }
+    return true;
+}
+
+bool
+BlockMemo::touchLine(uint64_t addr, uint32_t weight)
+{
+    const Cache &ic = core_.icache;
+    const uint64_t line = addr >> ic.lineShift;
+    recWeight_ += weight;
+    for (IcacheTouch &t : recLines_) {
+        if (t.line == line) {
+            t.lastTouchOff = recWeight_;
+            return true;
+        }
+    }
+    // New footprint line: the all-hit rule requires it be resident
+    // already (the *record pass's own* probe, which follows this peek,
+    // must hit too).
+    if (!ic.linePresent(line))
+        return false;
+    recLines_.push_back({line, recWeight_});
+    return true;
+}
+
+void
+BlockMemo::observeBranch(uint64_t pc)
+{
+    const GsharePredictor &g = core_.branchUnit.gshare;
+    const uint32_t idx = (mixPcHash(pc >> 2) ^ g.ghr) & g.indexMask;
+    for (const PhtTouch &t : recPht_)
+        if (t.idx == idx)
+            return; // first-touch pre-value already captured
+    recPht_.push_back({idx, g.pht[idx], 0});
+}
+
+void
+BlockMemo::observeDcache(InstClass cls, uint64_t addr)
+{
+    if (core_.dcache.wouldMiss(addr)) {
+        ++recDcacheMisses_;
+        if (cls == InstClass::Load)
+            recLoadPenaltyFp_ +=
+                uint64_t(core_.params.dcacheMissPenalty) * kCycleFp;
+    }
+}
+
+void
+BlockMemo::liveDcache(const Inst &inst)
+{
+    PerfCounters &pc = core_.buckets[core_.bucket];
+    if (!core_.dcache.access(inst.memAddr)) {
+        ++pc.dcacheMisses;
+        if (inst.cls == InstClass::Load)
+            pc.cyclesFp +=
+                uint64_t(core_.params.dcacheMissPenalty) * kCycleFp;
+    }
+}
+
+void
+BlockMemo::emitEvent(uint32_t tag, uint64_t key)
+{
+    if (core_.memoEventsWanted_ && core_.sink)
+        core_.sink->onMemoEvent(tag, uint32_t(key >> 2));
+}
+
+const std::vector<MemoRec> *
+BlockMemo::entryRecsForTest(uint64_t key) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.tombstone)
+        return nullptr;
+    return &it->second.recs;
+}
+
+} // namespace sim
+} // namespace xlvm

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Basic-block cost memoization for the simulated core.
+ *
+ * JIT trace execution re-emits the same straight-line instruction
+ * sequences millions of times. Within one such basic block, the sim-layer
+ * work (icache probes, gshare updates, cycle accounting) is a pure
+ * function of a small machine-state fingerprint: the gshare history plus
+ * the PHT slots the block's branches index, and the presence of the
+ * block's icache lines. BlockMemo records a block once — the emission
+ * signature stream plus that fingerprint plus the resulting counter
+ * delta — and on later executions verifies the fingerprint, checks each
+ * emission against the recorded signature (one packed 64-bit compare per
+ * emission), and applies the precomputed delta instead of stepping
+ * Core::consume per instruction. All counters and all machine state
+ * (cache LRU stamps, PHT counters, global history) end up bit-identical
+ * to stepping; the 13 golden snapshots gate this with memoization both
+ * on and off.
+ *
+ * What keeps this exact rather than approximate:
+ *  - Blocks are delimited by executor-announced boundaries (trace
+ *    back-edges, session entry/exit) and by *impure* annotations — tags
+ *    some bus listener actually consumes — which are always stepped
+ *    live, so instrumentation observes an identical event stream with
+ *    fully caught-up counters. Pure annotations still perturb counters
+ *    (annotations / annotCostFp) and are therefore part of the record.
+ *  - Data-cache state is never memoized: Load/Store records perform the
+ *    real dcache access at replay (addresses vary run to run under the
+ *    addr_map virtualization and with GC recycling), charging miss
+ *    counts/penalties live; everything address-independent sits in the
+ *    delta. This also makes GC-free invalidation vacuous: no simulated
+ *    data address is ever baked into an entry.
+ *  - Entries store their icache footprint under an all-hit rule: a block
+ *    is only cached if every instruction fetch hit at record time, and
+ *    only replayed if every footprint line is still present, so replay
+ *    performs no fills and LRU stamps can be applied exactly.
+ *  - Blocks containing Call/IndirectCall/Ret/IndirectJump are never
+ *    memoized (RAS/BTB state is not fingerprinted); such start pcs are
+ *    tombstoned so they are not re-recorded every iteration.
+ *  - Any mismatch mid-replay (a guard going the other way, an unexpected
+ *    impure annotation) triggers a divergence abort: the already-matched
+ *    prefix is re-stepped through a tight sweep over the recorded
+ *    record stream, after which stepping resumes live. Counters stay
+ *    exact.
+ */
+
+#ifndef XLVM_SIM_BLOCK_MEMO_H
+#define XLVM_SIM_BLOCK_MEMO_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/core.h"
+
+namespace xlvm {
+namespace sim {
+
+/**
+ * Memoization telemetry tags, delivered out of band through
+ * AnnotSink::onMemoEvent (never as Inst emissions, so counters are
+ * unperturbed). Mirrored by xlayer::AnnotTag; a static_assert in
+ * xlayer/bus.h keeps the two vocabularies aligned.
+ */
+constexpr uint32_t kMemoEventHit = 16;
+constexpr uint32_t kMemoEventInvalidate = 17;
+constexpr uint32_t kMemoEventMiss = 18;
+
+/** Aggregate memoization counters (exported via metrics schema v3). */
+struct MemoStats
+{
+    uint64_t blocksCached = 0;  ///< entries successfully recorded
+    uint64_t hits = 0;          ///< blocks replayed from an entry
+    uint64_t misses = 0;        ///< armed lookups without a usable entry
+    uint64_t invalidations = 0; ///< verify failures + divergence aborts
+    uint64_t replayedInstructions = 0;
+    uint64_t replayedCyclesFp = 0; ///< in kCycleFp units
+
+    double
+    hitRate() const
+    {
+        uint64_t total = hits + misses;
+        return total ? double(hits) / double(total) : 0.0;
+    }
+};
+
+class BlockMemo
+{
+  public:
+    explicit BlockMemo(Core &core);
+
+    /**
+     * Bracket a memoizable execution region (one TraceExecutor::run).
+     * Sessions nest (trace-calls-assembler re-enters run()); the memo
+     * layer is active whenever the depth is nonzero.
+     * @param est_records  reserve hint from the lowered program's baked
+     *                     SimStream (0 = unknown).
+     */
+    void sessionBegin(uint32_t est_records = 0);
+    void sessionEnd();
+
+    /** Block boundary inside a session (trace back-edge). */
+    void boundary();
+
+    /** Drop every entry and all statistics (Core::resetStats). */
+    void flush();
+
+    /** Drop entries/tombstones but keep statistics (purity changes). */
+    void invalidateEntries();
+
+    const MemoStats &stats() const { return stats_; }
+
+    /** Live entries (excluding tombstones); test/report helper. */
+    size_t entryCount() const { return liveEntries_; }
+
+    /**
+     * Recorded emission stream of the live entry opening at simulated
+     * pc @p key, or null. Tests use this to prove the compile-time
+     * baked SimStream (jit/lower.h) equals what live recording
+     * observes, record for record.
+     */
+    const std::vector<MemoRec> *entryRecsForTest(uint64_t key) const;
+
+    bool inSession() const { return depth_ != 0; }
+
+    /**
+     * Hot-path filters, called by Core::consume / consumeStraight while
+     * a session is active. Return true when the emission was fully
+     * consumed by the memo layer (replay path); false when the caller
+     * must step it normally (record / pass-through paths).
+     */
+    bool onInst(const Inst &inst);
+    bool onStraight(InstClass cls, uint64_t start_pc, uint32_t n,
+                    uint8_t extra_lat);
+
+    // ---- signature packing ------------------------------------------
+    // The packers live in sim/core.h (memoSig*) so Core's hot path can
+    // verify replayed emissions inline; these aliases keep the
+    // BlockMemo:: spellings tests and callers use.
+    static constexpr uint64_t kSigKindInst = kMemoSigKindInst;
+    static constexpr uint64_t kSigKindAnnot = kMemoSigKindAnnot;
+    static constexpr uint64_t kSigKindStraight = kMemoSigKindStraight;
+
+    static constexpr uint64_t
+    sigInst(InstClass cls, uint8_t extra_lat, bool taken)
+    {
+        return memoSigInst(cls, extra_lat, taken);
+    }
+
+    static constexpr uint64_t
+    sigStraight(InstClass cls, uint8_t extra_lat, uint32_t n)
+    {
+        return memoSigStraight(cls, extra_lat, n);
+    }
+
+    /** @param encoded  Inst::target of an Annot (encodeAnnot result). */
+    static constexpr uint64_t
+    sigAnnot(uint64_t encoded)
+    {
+        return memoSigAnnot(encoded);
+    }
+
+  private:
+    enum class Mode : uint8_t
+    {
+        Armed,   ///< at a block start: next emission decides hit/record
+        Record,  ///< logging a new entry while stepping live
+        Skip,    ///< replaying a verified entry
+        Dormant, ///< pass-through until the next delimiter
+    };
+
+    /** One icache line of a block's footprint. */
+    struct IcacheTouch
+    {
+        uint64_t line = 0;
+        /** Cumulative probe count at the line's last touch. */
+        uint32_t lastTouchOff = 0;
+    };
+
+    /** One gshare PHT slot the block's branches index. */
+    struct PhtTouch
+    {
+        uint32_t idx = 0;
+        uint8_t pre = 0;  ///< counter value at block entry
+        uint8_t post = 0; ///< counter value at block exit
+    };
+
+    struct Entry
+    {
+        std::vector<MemoRec> recs;
+        std::vector<IcacheTouch> lines; ///< sorted by lastTouchOff
+        std::vector<PhtTouch> pht;
+        PerfCounters delta; ///< dcache-dependent parts excluded
+        uint32_t preGhr = 0;
+        uint32_t postGhr = 0;
+        uint32_t icacheWeight = 0; ///< total icache probes in the block
+        /**
+         * icache miss count at the footprint's last verification. Lines
+         * leave the cache only through miss-driven fills, so an
+         * unchanged count proves the footprint is still resident
+         * without walking it (one compare instead of a set scan per
+         * line).
+         */
+        uint64_t fillGen = 0;
+        /**
+         * Successor hint: the entry opening at @ref nextKey that
+         * followed this block the last time it completed. Steady-state
+         * loops revisit blocks in a fixed order, so the hint replaces
+         * the hash lookup. Valid only while @ref nextGen equals the
+         * table generation (any erase bumps it — unordered_map values
+         * are pointer-stable under insert, not under erase).
+         */
+        Entry *next = nullptr;
+        uint64_t nextKey = 0;
+        uint64_t nextGen = 0;
+        uint8_t divergences = 0;
+        bool tombstone = false;
+    };
+
+    // Bounds: generous for real traces, hard stops for pathological
+    // streams (the GC scan loop overflows and tombstones, by design).
+    static constexpr size_t kMaxRecs = 512;
+    static constexpr size_t kMaxEntries = 4096;
+    static constexpr uint8_t kMaxDivergences = 8;
+
+    static bool
+    memoizableClass(InstClass cls)
+    {
+        switch (cls) {
+          case InstClass::IndirectJump:
+          case InstClass::Call:
+          case InstClass::IndirectCall:
+          case InstClass::Ret:
+            return false;
+          default:
+            return true;
+        }
+    }
+
+    bool armedInst(const Inst &inst);
+    bool recordInst(const Inst &inst);
+    bool skipInst(const Inst &inst);
+
+    /**
+     * Armed-mode table consult for the block-opening emission.
+     * @return true when a verified entry was entered (mode is now Skip
+     *         with the opening emission already matched); false when the
+     *         caller must step the emission (mode is Record or Dormant).
+     */
+    bool armedLookup(uint64_t sig, uint64_t key);
+
+    void beginRecord(uint64_t key);
+    void finalizeRecord();
+    void abortRecord(bool tombstone);
+
+    bool verifyEntry(Entry &e, uint64_t first_sig, uint64_t first_pc);
+    void applyEntry(Entry &e, uint64_t key);
+    void divergenceAbort(size_t matched);
+
+    /** Enter/leave Skip mode, keeping Core's inline cursor in sync. */
+    void enterSkip(Entry &e, uint64_t key);
+    void exitSkip();
+
+    /** Count of records already matched while in Skip mode. */
+    size_t
+    skipIdx() const
+    {
+        return size_t(core_.memoSkipCur_ - skipEntry_->recs.data());
+    }
+
+    /** Re-step recorded emissions [0, n) (tight sweep; no dcache). */
+    void stepRecords(const MemoRec *recs, size_t n);
+
+    /** Mirror of Core::consumeStraight's icache chunk walk. */
+    bool observeIcacheRun(uint64_t start_pc, uint32_t n);
+    bool touchLine(uint64_t addr, uint32_t weight);
+    void observeBranch(uint64_t pc);
+    void observeDcache(InstClass cls, uint64_t addr);
+
+    /** The live dcache access of a replayed Load/Store record. */
+    void liveDcache(const Inst &inst);
+
+    void emitEvent(uint32_t tag, uint64_t key);
+
+    bool impureAnnot(uint64_t encoded) const;
+
+    Core &core_;
+    Mode mode_ = Mode::Armed;
+    uint32_t depth_ = 0;
+    MemoStats stats_;
+
+    std::unordered_map<uint64_t, Entry> entries_;
+    size_t liveEntries_ = 0;
+    /** Bumped on every erase/clear; guards Entry::next and pred_. */
+    uint64_t tableGen_ = 1;
+    /** The last entry completed (applied or recorded); hint source. */
+    Entry *pred_ = nullptr;
+    uint64_t predGen_ = 0;
+
+    // Replay state (mode Skip). The record cursor itself lives on the
+    // core (memoSkipCur_/memoSkipEnd_) for the inline fast path.
+    Entry *skipEntry_ = nullptr;
+    uint64_t skipKey_ = 0;
+
+    // Record scratch (mode Record), reused across blocks.
+    std::vector<MemoRec> recRecs_;
+    std::vector<IcacheTouch> recLines_;
+    std::vector<PhtTouch> recPht_;
+    PerfCounters startCounters_;
+    uint64_t recKey_ = 0;
+    uint32_t recPreGhr_ = 0;
+    uint32_t recWeight_ = 0;
+    uint64_t recDcacheMisses_ = 0;
+    uint64_t recLoadPenaltyFp_ = 0;
+};
+
+} // namespace sim
+} // namespace xlvm
+
+#endif // XLVM_SIM_BLOCK_MEMO_H

@@ -3,20 +3,18 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/hashmix.h"
 
 namespace xlvm {
 namespace sim {
 
 namespace {
 
-/** Cheap 64->32 mixing for table indices. */
+/** Cheap 64->32 mixing for table indices (shared with BlockMemo). */
 inline uint32_t
 mix(uint64_t x)
 {
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdull;
-    x ^= x >> 29;
-    return static_cast<uint32_t>(x);
+    return mixPcHash(x);
 }
 
 } // namespace

@@ -48,6 +48,8 @@ class GsharePredictor
     void reset();
 
   private:
+    friend class BlockMemo;
+
     std::vector<uint8_t> pht; ///< 2-bit saturating counters
     uint32_t indexMask;
     uint32_t historyMask;
@@ -131,6 +133,8 @@ class BranchUnit
     void reset();
 
   private:
+    friend class BlockMemo;
+
     GsharePredictor gshare;
     IndirectPredictor indirect;
     ReturnStack ras;

@@ -1,6 +1,9 @@
 #include "sim/core.h"
 
+#include <cstdlib>
+
 #include "common/logging.h"
+#include "sim/block_memo.h"
 
 namespace xlvm {
 namespace sim {
@@ -14,6 +17,81 @@ Core::Core(const CoreParams &p)
 {
     XLVM_ASSERT(p.issueWidth > 0 && p.issueWidth <= kCycleFp,
                 "unsupported issue width");
+    // The env override is honored here (not only in the driver) so
+    // benches and tests that build cores or contexts directly respect
+    // XLVM_NO_SIM_MEMO too.
+    if (p.simMemo && std::getenv("XLVM_NO_SIM_MEMO") == nullptr)
+        memo_.reset(new BlockMemo(*this));
+}
+
+Core::~Core() = default;
+
+bool
+Core::memoOnInst(const Inst &inst)
+{
+    return memo_->onInst(inst);
+}
+
+bool
+Core::memoOnStraight(InstClass cls, uint64_t start_pc, uint32_t n,
+                     uint8_t extra_lat)
+{
+    return memo_->onStraight(cls, start_pc, n, extra_lat);
+}
+
+void
+Core::refreshAnnotPurity()
+{
+    uint64_t gen = sink ? sink->annotGeneration() : 0;
+    if (purityValid_ && gen == purityGeneration_)
+        return;
+    uint32_t mask = 0;
+    if (sink) {
+        for (uint32_t tag = 0; tag < 32; ++tag)
+            if (!sink->annotPure(tag))
+                mask |= 1u << tag;
+    }
+    impureTagMask_ = mask;
+    memoEventsWanted_ = sink != nullptr && sink->memoEventsWanted();
+    purityGeneration_ = gen;
+    purityValid_ = true;
+    // Purity governs which annotation deliveries a replay may elide; a
+    // changed listener set invalidates every recorded block.
+    if (memo_)
+        memo_->invalidateEntries();
+}
+
+void
+Core::memoSessionBegin(uint32_t est_records)
+{
+    if (!memo_)
+        return;
+    refreshAnnotPurity();
+    memo_->sessionBegin(est_records);
+    memoState_ = 1;
+}
+
+void
+Core::memoSessionEnd()
+{
+    if (!memo_)
+        return;
+    memo_->sessionEnd();
+    if (!memo_->inSession())
+        memoState_ = 0;
+}
+
+void
+Core::memoBoundary()
+{
+    if (memoState_ != 0)
+        memo_->boundary();
+}
+
+MemoStats
+Core::memoStats() const
+{
+    return memo_ ? memo_->stats() : MemoStats();
 }
 
 const PerfCounters &
@@ -70,6 +148,11 @@ Core::resetStats()
     icache.reset();
     dcache.reset();
     branchUnit.reset();
+    // Every fingerprint a memo entry verified against (cache contents,
+    // LRU clocks, predictor state) is gone; flush the table so replay
+    // can never resurrect pre-reset machine state.
+    if (memo_)
+        memo_->flush();
 }
 
 } // namespace sim

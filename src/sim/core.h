@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 
 #include "sim/addr_map.h"
 #include "sim/branch_pred.h"
@@ -26,6 +27,9 @@
 
 namespace xlvm {
 namespace sim {
+
+class BlockMemo;
+struct MemoStats;
 
 /** Fixed-point cycle units: 1/16 of a cycle. */
 constexpr uint64_t kCycleFp = 16;
@@ -43,6 +47,13 @@ struct CoreParams
      */
     uint32_t annotCostFp = 0;
     double frequencyGhz = 3.0;
+    /**
+     * Basic-block cost memoization (see sim/block_memo.h). On by
+     * default: it only activates inside executor-bracketed sessions and
+     * is bit-identical to stepping. XLVM_NO_SIM_MEMO in the environment
+     * overrides this to off.
+     */
+    bool simMemo = true;
     BranchPredParams branchPred;
     CacheParams icache;
     CacheParams dcache;
@@ -111,20 +122,130 @@ class AnnotSink
   public:
     virtual ~AnnotSink() = default;
     virtual void onAnnot(uint32_t tag, uint32_t payload) = 0;
+
+    /**
+     * Purity oracle for the memoization layer: true when delivering
+     * @p tag is a no-op for every current consumer, so a replayed block
+     * may elide the delivery. The conservative default keeps every tag
+     * live.
+     */
+    virtual bool annotPure(uint32_t tag) const
+    {
+        (void)tag;
+        return false;
+    }
+
+    /** Bumped whenever the answer of annotPure() may have changed. */
+    virtual uint64_t annotGeneration() const { return 0; }
+
+    /**
+     * Out-of-band memoization telemetry (kMemoEvent* tags). Delivered
+     * only to consumers that explicitly opt in — never routed through
+     * onAnnot broadcast — so profilers whose state is sensitive to
+     * delivery timing (e.g. the phase-timeline binner) are untouched
+     * and counters stay bit-identical with memoization on or off.
+     */
+    virtual void onMemoEvent(uint32_t tag, uint32_t payload)
+    {
+        (void)tag;
+        (void)payload;
+    }
+
+    /** True when some consumer opted into onMemoEvent delivery. */
+    virtual bool memoEventsWanted() const { return false; }
 };
 
 /** Maximum number of counter buckets (phases). */
 constexpr uint32_t kMaxBuckets = 16;
 
+// ---- block-memoization record signatures -------------------------------
+//
+// Defined here (not in block_memo.h) so Core's hot path can verify a
+// replayed emission inline — one packed 64-bit compare against the
+// recorded stream — without an out-of-line call per instruction. See
+// sim/block_memo.h for the full design.
+
+constexpr uint64_t kMemoSigKindInst = 1ull << 62;
+constexpr uint64_t kMemoSigKindAnnot = 2ull << 62;
+constexpr uint64_t kMemoSigKindStraight = 3ull << 62;
+
+constexpr uint64_t
+memoSigInst(InstClass cls, uint8_t extra_lat, bool taken)
+{
+    return kMemoSigKindInst | (uint64_t(extra_lat) << 54) |
+           (uint64_t(cls) << 50) | (taken ? (1ull << 49) : 0);
+}
+
+constexpr uint64_t
+memoSigStraight(InstClass cls, uint8_t extra_lat, uint32_t n)
+{
+    return kMemoSigKindStraight | (uint64_t(extra_lat) << 54) |
+           (uint64_t(cls) << 50) | n;
+}
+
+/** @param encoded  Inst::target of an Annot (encodeAnnot result). */
+constexpr uint64_t
+memoSigAnnot(uint64_t encoded)
+{
+    return kMemoSigKindAnnot | encoded;
+}
+
+/**
+ * One recorded emission: a packed signature plus the emission pc. The
+ * signature encodes everything outcome-relevant about the emission
+ * except memory addresses (replayed live) and jump targets (state-free),
+ * so the replay fast path is two 64-bit compares per emission.
+ */
+struct MemoRec
+{
+    uint64_t sig = 0;
+    uint64_t pc = 0;
+};
+
 class Core
 {
   public:
     explicit Core(const CoreParams &p = CoreParams());
+    ~Core();
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
 
     /** Consume one dynamic instruction (hot path). */
     void
     consume(const Inst &inst)
     {
+        if (memoState_ != 0) {
+            // Replay fast path: while a recorded block is being skipped
+            // the next emission almost always matches the recorded
+            // stream — verify with one packed compare and advance, no
+            // out-of-line call. An impure annotation packs to sig 0
+            // (kind bits clear), which matches no record, so delimiters
+            // and divergences fall through to the slow path.
+            if (memoSkipCur_ != memoSkipEnd_) {
+                uint64_t sig;
+                if (inst.cls == InstClass::Annot) {
+                    uint32_t tag = annotTag(inst.target);
+                    sig = tag < 32 && !((impureTagMask_ >> tag) & 1u)
+                              ? memoSigAnnot(inst.target)
+                              : 0;
+                } else {
+                    sig = memoSigInst(inst.cls, inst.extraLat,
+                                      inst.taken);
+                }
+                if (sig == memoSkipCur_->sig &&
+                    inst.pc == memoSkipCur_->pc) {
+                    ++memoSkipCur_;
+                    if (inst.cls == InstClass::Load ||
+                        inst.cls == InstClass::Store)
+                        memoLiveDcache(inst);
+                    return;
+                }
+            }
+            if (memoOnInst(inst))
+                return;
+        }
+
         PerfCounters &pc = buckets[bucket];
 
         if (inst.cls == InstClass::Annot) {
@@ -213,6 +334,16 @@ class Core
     {
         if (n == 0)
             return;
+        if (memoState_ != 0) {
+            if (memoSkipCur_ != memoSkipEnd_ &&
+                memoSkipCur_->sig == memoSigStraight(cls, extra_lat, n) &&
+                memoSkipCur_->pc == start_pc) {
+                ++memoSkipCur_;
+                return;
+            }
+            if (memoOnStraight(cls, start_pc, n, extra_lat))
+                return;
+        }
         PerfCounters &pc = buckets[bucket];
         pc.instructions += n;
         uint64_t cost =
@@ -243,7 +374,32 @@ class Core
     void setBucket(uint32_t b) { bucket = b < kMaxBuckets ? b : 0; }
     uint32_t currentBucket() const { return bucket; }
 
-    void setAnnotSink(AnnotSink *s) { sink = s; }
+    void
+    setAnnotSink(AnnotSink *s)
+    {
+        sink = s;
+        purityValid_ = false; // re-derive the impure-tag mask lazily
+    }
+
+    /**
+     * Bracket a memoizable execution region (JIT trace execution).
+     * No-ops when memoization is disabled; sessions nest.
+     * @param est_records  per-block record reserve hint (from the
+     *                     lowered program's baked SimStream).
+     */
+    void memoSessionBegin(uint32_t est_records = 0);
+    void memoSessionEnd();
+
+    /** Block boundary inside a session (trace back-edge). */
+    void memoBoundary();
+
+    bool memoEnabled() const { return memo_ != nullptr; }
+
+    /** Aggregate memoization counters (zeros when disabled). */
+    MemoStats memoStats() const;
+
+    /** The memoization engine, for tests (null when disabled). */
+    BlockMemo *memoForTest() { return memo_.get(); }
 
     const PerfCounters &bucketCounters(uint32_t b) const;
 
@@ -275,6 +431,27 @@ class Core
     const CoreParams &coreParams() const { return params; }
 
   private:
+    /** Out-of-line memo filters (see sim/block_memo.h). */
+    bool memoOnInst(const Inst &inst);
+    bool memoOnStraight(InstClass cls, uint64_t start_pc, uint32_t n,
+                        uint8_t extra_lat);
+
+    /** The live dcache access of a replayed Load/Store record. */
+    void
+    memoLiveDcache(const Inst &inst)
+    {
+        PerfCounters &pc = buckets[bucket];
+        if (!dcache.access(inst.memAddr)) {
+            ++pc.dcacheMisses;
+            if (inst.cls == InstClass::Load)
+                pc.cyclesFp +=
+                    uint64_t(params.dcacheMissPenalty) * kCycleFp;
+        }
+    }
+
+    /** Recompute the impure-annotation mask if the sink changed. */
+    void refreshAnnotPurity();
+
     /** Fixed extra cycles of a non-memory, non-control class, in fp units. */
     static uint64_t
     classCostFp(InstClass cls)
@@ -303,6 +480,25 @@ class Core
     AnnotSink *sink = nullptr;
     uint32_t bucket = 0;
     std::array<PerfCounters, kMaxBuckets> buckets;
+
+    std::unique_ptr<BlockMemo> memo_;
+    /** Nonzero while a memo session is active (hot-path gate). */
+    uint8_t memoState_ = 0;
+    /**
+     * Skip-mode replay cursor, maintained by BlockMemo: non-null only
+     * while a verified entry is being replayed, pointing at the next
+     * expected record. Lets consume()/consumeStraight() verify and
+     * advance inline.
+     */
+    const MemoRec *memoSkipCur_ = nullptr;
+    const MemoRec *memoSkipEnd_ = nullptr;
+    /** Bit per tag < 32: set when some listener consumes the tag. */
+    uint32_t impureTagMask_ = ~0u;
+    bool memoEventsWanted_ = false;
+    bool purityValid_ = false;
+    uint64_t purityGeneration_ = 0;
+
+    friend class BlockMemo;
 };
 
 } // namespace sim

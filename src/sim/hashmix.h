@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared 64->32 bit mixing for predictor/memo table indices.
+ *
+ * The gshare predictor and the block-memoization layer must agree on the
+ * exact PHT index computation (the memo layer records which PHT slots a
+ * block touches and re-derives the same indices at replay time), so the
+ * mix lives in one place.
+ */
+
+#ifndef XLVM_SIM_HASHMIX_H
+#define XLVM_SIM_HASHMIX_H
+
+#include <cstdint>
+
+namespace xlvm {
+namespace sim {
+
+/** Cheap 64->32 mixing for table indices. */
+inline uint32_t
+mixPcHash(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 29;
+    return static_cast<uint32_t>(x);
+}
+
+} // namespace sim
+} // namespace xlvm
+
+#endif // XLVM_SIM_HASHMIX_H

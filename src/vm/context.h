@@ -63,7 +63,8 @@ class VmContext
           env(core, codeSpace, heap, cfg.flavor, cfg.costs),
           gcHooks(env),
           space(env),
-          backend(codeSpace, cfg.jit.fuseMicroOps),
+          backend(codeSpace, cfg.jit.fuseMicroOps, cfg.costs.jitLoadStall,
+                  cfg.jit.irNodeAnnotations),
           registry(heap),
           executor(space, registry, backend, cfg.jit)
     {

@@ -253,8 +253,12 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
     }
     enterTrace(&trace, std::move(inputs));
     active.push_back(Level{t, &regs});
+    // Memoizable region: everything emitted from here to leave() runs
+    // under the sim layer's block-memo session (nested run()s stack).
+    core.memoSessionBegin(prog->sim.estRecords);
 
     auto leave = [&](DeoptResult &&res) {
+        core.memoSessionEnd();
         active.pop_back();
         sim::BlockEmitter e(core, t->codePc + t->codeInsts * 4);
         e.annot(xlayer::kTraceLeave, t->id);
@@ -429,6 +433,8 @@ dispatch_loop:
             enterTrace(registry.byId(mop->aux - 1), std::move(next));
             active.back().trace = t;
         }
+        // Loop back-edge: the block-memo unit of replay.
+        core.memoBoundary();
         RESTART();
     }
 

@@ -62,6 +62,17 @@ enum AnnotTag : uint32_t
 
     /** Application level: user-defined event. payload = event id. */
     kAppEvent = 15,
+
+    /**
+     * Sim level: block-memoization telemetry. Unlike the tags above these
+     * are not carried by Annot instructions (that would perturb the very
+     * counters memoization must preserve); they arrive out of band via
+     * AnnotSink::onMemoEvent and are only delivered to listeners that
+     * opt in with wantsMemoEvents(). payload = hash of the block key.
+     */
+    kMemoHit = 16,
+    kMemoInvalidate = 17,
+    kMemoMiss = 18,
 };
 
 } // namespace xlayer

@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Basic-block cost memoization tests (sim/block_memo.h).
+ *
+ * The memo layer's contract is exactness: every modeled counter and
+ * every piece of machine state (cache LRU stamps, PHT counters, global
+ * history) must be bit-identical with memoization on or off. The tests
+ * here drive both a memoizing core and a stepping twin through the same
+ * emission streams — including the adversarial cases: icache footprint
+ * eviction between executions, gshare PHT aliasing between blocks,
+ * divergent branch outcomes, address recycling after a GC free — and
+ * compare everything exactly. The executor-level tests additionally
+ * prove the compile-time baked SimStream (jit/lower.h) equals what live
+ * recording observes, and the end-to-end differentials gate full
+ * RunResult counter sets across memo on/off and across --jobs counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "driver/parallel.h"
+#include "driver/runner.h"
+#include "jit/opt.h"
+#include "jit/recorder.h"
+#include "sim/block_memo.h"
+#include "sim/emitter.h"
+#include "vm/context.h"
+
+namespace xlvm {
+namespace {
+
+using jit::BoxType;
+using jit::IrOp;
+using jit::kNoArg;
+using jit::RtVal;
+
+// ---- core-level differential harness ---------------------------------
+
+sim::CoreParams
+memoParams(bool memo)
+{
+    sim::CoreParams p;
+    p.simMemo = memo;
+    return p;
+}
+
+/** Every counter and cache statistic must agree between the two cores. */
+void
+expectCoresIdentical(sim::Core &memo, sim::Core &step)
+{
+    sim::PerfCounters a = memo.totalCounters();
+    sim::PerfCounters b = step.totalCounters();
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cyclesFp, b.cyclesFp);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.annotations, b.annotations);
+    EXPECT_EQ(memo.icacheUnit().hits(), step.icacheUnit().hits());
+    EXPECT_EQ(memo.icacheUnit().misses(), step.icacheUnit().misses());
+    EXPECT_EQ(memo.dcacheUnit().hits(), step.dcacheUnit().hits());
+    EXPECT_EQ(memo.dcacheUnit().misses(), step.dcacheUnit().misses());
+}
+
+/** One steady hot block: straight ALU run, two loads, taken back-edge. */
+void
+emitHotBlock(sim::Core &c, uint64_t pc, const void *p1, const void *p2)
+{
+    sim::BlockEmitter e(c, pc);
+    e.alu(6);
+    e.loadPtr(p1, 1);
+    e.alu(2);
+    e.loadPtr(p2);
+    e.storePtr(p1);
+    e.branch(true);
+}
+
+TEST(MemoCore, SteadyBlockReplayIsBitIdentical)
+{
+    sim::Core memo(memoParams(true));
+    sim::Core step(memoParams(false));
+    ASSERT_TRUE(memo.memoEnabled());
+    ASSERT_FALSE(step.memoEnabled());
+
+    int obj1 = 0, obj2 = 0;
+    for (sim::Core *c : {&memo, &step}) {
+        c->memoSessionBegin(8);
+        for (int i = 0; i < 2000; ++i) {
+            emitHotBlock(*c, 0x400000, &obj1, &obj2);
+            c->memoBoundary();
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(memo, step);
+    sim::MemoStats ms = memo.memoStats();
+    EXPECT_GE(ms.blocksCached, 1u);
+    EXPECT_GT(ms.hits, 1500u); // warmup re-records, then replays
+    EXPECT_GT(ms.replayedInstructions, 0u);
+    EXPECT_GT(ms.hitRate(), 0.5);
+    EXPECT_EQ(step.memoStats().hits, 0u);
+}
+
+TEST(MemoCore, DivergentBranchPatternStaysExact)
+{
+    sim::Core memo(memoParams(true));
+    sim::Core step(memoParams(false));
+
+    int obj = 0;
+    for (sim::Core *c : {&memo, &step}) {
+        c->memoSessionBegin(4);
+        for (int i = 0; i < 600; ++i) {
+            sim::BlockEmitter e(*c, 0x500000);
+            e.alu(4);
+            e.loadPtr(&obj);
+            // Alternating outcome: the block's opening signature (and
+            // the recorded branch record) flips every iteration, so the
+            // memo layer must invalidate / diverge rather than replay a
+            // stale outcome.
+            e.branch((i & 1) != 0);
+            c->memoBoundary();
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(memo, step);
+    EXPECT_GT(memo.memoStats().invalidations, 0u);
+}
+
+TEST(MemoCore, IcacheEvictionInvalidatesEntries)
+{
+    sim::Core memo(memoParams(true));
+    sim::Core step(memoParams(false));
+
+    int obj1 = 0, obj2 = 0;
+    for (sim::Core *c : {&memo, &step}) {
+        for (int round = 0; round < 4; ++round) {
+            c->memoSessionBegin(8);
+            for (int i = 0; i < 200; ++i) {
+                emitHotBlock(*c, 0x400000, &obj1, &obj2);
+                c->memoBoundary();
+            }
+            c->memoSessionEnd();
+            // Walk 4x the icache capacity between sessions: every line
+            // of the hot block's footprint is evicted, so the next
+            // armed lookup must verify-fail and re-record rather than
+            // apply stale LRU stamps.
+            sim::BlockEmitter flush(*c, 0x10000000);
+            flush.alu(4 * 32 * 1024 / 4);
+        }
+    }
+
+    expectCoresIdentical(memo, step);
+    EXPECT_GT(memo.memoStats().invalidations, 0u);
+    EXPECT_GT(memo.memoStats().hits, 0u);
+}
+
+TEST(MemoCore, PhtAliasingBetweenBlocksStaysExact)
+{
+    // A tiny 16-entry PHT with short history guarantees that the two
+    // blocks' conditional branches alias the same saturating counters.
+    // Replay must never apply a delta recorded against pre-values the
+    // other block has since moved.
+    sim::CoreParams p = memoParams(true);
+    p.branchPred.gshareBits = 4;
+    p.branchPred.historyBits = 4;
+    sim::CoreParams q = p;
+    q.simMemo = false;
+    sim::Core memo(p);
+    sim::Core step(q);
+
+    int obj = 0;
+    for (sim::Core *c : {&memo, &step}) {
+        c->memoSessionBegin(8);
+        for (int i = 0; i < 1200; ++i) {
+            uint64_t pc = (i & 1) ? 0x610000 : 0x620000;
+            sim::BlockEmitter e(*c, pc);
+            e.alu(2);
+            e.branch((i & 1) != 0); // opposite outcomes alias slots
+            e.loadPtr(&obj);
+            e.branch(true);
+            c->memoBoundary();
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(memo, step);
+}
+
+TEST(MemoCore, AddressRecyclingAfterFreeStaysExact)
+{
+    // Data addresses are never baked into entries: Load/Store records
+    // access the dcache live at replay. Releasing a mapping and letting
+    // a new object land on a recycled simulated address must therefore
+    // stay exact without any explicit memo invalidation.
+    sim::Core memo(memoParams(true));
+    sim::Core step(memoParams(false));
+
+    for (sim::Core *c : {&memo, &step}) {
+        c->memoSessionBegin(8);
+        int slotA = 0, slotB = 0;
+        for (int round = 0; round < 40; ++round) {
+            for (int i = 0; i < 50; ++i) {
+                emitHotBlock(*c, 0x400000, &slotA, &slotB);
+                c->memoBoundary();
+            }
+            // "GC frees slotA" — forget its mapping mid-session; the
+            // next translate may recycle the simulated address.
+            c->releaseDataAddr(&slotA);
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(memo, step);
+    EXPECT_GT(memo.memoStats().hits, 0u);
+}
+
+TEST(MemoCore, ResetStatsFlushesMemoState)
+{
+    sim::Core core(memoParams(true));
+    int obj1 = 0, obj2 = 0;
+
+    auto burst = [&] {
+        core.memoSessionBegin(8);
+        for (int i = 0; i < 500; ++i) {
+            emitHotBlock(core, 0x400000, &obj1, &obj2);
+            core.memoBoundary();
+        }
+        core.memoSessionEnd();
+    };
+
+    burst();
+    sim::PerfCounters first = core.totalCounters();
+    ASSERT_GT(core.memoStats().hits, 0u);
+
+    core.resetStats();
+    EXPECT_EQ(core.memoStats().hits, 0u);
+    EXPECT_EQ(core.memoStats().blocksCached, 0u);
+    EXPECT_EQ(core.totalCounters().instructions, 0u);
+
+    // Replaying the identical stream from reset state must reproduce
+    // the first run bit for bit — stale entries recorded against the
+    // pre-reset cache/predictor state would break this.
+    burst();
+    sim::PerfCounters second = core.totalCounters();
+    EXPECT_EQ(first.instructions, second.instructions);
+    EXPECT_EQ(first.cyclesFp, second.cyclesFp);
+    EXPECT_EQ(first.mispredicts, second.mispredicts);
+    EXPECT_EQ(first.icacheMisses, second.icacheMisses);
+    EXPECT_EQ(first.dcacheMisses, second.dcacheMisses);
+}
+
+TEST(MemoCore, EnvEscapeHatchDisablesMemo)
+{
+    setenv("XLVM_NO_SIM_MEMO", "1", 1);
+    sim::Core core(memoParams(true));
+    unsetenv("XLVM_NO_SIM_MEMO");
+    EXPECT_FALSE(core.memoEnabled());
+    EXPECT_EQ(core.memoStats().hits, 0u);
+}
+
+// ---- executor-level tests --------------------------------------------
+
+jit::Snapshot
+frameSnap(void *code, uint32_t pc, std::vector<int32_t> stack)
+{
+    jit::Snapshot s;
+    jit::FrameSnapshot f;
+    f.code = code;
+    f.pc = pc;
+    f.stack = std::move(stack);
+    s.frames.push_back(std::move(f));
+    return s;
+}
+
+/** The canonical boxed counting loop (see test_vm.cc / test_microop.cc). */
+jit::Trace *
+registerCountingLoop(vm::VmContext &ctx, void *code, int64_t limit)
+{
+    jit::Recorder rec(code, 7, false);
+    rec.setAnchorLocals(1);
+    obj::W_Int *seed = ctx.space.newInt(0);
+    int32_t in0 = rec.addInputRef(seed);
+    EXPECT_TRUE(rec.atMergePoint(0, [&] {
+        return frameSnap(code, 7, {in0});
+    }));
+    rec.guardClass(in0, obj::kTypeInt);
+    int32_t v = rec.emitTyped(IrOp::GetfieldGc, BoxType::Int, in0,
+                              kNoArg, kNoArg, obj::kFieldValue);
+    int32_t cmp = rec.emit(IrOp::IntLt, v, rec.constInt(limit));
+    rec.guardTrue(cmp);
+    int32_t next = rec.emit(IrOp::IntAddOvf, v, rec.constInt(1));
+    rec.guardNoOverflow();
+    int32_t box = rec.emit(IrOp::NewWithVtable, kNoArg, kNoArg, kNoArg,
+                           obj::kTypeInt);
+    rec.emit(IrOp::SetfieldGc, box, next, kNoArg, obj::kFieldValue);
+    rec.closeLoop({box});
+
+    jit::OptParams op;
+    op.classOf = [](void *p) {
+        return p ? uint32_t(static_cast<obj::W_Object *>(p)->typeId())
+                 : 0u;
+    };
+    auto optimized =
+        std::make_unique<jit::Trace>(jit::optimize(rec.take(), op));
+    optimized->id = ctx.registry.nextId();
+    ctx.backend.compile(*optimized);
+    return ctx.registry.add(std::move(optimized));
+}
+
+TEST(MemoExecutor, BakedSimStreamMatchesLiveRecording)
+{
+    vm::VmContext ctx;
+    ASSERT_TRUE(ctx.core.memoEnabled());
+    int code;
+    jit::Trace *t = registerCountingLoop(ctx, &code, 64);
+    ctx.executor.run(*t, {RtVal::fromRef(ctx.space.newInt(0))});
+
+    const jit::MicroProgram &prog = ctx.backend.program(t->id);
+    const jit::SimStream &ss = prog.sim;
+    ASSERT_TRUE(ss.memoEligible);
+    ASSERT_EQ(ss.sigs.size(), ss.pcOff.size());
+    ASSERT_EQ(ss.estRecords, uint32_t(ss.sigs.size()));
+    ASSERT_GT(ss.sigs.size(), 3u);
+
+    // The loop body opens with the merge-point dispatch annotation —
+    // impure at runtime (the work-rate profiler consumes kDispatch), so
+    // it delimits blocks instead of being recorded. The steady-state
+    // block is everything after it, through the closing jump.
+    constexpr uint64_t kKindMask = 3ull << 62;
+    size_t first = 0;
+    while (first < ss.sigs.size() &&
+           (ss.sigs[first] & kKindMask) == sim::BlockMemo::kSigKindAnnot)
+        ++first;
+    ASSERT_GT(first, 0u);
+    ASSERT_LT(first, ss.sigs.size());
+    for (size_t i = first; i < ss.sigs.size(); ++i)
+        ASSERT_NE((ss.sigs[i] & kKindMask), sim::BlockMemo::kSigKindAnnot)
+            << "single merge point expected in this trace";
+
+    // Every record a memory op, and only those, is listed in memIdx.
+    for (uint32_t idx : ss.memIdx) {
+        ASSERT_LT(idx, ss.sigs.size());
+        uint64_t cls = (ss.sigs[idx] >> 50) & 0xf;
+        EXPECT_TRUE(cls == uint64_t(sim::InstClass::Load) ||
+                    cls == uint64_t(sim::InstClass::Store));
+    }
+
+    sim::BlockMemo *memo = ctx.core.memoForTest();
+    ASSERT_NE(memo, nullptr);
+    uint64_t key = t->codePc + ss.pcOff[first];
+    const std::vector<sim::MemoRec> *recs = memo->entryRecsForTest(key);
+    ASSERT_NE(recs, nullptr)
+        << "no recorded entry at the baked steady-state block key";
+    ASSERT_EQ(recs->size(), ss.sigs.size() - first);
+    for (size_t i = first; i < ss.sigs.size(); ++i) {
+        EXPECT_EQ((*recs)[i - first].sig, ss.sigs[i]) << "record " << i;
+        EXPECT_EQ((*recs)[i - first].pc, t->codePc + ss.pcOff[i])
+            << "record " << i;
+    }
+}
+
+TEST(MemoExecutor, HotLoopBitIdenticalAndHitHeavy)
+{
+    const int64_t limit = 20000;
+    vm::VmConfig offCfg;
+    offCfg.core.simMemo = false;
+    vm::VmContext on;
+    vm::VmContext off(offCfg);
+    int codeOn, codeOff;
+    jit::Trace *tOn = registerCountingLoop(on, &codeOn, limit);
+    jit::Trace *tOff = registerCountingLoop(off, &codeOff, limit);
+
+    vm::DeoptResult rOn =
+        on.executor.run(*tOn, {RtVal::fromRef(on.space.newInt(0))});
+    vm::DeoptResult rOff =
+        off.executor.run(*tOff, {RtVal::fromRef(off.space.newInt(0))});
+
+    ASSERT_EQ(rOn.frames.size(), 1u);
+    ASSERT_EQ(rOff.frames.size(), 1u);
+    EXPECT_EQ(
+        static_cast<obj::W_Int *>(rOn.frames[0].stack[0])->value,
+        static_cast<obj::W_Int *>(rOff.frames[0].stack[0])->value);
+
+    expectCoresIdentical(on.core, off.core);
+    sim::MemoStats ms = on.core.memoStats();
+    EXPECT_GE(ms.blocksCached, 1u);
+    EXPECT_GT(ms.hits, uint64_t(limit) / 2);
+    EXPECT_GT(ms.hitRate(), 0.5);
+}
+
+// ---- end-to-end differentials ----------------------------------------
+
+void
+expectRunResultsIdentical(const driver::RunResult &a,
+                          const driver::RunResult &b)
+{
+    ASSERT_TRUE(a.completed);
+    ASSERT_TRUE(b.completed);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.branchMpki, b.branchMpki);
+    EXPECT_EQ(a.branchMissRate, b.branchMissRate);
+    for (uint32_t p = 0; p < xlayer::kNumPhases; ++p) {
+        EXPECT_EQ(a.phaseShares[p], b.phaseShares[p]) << "phase " << p;
+        EXPECT_EQ(a.phaseCounters[p].instructions,
+                  b.phaseCounters[p].instructions)
+            << "phase " << p;
+        EXPECT_EQ(a.phaseCounters[p].cyclesFp,
+                  b.phaseCounters[p].cyclesFp)
+            << "phase " << p;
+        EXPECT_EQ(a.phaseCounters[p].mispredicts,
+                  b.phaseCounters[p].mispredicts)
+            << "phase " << p;
+    }
+    EXPECT_EQ(a.deopts, b.deopts);
+    EXPECT_EQ(a.traceEnters, b.traceEnters);
+    EXPECT_EQ(a.loopsCompiled, b.loopsCompiled);
+    EXPECT_EQ(a.bridgesCompiled, b.bridgesCompiled);
+    EXPECT_EQ(a.gcMinor, b.gcMinor);
+    EXPECT_EQ(a.gcMajor, b.gcMajor);
+    EXPECT_EQ(a.gcAllocations, b.gcAllocations);
+    EXPECT_EQ(a.gcFreedObjects, b.gcFreedObjects);
+    EXPECT_EQ(a.icacheHits, b.icacheHits);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheHits, b.dcacheHits);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.work, b.work);
+}
+
+TEST(MemoDifferential, EndToEndWorkloadCountersIdentical)
+{
+    driver::RunOptions base;
+    base.workload = "crypto_pyaes";
+    base.scale = 60;
+    base.vm = driver::VmKind::PyPyJit;
+    base.loopThreshold = 60;
+
+    driver::RunOptions memoOn = base;
+    memoOn.simMemo = true;
+    driver::RunOptions memoOff = base;
+    memoOff.simMemo = false;
+
+    driver::RunResult a = driver::runWorkload(memoOn);
+    driver::RunResult b = driver::runWorkload(memoOff);
+
+    expectRunResultsIdentical(a, b);
+    EXPECT_GT(a.memoHits, 0u);
+    EXPECT_GE(a.memoBlocksCached, 1u);
+    EXPECT_EQ(b.memoHits, 0u);
+    EXPECT_EQ(b.memoBlocksCached, 0u);
+}
+
+TEST(MemoDifferential, GcHeavyWorkloadCountersIdentical)
+{
+    // chaos allocates heavily, so GC minors strike mid-trace: GC work
+    // splits recorded blocks, frees recycle simulated data addresses,
+    // and the memo layer must shrug all of it off exactly.
+    driver::RunOptions base;
+    base.workload = "chaos";
+    base.scale = 3000;
+    base.vm = driver::VmKind::PyPyJit;
+    base.loopThreshold = 60;
+
+    driver::RunOptions memoOn = base;
+    memoOn.simMemo = true;
+    driver::RunOptions memoOff = base;
+    memoOff.simMemo = false;
+
+    driver::RunResult a = driver::runWorkload(memoOn);
+    driver::RunResult b = driver::runWorkload(memoOff);
+
+    expectRunResultsIdentical(a, b);
+    EXPECT_GT(a.gcMinor, 0u);
+    EXPECT_GT(a.memoHits, 0u);
+}
+
+TEST(MemoDifferential, CountersInvariantAcrossJobs)
+{
+    std::vector<driver::RunOptions> runs;
+    for (const char *w : {"crypto_pyaes", "chaos"}) {
+        driver::RunOptions o;
+        o.workload = w;
+        o.scale = 40;
+        o.vm = driver::VmKind::PyPyJit;
+        o.loopThreshold = 60;
+        o.simMemo = true;
+        runs.push_back(o);
+    }
+
+    std::vector<driver::RunResult> seq =
+        driver::runWorkloadsParallel(runs, 1);
+    std::vector<driver::RunResult> par =
+        driver::runWorkloadsParallel(runs, 3);
+
+    ASSERT_EQ(seq.size(), par.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+        SCOPED_TRACE(runs[i].workload);
+        expectRunResultsIdentical(seq[i], par[i]);
+        // The host-side memo telemetry itself is deterministic too:
+        // each run owns a private core, so job scheduling cannot leak
+        // into hit/miss counts.
+        EXPECT_EQ(seq[i].memoHits, par[i].memoHits);
+        EXPECT_EQ(seq[i].memoMisses, par[i].memoMisses);
+        EXPECT_EQ(seq[i].memoInvalidations, par[i].memoInvalidations);
+    }
+}
+
+} // namespace
+} // namespace xlvm

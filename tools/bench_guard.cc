@@ -1,0 +1,235 @@
+/**
+ * @file
+ * xlvm-bench-guard — CI bench-smoke performance guard.
+ *
+ * Checks two properties of a freshly generated metrics report against a
+ * committed baseline (ci/bench_smoke_baseline.json):
+ *
+ *  1. Memoization effectiveness: the aggregate sim_memo hit rate across
+ *     all runs with memo activity must meet --min-hit-rate. A silent
+ *     drop in hit rate (an over-eager invalidation, a signature change
+ *     that stops blocks from verifying) does not move any modeled
+ *     counter, so the golden gate cannot see it — this guard can.
+ *
+ *  2. Modeled-cost regression: per matched run (workload + vm), the
+ *     fresh totals/cycles_fp may not exceed the baseline by more than
+ *     --max-regression (default 10%). This is a coarse tripwire for the
+ *     reduced smoke sweep; the golden gate pins exact values for the
+ *     full set.
+ *
+ * Exit codes: 0 ok (or --update rewrote the baseline), 1 guard failed,
+ * 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "report/golden.h"
+#include "report/json.h"
+
+namespace {
+
+using xlvm::report::Json;
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <fresh.json> <baseline.json> [--min-hit-rate X]\n"
+        "          [--max-regression X] [--update]\n"
+        "\n"
+        "  --min-hit-rate X    minimum aggregate sim_memo hit rate over\n"
+        "                      runs with memo activity (default 0.5)\n"
+        "  --max-regression X  maximum allowed relative increase of a\n"
+        "                      run's totals/cycles_fp over the baseline\n"
+        "                      (default 0.10)\n"
+        "  --update            rewrite the baseline from the fresh\n"
+        "                      report and exit 0\n",
+        argv0);
+}
+
+const Json *
+runMetric(const Json &run, const char *section, const char *name)
+{
+    const Json *metrics = run.get("metrics");
+    if (!metrics)
+        return nullptr;
+    const Json *sec = metrics->get(section);
+    return sec ? sec->get(name) : nullptr;
+}
+
+std::string
+runKey(const Json &run)
+{
+    const Json *w = run.get("workload");
+    const Json *vm = run.get("vm");
+    return (w ? w->asString() : "?") + "|" + (vm ? vm->asString() : "?");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace xlvm::report;
+
+    std::string freshPath, basePath;
+    double minHitRate = 0.5;
+    double maxRegression = 0.10;
+    bool update = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--update") == 0) {
+            update = true;
+        } else if (std::strcmp(a, "--min-hit-rate") == 0 && i + 1 < argc) {
+            minHitRate = std::strtod(argv[++i], nullptr);
+        } else if (std::strncmp(a, "--min-hit-rate=", 15) == 0) {
+            minHitRate = std::strtod(a + 15, nullptr);
+        } else if (std::strcmp(a, "--max-regression") == 0 &&
+                   i + 1 < argc) {
+            maxRegression = std::strtod(argv[++i], nullptr);
+        } else if (std::strncmp(a, "--max-regression=", 17) == 0) {
+            maxRegression = std::strtod(a + 17, nullptr);
+        } else if (std::strcmp(a, "-h") == 0 ||
+                   std::strcmp(a, "--help") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (a[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0], a);
+            usage(argv[0]);
+            return 2;
+        } else if (freshPath.empty()) {
+            freshPath = a;
+        } else if (basePath.empty()) {
+            basePath = a;
+        } else {
+            std::fprintf(stderr, "%s: too many arguments\n", argv[0]);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (freshPath.empty() || basePath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::string err;
+    Json fresh;
+    if (!loadReport(freshPath, &fresh, &err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
+    }
+    const Json *freshRuns = fresh.get("runs");
+    if (!freshRuns || !freshRuns->isArray() || freshRuns->size() == 0) {
+        std::fprintf(stderr, "%s: %s has no runs\n", argv[0],
+                     freshPath.c_str());
+        return 2;
+    }
+
+    if (update) {
+        std::ofstream f(basePath, std::ios::binary | std::ios::trunc);
+        if (!f) {
+            std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                         basePath.c_str());
+            return 2;
+        }
+        std::string payload = fresh.dump(2) + "\n";
+        f.write(payload.data(), std::streamsize(payload.size()));
+        f.flush();
+        if (!f) {
+            std::fprintf(stderr, "%s: write failed for %s\n", argv[0],
+                         basePath.c_str());
+            return 2;
+        }
+        std::printf("updated %s from %s\n", basePath.c_str(),
+                    freshPath.c_str());
+        return 0;
+    }
+
+    Json base;
+    if (!loadReport(basePath, &base, &err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
+    }
+    const Json *baseRuns = base.get("runs");
+    if (!baseRuns || !baseRuns->isArray()) {
+        std::fprintf(stderr, "%s: %s has no runs\n", argv[0],
+                     basePath.c_str());
+        return 2;
+    }
+
+    int fail = 0;
+
+    // 1. Aggregate memoization hit rate.
+    uint64_t hits = 0, misses = 0;
+    for (const Json &run : freshRuns->items()) {
+        const Json *h = runMetric(run, "sim_memo", "hits");
+        const Json *m = runMetric(run, "sim_memo", "misses");
+        hits += h ? h->asUInt() : 0;
+        misses += m ? m->asUInt() : 0;
+    }
+    if (hits + misses == 0) {
+        std::fprintf(stderr,
+                     "FAIL: no sim_memo activity in %s — the smoke "
+                     "sweep must run with memoization enabled\n",
+                     freshPath.c_str());
+        fail = 1;
+    } else {
+        double rate = double(hits) / double(hits + misses);
+        std::printf("sim_memo aggregate hit rate: %.4f "
+                    "(%llu hits / %llu lookups, floor %.2f)\n",
+                    rate, (unsigned long long)hits,
+                    (unsigned long long)(hits + misses), minHitRate);
+        if (rate < minHitRate) {
+            std::fprintf(stderr,
+                         "FAIL: sim_memo hit rate %.4f below floor "
+                         "%.2f\n",
+                         rate, minHitRate);
+            fail = 1;
+        }
+    }
+
+    // 2. Per-run modeled-cost regression vs baseline.
+    for (const Json &run : freshRuns->items()) {
+        std::string key = runKey(run);
+        const Json *match = nullptr;
+        for (const Json &b : baseRuns->items()) {
+            if (runKey(b) == key) {
+                match = &b;
+                break;
+            }
+        }
+        if (!match) {
+            std::fprintf(stderr,
+                         "FAIL: run %s missing from baseline %s "
+                         "(rerun with --update?)\n",
+                         key.c_str(), basePath.c_str());
+            fail = 1;
+            continue;
+        }
+        const Json *fc = runMetric(run, "totals", "cycles_fp");
+        const Json *bc = runMetric(*match, "totals", "cycles_fp");
+        if (!fc || !bc || bc->asUInt() == 0) {
+            std::fprintf(stderr, "FAIL: %s: missing totals/cycles_fp\n",
+                         key.c_str());
+            fail = 1;
+            continue;
+        }
+        double rel = double(fc->asUInt()) / double(bc->asUInt()) - 1.0;
+        const char *verdict = rel > maxRegression ? "FAIL" : "ok";
+        std::printf("%s %s: cycles_fp %llu vs baseline %llu (%+.2f%%)\n",
+                    verdict, key.c_str(),
+                    (unsigned long long)fc->asUInt(),
+                    (unsigned long long)bc->asUInt(), rel * 100.0);
+        if (rel > maxRegression)
+            fail = 1;
+    }
+
+    return fail;
+}

@@ -27,12 +27,18 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s <fresh.json> <golden.json> [--rtol X] [--update]\n"
+        "          [--ignore-section NAME]...\n"
         "\n"
         "Compares a fresh metrics report against a committed golden\n"
         "snapshot. Integer counters must match exactly; floats compare\n"
         "under the relative tolerance --rtol (default 1e-6).\n"
         "\n"
         "  --rtol X   relative tolerance for derived float metrics\n"
+        "  --ignore-section NAME\n"
+        "             skip object key NAME wherever it appears (both\n"
+        "             sides; repeatable). The memo-off golden pass uses\n"
+        "             --ignore-section sim_memo since those host-side\n"
+        "             counters legitimately differ between gate runs.\n"
         "  --update   on drift, overwrite the golden with the fresh\n"
         "             report (use when a change is *intended* to move\n"
         "             counters) and exit 0\n",
@@ -58,6 +64,10 @@ main(int argc, char **argv)
             opts.rtol = std::strtod(argv[++i], nullptr);
         } else if (std::strncmp(a, "--rtol=", 7) == 0) {
             opts.rtol = std::strtod(a + 7, nullptr);
+        } else if (std::strcmp(a, "--ignore-section") == 0 && i + 1 < argc) {
+            opts.ignoreKeys.push_back(argv[++i]);
+        } else if (std::strncmp(a, "--ignore-section=", 17) == 0) {
+            opts.ignoreKeys.push_back(a + 17);
         } else if (std::strcmp(a, "-h") == 0 ||
                    std::strcmp(a, "--help") == 0) {
             usage(argv[0]);
