@@ -53,6 +53,12 @@ namespace bench {
  * printed by xlvm-trace, e.g. memo_hit, dispatch; "all" enables every
  * tag) — the high-frequency firehoses are off by default because they
  * flush the ring within milliseconds.
+ *
+ * Tier policy: "--tier-mode off|tier1|tier2|multi" (or the
+ * XLVM_TIER_MODE environment variable; flags win) selects the JIT
+ * compilation-tier policy for every run of the sweep. The flag is
+ * applied to RunOptions — not just the VM config — so the exported
+ * report's config section records the mode that actually ran.
  */
 class Session
 {
@@ -76,8 +82,10 @@ class Session
         std::fprintf(stderr, "[%u job%s]\n", jobs_,
                      jobs_ == 1 ? "" : "s");
         std::vector<driver::RunOptions> traced = runs;
-        for (driver::RunOptions &o : traced)
+        for (driver::RunOptions &o : traced) {
             o.simMemo = simMemo_;
+            o.tierMode = tierMode_;
+        }
         if (tracing()) {
             for (driver::RunOptions &o : traced) {
                 o.traceBufferEvents = traceBufferEvents_;
@@ -105,6 +113,7 @@ class Session
     {
         driver::RunOptions o = opts;
         o.simMemo = simMemo_;
+        o.tierMode = tierMode_;
         if (tracing()) {
             o.traceBufferEvents = traceBufferEvents_;
             o.traceTagMask = traceTagMask_;
@@ -189,7 +198,19 @@ class Session
                 simMemo_ = true;
             } else if (std::strcmp(a, "--no-sim-memo") == 0) {
                 simMemo_ = false;
+            } else if (std::strcmp(a, "--tier-mode") == 0 &&
+                       i + 1 < argc) {
+                setTierMode(argv[++i]);
+            } else if (std::strncmp(a, "--tier-mode=", 12) == 0) {
+                setTierMode(a + 12);
+            } else if (std::strncmp(a, "--tier-mode:", 12) == 0) {
+                setTierMode(a + 12);
             }
+        }
+        if (!tierModeSet_) {
+            const char *env = std::getenv("XLVM_TIER_MODE");
+            if (env && *env)
+                setTierMode(env);
         }
         if (tracePaths_.empty()) {
             const char *env = std::getenv("XLVM_TRACE");
@@ -204,6 +225,21 @@ class Session
             if (p.empty())
                 p = std::string(report_name) + "-trace.json";
         }
+    }
+
+    /** Parse a tier-mode name; a typo is a hard error (a silently
+     *  defaulted mode would gate the wrong golden set in CI). */
+    void
+    setTierMode(const char *name)
+    {
+        if (!vm::tierModeFromString(name, &tierMode_)) {
+            std::fprintf(stderr,
+                         "--tier-mode: unknown mode '%s' (want "
+                         "off|tier1|tier2|multi)\n",
+                         name);
+            std::exit(2);
+        }
+        tierModeSet_ = true;
     }
 
     /** OR extra tags from a comma-separated name list into the
@@ -245,6 +281,9 @@ class Session
      *  host-side accelerator; modeled counters are invariant, so CI
      *  runs the golden gate under both settings). */
     bool simMemo_ = true;
+    /** "--tier-mode"/XLVM_TIER_MODE: JIT compilation-tier policy. */
+    vm::TierMode tierMode_ = vm::TierMode::Tier2;
+    bool tierModeSet_ = false;
     std::vector<std::string> tracePaths_;
     uint64_t traceBufferEvents_ = kDefaultTraceBufferEvents;
     /** "--trace-tags": recording mask for the per-run event tracer. */
@@ -334,6 +373,11 @@ baseOptions(const std::string &workload, driver::VmKind vm)
     o.vm = vm;
     o.loopThreshold = 120;
     o.bridgeThreshold = 40;
+    // Tier policy thresholds for --tier-mode tier1/multi sweeps: trace
+    // earlier than the tier-2 threshold (cheap baseline compiles buy
+    // early native execution), promote at moderate reuse.
+    o.tier1Threshold = 30;
+    o.tier2Threshold = 60;
     o.maxInstructions = 400u * 1000 * 1000;
     return o;
 }

@@ -7,16 +7,24 @@
 # change: either fix the regression, or — when the change is intended
 # to move counters — rerun with --update and commit the new goldens.
 #
-# The gate runs twice: once with the sim-layer block memoization active
-# (the default) and once with XLVM_NO_SIM_MEMO=1. Memoization is a
-# host-side accelerator whose contract is that every modeled counter is
-# bit-identical either way; the second pass enforces that contract on
-# all 13 goldens and excludes only the sim_memo telemetry section
-# (--ignore-section), whose counters are legitimately zero when the
-# layer is off. --update skips the second pass (goldens are recorded
-# memo-on).
+# In the default tier mode the gate runs twice: once with the sim-layer
+# block memoization active (the default) and once with
+# XLVM_NO_SIM_MEMO=1. Memoization is a host-side accelerator whose
+# contract is that every modeled counter is bit-identical either way;
+# the second pass enforces that contract on all 13 goldens and excludes
+# only the sim_memo telemetry section (--ignore-section), whose
+# counters are legitimately zero when the layer is off. --update skips
+# the second pass (goldens are recorded memo-on).
 #
-# Usage: ci/check_goldens.sh [build-dir] [--jobs N] [--update]
+# --tier-mode MODE selects the JIT tier policy (tier2 = default).
+# Non-default modes compare against their own golden set
+# (tests/golden/<mode>/) and ignore the jit_tiers section, whose
+# per-tier byte/cycle split is pinned by the per-mode set itself; the
+# memo-off pass only runs in the default mode. A missing per-mode
+# golden set is a hard failure, not a skip — regenerate it with
+# "ci/check_goldens.sh <build> --tier-mode <mode> --update" and commit.
+#
+# Usage: ci/check_goldens.sh [build-dir] [--jobs N] [--tier-mode M] [--update]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,13 +32,34 @@ cd "$(dirname "$0")/.."
 build=build
 jobs=$(nproc)
 update=""
+tier_mode=tier2
 while [ $# -gt 0 ]; do
     case "$1" in
       --jobs) jobs=$2; shift 2 ;;
+      --tier-mode) tier_mode=$2; shift 2 ;;
+      --tier-mode=*) tier_mode=${1#--tier-mode=}; shift ;;
       --update) update="--update"; shift ;;
       *) build=$1; shift ;;
     esac
 done
+
+# Default mode compares the top-level set exactly; other modes keep
+# their own set and skip the jit_tiers section (it is pinned per mode).
+if [ "$tier_mode" = tier2 ]; then
+    golden_dir=tests/golden
+    ignore=""
+else
+    golden_dir=tests/golden/$tier_mode
+    ignore="--ignore-section jit_tiers"
+fi
+
+if [ -n "$update" ]; then
+    mkdir -p "$golden_dir"
+elif ! ls "$golden_dir"/*.json > /dev/null 2>&1; then
+    echo "FAIL: no golden set for tier mode '$tier_mode' at $golden_dir/" >&2
+    echo "      regenerate: ci/check_goldens.sh $build --tier-mode $tier_mode --update" >&2
+    exit 1
+fi
 
 # golden stem -> bench binary that regenerates it
 bench_for() {
@@ -52,34 +81,45 @@ bench_for() {
     esac
 }
 
+# On --update, (re)generate the full set from the default set's stems —
+# a per-mode dir that is missing or partial must not shrink coverage.
+# On check, iterate the per-mode set itself.
+stems() {
+    local g
+    if [ -z "$update" ] && ls "$golden_dir"/*.json > /dev/null 2>&1; then
+        for g in "$golden_dir"/*.json; do basename "$g" .json; done
+    else
+        for g in tests/golden/*.json; do basename "$g" .json; done
+    fi
+}
+
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
 fail=0
 
-for golden in tests/golden/*.json; do
-    stem=$(basename "$golden" .json)
+for stem in $(stems); do
     bin=$(bench_for "$stem")
     if [ -z "$bin" ]; then
-        echo "SKIP $golden: no bench binary mapped" >&2
+        echo "SKIP $stem: no bench binary mapped" >&2
         continue
     fi
-    echo "== $stem ($bin, $jobs jobs, memo on)"
-    "$build/bench/$bin" --jobs "$jobs" \
+    echo "== $stem ($bin, $jobs jobs, tier $tier_mode, memo on)"
+    "$build/bench/$bin" --jobs "$jobs" --tier-mode "$tier_mode" \
         --report "json:$out/$stem.json" > /dev/null
-    "$build/tools/xlvm-check-golden" "$out/$stem.json" "$golden" \
-        $update || fail=1
+    "$build/tools/xlvm-check-golden" "$out/$stem.json" \
+        "$golden_dir/$stem.json" $ignore $update || fail=1
 done
 
-if [ -z "$update" ]; then
-    for golden in tests/golden/*.json; do
-        stem=$(basename "$golden" .json)
+if [ -z "$update" ] && [ "$tier_mode" = tier2 ]; then
+    for stem in $(stems); do
         bin=$(bench_for "$stem")
         [ -z "$bin" ] && continue
         echo "== $stem ($bin, $jobs jobs, memo off)"
         XLVM_NO_SIM_MEMO=1 "$build/bench/$bin" --jobs "$jobs" \
+            --tier-mode "$tier_mode" \
             --report "json:$out/$stem.nomemo.json" > /dev/null
         "$build/tools/xlvm-check-golden" "$out/$stem.nomemo.json" \
-            "$golden" --ignore-section sim_memo || fail=1
+            "$golden_dir/$stem.json" --ignore-section sim_memo || fail=1
     done
 fi
 

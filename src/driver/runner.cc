@@ -1,5 +1,7 @@
 #include "driver/runner.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -32,6 +34,29 @@ vmKindName(VmKind k)
 }
 
 namespace {
+
+/** XLVM_TIER_MODE env hatch: overrides RunOptions::tierMode when set
+ *  (same precedence as the other escape hatches; unknown values warn
+ *  once and are ignored so a typo cannot silently change the mode). */
+vm::TierMode
+tierModeWithEnv(vm::TierMode from_opts)
+{
+    const char *e = std::getenv("XLVM_TIER_MODE");
+    if (!e || !*e)
+        return from_opts;
+    vm::TierMode m;
+    if (vm::tierModeFromString(e, &m))
+        return m;
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "xlvm: XLVM_TIER_MODE='%s' unknown (want "
+                     "off|tier1|tier2|multi), ignored\n",
+                     e);
+    }
+    return from_opts;
+}
 
 vm::VmConfig
 configFor(const RunOptions &opts)
@@ -66,6 +91,11 @@ configFor(const RunOptions &opts)
     cfg.jit.optHeapCache = opts.optHeapCache;
     cfg.jit.optElideGuards = opts.optElideGuards;
     cfg.jit.optFoldConstants = opts.optFoldConstants;
+    cfg.jit.tierMode = tierModeWithEnv(opts.tierMode);
+    cfg.jit.tier1Threshold = opts.tier1Threshold;
+    cfg.jit.tier2Threshold = opts.tier2Threshold;
+    if (cfg.jit.tierMode == vm::TierMode::Off)
+        cfg.jit.enableJit = false;
     cfg.core.simMemo = opts.simMemo;
     cfg.maxInstructions = opts.maxInstructions;
     cfg.phaseTimelineBin = opts.timelineBin;
@@ -134,6 +164,19 @@ collect(vm::VmContext &ctx, RunResult &out)
     out.gcLiveYoungObjects = ctx.heap.youngObjectCount();
     out.gcLiveOldObjects = ctx.heap.oldObjectCount();
     out.spaceOps = ctx.space.opCount();
+
+    const jit::TierStats &ts = ctx.backend.tierStats();
+    out.tier1Compiles = ts.tier1Compiles;
+    out.tier2Compiles = ts.tier2Compiles;
+    out.tierPromotions = ts.promotions;
+    out.tierUps = ctx.events.tierUps;
+    out.tier1CodeBytes = ts.tier1CodeBytes;
+    out.tier2CodeBytes = ts.tier2CodeBytes;
+    out.tier1RetiredBytes = ts.tier1RetiredBytes;
+    out.tier1CompileInsts = ts.tier1CompileInsts;
+    out.tier2CompileInsts = ts.tier2CompileInsts;
+    out.tier1CyclesFp = ctx.executor.tierCyclesFp(1);
+    out.tier2CyclesFp = ctx.executor.tierCyclesFp(2);
 
     out.irNodesCompiled = ctx.backend.totalIrNodesCompiled();
     out.irNodeMeta = ctx.backend.nodeMeta();

@@ -57,6 +57,15 @@ struct RunOptions
     bool optElideGuards = true;
     bool optFoldConstants = true;
     /**
+     * Compilation-tier policy (vm::TierMode). Tier2 is the pre-tiering
+     * default; Tier1/Multi compile raw traces at tier1Threshold without
+     * the optimizer, Multi promotes at tier2Threshold executions. The
+     * XLVM_TIER_MODE env hatch overrides (off|tier1|tier2|multi).
+     */
+    vm::TierMode tierMode = vm::TierMode::Tier2;
+    uint32_t tier1Threshold = 130;
+    uint32_t tier2Threshold = 100;
+    /**
      * Streaming event-tracer ring capacity in events (0 = tracing off).
      * When full the ring wraps: the newest events survive, overwritten
      * ones are counted in RunResult::trace.droppedEvents.
@@ -131,6 +140,19 @@ struct RunResult
     uint64_t gcLiveYoungObjects = 0;
     uint64_t gcLiveOldObjects = 0;
     uint64_t spaceOps = 0; ///< object-space operations emitted
+
+    // Multi-tier JIT (schema v4 jit_tiers section).
+    uint64_t tier1Compiles = 0;
+    uint64_t tier2Compiles = 0;
+    uint64_t tierPromotions = 0;
+    uint64_t tierUps = 0; ///< annotation-stream cross-check
+    uint64_t tier1CodeBytes = 0;
+    uint64_t tier2CodeBytes = 0;
+    uint64_t tier1RetiredBytes = 0;
+    uint64_t tier1CompileInsts = 0;
+    uint64_t tier2CompileInsts = 0;
+    uint64_t tier1CyclesFp = 0;
+    uint64_t tier2CyclesFp = 0;
 
     // JIT-IR level (Figures 6-9).
     uint32_t irNodesCompiled = 0;

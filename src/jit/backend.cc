@@ -123,6 +123,52 @@ loweredInstCount(IrOp op)
 void
 Backend::compile(Trace &trace)
 {
+    compileAtTier(trace, 2);
+}
+
+void
+Backend::compileBaseline(Trace &trace)
+{
+    compileAtTier(trace, 1);
+}
+
+void
+Backend::promote(Trace &trace, Trace &&optimized)
+{
+    // Move the re-optimized IR content into the registered trace object
+    // so its identity (id, anchor, hotness, registry/bridge references)
+    // survives the swap; the recompile below re-derives every backend
+    // artifact (codePc, offsets, program, guardStates) from scratch.
+    XLVM_ASSERT(trace.tier == 1, "promoting a non-baseline trace");
+    uint64_t oldBytes = (uint64_t(trace.codeInsts + 8) * 4 + 15) & ~15ull;
+    tiers.tier1CodeBytes -= oldBytes;
+    tiers.tier1RetiredBytes += oldBytes;
+
+    trace.ops = std::move(optimized.ops);
+    trace.consts = std::move(optimized.consts);
+    trace.boxTypes = std::move(optimized.boxTypes);
+    trace.snapshots = std::move(optimized.snapshots);
+    trace.numInputs = optimized.numInputs;
+    trace.virtuals = std::move(optimized.virtuals);
+    trace.boxToVirtual = std::move(optimized.boxToVirtual);
+    trace.promotionRequested = false;
+
+    compileAtTier(trace, 2);
+    ++tiers.promotions;
+}
+
+void
+Backend::addCompileCost(uint8_t tier, uint64_t insts)
+{
+    if (tier == 1)
+        tiers.tier1CompileInsts += insts;
+    else
+        tiers.tier2CompileInsts += insts;
+}
+
+void
+Backend::compileAtTier(Trace &trace, uint8_t tier)
+{
     std::vector<uint32_t> offs;
     std::vector<int32_t> ids;
     offs.reserve(trace.ops.size());
@@ -150,6 +196,16 @@ Backend::compile(Trace &trace)
     trace.guardStates.assign(trace.ops.size(), GuardState());
     if (trace.boxToVirtual.empty())
         trace.boxToVirtual.assign(trace.boxTypes.size(), -1);
+
+    trace.tier = tier;
+    uint64_t bytes = (uint64_t(cursor + 8) * 4 + 15) & ~15ull;
+    if (tier == 1) {
+        ++tiers.tier1Compiles;
+        tiers.tier1CodeBytes += bytes;
+    } else {
+        ++tiers.tier2Compiles;
+        tiers.tier2CodeBytes += bytes;
+    }
 
     if (offsets.size() <= trace.id) {
         offsets.resize(trace.id + 1);

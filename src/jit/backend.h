@@ -41,6 +41,22 @@ struct IrNodeMeta
     uint32_t traceId = 0;
 };
 
+/** Per-tier compile/residency accounting (metrics jit_tiers section). */
+struct TierStats
+{
+    uint64_t tier1Compiles = 0;
+    uint64_t tier2Compiles = 0; ///< promotions recompile at tier 2 too
+    uint64_t promotions = 0;
+    /** Live code bytes per tier. The arena is monotonic, so promotion
+     *  moves a trace's footprint to tier 2 and retires the old region. */
+    uint64_t tier1CodeBytes = 0;
+    uint64_t tier2CodeBytes = 0;
+    uint64_t tier1RetiredBytes = 0;
+    /** Modeled compile-cost instructions charged per tier. */
+    uint64_t tier1CompileInsts = 0;
+    uint64_t tier2CompileInsts = 0;
+};
+
 class Backend
 {
   public:
@@ -58,11 +74,35 @@ class Backend
     }
 
     /**
-     * Assemble @p trace: assigns codePc / codeInsts / opPc offsets /
-     * irNodeBase, registers node metadata, sizes guardStates, and
-     * pre-lowers the trace into its micro-op program (jit/lower.h).
+     * Assemble @p trace at the optimizing tier: assigns codePc /
+     * codeInsts / opPc offsets / irNodeBase, registers node metadata,
+     * sizes guardStates, and pre-lowers the trace into its micro-op
+     * program (jit/lower.h).
      */
     void compile(Trace &trace);
+
+    /**
+     * Assemble @p trace at the baseline tier (tier 1): the trace is the
+     * raw recording, lowered through the exact same pipeline — the only
+     * difference is bookkeeping (trace.tier, per-tier byte accounting).
+     */
+    void compileBaseline(Trace &trace);
+
+    /**
+     * Promote @p trace to the optimizing tier: move @p optimized's IR
+     * content into the registered trace object (preserving its id,
+     * anchor and hotness so every registry/bridge reference stays
+     * valid) and recompile. The old tier-1 code region is abandoned
+     * (the arena is monotonic) and counted as retired; guardStates are
+     * re-sized by the recompile, which detaches any bridges attached to
+     * the tier-1 guard indices — dependent code invalidation.
+     */
+    void promote(Trace &trace, Trace &&optimized);
+
+    /** Charge modeled compile-cost instructions to @p tier's account. */
+    void addCompileCost(uint8_t tier, uint64_t insts);
+
+    const TierStats &tierStats() const { return tiers; }
 
     /** Per-op code offsets (parallel to trace.ops), for the executor. */
     const std::vector<uint32_t> &opOffsets(uint32_t trace_id) const;
@@ -82,10 +122,13 @@ class Backend
     bool fusionEnabled() const { return fuseMicroOps; }
 
   private:
+    void compileAtTier(Trace &trace, uint8_t tier);
+
     sim::CodeSpace &codeSpace;
     bool fuseMicroOps;
     uint8_t loadStall;
     bool irNodeAnnots;
+    TierStats tiers;
     std::vector<IrNodeMeta> nodes;
     std::vector<std::vector<uint32_t>> offsets; ///< per trace id
     std::vector<std::vector<int32_t>> nodeIds;  ///< per trace id

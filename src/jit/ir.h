@@ -309,6 +309,10 @@ struct Trace
     /** Runtime state. */
     std::vector<GuardState> guardStates; ///< parallel to ops (guards only)
     uint64_t executions = 0;
+    /** Compilation tier: 1 = baseline (raw lowering), 2 = optimizing. */
+    uint8_t tier = 2;
+    /** Set once the executor queued this trace for promotion. */
+    bool promotionRequested = false;
 
     int32_t
     newBox(BoxType t)

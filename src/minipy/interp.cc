@@ -1,5 +1,7 @@
 #include "minipy/interp.h"
 
+#include <algorithm>
+
 #include "jit/opt.h"
 #include "xlayer/annot.h"
 
@@ -132,8 +134,15 @@ Interp::bumpLoopCounter(Code *code, uint32_t target_pc)
             return;
         abortPenalty.erase(pen);
     }
+    const vm::JitParams &jp = ctx.config.jit;
+    // Baseline tiers trace earlier: cheap compiles shift the warmup
+    // tradeoff toward "compile sooner, run slower" (multi-tier JIT).
+    uint32_t threshold = (jp.tierMode == vm::TierMode::Tier1 ||
+                          jp.tierMode == vm::TierMode::Multi)
+                             ? jp.tier1Threshold
+                             : jp.loopThreshold;
     uint32_t &ctr = loopCounters[key];
-    if (++ctr >= ctx.config.jit.loopThreshold) {
+    if (++ctr >= threshold) {
         ctr = 0;
         if (!ctx.registry.loopFor(code, target_pc))
             startLoopTrace(code, target_pc);
@@ -226,14 +235,19 @@ Interp::abortTrace(const char *reason)
 }
 
 void
-Interp::registerAndAttach(jit::Trace &&raw, bool is_bridge,
-                          jit::Trace *bridge_target)
+Interp::emitCompileCost(uint64_t work)
 {
-    (void)bridge_target;
-    uint32_t id = ctx.registry.nextId();
+    for (uint64_t i = 0; i < work; i += 4) {
+        sim::BlockEmitter body(ctx.core, tracingCostPc + 32);
+        body.load(tracingCostPc + (i % 256) * 8, 1);
+        body.alu(2);
+        body.branch(i % 16 == 0);
+    }
+}
 
-    // Optimize + assemble; charge compilation cost to the Tracing phase
-    // proportional to the recorded trace length.
+jit::OptParams
+Interp::optParams() const
+{
     jit::OptParams op;
     op.foldConstants = ctx.config.jit.optFoldConstants;
     op.elideGuards = ctx.config.jit.optElideGuards;
@@ -242,31 +256,105 @@ Interp::registerAndAttach(jit::Trace &&raw, bool is_bridge,
     op.classOf = [](void *p) {
         return p ? uint32_t(static_cast<W_Object *>(p)->typeId()) : 0u;
     };
+    return op;
+}
+
+void
+Interp::registerAndAttach(jit::Trace &&raw, bool is_bridge,
+                          jit::Trace *bridge_target)
+{
+    (void)bridge_target;
+    uint32_t id = ctx.registry.nextId();
+    const vm::JitParams &jp = ctx.config.jit;
+    const bool baseline = jp.tierMode == vm::TierMode::Tier1 ||
+                          jp.tierMode == vm::TierMode::Multi;
     uint32_t rawOps = uint32_t(raw.ops.size());
 #ifdef XLVM_DEBUG_TRACE
     raw.id = id;
     std::fprintf(stderr, "=== RAW %s\n", raw.dump().c_str());
 #endif
-    auto optimized = std::make_unique<jit::Trace>(
-        jit::optimize(raw, op, nullptr));
-    optimized->id = id;
-    ctx.backend.compile(*optimized);
 
-    uint64_t work =
-        uint64_t(rawOps) * ctx.env.costs().optPerOpInsts;
-    for (uint64_t i = 0; i < work; i += 4) {
-        sim::BlockEmitter body(ctx.core, tracingCostPc + 32);
-        body.load(tracingCostPc + (i % 256) * 8, 1);
-        body.alu(2);
-        body.branch(i % 16 == 0);
+    // Compile (tier by mode) and charge the modeled compile cost to the
+    // Tracing phase, proportional to the recorded trace length.
+    std::unique_ptr<jit::Trace> compiled;
+    std::unique_ptr<jit::Trace> retained;
+    uint64_t work;
+    if (baseline) {
+        // Tier-1 baseline: lower the raw recording directly, skipping
+        // the optimizer entirely. Multi mode keeps a copy of the raw
+        // ops so a later tier-up can re-optimize from the original.
+        if (jp.tierMode == vm::TierMode::Multi)
+            retained = std::make_unique<jit::Trace>(raw);
+        compiled = std::make_unique<jit::Trace>(std::move(raw));
+        compiled->id = id;
+        ctx.backend.compileBaseline(*compiled);
+        work = uint64_t(rawOps) * ctx.env.costs().tier1PerOpInsts;
+        ctx.backend.addCompileCost(1, work);
+    } else {
+        compiled = std::make_unique<jit::Trace>(
+            jit::optimize(raw, optParams(), nullptr));
+        compiled->id = id;
+        ctx.backend.compile(*compiled);
+        work = uint64_t(rawOps) * ctx.env.costs().optPerOpInsts;
+        ctx.backend.addCompileCost(2, work);
     }
+    emitCompileCost(work);
 
     sim::BlockEmitter e(ctx.core, tracingCostPc);
+    if (baseline)
+        e.annot(xlayer::kTier1Compile, id);
     e.annot(is_bridge ? xlayer::kBridgeCompiled : xlayer::kLoopCompiled,
             id);
     e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Tracing));
 
-    ctx.registry.add(std::move(optimized));
+    ctx.registry.add(std::move(compiled));
+    if (retained)
+        ctx.registry.retainRaw(id, std::move(retained));
+}
+
+void
+Interp::drainPromotions()
+{
+    if (ctx.executor.pendingPromotions.empty() || tracing())
+        return;
+    std::vector<uint32_t> ids;
+    ids.swap(ctx.executor.pendingPromotions);
+    for (uint32_t id : ids)
+        promoteTrace(id);
+}
+
+void
+Interp::promoteTrace(uint32_t trace_id)
+{
+    jit::Trace *t = ctx.registry.byId(trace_id);
+    if (t->tier != 1)
+        return;
+    std::unique_ptr<jit::Trace> raw = ctx.registry.takeRaw(trace_id);
+    if (!raw)
+        return; // no retained recording (tier1-only mode)
+
+    // Re-optimize the original recording and swap the trace's program
+    // in place; the trace keeps its id, anchor and hotness, so the
+    // registry index and every call_assembler reference stay valid.
+    // Bridges attached to tier-1 guard indices are detached by the
+    // recompile (guard indices are meaningless across tiers).
+    {
+        sim::BlockEmitter e(ctx.core, tracingCostPc);
+        e.annot(xlayer::kPhaseEnter, uint32_t(xlayer::Phase::Tracing));
+    }
+    uint32_t rawOps = uint32_t(raw->ops.size());
+    jit::Trace optimized = jit::optimize(*raw, optParams(), nullptr);
+    optimized.id = trace_id;
+    ctx.backend.promote(*t, std::move(optimized));
+
+    uint64_t work = uint64_t(rawOps) * ctx.env.costs().optPerOpInsts;
+    ctx.backend.addCompileCost(2, work);
+    emitCompileCost(work);
+    ++promotionsPerformed;
+
+    sim::BlockEmitter e(ctx.core, tracingCostPc);
+    e.annot(xlayer::kTierUp, trace_id);
+    e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Tracing));
 }
 
 std::vector<int32_t>
@@ -331,6 +419,9 @@ Interp::captureSnapshot()
 bool
 Interp::maybeEnterCompiledTrace(Frame &f)
 {
+    // Apply queued tier-ups first so the program swap is atomic between
+    // trace runs (never under a live register file).
+    drainPromotions();
     jit::Trace *t = ctx.registry.loopFor(f.code, f.pc);
     if (!t)
         return false;
@@ -347,11 +438,19 @@ Interp::maybeEnterCompiledTrace(Frame &f)
     vm::DeoptResult res = ctx.executor.run(*t, std::move(inputs));
     applyDeopt(res, rootDepth);
 
-    // Bridge requests from hot guard exits.
+    // Bridge requests from hot guard exits. A trace that is about to
+    // tier up keeps its guards only until the recompile, so recording a
+    // bridge against its tier-1 guard indices would be dead on arrival:
+    // the promotion wins the race and the bridge request is dropped.
     if (!ctx.executor.hotGuards.empty()) {
         auto [tid, gidx] = ctx.executor.hotGuards.back();
         ctx.executor.hotGuards.clear();
-        if (!tracing() && tid == res.traceId && gidx == res.guardOpIdx) {
+        bool promoPending =
+            std::find(ctx.executor.pendingPromotions.begin(),
+                      ctx.executor.pendingPromotions.end(),
+                      tid) != ctx.executor.pendingPromotions.end();
+        if (!tracing() && !promoPending && tid == res.traceId &&
+            gidx == res.guardOpIdx) {
             size_t bridgeRoot = frames.size() - res.frames.size();
             startBridgeTrace(tid, gidx, bridgeRoot);
         }

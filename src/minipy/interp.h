@@ -24,6 +24,9 @@
 #include "vm/context.h"
 
 namespace xlvm {
+namespace jit {
+struct OptParams;
+}
 namespace minipy {
 
 /** Builtin function ids (W_NativeFunc::builtinId). */
@@ -118,6 +121,8 @@ class Interp : public gc::RootProvider
     uint64_t tracesCompleted = 0;
     uint64_t tracesAbortedCount = 0;
     uint64_t bridgesCompleted = 0;
+    /** Tier-1 traces re-optimized to tier 2 (multi-tier mode). */
+    uint64_t promotionsPerformed = 0;
 
   private:
     struct Frame
@@ -171,6 +176,12 @@ class Interp : public gc::RootProvider
     void emitTracingCost();
     void registerAndAttach(jit::Trace &&raw, bool is_bridge,
                            jit::Trace *bridge_target);
+    /** Modeled compile-cost instruction loop at the tracing cost site. */
+    void emitCompileCost(uint64_t work);
+    jit::OptParams optParams() const;
+    /** Apply queued tier-ups (multi-tier mode; no-op while tracing). */
+    void drainPromotions();
+    void promoteTrace(uint32_t trace_id);
 
     // ---- helpers ------------------------------------------------------
     void emitDispatch(uint8_t opcode);

@@ -46,6 +46,12 @@ struct CostParams
     uint32_t tracePerOpInsts = 70;
     /** Optimizer + assembler work per op of the recorded trace. */
     uint32_t optPerOpInsts = 140;
+    /**
+     * Baseline-tier assembler work per op: the tier-1 compiler lowers
+     * the raw recording directly (no const-fold, no guard elision, no
+     * heap cache), so its per-op cost is a fraction of optPerOpInsts.
+     */
+    uint32_t tier1PerOpInsts = 30;
 
     // ---- deoptimization -----------------------------------------------
     /** Blackhole per reconstructed frame slot. */

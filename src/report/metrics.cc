@@ -104,6 +104,9 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("config", "opt_elide_guards", opts.optElideGuards);
     addU("config", "opt_fold_constants", opts.optFoldConstants);
     addU("config", "trace_buffer_events", opts.traceBufferEvents);
+    addU("config", "tier_mode", uint64_t(opts.tierMode));
+    addU("config", "tier1_threshold", opts.tier1Threshold);
+    addU("config", "tier2_threshold", opts.tier2Threshold);
 
     // Machine level: whole-run counters and derived ratios (Tables I/II).
     uint64_t totalInstrs = 0;
@@ -172,6 +175,8 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("events", "gc_minor", r.gcMinor);
     addU("events", "gc_major", r.gcMajor);
     addU("events", "phase_underflows", r.phaseUnderflows);
+    addU("events", "tier_ups", r.tierUps);
+    addU("events", "tier1_compiles", r.tier1Compiles);
 
     // Streaming event tracer: ring occupancy and loss accounting.
     addU("tracer", "capacity_events", r.trace.capacityEvents);
@@ -205,6 +210,22 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("sim_memo", "replayed_instructions", r.memoReplayedInstructions);
     addU("sim_memo", "replayed_cycles_fp", r.memoReplayedCyclesFp);
     addF("sim_memo", "hit_rate", r.memoHitRate);
+
+    // Multi-tier JIT: per-tier compile counts, modeled compile cost,
+    // resident code bytes, promotions, and execution-cycle attribution.
+    // The tier1/multi golden sets exclude this section from comparison
+    // (--ignore-section jit_tiers) so mode-specific telemetry churn
+    // cannot mask modeled-counter regressions.
+    addU("jit_tiers", "tier1_compiles", r.tier1Compiles);
+    addU("jit_tiers", "tier2_compiles", r.tier2Compiles);
+    addU("jit_tiers", "promotions", r.tierPromotions);
+    addU("jit_tiers", "tier1_code_bytes", r.tier1CodeBytes);
+    addU("jit_tiers", "tier2_code_bytes", r.tier2CodeBytes);
+    addU("jit_tiers", "tier1_retired_bytes", r.tier1RetiredBytes);
+    addU("jit_tiers", "tier1_compile_insts", r.tier1CompileInsts);
+    addU("jit_tiers", "tier2_compile_insts", r.tier2CompileInsts);
+    addU("jit_tiers", "tier1_cycles_fp", r.tier1CyclesFp);
+    addU("jit_tiers", "tier2_cycles_fp", r.tier2CyclesFp);
 
     // Interpreter level: completed work and warmup curve (Fig 5).
     addU("interp", "total_work", r.work);

@@ -63,8 +63,12 @@ class MetricsRegistry
      * v3: added the sim_memo section (block-memoization host-side
      * counters; excluded from golden comparison in the memo-off CI
      * pass via --ignore-section).
+     * v4: added config/tier_mode + tier thresholds, events/tier_ups +
+     * tier1_compiles, and the jit_tiers section (multi-tier JIT
+     * per-tier compiles/bytes/promotions; the tier1/multi golden sets
+     * compare with --ignore-section jit_tiers).
      */
-    static constexpr uint64_t kSchemaVersion = 3;
+    static constexpr uint64_t kSchemaVersion = 4;
 
     explicit MetricsRegistry(std::string report_name);
 

@@ -133,6 +133,10 @@ annotTagName(uint32_t tag)
         return "memo_invalidate";
       case kMemoMiss:
         return "memo_miss";
+      case kTierUp:
+        return "tier_up";
+      case kTier1Compile:
+        return "tier1_compile";
       default:
         return "unknown";
     }
@@ -515,7 +519,8 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
             if (tag == kDeopt)
                 ++guardFailures[payload];
             if (tag == kLoopCompiled || tag == kBridgeCompiled ||
-                tag == kTraceAborted || tag == kDeopt) {
+                tag == kTraceAborted || tag == kDeopt ||
+                tag == kTierUp || tag == kTier1Compile) {
                 if (timeline.size() < kTimelineCap) {
                     Json entry = Json::object();
                     const Json *ts = ev.get("ts");

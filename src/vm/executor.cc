@@ -224,7 +224,20 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
 #endif
     };
 
+    // Per-tier cycle attribution: close the interval running since the
+    // previous sample, charge it to that tier, open one for @p next.
+    // Host-side bookkeeping only — no modeled instruction is emitted.
+    auto tierFlush = [&](uint8_t next) {
+        uint64_t now = core.totalCyclesFp();
+        if (curTier)
+            tierCycles[curTier] += now - tierSampleFp;
+        tierSampleFp = now;
+        curTier = next;
+    };
+
     auto enterTrace = [&](Trace *target, std::vector<RtVal> &&in) {
+        if (target->tier != curTier)
+            tierFlush(target->tier);
         t = target;
         prog = &backend.program(target->id);
         resolveHandlers(*prog);
@@ -260,6 +273,7 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
     auto leave = [&](DeoptResult &&res) {
         core.memoSessionEnd();
         active.pop_back();
+        tierFlush(0);
         sim::BlockEmitter e(core, t->codePc + t->codeInsts * 4);
         e.annot(xlayer::kTraceLeave, t->id);
         e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Jit));
@@ -416,6 +430,16 @@ dispatch_loop:
         const uint32_t *ax = prog->extra.data() + mop->extraOff;
         const uint32_t n = mop->extraLen;
         ++nIterations;
+        // Tier-up check on the backward transfer: the jumping trace's
+        // hotness is its execution count (bumped at entry and on every
+        // self-loop below). Queue, don't promote — swapping the program
+        // mid-run is unsafe; the dispatch glue drains between runs.
+        if (params.tierMode == TierMode::Multi && t->tier == 1 &&
+            !t->promotionRequested &&
+            t->executions >= uint64_t(params.tier2Threshold)) {
+            t->promotionRequested = true;
+            pendingPromotions.push_back(t->id);
+        }
         if (mop->aux == 0) {
             // Self loop: stage reads before overwriting the inputs.
             XLVM_ASSERT(n == t->numInputs, "jump arity mismatch");
@@ -969,6 +993,9 @@ dispatch_loop:
         ++runDepth;
         DeoptResult innerState = run(*inner, std::move(innerIn));
         --runDepth;
+        // The nested run flushed tier attribution and closed with tier
+        // 0; cycles from here on belong to this (outer) trace's tier.
+        curTier = t->tier;
         sim::BlockEmitter e2(core, pc + (n / 2 + 1) * 4);
         e2.ret(pc + (n / 2) * 4);
         e2.alu(n - n / 2 - 2);

@@ -52,10 +52,31 @@ class TraceExecutor : public gc::RootProvider
      */
     std::vector<std::pair<uint32_t, uint32_t>> hotGuards;
 
+    /**
+     * Ids of tier-1 traces whose execution count crossed tier2Threshold
+     * (checked on backward transfers, Multi mode only); the dispatch
+     * glue drains these between trace runs and re-optimizes each trace,
+     * swapping its program in place.
+     */
+    std::vector<uint32_t> pendingPromotions;
+
     void forEachRoot(gc::GcVisitor &v) override;
 
     uint64_t deoptCount() const { return nDeopts; }
     uint64_t iterationCount() const { return nIterations; }
+
+    /**
+     * Modeled cycles spent executing traces of @p tier (1 or 2).
+     * Sampled at trace-transfer granularity: every entry, cross-trace
+     * or bridge transfer, and exit flushes the running interval to the
+     * tier executing since the previous sample, so mixed-tier runs
+     * split correctly. Trace-exit annotations land between samples and
+     * are not attributed — the split is exact at loop granularity.
+     */
+    uint64_t tierCyclesFp(uint8_t tier) const
+    {
+        return tier < 3 ? tierCycles[tier] : 0;
+    }
 
   private:
     struct Level
@@ -77,6 +98,10 @@ class TraceExecutor : public gc::RootProvider
     uint64_t nIterations = 0;
     /** Nested call_assembler depth (bounded; see executor.cc). */
     int runDepth = 0;
+    /** Per-tier cycle attribution ([0] = idle, unused in reports). */
+    uint64_t tierCycles[3] = {0, 0, 0};
+    uint64_t tierSampleFp = 0;
+    uint8_t curTier = 0; ///< 0 = not executing a trace
 };
 
 /** RAII: enter "JIT code" mode (clears recorder, sets phase flags). */

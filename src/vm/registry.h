@@ -17,6 +17,47 @@
 namespace xlvm {
 namespace vm {
 
+/** Compilation-tier policy (multi-tier JIT; arXiv 2504.17460 analog). */
+enum class TierMode : uint8_t
+{
+    Off,   ///< JIT disabled entirely (driver maps this to enableJit=false)
+    Tier1, ///< baseline compiles only: raw traces lowered, never optimized
+    Tier2, ///< optimizing compiles only (the pre-tiering default)
+    Multi, ///< baseline at tier1Threshold, promote at tier2Threshold
+};
+
+inline const char *
+tierModeName(TierMode m)
+{
+    switch (m) {
+      case TierMode::Off:   return "off";
+      case TierMode::Tier1: return "tier1";
+      case TierMode::Tier2: return "tier2";
+      case TierMode::Multi: return "multi";
+    }
+    return "?";
+}
+
+/** Parse "off|tier1|tier2|multi"; returns false on an unknown name. */
+inline bool
+tierModeFromString(const char *s, TierMode *out)
+{
+    for (TierMode m : {TierMode::Off, TierMode::Tier1, TierMode::Tier2,
+                       TierMode::Multi}) {
+        const char *n = tierModeName(m);
+        const char *p = s;
+        while (*n && *p == *n) {
+            ++p;
+            ++n;
+        }
+        if (!*n && !*p) {
+            *out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
 struct JitParams
 {
     /** Loop-header hotness threshold before tracing (PyPy: 1039). */
@@ -39,6 +80,18 @@ struct JitParams
     bool optElideGuards = true;
     bool optHeapCache = true;
     bool optVirtualize = true;
+    /**
+     * Compilation-tier policy. Tier2 (the default) is the pre-tiering
+     * single-tier pipeline and keeps every golden bit-identical. Tier1
+     * and Multi compile raw recordings at tier1Threshold without the
+     * optimizer; Multi additionally re-optimizes a tier-1 trace in
+     * place once its execution count crosses tier2Threshold.
+     */
+    TierMode tierMode = TierMode::Tier2;
+    /** Loop-header hotness threshold for a baseline (tier-1) compile. */
+    uint32_t tier1Threshold = 130;
+    /** Tier-1 trace executions before promotion to the optimizing tier. */
+    uint32_t tier2Threshold = 100;
 };
 
 class TraceRegistry : public gc::RootProvider
@@ -85,12 +138,41 @@ class TraceRegistry : public gc::RootProvider
         return traces;
     }
 
-    /** Keep every trace constant alive. */
+    /**
+     * Retain the raw (unoptimized) recording of trace @p id so a later
+     * tier-up can re-optimize it from the original ops (multi-tier mode
+     * only; the raw copy is dropped once consumed by promotion).
+     */
+    void
+    retainRaw(uint32_t id, std::unique_ptr<jit::Trace> raw)
+    {
+        rawTraces[id] = std::move(raw);
+    }
+
+    /** Take (and drop) the retained raw recording, or nullptr. */
+    std::unique_ptr<jit::Trace>
+    takeRaw(uint32_t id)
+    {
+        auto it = rawTraces.find(id);
+        if (it == rawTraces.end())
+            return nullptr;
+        std::unique_ptr<jit::Trace> raw = std::move(it->second);
+        rawTraces.erase(it);
+        return raw;
+    }
+
+    /** Keep every trace constant alive (retained raws included). */
     void
     forEachRoot(gc::GcVisitor &v) override
     {
         for (const auto &t : traces) {
             for (const jit::RtVal &c : t->consts) {
+                if (c.kind == jit::RtVal::Kind::Ref && c.r)
+                    v.visit(static_cast<gc::GcObject *>(c.r));
+            }
+        }
+        for (const auto &kv : rawTraces) {
+            for (const jit::RtVal &c : kv.second->consts) {
                 if (c.kind == jit::RtVal::Kind::Ref && c.r)
                     v.visit(static_cast<gc::GcObject *>(c.r));
             }
@@ -108,6 +190,8 @@ class TraceRegistry : public gc::RootProvider
     gc::Heap &heap_;
     std::vector<std::unique_ptr<jit::Trace>> traces;
     std::unordered_map<uint64_t, jit::Trace *> loops;
+    /** Raw recordings kept for promotion, keyed by trace id. */
+    std::unordered_map<uint32_t, std::unique_ptr<jit::Trace>> rawTraces;
 };
 
 } // namespace vm

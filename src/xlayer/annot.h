@@ -73,6 +73,16 @@ enum AnnotTag : uint32_t
     kMemoHit = 16,
     kMemoInvalidate = 17,
     kMemoMiss = 18,
+
+    /**
+     * Framework level: multi-tier JIT lifecycle. kTier1Compile marks a
+     * baseline (unoptimized) compile — emitted alongside kLoopCompiled /
+     * kBridgeCompiled, which keep meaning "a trace was registered".
+     * kTierUp marks a tier-1 trace re-optimized in place to tier 2.
+     * payload = trace id.
+     */
+    kTierUp = 19,
+    kTier1Compile = 20,
 };
 
 } // namespace xlayer

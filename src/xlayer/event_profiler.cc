@@ -44,6 +44,12 @@ EventProfiler::onAnnot(uint32_t tag, uint32_t payload)
       case kAppEvent:
         ++appEvents;
         break;
+      case kTierUp:
+        ++tierUps;
+        break;
+      case kTier1Compile:
+        ++tier1Compiles;
+        break;
       default:
         break;
     }

@@ -33,6 +33,8 @@ class EventProfiler : public AnnotListener
           case kGcMinor:
           case kGcMajor:
           case kAppEvent:
+          case kTierUp:
+          case kTier1Compile:
             return false;
           default:
             return true;
@@ -47,6 +49,8 @@ class EventProfiler : public AnnotListener
     uint64_t gcMinor = 0;
     uint64_t gcMajor = 0;
     uint64_t appEvents = 0;
+    uint64_t tierUps = 0;
+    uint64_t tier1Compiles = 0;
 
   private:
     AnnotationBus &bus_;

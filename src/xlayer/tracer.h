@@ -87,7 +87,8 @@ constexpr uint32_t kDefaultTraceTagMask =
     traceTagBit(kTraceLeave) | traceTagBit(kDeopt) |
     traceTagBit(kGcMinor) | traceTagBit(kGcMajor) |
     traceTagBit(kAppEvent) | traceTagBit(kMemoInvalidate) |
-    traceTagBit(kMemoMiss);
+    traceTagBit(kMemoMiss) | traceTagBit(kTierUp) |
+    traceTagBit(kTier1Compile);
 
 /** All memo telemetry tags (out-of-band channel, see AnnotListener). */
 constexpr uint32_t kMemoEventTagMask = traceTagBit(kMemoHit) |
@@ -98,7 +99,8 @@ constexpr uint32_t kMemoEventTagMask = traceTagBit(kMemoHit) |
 constexpr uint32_t kCounterSampleTagMask =
     traceTagBit(kLoopCompiled) | traceTagBit(kBridgeCompiled) |
     traceTagBit(kTraceAborted) | traceTagBit(kDeopt) |
-    traceTagBit(kGcMinor) | traceTagBit(kGcMajor);
+    traceTagBit(kGcMinor) | traceTagBit(kGcMajor) |
+    traceTagBit(kTierUp) | traceTagBit(kTier1Compile);
 
 struct TracerOptions
 {

@@ -2,7 +2,7 @@
  * @file
  * xlvm-bench-guard — CI bench-smoke performance guard.
  *
- * Checks two properties of a freshly generated metrics report against a
+ * Checks properties of freshly generated metrics reports against a
  * committed baseline (ci/bench_smoke_baseline.json):
  *
  *  1. Memoization effectiveness: the aggregate sim_memo hit rate across
@@ -11,11 +11,23 @@
  *     that stops blocks from verifying) does not move any modeled
  *     counter, so the golden gate cannot see it — this guard can.
  *
- *  2. Modeled-cost regression: per matched run (workload + vm), the
- *     fresh totals/cycles_fp may not exceed the baseline by more than
- *     --max-regression (default 10%). This is a coarse tripwire for the
- *     reduced smoke sweep; the golden gate pins exact values for the
- *     full set.
+ *  2. Modeled-cost regression: per matched run (workload + vm +
+ *     tier mode), the fresh totals/cycles_fp may not exceed the
+ *     baseline by more than --max-regression (default 10%). This is a
+ *     coarse tripwire for the reduced smoke sweep; the golden gate pins
+ *     exact values for the full set.
+ *
+ *  3. Tiering health (schema v4): --min-promotions asserts the multi
+ *     mode smoke run actually promotes traces, and --max-tier1-share
+ *     bounds the fraction of modeled compile work spent at tier 1
+ *     (tier1_compile_insts / all compile insts). Both gates pass
+ *     trivially when the report has no jit_tiers activity, so a
+ *     default-mode-only invocation is unaffected.
+ *
+ * Accepts any number of fresh reports: the LAST positional is always
+ * the baseline, every earlier one is a fresh report (so CI can feed the
+ * default-mode and multi-mode sweeps through one invocation). --update
+ * rewrites the baseline as the merged run list of all fresh reports.
  *
  * Exit codes: 0 ok (or --update rewrote the baseline), 1 guard failed,
  * 2 usage or I/O error.
@@ -40,16 +52,25 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s <fresh.json> <baseline.json> [--min-hit-rate X]\n"
-        "          [--max-regression X] [--update]\n"
+        "usage: %s <fresh.json>... <baseline.json> [--min-hit-rate X]\n"
+        "          [--max-regression X] [--min-promotions N]\n"
+        "          [--max-tier1-share X] [--update]\n"
         "\n"
-        "  --min-hit-rate X    minimum aggregate sim_memo hit rate over\n"
-        "                      runs with memo activity (default 0.5)\n"
-        "  --max-regression X  maximum allowed relative increase of a\n"
-        "                      run's totals/cycles_fp over the baseline\n"
-        "                      (default 0.10)\n"
-        "  --update            rewrite the baseline from the fresh\n"
-        "                      report and exit 0\n",
+        "  The last positional is the baseline; all earlier ones are\n"
+        "  fresh reports (their runs are checked, and merged, in order).\n"
+        "\n"
+        "  --min-hit-rate X     minimum aggregate sim_memo hit rate over\n"
+        "                       runs with memo activity (default 0.5)\n"
+        "  --max-regression X   maximum allowed relative increase of a\n"
+        "                       run's totals/cycles_fp over the baseline\n"
+        "                       (default 0.10)\n"
+        "  --min-promotions N   minimum total jit_tiers/promotions across\n"
+        "                       all fresh runs (default 0 = no gate)\n"
+        "  --max-tier1-share X  maximum tier1_compile_insts share of all\n"
+        "                       modeled compile insts (default: no gate;\n"
+        "                       passes when no compile activity at all)\n"
+        "  --update             rewrite the baseline from the merged\n"
+        "                       fresh reports and exit 0\n",
         argv0);
 }
 
@@ -63,12 +84,23 @@ runMetric(const Json &run, const char *section, const char *name)
     return sec ? sec->get(name) : nullptr;
 }
 
+/**
+ * Run identity for baseline matching. Includes the tier mode so the
+ * same workload smoked under the default and multi policies keeps two
+ * distinct baseline entries. Pre-v4 reports have no config/tier_mode;
+ * they match as the default tier-2 policy.
+ */
 std::string
 runKey(const Json &run)
 {
     const Json *w = run.get("workload");
     const Json *vm = run.get("vm");
-    return (w ? w->asString() : "?") + "|" + (vm ? vm->asString() : "?");
+    static const char *kModes[] = {"off", "tier1", "tier2", "multi"};
+    const Json *tier = runMetric(run, "config", "tier_mode");
+    uint64_t t = tier ? tier->asUInt() : 2;
+    std::string mode = t < 4 ? kModes[t] : std::to_string(t);
+    return (w ? w->asString() : "?") + "|" + (vm ? vm->asString() : "?") +
+           "|" + mode;
 }
 
 } // namespace
@@ -78,9 +110,11 @@ main(int argc, char **argv)
 {
     using namespace xlvm::report;
 
-    std::string freshPath, basePath;
+    std::vector<std::string> paths; // fresh..., baseline last
     double minHitRate = 0.5;
     double maxRegression = 0.10;
+    uint64_t minPromotions = 0;
+    double maxTier1Share = -1.0; // < 0 = gate off
     bool update = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -96,6 +130,16 @@ main(int argc, char **argv)
             maxRegression = std::strtod(argv[++i], nullptr);
         } else if (std::strncmp(a, "--max-regression=", 17) == 0) {
             maxRegression = std::strtod(a + 17, nullptr);
+        } else if (std::strcmp(a, "--min-promotions") == 0 &&
+                   i + 1 < argc) {
+            minPromotions = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strncmp(a, "--min-promotions=", 17) == 0) {
+            minPromotions = std::strtoull(a + 17, nullptr, 10);
+        } else if (std::strcmp(a, "--max-tier1-share") == 0 &&
+                   i + 1 < argc) {
+            maxTier1Share = std::strtod(argv[++i], nullptr);
+        } else if (std::strncmp(a, "--max-tier1-share=", 18) == 0) {
+            maxTier1Share = std::strtod(a + 18, nullptr);
         } else if (std::strcmp(a, "-h") == 0 ||
                    std::strcmp(a, "--help") == 0) {
             usage(argv[0]);
@@ -104,42 +148,57 @@ main(int argc, char **argv)
             std::fprintf(stderr, "%s: unknown option %s\n", argv[0], a);
             usage(argv[0]);
             return 2;
-        } else if (freshPath.empty()) {
-            freshPath = a;
-        } else if (basePath.empty()) {
-            basePath = a;
         } else {
-            std::fprintf(stderr, "%s: too many arguments\n", argv[0]);
-            usage(argv[0]);
-            return 2;
+            paths.push_back(a);
         }
     }
-    if (freshPath.empty() || basePath.empty()) {
+    if (paths.size() < 2) {
         usage(argv[0]);
         return 2;
     }
+    std::string basePath = paths.back();
+    paths.pop_back();
 
     std::string err;
-    Json fresh;
-    if (!loadReport(freshPath, &fresh, &err)) {
-        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
-        return 2;
+    std::vector<Json> freshDocs;
+    std::vector<const Json *> freshRuns; // flattened across all docs
+    for (const std::string &p : paths) {
+        Json doc;
+        if (!loadReport(p, &doc, &err)) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+            return 2;
+        }
+        const Json *runs = doc.get("runs");
+        if (!runs || !runs->isArray() || runs->size() == 0) {
+            std::fprintf(stderr, "%s: %s has no runs\n", argv[0],
+                         p.c_str());
+            return 2;
+        }
+        freshDocs.push_back(std::move(doc));
     }
-    const Json *freshRuns = fresh.get("runs");
-    if (!freshRuns || !freshRuns->isArray() || freshRuns->size() == 0) {
-        std::fprintf(stderr, "%s: %s has no runs\n", argv[0],
-                     freshPath.c_str());
-        return 2;
-    }
+    for (const Json &doc : freshDocs)
+        for (const Json &run : doc.get("runs")->items())
+            freshRuns.push_back(&run);
 
     if (update) {
+        // Merge: header of the first fresh doc, runs of all of them.
+        Json merged = Json::object();
+        for (const auto &kv : freshDocs.front().members()) {
+            if (kv.first != "runs")
+                merged.set(kv.first, kv.second);
+        }
+        Json runs = Json::array();
+        for (const Json *run : freshRuns)
+            runs.push(*run);
+        merged.set("runs", std::move(runs));
+
         std::ofstream f(basePath, std::ios::binary | std::ios::trunc);
         if (!f) {
             std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
                          basePath.c_str());
             return 2;
         }
-        std::string payload = fresh.dump(2) + "\n";
+        std::string payload = merged.dump(2) + "\n";
         f.write(payload.data(), std::streamsize(payload.size()));
         f.flush();
         if (!f) {
@@ -147,8 +206,8 @@ main(int argc, char **argv)
                          basePath.c_str());
             return 2;
         }
-        std::printf("updated %s from %s\n", basePath.c_str(),
-                    freshPath.c_str());
+        std::printf("updated %s from %zu fresh report(s), %zu run(s)\n",
+                    basePath.c_str(), paths.size(), freshRuns.size());
         return 0;
     }
 
@@ -168,17 +227,17 @@ main(int argc, char **argv)
 
     // 1. Aggregate memoization hit rate.
     uint64_t hits = 0, misses = 0;
-    for (const Json &run : freshRuns->items()) {
-        const Json *h = runMetric(run, "sim_memo", "hits");
-        const Json *m = runMetric(run, "sim_memo", "misses");
+    for (const Json *run : freshRuns) {
+        const Json *h = runMetric(*run, "sim_memo", "hits");
+        const Json *m = runMetric(*run, "sim_memo", "misses");
         hits += h ? h->asUInt() : 0;
         misses += m ? m->asUInt() : 0;
     }
     if (hits + misses == 0) {
         std::fprintf(stderr,
-                     "FAIL: no sim_memo activity in %s — the smoke "
-                     "sweep must run with memoization enabled\n",
-                     freshPath.c_str());
+                     "FAIL: no sim_memo activity in the fresh reports — "
+                     "the smoke sweep must run with memoization "
+                     "enabled\n");
         fail = 1;
     } else {
         double rate = double(hits) / double(hits + misses);
@@ -195,9 +254,50 @@ main(int argc, char **argv)
         }
     }
 
-    // 2. Per-run modeled-cost regression vs baseline.
-    for (const Json &run : freshRuns->items()) {
-        std::string key = runKey(run);
+    // 2. Tiering health: promotions floor + tier-1 compile-work cap.
+    uint64_t promotions = 0, t1Insts = 0, t2Insts = 0;
+    for (const Json *run : freshRuns) {
+        const Json *p = runMetric(*run, "jit_tiers", "promotions");
+        const Json *a = runMetric(*run, "jit_tiers", "tier1_compile_insts");
+        const Json *b = runMetric(*run, "jit_tiers", "tier2_compile_insts");
+        promotions += p ? p->asUInt() : 0;
+        t1Insts += a ? a->asUInt() : 0;
+        t2Insts += b ? b->asUInt() : 0;
+    }
+    if (minPromotions > 0) {
+        std::printf("jit_tiers promotions: %llu (floor %llu)\n",
+                    (unsigned long long)promotions,
+                    (unsigned long long)minPromotions);
+        if (promotions < minPromotions) {
+            std::fprintf(stderr,
+                         "FAIL: %llu promotion(s) across fresh runs, "
+                         "floor is %llu — the multi-tier smoke run is "
+                         "not promoting\n",
+                         (unsigned long long)promotions,
+                         (unsigned long long)minPromotions);
+            fail = 1;
+        }
+    }
+    if (maxTier1Share >= 0.0 && t1Insts + t2Insts > 0) {
+        double share = double(t1Insts) / double(t1Insts + t2Insts);
+        std::printf("tier-1 compile-insts share: %.4f "
+                    "(%llu / %llu, cap %.2f)\n",
+                    share, (unsigned long long)t1Insts,
+                    (unsigned long long)(t1Insts + t2Insts),
+                    maxTier1Share);
+        if (share > maxTier1Share) {
+            std::fprintf(stderr,
+                         "FAIL: tier-1 compile share %.4f above cap "
+                         "%.2f — baseline compiles are eating the "
+                         "modeled compile budget\n",
+                         share, maxTier1Share);
+            fail = 1;
+        }
+    }
+
+    // 3. Per-run modeled-cost regression vs baseline.
+    for (const Json *run : freshRuns) {
+        std::string key = runKey(*run);
         const Json *match = nullptr;
         for (const Json &b : baseRuns->items()) {
             if (runKey(b) == key) {
@@ -213,7 +313,7 @@ main(int argc, char **argv)
             fail = 1;
             continue;
         }
-        const Json *fc = runMetric(run, "totals", "cycles_fp");
+        const Json *fc = runMetric(*run, "totals", "cycles_fp");
         const Json *bc = runMetric(*match, "totals", "cycles_fp");
         if (!fc || !bc || bc->asUInt() == 0) {
             std::fprintf(stderr, "FAIL: %s: missing totals/cycles_fp\n",
