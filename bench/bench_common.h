@@ -84,6 +84,7 @@ class Session
         std::vector<driver::RunOptions> traced = runs;
         for (driver::RunOptions &o : traced) {
             o.simMemo = simMemo_;
+            o.simSuperblock = simSuperblock_;
             o.tierMode = tierMode_;
         }
         if (tracing()) {
@@ -113,6 +114,7 @@ class Session
     {
         driver::RunOptions o = opts;
         o.simMemo = simMemo_;
+        o.simSuperblock = simSuperblock_;
         o.tierMode = tierMode_;
         if (tracing()) {
             o.traceBufferEvents = traceBufferEvents_;
@@ -198,6 +200,10 @@ class Session
                 simMemo_ = true;
             } else if (std::strcmp(a, "--no-sim-memo") == 0) {
                 simMemo_ = false;
+            } else if (std::strcmp(a, "--sim-superblock") == 0) {
+                simSuperblock_ = true;
+            } else if (std::strcmp(a, "--no-sim-superblock") == 0) {
+                simSuperblock_ = false;
             } else if (std::strcmp(a, "--tier-mode") == 0 &&
                        i + 1 < argc) {
                 setTierMode(argv[++i]);
@@ -281,6 +287,10 @@ class Session
      *  host-side accelerator; modeled counters are invariant, so CI
      *  runs the golden gate under both settings). */
     bool simMemo_ = true;
+    /** "--sim-superblock"/"--no-sim-superblock": trace-level superblock
+     *  replay on top of block memoization (same invariance contract;
+     *  the golden gate also runs with it off). */
+    bool simSuperblock_ = true;
     /** "--tier-mode"/XLVM_TIER_MODE: JIT compilation-tier policy. */
     vm::TierMode tierMode_ = vm::TierMode::Tier2;
     bool tierModeSet_ = false;

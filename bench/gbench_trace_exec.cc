@@ -10,15 +10,28 @@
  * time), so the source also builds against engines that predate the
  * in-config toggle — which is exactly what the before/after comparison
  * needs.
+ *
+ * The BM_SimStream_* group isolates the simulation layer: the same hot
+ * trace body is pushed through a bare sim::Core under each acceleration
+ * tier (per-record stepping, batched consumeStream, block memoization,
+ * superblock replay) with no executor dispatch in the loop. The
+ * superblock speedup target is measured here — in the end-to-end
+ * BM_TraceExec_* numbers host-side micro-op dispatch dominates and
+ * caps the visible gain. Every variant exports modeled_cpi, a
+ * deterministic modeled-cost counter (cycles per simulated
+ * instruction); xlvm-bench-guard pins it, so an accelerator that
+ * drifts the model fails the gate even if it wins wall-clock.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <vector>
 
 #include "jit/opt.h"
 #include "jit/recorder.h"
 #include "sim/block_memo.h"
+#include "sim/emitter.h"
 #include "vm/context.h"
 
 namespace {
@@ -149,13 +162,41 @@ struct ScopedNoMemo
     ~ScopedNoMemo() { unsetenv("XLVM_NO_SIM_MEMO"); }
 };
 
+/** RAII toggle for the XLVM_NO_SIM_SUPERBLOCK escape hatch (also
+ *  checked at Core construction time). */
+struct ScopedNoSuperblock
+{
+    explicit ScopedNoSuperblock(bool disable)
+    {
+        if (disable)
+            setenv("XLVM_NO_SIM_SUPERBLOCK", "1", 1);
+        else
+            unsetenv("XLVM_NO_SIM_SUPERBLOCK");
+    }
+    ~ScopedNoSuperblock() { unsetenv("XLVM_NO_SIM_SUPERBLOCK"); }
+};
+
+/** Modeled cycles per simulated instruction — deterministic for a given
+ *  workload, so the bench guard pins it against accelerator drift. */
+double
+modeledCpi(const sim::Core &core)
+{
+    sim::PerfCounters pc = core.totalCounters();
+    if (pc.instructions == 0)
+        return 0.0;
+    return double(pc.cyclesFp) /
+           (double(sim::kCycleFp) * double(pc.instructions));
+}
+
 void
 runTraceExecBench(benchmark::State &state,
                   jit::Trace *(*build)(vm::VmContext &, void *, int64_t),
-                  bool noFuse, bool noMemo = false)
+                  bool noFuse, bool noMemo = false,
+                  bool noSuperblock = false)
 {
     ScopedNoFuse guard(noFuse);
     ScopedNoMemo memoGuard(noMemo);
+    ScopedNoSuperblock sbGuard(noSuperblock);
     vm::VmContext ctx;
     int code;
     jit::Trace *t = build(ctx, &code, kIters);
@@ -170,6 +211,9 @@ runTraceExecBench(benchmark::State &state,
         benchmark::Counter(double(ctx.executor.deoptCount()));
     sim::MemoStats ms = ctx.core.memoStats();
     state.counters["memo_hit_rate"] = benchmark::Counter(ms.hitRate());
+    state.counters["sb_hit_rate"] =
+        benchmark::Counter(ctx.core.superblockStats().hitRate());
+    state.counters["modeled_cpi"] = benchmark::Counter(modeledCpi(ctx.core));
 }
 
 void
@@ -194,6 +238,13 @@ BM_TraceExec_HotLoop_NoMemo(benchmark::State &state)
 BENCHMARK(BM_TraceExec_HotLoop_NoMemo);
 
 void
+BM_TraceExec_HotLoop_NoSuperblock(benchmark::State &state)
+{
+    runTraceExecBench(state, buildCountingLoop, false, false, true);
+}
+BENCHMARK(BM_TraceExec_HotLoop_NoSuperblock);
+
+void
 BM_TraceExec_Branchy(benchmark::State &state)
 {
     runTraceExecBench(state, buildBranchyLoop, false);
@@ -213,6 +264,200 @@ BM_TraceExec_Branchy_NoMemo(benchmark::State &state)
     runTraceExecBench(state, buildBranchyLoop, false, true);
 }
 BENCHMARK(BM_TraceExec_Branchy_NoMemo);
+
+void
+BM_TraceExec_Branchy_NoSuperblock(benchmark::State &state)
+{
+    runTraceExecBench(state, buildBranchyLoop, false, false, true);
+}
+BENCHMARK(BM_TraceExec_Branchy_NoSuperblock);
+
+// ---- sim-layer acceleration-tier microbenchmarks ----------------------
+
+/**
+ * The hot trace body the sim-layer tiers race on, parameterized by
+ * shape: @p units repetitions of {alu(aluRun), load every loadEvery-th
+ * unit, taken branch}. Length is exactly where trace-level replay
+ * separates from block-level granularity: past BlockMemo::kMaxRecs
+ * (512 records) the block layer tombstones the block and steps every
+ * instruction, while the superblock still replays the whole iteration
+ * from one segment. The load density controls how much of the deferred
+ * path is live address translation (which replay must keep, for GC
+ * exactness) versus pure signature compares — optimized numeric
+ * meta-traces land near the sparse end after allocation removal.
+ */
+struct SimBodyShape
+{
+    int units;
+    int aluRun;
+    int loadEvery; ///< a unit emits a load when u % loadEvery == 0
+
+    int
+    instsPerIter() const
+    {
+        int loads = (units + loadEvery - 1) / loadEvery;
+        return units * (aluRun + 1) + loads;
+    }
+};
+
+constexpr uint64_t kSimPc = 0x400000;
+
+void
+emitSimBody(sim::Core &c, const SimBodyShape &shape, const void *p1,
+            const void *p2)
+{
+    sim::BlockEmitter e(c, kSimPc);
+    for (int u = 0; u < shape.units; ++u) {
+        e.alu(uint32_t(shape.aluRun));
+        if (u % shape.loadEvery == 0)
+            e.loadPtr((u & 1) ? p2 : p1);
+        e.branch(true);
+    }
+}
+
+/** The baked record stream matching emitSimBody (what jit::bakeSimStream
+ *  derives at lowering time, built by hand here). */
+struct SimBodyStream
+{
+    std::vector<uint64_t> sigs;
+    std::vector<uint32_t> pcOff;
+    std::vector<uint32_t> memIdx;
+
+    explicit SimBodyStream(const SimBodyShape &shape)
+    {
+        using sim::InstClass;
+        auto rec = [&](uint64_t sig, uint32_t off, bool mem) {
+            if (mem)
+                memIdx.push_back(uint32_t(sigs.size()));
+            sigs.push_back(sig);
+            pcOff.push_back(off);
+        };
+        uint32_t off = 0;
+        for (int u = 0; u < shape.units; ++u) {
+            rec(sim::memoSigStraight(InstClass::IntAlu, 0,
+                                     uint32_t(shape.aluRun)),
+                off, false);
+            off += 4u * uint32_t(shape.aluRun);
+            if (u % shape.loadEvery == 0) {
+                rec(sim::memoSigInst(InstClass::Load, 0, false), off,
+                    true);
+                off += 4;
+            }
+            rec(sim::memoSigInst(InstClass::Branch, 0, true), off,
+                false);
+            off += 4;
+        }
+    }
+
+    sim::StreamView
+    view() const
+    {
+        sim::StreamView v;
+        v.sigs = sigs.data();
+        v.pcOff = pcOff.data();
+        v.memIdx = memIdx.data();
+        v.nRecs = uint32_t(sigs.size());
+        v.nMem = uint32_t(memIdx.size());
+        v.codePc = kSimPc;
+        v.streamId = 1;
+        v.eligible = true;
+        return v;
+    }
+};
+
+SimBodyShape
+shapeFromState(const benchmark::State &state)
+{
+    SimBodyShape s;
+    s.units = int(state.range(0));
+    s.aluRun = int(state.range(1));
+    s.loadEvery = int(state.range(2));
+    return s;
+}
+
+// {units, aluRun, loadEvery}: a short mixed loop body; a typical
+// optimized meta-trace (384 records, still block-memoizable); a long
+// mixed trace past the block-memo record cap; and a long compute-dense
+// trace (sparse loads after allocation removal) — the regime the
+// superblock speedup target is measured in.
+#define SIM_STREAM_SHAPES                                                \
+    ->Args({16, 4, 1})->Args({128, 4, 1})->Args({256, 4, 1})             \
+    ->Args({256, 16, 4})
+
+/** Emission-driven tiers: stepping, block memo, superblock sweep. */
+void
+runSimStreamBench(benchmark::State &state, bool memo, bool superblock)
+{
+    const SimBodyShape shape = shapeFromState(state);
+    sim::CoreParams p;
+    p.simMemo = memo;
+    p.simSuperblock = superblock;
+    sim::Core core(p);
+    SimBodyStream stream(shape);
+    int obj1 = 0, obj2 = 0;
+    core.memoSetStream(stream.view());
+    core.memoSessionBegin(uint32_t(stream.sigs.size()));
+    for (auto _ : state) {
+        emitSimBody(core, shape, &obj1, &obj2);
+        core.memoBoundary();
+    }
+    core.memoSessionEnd();
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            shape.instsPerIter());
+    state.counters["memo_hit_rate"] =
+        benchmark::Counter(core.memoStats().hitRate());
+    state.counters["sb_hit_rate"] =
+        benchmark::Counter(core.superblockStats().hitRate());
+    state.counters["modeled_cpi"] = benchmark::Counter(modeledCpi(core));
+}
+
+void
+BM_SimStream_Stepped(benchmark::State &state)
+{
+    runSimStreamBench(state, false, false);
+}
+BENCHMARK(BM_SimStream_Stepped) SIM_STREAM_SHAPES;
+
+void
+BM_SimStream_BlockMemo(benchmark::State &state)
+{
+    runSimStreamBench(state, true, false);
+}
+BENCHMARK(BM_SimStream_BlockMemo) SIM_STREAM_SHAPES;
+
+void
+BM_SimStream_Superblock(benchmark::State &state)
+{
+    runSimStreamBench(state, true, true);
+}
+BENCHMARK(BM_SimStream_Superblock) SIM_STREAM_SHAPES;
+
+/** The non-replayable fallback: one batched consumeStream pass per
+ *  iteration over the baked SoA stream (no memo layer at all), with
+ *  per-iteration address translation exactly as emission would do it. */
+void
+BM_SimStream_BatchedConsume(benchmark::State &state)
+{
+    const SimBodyShape shape = shapeFromState(state);
+    sim::CoreParams p;
+    p.simMemo = false;
+    sim::Core core(p);
+    SimBodyStream stream(shape);
+    sim::StreamView v = stream.view();
+    int obj1 = 0, obj2 = 0;
+    std::vector<uint64_t> addrs;
+    addrs.resize(v.nMem);
+    for (auto _ : state) {
+        uint32_t m = 0;
+        for (int u = 0; u < shape.units; u += shape.loadEvery)
+            addrs[m++] = core.dataAddr((u & 1) ? &obj2 : &obj1);
+        core.consumeStream(v, addrs.data(), m);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            shape.instsPerIter());
+    state.counters["modeled_cpi"] = benchmark::Counter(modeledCpi(core));
+}
+BENCHMARK(BM_SimStream_BatchedConsume) SIM_STREAM_SHAPES;
 
 } // namespace
 

@@ -7,14 +7,17 @@
 # change: either fix the regression, or — when the change is intended
 # to move counters — rerun with --update and commit the new goldens.
 #
-# In the default tier mode the gate runs twice: once with the sim-layer
-# block memoization active (the default) and once with
-# XLVM_NO_SIM_MEMO=1. Memoization is a host-side accelerator whose
-# contract is that every modeled counter is bit-identical either way;
-# the second pass enforces that contract on all 13 goldens and excludes
-# only the sim_memo telemetry section (--ignore-section), whose
-# counters are legitimately zero when the layer is off. --update skips
-# the second pass (goldens are recorded memo-on).
+# In the default tier mode the gate runs three times: once with the
+# sim-layer accelerators at their defaults (block memoization +
+# superblock replay), once with XLVM_NO_SIM_MEMO=1 (both layers off),
+# and once with XLVM_NO_SIM_SUPERBLOCK=1 (block memo only). Both are
+# host-side accelerators whose contract is that every modeled counter
+# is bit-identical in any configuration; the extra passes enforce that
+# contract on all 13 goldens and exclude only the accelerators' own
+# telemetry sections (--ignore-section sim_memo / sim_superblock),
+# whose counters legitimately shift when a layer is toggled (with the
+# superblock off, block memoization absorbs its traffic). --update
+# skips the extra passes (goldens are recorded with both layers on).
 #
 # --tier-mode MODE selects the JIT tier policy (tier2 = default).
 # Non-default modes compare against their own golden set
@@ -119,7 +122,19 @@ if [ -z "$update" ] && [ "$tier_mode" = tier2 ]; then
             --tier-mode "$tier_mode" \
             --report "json:$out/$stem.nomemo.json" > /dev/null
         "$build/tools/xlvm-check-golden" "$out/$stem.nomemo.json" \
-            "$golden_dir/$stem.json" --ignore-section sim_memo || fail=1
+            "$golden_dir/$stem.json" --ignore-section sim_memo \
+            --ignore-section sim_superblock || fail=1
+    done
+    for stem in $(stems); do
+        bin=$(bench_for "$stem")
+        [ -z "$bin" ] && continue
+        echo "== $stem ($bin, $jobs jobs, superblock off)"
+        XLVM_NO_SIM_SUPERBLOCK=1 "$build/bench/$bin" --jobs "$jobs" \
+            --tier-mode "$tier_mode" \
+            --report "json:$out/$stem.nosb.json" > /dev/null
+        "$build/tools/xlvm-check-golden" "$out/$stem.nosb.json" \
+            "$golden_dir/$stem.json" --ignore-section sim_superblock \
+            --ignore-section sim_memo || fail=1
     done
 fi
 

@@ -97,6 +97,7 @@ configFor(const RunOptions &opts)
     if (cfg.jit.tierMode == vm::TierMode::Off)
         cfg.jit.enableJit = false;
     cfg.core.simMemo = opts.simMemo;
+    cfg.core.simSuperblock = opts.simSuperblock;
     cfg.maxInstructions = opts.maxInstructions;
     cfg.phaseTimelineBin = opts.timelineBin;
     cfg.workSampleInstrs = opts.workSampleInstrs;
@@ -154,6 +155,17 @@ collect(vm::VmContext &ctx, RunResult &out)
     out.memoReplayedInstructions = ms.replayedInstructions;
     out.memoReplayedCyclesFp = ms.replayedCyclesFp;
     out.memoHitRate = ms.hitRate();
+
+    sim::SuperblockStats sb = ctx.core.superblockStats();
+    out.sbSegmentsCached = sb.segmentsCached;
+    out.sbHits = sb.hits;
+    out.sbMisses = sb.misses;
+    out.sbInvalidations = sb.invalidations;
+    out.sbDivergences = sb.divergences;
+    out.sbIterations = sb.iterations;
+    out.sbReplayedInstructions = sb.replayedInstructions;
+    out.sbReplayedCyclesFp = sb.replayedCyclesFp;
+    out.sbHitRate = sb.hitRate();
 
     const gc::Heap::HeapStats &hs = ctx.heap.stats();
     out.gcAllocations = hs.allocations;

@@ -51,6 +51,11 @@ struct RunOptions
      *  replay only; modeled counters are invariant — CI gates the
      *  goldens with it both on and off). XLVM_NO_SIM_MEMO overrides. */
     bool simMemo = true;
+    /** Trace-level superblock replay + batched sweep on top of the
+     *  block memo (host-side only; modeled counters are invariant — CI
+     *  gates the goldens with it on and off). Requires simMemo; the
+     *  XLVM_NO_SIM_SUPERBLOCK env hatch overrides it to off. */
+    bool simSuperblock = true;
     /** Optimizer ablation toggles. */
     bool optVirtualize = true;
     bool optHeapCache = true;
@@ -130,6 +135,17 @@ struct RunResult
     uint64_t memoReplayedInstructions = 0;
     uint64_t memoReplayedCyclesFp = 0;
     double memoHitRate = 0.0;
+
+    // Sim-layer superblock replay (host-side; schema v5 sim_superblock).
+    uint64_t sbSegmentsCached = 0;
+    uint64_t sbHits = 0;
+    uint64_t sbMisses = 0;
+    uint64_t sbInvalidations = 0;
+    uint64_t sbDivergences = 0;
+    uint64_t sbIterations = 0;
+    uint64_t sbReplayedInstructions = 0;
+    uint64_t sbReplayedCyclesFp = 0;
+    double sbHitRate = 0.0;
 
     // GC heap / object-space level (metrics reports).
     uint64_t gcAllocations = 0;

@@ -1,5 +1,7 @@
 #include "jit/lower.h"
 
+#include <atomic>
+
 #include "jit/backend.h"
 #include "sim/block_memo.h"
 #include "sim/inst.h"
@@ -260,6 +262,13 @@ bakeSimStream(MicroProgram &prog, uint8_t load_stall, bool annotate)
     }
 
     s.estRecords = uint32_t(s.sigs.size());
+
+    // Process-unique bake identity. Atomic for the parallel harness;
+    // the per-run id *sequence* is deterministic per workload, and ids
+    // only ever feed identity compares, so counters stay invariant
+    // across --jobs.
+    static std::atomic<uint64_t> nextStreamId{1};
+    s.streamId = nextStreamId.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace

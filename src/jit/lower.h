@@ -206,6 +206,13 @@ struct SimStream
     std::vector<uint32_t> pcOff;
     std::vector<uint32_t> memIdx;
     uint32_t estRecords = 0;
+    /**
+     * Bake identity: process-unique, assigned at bake time. Two bakes
+     * never share an id, so the superblock layer can prove a stream
+     * unchanged across re-lowering / tier promotion with one compare
+     * (see sim::StreamView::streamId). 0 = never baked.
+     */
+    uint64_t streamId = 0;
     /** False when the program emits call-class instructions (RAS/BTB
      *  state is not memoized) or contains unimplemented ops. */
     bool memoEligible = true;

@@ -211,6 +211,19 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("sim_memo", "replayed_cycles_fp", r.memoReplayedCyclesFp);
     addF("sim_memo", "hit_rate", r.memoHitRate);
 
+    // Sim-layer superblock replay (host-side accelerator telemetry, one
+    // level above sim_memo: whole trace iterations instead of blocks).
+    addU("sim_superblock", "segments_cached", r.sbSegmentsCached);
+    addU("sim_superblock", "hits", r.sbHits);
+    addU("sim_superblock", "misses", r.sbMisses);
+    addU("sim_superblock", "invalidations", r.sbInvalidations);
+    addU("sim_superblock", "divergences", r.sbDivergences);
+    addU("sim_superblock", "iterations", r.sbIterations);
+    addU("sim_superblock", "replayed_instructions",
+         r.sbReplayedInstructions);
+    addU("sim_superblock", "replayed_cycles_fp", r.sbReplayedCyclesFp);
+    addF("sim_superblock", "hit_rate", r.sbHitRate);
+
     // Multi-tier JIT: per-tier compile counts, modeled compile cost,
     // resident code bytes, promotions, and execution-cycle attribution.
     // The tier1/multi golden sets exclude this section from comparison

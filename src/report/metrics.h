@@ -67,8 +67,11 @@ class MetricsRegistry
      * tier1_compiles, and the jit_tiers section (multi-tier JIT
      * per-tier compiles/bytes/promotions; the tier1/multi golden sets
      * compare with --ignore-section jit_tiers).
+     * v5: added the sim_superblock section (trace-level superblock
+     * replay host-side counters; the superblock-off and memo-off CI
+     * passes exclude it via --ignore-section).
      */
-    static constexpr uint64_t kSchemaVersion = 4;
+    static constexpr uint64_t kSchemaVersion = 5;
 
     explicit MetricsRegistry(std::string report_name);
 

@@ -137,9 +137,24 @@ annotTagName(uint32_t tag)
         return "tier_up";
       case kTier1Compile:
         return "tier1_compile";
+      case kSuperblockHit:
+        return "superblock_hit";
+      case kSuperblockDiverge:
+        return "superblock_diverge";
       default:
-        return "unknown";
+        return nullptr;
     }
+}
+
+std::string
+annotTagLabel(uint32_t tag)
+{
+    const char *name = annotTagName(tag);
+    if (name)
+        return name;
+    // Tags minted after this build of the tool: keep them visible and
+    // distinguishable rather than collapsing them into one "unknown".
+    return "tag<" + std::to_string(tag) + ">";
 }
 
 int32_t
@@ -150,7 +165,7 @@ annotTagFromString(const std::string &s)
     if (s.find_first_not_of("0123456789") == std::string::npos)
         return int32_t(std::strtoul(s.c_str(), nullptr, 10));
     for (uint32_t tag = 1; tag < 32; ++tag) {
-        if (s == annotTagName(tag))
+        if (s == annotTagLabel(tag))
             return int32_t(tag);
     }
     return -1;
@@ -246,7 +261,7 @@ ChromeTraceBuilder::addRun(const std::string &workload,
                                      r.tag, r.payload, phaseStr));
             break;
           default:
-            events_.push(recordEvent("i", annotTagName(r.tag), pid,
+            events_.push(recordEvent("i", annotTagLabel(r.tag), pid,
                                      kTidEvents, r.cyclesFp, freqGhz_,
                                      r.tag, r.payload, phaseStr));
             break;
@@ -465,8 +480,9 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
     std::map<std::string, std::pair<uint64_t, uint64_t>> phaseCounts;
     std::map<std::string, uint64_t> instantCounts;
     std::map<uint64_t, uint64_t> guardFailures;
-    /** phase name -> {hits, misses, invalidations} (sim memoization). */
-    std::map<std::string, std::array<uint64_t, 3>> memoByPhase;
+    /** phase name -> {hits, misses, invalidations, superblock hits,
+     *  superblock divergences} (sim memoization + superblock replay). */
+    std::map<std::string, std::array<uint64_t, 5>> memoByPhase;
     Json timeline = Json::array();
     uint64_t timelineTruncated = 0;
     uint64_t counterSamples = 0;
@@ -502,9 +518,10 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
                 continue;
             }
             if (ph == "i")
-                ++instantCounts[annotTagName(tag)];
+                ++instantCounts[annotTagLabel(tag)];
             if (tag == kMemoHit || tag == kMemoMiss ||
-                tag == kMemoInvalidate) {
+                tag == kMemoInvalidate || tag == kSuperblockHit ||
+                tag == kSuperblockDiverge) {
                 const Json *phasej = eventArg(ev, "phase");
                 std::string phase =
                     phasej ? phasej->asString() : std::string("?");
@@ -513,8 +530,12 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
                     ++mc[0];
                 else if (tag == kMemoMiss)
                     ++mc[1];
-                else
+                else if (tag == kMemoInvalidate)
                     ++mc[2];
+                else if (tag == kSuperblockHit)
+                    ++mc[3];
+                else
+                    ++mc[4];
             }
             if (tag == kDeopt)
                 ++guardFailures[payload];
@@ -525,7 +546,7 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
                     Json entry = Json::object();
                     const Json *ts = ev.get("ts");
                     entry.set("ts_us", Json(ts ? ts->asDouble() : 0.0));
-                    entry.set("event", Json(annotTagName(tag)));
+                    entry.set("event", Json(annotTagLabel(tag)));
                     entry.set("payload", Json(payload));
                     timeline.push(std::move(entry));
                 } else {
@@ -573,6 +594,8 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
         counts.set("hits", Json(mc.second[0]));
         counts.set("misses", Json(mc.second[1]));
         counts.set("invalidations", Json(mc.second[2]));
+        counts.set("superblock_hits", Json(mc.second[3]));
+        counts.set("superblock_divergences", Json(mc.second[4]));
         memo.set(mc.first, std::move(counts));
     }
     summary.set("memo_by_phase", std::move(memo));
@@ -652,16 +675,18 @@ formatTraceSummary(const Json &summary)
 
     if (const Json *memo = summary.get("memo_by_phase")) {
         if (memo->size() > 0) {
-            out += "sim memoization by phase (hit/miss/invalidate):\n";
+            out += "sim memoization by phase "
+                   "(hit/miss/invalidate, sb hit/diverge):\n";
             for (const auto &m : memo->members()) {
                 auto mu = [&m](const char *k) -> unsigned long long {
                     const Json *v = m.second.get(k);
                     return v ? (unsigned long long)v->asUInt() : 0;
                 };
                 std::snprintf(buf, sizeof(buf),
-                              "  %-10s %llu/%llu/%llu\n", m.first.c_str(),
-                              mu("hits"), mu("misses"),
-                              mu("invalidations"));
+                              "  %-10s %llu/%llu/%llu, %llu/%llu\n",
+                              m.first.c_str(), mu("hits"), mu("misses"),
+                              mu("invalidations"), mu("superblock_hits"),
+                              mu("superblock_divergences"));
                 out += buf;
             }
         }

@@ -8,7 +8,8 @@
 namespace xlvm {
 namespace sim {
 
-BlockMemo::BlockMemo(Core &core) : core_(core)
+BlockMemo::BlockMemo(Core &core, bool superblock)
+    : core_(core), sweepEnabled_(superblock)
 {
     recRecs_.reserve(64);
     recLines_.reserve(16);
@@ -21,23 +22,29 @@ BlockMemo::sessionBegin(uint32_t est_records)
     if (depth_ != 0) {
         // Nested entry (trace calls assembler). The call emission that
         // led here already dropped the outer block (Call is not
-        // memoizable), but close out defensively.
+        // memoizable) and materialized any armed sweep, but close out
+        // defensively.
         if (mode_ == Mode::Record)
             abortRecord(false);
         else if (mode_ == Mode::Skip)
             divergenceAbort(skipIdx());
+        else if (mode_ == Mode::Sweep)
+            sweepMaterialize();
     }
     ++depth_;
     mode_ = Mode::Armed;
     if (est_records)
         recRecs_.reserve(std::min<size_t>(est_records, kMaxRecs));
+    tryArmSweep();
 }
 
 void
 BlockMemo::sessionEnd()
 {
     XLVM_ASSERT(depth_ > 0, "memo session underflow");
-    if (mode_ == Mode::Record) {
+    if (mode_ == Mode::Sweep) {
+        sweepMaterialize(); // full cursor checkpoints; partial diverges
+    } else if (mode_ == Mode::Record) {
         finalizeRecord();
     } else if (mode_ == Mode::Skip) {
         if (skipIdx() == skipEntry_->recs.size())
@@ -47,12 +54,21 @@ BlockMemo::sessionEnd()
     }
     --depth_;
     mode_ = Mode::Armed;
+    drainRestamp(); // arbitrary live stepping may follow the session
+    if (depth_ == 0) {
+        // The announced stream points into a program the session owned;
+        // drop it so a stale view can never be armed (the executor
+        // re-announces on every trace entry).
+        pendingView_ = StreamView();
+    }
 }
 
 void
 BlockMemo::boundary()
 {
-    if (mode_ == Mode::Record) {
+    if (mode_ == Mode::Sweep) {
+        sweepMaterialize(); // full cursor checkpoints; partial diverges
+    } else if (mode_ == Mode::Record) {
         finalizeRecord();
     } else if (mode_ == Mode::Skip) {
         if (skipIdx() == skipEntry_->recs.size())
@@ -61,18 +77,38 @@ BlockMemo::boundary()
             divergenceAbort(skipIdx());
     }
     mode_ = Mode::Armed;
+    tryArmSweep();
 }
 
 void
 BlockMemo::flush()
 {
+    // Deferred-but-unconsumed emissions are dropped, not materialized:
+    // resetStats() wipes every counter bucket, both caches, and the
+    // predictor state anyway, so consuming first then wiping is
+    // indistinguishable from dropping (address translations already
+    // happened eagerly at defer time).
+    if (mode_ == Mode::Sweep) {
+        disarmSweep();
+        mode_ = Mode::Armed;
+    }
+    // Pending write-behind stamps predate the caller's cache wipe;
+    // cancel rather than materialize (post-wipe lines won't match).
+    pendingRestampSeg_ = nullptr;
     invalidateEntries();
     stats_ = MemoStats();
+    sbStats_ = SuperblockStats();
 }
 
 void
 BlockMemo::invalidateEntries()
 {
+    // Unlike flush(), invalidation (a purity change) keeps the machine
+    // running: a deferred prefix must still reach the machine state, so
+    // materialize before the records it would verify against die.
+    if (mode_ == Mode::Sweep)
+        sweepMaterialize();
+    drainRestamp(); // before the segment storage below goes away
     entries_.clear();
     liveEntries_ = 0;
     ++tableGen_;
@@ -81,6 +117,7 @@ BlockMemo::invalidateEntries()
     recRecs_.clear();
     recLines_.clear();
     recPht_.clear();
+    sb_.clear();
     mode_ = Mode::Armed;
 }
 
@@ -103,6 +140,11 @@ BlockMemo::onInst(const Inst &inst)
         return recordInst(inst);
       case Mode::Armed:
         return armedInst(inst);
+      case Mode::Sweep:
+        // sweepOnInst already checkpointed or materialized; when the
+        // sweep survived (annotation checkpoint) the emission steps
+        // live without opening a block-memo block.
+        return false;
       case Mode::Dormant:
         // An impure annotation delimits the dead block; the next
         // emission starts fresh.
@@ -144,6 +186,7 @@ BlockMemo::onStraight(InstClass cls, uint64_t start_pc, uint32_t n,
         }
         return false;
       }
+      case Mode::Sweep: // materialized by Core::consumeStraight already
       case Mode::Dormant:
         return false;
     }
@@ -410,8 +453,35 @@ BlockMemo::verifyEntry(Entry &e, uint64_t first_sig, uint64_t first_pc)
 }
 
 void
+BlockMemo::restampLine(IcacheTouch &t, uint32_t pre_clock)
+{
+    Cache &ic = core_.icache;
+    uint32_t set = static_cast<uint32_t>(t.line) & (ic.numSets - 1);
+    uint64_t tag = t.line >> 1;
+    Cache::Way *base = &ic.ways_[set * ic.numWays];
+    // Hinted way first: on steady replay the line sits where it sat
+    // last time, so this avoids the associativity scan. A stale hint
+    // only costs the scan; the tag compare keeps exactness.
+    uint32_t w = t.wayHint;
+    if (w < ic.numWays && base[w].valid && base[w].tag == tag) {
+        base[w].lastUse = pre_clock + t.lastTouchOff;
+        ic.mru_[set] = uint8_t(w);
+        return;
+    }
+    for (w = 0; w < ic.numWays; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = pre_clock + t.lastTouchOff;
+            ic.mru_[set] = uint8_t(w);
+            t.wayHint = uint8_t(w);
+            break;
+        }
+    }
+}
+
+void
 BlockMemo::applyEntry(Entry &e, uint64_t key)
 {
+    drainRestamp(); // defensive: block replay restamps must come after
     core_.buckets[core_.bucket].accumulate(e.delta);
 
     // icache: all probes hit (footprint verified present), so replay is
@@ -421,24 +491,18 @@ BlockMemo::applyEntry(Entry &e, uint64_t key)
     // stepping would.
     Cache &ic = core_.icache;
     uint32_t preClock = ic.useClock;
-    for (const IcacheTouch &t : e.lines) {
-        uint32_t set = static_cast<uint32_t>(t.line) & (ic.numSets - 1);
-        uint64_t tag = t.line >> 1;
-        Cache::Way *base = &ic.ways_[set * ic.numWays];
-        for (uint32_t w = 0; w < ic.numWays; ++w) {
-            if (base[w].valid && base[w].tag == tag) {
-                base[w].lastUse = preClock + t.lastTouchOff;
-                ic.mru_[set] = uint8_t(w);
-                break;
-            }
-        }
-    }
+    for (IcacheTouch &t : e.lines)
+        restampLine(t, preClock);
     ic.useClock = preClock + e.icacheWeight;
     ic.nHits += e.icacheWeight;
 
     GsharePredictor &g = core_.branchUnit.gshare;
-    for (const PhtTouch &t : e.pht)
-        g.pht[t.idx] = t.post;
+    for (const PhtTouch &t : e.pht) {
+        if (g.pht[t.idx] != t.post) {
+            g.pht[t.idx] = t.post;
+            ++g.writeGen;
+        }
+    }
     g.ghr = e.postGhr;
 
     e.divergences = 0;
@@ -613,6 +677,507 @@ BlockMemo::liveDcache(const Inst &inst)
             pc.cyclesFp +=
                 uint64_t(core_.params.dcacheMissPenalty) * kCycleFp;
     }
+}
+
+// ---- superblock sweep --------------------------------------------------
+
+void
+BlockMemo::setStream(const StreamView &view)
+{
+    pendingView_ = view;
+    if (mode_ != Mode::Sweep)
+        return; // sessionBegin / the next boundary arms
+    // A new trace is entered mid-session (cross-trace jump, bridge
+    // transfer): close out the old stream's iteration. The boundary that
+    // precedes a cross-trace jump leaves the cursor at zero, so the
+    // common case disarms without a spurious divergence.
+    if (core_.sweep_.cursor == 0 && core_.sweep_.addrs.empty()) {
+        disarmSweep();
+        mode_ = Mode::Armed;
+    } else {
+        sweepMaterialize();
+    }
+    tryArmSweep();
+}
+
+void
+BlockMemo::drainRestamp()
+{
+    if (!pendingRestampSeg_)
+        return;
+    SbSegment &sg = *pendingRestampSeg_;
+    pendingRestampSeg_ = nullptr;
+    for (IcacheTouch &t : sg.lines)
+        restampLine(t, pendingRestampClock_);
+}
+
+void
+BlockMemo::tryArmSweep()
+{
+    tryArmSweepInner();
+    // No sweep to absorb emissions: stepping (live icache traffic) can
+    // follow immediately, so the write-behind stamps must land now.
+    if (mode_ != Mode::Sweep)
+        drainRestamp();
+}
+
+void
+BlockMemo::tryArmSweepInner()
+{
+    if (!sweepEnabled_ || depth_ == 0 || mode_ == Mode::Sweep)
+        return;
+    const StreamView &v = pendingView_;
+    if (!v.eligible || v.nRecs == 0)
+        return;
+    auto it = sb_.find(v.codePc);
+    if (it == sb_.end()) {
+        if (sb_.size() >= kMaxStreams)
+            return;
+        it = sb_.emplace(v.codePc, SbStream()).first;
+        it->second.streamId = v.streamId;
+    } else if (it->second.streamId != v.streamId) {
+        // The trace at this codePc was re-lowered (tier promotion):
+        // every recorded segment indexes a dead record stream.
+        ++sbStats_.invalidations;
+        drainRestamp(); // the pending segment may live in this stream
+        it->second = SbStream();
+        it->second.streamId = v.streamId;
+    }
+    if (it->second.tombstone)
+        return; // divergence-prone stream: block memo handles it
+    curStream_ = &it->second;
+    view_ = v;
+    SweepCtx &s = core_.sweep_;
+    s.sigs = v.sigs;
+    s.pcOff = v.pcOff;
+    s.cursor = 0;
+    s.nRecs = v.nRecs;
+    s.codePc = v.codePc;
+    s.addrs.clear();
+    segStart_ = 0;
+    segIdx_ = 0;
+    memBase_ = 0;
+    mode_ = Mode::Sweep;
+    core_.sweepArmed_ = true;
+}
+
+void
+BlockMemo::disarmSweep()
+{
+    core_.sweepArmed_ = false;
+    SweepCtx &s = core_.sweep_;
+    s.sigs = nullptr;
+    s.pcOff = nullptr;
+    s.cursor = 0;
+    s.nRecs = 0;
+    s.addrs.clear();
+    curStream_ = nullptr;
+    segStart_ = 0;
+    segIdx_ = 0;
+    memBase_ = 0;
+}
+
+bool
+BlockMemo::sweepOnInst(const Inst &inst)
+{
+    SweepCtx &s = core_.sweep_;
+    if (inst.cls == InstClass::Annot && s.cursor < s.nRecs &&
+        s.sigs[s.cursor] == sigAnnot(inst.target) &&
+        view_.codePc + view_.pcOff[s.cursor] == inst.pc) {
+        // The baked annotation record the cursor expects, arriving live:
+        // an impure annotation the emitter (correctly) declined to
+        // defer. Checkpoint the deferred span behind it, consume the
+        // record, and let the annotation step live — instrumentation
+        // observes it with fully caught-up counters, exactly as the
+        // block-memo delimiter rule delivers it.
+        sweepCheckpoint();
+        ++s.cursor;
+        segStart_ = s.cursor;
+        drainRestamp(); // the annotation is about to step live
+        return false;
+    }
+    // Out-of-band emission (guard flip, GC, blackhole, raw consume):
+    // catch the machine state up, then step it live.
+    sweepMaterialize();
+    drainRestamp();
+    return false;
+}
+
+void
+BlockMemo::sweepMaterialize()
+{
+    SweepCtx &s = core_.sweep_;
+    if (s.cursor == s.nRecs) {
+        // The whole stream already matched — this is an out-of-band
+        // emission *after* a complete iteration (a Finish trace's
+        // blackhole work, a session end). Land the final segment and
+        // hand over to the block-memo path cleanly.
+        sweepCheckpoint();
+        ++sbStats_.iterations;
+        disarmSweep();
+        mode_ = Mode::Armed;
+        return;
+    }
+    // Mid-stream divergence: the deferred prefix of the current segment
+    // is re-stepped through one batched walk (machine state is exactly
+    // the pre-segment state — deferral touched nothing), then stepping
+    // resumes live until the next delimiter re-arms.
+    drainRestamp();
+    streamWalk(core_, view_, segStart_, s.cursor, s.addrs.data(),
+               uint32_t(s.addrs.size()), nullptr);
+    ++sbStats_.divergences;
+    emitEvent(kMemoEventSuperblockDiverge, view_.codePc);
+    if (curStream_ && !curStream_->tombstone &&
+        ++curStream_->divergences >= kMaxDivergences)
+        curStream_->tombstone = true;
+    disarmSweep();
+    mode_ = Mode::Dormant;
+}
+
+void
+BlockMemo::sweepCheckpoint()
+{
+    SweepCtx &s = core_.sweep_;
+    const uint32_t start = segStart_;
+    const uint32_t end = s.cursor;
+    const uint32_t nAddrs = uint32_t(s.addrs.size());
+    if (end > start) {
+        // Whatever the segment table decides below, the deferred span
+        // [start, end) was never consumed: its counters MUST reach the
+        // machine exactly once. The cached paths do that via
+        // applySegment / recordSegment; every other path falls through
+        // to an uncached live walk.
+        bool handled = false;
+        if (curStream_ && !curStream_->tombstone) {
+            SbStream &st = *curStream_;
+            if (segIdx_ < st.segs.size()) {
+                SbSegment &sg = st.segs[segIdx_];
+                if (sg.startIdx == start && sg.endIdx == end &&
+                    sg.memBase == memBase_ && sg.memCount == nAddrs) {
+                    if (sg.valid && verifySegment(sg)) {
+                        applySegment(sg);
+                    } else {
+                        // Fingerprint moved (icache eviction,
+                        // PHT/history drift) or the last record pass
+                        // hit a cold fetch: re-record in place against
+                        // the current state.
+                        if (sg.valid)
+                            ++sbStats_.invalidations;
+                        ++sbStats_.misses;
+                        drainRestamp(); // record pass walks live
+                        recordSegment(sg);
+                    }
+                    ++segIdx_;
+                    handled = true;
+                } else {
+                    // Shape drift: checkpoints landed elsewhere this
+                    // iteration (purity or delimiter pattern changed).
+                    // Restart the stream's segment map from scratch;
+                    // the rest of this iteration records nothing.
+                    ++sbStats_.invalidations;
+                    drainRestamp(); // pending may point into segs
+                    st.segs.clear();
+                    st.divergences = 0;
+                    curStream_ = nullptr;
+                }
+            } else if (st.segs.size() >= kMaxSegments) {
+                st.tombstone = true;
+            } else {
+                ++sbStats_.misses;
+                drainRestamp(); // emplace may reallocate segs
+                st.segs.emplace_back();
+                SbSegment &sg = st.segs.back();
+                sg.startIdx = start;
+                sg.endIdx = end;
+                sg.memBase = memBase_;
+                sg.memCount = nAddrs;
+                recordSegment(sg);
+                ++segIdx_;
+                handled = true;
+            }
+        }
+        if (!handled) {
+            drainRestamp();
+            streamWalk(core_, view_, start, end, s.addrs.data(), nAddrs,
+                       nullptr);
+        }
+    }
+    memBase_ += nAddrs;
+    s.addrs.clear();
+    segStart_ = end;
+}
+
+bool
+BlockMemo::verifySegment(SbSegment &sg)
+{
+    const GsharePredictor &g = core_.branchUnit.gshare;
+    if (g.ghr != sg.preGhr)
+        return false;
+    // writeGen shortcut: a stable segment (every PHT touch saw pre ==
+    // post) whose generation stamp still matches cannot have drifted —
+    // nothing wrote the table since our last replay. Same O(1) witness
+    // the fillGen check plays for the icache footprint below.
+    if (!(sg.phtStable && g.writeGen == sg.phtGen)) {
+        for (const PhtTouch &t : sg.pht)
+            if (g.pht[t.idx] != t.pre)
+                return false;
+    }
+    // Footprint check: same fill-generation shortcut as verifyEntry.
+    const Cache &ic = core_.icache;
+    if (ic.nMisses != sg.fillGen) {
+        for (const IcacheTouch &t : sg.lines)
+            if (!ic.linePresent(t.line))
+                return false;
+        sg.fillGen = ic.nMisses;
+    }
+    return true;
+}
+
+void
+BlockMemo::applySegment(SbSegment &sg)
+{
+    PerfCounters &pc = core_.buckets[core_.bucket];
+    pc.accumulate(sg.delta);
+
+    // icache/history replay: same bookkeeping as applyEntry, but the
+    // per-line LRU restamp is write-behind (see pendingRestampSeg_): a
+    // repeat hit on the segment already pending just slides the pending
+    // clock forward — its previous stamps were never observable.
+    Cache &ic = core_.icache;
+    uint32_t preClock = ic.useClock;
+    if (pendingRestampSeg_ != &sg) {
+        drainRestamp();
+        pendingRestampSeg_ = &sg;
+    }
+    pendingRestampClock_ = preClock;
+    ic.useClock = preClock + sg.icacheWeight;
+    ic.nHits += sg.icacheWeight;
+
+    GsharePredictor &g = core_.branchUnit.gshare;
+    // Stable segment + unchanged generation: every post equals the
+    // value already in the table, so the write loop is a no-op.
+    if (!(sg.phtStable && g.writeGen == sg.phtGen)) {
+        for (const PhtTouch &t : sg.pht) {
+            if (g.pht[t.idx] != t.post) {
+                g.pht[t.idx] = t.post;
+                ++g.writeGen;
+            }
+        }
+    }
+    g.ghr = sg.postGhr;
+    sg.phtGen = g.writeGen;
+
+    // The segment's Load/Store records touch the dcache live, in
+    // emission order, against the addresses captured at defer time.
+    const SweepCtx &s = core_.sweep_;
+    for (uint32_t j = 0; j < sg.memCount; ++j) {
+        const uint64_t sig = view_.sigs[view_.memIdx[sg.memBase + j]];
+        const InstClass cls = InstClass((sig >> 50) & 0xf);
+        if (!core_.dcache.access(s.addrs[j])) {
+            ++pc.dcacheMisses;
+            if (cls == InstClass::Load)
+                pc.cyclesFp +=
+                    uint64_t(core_.params.dcacheMissPenalty) * kCycleFp;
+        }
+    }
+
+    if (curStream_)
+        curStream_->divergences = 0;
+    ++sbStats_.hits;
+    sbStats_.replayedInstructions += sg.delta.instructions;
+    sbStats_.replayedCyclesFp += sg.delta.cyclesFp;
+    emitEvent(kMemoEventSuperblockHit, view_.codePc);
+}
+
+void
+BlockMemo::recordSegment(SbSegment &sg)
+{
+    // Observation scratch is shared with block-memo Record mode; the
+    // two modes are mutually exclusive by construction.
+    recLines_.clear();
+    recPht_.clear();
+    recWeight_ = 0;
+    recDcacheMisses_ = 0;
+    recLoadPenaltyFp_ = 0;
+    startCounters_ = core_.buckets[core_.bucket];
+    recPreGhr_ = core_.branchUnit.gshare.ghr;
+    sbRecordOk_ = true;
+
+    const SweepCtx &s = core_.sweep_;
+    streamWalk(core_, view_, sg.startIdx, sg.endIdx, s.addrs.data(),
+               uint32_t(s.addrs.size()), this);
+
+    sg.valid = sbRecordOk_;
+    if (!sg.valid) {
+        // Cold fetch: the all-hit rule failed. The live walk above still
+        // advanced the machine exactly; retry the record once the lines
+        // are warm.
+        sg.lines.clear();
+        sg.pht.clear();
+        return;
+    }
+    const GsharePredictor &g = core_.branchUnit.gshare;
+    sg.lines.assign(recLines_.begin(), recLines_.end());
+    std::sort(sg.lines.begin(), sg.lines.end(),
+              [](const IcacheTouch &a, const IcacheTouch &b) {
+                  return a.lastTouchOff < b.lastTouchOff;
+              });
+    sg.pht.assign(recPht_.begin(), recPht_.end());
+    sg.phtStable = true;
+    for (PhtTouch &t : sg.pht) {
+        t.post = g.pht[t.idx];
+        if (t.post != t.pre)
+            sg.phtStable = false;
+    }
+    sg.phtGen = g.writeGen;
+    sg.preGhr = recPreGhr_;
+    sg.postGhr = g.ghr;
+    sg.icacheWeight = recWeight_;
+    sg.fillGen = core_.icache.nMisses;
+
+    const PerfCounters &cur = core_.buckets[core_.bucket];
+    PerfCounters d;
+    d.instructions = cur.instructions - startCounters_.instructions;
+    d.cyclesFp =
+        cur.cyclesFp - startCounters_.cyclesFp - recLoadPenaltyFp_;
+    d.branches = cur.branches - startCounters_.branches;
+    d.condBranches = cur.condBranches - startCounters_.condBranches;
+    d.mispredicts = cur.mispredicts - startCounters_.mispredicts;
+    d.loads = cur.loads - startCounters_.loads;
+    d.stores = cur.stores - startCounters_.stores;
+    d.icacheMisses = cur.icacheMisses - startCounters_.icacheMisses;
+    d.dcacheMisses =
+        cur.dcacheMisses - startCounters_.dcacheMisses - recDcacheMisses_;
+    d.annotations = cur.annotations - startCounters_.annotations;
+    sg.delta = d;
+    ++sbStats_.segmentsCached;
+}
+
+void
+BlockMemo::streamWalk(Core &core, const StreamView &view, uint32_t from,
+                      uint32_t to, const uint64_t *addrs, uint32_t n_addrs,
+                      BlockMemo *rec)
+{
+    PerfCounters &pc = core.buckets[core.bucket];
+    const CoreParams &params = core.params;
+    const uint64_t lineBytes = core.icache.lineBytes();
+
+    // Coalesced icache accounting: contiguous fetch runs accumulate and
+    // flush through the same per-line accessN chunks consumeStraight
+    // uses. Cache::accessN makes n same-line probes equivalent to n
+    // individual accesses (hit/miss counts, LRU stamp, use clock, MRU
+    // way), so chunking the union of adjacent records is bit-identical
+    // to per-record probing; miss penalties land in the same cyclesFp
+    // counter either way. Record-mode observation (the linePresent peek
+    // of the all-hit rule) happens before each chunk's probe, exactly as
+    // the per-record observe hooks run before the live access.
+    uint64_t runStart = 0, runEnd = 0;
+    auto flushRun = [&]() {
+        uint64_t p = runStart;
+        while (p < runEnd) {
+            uint64_t lineEnd = (p / lineBytes + 1) * lineBytes;
+            uint32_t k = uint32_t((std::min(lineEnd, runEnd) - p) / 4);
+            if (rec && rec->sbRecordOk_ && !rec->touchLine(p, k))
+                rec->sbRecordOk_ = false;
+            if (!core.icache.accessN(p, k)) {
+                ++pc.icacheMisses;
+                pc.cyclesFp += params.icacheMissPenalty * kCycleFp;
+            }
+            p += 4ull * k;
+        }
+    };
+    auto probe = [&](uint64_t p, uint32_t n) {
+        if (runEnd != runStart && p == runEnd) {
+            runEnd += 4ull * n;
+            return;
+        }
+        if (runEnd != runStart)
+            flushRun();
+        runStart = p;
+        runEnd = p + 4ull * n;
+    };
+
+    uint32_t m = 0; // cursor into addrs
+    for (uint32_t i = from; i < to; ++i) {
+        const uint64_t sig = view.sigs[i];
+        const uint64_t p = view.codePc + view.pcOff[i];
+        const uint64_t kind = sig & (3ull << 62);
+        if (kind == kSigKindAnnot) {
+            // Counters only — no icache probe, no sink delivery (pure
+            // by the caller's contract; see Core::consumeStream).
+            ++pc.annotations;
+            pc.cyclesFp += params.annotCostFp;
+            continue;
+        }
+        const InstClass cls = InstClass((sig >> 50) & 0xf);
+        const uint8_t lat = uint8_t((sig >> 54) & 0xff);
+        if (kind == kSigKindStraight) {
+            const uint32_t n = uint32_t(sig);
+            pc.instructions += n;
+            pc.cyclesFp += uint64_t(n) * (core.issueCostFp +
+                                          uint64_t(lat) * kCycleFp +
+                                          Core::classCostFp(cls));
+            probe(p, n);
+            continue;
+        }
+        ++pc.instructions;
+        probe(p, 1);
+        uint64_t cost = core.issueCostFp + uint64_t(lat) * kCycleFp +
+                        Core::classCostFp(cls);
+        switch (cls) {
+          case InstClass::Load: {
+            ++pc.loads;
+            const uint64_t a = addrs[m++];
+            if (rec && rec->sbRecordOk_)
+                rec->observeDcache(cls, a);
+            if (!core.dcache.access(a)) {
+                ++pc.dcacheMisses;
+                cost += params.dcacheMissPenalty * kCycleFp;
+            }
+            break;
+          }
+          case InstClass::Store: {
+            ++pc.stores;
+            const uint64_t a = addrs[m++];
+            if (rec && rec->sbRecordOk_)
+                rec->observeDcache(cls, a);
+            if (!core.dcache.access(a))
+                ++pc.dcacheMisses; // write-allocate; latency hidden
+            break;
+          }
+          case InstClass::Branch: {
+            ++pc.branches;
+            ++pc.condBranches;
+            const bool taken = (sig >> 49) & 1;
+            if (rec && rec->sbRecordOk_)
+                rec->observeBranch(p);
+            if (!core.branchUnit.gshare.predictAndUpdate(p, taken)) {
+                ++pc.mispredicts;
+                cost += params.mispredictPenalty * kCycleFp;
+            }
+            break;
+          }
+          case InstClass::Jump:
+            ++pc.branches; // direct: always predicted, state-free
+            break;
+          default:
+            break; // single-record arithmetic (mul/div/fp*)
+        }
+        pc.cyclesFp += cost;
+    }
+    flushRun();
+    XLVM_ASSERT(m == n_addrs, "stream walk address count mismatch");
+    (void)n_addrs;
+}
+
+size_t
+BlockMemo::streamCount() const
+{
+    size_t n = 0;
+    for (const auto &kv : sb_)
+        if (!kv.second.tombstone)
+            ++n;
+    return n;
 }
 
 void

@@ -42,6 +42,26 @@
  *    prefix is re-stepped through a tight sweep over the recorded
  *    record stream, after which stepping resumes live. Counters stay
  *    exact.
+ *
+ * Trace-level superblock replay (PR 8) lifts the same machinery from
+ * basic blocks to whole trace iterations. When the executor announces a
+ * trace's compile-time baked SimStream (Core::memoSetStream) and the
+ * stream is memo-eligible, the layer arms a *deferred sweep*: emitters
+ * match each emission against the baked record with one packed compare
+ * and a cursor bump — no Core::consume call at all — capturing only the
+ * translated Load/Store addresses. Impure annotations act as
+ * checkpoints: the deferred span behind them (a "segment" — exactly a
+ * PR-5 block, but located by position instead of hashing) is applied
+ * from its per-stream segment record (fingerprint verify + counter
+ * delta + live dcache walk over the captured addresses) or recorded
+ * through one batched streamWalk pass, and the annotation then steps
+ * live with fully caught-up counters. A stream whose body has no impure
+ * annotations replays as a single segment per iteration. Any
+ * non-matching emission (guard flip, GC, blackhole) materializes the
+ * deferred prefix through the same batched walk and falls back to the
+ * block-memo path, so counters and machine state stay bit-identical to
+ * stepping in every case. DESIGN.md §9 documents the purity and
+ * fingerprint rules.
  */
 
 #ifndef XLVM_SIM_BLOCK_MEMO_H
@@ -65,6 +85,8 @@ namespace sim {
 constexpr uint32_t kMemoEventHit = 16;
 constexpr uint32_t kMemoEventInvalidate = 17;
 constexpr uint32_t kMemoEventMiss = 18;
+constexpr uint32_t kMemoEventSuperblockHit = 21;
+constexpr uint32_t kMemoEventSuperblockDiverge = 22;
 
 /** Aggregate memoization counters (exported via metrics schema v3). */
 struct MemoStats
@@ -84,10 +106,30 @@ struct MemoStats
     }
 };
 
+/** Aggregate superblock counters (exported via metrics schema v5). */
+struct SuperblockStats
+{
+    uint64_t segmentsCached = 0; ///< segment records successfully built
+    uint64_t hits = 0;           ///< segments replayed from a record
+    uint64_t misses = 0;         ///< segments that had to be (re)recorded
+    uint64_t invalidations = 0;  ///< fingerprint/shape verify failures
+    uint64_t divergences = 0;    ///< mid-stream materializations
+    uint64_t iterations = 0;     ///< trace iterations swept end to end
+    uint64_t replayedInstructions = 0;
+    uint64_t replayedCyclesFp = 0; ///< in kCycleFp units
+
+    double
+    hitRate() const
+    {
+        uint64_t total = hits + misses;
+        return total ? double(hits) / double(total) : 0.0;
+    }
+};
+
 class BlockMemo
 {
   public:
-    explicit BlockMemo(Core &core);
+    explicit BlockMemo(Core &core, bool superblock = true);
 
     /**
      * Bracket a memoizable execution region (one TraceExecutor::run).
@@ -109,9 +151,47 @@ class BlockMemo
     void invalidateEntries();
 
     const MemoStats &stats() const { return stats_; }
+    const SuperblockStats &superblockStats() const { return sbStats_; }
+
+    /** True when the superblock sweep layer was enabled at build time. */
+    bool superblockEnabled() const { return sweepEnabled_; }
+
+    /**
+     * Announce the baked stream of the trace about to run; arming
+     * happens at the next session begin / boundary. A sweep armed
+     * mid-iteration (cross-trace jump, bridge transfer) is closed out
+     * first. See Core::memoSetStream.
+     */
+    void setStream(const StreamView &view);
+
+    /**
+     * Sweep catch-up, called from Core's hot path when an emission
+     * reaches consume()/consumeStraight() while a sweep is armed.
+     * sweepOnInst() checkpoints at a matching annotation record (the
+     * annotation then steps live) and materializes on any mismatch;
+     * the return mirrors onInst (always false today: the triggering
+     * emission itself always steps live).
+     */
+    bool sweepOnInst(const Inst &inst);
+    void sweepMaterialize();
+
+    /**
+     * One batched pass over baked records [from, to) of @p view:
+     * Core::consumeStream's engine, also used for segment recording
+     * (@p rec non-null) and divergence materialization. @p addrs /
+     * @p n_addrs are the live Load/Store addresses of the range, in
+     * record order. Bit-identical to stepping the records one by one.
+     */
+    static void streamWalk(Core &core, const StreamView &view,
+                           uint32_t from, uint32_t to,
+                           const uint64_t *addrs, uint32_t n_addrs,
+                           BlockMemo *rec);
 
     /** Live entries (excluding tombstones); test/report helper. */
     size_t entryCount() const { return liveEntries_; }
+
+    /** Live superblock streams (excluding tombstones); test helper. */
+    size_t streamCount() const;
 
     /**
      * Recorded emission stream of the live entry opening at simulated
@@ -167,6 +247,7 @@ class BlockMemo
         Record,  ///< logging a new entry while stepping live
         Skip,    ///< replaying a verified entry
         Dormant, ///< pass-through until the next delimiter
+        Sweep,   ///< deferred sweep armed over a baked stream
     };
 
     /** One icache line of a block's footprint. */
@@ -175,6 +256,10 @@ class BlockMemo
         uint64_t line = 0;
         /** Cumulative probe count at the line's last touch. */
         uint32_t lastTouchOff = 0;
+        /** Way the line sat in at the last replay — a hint only (the
+         *  line may migrate); replay validates the tag and rescans on
+         *  mismatch, so a stale hint costs a scan, never exactness. */
+        uint8_t wayHint = 0;
     };
 
     /** One gshare PHT slot the block's branches index. */
@@ -217,11 +302,61 @@ class BlockMemo
         bool tombstone = false;
     };
 
+    /**
+     * One superblock segment: the deferred span between two checkpoints
+     * (impure annotations / stream boundaries) of one baked stream —
+     * exactly a PR-5 block, but addressed by record position instead of
+     * by opening pc, so replay lookup is a vector index. The record
+     * stream itself is *not* stored: stream identity (streamId) plus the
+     * [startIdx, endIdx) range pins it.
+     */
+    struct SbSegment
+    {
+        uint32_t startIdx = 0;
+        uint32_t endIdx = 0;
+        /** First index into StreamView::memIdx / count of Load/Store
+         *  records inside the segment (their addresses replay live). */
+        uint32_t memBase = 0;
+        uint32_t memCount = 0;
+        std::vector<IcacheTouch> lines; ///< sorted by lastTouchOff
+        std::vector<PhtTouch> pht;
+        PerfCounters delta; ///< dcache-dependent parts excluded
+        uint32_t preGhr = 0;
+        uint32_t postGhr = 0;
+        uint32_t icacheWeight = 0;
+        uint64_t fillGen = 0; ///< see Entry::fillGen
+        /**
+         * GsharePredictor::writeGen right after this segment's last
+         * record/apply. Together with phtStable it gives O(1) PHT
+         * verification: unchanged generation proves the slots still
+         * hold this segment's post values, and a stable segment's post
+         * values ARE its pre values.
+         */
+        uint64_t phtGen = 0;
+        /** True when every PHT touch has pre == post (all this
+         *  segment's branch counters were already saturated). */
+        bool phtStable = false;
+        /** False until a record pass satisfies the all-hit rule. */
+        bool valid = false;
+    };
+
+    /** Per-trace superblock state, keyed by the trace's codePc. */
+    struct SbStream
+    {
+        uint64_t streamId = 0;
+        /** Segments in checkpoint order; grown as iterations complete. */
+        std::vector<SbSegment> segs;
+        uint8_t divergences = 0;
+        bool tombstone = false;
+    };
+
     // Bounds: generous for real traces, hard stops for pathological
     // streams (the GC scan loop overflows and tombstones, by design).
     static constexpr size_t kMaxRecs = 512;
     static constexpr size_t kMaxEntries = 4096;
     static constexpr uint8_t kMaxDivergences = 8;
+    static constexpr size_t kMaxStreams = 1024;
+    static constexpr size_t kMaxSegments = 128;
 
     static bool
     memoizableClass(InstClass cls)
@@ -255,6 +390,15 @@ class BlockMemo
 
     bool verifyEntry(Entry &e, uint64_t first_sig, uint64_t first_pc);
     void applyEntry(Entry &e, uint64_t key);
+    /** Re-stamp one verified-present line's LRU/MRU state (way-hinted). */
+    void restampLine(IcacheTouch &t, uint32_t pre_clock);
+    /** Materialize the pending write-behind icache restamp, if any.
+     *  Must run before any live icache access or segment-storage
+     *  mutation; a no-op (one null check) when nothing is pending. */
+    void drainRestamp();
+    /** tryArmSweep body; the wrapper drains the pending restamp when
+     *  arming fails (live stepping may follow immediately). */
+    void tryArmSweepInner();
     void divergenceAbort(size_t matched);
 
     /** Enter/leave Skip mode, keeping Core's inline cursor in sync. */
@@ -284,6 +428,27 @@ class BlockMemo
 
     bool impureAnnot(uint64_t encoded) const;
 
+    // ---- superblock sweep internals ---------------------------------
+
+    /** Arm a deferred sweep over pendingView_ if possible (eligible
+     *  stream, layer enabled, stream not tombstoned, in session). */
+    void tryArmSweep();
+
+    /** Drop the armed cursor and per-iteration sweep state. */
+    void disarmSweep();
+
+    /**
+     * Close out the deferred segment [segStart_, cursor): apply its
+     * per-stream record (fingerprint verified), re-record it through one
+     * batched walk, or invalidate the stream on shape drift. Advances
+     * the segment bookkeeping either way.
+     */
+    void sweepCheckpoint();
+
+    bool verifySegment(SbSegment &sg);
+    void applySegment(SbSegment &sg);
+    void recordSegment(SbSegment &sg);
+
     Core &core_;
     Mode mode_ = Mode::Armed;
     uint32_t depth_ = 0;
@@ -312,6 +477,39 @@ class BlockMemo
     uint32_t recWeight_ = 0;
     uint64_t recDcacheMisses_ = 0;
     uint64_t recLoadPenaltyFp_ = 0;
+
+    // Superblock sweep state (mode Sweep). The deferred cursor itself
+    // lives on the core (Core::sweep_) for the emitter fast path; the
+    // record scratch above is shared with Record mode (the two modes are
+    // mutually exclusive).
+    bool sweepEnabled_ = false;
+    SuperblockStats sbStats_;
+    std::unordered_map<uint64_t, SbStream> sb_; ///< by trace codePc
+    /** The stream the executor last announced (may not be armed). */
+    StreamView pendingView_;
+    /** The armed stream (valid only in mode Sweep). */
+    StreamView view_;
+    /** sb_ entry of the armed stream (values are pointer-stable under
+     *  insert; sb_ is only ever cleared, never erased from, and a clear
+     *  always disarms first). Null while not armed. */
+    SbStream *curStream_ = nullptr;
+    uint32_t segStart_ = 0; ///< record index the current segment opened at
+    uint32_t segIdx_ = 0;   ///< checkpoint ordinal within the iteration
+    uint32_t memBase_ = 0;  ///< memIdx position the current segment opened at
+    /** All-hit flag of the in-flight segment record pass. */
+    bool sbRecordOk_ = false;
+    /**
+     * Write-behind icache restamp. Steady-state replay of the same
+     * segment overwrites the previous iteration's LRU stamps wholesale
+     * (same line set, newer clocks) before anything can observe them:
+     * lastUse is only read on a miss-path victim choice, and every
+     * route to a live cache access drains first. So applySegment keeps
+     * at most one pending stamp set and materializes it lazily via
+     * drainRestamp(); consecutive same-segment hits just slide the
+     * pending clock forward and skip the per-line work entirely.
+     */
+    SbSegment *pendingRestampSeg_ = nullptr;
+    uint32_t pendingRestampClock_ = 0;
 };
 
 } // namespace sim

@@ -32,10 +32,13 @@ GsharePredictor::predictAndUpdate(uint64_t pc, bool taken)
     uint32_t idx = (mix(pc >> 2) ^ ghr) & indexMask;
     uint8_t &ctr = pht[idx];
     bool pred = ctr >= 2;
-    if (taken && ctr < 3)
+    if (taken && ctr < 3) {
         ++ctr;
-    else if (!taken && ctr > 0)
+        ++writeGen;
+    } else if (!taken && ctr > 0) {
         --ctr;
+        ++writeGen;
+    }
     ghr = ((ghr << 1) | (taken ? 1 : 0)) & historyMask;
     return pred == taken;
 }
@@ -44,6 +47,7 @@ void
 GsharePredictor::reset()
 {
     std::fill(pht.begin(), pht.end(), uint8_t(1)); // weakly not-taken
+    ++writeGen;
     ghr = 0;
 }
 

@@ -51,6 +51,13 @@ class GsharePredictor
     friend class BlockMemo;
 
     std::vector<uint8_t> pht; ///< 2-bit saturating counters
+    /**
+     * Bumped whenever any PHT counter changes value (saturated updates
+     * leave it untouched). Replay layers use it as an O(1) "no PHT
+     * drift since" witness, the same trick Cache::nMisses plays for
+     * footprint verification.
+     */
+    uint64_t writeGen = 0;
     uint32_t indexMask;
     uint32_t historyMask;
     uint32_t ghr = 0;

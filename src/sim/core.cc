@@ -17,11 +17,13 @@ Core::Core(const CoreParams &p)
 {
     XLVM_ASSERT(p.issueWidth > 0 && p.issueWidth <= kCycleFp,
                 "unsupported issue width");
-    // The env override is honored here (not only in the driver) so
+    // The env overrides are honored here (not only in the driver) so
     // benches and tests that build cores or contexts directly respect
-    // XLVM_NO_SIM_MEMO too.
+    // XLVM_NO_SIM_MEMO / XLVM_NO_SIM_SUPERBLOCK too.
     if (p.simMemo && std::getenv("XLVM_NO_SIM_MEMO") == nullptr)
-        memo_.reset(new BlockMemo(*this));
+        memo_.reset(new BlockMemo(
+            *this, p.simSuperblock &&
+                       std::getenv("XLVM_NO_SIM_SUPERBLOCK") == nullptr));
 }
 
 Core::~Core() = default;
@@ -37,6 +39,40 @@ Core::memoOnStraight(InstClass cls, uint64_t start_pc, uint32_t n,
                      uint8_t extra_lat)
 {
     return memo_->onStraight(cls, start_pc, n, extra_lat);
+}
+
+bool
+Core::memoSweepInst(const Inst &inst)
+{
+    return memo_->sweepOnInst(inst);
+}
+
+void
+Core::memoSweepStraightMiss()
+{
+    memo_->sweepMaterialize();
+}
+
+void
+Core::memoSetStream(const StreamView &view)
+{
+    if (memo_)
+        memo_->setStream(view);
+}
+
+void
+Core::consumeStream(const StreamView &view, const uint64_t *mem_addrs,
+                    uint32_t n_mem)
+{
+    XLVM_ASSERT(!sweepArmed_, "consumeStream inside an armed sweep");
+    BlockMemo::streamWalk(*this, view, 0, view.nRecs, mem_addrs, n_mem,
+                          nullptr);
+}
+
+bool
+Core::superblockEnabled() const
+{
+    return memo_ && memo_->superblockEnabled();
 }
 
 void
@@ -92,6 +128,12 @@ MemoStats
 Core::memoStats() const
 {
     return memo_ ? memo_->stats() : MemoStats();
+}
+
+SuperblockStats
+Core::superblockStats() const
+{
+    return memo_ ? memo_->superblockStats() : SuperblockStats();
 }
 
 const PerfCounters &

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "sim/addr_map.h"
 #include "sim/branch_pred.h"
@@ -30,6 +31,7 @@ namespace sim {
 
 class BlockMemo;
 struct MemoStats;
+struct SuperblockStats;
 
 /** Fixed-point cycle units: 1/16 of a cycle. */
 constexpr uint64_t kCycleFp = 16;
@@ -54,6 +56,14 @@ struct CoreParams
      * overrides this to off.
      */
     bool simMemo = true;
+    /**
+     * Trace-level superblock replay + batched stream sweep (see
+     * sim/block_memo.h). On by default; only activates when the executor
+     * hands the core a baked SimStream view, and is bit-identical to
+     * stepping. Requires simMemo; XLVM_NO_SIM_SUPERBLOCK in the
+     * environment overrides this to off (block memoization stays on).
+     */
+    bool simSuperblock = true;
     BranchPredParams branchPred;
     CacheParams icache;
     CacheParams dcache;
@@ -202,6 +212,49 @@ struct MemoRec
     uint64_t pc = 0;
 };
 
+/**
+ * Non-owning view of a compiled trace's baked emission stream (the SoA
+ * SimStream from jit/lower.h), rebased at the trace's code address. The
+ * executor hands one to Core::memoSetStream before entering a trace;
+ * the superblock layer defers matching emissions against it and the
+ * batched consumeStream() entry processes one in a single pass. The
+ * pointers must stay valid for as long as the view is the pending or
+ * armed stream (the executor re-sets the view on every trace entry).
+ */
+struct StreamView
+{
+    const uint64_t *sigs = nullptr;  ///< memoSig*-packed records
+    const uint32_t *pcOff = nullptr; ///< byte offsets from codePc
+    const uint32_t *memIdx = nullptr; ///< record indices of Load/Store
+    uint32_t nRecs = 0;
+    uint32_t nMem = 0;
+    uint64_t codePc = 0;
+    /** Bake identity (jit/lower.cc); two bakes never share an id, so an
+     *  id match proves the record stream is unchanged. */
+    uint64_t streamId = 0;
+    /** SimStream::memoEligible: no call-class records, no unimpl ops. */
+    bool eligible = false;
+};
+
+/**
+ * The armed sweep cursor: while the superblock layer has a stream armed,
+ * emitters defer matching emissions here (one packed compare + cursor
+ * bump, no Core::consume call) instead of stepping them. Memory-op
+ * addresses are captured at defer time — the same moment stepping would
+ * translate them — so GC address recycling behaves identically.
+ */
+struct SweepCtx
+{
+    const uint64_t *sigs = nullptr;
+    const uint32_t *pcOff = nullptr;
+    uint32_t cursor = 0;
+    uint32_t nRecs = 0;
+    uint64_t codePc = 0;
+    /** Translated addresses of the deferred Load/Store records of the
+     *  current segment, in emission order. */
+    std::vector<uint64_t> addrs;
+};
+
 class Core
 {
   public:
@@ -216,6 +269,16 @@ class Core
     consume(const Inst &inst)
     {
         if (memoState_ != 0) {
+            // Superblock safety net: any emission that reaches consume()
+            // while a sweep is armed was not deferred (an impure
+            // annotation, a guard going the other way, an out-of-band
+            // GC/blackhole emission). The memo layer checkpoints or
+            // materializes the deferred prefix first so machine state
+            // and counters are fully caught up before this emission
+            // steps live. Correctness never depends on emitter
+            // cooperation.
+            if (sweepArmed_ && memoSweepInst(inst))
+                return;
             // Replay fast path: while a recorded block is being skipped
             // the next emission almost always matches the recorded
             // stream — verify with one packed compare and advance, no
@@ -335,6 +398,11 @@ class Core
         if (n == 0)
             return;
         if (memoState_ != 0) {
+            // See consume(): a straight run reaching here while a sweep
+            // is armed diverged from the baked stream (the emitter would
+            // have deferred a match); catch the machine state up first.
+            if (sweepArmed_)
+                memoSweepStraightMiss();
             if (memoSkipCur_ != memoSkipEnd_ &&
                 memoSkipCur_->sig == memoSigStraight(cls, extra_lat, n) &&
                 memoSkipCur_->pc == start_pc) {
@@ -393,10 +461,56 @@ class Core
     /** Block boundary inside a session (trace back-edge). */
     void memoBoundary();
 
+    /**
+     * Announce the baked emission stream of the trace about to run (or
+     * just entered): the superblock layer arms a deferred sweep over it
+     * at the next session begin / boundary. No-op when memoization is
+     * disabled; safe to call at any time (a stream armed mid-iteration
+     * is checkpointed or materialized first).
+     */
+    void memoSetStream(const StreamView &view);
+
+    /**
+     * Consume an entire baked stream in one batched pass: straight runs
+     * retire without per-instruction calls, I-cache probes of contiguous
+     * fetch runs are coalesced per line, predictor updates happen once
+     * per branch record, and D-cache accesses stay live against
+     * @p mem_addrs (one translated address per Load/Store record, in
+     * record order). Counters and machine state are bit-identical to
+     * emitting the records one by one. The stream must be free of
+     * call-class records; annotation records are charged (annotations /
+     * annotCostFp) but not delivered to the sink, so they must be pure
+     * for the walk to be observationally exact (the memo layer brackets
+     * its internal walks with live impure-annotation delivery).
+     */
+    void consumeStream(const StreamView &view, const uint64_t *mem_addrs,
+                       uint32_t n_mem);
+
+    /**
+     * The armed sweep cursor, or null when no sweep is armed. Emitters
+     * query this per emission (never cache it across emissions) to
+     * defer matching records.
+     */
+    SweepCtx *sweepCtx() { return sweepArmed_ ? &sweep_ : nullptr; }
+
+    /** True when delivering @p tag is currently a no-op for every
+     *  consumer, so a deferred record may elide the delivery. */
+    bool
+    annotDeferable(uint32_t tag) const
+    {
+        return tag < 32 && !((impureTagMask_ >> tag) & 1u);
+    }
+
     bool memoEnabled() const { return memo_ != nullptr; }
+
+    /** True when the superblock sweep layer is active. */
+    bool superblockEnabled() const;
 
     /** Aggregate memoization counters (zeros when disabled). */
     MemoStats memoStats() const;
+
+    /** Aggregate superblock counters (zeros when disabled). */
+    SuperblockStats superblockStats() const;
 
     /** The memoization engine, for tests (null when disabled). */
     BlockMemo *memoForTest() { return memo_.get(); }
@@ -435,6 +549,10 @@ class Core
     bool memoOnInst(const Inst &inst);
     bool memoOnStraight(InstClass cls, uint64_t start_pc, uint32_t n,
                         uint8_t extra_lat);
+
+    /** Out-of-line sweep catch-up paths (see sim/block_memo.h). */
+    bool memoSweepInst(const Inst &inst);
+    void memoSweepStraightMiss();
 
     /** The live dcache access of a replayed Load/Store record. */
     void
@@ -492,6 +610,13 @@ class Core
      */
     const MemoRec *memoSkipCur_ = nullptr;
     const MemoRec *memoSkipEnd_ = nullptr;
+    /**
+     * Deferred-sweep cursor, maintained by BlockMemo: armed only while
+     * the superblock layer is sweeping a baked stream. Lives on the core
+     * so sweepCtx() is one load on the emitter fast path.
+     */
+    SweepCtx sweep_;
+    bool sweepArmed_ = false;
     /** Bit per tag < 32: set when some listener consumes the tag. */
     uint32_t impureTagMask_ = ~0u;
     bool memoEventsWanted_ = false;

@@ -256,6 +256,24 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
         for (uint32_t k = 0; k < prog->numConsts; ++k)
             R[prog->constBase + k] = cs[k];
         codePc = target->codePc;
+        // Announce the program's baked emission stream to the sim
+        // layer: the superblock sweep arms against it at the next
+        // boundary (sim/block_memo.h). The view holds raw pointers into
+        // prog->sim, which outlives the run (programs persist in the
+        // backend until re-lowering, and re-lowering changes streamId).
+        {
+            const jit::SimStream &ss = prog->sim;
+            sim::StreamView sv;
+            sv.sigs = ss.sigs.data();
+            sv.pcOff = ss.pcOff.data();
+            sv.memIdx = ss.memIdx.data();
+            sv.nRecs = uint32_t(ss.sigs.size());
+            sv.nMem = uint32_t(ss.memIdx.size());
+            sv.codePc = codePc;
+            sv.streamId = ss.streamId;
+            sv.eligible = ss.memoEligible;
+            core.memoSetStream(sv);
+        }
         ++target->executions;
     };
 
@@ -427,6 +445,11 @@ dispatch_loop:
     OP(Jump) : {
         BEGIN();
         e.jump(codePc);
+        // Loop back-edge: the block-memo/superblock unit of replay.
+        // Must run before a cross-trace enterTrace announces the next
+        // stream — the boundary closes this iteration (full-cursor
+        // sweep checkpoint) so the handover disarms cleanly.
+        core.memoBoundary();
         const uint32_t *ax = prog->extra.data() + mop->extraOff;
         const uint32_t n = mop->extraLen;
         ++nIterations;
@@ -457,8 +480,6 @@ dispatch_loop:
             enterTrace(registry.byId(mop->aux - 1), std::move(next));
             active.back().trace = t;
         }
-        // Loop back-edge: the block-memo unit of replay.
-        core.memoBoundary();
         RESTART();
     }
 
@@ -996,6 +1017,22 @@ dispatch_loop:
         // The nested run flushed tier attribution and closed with tier
         // 0; cycles from here on belong to this (outer) trace's tier.
         curTier = t->tier;
+        // The nested run announced its own stream view; re-announce the
+        // outer program's so the next boundary can never arm the sweep
+        // against the inner trace's record stream.
+        {
+            const jit::SimStream &ss = prog->sim;
+            sim::StreamView sv;
+            sv.sigs = ss.sigs.data();
+            sv.pcOff = ss.pcOff.data();
+            sv.memIdx = ss.memIdx.data();
+            sv.nRecs = uint32_t(ss.sigs.size());
+            sv.nMem = uint32_t(ss.memIdx.size());
+            sv.codePc = codePc;
+            sv.streamId = ss.streamId;
+            sv.eligible = ss.memoEligible;
+            core.memoSetStream(sv);
+        }
         sim::BlockEmitter e2(core, pc + (n / 2 + 1) * 4);
         e2.ret(pc + (n / 2) * 4);
         e2.alu(n - n / 2 - 2);

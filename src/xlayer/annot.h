@@ -83,6 +83,16 @@ enum AnnotTag : uint32_t
      */
     kTierUp = 19,
     kTier1Compile = 20,
+
+    /**
+     * Sim level: superblock-replay telemetry (same out-of-band channel
+     * as the kMemo* tags). kSuperblockHit marks one whole-segment
+     * counter-delta replay, kSuperblockDiverge marks a sweep that had to
+     * fall back to live stepping mid-iteration. payload = hash of the
+     * stream's codePc.
+     */
+    kSuperblockHit = 21,
+    kSuperblockDiverge = 22,
 };
 
 } // namespace xlayer

@@ -26,6 +26,10 @@ static_assert(kMemoHit == sim::kMemoEventHit, "memo tag mismatch");
 static_assert(kMemoInvalidate == sim::kMemoEventInvalidate,
               "memo tag mismatch");
 static_assert(kMemoMiss == sim::kMemoEventMiss, "memo tag mismatch");
+static_assert(kSuperblockHit == sim::kMemoEventSuperblockHit,
+              "memo tag mismatch");
+static_assert(kSuperblockDiverge == sim::kMemoEventSuperblockDiverge,
+              "memo tag mismatch");
 
 /** One instrumentation tool subscribed to the bus. */
 class AnnotListener

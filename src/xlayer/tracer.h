@@ -88,12 +88,15 @@ constexpr uint32_t kDefaultTraceTagMask =
     traceTagBit(kGcMinor) | traceTagBit(kGcMajor) |
     traceTagBit(kAppEvent) | traceTagBit(kMemoInvalidate) |
     traceTagBit(kMemoMiss) | traceTagBit(kTierUp) |
-    traceTagBit(kTier1Compile);
+    traceTagBit(kTier1Compile) | traceTagBit(kSuperblockDiverge);
 
-/** All memo telemetry tags (out-of-band channel, see AnnotListener). */
-constexpr uint32_t kMemoEventTagMask = traceTagBit(kMemoHit) |
-                                       traceTagBit(kMemoInvalidate) |
-                                       traceTagBit(kMemoMiss);
+/** All memo telemetry tags (out-of-band channel, see AnnotListener).
+ *  kSuperblockHit is per-iteration (one event per replayed loop trip),
+ *  so like kMemoHit it is excluded from the default recording mask. */
+constexpr uint32_t kMemoEventTagMask =
+    traceTagBit(kMemoHit) | traceTagBit(kMemoInvalidate) |
+    traceTagBit(kMemoMiss) | traceTagBit(kSuperblockHit) |
+    traceTagBit(kSuperblockDiverge);
 
 /** Tags that additionally snapshot the cross-layer counter gauges. */
 constexpr uint32_t kCounterSampleTagMask =

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Guarded repro cases for known, documented engine bugs.
+ *
+ * Each test here pins a bug we know about but have not fixed yet, as an
+ * EXPECTED failure: the test passes while the bug reproduces and FAILS
+ * the moment the bug is fixed — the signal to delete the repro, close
+ * the matching ROADMAP entry, and land the coordinated golden update.
+ * Keep this file small; it is a ledger, not a dumping ground.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/runner.h"
+
+namespace xlvm {
+namespace {
+
+/**
+ * ROADMAP "Latent recording bug at high loop thresholds": hexiom2
+ * crashes with a type-confusion panic ("unsupported []= on int", raised
+ * from src/obj/space_containers.cc) when the trace threshold is exactly
+ * 130 — loopThreshold=130 in the default tier, tier1Threshold=130 in
+ * tier1/multi. Present on the pristine growth seed in every tier mode,
+ * so it is a hotness-dependent recording/deopt bug in the tracing front
+ * end, not a tiering or memoization regression. The bench tier sweeps
+ * run at tier1Threshold=30/tier2Threshold=60 and are unaffected.
+ *
+ * The panic aborts the process, so the repro is a death test (the child
+ * re-runs the workload in a forked process; the parent matches the
+ * panic message on stderr). When a fix lands, this EXPECT_DEATH stops
+ * matching and the test fails: delete it, resolve the ROADMAP entry,
+ * and regenerate goldens with ci/check_goldens.sh --update (the fix
+ * will move modeled counters).
+ */
+TEST(KnownIssues, Hexiom2RecordingCrashAtThreshold130)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    driver::RunOptions o;
+    o.workload = "hexiom2";
+    o.vm = driver::VmKind::PyPyJit;
+    // The bench sweep configuration (bench_common.h baseOptions) with
+    // the threshold moved to the crashing value.
+    o.loopThreshold = 130;
+    o.bridgeThreshold = 40;
+    o.maxInstructions = 400u * 1000 * 1000;
+    EXPECT_DEATH(driver::runWorkload(o), "unsupported \\[\\]= on int");
+}
+
+} // namespace
+} // namespace xlvm

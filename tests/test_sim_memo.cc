@@ -315,7 +315,12 @@ registerCountingLoop(vm::VmContext &ctx, void *code, int64_t limit)
 
 TEST(MemoExecutor, BakedSimStreamMatchesLiveRecording)
 {
-    vm::VmContext ctx;
+    // This test probes the block-memo recording substrate directly; with
+    // the superblock sweep armed the steady-state block is absorbed into
+    // segment replay and never recorded, so pin the sweep off.
+    vm::VmConfig cfg;
+    cfg.core.simSuperblock = false;
+    vm::VmContext ctx(cfg);
     ASSERT_TRUE(ctx.core.memoEnabled());
     int code;
     jit::Trace *t = registerCountingLoop(ctx, &code, 64);
@@ -370,7 +375,11 @@ TEST(MemoExecutor, HotLoopBitIdenticalAndHitHeavy)
     const int64_t limit = 20000;
     vm::VmConfig offCfg;
     offCfg.core.simMemo = false;
-    vm::VmContext on;
+    // Block-memo hit-rate assertions: superblock replay would absorb the
+    // hot loop before the block table sees it, so pin the sweep off.
+    vm::VmConfig onCfg;
+    onCfg.core.simSuperblock = false;
+    vm::VmContext on(onCfg);
     vm::VmContext off(offCfg);
     int codeOn, codeOff;
     jit::Trace *tOn = registerCountingLoop(on, &codeOn, limit);

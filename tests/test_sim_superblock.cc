@@ -1,0 +1,593 @@
+/**
+ * @file
+ * Trace-level superblock replay tests (sim/block_memo.h sweep mode).
+ *
+ * The superblock layer's contract is the same exactness bar as block
+ * memoization, one level up: while a baked record stream is armed, whole
+ * trace segments are replayed from precomputed deltas (or batch-swept),
+ * and every modeled counter and every piece of machine state must stay
+ * bit-identical with the layer on or off. The core-level tests here
+ * hand-bake a StreamView over a known emission sequence and drive a
+ * sweeping core against a plain stepping twin through the adversarial
+ * cases: a guard outcome flipping mid-superblock, icache footprint
+ * eviction between sessions, GC address recycling under an armed sweep,
+ * resetStats() dropping a deferred span, and a trace re-lower changing
+ * the stream identity under an unchanged codePc. Core-level streams
+ * have no impure annotations (no sink is registered), so each iteration
+ * lands as a single segment; the end-to-end differentials exercise
+ * checkpoint-segmented streams through the real executor, where the
+ * merge-point dispatch annotation splits every iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "driver/parallel.h"
+#include "driver/runner.h"
+#include "sim/block_memo.h"
+#include "sim/emitter.h"
+
+namespace xlvm {
+namespace {
+
+// ---- core-level differential harness ---------------------------------
+
+sim::CoreParams
+sweepParams(bool memo, bool superblock)
+{
+    sim::CoreParams p;
+    p.simMemo = memo;
+    p.simSuperblock = superblock;
+    return p;
+}
+
+/** Every counter and cache statistic must agree between the two cores. */
+void
+expectCoresIdentical(sim::Core &sweep, sim::Core &step)
+{
+    sim::PerfCounters a = sweep.totalCounters();
+    sim::PerfCounters b = step.totalCounters();
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cyclesFp, b.cyclesFp);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.annotations, b.annotations);
+    EXPECT_EQ(sweep.icacheUnit().hits(), step.icacheUnit().hits());
+    EXPECT_EQ(sweep.icacheUnit().misses(), step.icacheUnit().misses());
+    EXPECT_EQ(sweep.dcacheUnit().hits(), step.dcacheUnit().hits());
+    EXPECT_EQ(sweep.dcacheUnit().misses(), step.dcacheUnit().misses());
+}
+
+/**
+ * The hot trace body every core-level test executes: a straight ALU
+ * run, two loads, a store, a taken back-edge. @p taken lets the
+ * guard-flip tests betray the baked outcome.
+ */
+void
+emitTraceBody(sim::Core &c, uint64_t pc, const void *p1, const void *p2,
+              bool taken = true)
+{
+    sim::BlockEmitter e(c, pc);
+    e.alu(6);
+    e.loadPtr(p1, 1);
+    e.alu(2);
+    e.loadPtr(p2);
+    e.storePtr(p1);
+    e.branch(taken);
+}
+
+/**
+ * The baked record stream matching emitTraceBody exactly — the same
+ * sigs/pcOff/memIdx arrays jit::bakeSimStream derives at lowering time,
+ * built by hand so the tests control stream identity and eligibility.
+ */
+struct BakedStream
+{
+    std::vector<uint64_t> sigs;
+    std::vector<uint32_t> pcOff;
+    std::vector<uint32_t> memIdx;
+    uint64_t codePc = 0;
+    uint64_t streamId = 0;
+
+    sim::StreamView
+    view() const
+    {
+        sim::StreamView v;
+        v.sigs = sigs.data();
+        v.pcOff = pcOff.data();
+        v.memIdx = memIdx.data();
+        v.nRecs = uint32_t(sigs.size());
+        v.nMem = uint32_t(memIdx.size());
+        v.codePc = codePc;
+        v.streamId = streamId;
+        v.eligible = true;
+        return v;
+    }
+};
+
+BakedStream
+bakeTraceBody(uint64_t code_pc, uint64_t stream_id)
+{
+    using sim::InstClass;
+    BakedStream b;
+    b.codePc = code_pc;
+    b.streamId = stream_id;
+    auto rec = [&](uint64_t sig, uint32_t off, bool mem) {
+        if (mem)
+            b.memIdx.push_back(uint32_t(b.sigs.size()));
+        b.sigs.push_back(sig);
+        b.pcOff.push_back(off);
+    };
+    rec(sim::memoSigStraight(InstClass::IntAlu, 0, 6), 0, false);
+    rec(sim::memoSigInst(InstClass::Load, 1, false), 24, true);
+    rec(sim::memoSigStraight(InstClass::IntAlu, 0, 2), 28, false);
+    rec(sim::memoSigInst(InstClass::Load, 0, false), 36, true);
+    rec(sim::memoSigInst(InstClass::Store, 0, false), 40, true);
+    rec(sim::memoSigInst(InstClass::Branch, 0, true), 44, false);
+    return b;
+}
+
+constexpr uint64_t kTracePc = 0x400000;
+
+TEST(SuperblockCore, SteadySweepReplayIsBitIdentical)
+{
+    sim::Core sweep(sweepParams(true, true));
+    sim::Core step(sweepParams(false, false));
+    ASSERT_TRUE(sweep.superblockEnabled());
+    ASSERT_FALSE(step.superblockEnabled());
+
+    BakedStream bs = bakeTraceBody(kTracePc, 1);
+    int obj1 = 0, obj2 = 0;
+    for (sim::Core *c : {&sweep, &step}) {
+        c->memoSetStream(bs.view());
+        c->memoSessionBegin(8);
+        for (int i = 0; i < 2000; ++i) {
+            emitTraceBody(*c, kTracePc, &obj1, &obj2);
+            c->memoBoundary();
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(sweep, step);
+    sim::SuperblockStats sb = sweep.superblockStats();
+    EXPECT_GE(sb.segmentsCached, 1u);
+    EXPECT_GT(sb.hits, 1500u); // first pass records, the rest replay
+    EXPECT_GT(sb.iterations, 1500u);
+    EXPECT_GT(sb.replayedInstructions, 0u);
+    EXPECT_GT(sb.hitRate(), 0.9);
+    // The sweep absorbs the loop before block memoization ever records
+    // it — the two accelerators split traffic, never double count.
+    EXPECT_EQ(sweep.memoStats().hits, 0u);
+    EXPECT_EQ(step.superblockStats().hits, 0u);
+}
+
+TEST(SuperblockCore, SuperblockOffLeavesTrafficToBlockMemo)
+{
+    sim::Core memoOnly(sweepParams(true, false));
+    sim::Core step(sweepParams(false, false));
+    ASSERT_FALSE(memoOnly.superblockEnabled());
+    ASSERT_TRUE(memoOnly.memoEnabled());
+
+    BakedStream bs = bakeTraceBody(kTracePc, 1);
+    int obj1 = 0, obj2 = 0;
+    for (sim::Core *c : {&memoOnly, &step}) {
+        c->memoSetStream(bs.view());
+        c->memoSessionBegin(8);
+        for (int i = 0; i < 1000; ++i) {
+            emitTraceBody(*c, kTracePc, &obj1, &obj2);
+            c->memoBoundary();
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(memoOnly, step);
+    EXPECT_EQ(memoOnly.superblockStats().hits, 0u);
+    EXPECT_EQ(memoOnly.superblockStats().iterations, 0u);
+    EXPECT_GT(memoOnly.memoStats().hits, 500u);
+}
+
+TEST(SuperblockCore, GuardFlipMidSweepDivergesExactly)
+{
+    sim::Core sweep(sweepParams(true, true));
+    sim::Core step(sweepParams(false, false));
+
+    BakedStream bs = bakeTraceBody(kTracePc, 1);
+    int obj1 = 0, obj2 = 0;
+    for (sim::Core *c : {&sweep, &step}) {
+        c->memoSetStream(bs.view());
+        c->memoSessionBegin(8);
+        for (int i = 0; i < 800; ++i) {
+            // Sporadic guard failures: the closing branch betrays its
+            // baked outcome, so the deferred prefix must be landed by a
+            // live walk and the flipped branch stepped for real. The
+            // intervening replayed iterations keep the stream's
+            // divergence budget reset, so replay always resumes.
+            bool taken = (i % 97) != 96;
+            emitTraceBody(*c, kTracePc, &obj1, &obj2, taken);
+            c->memoBoundary();
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(sweep, step);
+    sim::SuperblockStats sb = sweep.superblockStats();
+    EXPECT_GT(sb.divergences, 0u);
+    EXPECT_GT(sb.hits, 600u);
+}
+
+TEST(SuperblockCore, PersistentDivergenceTombstonesStream)
+{
+    sim::Core sweep(sweepParams(true, true));
+    sim::Core step(sweepParams(false, false));
+
+    BakedStream bs = bakeTraceBody(kTracePc, 1);
+    int obj1 = 0, obj2 = 0;
+    for (sim::Core *c : {&sweep, &step}) {
+        c->memoSetStream(bs.view());
+        c->memoSessionBegin(8);
+        // Warm up: the sweep records and replays the steady stream.
+        for (int i = 0; i < 100; ++i) {
+            emitTraceBody(*c, kTracePc, &obj1, &obj2);
+            c->memoBoundary();
+        }
+        // The guard now fails every iteration: consecutive divergences
+        // exhaust the stream's divergence budget and tombstone it — a
+        // replayed iteration would have reset the counter, but none
+        // intervenes.
+        for (int i = 0; i < 20; ++i) {
+            emitTraceBody(*c, kTracePc, &obj1, &obj2, false);
+            c->memoBoundary();
+        }
+        // Steady again — but the tombstoned stream never re-arms, and
+        // block memoization takes the traffic back.
+        for (int i = 0; i < 300; ++i) {
+            emitTraceBody(*c, kTracePc, &obj1, &obj2);
+            c->memoBoundary();
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(sweep, step);
+    sim::SuperblockStats sb = sweep.superblockStats();
+    EXPECT_GT(sb.divergences, 0u);
+    // Far fewer divergences than failing iterations: the tombstone
+    // stopped the sweep from re-arming a hopeless stream.
+    EXPECT_LT(sb.divergences, 20u);
+    EXPECT_GT(sweep.memoStats().hits, 0u);
+}
+
+TEST(SuperblockCore, IcacheEvictionForcesReverify)
+{
+    sim::Core sweep(sweepParams(true, true));
+    sim::Core step(sweepParams(false, false));
+
+    BakedStream bs = bakeTraceBody(kTracePc, 1);
+    int obj1 = 0, obj2 = 0;
+    for (sim::Core *c : {&sweep, &step}) {
+        for (int round = 0; round < 4; ++round) {
+            c->memoSetStream(bs.view());
+            c->memoSessionBegin(8);
+            for (int i = 0; i < 200; ++i) {
+                emitTraceBody(*c, kTracePc, &obj1, &obj2);
+                c->memoBoundary();
+            }
+            c->memoSessionEnd();
+            // Walk 4x the icache capacity between sessions: the trace
+            // footprint is fully evicted, the segment fingerprint no
+            // longer verifies, and the next armed iteration must
+            // re-record against cold-fetch reality instead of applying
+            // stale LRU stamps.
+            sim::BlockEmitter flush(*c, 0x10000000);
+            flush.alu(4 * 32 * 1024 / 4);
+        }
+    }
+
+    expectCoresIdentical(sweep, step);
+    sim::SuperblockStats sb = sweep.superblockStats();
+    EXPECT_GT(sb.invalidations, 0u);
+    EXPECT_GT(sb.hits, 0u);
+}
+
+TEST(SuperblockCore, AddressRecyclingAfterFreeStaysExact)
+{
+    // Memory-op addresses are captured at defer time — the exact moment
+    // stepping would translate them — and the dcache is walked live at
+    // every replay. Releasing a mapping mid-session and letting a new
+    // object recycle the simulated address must therefore stay exact
+    // with the sweep armed the whole time.
+    sim::Core sweep(sweepParams(true, true));
+    sim::Core step(sweepParams(false, false));
+
+    BakedStream bs = bakeTraceBody(kTracePc, 1);
+    for (sim::Core *c : {&sweep, &step}) {
+        c->memoSetStream(bs.view());
+        c->memoSessionBegin(8);
+        int slotA = 0, slotB = 0;
+        for (int round = 0; round < 40; ++round) {
+            for (int i = 0; i < 50; ++i) {
+                emitTraceBody(*c, kTracePc, &slotA, &slotB);
+                c->memoBoundary();
+            }
+            // "GC frees slotA" — forget its mapping mid-session; the
+            // next translate may hand the address to someone else.
+            c->releaseDataAddr(&slotA);
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(sweep, step);
+    EXPECT_GT(sweep.superblockStats().hits, 0u);
+}
+
+TEST(SuperblockCore, ResetStatsMidSweepStaysExact)
+{
+    sim::Core sweep(sweepParams(true, true));
+    sim::Core step(sweepParams(false, false));
+
+    BakedStream bs = bakeTraceBody(kTracePc, 1);
+    int obj1 = 0, obj2 = 0;
+    for (sim::Core *c : {&sweep, &step}) {
+        c->memoSetStream(bs.view());
+        c->memoSessionBegin(8);
+        for (int i = 0; i < 300; ++i) {
+            emitTraceBody(*c, kTracePc, &obj1, &obj2);
+            c->memoBoundary();
+        }
+        // resetStats() with the sweep armed mid-iteration: the deferred
+        // prefix is dropped, not materialized — its counters and the
+        // machine state they would have touched are wiped either way,
+        // so dropping is indistinguishable from landing-then-wiping.
+        // The stepping twin resets at the same emission point.
+        {
+            sim::BlockEmitter e(*c, kTracePc);
+            e.alu(6);
+            e.loadPtr(&obj1, 1);
+            c->resetStats();
+            e.alu(2);
+            e.loadPtr(&obj2);
+            e.storePtr(&obj1);
+            e.branch(true);
+            c->memoBoundary();
+        }
+        for (int i = 0; i < 300; ++i) {
+            emitTraceBody(*c, kTracePc, &obj1, &obj2);
+            c->memoBoundary();
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(sweep, step);
+    // Post-reset telemetry only — and the sweep re-armed and replayed
+    // again after the flush.
+    EXPECT_GT(sweep.superblockStats().hits, 0u);
+}
+
+TEST(SuperblockCore, ResetStatsReplayReproducesFirstRun)
+{
+    sim::Core core(sweepParams(true, true));
+    BakedStream bs = bakeTraceBody(kTracePc, 1);
+    int obj1 = 0, obj2 = 0;
+
+    auto burst = [&] {
+        core.memoSetStream(bs.view());
+        core.memoSessionBegin(8);
+        for (int i = 0; i < 500; ++i) {
+            emitTraceBody(core, kTracePc, &obj1, &obj2);
+            core.memoBoundary();
+        }
+        core.memoSessionEnd();
+    };
+
+    burst();
+    sim::PerfCounters first = core.totalCounters();
+    ASSERT_GT(core.superblockStats().hits, 0u);
+
+    core.resetStats();
+    EXPECT_EQ(core.superblockStats().hits, 0u);
+    EXPECT_EQ(core.superblockStats().segmentsCached, 0u);
+    EXPECT_EQ(core.totalCounters().instructions, 0u);
+
+    // Replaying the identical stream from reset state must reproduce
+    // the first run bit for bit — a segment surviving the flush would
+    // apply deltas recorded against pre-reset cache/predictor state.
+    burst();
+    sim::PerfCounters second = core.totalCounters();
+    EXPECT_EQ(first.instructions, second.instructions);
+    EXPECT_EQ(first.cyclesFp, second.cyclesFp);
+    EXPECT_EQ(first.mispredicts, second.mispredicts);
+    EXPECT_EQ(first.icacheMisses, second.icacheMisses);
+    EXPECT_EQ(first.dcacheMisses, second.dcacheMisses);
+}
+
+TEST(SuperblockCore, RelowerChangesStreamIdentityAndInvalidates)
+{
+    // A tier promotion re-lowers the trace at the same codePc: the new
+    // bake gets a fresh streamId, so every recorded segment indexes a
+    // dead record stream and must be dropped, not replayed.
+    sim::Core sweep(sweepParams(true, true));
+    sim::Core step(sweepParams(false, false));
+
+    BakedStream gen1 = bakeTraceBody(kTracePc, 1);
+    BakedStream gen2 = bakeTraceBody(kTracePc, 2);
+    int obj1 = 0, obj2 = 0;
+    for (sim::Core *c : {&sweep, &step}) {
+        c->memoSessionBegin(8);
+        for (const BakedStream *bs : {&gen1, &gen2}) {
+            c->memoSetStream(bs->view());
+            c->memoBoundary(); // a fresh stream arms at a delimiter
+            for (int i = 0; i < 300; ++i) {
+                emitTraceBody(*c, kTracePc, &obj1, &obj2);
+                c->memoBoundary();
+            }
+        }
+        c->memoSessionEnd();
+    }
+
+    expectCoresIdentical(sweep, step);
+    sim::SuperblockStats sb = sweep.superblockStats();
+    EXPECT_GT(sb.invalidations, 0u);
+    EXPECT_GT(sb.hits, 400u); // both generations replay after re-record
+}
+
+TEST(SuperblockCore, EnvEscapeHatchDisablesSweep)
+{
+    setenv("XLVM_NO_SIM_SUPERBLOCK", "1", 1);
+    sim::Core core(sweepParams(true, true));
+    unsetenv("XLVM_NO_SIM_SUPERBLOCK");
+    EXPECT_FALSE(core.superblockEnabled());
+    EXPECT_TRUE(core.memoEnabled()); // the hatch is layer-local
+
+    // With the hatch set at construction the sweep never arms, and the
+    // block-memo layer serves the loop instead.
+    BakedStream bs = bakeTraceBody(kTracePc, 1);
+    int obj1 = 0, obj2 = 0;
+    core.memoSetStream(bs.view());
+    core.memoSessionBegin(8);
+    for (int i = 0; i < 200; ++i) {
+        emitTraceBody(core, kTracePc, &obj1, &obj2);
+        core.memoBoundary();
+    }
+    core.memoSessionEnd();
+    EXPECT_EQ(core.superblockStats().hits, 0u);
+    EXPECT_GT(core.memoStats().hits, 0u);
+}
+
+// ---- end-to-end differentials ----------------------------------------
+
+void
+expectRunResultsIdentical(const driver::RunResult &a,
+                          const driver::RunResult &b)
+{
+    ASSERT_TRUE(a.completed);
+    ASSERT_TRUE(b.completed);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.branchMpki, b.branchMpki);
+    EXPECT_EQ(a.branchMissRate, b.branchMissRate);
+    for (uint32_t p = 0; p < xlayer::kNumPhases; ++p) {
+        EXPECT_EQ(a.phaseShares[p], b.phaseShares[p]) << "phase " << p;
+        EXPECT_EQ(a.phaseCounters[p].instructions,
+                  b.phaseCounters[p].instructions)
+            << "phase " << p;
+        EXPECT_EQ(a.phaseCounters[p].cyclesFp,
+                  b.phaseCounters[p].cyclesFp)
+            << "phase " << p;
+        EXPECT_EQ(a.phaseCounters[p].mispredicts,
+                  b.phaseCounters[p].mispredicts)
+            << "phase " << p;
+    }
+    EXPECT_EQ(a.deopts, b.deopts);
+    EXPECT_EQ(a.traceEnters, b.traceEnters);
+    EXPECT_EQ(a.loopsCompiled, b.loopsCompiled);
+    EXPECT_EQ(a.bridgesCompiled, b.bridgesCompiled);
+    EXPECT_EQ(a.gcMinor, b.gcMinor);
+    EXPECT_EQ(a.gcMajor, b.gcMajor);
+    EXPECT_EQ(a.gcAllocations, b.gcAllocations);
+    EXPECT_EQ(a.gcFreedObjects, b.gcFreedObjects);
+    EXPECT_EQ(a.icacheHits, b.icacheHits);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheHits, b.dcacheHits);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.work, b.work);
+}
+
+TEST(SuperblockDifferential, EndToEndWorkloadCountersIdentical)
+{
+    driver::RunOptions base;
+    base.workload = "crypto_pyaes";
+    base.scale = 60;
+    base.vm = driver::VmKind::PyPyJit;
+    base.loopThreshold = 60;
+
+    driver::RunOptions sbOn = base;
+    sbOn.simSuperblock = true;
+    driver::RunOptions sbOff = base;
+    sbOff.simSuperblock = false;
+
+    driver::RunResult a = driver::runWorkload(sbOn);
+    driver::RunResult b = driver::runWorkload(sbOff);
+
+    expectRunResultsIdentical(a, b);
+    EXPECT_GT(a.sbHits, 0u);
+    EXPECT_GT(a.sbIterations, 0u);
+    EXPECT_GE(a.sbSegmentsCached, 1u);
+    EXPECT_EQ(b.sbHits, 0u);
+    EXPECT_EQ(b.sbIterations, 0u);
+    // With the sweep off, block memoization absorbs the traffic.
+    EXPECT_GT(b.memoHits, a.memoHits);
+}
+
+TEST(SuperblockDifferential, GcHeavyWorkloadCountersIdentical)
+{
+    // go allocates heavily and keeps eligible hot traces: GC minors
+    // strike mid-trace (impure GC annotations checkpoint the sweep),
+    // frees recycle simulated data addresses under armed streams, and
+    // guard-heavy board evaluation forces frequent divergences. All of
+    // it must wash out exactly. (chaos is GC-heavy too, but its one
+    // loop bakes an ineligible stream — call-class records — so it
+    // never exercises the sweep.)
+    driver::RunOptions base;
+    base.workload = "go";
+    base.vm = driver::VmKind::PyPyJit;
+    base.loopThreshold = 60;
+    base.maxInstructions = 50u * 1000 * 1000;
+
+    driver::RunOptions sbOn = base;
+    sbOn.simSuperblock = true;
+    driver::RunOptions sbOff = base;
+    sbOff.simSuperblock = false;
+
+    driver::RunResult a = driver::runWorkload(sbOn);
+    driver::RunResult b = driver::runWorkload(sbOff);
+
+    expectRunResultsIdentical(a, b);
+    EXPECT_GT(a.gcMinor, 0u);
+    EXPECT_GT(a.sbHits, 0u);
+    EXPECT_GT(a.sbDivergences, 0u);
+}
+
+TEST(SuperblockDifferential, CountersInvariantAcrossJobs)
+{
+    std::vector<driver::RunOptions> runs;
+    for (const char *w : {"crypto_pyaes", "chaos"}) {
+        driver::RunOptions o;
+        o.workload = w;
+        o.scale = 40;
+        o.vm = driver::VmKind::PyPyJit;
+        o.loopThreshold = 60;
+        o.simSuperblock = true;
+        runs.push_back(o);
+    }
+
+    std::vector<driver::RunResult> seq =
+        driver::runWorkloadsParallel(runs, 1);
+    std::vector<driver::RunResult> par =
+        driver::runWorkloadsParallel(runs, 3);
+
+    ASSERT_EQ(seq.size(), par.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+        SCOPED_TRACE(runs[i].workload);
+        expectRunResultsIdentical(seq[i], par[i]);
+        // Superblock telemetry is deterministic too: stream identities
+        // are compared only for equality within a run's private core,
+        // so the process-global bake counter's interleaving across jobs
+        // cannot leak into hit/miss/divergence counts.
+        EXPECT_EQ(seq[i].sbHits, par[i].sbHits);
+        EXPECT_EQ(seq[i].sbMisses, par[i].sbMisses);
+        EXPECT_EQ(seq[i].sbInvalidations, par[i].sbInvalidations);
+        EXPECT_EQ(seq[i].sbDivergences, par[i].sbDivergences);
+        EXPECT_EQ(seq[i].sbIterations, par[i].sbIterations);
+    }
+}
+
+} // namespace
+} // namespace xlvm

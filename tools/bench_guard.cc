@@ -5,11 +5,16 @@
  * Checks properties of freshly generated metrics reports against a
  * committed baseline (ci/bench_smoke_baseline.json):
  *
- *  1. Memoization effectiveness: the aggregate sim_memo hit rate across
- *     all runs with memo activity must meet --min-hit-rate. A silent
- *     drop in hit rate (an over-eager invalidation, a signature change
- *     that stops blocks from verifying) does not move any modeled
- *     counter, so the golden gate cannot see it — this guard can.
+ *  1. Replay effectiveness: the aggregate replay hit rate across all
+ *     fresh runs must meet --min-hit-rate. Since PR 8 the sim layer has
+ *     two replay tiers — superblock segments absorb lookups that would
+ *     otherwise hit the block memo — so the rate blends both:
+ *     (memo.hits + sb.hits) / (all memo + sb lookups). A silent drop
+ *     (an over-eager invalidation, a signature change that stops blocks
+ *     from verifying) does not move any modeled counter, so the golden
+ *     gate cannot see it — this guard can. --min-sb-hit-rate adds an
+ *     optional floor on the superblock layer alone, so block memo
+ *     picking up absorbed traffic cannot mask a dead sweep.
  *
  *  2. Modeled-cost regression: per matched run (workload + vm +
  *     tier mode), the fresh totals/cycles_fp may not exceed the
@@ -24,6 +29,16 @@
  *     trivially when the report has no jit_tiers activity, so a
  *     default-mode-only invocation is unaffected.
  *
+ *  4. Microbenchmark gate (--gbench): reads a gbench_trace_exec
+ *     --benchmark_format=json output and checks the BM_SimStream_*
+ *     family. Two properties: the best per-shape superblock-vs-blockmemo
+ *     CPU-time ratio must meet --min-sb-speedup (the isolated-sweep
+ *     speedup claim, a ratio within one process so host noise mostly
+ *     cancels), and every variant of a shape must report the same
+ *     modeled_cpi within a small tolerance (replay layers must not move
+ *     modeled cycles per op — the microbench cross-check of the golden
+ *     gate's bit-exactness contract).
+ *
  * Accepts any number of fresh reports: the LAST positional is always
  * the baseline, every earlier one is a fresh report (so CI can feed the
  * default-mode and multi-mode sweeps through one invocation). --update
@@ -33,10 +48,13 @@
  * 2 usage or I/O error.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -53,14 +71,22 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s <fresh.json>... <baseline.json> [--min-hit-rate X]\n"
-        "          [--max-regression X] [--min-promotions N]\n"
-        "          [--max-tier1-share X] [--update]\n"
+        "          [--min-sb-hit-rate X] [--max-regression X]\n"
+        "          [--min-promotions N] [--max-tier1-share X]\n"
+        "          [--gbench FILE] [--min-sb-speedup X] [--update]\n"
         "\n"
         "  The last positional is the baseline; all earlier ones are\n"
         "  fresh reports (their runs are checked, and merged, in order).\n"
         "\n"
-        "  --min-hit-rate X     minimum aggregate sim_memo hit rate over\n"
-        "                       runs with memo activity (default 0.5)\n"
+        "  --min-hit-rate X     minimum aggregate replay hit rate, block\n"
+        "                       memo and superblock blended (default 0.5)\n"
+        "  --min-sb-hit-rate X  minimum aggregate sim_superblock hit rate\n"
+        "                       across fresh runs (default: no gate;\n"
+        "                       fails on zero superblock activity)\n"
+        "  --gbench FILE        gbench_trace_exec JSON output to check\n"
+        "                       (BM_SimStream_* speedup + modeled_cpi)\n"
+        "  --min-sb-speedup X   minimum best-shape superblock-vs-blockmemo\n"
+        "                       CPU-time ratio in --gbench (default 5.0)\n"
         "  --max-regression X   maximum allowed relative increase of a\n"
         "                       run's totals/cycles_fp over the baseline\n"
         "                       (default 0.10)\n"
@@ -112,9 +138,12 @@ main(int argc, char **argv)
 
     std::vector<std::string> paths; // fresh..., baseline last
     double minHitRate = 0.5;
+    double minSbHitRate = -1.0; // < 0 = gate off
     double maxRegression = 0.10;
     uint64_t minPromotions = 0;
     double maxTier1Share = -1.0; // < 0 = gate off
+    std::string gbenchPath;
+    double minSbSpeedup = 5.0;
     bool update = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -125,6 +154,20 @@ main(int argc, char **argv)
             minHitRate = std::strtod(argv[++i], nullptr);
         } else if (std::strncmp(a, "--min-hit-rate=", 15) == 0) {
             minHitRate = std::strtod(a + 15, nullptr);
+        } else if (std::strcmp(a, "--min-sb-hit-rate") == 0 &&
+                   i + 1 < argc) {
+            minSbHitRate = std::strtod(argv[++i], nullptr);
+        } else if (std::strncmp(a, "--min-sb-hit-rate=", 18) == 0) {
+            minSbHitRate = std::strtod(a + 18, nullptr);
+        } else if (std::strcmp(a, "--gbench") == 0 && i + 1 < argc) {
+            gbenchPath = argv[++i];
+        } else if (std::strncmp(a, "--gbench=", 9) == 0) {
+            gbenchPath = a + 9;
+        } else if (std::strcmp(a, "--min-sb-speedup") == 0 &&
+                   i + 1 < argc) {
+            minSbSpeedup = std::strtod(argv[++i], nullptr);
+        } else if (std::strncmp(a, "--min-sb-speedup=", 17) == 0) {
+            minSbSpeedup = std::strtod(a + 17, nullptr);
         } else if (std::strcmp(a, "--max-regression") == 0 &&
                    i + 1 < argc) {
             maxRegression = std::strtod(argv[++i], nullptr);
@@ -225,32 +268,65 @@ main(int argc, char **argv)
 
     int fail = 0;
 
-    // 1. Aggregate memoization hit rate.
-    uint64_t hits = 0, misses = 0;
+    // 1. Aggregate replay hit rate, block memo and superblock blended
+    // (superblock segments absorb lookups the memo would otherwise
+    // serve, so neither layer's rate is meaningful alone).
+    uint64_t hits = 0, misses = 0, sbHits = 0, sbMisses = 0;
     for (const Json *run : freshRuns) {
         const Json *h = runMetric(*run, "sim_memo", "hits");
         const Json *m = runMetric(*run, "sim_memo", "misses");
+        const Json *sh = runMetric(*run, "sim_superblock", "hits");
+        const Json *sm = runMetric(*run, "sim_superblock", "misses");
         hits += h ? h->asUInt() : 0;
         misses += m ? m->asUInt() : 0;
+        sbHits += sh ? sh->asUInt() : 0;
+        sbMisses += sm ? sm->asUInt() : 0;
     }
-    if (hits + misses == 0) {
+    uint64_t lookups = hits + misses + sbHits + sbMisses;
+    if (lookups == 0) {
         std::fprintf(stderr,
-                     "FAIL: no sim_memo activity in the fresh reports — "
-                     "the smoke sweep must run with memoization "
-                     "enabled\n");
+                     "FAIL: no sim_memo/sim_superblock activity in the "
+                     "fresh reports — the smoke sweep must run with the "
+                     "replay layers enabled\n");
         fail = 1;
     } else {
-        double rate = double(hits) / double(hits + misses);
-        std::printf("sim_memo aggregate hit rate: %.4f "
-                    "(%llu hits / %llu lookups, floor %.2f)\n",
+        double rate = double(hits + sbHits) / double(lookups);
+        std::printf("replay aggregate hit rate: %.4f "
+                    "(memo %llu/%llu, superblock %llu/%llu, floor "
+                    "%.2f)\n",
                     rate, (unsigned long long)hits,
-                    (unsigned long long)(hits + misses), minHitRate);
+                    (unsigned long long)(hits + misses),
+                    (unsigned long long)sbHits,
+                    (unsigned long long)(sbHits + sbMisses), minHitRate);
         if (rate < minHitRate) {
             std::fprintf(stderr,
-                         "FAIL: sim_memo hit rate %.4f below floor "
-                         "%.2f\n",
+                         "FAIL: blended replay hit rate %.4f below "
+                         "floor %.2f\n",
                          rate, minHitRate);
             fail = 1;
+        }
+    }
+    if (minSbHitRate >= 0.0) {
+        if (sbHits + sbMisses == 0) {
+            std::fprintf(stderr,
+                         "FAIL: --min-sb-hit-rate given but the fresh "
+                         "reports have no superblock activity — the "
+                         "sweep layer is not arming\n");
+            fail = 1;
+        } else {
+            double rate = double(sbHits) / double(sbHits + sbMisses);
+            std::printf("sim_superblock aggregate hit rate: %.4f "
+                        "(%llu / %llu, floor %.2f)\n",
+                        rate, (unsigned long long)sbHits,
+                        (unsigned long long)(sbHits + sbMisses),
+                        minSbHitRate);
+            if (rate < minSbHitRate) {
+                std::fprintf(stderr,
+                             "FAIL: sim_superblock hit rate %.4f below "
+                             "floor %.2f\n",
+                             rate, minSbHitRate);
+                fail = 1;
+            }
         }
     }
 
@@ -329,6 +405,164 @@ main(int argc, char **argv)
                     (unsigned long long)bc->asUInt(), rel * 100.0);
         if (rel > maxRegression)
             fail = 1;
+    }
+
+    // 4. gbench_trace_exec microbenchmark gate: isolated superblock
+    // speedup (a within-process ratio, so host noise mostly cancels)
+    // plus modeled_cpi agreement across the variants of each shape.
+    if (!gbenchPath.empty()) {
+        std::ifstream gf(gbenchPath, std::ios::binary);
+        if (!gf) {
+            std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                         gbenchPath.c_str());
+            return 2;
+        }
+        std::string text((std::istreambuf_iterator<char>(gf)),
+                         std::istreambuf_iterator<char>());
+        // google-benchmark emits bare NaN/Infinity tokens for aggregate
+        // statistics of zero-mean counters (e.g. the cv of a hit rate
+        // that is identically 0); they are not valid JSON, so neutralize
+        // them outside string literals before parsing.
+        bool instr = false;
+        for (size_t i = 0; i < text.size(); ++i) {
+            char c = text[i];
+            if (instr) {
+                if (c == '\\')
+                    ++i;
+                else if (c == '"')
+                    instr = false;
+                continue;
+            }
+            if (c == '"') {
+                instr = true;
+            } else if (c == 'N' && text.compare(i, 3, "NaN") == 0) {
+                text.replace(i, 3, "0");
+            } else if (c == 'I' && text.compare(i, 8, "Infinity") == 0) {
+                text.replace(i, 8, "0");  // a leading '-' parses as -0
+            }
+        }
+        std::string perr;
+        Json gdoc = Json::parse(text, &perr);
+        if (!perr.empty() || !gdoc.isObject()) {
+            std::fprintf(stderr, "%s: %s: %s\n", argv[0],
+                         gbenchPath.c_str(),
+                         perr.empty() ? "not a JSON object" : perr.c_str());
+            return 2;
+        }
+        struct Var
+        {
+            double cpu = 0.0;
+            double cpi = -1.0;
+        };
+        // Per-iteration entries feed the gate by default; when the bench
+        // ran with --benchmark_repetitions, the median aggregates are
+        // preferred (and with --benchmark_report_aggregates_only they
+        // are all there is).
+        std::map<std::string, std::map<std::string, Var>> shapes, medians;
+        const Json *bms = gdoc.get("benchmarks");
+        if (bms && bms->isArray()) {
+            for (const Json &bm : bms->items()) {
+                bool isMedian = false;
+                const Json *rt = bm.get("run_type");
+                if (rt && rt->asString() == "aggregate") {
+                    const Json *an = bm.get("aggregate_name");
+                    if (!an || an->asString() != "median")
+                        continue;
+                    isMedian = true;
+                }
+                const Json *nm = bm.get("name");
+                const Json *ct = bm.get("cpu_time");
+                if (!nm || !ct)
+                    continue;
+                std::string name = nm->asString();
+                static const char kSuf[] = "_median";
+                const size_t sufLen = sizeof(kSuf) - 1;
+                if (isMedian && name.size() > sufLen &&
+                    name.compare(name.size() - sufLen, sufLen, kSuf) == 0)
+                    name.resize(name.size() - sufLen);
+                static const char kPfx[] = "BM_SimStream_";
+                const size_t pfxLen = sizeof(kPfx) - 1;
+                if (name.compare(0, pfxLen, kPfx) != 0)
+                    continue;
+                size_t slash = name.find('/', pfxLen);
+                if (slash == std::string::npos)
+                    continue;
+                Var v;
+                v.cpu = ct->asDouble();
+                const Json *cpi = bm.get("modeled_cpi");
+                v.cpi = cpi ? cpi->asDouble() : -1.0;
+                (isMedian ? medians : shapes)[name.substr(slash)]
+                    [name.substr(pfxLen, slash - pfxLen)] = v;
+            }
+        }
+        if (!medians.empty())
+            shapes = std::move(medians);
+        if (shapes.empty()) {
+            std::fprintf(stderr,
+                         "FAIL: %s has no BM_SimStream_* entries — was "
+                         "the bench filtered out?\n",
+                         gbenchPath.c_str());
+            fail = 1;
+        }
+        double best = 0.0;
+        std::string bestShape;
+        for (const auto &sv : shapes) {
+            // modeled_cpi agreement: every variant models the same
+            // instruction stream, so the replay layers must not move
+            // cycles per op (tolerance covers warmup-fraction jitter
+            // from differing gbench iteration counts).
+            double lo = 0.0, hi = 0.0;
+            bool any = false;
+            for (const auto &vv : sv.second) {
+                if (vv.second.cpi < 0)
+                    continue;
+                lo = any ? std::min(lo, vv.second.cpi) : vv.second.cpi;
+                hi = any ? std::max(hi, vv.second.cpi) : vv.second.cpi;
+                any = true;
+            }
+            if (any && hi - lo > 0.005) {
+                std::fprintf(stderr,
+                             "FAIL: modeled_cpi drift %.6f..%.6f across "
+                             "BM_SimStream_*%s variants — a replay "
+                             "layer is changing modeled counters\n",
+                             lo, hi, sv.first.c_str());
+                fail = 1;
+            }
+            auto bmIt = sv.second.find("BlockMemo");
+            auto sbIt = sv.second.find("Superblock");
+            if (bmIt == sv.second.end() || sbIt == sv.second.end() ||
+                sbIt->second.cpu <= 0.0)
+                continue;
+            double ratio = bmIt->second.cpu / sbIt->second.cpu;
+            std::printf("gbench %s: superblock %.0f vs block-memo %.0f "
+                        "cpu -> %.2fx\n",
+                        sv.first.c_str(), sbIt->second.cpu,
+                        bmIt->second.cpu, ratio);
+            if (ratio > best) {
+                best = ratio;
+                bestShape = sv.first;
+            }
+        }
+        if (!shapes.empty()) {
+            if (best <= 0.0) {
+                std::fprintf(stderr,
+                             "FAIL: no shape with both BlockMemo and "
+                             "Superblock variants in %s\n",
+                             gbenchPath.c_str());
+                fail = 1;
+            } else {
+                std::printf("superblock best-shape speedup: %.2fx on %s "
+                            "(floor %.2f)\n",
+                            best, bestShape.c_str(), minSbSpeedup);
+                if (best < minSbSpeedup) {
+                    std::fprintf(stderr,
+                                 "FAIL: superblock speedup %.2fx below "
+                                 "floor %.2fx\n",
+                                 best, minSbSpeedup);
+                    fail = 1;
+                }
+            }
+        }
     }
 
     return fail;
