@@ -22,7 +22,9 @@
 #include "driver/parallel.h"
 #include "driver/runner.h"
 #include "report/metrics.h"
+#include "report/profile_export.h"
 #include "report/trace_export.h"
+#include "xlayer/sampler.h"
 #include "workloads/workloads.h"
 
 namespace xlvm {
@@ -59,6 +61,15 @@ namespace bench {
  * compilation-tier policy for every run of the sweep. The flag is
  * applied to RunOptions — not just the VM config — so the exported
  * report's config section records the mode that actually ran.
+ *
+ * Sampling profiler: a repeatable "--profile[:path]" (or --profile=path)
+ * flag — or XLVM_PROFILE (1 for the default path, a path otherwise;
+ * flags win) — arms the deterministic cycle sampler for every run and
+ * writes one combined profile JSON (inspect with tools/xlvm-prof, or
+ * `xlvm-prof folded` for flamegraph.pl/speedscope input).
+ * "--profile-interval N" sets the sampling period in modeled cycles.
+ * Sampling never moves a modeled counter, so the stdout table and the
+ * --report export are byte-identical with profiling on or off.
  */
 class Session
 {
@@ -86,6 +97,8 @@ class Session
             o.simMemo = simMemo_;
             o.simSuperblock = simSuperblock_;
             o.tierMode = tierMode_;
+            if (profiling())
+                o.profileIntervalCycles = profileInterval_;
         }
         if (tracing()) {
             for (driver::RunOptions &o : traced) {
@@ -100,10 +113,13 @@ class Session
         for (size_t i = 0; i < traced.size(); ++i) {
             registry.addRun(traced[i], res[i]);
             if (tracing()) {
+                report::Json prov = report::runProvenance(traced[i]);
                 traceBuilder_.addRun(traced[i].workload,
                                      driver::vmKindName(traced[i].vm),
-                                     res[i].trace);
+                                     res[i].trace, &prov);
             }
+            if (profiling())
+                profileBuilder_.addRun(traced[i], res[i]);
         }
         return res;
     }
@@ -116,6 +132,8 @@ class Session
         o.simMemo = simMemo_;
         o.simSuperblock = simSuperblock_;
         o.tierMode = tierMode_;
+        if (profiling())
+            o.profileIntervalCycles = profileInterval_;
         if (tracing()) {
             o.traceBufferEvents = traceBufferEvents_;
             o.traceTagMask = traceTagMask_;
@@ -128,13 +146,18 @@ class Session
                 : driver::runWorkload(o);
         registry.addRun(o, r);
         if (tracing()) {
+            report::Json prov = report::runProvenance(o);
             traceBuilder_.addRun(o.workload, driver::vmKindName(o.vm),
-                                 r.trace);
+                                 r.trace, &prov);
         }
+        if (profiling())
+            profileBuilder_.addRun(o, r);
         return r;
     }
 
     bool tracing() const { return !tracePaths_.empty(); }
+
+    bool profiling() const { return !profilePaths_.empty(); }
 
     /** Emit every --report and --trace target; returns the exit code. */
     int
@@ -166,6 +189,16 @@ class Session
                              "--trace-buffer-events\n",
                              (unsigned long long)
                                  traceBuilder_.droppedEvents());
+            }
+        }
+        if (profiling()) {
+            for (const std::string &path : profilePaths_) {
+                if (!profileBuilder_.write(path, &err)) {
+                    std::fprintf(stderr, "profile: %s\n", err.c_str());
+                    return 1;
+                }
+                if (path != "-")
+                    std::fprintf(stderr, "[profile: %s]\n", path.c_str());
             }
         }
         return 0;
@@ -211,6 +244,17 @@ class Session
                 setTierMode(a + 12);
             } else if (std::strncmp(a, "--tier-mode:", 12) == 0) {
                 setTierMode(a + 12);
+            } else if (std::strcmp(a, "--profile") == 0) {
+                profilePaths_.push_back("");
+            } else if (std::strncmp(a, "--profile:", 10) == 0) {
+                profilePaths_.push_back(a + 10);
+            } else if (std::strncmp(a, "--profile=", 10) == 0) {
+                profilePaths_.push_back(a + 10);
+            } else if (std::strcmp(a, "--profile-interval") == 0 &&
+                       i + 1 < argc) {
+                profileInterval_ = std::strtoull(argv[++i], nullptr, 10);
+            } else if (std::strncmp(a, "--profile-interval=", 19) == 0) {
+                profileInterval_ = std::strtoull(a + 19, nullptr, 10);
             }
         }
         if (!tierModeSet_) {
@@ -225,12 +269,37 @@ class Session
                                                                  : env);
             }
         }
+        if (profilePaths_.empty()) {
+            const char *env = std::getenv("XLVM_PROFILE");
+            if (env && *env && std::strcmp(env, "0") != 0) {
+                profilePaths_.push_back(std::strcmp(env, "1") == 0 ? ""
+                                                                   : env);
+            }
+        }
         if (traceBufferEvents_ == 0)
             traceBufferEvents_ = kDefaultTraceBufferEvents;
+        if (profileInterval_ == 0)
+            profileInterval_ = xlayer::kDefaultSampleIntervalCycles;
         for (std::string &p : tracePaths_) {
             if (p.empty())
                 p = std::string(report_name) + "-trace.json";
         }
+        for (std::string &p : profilePaths_) {
+            if (p.empty())
+                p = std::string(report_name) + "-profile.json";
+        }
+        // Document-level provenance header for the Chrome-trace export;
+        // per-run config rides along with each otherData.runs entry.
+        report::Json prov = report::Json::object();
+        prov.set("report", report::Json(report_name));
+        prov.set("schema_version",
+                 report::Json(report::MetricsRegistry::kSchemaVersion));
+        prov.set("tier_mode",
+                 report::Json(vm::tierModeName(tierMode_)));
+        prov.set("sampler_interval_cycles",
+                 report::Json(profiling() ? profileInterval_
+                                          : uint64_t(0)));
+        traceBuilder_.setProvenance(std::move(prov));
     }
 
     /** Parse a tier-mode name; a typo is a hard error (a silently
@@ -299,6 +368,11 @@ class Session
     /** "--trace-tags": recording mask for the per-run event tracer. */
     uint32_t traceTagMask_ = xlayer::kDefaultTraceTagMask;
     report::ChromeTraceBuilder traceBuilder_;
+    /** "--profile"/XLVM_PROFILE: sampling-profile destinations. */
+    std::vector<std::string> profilePaths_;
+    /** "--profile-interval": sampling period in modeled cycles. */
+    uint64_t profileInterval_ = 0;
+    report::ProfileBuilder profileBuilder_{"profile"};
 };
 
 /**

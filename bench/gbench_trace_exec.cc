@@ -33,6 +33,7 @@
 #include "sim/block_memo.h"
 #include "sim/emitter.h"
 #include "vm/context.h"
+#include "xlayer/sampler.h"
 
 namespace {
 
@@ -384,15 +385,37 @@ shapeFromState(const benchmark::State &state)
     ->Args({16, 4, 1})->Args({128, 4, 1})->Args({256, 4, 1})             \
     ->Args({256, 16, 4})
 
-/** Emission-driven tiers: stepping, block memo, superblock sweep. */
+/** The cheapest possible sample consumer — isolates the core-side cost
+ *  of an armed sampler (the countdown on every charge plus the sample
+ *  deliveries) from any profile-building work on top. */
+struct CountingSampleSink final : sim::CycleSampleSink
+{
+    uint64_t samples = 0;
+
+    void
+    onCycleSample(uint64_t, uint32_t, uint64_t, uint64_t) override
+    {
+        ++samples;
+    }
+};
+
+/** Emission-driven tiers: stepping, block memo, superblock sweep. An
+ *  optional armed @p sink measures sampler overhead on the same body
+ *  (xlvm-bench-guard's --max-sampler-overhead compares the Prof
+ *  variant's cpu_time against the plain superblock sweep). */
 void
-runSimStreamBench(benchmark::State &state, bool memo, bool superblock)
+runSimStreamBench(benchmark::State &state, bool memo, bool superblock,
+                  CountingSampleSink *sink = nullptr)
 {
     const SimBodyShape shape = shapeFromState(state);
     sim::CoreParams p;
     p.simMemo = memo;
     p.simSuperblock = superblock;
     sim::Core core(p);
+    if (sink) {
+        core.armSampler(sink, xlayer::kDefaultSampleIntervalCycles *
+                                  sim::kCycleFp);
+    }
     SimBodyStream stream(shape);
     int obj1 = 0, obj2 = 0;
     core.memoSetStream(stream.view());
@@ -402,6 +425,8 @@ runSimStreamBench(benchmark::State &state, bool memo, bool superblock)
         core.memoBoundary();
     }
     core.memoSessionEnd();
+    if (sink)
+        core.armSampler(nullptr, 0);
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             shape.instsPerIter());
     state.counters["memo_hit_rate"] =
@@ -409,6 +434,8 @@ runSimStreamBench(benchmark::State &state, bool memo, bool superblock)
     state.counters["sb_hit_rate"] =
         benchmark::Counter(core.superblockStats().hitRate());
     state.counters["modeled_cpi"] = benchmark::Counter(modeledCpi(core));
+    if (sink)
+        state.counters["samples"] = benchmark::Counter(double(sink->samples));
 }
 
 void
@@ -431,6 +458,16 @@ BM_SimStream_Superblock(benchmark::State &state)
     runSimStreamBench(state, true, true);
 }
 BENCHMARK(BM_SimStream_Superblock) SIM_STREAM_SHAPES;
+
+/** Superblock sweep with the deterministic cycle sampler armed at the
+ *  default interval, delivering into a counting sink. */
+void
+BM_SimStream_SuperblockProf(benchmark::State &state)
+{
+    CountingSampleSink sink;
+    runSimStreamBench(state, true, true, &sink);
+}
+BENCHMARK(BM_SimStream_SuperblockProf) SIM_STREAM_SHAPES;
 
 /** The non-replayable fallback: one batched consumeStream pass per
  *  iteration over the baked SoA stream (no memo layer at all), with

@@ -7,23 +7,31 @@
 # change: either fix the regression, or — when the change is intended
 # to move counters — rerun with --update and commit the new goldens.
 #
-# In the default tier mode the gate runs three times: once with the
+# In the default tier mode the gate runs four times: once with the
 # sim-layer accelerators at their defaults (block memoization +
 # superblock replay), once with XLVM_NO_SIM_MEMO=1 (both layers off),
-# and once with XLVM_NO_SIM_SUPERBLOCK=1 (block memo only). Both are
-# host-side accelerators whose contract is that every modeled counter
+# once with XLVM_NO_SIM_SUPERBLOCK=1 (block memo only), and once with
+# the sampling profiler armed (XLVM_PROFILE). The first three cover the
+# host-side accelerators, whose contract is that every modeled counter
 # is bit-identical in any configuration; the extra passes enforce that
 # contract on all 13 goldens and exclude only the accelerators' own
 # telemetry sections (--ignore-section sim_memo / sim_superblock),
 # whose counters legitimately shift when a layer is toggled (with the
-# superblock off, block memoization absorbs its traffic). --update
-# skips the extra passes (goldens are recorded with both layers on).
+# superblock off, block memoization absorbs its traffic). The profiled
+# pass enforces the sampler's matching contract — sampling is pure
+# host-side observation, so the report must match the golden exactly
+# except for the "profiler" section (the sampler's own telemetry) —
+# and, unlike the accelerator passes, runs in EVERY tier mode: the
+# sampler must be non-perturbing under each tier policy. --update
+# skips the extra passes (goldens are recorded with both layers on and
+# the profiler off).
 #
 # --tier-mode MODE selects the JIT tier policy (tier2 = default).
 # Non-default modes compare against their own golden set
 # (tests/golden/<mode>/) and ignore the jit_tiers section, whose
 # per-tier byte/cycle split is pinned by the per-mode set itself; the
-# memo-off pass only runs in the default mode. A missing per-mode
+# accelerator (memo/superblock-off) passes only run in the default
+# mode, the profiled pass in all modes. A missing per-mode
 # golden set is a hard failure, not a skip — regenerate it with
 # "ci/check_goldens.sh <build> --tier-mode <mode> --update" and commit.
 #
@@ -135,6 +143,23 @@ if [ -z "$update" ] && [ "$tier_mode" = tier2 ]; then
         "$build/tools/xlvm-check-golden" "$out/$stem.nosb.json" \
             "$golden_dir/$stem.json" --ignore-section sim_superblock \
             --ignore-section sim_memo || fail=1
+    done
+fi
+
+# The profiled pass runs in EVERY tier mode (unlike the accelerator
+# passes): sampling must be non-perturbing under each tier policy, and
+# per-tier counters (jit_tiers) are part of what it must not perturb.
+if [ -z "$update" ]; then
+    for stem in $(stems); do
+        bin=$(bench_for "$stem")
+        [ -z "$bin" ] && continue
+        echo "== $stem ($bin, $jobs jobs, tier $tier_mode, profiler on)"
+        XLVM_PROFILE="$out/$stem.profile.json" "$build/bench/$bin" \
+            --jobs "$jobs" --tier-mode "$tier_mode" \
+            --report "json:$out/$stem.prof.json" > /dev/null
+        "$build/tools/xlvm-check-golden" "$out/$stem.prof.json" \
+            "$golden_dir/$stem.json" $ignore \
+            --ignore-section profiler || fail=1
     done
 fi
 

@@ -1,0 +1,73 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+namespace xlvm {
+namespace common {
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (counts_.empty())
+        counts_.assign(kNumBuckets, 0);
+    for (uint32_t i = 0; i < kNumBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? double(sum_) / double(count_) : 0.0;
+}
+
+uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the requested sample, 1-based; p=0 answers the minimum.
+    uint64_t rank = uint64_t(p / 100.0 * double(count_) + 0.5);
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    uint64_t seen = 0;
+    for (uint32_t i = 0; i < kNumBuckets; ++i) {
+        seen += counts_[i];
+        if (seen >= rank)
+            return std::clamp(bucketHigh(i), min_, max_);
+    }
+    return max_;
+}
+
+std::vector<Histogram::Bucket>
+Histogram::nonzeroBuckets() const
+{
+    std::vector<Bucket> out;
+    for (uint32_t i = 0; i < kNumBuckets && count_; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        out.push_back({bucketLow(i), bucketHigh(i), counts_[i]});
+    }
+    return out;
+}
+
+void
+Histogram::clear()
+{
+    counts_.clear();
+    count_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+}
+
+} // namespace common
+} // namespace xlvm

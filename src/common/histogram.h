@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Log-bucketed (HDR-style) histogram for modeled-cycle latencies.
+ *
+ * Values land in log-linear buckets: 16 linear sub-buckets per
+ * power-of-two octave, so relative resolution stays ~6% across the
+ * whole 64-bit range while the table stays under 1000 buckets. Small
+ * values (< 16) are exact. Recording is branch-light and allocation
+ * happens lazily on the first record, so an unused histogram costs one
+ * empty vector.
+ *
+ * Histograms are mergeable (same bucket layout by construction), which
+ * is what lets per-run latency distributions aggregate across a sweep
+ * without storing raw samples. Everything is deterministic: the same
+ * value stream produces the same buckets, counts, and percentile
+ * answers on every host.
+ */
+
+#ifndef XLVM_COMMON_HISTOGRAM_H
+#define XLVM_COMMON_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace xlvm {
+namespace common {
+
+class Histogram
+{
+  public:
+    /** log2 of the linear sub-buckets per octave. */
+    static constexpr uint32_t kSubBits = 4;
+    static constexpr uint32_t kSubCount = 1u << kSubBits;
+    /** Total bucket count covering the full uint64 range. */
+    static constexpr uint32_t kNumBuckets =
+        (64 - kSubBits) * kSubCount + kSubCount;
+
+    /** Bucket index of @p v. Contiguous: values < kSubCount map to
+     *  themselves, then each octave contributes kSubCount buckets. */
+    static uint32_t
+    bucketIndex(uint64_t v)
+    {
+        if (v < kSubCount)
+            return uint32_t(v);
+        const uint32_t exp = 63u - uint32_t(__builtin_clzll(v));
+        const uint32_t shift = exp - kSubBits;
+        const uint32_t sub = uint32_t(v >> shift) & (kSubCount - 1);
+        return (shift + 1) * kSubCount + sub;
+    }
+
+    /** Largest value mapping to bucket @p idx (the reported
+     *  representative, so percentiles never under-state). */
+    static uint64_t
+    bucketHigh(uint32_t idx)
+    {
+        if (idx < kSubCount)
+            return idx;
+        const uint32_t shift = idx / kSubCount - 1;
+        const uint64_t sub = idx % kSubCount;
+        return (((sub | kSubCount) + 1) << shift) - 1;
+    }
+
+    /** Smallest value mapping to bucket @p idx. */
+    static uint64_t
+    bucketLow(uint32_t idx)
+    {
+        if (idx < kSubCount)
+            return idx;
+        const uint32_t shift = idx / kSubCount - 1;
+        const uint64_t sub = idx % kSubCount;
+        return (sub | kSubCount) << shift;
+    }
+
+    void
+    record(uint64_t v)
+    {
+        recordN(v, 1);
+    }
+
+    void
+    recordN(uint64_t v, uint64_t n)
+    {
+        if (n == 0)
+            return;
+        if (counts_.empty())
+            counts_.assign(kNumBuckets, 0);
+        counts_[bucketIndex(v)] += n;
+        count_ += n;
+        sum_ += v * n;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /** Add every count of @p other into this histogram. */
+    void merge(const Histogram &other);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const;
+
+    /**
+     * Value at percentile @p p (0..100]: the upper bound of the bucket
+     * holding the rank-⌈p/100·count⌉ sample, clamped into [min, max]
+     * so exact extremes are never over-stated. 0 when empty.
+     */
+    uint64_t percentile(double p) const;
+
+    /** One populated bucket, for structured export. */
+    struct Bucket
+    {
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        uint64_t count = 0;
+    };
+
+    /** The populated buckets in ascending value order. */
+    std::vector<Bucket> nonzeroBuckets() const;
+
+    void clear();
+
+  private:
+    std::vector<uint64_t> counts_; ///< empty until the first record
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = UINT64_MAX;
+    uint64_t max_ = 0;
+};
+
+} // namespace common
+} // namespace xlvm
+
+#endif // XLVM_COMMON_HISTOGRAM_H

@@ -104,6 +104,7 @@ configFor(const RunOptions &opts)
     cfg.tracer.capacityEvents = opts.traceBufferEvents;
     cfg.tracer.tagMask = opts.traceTagMask;
     cfg.tracer.runId = uint8_t(opts.traceRunId);
+    cfg.sampler.intervalCycles = opts.profileIntervalCycles;
     return cfg;
 }
 
@@ -196,6 +197,48 @@ collect(vm::VmContext &ctx, RunResult &out)
     out.irExecCounts.resize(out.irNodeMeta.size(), 0);
 
     out.aotFunctions = ctx.aotProfiler.significantFunctions(0.0);
+
+    out.iterationLatency = ctx.executor.iterationLatency();
+    out.executionLength = ctx.executor.executionLength();
+
+    if (ctx.sampler.enabled())
+        out.profile = ctx.sampler.take();
+
+    // Deopt attribution: join each program's lowering-time guard
+    // provenance with the trace's runtime fail counters, symbolized
+    // here so report-layer consumers carry no jit dependencies. After
+    // a tier promotion guardStates are re-sized (counters reset) — the
+    // table reflects the current program, like a real deopt log would.
+    for (const auto &t : ctx.registry.all()) {
+        const jit::MicroProgram &prog = ctx.backend.program(t->id);
+        for (const jit::GuardProvenance &g : prog.guards) {
+            if (g.guardIdx >= t->guardStates.size())
+                continue;
+            const jit::GuardState &gs = t->guardStates[g.guardIdx];
+            if (gs.failCount == 0)
+                continue;
+            DeoptSite site;
+            site.traceId = t->id;
+            site.traceIsBridge = t->isBridge;
+            site.tier = t->tier;
+            site.guardIdx = g.guardIdx;
+            site.guardOp = jit::irOpName(g.op);
+            site.mop = jit::mopName(jit::MOp(g.mop));
+            site.fused = g.fused;
+            site.originPc = g.originPc;
+            site.failCount = gs.failCount;
+            site.bridgeTraceId = gs.bridgeTraceId;
+            out.deoptSites.push_back(std::move(site));
+        }
+        TraceSymbol sym;
+        sym.traceId = t->id;
+        sym.isBridge = t->isBridge;
+        sym.tier = t->tier;
+        sym.codePc = t->codePc;
+        sym.codeInsts = t->codeInsts;
+        sym.anchorPc = t->anchorPc;
+        out.traceSymbols.push_back(sym);
+    }
 }
 
 } // namespace

@@ -11,10 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "jit/backend.h"
 #include "vm/registry.h"
 #include "xlayer/aot_profiler.h"
 #include "xlayer/phase_profiler.h"
+#include "xlayer/sampler.h"
 #include "xlayer/tracer.h"
 #include "xlayer/work_profiler.h"
 
@@ -80,6 +82,45 @@ struct RunOptions
     uint32_t traceTagMask = xlayer::kDefaultTraceTagMask;
     /** Run identity stamped into every trace record (sweep index). */
     uint32_t traceRunId = 0;
+    /**
+     * Cycle-driven sampling profiler interval in modeled cycles (0 =
+     * off). Sampling is pure host-side observation: every modeled
+     * counter is bit-identical with it on or off, and for a fixed
+     * configuration the profile itself is deterministic — independent
+     * of --jobs, process count, or repetition.
+     */
+    uint64_t profileIntervalCycles = 0;
+};
+
+/**
+ * One guard site's deopt attribution: lowering-time provenance
+ * (jit::GuardProvenance) joined with the trace's runtime fail counter
+ * and bridge attachment, symbolized so report-layer consumers need no
+ * jit includes. Only sites that failed at least once are collected.
+ */
+struct DeoptSite
+{
+    uint32_t traceId = 0;
+    bool traceIsBridge = false;
+    uint8_t tier = 2;          ///< tier of the owning trace at collection
+    uint32_t guardIdx = 0;     ///< Trace::ops index of the guard
+    std::string guardOp;       ///< IR opcode name (e.g. "guard_true")
+    std::string mop;           ///< executing micro-op (fused pair name)
+    bool fused = false;        ///< dispatched as a superinstruction
+    uint32_t originPc = 0;     ///< bytecode pc of the producing site
+    uint64_t failCount = 0;
+    int32_t bridgeTraceId = -1; ///< attached bridge, or -1
+};
+
+/** Code-object symbol for one compiled trace (profile symbolization). */
+struct TraceSymbol
+{
+    uint32_t traceId = 0;
+    bool isBridge = false;
+    uint8_t tier = 2;
+    uint64_t codePc = 0;    ///< base address in the JIT code arena
+    uint32_t codeInsts = 0; ///< modeled code footprint (instructions)
+    uint32_t anchorPc = 0;  ///< anchor bytecode pc (loop merge point)
 };
 
 struct RunResult
@@ -177,6 +218,19 @@ struct RunResult
 
     // AOT-call attribution (Table III).
     std::vector<xlayer::AotFunctionStats> aotFunctions;
+
+    // Latency distributions (schema v6 latency section; always on —
+    // host-side histograms of modeled cycles, invariant under every
+    // replay/fusion/sampling toggle, so they are golden-gated).
+    common::Histogram iterationLatency; ///< back-edge to back-edge
+    common::Histogram executionLength;  ///< trace entry to exit
+
+    // Sampling profiler (empty unless profileIntervalCycles > 0).
+    xlayer::SampleProfile profile;
+    /** Guard sites with at least one failure (deopt attribution). */
+    std::vector<DeoptSite> deoptSites;
+    /** Per-trace code symbols for profile symbolization. */
+    std::vector<TraceSymbol> traceSymbols;
 };
 
 /**

@@ -574,8 +574,14 @@ lowerTrace(const Trace &trace, const std::vector<uint32_t> &offsets,
             prog.extra.push_back(decode(r));
     };
 
+    // Deopt-attribution provenance: guards inherit the bytecode pc of
+    // the nearest preceding merge point (its aux is the dispatch pc).
+    uint32_t lastMergePc = 0;
+
     for (size_t i = 0; i < trace.ops.size(); ++i) {
         const ResOp &op = trace.ops[i];
+        if (op.op == IrOp::DebugMergePoint)
+            lastMergePc = op.aux;
         MicroOp m;
         m.aux = op.aux;
         m.expect = op.expect;
@@ -601,12 +607,17 @@ lowerTrace(const Trace &trace, const std::vector<uint32_t> &offsets,
             m.nodeId2 = node_ids[i + 1];
             m.guardIdx = uint32_t(i + 1);
             ++prog.fusedPairs;
+            prog.guards.push_back(
+                {uint32_t(i + 1), g.op, lastMergePc, true, m.opcode});
             prog.ops.push_back(m);
             ++i; // the guard is consumed
             continue;
         }
 
         m.opcode = uint16_t(directMOp(op.op));
+        if (isGuard(op.op))
+            prog.guards.push_back(
+                {uint32_t(i), op.op, lastMergePc, false, m.opcode});
         switch (op.op) {
           case IrOp::Jump:
             decodeSnapshotArgs(op, m);

@@ -218,6 +218,25 @@ struct SimStream
     bool memoEligible = true;
 };
 
+/**
+ * Provenance for one guard site, recorded at lowering time so deopt
+ * attribution can name the guard (IR op), point back at the bytecode
+ * that produced it (the nearest preceding debug_merge_point's dispatch
+ * payload), and say how the executor actually dispatches it (fused
+ * superinstruction or standalone). Joined at collection time with the
+ * trace's GuardState fail counters — see report/profile_export.h.
+ */
+struct GuardProvenance
+{
+    uint32_t guardIdx = 0; ///< Trace::ops index of the guard constituent
+    IrOp op = IrOp::GuardTrue; ///< the guard's IR opcode
+    /** Bytecode pc of the nearest preceding merge point (0 when the
+     *  guard precedes the first merge point, e.g. entry type guards). */
+    uint32_t originPc = 0;
+    bool fused = false; ///< consumed by a superinstruction
+    uint16_t mop = 0;   ///< executing MOp (the superinstruction if fused)
+};
+
 /** The pre-lowered form of one compiled trace. */
 struct MicroProgram
 {
@@ -226,6 +245,8 @@ struct MicroProgram
      *  lists (the anchor snapshot's frames[0].stack refs). */
     std::vector<uint32_t> extra;
     SimStream sim; ///< baked emission stream (see SimStream)
+    /** One entry per guard site, in trace order (see GuardProvenance). */
+    std::vector<GuardProvenance> guards;
     uint32_t numRegs = 0;   ///< boxes + materialized consts
     uint32_t constBase = 0; ///< first constant register (== num boxes)
     uint32_t numConsts = 0; ///< consts materialized at trace entry

@@ -235,14 +235,20 @@ Interp::abortTrace(const char *reason)
 }
 
 void
-Interp::emitCompileCost(uint64_t work)
+Interp::emitCompileCost(uint64_t work, uint32_t trace_id)
 {
+    // Sampler context: the modeled compile loop is attributable to the
+    // trace being compiled, not to whatever interp context surrounds it.
+    const uint64_t savedCtx = ctx.core.profileContext();
+    ctx.core.setProfileContext(
+        sim::sampleCtxPack(sim::SampleCtxKind::Compile, 0, trace_id));
     for (uint64_t i = 0; i < work; i += 4) {
         sim::BlockEmitter body(ctx.core, tracingCostPc + 32);
         body.load(tracingCostPc + (i % 256) * 8, 1);
         body.alu(2);
         body.branch(i % 16 == 0);
     }
+    ctx.core.setProfileContext(savedCtx);
 }
 
 jit::OptParams
@@ -298,7 +304,7 @@ Interp::registerAndAttach(jit::Trace &&raw, bool is_bridge,
         work = uint64_t(rawOps) * ctx.env.costs().optPerOpInsts;
         ctx.backend.addCompileCost(2, work);
     }
-    emitCompileCost(work);
+    emitCompileCost(work, id);
 
     sim::BlockEmitter e(ctx.core, tracingCostPc);
     if (baseline)
@@ -349,7 +355,7 @@ Interp::promoteTrace(uint32_t trace_id)
 
     uint64_t work = uint64_t(rawOps) * ctx.env.costs().optPerOpInsts;
     ctx.backend.addCompileCost(2, work);
-    emitCompileCost(work);
+    emitCompileCost(work, trace_id);
     ++promotionsPerformed;
 
     sim::BlockEmitter e(ctx.core, tracingCostPc);

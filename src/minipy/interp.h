@@ -176,8 +176,9 @@ class Interp : public gc::RootProvider
     void emitTracingCost();
     void registerAndAttach(jit::Trace &&raw, bool is_bridge,
                            jit::Trace *bridge_target);
-    /** Modeled compile-cost instruction loop at the tracing cost site. */
-    void emitCompileCost(uint64_t work);
+    /** Modeled compile-cost instruction loop at the tracing cost site,
+     *  sampled under a Compile context for @p trace_id. */
+    void emitCompileCost(uint64_t work, uint32_t trace_id);
     jit::OptParams optParams() const;
     /** Apply queued tier-ups (multi-tier mode; no-op while tracing). */
     void drainPromotions();

@@ -240,6 +240,50 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("jit_tiers", "tier1_cycles_fp", r.tier1CyclesFp);
     addU("jit_tiers", "tier2_cycles_fp", r.tier2CyclesFp);
 
+    // Latency distributions: percentiles of the always-on host-side
+    // histograms (whole modeled cycles). Deterministic and invariant
+    // under memo/superblock/fusion/sampling, hence golden-gated.
+    auto addHist = [&](const char *prefix,
+                       const common::Histogram &h) {
+        std::string section = std::string("latency/") + prefix;
+        const char *sec = section.c_str();
+        Metric e;
+        auto add = [&](const char *name, uint64_t v) {
+            e = Metric();
+            e.section = sec;
+            e.name = name;
+            e.u = v;
+            m.push_back(e);
+        };
+        add("count", h.count());
+        add("min", h.min());
+        add("max", h.max());
+        add("p50", h.percentile(50.0));
+        add("p90", h.percentile(90.0));
+        add("p99", h.percentile(99.0));
+        e = Metric();
+        e.section = sec;
+        e.name = "mean";
+        e.isFloat = true;
+        e.d = h.mean();
+        m.push_back(e);
+    };
+    addHist("iteration", r.iterationLatency);
+    addHist("execution", r.executionLength);
+
+    // Deopt attribution: guard sites with at least one failure (the
+    // full table is exported by the profiler; the count is invariant
+    // and golden-gated).
+    addU("events", "deopt_sites", uint64_t(r.deoptSites.size()));
+
+    // Sampling profiler (host-side observation; all-zero when off).
+    // The profiler-on differential CI pass ignores this section — the
+    // interval is recorded here, NOT under config, precisely so the
+    // rest of the document stays bit-identical with sampling on.
+    addU("profiler", "interval_cycles", r.profile.intervalCycles);
+    addU("profiler", "samples", r.profile.samples);
+    addU("profiler", "distinct_sites", uint64_t(r.profile.sites.size()));
+
     // Interpreter level: completed work and warmup curve (Fig 5).
     addU("interp", "total_work", r.work);
     addU("interp", "warmup_samples", uint64_t(r.warmupCurve.size()));

@@ -70,8 +70,14 @@ class MetricsRegistry
      * v5: added the sim_superblock section (trace-level superblock
      * replay host-side counters; the superblock-off and memo-off CI
      * passes exclude it via --ignore-section).
+     * v6: added the latency section (iteration / trace-execution
+     * modeled-cycle percentiles from always-on host-side histograms —
+     * invariant under every replay toggle, so golden-gated) and the
+     * profiler section (sampling-profiler telemetry; only non-zero
+     * when profiling is on, so the profiler-on differential CI pass
+     * compares goldens with --ignore-section profiler).
      */
-    static constexpr uint64_t kSchemaVersion = 5;
+    static constexpr uint64_t kSchemaVersion = 6;
 
     explicit MetricsRegistry(std::string report_name);
 

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Sampling-profile export and inspection.
+ *
+ * ProfileBuilder turns one or more runs' xlayer::SampleProfile (plus
+ * the deopt-attribution table and trace symbols the runner collects)
+ * into a single self-describing JSON document:
+ *
+ *   { "kind": "xlvm-profile", "schema_version": N, "report": <name>,
+ *     "runs": [ { "workload", "vm", "provenance": {...},
+ *                 "samples", "interval_cycles",
+ *                 "sites": [...], "phase_seq": [[phase, len], ...],
+ *                 "deopts": [...], "symbols": [...],
+ *                 "latency": { "iteration": {...}, "execution": {...} }
+ *               } ] }
+ *
+ * Every run carries its own provenance block (schema version, tier
+ * mode, sampler interval, the workload/VM configuration that produced
+ * it), so a profile file is interpretable years later without the
+ * invocation that made it. The same document feeds every inspector:
+ *
+ *  - profileFolded: collapsed-stack text (flamegraph.pl / speedscope),
+ *    stack = workload@vm;phase;context;pc, with the provenance repeated
+ *    as '# key: value' header comments;
+ *  - profileChromeCounters: Chrome trace-event counter tracks (one
+ *    series per phase, timestamps reconstructed from the phase
+ *    sequence — open in ui.perfetto.dev);
+ *  - profileTop / profileTree / profileTopDeopts: aggregations behind
+ *    the xlvm-prof subcommands.
+ *
+ * Profiles are deterministic (the sample clock is the modeled cycle
+ * counter), so equal runs export byte-identical documents.
+ */
+
+#ifndef XLVM_REPORT_PROFILE_EXPORT_H
+#define XLVM_REPORT_PROFILE_EXPORT_H
+
+#include <cstdint>
+#include <string>
+
+#include "driver/runner.h"
+#include "report/json.h"
+
+namespace xlvm {
+namespace report {
+
+/** Human label for a packed sample-context word: "interp",
+ *  "trace:7@t2", "bridge:9@t2", "gc:3", "compile:5". */
+std::string sampleCtxLabel(uint64_t ctx);
+
+/** One run's provenance block (schema version, tier mode, sampler
+ *  interval, workload/VM config) — shared by the profile document,
+ *  the folded-stack headers, and the Chrome-trace export. */
+Json runProvenance(const driver::RunOptions &opts);
+
+class ProfileBuilder
+{
+  public:
+    explicit ProfileBuilder(std::string report_name);
+
+    /** Append one run's profile, deopt table, symbols and latency. */
+    void addRun(const driver::RunOptions &opts,
+                const driver::RunResult &result);
+
+    size_t runCount() const { return size_t(runs_.size()); }
+
+    /** Full profile document (stable member order). */
+    Json toJson() const;
+
+    /** Collapsed-stack text for every run (see profileFolded). */
+    std::string toFolded() const;
+
+    /** Serialize the JSON document to @p path ("-" = stdout). */
+    bool write(const std::string &path, std::string *err) const;
+
+  private:
+    std::string name_;
+    Json runs_;
+};
+
+/** Serialize any profile-layer document to @p path ("-" = stdout). */
+bool writeProfileText(const std::string &text, const std::string &path,
+                      std::string *err);
+
+/**
+ * Collapsed-stack rendering of an exported profile document: one
+ * "frame1;frame2;... count" line per site, preceded by '# key: value'
+ * provenance header comments (flamegraph.pl and speedscope both accept
+ * and ignore '#' comments).
+ */
+std::string profileFolded(const Json &doc);
+
+/** Chrome trace-event document with one counter track per phase,
+ *  timestamps in simulated microseconds at @p frequency_ghz. */
+Json profileChromeCounters(const Json &doc, double frequency_ghz = 3.0);
+
+/**
+ * Aggregate sites by (phase, context) across all runs, descending by
+ * sample count: [{ "workload", "vm", "phase", "context", "count",
+ * "share" }]. Every sample carries both keys, so the shares sum to 1
+ * per run (the attribution-coverage guarantee xlvm-prof top reports).
+ */
+Json profileTop(const Json &doc, size_t top_n = 10);
+
+/** Per-run phase → context → pc hierarchy with rolled-up counts. */
+Json profileTree(const Json &doc);
+
+/** Deopt table across all runs, descending by fail count. */
+Json profileTopDeopts(const Json &doc, size_t top_n = 10);
+
+/** Human-readable renderings of the aggregations above. */
+std::string formatProfileTop(const Json &top);
+std::string formatProfileTree(const Json &tree);
+std::string formatProfileDeopts(const Json &deopts);
+
+/** One line per site: workload, vm, phase, context, pc, count. */
+std::string formatProfileDump(const Json &doc);
+
+} // namespace report
+} // namespace xlvm
+
+#endif // XLVM_REPORT_PROFILE_EXPORT_H

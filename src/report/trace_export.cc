@@ -178,10 +178,18 @@ ChromeTraceBuilder::ChromeTraceBuilder(double frequency_ghz)
 {
 }
 
+void
+ChromeTraceBuilder::setProvenance(Json provenance)
+{
+    provenance_ = std::move(provenance);
+    hasProvenance_ = true;
+}
+
 int
 ChromeTraceBuilder::addRun(const std::string &workload,
                            const std::string &vm,
-                           const xlayer::TraceLog &log)
+                           const xlayer::TraceLog &log,
+                           const Json *provenance)
 {
     using namespace xlayer;
 
@@ -203,6 +211,8 @@ ChromeTraceBuilder::addRun(const std::string &workload,
     meta.set("capacity_events", Json(log.capacityEvents));
     meta.set("counter_samples", Json(uint64_t(log.counters.size())));
     meta.set("dropped_counter_samples", Json(log.droppedCounters));
+    if (provenance)
+        meta.set("provenance", *provenance);
     runsMeta_.push(std::move(meta));
 
     const uint64_t firstFp =
@@ -322,6 +332,8 @@ ChromeTraceBuilder::toJson() const
     other.set("generator", Json("xlvm"));
     other.set("frequency_ghz", Json(freqGhz_));
     other.set("time_unit", Json("simulated microseconds"));
+    if (hasProvenance_)
+        other.set("provenance", provenance_);
     other.set("runs", runsMeta_);
     doc.set("otherData", std::move(other));
     doc.set("traceEvents", events_);
@@ -510,7 +522,11 @@ summarizeChromeTrace(const Json &doc, size_t top_n)
             uint64_t payload = payloadj ? payloadj->asUInt() : 0;
 
             if (tag == kPhaseEnter || tag == kPhaseExit) {
-                auto &pc = phaseCounts[ev.get("name")->asString()];
+                // Corrupt/hand-edited documents may drop the name;
+                // bucket those events instead of crashing on them.
+                const Json *namej = ev.get("name");
+                auto &pc = phaseCounts[namej ? namej->asString()
+                                             : std::string("?")];
                 if (tag == kPhaseEnter)
                     ++pc.first;
                 else
@@ -641,11 +657,12 @@ formatTraceSummary(const Json &summary)
     out += "phase events (enter/exit):\n";
     if (const Json *phases = summary.get("phase_events")) {
         for (const auto &m : phases->members()) {
-            std::snprintf(
-                buf, sizeof(buf), "  %-10s %llu/%llu\n",
-                m.first.c_str(),
-                (unsigned long long)m.second.get("enters")->asUInt(),
-                (unsigned long long)m.second.get("exits")->asUInt());
+            auto pu = [&m](const char *k) -> unsigned long long {
+                const Json *v = m.second.get(k);
+                return v ? (unsigned long long)v->asUInt() : 0;
+            };
+            std::snprintf(buf, sizeof(buf), "  %-10s %llu/%llu\n",
+                          m.first.c_str(), pu("enters"), pu("exits"));
             out += buf;
         }
     }
@@ -664,10 +681,12 @@ formatTraceSummary(const Json &summary)
         if (guards->size() > 0) {
             out += "top guard failures:\n";
             for (const Json &g : guards->items()) {
+                const Json *id = g.get("guard");
+                const Json *n = g.get("count");
                 std::snprintf(
                     buf, sizeof(buf), "  guard %llu: %llu\n",
-                    (unsigned long long)g.get("guard")->asUInt(),
-                    (unsigned long long)g.get("count")->asUInt());
+                    (unsigned long long)(id ? id->asUInt() : 0),
+                    (unsigned long long)(n ? n->asUInt() : 0));
                 out += buf;
             }
         }
@@ -699,11 +718,15 @@ formatTraceSummary(const Json &summary)
                           tl->size());
             out += buf;
             for (const Json &e : tl->items()) {
+                const Json *ts = e.get("ts_us");
+                const Json *name = e.get("event");
+                const Json *payload = e.get("payload");
                 std::snprintf(
                     buf, sizeof(buf), "  %12.3fus %-16s #%llu\n",
-                    e.get("ts_us")->asDouble(),
-                    e.get("event")->asString().c_str(),
-                    (unsigned long long)e.get("payload")->asUInt());
+                    ts ? ts->asDouble() : 0.0,
+                    name ? name->asString().c_str() : "?",
+                    (unsigned long long)
+                        (payload ? payload->asUInt() : 0));
                 out += buf;
             }
             const Json *trunc = summary.get("timeline_truncated");

@@ -53,9 +53,19 @@ class ChromeTraceBuilder
   public:
     explicit ChromeTraceBuilder(double frequency_ghz = 3.0);
 
-    /** Append one run's trace; returns the pid assigned to it. */
+    /**
+     * Document-level provenance header (schema version, tier mode,
+     * sampler interval, ...), emitted as otherData.provenance so the
+     * export is interpretable without the invocation that made it.
+     */
+    void setProvenance(Json provenance);
+
+    /** Append one run's trace; returns the pid assigned to it. An
+     *  optional per-run @p provenance object (workload/VM config) is
+     *  embedded in that run's otherData.runs entry. */
     int addRun(const std::string &workload, const std::string &vm,
-               const xlayer::TraceLog &log);
+               const xlayer::TraceLog &log,
+               const Json *provenance = nullptr);
 
     /** Full trace-event document (stable member order). */
     Json toJson() const;
@@ -71,6 +81,8 @@ class ChromeTraceBuilder
     uint64_t dropped_ = 0;
     Json events_;
     Json runsMeta_;
+    Json provenance_;
+    bool hasProvenance_ = false;
 };
 
 /** Serialize @p doc to @p path ("-" = stdout). */

@@ -483,6 +483,11 @@ BlockMemo::applyEntry(Entry &e, uint64_t key)
 {
     drainRestamp(); // defensive: block replay restamps must come after
     core_.buckets[core_.bucket].accumulate(e.delta);
+    // The whole replayed block lands as one charge; the sample clock
+    // advances by the same delta stepping would have charged, attributed
+    // to the block-opening pc.
+    if (core_.sampleIntervalFp_ != 0)
+        core_.sampleTick(e.delta.cyclesFp, key);
 
     // icache: all probes hit (footprint verified present), so replay is
     // pure bookkeeping: per line, final LRU stamp and per-set MRU way;
@@ -565,6 +570,8 @@ BlockMemo::stepRecords(const MemoRec *recs, size_t n)
             // Pure by construction: counters, no sink delivery.
             ++pc.annotations;
             pc.cyclesFp += params.annotCostFp;
+            if (core_.sampleIntervalFp_ != 0)
+                core_.sampleTick(params.annotCostFp, r.pc);
             continue;
         }
         const InstClass cls = InstClass((r.sig >> 50) & 0xf);
@@ -605,6 +612,8 @@ BlockMemo::stepRecords(const MemoRec *recs, size_t n)
             break;
         }
         pc.cyclesFp += cost;
+        if (core_.sampleIntervalFp_ != 0)
+            core_.sampleTick(cost, r.pc);
     }
 }
 
@@ -673,9 +682,14 @@ BlockMemo::liveDcache(const Inst &inst)
     PerfCounters &pc = core_.buckets[core_.bucket];
     if (!core_.dcache.access(inst.memAddr)) {
         ++pc.dcacheMisses;
-        if (inst.cls == InstClass::Load)
+        if (inst.cls == InstClass::Load) {
             pc.cyclesFp +=
                 uint64_t(core_.params.dcacheMissPenalty) * kCycleFp;
+            if (core_.sampleIntervalFp_ != 0)
+                core_.sampleTick(uint64_t(core_.params.dcacheMissPenalty) *
+                                     kCycleFp,
+                                 inst.pc);
+        }
     }
 }
 
@@ -937,6 +951,7 @@ void
 BlockMemo::applySegment(SbSegment &sg)
 {
     PerfCounters &pc = core_.buckets[core_.bucket];
+    const uint64_t preCyclesFp = pc.cyclesFp;
     pc.accumulate(sg.delta);
 
     // icache/history replay: same bookkeeping as applyEntry, but the
@@ -980,6 +995,11 @@ BlockMemo::applySegment(SbSegment &sg)
                     uint64_t(core_.params.dcacheMissPenalty) * kCycleFp;
         }
     }
+
+    // One sample-clock advance for the whole replayed segment (delta plus
+    // live dcache penalties), attributed to the trace's code address.
+    if (core_.sampleIntervalFp_ != 0)
+        core_.sampleTick(pc.cyclesFp - preCyclesFp, view_.codePc);
 
     if (curStream_)
         curStream_->divergences = 0;
@@ -1061,6 +1081,7 @@ BlockMemo::streamWalk(Core &core, const StreamView &view, uint32_t from,
     PerfCounters &pc = core.buckets[core.bucket];
     const CoreParams &params = core.params;
     const uint64_t lineBytes = core.icache.lineBytes();
+    const uint64_t preCyclesFp = pc.cyclesFp;
 
     // Coalesced icache accounting: contiguous fetch runs accumulate and
     // flush through the same per-line accessN chunks consumeStraight
@@ -1166,6 +1187,10 @@ BlockMemo::streamWalk(Core &core, const StreamView &view, uint32_t from,
         pc.cyclesFp += cost;
     }
     flushRun();
+    // The batched walk advances the sample clock once, by exactly what
+    // it charged, attributed to the stream's code address.
+    if (core.sampleIntervalFp_ != 0)
+        core.sampleTick(pc.cyclesFp - preCyclesFp, view.codePc);
     XLVM_ASSERT(m == n_addrs, "stream walk address count mismatch");
     (void)n_addrs;
 }

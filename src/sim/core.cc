@@ -69,6 +69,35 @@ Core::consumeStream(const StreamView &view, const uint64_t *mem_addrs,
                           nullptr);
 }
 
+void
+Core::armSampler(CycleSampleSink *s, uint64_t interval_fp)
+{
+    if (s == nullptr || interval_fp == 0) {
+        sampleSink_ = nullptr;
+        sampleIntervalFp_ = 0;
+        sampleClockFp_ = 0;
+        nextSampleFp_ = UINT64_MAX;
+        return;
+    }
+    sampleSink_ = s;
+    sampleIntervalFp_ = interval_fp;
+    sampleClockFp_ = 0;
+    nextSampleFp_ = interval_fp;
+}
+
+void
+Core::sampleFire(uint64_t pc)
+{
+    // A single large charge (a replayed superblock, a long straight run)
+    // can cross several sample points at once; deliver one sample per
+    // crossed point so sample density stays proportional to modeled time
+    // regardless of how the charge was batched.
+    while (nextSampleFp_ <= sampleClockFp_) {
+        sampleSink_->onCycleSample(nextSampleFp_, bucket, pc, sampleCtx_);
+        nextSampleFp_ += sampleIntervalFp_;
+    }
+}
+
 bool
 Core::superblockEnabled() const
 {

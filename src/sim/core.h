@@ -168,6 +168,73 @@ class AnnotSink
 /** Maximum number of counter buckets (phases). */
 constexpr uint32_t kMaxBuckets = 16;
 
+// ---- deterministic cycle sampling --------------------------------------
+//
+// The sampling profiler's clock is the modeled cycle counter itself:
+// a sample fires every N modeled cycles (kCycleFp fixed-point units),
+// never on wall-clock time, so a run's sample stream is bit-identical
+// across --jobs values, processes, and hosts. Samples are pure
+// host-side observation — no instruction is emitted, no counter moves —
+// so modeled counters are bit-identical with the sampler on or off.
+
+/**
+ * Execution-context word attached to every sample. The VM layers mark
+ * transitions (trace entry/exit, GC, compilation) with one packed store;
+ * the core treats the word as opaque and stamps it into samples. Packing
+ * lives here so sim, vm, and xlayer agree without a cross-layer header.
+ */
+enum class SampleCtxKind : uint32_t
+{
+    Interp = 0,  ///< interpreter / anything not otherwise marked
+    Trace = 1,   ///< executing a compiled loop trace (id = trace id)
+    Bridge = 2,  ///< executing a compiled bridge trace (id = trace id)
+    Gc = 3,      ///< inside a collection (id = collection ordinal)
+    Compile = 4, ///< modeled compilation work (id = trace id)
+};
+
+constexpr uint64_t
+sampleCtxPack(SampleCtxKind kind, uint32_t tier, uint32_t id)
+{
+    return (uint64_t(kind) << 40) | (uint64_t(tier & 0xff) << 32) |
+           uint64_t(id);
+}
+
+constexpr SampleCtxKind
+sampleCtxKind(uint64_t ctx)
+{
+    return SampleCtxKind((ctx >> 40) & 0xff);
+}
+
+constexpr uint32_t
+sampleCtxTier(uint64_t ctx)
+{
+    return uint32_t(ctx >> 32) & 0xff;
+}
+
+constexpr uint32_t
+sampleCtxId(uint64_t ctx)
+{
+    return uint32_t(ctx);
+}
+
+/** Interface through which the core delivers cycle samples. */
+class CycleSampleSink
+{
+  public:
+    virtual ~CycleSampleSink() = default;
+
+    /**
+     * One sample. @p clock_fp is the sample point on the modeled cycle
+     * clock (cumulative charged cycles since arming, kCycleFp units);
+     * @p bucket is the active counter bucket (== the current phase);
+     * @p pc is the modeled pc of the charge that crossed the sample
+     * point (a trace code address inside JIT code, symbolizable against
+     * the trace registry); @p ctx is the packed execution-context word.
+     */
+    virtual void onCycleSample(uint64_t clock_fp, uint32_t bucket,
+                               uint64_t pc, uint64_t ctx) = 0;
+};
+
 // ---- block-memoization record signatures -------------------------------
 //
 // Defined here (not in block_memo.h) so Core's hot path can verify a
@@ -316,6 +383,8 @@ class Core
             // the counters they are used to collect (see annotCostFp).
             ++pc.annotations;
             pc.cyclesFp += params.annotCostFp;
+            if (sampleIntervalFp_ != 0)
+                sampleTick(params.annotCostFp, inst.pc);
             if (sink)
                 sink->onAnnot(annotTag(inst.target),
                               annotPayload(inst.target));
@@ -335,6 +404,8 @@ class Core
         // without touching the class switch or the control-flow checks.
         if (inst.cls == InstClass::IntAlu || inst.cls == InstClass::Nop) {
             pc.cyclesFp += cost;
+            if (sampleIntervalFp_ != 0)
+                sampleTick(cost, inst.pc);
             return;
         }
 
@@ -381,6 +452,8 @@ class Core
         }
 
         pc.cyclesFp += cost;
+        if (sampleIntervalFp_ != 0)
+            sampleTick(cost, inst.pc);
     }
 
     /**
@@ -430,6 +503,8 @@ class Core
             p += 4ull * k;
         }
         pc.cyclesFp += cost;
+        if (sampleIntervalFp_ != 0)
+            sampleTick(cost, start_pc);
     }
 
     /** Translate a host pointer to its deterministic simulated address. */
@@ -448,6 +523,29 @@ class Core
         sink = s;
         purityValid_ = false; // re-derive the impure-tag mask lazily
     }
+
+    /**
+     * Arm the cycle sampler: deliver one sample to @p s every
+     * @p interval_fp modeled cycles (kCycleFp units) of charged cost.
+     * @p interval_fp == 0 (or a null sink) disarms; the hot-path cost of
+     * a disarmed sampler is one always-false compare per charge. Arming
+     * resets the sample clock to zero. Sampling is pure observation: no
+     * modeled counter moves, so counters are bit-identical armed or not.
+     */
+    void armSampler(CycleSampleSink *s, uint64_t interval_fp);
+
+    bool samplerArmed() const { return sampleIntervalFp_ != 0; }
+
+    /** Modeled cycles charged since arming, kCycleFp units. */
+    uint64_t sampleClockFp() const { return sampleClockFp_; }
+
+    /**
+     * Set the packed execution-context word stamped into samples (see
+     * sampleCtxPack). One store; callers mark transitions unconditionally
+     * — it is cheap enough to leave on when the sampler is off.
+     */
+    void setProfileContext(uint64_t ctx) { sampleCtx_ = ctx; }
+    uint64_t profileContext() const { return sampleCtx_; }
 
     /**
      * Bracket a memoizable execution region (JIT trace execution).
@@ -561,14 +659,39 @@ class Core
         PerfCounters &pc = buckets[bucket];
         if (!dcache.access(inst.memAddr)) {
             ++pc.dcacheMisses;
-            if (inst.cls == InstClass::Load)
+            if (inst.cls == InstClass::Load) {
                 pc.cyclesFp +=
                     uint64_t(params.dcacheMissPenalty) * kCycleFp;
+                if (sampleIntervalFp_ != 0)
+                    sampleTick(uint64_t(params.dcacheMissPenalty) *
+                                   kCycleFp,
+                               inst.pc);
+            }
         }
     }
 
     /** Recompute the impure-annotation mask if the sink changed. */
     void refreshAnnotPurity();
+
+    /**
+     * Advance the sample clock by a just-charged cost and fire any
+     * samples it crossed. Call sites gate on sampleIntervalFp_ != 0 so
+     * the disarmed cost is a single compare. @p pc is the modeled pc the
+     * crossing charge is attributed to; batched charges (memo replay,
+     * stream walks) attribute their whole delta to the block-opening pc,
+     * which keeps sampling deterministic for a fixed config without
+     * forcing the replay layers to reconstruct per-instruction clocks.
+     */
+    void
+    sampleTick(uint64_t delta_fp, uint64_t pc)
+    {
+        sampleClockFp_ += delta_fp;
+        if (sampleClockFp_ >= nextSampleFp_)
+            sampleFire(pc);
+    }
+
+    /** Out-of-line sample delivery loop (rare). */
+    void sampleFire(uint64_t pc);
 
     /** Fixed extra cycles of a non-memory, non-control class, in fp units. */
     static uint64_t
@@ -617,6 +740,13 @@ class Core
      */
     SweepCtx sweep_;
     bool sweepArmed_ = false;
+    /** Cycle-sampler state; interval 0 = disarmed (hot-path gate). */
+    CycleSampleSink *sampleSink_ = nullptr;
+    uint64_t sampleIntervalFp_ = 0;
+    uint64_t sampleClockFp_ = 0;
+    uint64_t nextSampleFp_ = UINT64_MAX;
+    uint64_t sampleCtx_ = 0;
+
     /** Bit per tag < 32: set when some listener consumes the tag. */
     uint32_t impureTagMask_ = ~0u;
     bool memoEventsWanted_ = false;

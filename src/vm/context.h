@@ -23,6 +23,7 @@
 #include "xlayer/event_profiler.h"
 #include "xlayer/irnode_profiler.h"
 #include "xlayer/phase_profiler.h"
+#include "xlayer/sampler.h"
 #include "xlayer/tracer.h"
 #include "xlayer/work_profiler.h"
 
@@ -40,6 +41,8 @@ struct VmConfig
     uint64_t phaseTimelineBin = 0;
     /** Streaming event tracer (capacityEvents == 0 keeps it off). */
     xlayer::TracerOptions tracer;
+    /** Cycle-driven sampling profiler (intervalCycles == 0 = off). */
+    xlayer::SamplerOptions sampler;
     /** Warmup-curve sample interval in instructions. */
     uint64_t workSampleInstrs = 100000;
     /** Instruction budget: dispatch loops stop at the next safe point. */
@@ -66,7 +69,8 @@ class VmContext
           backend(codeSpace, cfg.jit.fuseMicroOps, cfg.costs.jitLoadStall,
                   cfg.jit.irNodeAnnotations),
           registry(heap),
-          executor(space, registry, backend, cfg.jit)
+          executor(space, registry, backend, cfg.jit),
+          sampler(core, cfg.sampler)
     {
         heap.setHooks(&gcHooks);
         if (tracer.enabled()) {
@@ -106,6 +110,8 @@ class VmContext
     jit::Backend backend;
     TraceRegistry registry;
     TraceExecutor executor;
+    /** Declared last: its destructor disarms the core's sample hook. */
+    xlayer::CycleSampler sampler;
 };
 
 } // namespace vm

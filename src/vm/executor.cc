@@ -235,9 +235,17 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
         curTier = next;
     };
 
+    // Sampler context: one packed store per trace transfer, restored on
+    // leave (nested run()s save/restore recursively through this local).
+    const uint64_t prevCtx = core.profileContext();
+
     auto enterTrace = [&](Trace *target, std::vector<RtVal> &&in) {
         if (target->tier != curTier)
             tierFlush(target->tier);
+        core.setProfileContext(sim::sampleCtxPack(
+            target->isBridge ? sim::SampleCtxKind::Bridge
+                             : sim::SampleCtxKind::Trace,
+            target->tier, target->id));
         t = target;
         prog = &backend.program(target->id);
         resolveHandlers(*prog);
@@ -288,10 +296,19 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
     // under the sim layer's block-memo session (nested run()s stack).
     core.memoSessionBegin(prog->sim.estRecords);
 
+    // Latency metering anchors. Both read the counters at points where
+    // the replay layers are fully caught up (session begin here, the
+    // memo boundary at each back-edge, session end at leave), so the
+    // recorded distributions are invariant under memo/superblock replay.
+    const uint64_t entryFp = core.totalCyclesFp();
+    uint64_t iterStartFp = entryFp;
+
     auto leave = [&](DeoptResult &&res) {
         core.memoSessionEnd();
+        execHist_.record((core.totalCyclesFp() - entryFp) / sim::kCycleFp);
         active.pop_back();
         tierFlush(0);
+        core.setProfileContext(prevCtx);
         sim::BlockEmitter e(core, t->codePc + t->codeInsts * 4);
         e.annot(xlayer::kTraceLeave, t->id);
         e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Jit));
@@ -450,6 +467,13 @@ dispatch_loop:
         // stream — the boundary closes this iteration (full-cursor
         // sweep checkpoint) so the handover disarms cleanly.
         core.memoBoundary();
+        {
+            // Back-edge-to-back-edge latency, counters fully caught up
+            // by the boundary above.
+            const uint64_t nowFp = core.totalCyclesFp();
+            iterHist_.record((nowFp - iterStartFp) / sim::kCycleFp);
+            iterStartFp = nowFp;
+        }
         const uint32_t *ax = prog->extra.data() + mop->extraOff;
         const uint32_t n = mop->extraLen;
         ++nIterations;

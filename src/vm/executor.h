@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "common/histogram.h"
 #include "jit/backend.h"
 #include "obj/space.h"
 #include "vm/blackhole.h"
@@ -78,6 +79,20 @@ class TraceExecutor : public gc::RootProvider
         return tier < 3 ? tierCycles[tier] : 0;
     }
 
+    /**
+     * Distribution of per-iteration modeled-cycle latency, recorded at
+     * every loop back-edge (whole cycles, back-edge to back-edge).
+     * Measured right after the memo boundary, where the replay layers
+     * have fully caught counters up, so the distribution is
+     * bit-identical with memoization/superblock replay on or off —
+     * which lets its percentiles live in the golden-gated metrics.
+     */
+    const common::Histogram &iterationLatency() const { return iterHist_; }
+
+    /** Distribution of whole trace-execution lengths (entry to exit,
+     *  modeled cycles), one record per TraceExecutor::run. */
+    const common::Histogram &executionLength() const { return execHist_; }
+
   private:
     struct Level
     {
@@ -100,6 +115,8 @@ class TraceExecutor : public gc::RootProvider
     int runDepth = 0;
     /** Per-tier cycle attribution ([0] = idle, unused in reports). */
     uint64_t tierCycles[3] = {0, 0, 0};
+    common::Histogram iterHist_;
+    common::Histogram execHist_;
     uint64_t tierSampleFp = 0;
     uint8_t curTier = 0; ///< 0 = not executing a trace
 };

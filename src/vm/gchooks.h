@@ -23,7 +23,14 @@ class GcPhaseHooks : public gc::GcHooks
     void
     onCollectStart(bool major) override
     {
-        sim::BlockEmitter e(env_.core(), sitePc);
+        // Sampler context: collections can interrupt trace execution
+        // (safepoints), so save the interrupted context and restore it
+        // when the collection ends.
+        sim::Core &core = env_.core();
+        savedCtx = core.profileContext();
+        core.setProfileContext(
+            sim::sampleCtxPack(sim::SampleCtxKind::Gc, 0, ordinal));
+        sim::BlockEmitter e(core, sitePc);
         e.annot(xlayer::kPhaseEnter, uint32_t(xlayer::Phase::Gc));
         e.annot(major ? xlayer::kGcMajor : xlayer::kGcMinor, ordinal++);
     }
@@ -56,6 +63,7 @@ class GcPhaseHooks : public gc::GcHooks
         }
         sim::BlockEmitter e(env_.core(), sitePc + 128);
         e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Gc));
+        env_.core().setProfileContext(savedCtx);
     }
 
     void
@@ -70,6 +78,7 @@ class GcPhaseHooks : public gc::GcHooks
     obj::ExecEnv &env_;
     uint64_t sitePc = 0;
     uint32_t ordinal = 0;
+    uint64_t savedCtx = 0;
 };
 
 } // namespace vm

@@ -1,0 +1,55 @@
+#include "xlayer/sampler.h"
+
+namespace xlvm {
+namespace xlayer {
+
+CycleSampler::CycleSampler(sim::Core &core, const SamplerOptions &opts)
+    : core_(core), intervalCycles_(opts.intervalCycles)
+{
+    if (intervalCycles_ != 0)
+        core_.armSampler(this, intervalCycles_ * sim::kCycleFp);
+}
+
+CycleSampler::~CycleSampler()
+{
+    if (intervalCycles_ != 0)
+        core_.armSampler(nullptr, 0);
+}
+
+void
+CycleSampler::onCycleSample(uint64_t clock_fp, uint32_t bucket,
+                            uint64_t pc, uint64_t ctx)
+{
+    (void)clock_fp;
+    ++total_;
+    ++counts_[std::make_tuple(bucket, ctx, pc)];
+    if (phaseSeq_.empty() || phaseSeq_.back().first != bucket)
+        phaseSeq_.emplace_back(bucket, 1);
+    else
+        ++phaseSeq_.back().second;
+}
+
+SampleProfile
+CycleSampler::take()
+{
+    SampleProfile p;
+    p.intervalCycles = intervalCycles_;
+    p.samples = total_;
+    p.sites.reserve(counts_.size());
+    for (const auto &kv : counts_) {
+        SampleSite s;
+        s.phase = std::get<0>(kv.first);
+        s.ctx = std::get<1>(kv.first);
+        s.pc = std::get<2>(kv.first);
+        s.count = kv.second;
+        p.sites.push_back(s);
+    }
+    p.phaseSeq = std::move(phaseSeq_);
+    phaseSeq_.clear();
+    counts_.clear();
+    total_ = 0;
+    return p;
+}
+
+} // namespace xlayer
+} // namespace xlvm

@@ -10,6 +10,7 @@
 
 #include "driver/runner.h"
 #include "report/metrics.h"
+#include "report/profile_export.h"
 #include "report/trace_export.h"
 #include "sim/core.h"
 #include "sim/emitter.h"
@@ -400,6 +401,166 @@ TEST(ChromeExport, SummarizeMatchesProfilerTotals)
     EXPECT_EQ(deopt->asUInt(), r.deopts);
 
     EXPECT_FALSE(report::formatTraceSummary(summary).empty());
+}
+
+TEST(ChromeExport, ProvenanceHeadersRoundTrip)
+{
+    driver::RunOptions o = smallJitRun();
+    o.traceBufferEvents = 1u << 16;
+    driver::RunResult r = driver::runWorkload(o);
+
+    report::ChromeTraceBuilder builder;
+    report::Json docProv = report::Json::object();
+    docProv.set("report", report::Json("unit"));
+    docProv.set("schema_version",
+                report::Json(report::MetricsRegistry::kSchemaVersion));
+    docProv.set("tier_mode",
+                report::Json(vm::tierModeName(o.tierMode)));
+    docProv.set("sampler_interval_cycles", report::Json(uint64_t(5000)));
+    builder.setProvenance(std::move(docProv));
+    report::Json runProv = report::runProvenance(o);
+    builder.addRun(o.workload, driver::vmKindName(o.vm), r.trace,
+                   &runProv);
+
+    // Serialize and reparse: provenance must survive the round trip
+    // field for field, at both the document and the run level.
+    std::string err;
+    report::Json parsed =
+        report::Json::parse(builder.toJson().dump(2), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const report::Json *other = parsed.get("otherData");
+    ASSERT_NE(other, nullptr);
+    const report::Json *prov = other->get("provenance");
+    ASSERT_NE(prov, nullptr);
+    EXPECT_EQ(prov->get("report")->asString(), "unit");
+    EXPECT_EQ(prov->get("schema_version")->asUInt(),
+              uint64_t(report::MetricsRegistry::kSchemaVersion));
+    EXPECT_EQ(prov->get("tier_mode")->asString(),
+              std::string(vm::tierModeName(o.tierMode)));
+    EXPECT_EQ(prov->get("sampler_interval_cycles")->asUInt(), 5000u);
+
+    const report::Json *runs = other->get("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->size(), 1u);
+    const report::Json *rp = runs->items()[0].get("provenance");
+    ASSERT_NE(rp, nullptr);
+    EXPECT_EQ(rp->get("workload")->asString(), o.workload);
+    EXPECT_EQ(rp->get("vm")->asString(),
+              std::string(driver::vmKindName(o.vm)));
+    EXPECT_EQ(rp->get("loop_threshold")->asUInt(), o.loopThreshold);
+    EXPECT_EQ(rp->get("tier_mode")->asString(),
+              std::string(vm::tierModeName(o.tierMode)));
+
+    // Filtering preserves the header (it only rewrites traceEvents).
+    report::TraceFilter f;
+    f.tag = int32_t(kDeopt);
+    report::Json filtered = report::filterChromeTrace(parsed, f);
+    const report::Json *fo = filtered.get("otherData");
+    ASSERT_NE(fo, nullptr);
+    ASSERT_NE(fo->get("provenance"), nullptr);
+    EXPECT_EQ(fo->get("provenance")->get("report")->asString(), "unit");
+}
+
+// ---- Corrupt / truncated input handling (see ISSUE satellite) --------
+
+TEST(CorruptInput, TruncatedFileFailsParseWithClearError)
+{
+    // A real export, cut mid-record — what a crashed or disk-full run
+    // leaves behind. The parser must report an error (which xlvm-trace
+    // turns into a nonzero exit), not crash or return a partial doc.
+    driver::RunOptions o = smallJitRun();
+    o.traceBufferEvents = 1u << 16;
+    driver::RunResult r = driver::runWorkload(o);
+    report::ChromeTraceBuilder builder;
+    builder.addRun(o.workload, driver::vmKindName(o.vm), r.trace);
+    std::string full = builder.toJson().dump(2);
+
+    // Cut inside the middle of an event record: find an interior
+    // "args" key and truncate right after it.
+    size_t cut = full.find("\"args\"", full.size() / 2);
+    ASSERT_NE(cut, std::string::npos);
+    std::string truncated = full.substr(0, cut + 3);
+
+    std::string err;
+    report::Json doc = report::Json::parse(truncated, &err);
+    EXPECT_FALSE(err.empty());
+
+    // Truncation at every prefix length around a record boundary must
+    // also fail cleanly (never crash, never silently succeed).
+    for (size_t len = cut > 40 ? cut - 40 : 0; len < cut; len += 7) {
+        std::string perr;
+        report::Json::parse(full.substr(0, len), &perr);
+        EXPECT_FALSE(perr.empty()) << "prefix length " << len;
+    }
+}
+
+TEST(CorruptInput, SummarizeToleratesRecordsWithMissingFields)
+{
+    // Parseable JSON whose events lost fields (hand-edited or produced
+    // by a foreign tool): summarize and the text renderer must not
+    // crash and must keep the well-formed events visible.
+    const char *text =
+        "{\"traceEvents\": ["
+        "{\"ph\": \"B\", \"args\": {\"tag\": 1, \"payload\": 2}},"
+        "{\"name\": \"jit\", \"ph\": \"E\","
+        " \"args\": {\"tag\": 2, \"payload\": 2}},"
+        "{\"ph\": \"i\"},"
+        "{\"name\": \"deopt\", \"ph\": \"i\", \"args\": {\"tag\": 9}},"
+        "{\"ph\": \"C\"}"
+        "]}";
+    std::string err;
+    report::Json doc = report::Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    report::Json summary = report::summarizeChromeTrace(doc, 5);
+    EXPECT_EQ(summary.get("total_events")->asUInt(), 5u);
+    EXPECT_EQ(summary.get("counter_samples")->asUInt(), 1u);
+    // The nameless phase event lands in the "?" bucket.
+    const report::Json *phases = summary.get("phase_events");
+    ASSERT_NE(phases, nullptr);
+    ASSERT_NE(phases->get("?"), nullptr);
+    EXPECT_EQ(phases->get("?")->get("enters")->asUInt(), 1u);
+    ASSERT_NE(phases->get("jit"), nullptr);
+    EXPECT_EQ(phases->get("jit")->get("exits")->asUInt(), 1u);
+
+    // The renderer handles the sparse summary without crashing.
+    EXPECT_FALSE(report::formatTraceSummary(summary).empty());
+    // So does the line dumper on the original sparse events.
+    report::dumpChromeTrace(doc);
+}
+
+TEST(CorruptInput, SummarizeJsonOutputReparsesToSameTotals)
+{
+    // The `xlvm-trace summarize --json` contract: the emitted JSON
+    // reparses, and its totals equal the PhaseProfiler's totals from
+    // the run itself (not merely the in-memory Json object's).
+    driver::RunOptions o = smallJitRun();
+    o.traceBufferEvents = 1u << 16;
+    driver::RunResult r = driver::runWorkload(o);
+    ASSERT_EQ(r.trace.droppedEvents, 0u);
+    report::ChromeTraceBuilder builder;
+    builder.addRun(o.workload, driver::vmKindName(o.vm), r.trace);
+    report::Json summary =
+        report::summarizeChromeTrace(builder.toJson(), 10);
+
+    std::string err;
+    report::Json reparsed = report::Json::parse(summary.dump(2), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    const report::Json *phases = reparsed.get("phase_events");
+    ASSERT_NE(phases, nullptr);
+    const report::Json *jit = phases->get("jit");
+    ASSERT_NE(jit, nullptr);
+    EXPECT_EQ(jit->get("enters")->asUInt(), r.traceEnters);
+    const report::Json *gc = phases->get("gc");
+    if (r.gcMinor + r.gcMajor > 0) {
+        ASSERT_NE(gc, nullptr);
+        EXPECT_EQ(gc->get("enters")->asUInt(), r.gcMinor + r.gcMajor);
+    }
+    const report::Json *instants = reparsed.get("instants");
+    ASSERT_NE(instants, nullptr);
+    ASSERT_NE(instants->get("deopt"), nullptr);
+    EXPECT_EQ(instants->get("deopt")->asUInt(), r.deopts);
 }
 
 // ---- Differential: tracing must not perturb the simulation ----------

@@ -87,6 +87,10 @@ usage(const char *argv0)
         "                       (BM_SimStream_* speedup + modeled_cpi)\n"
         "  --min-sb-speedup X   minimum best-shape superblock-vs-blockmemo\n"
         "                       CPU-time ratio in --gbench (default 5.0)\n"
+        "  --max-sampler-overhead X  maximum best-shape relative cpu_time\n"
+        "                       overhead of BM_SimStream_SuperblockProf\n"
+        "                       over BM_SimStream_Superblock in --gbench\n"
+        "                       (default: no gate)\n"
         "  --max-regression X   maximum allowed relative increase of a\n"
         "                       run's totals/cycles_fp over the baseline\n"
         "                       (default 0.10)\n"
@@ -144,6 +148,7 @@ main(int argc, char **argv)
     double maxTier1Share = -1.0; // < 0 = gate off
     std::string gbenchPath;
     double minSbSpeedup = 5.0;
+    double maxSamplerOverhead = -1.0; // < 0 = gate off
     bool update = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -168,6 +173,11 @@ main(int argc, char **argv)
             minSbSpeedup = std::strtod(argv[++i], nullptr);
         } else if (std::strncmp(a, "--min-sb-speedup=", 17) == 0) {
             minSbSpeedup = std::strtod(a + 17, nullptr);
+        } else if (std::strcmp(a, "--max-sampler-overhead") == 0 &&
+                   i + 1 < argc) {
+            maxSamplerOverhead = std::strtod(argv[++i], nullptr);
+        } else if (std::strncmp(a, "--max-sampler-overhead=", 23) == 0) {
+            maxSamplerOverhead = std::strtod(a + 23, nullptr);
         } else if (std::strcmp(a, "--max-regression") == 0 &&
                    i + 1 < argc) {
             maxRegression = std::strtod(argv[++i], nullptr);
@@ -559,6 +569,55 @@ main(int argc, char **argv)
                                  "FAIL: superblock speedup %.2fx below "
                                  "floor %.2fx\n",
                                  best, minSbSpeedup);
+                    fail = 1;
+                }
+            }
+        }
+
+        // Sampler wall-clock overhead: SuperblockProf runs the same
+        // sweep with the cycle sampler armed, so its cpu_time over the
+        // plain variant is the armed-sampler cost. Gate on the best
+        // (lowest-overhead) shape — a within-process ratio, but CI
+        // runners are noisy enough that the worst shape would flake.
+        if (maxSamplerOverhead >= 0.0) {
+            bool ovFound = false;
+            double bestOv = 0.0; // can be negative: noise on fast shapes
+            std::string bestOvShape;
+            for (const auto &sv : shapes) {
+                auto sbIt = sv.second.find("Superblock");
+                auto pfIt = sv.second.find("SuperblockProf");
+                if (sbIt == sv.second.end() || pfIt == sv.second.end() ||
+                    sbIt->second.cpu <= 0.0)
+                    continue;
+                double ov = pfIt->second.cpu / sbIt->second.cpu - 1.0;
+                std::printf("gbench %s: sampler-on %.0f vs off %.0f cpu "
+                            "-> %+.2f%% overhead\n",
+                            sv.first.c_str(), pfIt->second.cpu,
+                            sbIt->second.cpu, ov * 100.0);
+                if (!ovFound || ov < bestOv) {
+                    ovFound = true;
+                    bestOv = ov;
+                    bestOvShape = sv.first;
+                }
+            }
+            if (!ovFound) {
+                std::fprintf(stderr,
+                             "FAIL: --max-sampler-overhead given but no "
+                             "shape has both Superblock and "
+                             "SuperblockProf variants in %s\n",
+                             gbenchPath.c_str());
+                fail = 1;
+            } else {
+                std::printf("sampler best-shape overhead: %+.2f%% on %s "
+                            "(cap %.2f%%)\n",
+                            bestOv * 100.0, bestOvShape.c_str(),
+                            maxSamplerOverhead * 100.0);
+                if (bestOv > maxSamplerOverhead) {
+                    std::fprintf(stderr,
+                                 "FAIL: armed-sampler overhead %+.2f%% "
+                                 "above cap %.2f%%\n",
+                                 bestOv * 100.0,
+                                 maxSamplerOverhead * 100.0);
                     fail = 1;
                 }
             }

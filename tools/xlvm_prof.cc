@@ -1,0 +1,191 @@
+/**
+ * @file
+ * xlvm-prof — inspector for deterministic sampling profiles.
+ *
+ * Operates on the self-describing profile JSON written by the bench
+ * harness's --profile flag (or XLVM_PROFILE). Because the sample clock
+ * is the modeled cycle counter, two runs of the same configuration
+ * produce byte-identical profiles — diffing two of these files is a
+ * meaningful regression test. Exit codes: 0 ok, 1 command failure,
+ * 2 usage/I-O error.
+ *
+ *   xlvm-prof dump       <profile.json>             every sample site
+ *   xlvm-prof top        <profile.json> [-n N]      hottest (phase,
+ *                                                   context) cells
+ *   xlvm-prof tree       <profile.json>             phase > context >
+ *                                                   pc hierarchy
+ *   xlvm-prof folded     <profile.json> [-o out]    collapsed stacks
+ *                                                   (flamegraph.pl /
+ *                                                   speedscope)
+ *   xlvm-prof counters   <profile.json> --chrome out.json
+ *                                                   phase counter
+ *                                                   tracks (Perfetto)
+ *   xlvm-prof top-deopts <profile.json> [-n N]      guard sites by
+ *                                                   fail count, with
+ *                                                   trace/bytecode
+ *                                                   provenance
+ *
+ * All aggregating commands accept --json for machine-readable output.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "report/golden.h"
+#include "report/profile_export.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <command> <profile.json> [options]\n"
+        "\n"
+        "commands:\n"
+        "  dump        print every sample site, one line each\n"
+        "  top         hottest (phase, context) attribution cells\n"
+        "  tree        phase > context > pc hierarchy with counts\n"
+        "  folded      collapsed-stack text for flamegraph.pl or\n"
+        "              speedscope (-o out.txt, \"-\" = stdout)\n"
+        "  counters    Chrome trace-event counter tracks\n"
+        "              (--chrome out.json, open in ui.perfetto.dev)\n"
+        "  top-deopts  guard sites by failure count, with trace and\n"
+        "              bytecode provenance\n"
+        "\n"
+        "options:\n"
+        "  -n, --top N  keep the top N rows (default 10, 0 = all)\n"
+        "  --json       machine-readable output\n"
+        "  -o PATH      output path for folded (default stdout)\n"
+        "  --chrome PATH  output path for counters\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace xlvm::report;
+
+    if (argc >= 2 && (std::strcmp(argv[1], "-h") == 0 ||
+                      std::strcmp(argv[1], "--help") == 0)) {
+        usage(argv[0]);
+        return 0;
+    }
+    if (argc < 3) {
+        usage(argv[0]);
+        return 2;
+    }
+    std::string command = argv[1];
+    std::string inPath;
+    std::string outPath;
+    size_t topN = 10;
+    bool jsonOut = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const char *a = argv[i];
+        if ((std::strcmp(a, "-n") == 0 || std::strcmp(a, "--top") == 0) &&
+            i + 1 < argc) {
+            topN = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(a, "--json") == 0) {
+            jsonOut = true;
+        } else if (std::strcmp(a, "-o") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strcmp(a, "--chrome") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strcmp(a, "-h") == 0 ||
+                   std::strcmp(a, "--help") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (a[0] == '-' && a[1] != '\0') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0], a);
+            usage(argv[0]);
+            return 2;
+        } else if (inPath.empty()) {
+            inPath = a;
+        } else {
+            std::fprintf(stderr, "%s: too many arguments\n", argv[0]);
+            return 2;
+        }
+    }
+    if (inPath.empty()) {
+        std::fprintf(stderr, "%s: no profile file given\n", argv[0]);
+        return 2;
+    }
+
+    std::string err;
+    Json doc;
+    if (!loadReport(inPath, &doc, &err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
+    }
+    const Json *kind = doc.get("kind");
+    if (!kind || kind->asString() != "xlvm-profile" || !doc.get("runs")) {
+        std::fprintf(stderr,
+                     "%s: %s is not an xlvm profile (kind=xlvm-profile "
+                     "with a runs array expected)\n",
+                     argv[0], inPath.c_str());
+        return 2;
+    }
+
+    if (command == "dump") {
+        std::string text =
+            jsonOut ? doc.dump(2) + "\n" : formatProfileDump(doc);
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+    if (command == "top") {
+        Json top = profileTop(doc, topN);
+        std::string text =
+            jsonOut ? top.dump(2) + "\n" : formatProfileTop(top);
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+    if (command == "tree") {
+        Json tree = profileTree(doc);
+        std::string text =
+            jsonOut ? tree.dump(2) + "\n" : formatProfileTree(tree);
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+    if (command == "folded") {
+        std::string text = profileFolded(doc);
+        if (!writeProfileText(text, outPath.empty() ? "-" : outPath,
+                              &err)) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+            return 1;
+        }
+        return 0;
+    }
+    if (command == "counters") {
+        if (outPath.empty()) {
+            std::fprintf(stderr,
+                         "%s: counters needs an output path "
+                         "(--chrome out.json)\n",
+                         argv[0]);
+            return 2;
+        }
+        Json counters = profileChromeCounters(doc);
+        if (!writeProfileText(counters.dump(2) + "\n", outPath, &err)) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+            return 1;
+        }
+        return 0;
+    }
+    if (command == "top-deopts") {
+        Json deopts = profileTopDeopts(doc, topN);
+        std::string text =
+            jsonOut ? deopts.dump(2) + "\n" : formatProfileDeopts(deopts);
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+
+    std::fprintf(stderr, "%s: unknown command '%s'\n", argv[0],
+                 command.c_str());
+    usage(argv[0]);
+    return 2;
+}

@@ -135,10 +135,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
         return 2;
     }
-    if (!doc.get("traceEvents")) {
+    const Json *events = doc.get("traceEvents");
+    if (!events || !events->isArray()) {
         std::fprintf(stderr,
                      "%s: %s has no traceEvents array (not an xlvm "
-                     "trace export?)\n",
+                     "trace export, or truncated?)\n",
                      argv[0], inPath.c_str());
         return 2;
     }
