@@ -20,6 +20,7 @@
 
 #include "common/stats.h"
 #include "driver/parallel.h"
+#include "rt/faults.h"
 #include "driver/runner.h"
 #include "report/metrics.h"
 #include "report/profile_export.h"
@@ -70,6 +71,14 @@ namespace bench {
  * "--profile-interval N" sets the sampling period in modeled cycles.
  * Sampling never moves a modeled counter, so the stdout table and the
  * --report export are byte-identical with profiling on or off.
+ *
+ * Fault injection / containment: "--inject site[:nth],..." (or the
+ * XLVM_INJECT environment variable, applied by the runner; flags win)
+ * arms the deterministic fault engine for every run — a malformed spec
+ * is a hard error at startup. "--storm-threshold N",
+ * "--blacklist-cooldown N", "--compile-budget N" and "--max-traces N"
+ * tune the deopt-storm blacklist, the per-trace compile budget and the
+ * trace-cache capacity (0 = unlimited for the latter two).
  */
 class Session
 {
@@ -97,6 +106,7 @@ class Session
             o.simMemo = simMemo_;
             o.simSuperblock = simSuperblock_;
             o.tierMode = tierMode_;
+            applyRobustness(o);
             if (profiling())
                 o.profileIntervalCycles = profileInterval_;
         }
@@ -132,6 +142,7 @@ class Session
         o.simMemo = simMemo_;
         o.simSuperblock = simSuperblock_;
         o.tierMode = tierMode_;
+        applyRobustness(o);
         if (profiling())
             o.profileIntervalCycles = profileInterval_;
         if (tracing()) {
@@ -255,6 +266,38 @@ class Session
                 profileInterval_ = std::strtoull(argv[++i], nullptr, 10);
             } else if (std::strncmp(a, "--profile-interval=", 19) == 0) {
                 profileInterval_ = std::strtoull(a + 19, nullptr, 10);
+            } else if (std::strcmp(a, "--inject") == 0 && i + 1 < argc) {
+                setInject(argv[++i]);
+            } else if (std::strncmp(a, "--inject=", 9) == 0) {
+                setInject(a + 9);
+            } else if (std::strcmp(a, "--storm-threshold") == 0 &&
+                       i + 1 < argc) {
+                stormThreshold_ = uint32_t(std::strtoul(argv[++i],
+                                                        nullptr, 10));
+            } else if (std::strncmp(a, "--storm-threshold=", 18) == 0) {
+                stormThreshold_ = uint32_t(std::strtoul(a + 18, nullptr,
+                                                        10));
+            } else if (std::strcmp(a, "--blacklist-cooldown") == 0 &&
+                       i + 1 < argc) {
+                blacklistCooldown_ = uint32_t(std::strtoul(argv[++i],
+                                                           nullptr, 10));
+            } else if (std::strncmp(a, "--blacklist-cooldown=", 21) ==
+                       0) {
+                blacklistCooldown_ = uint32_t(std::strtoul(a + 21,
+                                                           nullptr, 10));
+            } else if (std::strcmp(a, "--compile-budget") == 0 &&
+                       i + 1 < argc) {
+                compileBudgetOps_ = uint32_t(std::strtoul(argv[++i],
+                                                          nullptr, 10));
+            } else if (std::strncmp(a, "--compile-budget=", 17) == 0) {
+                compileBudgetOps_ = uint32_t(std::strtoul(a + 17, nullptr,
+                                                          10));
+            } else if (std::strcmp(a, "--max-traces") == 0 &&
+                       i + 1 < argc) {
+                maxTraces_ = uint32_t(std::strtoul(argv[++i], nullptr,
+                                                   10));
+            } else if (std::strncmp(a, "--max-traces=", 13) == 0) {
+                maxTraces_ = uint32_t(std::strtoul(a + 13, nullptr, 10));
             }
         }
         if (!tierModeSet_) {
@@ -300,6 +343,39 @@ class Session
                  report::Json(profiling() ? profileInterval_
                                           : uint64_t(0)));
         traceBuilder_.setProvenance(std::move(prov));
+    }
+
+    /** Copy the fault-containment knobs into one run's options. The
+     *  XLVM_INJECT env hatch is resolved by the runner so per-run specs
+     *  stay overridable from a sweep script. */
+    void
+    applyRobustness(driver::RunOptions &o) const
+    {
+        if (!inject_.empty())
+            o.inject = inject_;
+        if (stormThreshold_ != kUnsetU32)
+            o.stormThreshold = stormThreshold_;
+        if (blacklistCooldown_ != kUnsetU32)
+            o.blacklistCooldown = blacklistCooldown_;
+        if (compileBudgetOps_ != kUnsetU32)
+            o.compileBudgetOps = compileBudgetOps_;
+        if (maxTraces_ != kUnsetU32)
+            o.maxTraces = maxTraces_;
+    }
+
+    /** Validate an --inject spec up front; a malformed spec is a hard
+     *  error (a silently ignored chaos trigger would make a CI sweep
+     *  pass without testing anything). */
+    void
+    setInject(const char *spec)
+    {
+        rt::FaultEngine probe;
+        std::string err;
+        if (!probe.configure(spec, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            std::exit(2);
+        }
+        inject_ = spec;
     }
 
     /** Parse a tier-mode name; a typo is a hard error (a silently
@@ -373,6 +449,14 @@ class Session
     /** "--profile-interval": sampling period in modeled cycles. */
     uint64_t profileInterval_ = 0;
     report::ProfileBuilder profileBuilder_{"profile"};
+    /** Sentinel: flag not given, keep the RunOptions default. */
+    static constexpr uint32_t kUnsetU32 = ~0u;
+    /** "--inject": fault-injection spec applied to every run. */
+    std::string inject_;
+    uint32_t stormThreshold_ = kUnsetU32;
+    uint32_t blacklistCooldown_ = kUnsetU32;
+    uint32_t compileBudgetOps_ = kUnsetU32;
+    uint32_t maxTraces_ = kUnsetU32;
 };
 
 /**

@@ -22,9 +22,15 @@
 # host-side observation, so the report must match the golden exactly
 # except for the "profiler" section (the sampler's own telemetry) —
 # and, unlike the accelerator passes, runs in EVERY tier mode: the
-# sampler must be non-perturbing under each tier policy. --update
-# skips the extra passes (goldens are recorded with both layers on and
-# the profiler off).
+# sampler must be non-perturbing under each tier policy. A fifth pass
+# arms the fault-injection engine with a spec that can never fire
+# (every site's nth is far beyond any real visit count), exercising
+# the full shouldFire() bookkeeping path on every probe: arming alone
+# must not move a single modeled counter, so the report must match the
+# golden except for the engine's own host-side telemetry
+# (--ignore-section jit_robustness). --update skips the extra passes
+# (goldens are recorded with both layers on, the profiler off, and the
+# fault engine disarmed).
 #
 # --tier-mode MODE selects the JIT tier policy (tier2 = default).
 # Non-default modes compare against their own golden set
@@ -160,6 +166,29 @@ if [ -z "$update" ]; then
         "$build/tools/xlvm-check-golden" "$out/$stem.prof.json" \
             "$golden_dir/$stem.json" $ignore \
             --ignore-section profiler || fail=1
+    done
+fi
+
+# The armed-fault pass (also every tier mode): XLVM_INJECT arms the
+# deterministic fault engine at every site with an nth no run can
+# reach, so each injection probe runs its full armed bookkeeping path
+# but never fires. The engine's bit-identity contract says arming must
+# not move any modeled counter; only its own telemetry (visit counts,
+# the armed flag) may differ from the disarmed golden.
+never="recorder:1000000000,optimizer:1000000000,backend:1000000000"
+never="$never,trace_cache:1000000000,gc_hook:1000000000"
+never="$never,sim_memo:1000000000"
+if [ -z "$update" ]; then
+    for stem in $(stems); do
+        bin=$(bench_for "$stem")
+        [ -z "$bin" ] && continue
+        echo "== $stem ($bin, $jobs jobs, tier $tier_mode, faults armed)"
+        XLVM_INJECT="$never" "$build/bench/$bin" \
+            --jobs "$jobs" --tier-mode "$tier_mode" \
+            --report "json:$out/$stem.armed.json" > /dev/null
+        "$build/tools/xlvm-check-golden" "$out/$stem.armed.json" \
+            "$golden_dir/$stem.json" $ignore \
+            --ignore-section jit_robustness || fail=1
     done
 fi
 

@@ -58,6 +58,21 @@ tierModeWithEnv(vm::TierMode from_opts)
     return from_opts;
 }
 
+/** XLVM_INJECT env hatch: overrides RunOptions::inject when set (the
+ *  same precedence as the other hatches; "none"/"off" disarm, useful
+ *  to neutralize a spec baked into a sweep script). */
+std::string
+injectWithEnv(const std::string &from_opts)
+{
+    const char *e = std::getenv("XLVM_INJECT");
+    if (!e)
+        return from_opts;
+    std::string s(e);
+    if (s == "none" || s == "off")
+        return std::string();
+    return s;
+}
+
 vm::VmConfig
 configFor(const RunOptions &opts)
 {
@@ -96,6 +111,20 @@ configFor(const RunOptions &opts)
     cfg.jit.tier2Threshold = opts.tier2Threshold;
     if (cfg.jit.tierMode == vm::TierMode::Off)
         cfg.jit.enableJit = false;
+    cfg.jit.stormThreshold = opts.stormThreshold;
+    cfg.jit.blacklistCooldown = opts.blacklistCooldown;
+    cfg.jit.compileBudgetOps = opts.compileBudgetOps;
+    cfg.jit.maxTraces = opts.maxTraces;
+    cfg.inject = injectWithEnv(opts.inject);
+    {
+        // Validate here so a malformed spec is a clean per-run error
+        // (RunResult::error via the invalid_argument path) instead of
+        // the VmContext constructor's XLVM_FATAL.
+        rt::FaultEngine probe;
+        std::string err;
+        if (!probe.configure(cfg.inject, &err))
+            throw std::invalid_argument("bad --inject spec: " + err);
+    }
     cfg.core.simMemo = opts.simMemo;
     cfg.core.simSuperblock = opts.simSuperblock;
     cfg.maxInstructions = opts.maxInstructions;
@@ -204,12 +233,28 @@ collect(vm::VmContext &ctx, RunResult &out)
     if (ctx.sampler.enabled())
         out.profile = ctx.sampler.take();
 
+    for (uint32_t r = 0; r < jit::kNumAbortReasons; ++r)
+        out.abortReasons[r] = ctx.events.abortReasons[r];
+    out.tracesBlacklisted = ctx.events.tracesBlacklisted;
+    out.tracesRearmed = ctx.events.tracesRearmed;
+    out.tracesEvicted = ctx.events.tracesEvicted;
+    out.compileDowngrades = ctx.events.compileDowngrades;
+    out.liveTraces = ctx.registry.liveCount();
+    out.faultsArmed = ctx.faults.armed();
+    for (uint32_t s = 0; s < rt::kNumFaultSites; ++s) {
+        out.faultVisits[s] = ctx.faults.visits(rt::FaultSite(s));
+        out.faultFired[s] = ctx.faults.fired(rt::FaultSite(s));
+    }
+
     // Deopt attribution: join each program's lowering-time guard
     // provenance with the trace's runtime fail counters, symbolized
     // here so report-layer consumers carry no jit dependencies. After
     // a tier promotion guardStates are re-sized (counters reset) — the
     // table reflects the current program, like a real deopt log would.
+    // Evicted registry slots hold nullptr and are skipped.
     for (const auto &t : ctx.registry.all()) {
+        if (!t)
+            continue;
         const jit::MicroProgram &prog = ctx.backend.program(t->id);
         for (const jit::GuardProvenance &g : prog.guards) {
             if (g.guardIdx >= t->guardStates.size())

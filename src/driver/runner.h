@@ -13,6 +13,8 @@
 
 #include "common/histogram.h"
 #include "jit/backend.h"
+#include "jit/bailout.h"
+#include "rt/faults.h"
 #include "vm/registry.h"
 #include "xlayer/aot_profiler.h"
 #include "xlayer/phase_profiler.h"
@@ -90,6 +92,18 @@ struct RunOptions
      * of --jobs, process count, or repetition.
      */
     uint64_t profileIntervalCycles = 0;
+    /**
+     * Fault-injection spec (rt::FaultEngine grammar: "site:nth" entries,
+     * comma-separated); empty = disarmed, zero-cost. The XLVM_INJECT
+     * env hatch overrides. Trigger counters are visit-based, so an
+     * injected failure is deterministic and --jobs-invariant.
+     */
+    std::string inject;
+    /** Fault-containment policies (vm::JitParams analogs). */
+    uint32_t stormThreshold = 600;
+    uint32_t blacklistCooldown = 4000;
+    uint32_t compileBudgetOps = 0; ///< 0 = unlimited
+    uint32_t maxTraces = 0;        ///< 0 = unlimited
 };
 
 /**
@@ -210,6 +224,21 @@ struct RunResult
     uint64_t tier2CompileInsts = 0;
     uint64_t tier1CyclesFp = 0;
     uint64_t tier2CyclesFp = 0;
+
+    // Fault containment (schema v7 jit_robustness section). The abort
+    // counters are modeled (annotation-stream derived, golden-gated);
+    // the fault_* telemetry is host-side trigger bookkeeping and is
+    // excluded from golden comparison (--ignore-section jit_robustness
+    // in the armed golden pass).
+    std::array<uint64_t, jit::kNumAbortReasons> abortReasons{};
+    uint64_t tracesBlacklisted = 0;
+    uint64_t tracesRearmed = 0;
+    uint64_t tracesEvicted = 0;
+    uint64_t compileDowngrades = 0;
+    uint64_t liveTraces = 0; ///< registry slots still holding a trace
+    bool faultsArmed = false;
+    std::array<uint64_t, rt::kNumFaultSites> faultVisits{};
+    std::array<uint64_t, rt::kNumFaultSites> faultFired{};
 
     // JIT-IR level (Figures 6-9).
     uint32_t irNodesCompiled = 0;

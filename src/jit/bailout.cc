@@ -1,0 +1,269 @@
+#include "jit/bailout.h"
+
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "jit/opt.h"
+
+namespace xlvm {
+namespace jit {
+
+const char *
+abortReasonName(AbortReason r)
+{
+    switch (r) {
+      case AbortReason::kNone: return "none";
+      case AbortReason::kTraceTooLong: return "trace_too_long";
+      case AbortReason::kRootEscape: return "root_escape";
+      case AbortReason::kUnsupportedOp: return "unsupported_op";
+      case AbortReason::kCallAssemblerExit: return "call_assembler_exit";
+      case AbortReason::kMalformedTrace: return "malformed_trace";
+      case AbortReason::kOptimizerFailure: return "optimizer_failure";
+      case AbortReason::kCompileBudget: return "compile_budget";
+      case AbortReason::kTraceCacheFull: return "trace_cache_full";
+      case AbortReason::kBudgetExhausted: return "budget_exhausted";
+      case AbortReason::kInjected: return "injected";
+      case AbortReason::kNumAbortReasons: break;
+    }
+    return "unknown";
+}
+
+AbortReason
+abortReasonFromPayload(uint32_t payload)
+{
+    if (payload >= kNumAbortReasons)
+        return AbortReason::kNone;
+    return static_cast<AbortReason>(payload);
+}
+
+namespace {
+
+/** Verification walk over one trace; collects the first defect. */
+class Verifier
+{
+  public:
+    Verifier(const Trace &t, AbortReason failed_reason)
+        : t_(t), failedReason_(failed_reason)
+    {
+    }
+
+    VerifyResult
+    run()
+    {
+        if (t_.numInputs > t_.boxTypes.size()) {
+            fail(-1, "numInputs ", t_.numInputs, " exceeds box count ",
+                 t_.boxTypes.size());
+            return std::move(result_);
+        }
+        bound_ = static_cast<int32_t>(t_.numInputs);
+        for (size_t i = 0; i < t_.ops.size(); ++i) {
+            const ResOp &op = t_.ops[i];
+            int opIdx = static_cast<int>(i);
+            if (op.snapshotIdx >= 0 &&
+                size_t(op.snapshotIdx) >= t_.snapshots.size()) {
+                fail(opIdx, "snapshot index ", op.snapshotIdx,
+                     " out of range (", t_.snapshots.size(), ")");
+                return std::move(result_);
+            }
+            if (op.op == IrOp::CallAssembler) {
+                if (!checkCallAssembler(op, opIdx))
+                    return std::move(result_);
+                continue;
+            }
+            for (int a = 0; a < kMaxOpArgs; ++a) {
+                if (!checkUse(op.args[a], opIdx, "arg",
+                              /*allow_virtual=*/false))
+                    return std::move(result_);
+            }
+            if (op.snapshotIdx >= 0) {
+                const Snapshot &s = t_.snapshots[op.snapshotIdx];
+                for (const FrameSnapshot &f : s.frames) {
+                    if (!checkFrameUses(f, opIdx))
+                        return std::move(result_);
+                }
+            }
+            if (op.result >= 0) {
+                if (size_t(op.result) >= t_.boxTypes.size()) {
+                    fail(opIdx, "result box ", op.result,
+                         " outside box table (", t_.boxTypes.size(), ")");
+                    return std::move(result_);
+                }
+                if (op.result < bound_) {
+                    fail(opIdx, "result box ", op.result,
+                         " redefines an existing box (bound ", bound_,
+                         ")");
+                    return std::move(result_);
+                }
+                bound_ = op.result + 1;
+            }
+        }
+        return std::move(result_);
+    }
+
+  private:
+    /**
+     * call_assembler io snapshot: frames[0] holds the inner-call args
+     * and frames[2..] the outer resume frames — both are uses of
+     * already-defined boxes (the executor rebuilds outer frames from
+     * frames[2..] BEFORE performing the frames[1] writeback on a
+     * mismatched inner exit, so they must not reference the exit
+     * contract's fresh boxes). Only frames[1] defines new boxes.
+     */
+    bool
+    checkCallAssembler(const ResOp &op, int op_idx)
+    {
+        if (op.snapshotIdx < 0)
+            return fail2(op_idx, "call_assembler without io snapshot");
+        const Snapshot &s = t_.snapshots[op.snapshotIdx];
+        if (s.frames.size() < 2) {
+            return fail2(op_idx,
+                         "call_assembler io snapshot needs >= 2 frames");
+        }
+        if (!checkFrameUses(s.frames[0], op_idx))
+            return false;
+        for (size_t fi = 2; fi < s.frames.size(); ++fi) {
+            if (!checkFrameUses(s.frames[fi], op_idx))
+                return false;
+        }
+        int32_t newBound = bound_;
+        const FrameSnapshot &exitF = s.frames[1];
+        auto define = [&](int32_t ref) {
+            if (ref == kNoArg)
+                return true;
+            if (ref < 0 || size_t(ref) >= t_.boxTypes.size()) {
+                return fail(op_idx, "call_assembler exit box ", ref,
+                            " outside box table (", t_.boxTypes.size(),
+                            ")");
+            }
+            if (ref < bound_) {
+                return fail(op_idx, "call_assembler exit box ", ref,
+                            " is not fresh (bound ", bound_, ")");
+            }
+            if (ref + 1 > newBound)
+                newBound = ref + 1;
+            return true;
+        };
+        for (int32_t ref : exitF.locals) {
+            if (!define(ref))
+                return false;
+        }
+        for (int32_t ref : exitF.stack) {
+            if (!define(ref))
+                return false;
+        }
+        bound_ = newBound;
+        if (op.result >= 0)
+            return fail2(op_idx, "call_assembler must not have a result");
+        return true;
+    }
+
+    bool
+    checkFrameUses(const FrameSnapshot &f, int op_idx)
+    {
+        for (int32_t ref : f.locals) {
+            if (!checkUse(ref, op_idx, "snapshot", /*allow_virtual=*/true))
+                return false;
+        }
+        for (int32_t ref : f.stack) {
+            if (!checkUse(ref, op_idx, "snapshot", /*allow_virtual=*/true))
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    checkUse(int32_t ref, int op_idx, const char *where, bool allow_virtual)
+    {
+        if (ref == kNoArg)
+            return true;
+        if (isConstRef(ref)) {
+            if (size_t(constIndex(ref)) >= t_.consts.size()) {
+                return fail(op_idx, where, " const ref ", constIndex(ref),
+                            " outside const table (", t_.consts.size(),
+                            ")");
+            }
+            return true;
+        }
+        if (isVirtualRef(ref)) {
+            if (!allow_virtual) {
+                return fail(op_idx, where, " operand is a virtual ref (",
+                            virtualIndex(ref), ")");
+            }
+            return checkVirtual(virtualIndex(ref), op_idx, where);
+        }
+        if (ref < 0)
+            return fail(op_idx, where, " has invalid encoding ", ref);
+        if (ref >= bound_) {
+            return fail(op_idx, where, " box ", ref,
+                        " used before definition (bound ", bound_, ")");
+        }
+        return true;
+    }
+
+    bool
+    checkVirtual(int32_t vidx, int op_idx, const char *where)
+    {
+        if (size_t(vidx) >= t_.virtuals.size()) {
+            return fail(op_idx, where, " virtual ", vidx,
+                        " outside virtual table (", t_.virtuals.size(),
+                        ")");
+        }
+        // Cyclic virtuals are legal (self-referential structures); the
+        // visited set terminates the recursion.
+        if (!visitedVirtuals_.insert(vidx).second)
+            return true;
+        const VirtualObj &v = t_.virtuals[vidx];
+        for (int32_t ref : v.fieldRefs) {
+            if (!checkUse(ref, op_idx, where, /*allow_virtual=*/true))
+                return false;
+        }
+        for (int32_t ref : v.arrayRefs) {
+            if (!checkUse(ref, op_idx, where, /*allow_virtual=*/true))
+                return false;
+        }
+        return true;
+    }
+
+    template <typename... Args>
+    bool
+    fail(int op_idx, Args &&...args)
+    {
+        if (!result_.ok)
+            return false; // keep the first defect
+        std::ostringstream os;
+        os << "op " << op_idx;
+        if (op_idx >= 0 && size_t(op_idx) < t_.ops.size())
+            os << " (" << irOpName(t_.ops[op_idx].op) << ")";
+        os << ": ";
+        (os << ... << args);
+        result_.ok = false;
+        result_.reason = failedReason_;
+        result_.detail = os.str();
+        return false;
+    }
+
+    bool
+    fail2(int op_idx, const char *msg)
+    {
+        return fail(op_idx, msg);
+    }
+
+    const Trace &t_;
+    AbortReason failedReason_;
+    int32_t bound_ = 0;
+    std::unordered_set<int32_t> visitedVirtuals_;
+    VerifyResult result_;
+};
+
+} // namespace
+
+VerifyResult
+verifyTrace(const Trace &t, AbortReason failed_reason)
+{
+    Verifier v(t, failed_reason);
+    return v.run();
+}
+
+} // namespace jit
+} // namespace xlvm

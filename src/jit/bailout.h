@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Safe-bailout layer: structured trace-abort reasons and a linear-SSA
+ * trace verifier.
+ *
+ * A meta-tracing VM must never die because one recording went wrong —
+ * the interpreter is always a correct fallback. Every way a recording
+ * or compilation can be discarded is enumerated in AbortReason; the
+ * reason code rides the kTraceAborted annotation payload into the
+ * tracer, the metrics registry (jit_robustness section) and xlvm-prof
+ * provenance, so failure behavior is itself a measurable cross-layer
+ * workload dimension.
+ *
+ * verifyTrace() is the containment check run on every recording before
+ * it reaches the backend (and on every optimizer output before it
+ * replaces a baseline body): instead of executing a malformed trace and
+ * corrupting the heap, the VM aborts with kMalformedTrace /
+ * kOptimizerFailure and keeps interpreting.
+ */
+
+#ifndef XLVM_JIT_BAILOUT_H
+#define XLVM_JIT_BAILOUT_H
+
+#include <cstdint>
+#include <string>
+
+#include "jit/ir.h"
+
+namespace xlvm {
+namespace jit {
+
+/**
+ * Why a recording / compilation was discarded. Stable numbering: the
+ * value is the kTraceAborted annotation payload and the index into the
+ * per-reason counters in the jit_robustness metrics section.
+ */
+enum class AbortReason : uint8_t
+{
+    kNone = 0,          ///< not an abort (payload of pre-v7 streams)
+    kTraceTooLong = 1,  ///< recording exceeded maxTraceOps
+    kRootEscape = 2,    ///< return escaped the trace root frame
+    kUnsupportedOp = 3, ///< bytecode/builtin the recorder cannot model
+    kCallAssemblerExit = 4, ///< inner call left through an unexpected exit
+    kMalformedTrace = 5,    ///< recording rejected by verifyTrace
+    kOptimizerFailure = 6,  ///< optimized body rejected; tier-1 retry
+    kCompileBudget = 7,     ///< compile budget cap hit; tier-1 retry
+    kTraceCacheFull = 8,    ///< trace cache full and nothing evictable
+    kBudgetExhausted = 9,   ///< global instruction budget ran out
+    kInjected = 10,         ///< deterministic fault injection fired
+    kNumAbortReasons
+};
+
+constexpr uint32_t kNumAbortReasons =
+    static_cast<uint32_t>(AbortReason::kNumAbortReasons);
+
+/** Stable snake_case name (metrics keys, tooling). */
+const char *abortReasonName(AbortReason r);
+
+/** Clamp an annotation payload back to a reason (unknown -> kNone). */
+AbortReason abortReasonFromPayload(uint32_t payload);
+
+/** Verdict from verifyTrace. */
+struct VerifyResult
+{
+    bool ok = true;
+    AbortReason reason = AbortReason::kNone;
+    std::string detail; ///< one-line diagnostic, empty when ok
+};
+
+/**
+ * Structural verification of a linear SSA trace.
+ *
+ * Checks, in op order:
+ *  - every operand box was defined before use (inputs occupy
+ *    [0, numInputs); op results are allocated monotonically, so a
+ *    running bound suffices), const refs index the const table, and
+ *    virtual refs only appear in snapshots and index trace.virtuals
+ *    (fields checked recursively, cycle-safe);
+ *  - snapshot indices are in range;
+ *  - call_assembler io snapshots have the frames[0]=args /
+ *    frames[1]=exit contract / frames[2..]=outer resume shape, where
+ *    frames[0] and frames[2..] are USES against the pre-call bound
+ *    (the executor materializes outer frames before the frames[1]
+ *    writeback on a mismatched exit) and only frames[1] defines new
+ *    boxes;
+ *  - results are fresh monotone box indices inside boxTypes.
+ *
+ * @p failed_reason selects what a failure is reported as: the caller
+ * passes kMalformedTrace for raw recordings and kOptimizerFailure for
+ * optimizer output.
+ */
+VerifyResult verifyTrace(const Trace &t,
+                         AbortReason failed_reason =
+                             AbortReason::kMalformedTrace);
+
+} // namespace jit
+} // namespace xlvm
+
+#endif // XLVM_JIT_BAILOUT_H

@@ -314,6 +314,18 @@ struct Trace
     /** Set once the executor queued this trace for promotion. */
     bool promotionRequested = false;
 
+    /**
+     * Deopt-storm containment (see JitParams::stormThreshold).
+     * stormScore counts consecutive zero-progress entries; blacklisted
+     * demotes the trace to the interpreter until cooldownRemaining
+     * merge-point visits pass, with the cooldown doubling per
+     * blacklistGen (exponential backoff).
+     */
+    uint32_t stormScore = 0;
+    bool blacklisted = false;
+    uint32_t blacklistGen = 0;
+    uint64_t cooldownRemaining = 0;
+
     int32_t
     newBox(BoxType t)
     {

@@ -179,7 +179,7 @@ callBuiltin(Interp &in, uint32_t id, std::vector<W_Object *> &args)
     switch (id) {
       case kBiPrint: {
         if (rec) {
-            in.abortTrace("print while tracing");
+            in.abortTrace(jit::AbortReason::kUnsupportedOp);
             rec = nullptr;
         }
         std::string line;
@@ -689,7 +689,7 @@ callBuiltin(Interp &in, uint32_t id, std::vector<W_Object *> &args)
 
       case kBiDisplay: {
         if (rec) {
-            in.abortTrace("display while tracing");
+            in.abortTrace(jit::AbortReason::kUnsupportedOp);
             rec = nullptr;
         }
         expectArgs(args, 1, 1, "display");
@@ -698,7 +698,7 @@ callBuiltin(Interp &in, uint32_t id, std::vector<W_Object *> &args)
       }
       case kBiNewline:
         if (rec) {
-            in.abortTrace("newline while tracing");
+            in.abortTrace(jit::AbortReason::kUnsupportedOp);
             rec = nullptr;
         }
         in.printed += "\n";

@@ -1,9 +1,16 @@
 #include "minipy/interp.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "jit/opt.h"
 #include "xlayer/annot.h"
+
+// The event profiler bins kTraceAborted payloads without seeing the
+// jit layer; its fixed array must fit every reason.
+static_assert(xlvm::jit::kNumAbortReasons <=
+                  xlvm::xlayer::EventProfiler::kNumAbortReasons,
+              "EventProfiler abort-reason array too small");
 
 namespace xlvm {
 namespace minipy {
@@ -215,21 +222,26 @@ Interp::startBridgeTrace(uint32_t parent_trace, uint32_t guard_idx,
 }
 
 void
-Interp::abortTrace(const char *reason)
+Interp::noteAbort(jit::AbortReason reason)
 {
-#ifdef XLVM_DEBUG_TRACE
-    std::fprintf(stderr, "ABORT: %s (bridge=%d)\n", reason,
-                 int(recordingBridge));
-#endif
-    (void)reason;
     ++tracesAbortedCount;
     if (traceAnchorCode) {
         abortPenalty[mergeKey(traceAnchorCode, traceAnchorPc)] =
             ctx.config.jit.abortPenalty;
     }
     sim::BlockEmitter e(ctx.core, tracingCostPc);
-    e.annot(xlayer::kTraceAborted, 0);
+    e.annot(xlayer::kTraceAborted, uint32_t(reason));
     e.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Tracing));
+}
+
+void
+Interp::abortTrace(jit::AbortReason reason)
+{
+#ifdef XLVM_DEBUG_TRACE
+    std::fprintf(stderr, "ABORT: %s (bridge=%d)\n",
+                 jit::abortReasonName(reason), int(recordingBridge));
+#endif
+    noteAbort(reason);
     ctx.env.setRecorder(nullptr);
     recorder.reset();
 }
@@ -265,30 +277,101 @@ Interp::optParams() const
     return op;
 }
 
-void
+bool
 Interp::registerAndAttach(jit::Trace &&raw, bool is_bridge,
                           jit::Trace *bridge_target)
 {
     (void)bridge_target;
-    uint32_t id = ctx.registry.nextId();
     const vm::JitParams &jp = ctx.config.jit;
     const bool baseline = jp.tierMode == vm::TierMode::Tier1 ||
                           jp.tierMode == vm::TierMode::Multi;
     uint32_t rawOps = uint32_t(raw.ops.size());
 #ifdef XLVM_DEBUG_TRACE
-    raw.id = id;
+    raw.id = ctx.registry.nextId();
     std::fprintf(stderr, "=== RAW %s\n", raw.dump().c_str());
 #endif
+
+    // Containment gate 1: never hand a malformed recording to the
+    // backend — a structurally broken trace would corrupt the heap at
+    // execution time. Discard it and keep interpreting.
+    {
+        jit::VerifyResult vr =
+            jit::verifyTrace(raw, jit::AbortReason::kMalformedTrace);
+        if (!vr.ok) {
+            XLVM_WARN("recording rejected (safe bailout): ", vr.detail);
+            noteAbort(vr.reason);
+            return false;
+        }
+    }
+
+    // Containment gate 2: an injected backend failure discards the
+    // recording exactly like a real code-emission failure would.
+    if (ctx.faults.shouldFire(rt::FaultSite::kBackend)) {
+        noteAbort(jit::AbortReason::kInjected);
+        return false;
+    }
+
+    // Containment gate 3: trace-cache pressure. Evict cold roots to
+    // make room; abort the registration when nothing is evictable. An
+    // injected trace-cache fault exercises the same abort path. Traces
+    // the incoming recording references (call_assembler targets, the
+    // close-jump loop, the bridge's parent) are pinned for this pass.
+    evictionPins.clear();
+    for (const jit::ResOp &op : raw.ops) {
+        if (op.op == IrOp::CallAssembler)
+            evictionPins.insert(op.aux);
+        else if (op.op == IrOp::Jump && op.aux != 0)
+            evictionPins.insert(op.aux - 1);
+    }
+    if (is_bridge)
+        evictionPins.insert(bridgeParentTrace);
+    bool cacheFault = ctx.faults.shouldFire(rt::FaultSite::kTraceCache);
+    if (cacheFault || !ensureTraceCacheCapacity()) {
+        noteAbort(jit::AbortReason::kTraceCacheFull);
+        return false;
+    }
+
+    uint32_t id = ctx.registry.nextId();
+
+    // Graceful degradation: an over-budget, injected-faulty or
+    // verification-failing optimization retries at tier 1 (baseline
+    // lowering of the same recording) instead of discarding it.
+    jit::AbortReason downgrade = jit::AbortReason::kNone;
+    if (!baseline) {
+        if (jp.compileBudgetOps && rawOps > jp.compileBudgetOps)
+            downgrade = jit::AbortReason::kCompileBudget;
+        else if (ctx.faults.shouldFire(rt::FaultSite::kOptimizer))
+            downgrade = jit::AbortReason::kInjected;
+    }
 
     // Compile (tier by mode) and charge the modeled compile cost to the
     // Tracing phase, proportional to the recorded trace length.
     std::unique_ptr<jit::Trace> compiled;
     std::unique_ptr<jit::Trace> retained;
     uint64_t work;
-    if (baseline) {
+    if (!baseline && downgrade == jit::AbortReason::kNone) {
+        auto opt = std::make_unique<jit::Trace>(
+            jit::optimize(raw, optParams(), nullptr));
+        opt->id = id;
+        jit::VerifyResult vr =
+            jit::verifyTrace(*opt, jit::AbortReason::kOptimizerFailure);
+        if (vr.ok) {
+            compiled = std::move(opt);
+        } else {
+            XLVM_WARN("optimizer output rejected (tier-1 retry): ",
+                      vr.detail);
+            downgrade = jit::AbortReason::kOptimizerFailure;
+        }
+    }
+    if (compiled) {
+        ctx.backend.compile(*compiled);
+        work = uint64_t(rawOps) * ctx.env.costs().optPerOpInsts;
+        ctx.backend.addCompileCost(2, work);
+    } else {
         // Tier-1 baseline: lower the raw recording directly, skipping
-        // the optimizer entirely. Multi mode keeps a copy of the raw
-        // ops so a later tier-up can re-optimize from the original.
+        // the optimizer entirely — the mode default or a downgrade
+        // retry. Multi mode keeps a copy of the raw ops so a later
+        // tier-up can re-optimize from the original.
         if (jp.tierMode == vm::TierMode::Multi)
             retained = std::make_unique<jit::Trace>(raw);
         compiled = std::make_unique<jit::Trace>(std::move(raw));
@@ -296,18 +379,13 @@ Interp::registerAndAttach(jit::Trace &&raw, bool is_bridge,
         ctx.backend.compileBaseline(*compiled);
         work = uint64_t(rawOps) * ctx.env.costs().tier1PerOpInsts;
         ctx.backend.addCompileCost(1, work);
-    } else {
-        compiled = std::make_unique<jit::Trace>(
-            jit::optimize(raw, optParams(), nullptr));
-        compiled->id = id;
-        ctx.backend.compile(*compiled);
-        work = uint64_t(rawOps) * ctx.env.costs().optPerOpInsts;
-        ctx.backend.addCompileCost(2, work);
     }
     emitCompileCost(work, id);
 
     sim::BlockEmitter e(ctx.core, tracingCostPc);
-    if (baseline)
+    if (downgrade != jit::AbortReason::kNone)
+        e.annot(xlayer::kCompileDowngrade, id);
+    if (compiled->tier == 1)
         e.annot(xlayer::kTier1Compile, id);
     e.annot(is_bridge ? xlayer::kBridgeCompiled : xlayer::kLoopCompiled,
             id);
@@ -316,6 +394,105 @@ Interp::registerAndAttach(jit::Trace &&raw, bool is_bridge,
     ctx.registry.add(std::move(compiled));
     if (retained)
         ctx.registry.retainRaw(id, std::move(retained));
+    return true;
+}
+
+bool
+Interp::ensureTraceCacheCapacity()
+{
+    const vm::JitParams &jp = ctx.config.jit;
+    if (!jp.maxTraces)
+        return true;
+    while (ctx.registry.liveCount() >= jp.maxTraces) {
+        if (!evictColdestRoot())
+            return false;
+    }
+    return true;
+}
+
+bool
+Interp::evictColdestRoot()
+{
+    // Cross-trace references: call_assembler targets and bridge
+    // close-jumps into loop headers. A trace referenced from outside
+    // its own bridge closure must not be evicted (its id would dangle
+    // in live compiled code).
+    std::vector<std::pair<uint32_t, uint32_t>> edges; // (from, to)
+    for (const auto &tp : ctx.registry.all()) {
+        if (!tp)
+            continue;
+        for (const jit::ResOp &op : tp->ops) {
+            if (op.op == IrOp::CallAssembler)
+                edges.emplace_back(tp->id, op.aux);
+            else if (op.op == IrOp::Jump && op.aux != 0)
+                edges.emplace_back(tp->id, op.aux - 1);
+        }
+    }
+
+    jit::Trace *best = nullptr;
+    std::vector<uint32_t> bestClosure;
+    for (const auto &tp : ctx.registry.all()) {
+        jit::Trace *t = tp.get();
+        if (!t || t->isBridge)
+            continue;
+        // The root plus every bridge reachable through its guard exits
+        // (bridges of bridges included) leave together.
+        std::unordered_set<uint32_t> closure;
+        std::vector<jit::Trace *> work{t};
+        closure.insert(t->id);
+        while (!work.empty()) {
+            jit::Trace *cur = work.back();
+            work.pop_back();
+            for (const jit::GuardState &gs : cur->guardStates) {
+                if (gs.bridgeTraceId < 0)
+                    continue;
+                jit::Trace *b =
+                    ctx.registry.byId(uint32_t(gs.bridgeTraceId));
+                if (b && closure.insert(b->id).second)
+                    work.push_back(b);
+            }
+        }
+        bool pinnedOrReferenced = false;
+        for (uint32_t id : closure) {
+            if (evictionPins.count(id)) {
+                pinnedOrReferenced = true;
+                break;
+            }
+        }
+        for (const auto &[from, to] : edges) {
+            if (pinnedOrReferenced)
+                break;
+            if (closure.count(to) && !closure.count(from))
+                pinnedOrReferenced = true;
+        }
+        if (pinnedOrReferenced)
+            continue;
+        if (!best || t->executions < best->executions ||
+            (t->executions == best->executions && t->id < best->id)) {
+            best = t;
+            bestClosure.assign(closure.begin(), closure.end());
+        }
+    }
+    if (!best)
+        return false;
+
+    std::sort(bestClosure.begin(), bestClosure.end());
+    sim::BlockEmitter e(ctx.core, tracingCostPc);
+    for (uint32_t id : bestClosure) {
+        e.annot(xlayer::kTraceEvicted, id);
+        ctx.registry.evict(id);
+        // Drop pending executor work against the evicted ids.
+        auto &promos = ctx.executor.pendingPromotions;
+        promos.erase(std::remove(promos.begin(), promos.end(), id),
+                     promos.end());
+        auto &hot = ctx.executor.hotGuards;
+        hot.erase(std::remove_if(hot.begin(), hot.end(),
+                                 [id](const auto &hg) {
+                                     return hg.first == id;
+                                 }),
+                  hot.end());
+    }
+    return true;
 }
 
 void
@@ -333,11 +510,21 @@ void
 Interp::promoteTrace(uint32_t trace_id)
 {
     jit::Trace *t = ctx.registry.byId(trace_id);
-    if (t->tier != 1)
-        return;
+    if (!t || t->tier != 1)
+        return; // evicted since the request, or already promoted
     std::unique_ptr<jit::Trace> raw = ctx.registry.takeRaw(trace_id);
     if (!raw)
         return; // no retained recording (tier1-only mode)
+    const vm::JitParams &jp = ctx.config.jit;
+    if ((jp.compileBudgetOps && raw->ops.size() > jp.compileBudgetOps) ||
+        ctx.faults.shouldFire(rt::FaultSite::kOptimizer)) {
+        // Over budget or injected optimizer fault: stay at tier 1 (the
+        // baseline program keeps running; promotionRequested stays set
+        // so the request is not re-queued).
+        sim::BlockEmitter e(ctx.core, tracingCostPc);
+        e.annot(xlayer::kCompileDowngrade, trace_id);
+        return;
+    }
 
     // Re-optimize the original recording and swap the trace's program
     // in place; the trace keeps its id, anchor and hotness, so the
@@ -351,6 +538,17 @@ Interp::promoteTrace(uint32_t trace_id)
     uint32_t rawOps = uint32_t(raw->ops.size());
     jit::Trace optimized = jit::optimize(*raw, optParams(), nullptr);
     optimized.id = trace_id;
+    jit::VerifyResult vr =
+        jit::verifyTrace(optimized, jit::AbortReason::kOptimizerFailure);
+    if (!vr.ok) {
+        // Keep running the verified tier-1 program instead.
+        XLVM_WARN("promotion output rejected (staying tier-1): ",
+                  vr.detail);
+        sim::BlockEmitter fin(ctx.core, tracingCostPc);
+        fin.annot(xlayer::kCompileDowngrade, trace_id);
+        fin.annot(xlayer::kPhaseExit, uint32_t(xlayer::Phase::Tracing));
+        return;
+    }
     ctx.backend.promote(*t, std::move(optimized));
 
     uint64_t work = uint64_t(rawOps) * ctx.env.costs().optPerOpInsts;
@@ -383,8 +581,8 @@ Interp::finishLoopTrace()
     jit::Trace raw = recorder->take();
     ctx.env.setRecorder(nullptr);
     recorder.reset();
-    ++tracesCompleted;
-    registerAndAttach(std::move(raw), false, nullptr);
+    if (registerAndAttach(std::move(raw), false, nullptr))
+        ++tracesCompleted;
 }
 
 void
@@ -395,9 +593,10 @@ Interp::finishBridgeTrace(jit::Trace *target)
     jit::Trace raw = recorder->take();
     ctx.env.setRecorder(nullptr);
     recorder.reset();
-    ++bridgesCompleted;
     uint32_t bridgeId = ctx.registry.nextId();
-    registerAndAttach(std::move(raw), true, target);
+    if (!registerAndAttach(std::move(raw), true, target))
+        return;
+    ++bridgesCompleted;
     ctx.registry.byId(bridgeParentTrace)
         ->guardStates[bridgeGuardIdx]
         .bridgeTraceId = int32_t(bridgeId);
@@ -423,6 +622,47 @@ Interp::captureSnapshot()
 }
 
 bool
+Interp::checkBlacklist(jit::Trace *t)
+{
+    if (!t->blacklisted)
+        return true;
+    // Demoted to the interpreter: each merge-point visit burns one
+    // cooldown tick; at zero the trace is re-armed for another try.
+    if (t->cooldownRemaining > 0 && --t->cooldownRemaining == 0) {
+        t->blacklisted = false;
+        t->stormScore = 0;
+        sim::BlockEmitter e(ctx.core, tracingCostPc);
+        e.annot(xlayer::kTraceRearmed, t->id);
+        return true;
+    }
+    return false;
+}
+
+void
+Interp::noteTraceProgress(jit::Trace *t, uint64_t iters)
+{
+    const vm::JitParams &jp = ctx.config.jit;
+    if (!jp.stormThreshold)
+        return;
+    if (iters > 0) {
+        t->stormScore = 0;
+        return;
+    }
+    // Zero-progress entry: the run failed a guard before completing a
+    // single back-edge. A storm of these means the compiled code no
+    // longer matches the live types and every entry is pure overhead.
+    if (++t->stormScore < jp.stormThreshold)
+        return;
+    t->blacklisted = true;
+    t->stormScore = 0;
+    uint32_t gen = ++t->blacklistGen;
+    uint32_t shift = std::min(gen - 1, jp.blacklistBackoffCap);
+    t->cooldownRemaining = uint64_t(jp.blacklistCooldown) << shift;
+    sim::BlockEmitter e(ctx.core, tracingCostPc);
+    e.annot(xlayer::kTraceBlacklisted, t->id);
+}
+
+bool
 Interp::maybeEnterCompiledTrace(Frame &f)
 {
     // Apply queued tier-ups first so the program swap is atomic between
@@ -430,6 +670,8 @@ Interp::maybeEnterCompiledTrace(Frame &f)
     drainPromotions();
     jit::Trace *t = ctx.registry.loopFor(f.code, f.pc);
     if (!t)
+        return false;
+    if (!checkBlacklist(t))
         return false;
     if (t->numInputs != f.locals.size() + f.stack.size())
         return false;
@@ -441,7 +683,9 @@ Interp::maybeEnterCompiledTrace(Frame &f)
         inputs.push_back(jit::RtVal::fromRef(w));
 
     size_t rootDepth = frames.size() - 1;
+    uint64_t itersBefore = ctx.executor.iterationCount();
     vm::DeoptResult res = ctx.executor.run(*t, std::move(inputs));
+    noteTraceProgress(t, ctx.executor.iterationCount() - itersBefore);
     applyDeopt(res, rootDepth);
 
     // Bridge requests from hot guard exits. A trace that is about to
@@ -495,6 +739,8 @@ Interp::maybeCallAssembler(Frame &f)
     jit::Trace *t = ctx.registry.loopFor(f.code, f.pc);
     if (!t)
         return false;
+    if (t->blacklisted)
+        return false; // storming inner loop: keep interpreting it
     if (t->numInputs != f.locals.size() + f.stack.size())
         return false;
     // If an inner trace entered here deopts without advancing (e.g., an
@@ -525,7 +771,7 @@ Interp::maybeCallAssembler(Frame &f)
         static_cast<Code *>(res.frames[0].code) != f.code) {
         // Exit state not expressible as call_assembler: the real state
         // has advanced, so the recording is no longer a prefix — abort.
-        abortTrace("call_assembler multi-frame exit");
+        abortTrace(jit::AbortReason::kCallAssemblerExit);
         applyDeopt(res, depthBefore);
         return true;
     }
@@ -537,6 +783,25 @@ Interp::maybeCallAssembler(Frame &f)
     jit::FrameSnapshot inF;
     inF.stack = std::move(inEncs);
     io.frames.push_back(std::move(inF));
+    // Capture the outer resume frames with their PRE-call encodings,
+    // before any live object is rebound to the call's fresh output
+    // boxes below: on an unexpected inner exit those boxes are never
+    // written, so a snapshot referencing them would materialize stale
+    // or default register values into the rebuilt frames.
+    std::vector<jit::FrameSnapshot> outerFs;
+    for (size_t d = traceRootDepth; d + 1 < frames.size(); ++d) {
+        Frame &outer = *frames[d];
+        jit::FrameSnapshot ofs;
+        ofs.code = outer.code;
+        ofs.pc = outer.pc;
+        for (W_Object *w : outer.locals) {
+            ofs.locals.push_back(w ? recorder->refEncoding(w)
+                                   : recorder->constRef(nullptr));
+        }
+        for (W_Object *w : outer.stack)
+            ofs.stack.push_back(recorder->refEncoding(w));
+        outerFs.push_back(std::move(ofs));
+    }
     jit::FrameSnapshot outF;
     outF.code = res.frames[0].code;
     outF.pc = res.frames[0].pc;
@@ -553,19 +818,8 @@ Interp::maybeCallAssembler(Frame &f)
         outF.stack.push_back(box);
     }
     io.frames.push_back(std::move(outF));
-    for (size_t d = traceRootDepth; d + 1 < frames.size(); ++d) {
-        Frame &outer = *frames[d];
-        jit::FrameSnapshot ofs;
-        ofs.code = outer.code;
-        ofs.pc = outer.pc;
-        for (W_Object *w : outer.locals) {
-            ofs.locals.push_back(w ? recorder->refEncoding(w)
-                                   : recorder->constRef(nullptr));
-        }
-        for (W_Object *w : outer.stack)
-            ofs.stack.push_back(recorder->refEncoding(w));
+    for (jit::FrameSnapshot &ofs : outerFs)
         io.frames.push_back(std::move(ofs));
-    }
     // Keep a copy of the output encodings to restore slot shadows.
     std::vector<int32_t> outLocalEnc = io.frames[1].locals;
     std::vector<int32_t> outStackEnc = io.frames[1].stack;

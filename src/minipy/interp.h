@@ -19,7 +19,9 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "jit/bailout.h"
 #include "minipy/code.h"
 #include "vm/context.h"
 
@@ -164,7 +166,11 @@ class Interp : public gc::RootProvider
     void startLoopTrace(Code *code, uint32_t pc);
     void startBridgeTrace(uint32_t parent_trace, uint32_t guard_idx,
                           size_t root_depth);
-    void abortTrace(const char *reason);
+    /** Discard the active recording and fall back to the interpreter. */
+    void abortTrace(jit::AbortReason reason);
+    /** Abort bookkeeping shared with registration-time failures:
+     *  counters, merge-point penalty, kTraceAborted annotation. */
+    void noteAbort(jit::AbortReason reason);
     void finishLoopTrace();
     void finishBridgeTrace(jit::Trace *target);
     bool maybeEnterCompiledTrace(Frame &f);
@@ -174,8 +180,19 @@ class Interp : public gc::RootProvider
     jit::Snapshot captureSnapshot();
     std::vector<int32_t> frameSlotEncodings(Frame &f);
     void emitTracingCost();
-    void registerAndAttach(jit::Trace &&raw, bool is_bridge,
+    /** Returns false when the recording was discarded (verification
+     *  failure, injected backend fault, trace-cache exhaustion); the
+     *  abort is already accounted via noteAbort. */
+    bool registerAndAttach(jit::Trace &&raw, bool is_bridge,
                            jit::Trace *bridge_target);
+    /** Deopt-storm detection / blacklist cooldown for a compiled root;
+     *  returns false while the trace is demoted to the interpreter. */
+    bool checkBlacklist(jit::Trace *t);
+    void noteTraceProgress(jit::Trace *t, uint64_t iters);
+    /** Trace-cache pressure: evict cold roots until a slot is free.
+     *  Returns false when nothing is evictable. */
+    bool ensureTraceCacheCapacity();
+    bool evictColdestRoot();
     /** Modeled compile-cost instruction loop at the tracing cost site,
      *  sampled under a Compile context for @p trace_id. */
     void emitCompileCost(uint64_t work, uint32_t trace_id);
@@ -198,6 +215,8 @@ class Interp : public gc::RootProvider
 
     /** Hot-loop counters keyed by (code, pc). */
     std::unordered_map<uint64_t, uint32_t> loopCounters;
+    /** Trace ids pinned against eviction during one registration. */
+    std::unordered_set<uint32_t> evictionPins;
     /** Merge points blacklisted after aborts (penalty countdown). */
     std::unordered_map<uint64_t, uint32_t> abortPenalty;
 

@@ -157,13 +157,36 @@ Interp::loop()
         // Budget check (coarse).
         if ((dispatchCount & 255) == 0 && ctx.budgetExhausted()) {
             if (tracing())
-                abortTrace("budget");
+                abortTrace(jit::AbortReason::kBudgetExhausted);
             return false;
         }
         ++dispatchCount;
 
         // GC safepoint: full root set is visible here.
         ctx.heap.safepoint();
+
+        // Fault-injection trigger points (zero-cost when disarmed: one
+        // predictable branch). Trigger counters are deterministic: they
+        // tick per dispatch (gc_hook, sim_memo) or per traced dispatch
+        // (recorder), never on wall-clock or sampled state.
+        if (ctx.faults.armed()) {
+            if (tracing() &&
+                ctx.faults.shouldFire(rt::FaultSite::kRecorder)) {
+                // Simulated recorder type-confusion: safe bailout.
+                abortTrace(jit::AbortReason::kInjected);
+            }
+            if (ctx.faults.shouldFire(rt::FaultSite::kGcHook) &&
+                tracing()) {
+                // A GC hook misbehaving mid-recording invalidates the
+                // recorder's object identities: discard the recording.
+                abortTrace(jit::AbortReason::kInjected);
+            }
+            if (ctx.faults.shouldFire(rt::FaultSite::kSimMemo)) {
+                // Host-side only: drop every memoized block. Modeled
+                // counters are invariant by the memo contract.
+                ctx.core.memoInvalidateEntries();
+            }
+        }
 
         // Merge-point logic while tracing. Note: compiled traces are
         // *entered* only from backward jumps (the can_enter_jit point in
@@ -220,7 +243,7 @@ Interp::loop()
             if (!recorder->atMergePoint(
                     uint8_t(ins.op),
                     [s = std::move(snap)] { return s; })) {
-                abortTrace("trace too long");
+                abortTrace(jit::AbortReason::kTraceTooLong);
             }
         }
 
@@ -588,7 +611,7 @@ Interp::loop()
             bool discard = fr.discardReturn;
             if (tracing()) {
                 if (frames.size() - 1 == traceRootDepth) {
-                    abortTrace("return from trace root frame");
+                    abortTrace(jit::AbortReason::kRootEscape);
                     e = kNoArg;
                 } else if (frames.size() - 1 < traceRootDepth) {
                     XLVM_PANIC("trace root below current frame");
@@ -674,7 +697,7 @@ Interp::loop()
             for (int i = ins.arg - 1; i >= 0; --i)
                 items[i] = popV(fr, &encs[i]);
             if (tracing() && ins.arg > jit::kMaxOpArgs)
-                abortTrace("BUILD_TUPLE too wide");
+                abortTrace(jit::AbortReason::kUnsupportedOp);
             W_Tuple *t;
             if (tracing()) {
                 int32_t a[jit::kMaxOpArgs] = {kNoArg, kNoArg, kNoArg,
@@ -782,7 +805,7 @@ Interp::loop()
 
           case Op::MakeFunction: {
             if (tracing())
-                abortTrace("MakeFunction while tracing");
+                abortTrace(jit::AbortReason::kUnsupportedOp);
             Code *code = prog.codes[ins.arg].get();
             W_Func *fn = ctx.heap.alloc<W_Func>(code, globalsDict,
                                                 code->name);
@@ -793,7 +816,7 @@ Interp::loop()
           }
           case Op::MakeClass: {
             if (tracing())
-                abortTrace("MakeClass while tracing");
+                abortTrace(jit::AbortReason::kUnsupportedOp);
             const ClassSpec &spec = prog.classes[ins.arg];
             W_Class *cls = ctx.heap.alloc<W_Class>(spec.name);
             if (!spec.baseName.empty()) {

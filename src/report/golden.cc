@@ -194,11 +194,30 @@ loadReport(const std::string &path, Json *out, std::string *err)
     }
     std::ostringstream ss;
     ss << f.rdbuf();
+    if (f.bad()) {
+        if (err)
+            *err = "read error on " + path;
+        return false;
+    }
+    std::string text = ss.str();
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+        if (err)
+            *err = path + ": empty report (truncated write?)";
+        return false;
+    }
     std::string parseErr;
-    Json doc = Json::parse(ss.str(), &parseErr);
-    if (doc.isNull() && !parseErr.empty()) {
+    Json doc = Json::parse(text, &parseErr);
+    if (!parseErr.empty()) {
         if (err)
             *err = path + ":" + parseErr;
+        return false;
+    }
+    // A bare literal ("null", "42", an array) parses cleanly but is not
+    // a report; comparing against one would vacuously pass, hiding a
+    // corrupt golden. Insist on the top-level object shape.
+    if (!doc.isObject()) {
+        if (err)
+            *err = path + ": not a JSON report object";
         return false;
     }
     *out = std::move(doc);

@@ -107,6 +107,10 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("config", "tier_mode", uint64_t(opts.tierMode));
     addU("config", "tier1_threshold", opts.tier1Threshold);
     addU("config", "tier2_threshold", opts.tier2Threshold);
+    addU("config", "storm_threshold", opts.stormThreshold);
+    addU("config", "blacklist_cooldown", opts.blacklistCooldown);
+    addU("config", "compile_budget_ops", opts.compileBudgetOps);
+    addU("config", "max_traces", opts.maxTraces);
 
     // Machine level: whole-run counters and derived ratios (Tables I/II).
     uint64_t totalInstrs = 0;
@@ -239,6 +243,43 @@ MetricsRegistry::addRun(const driver::RunOptions &opts,
     addU("jit_tiers", "tier2_compile_insts", r.tier2CompileInsts);
     addU("jit_tiers", "tier1_cycles_fp", r.tier1CyclesFp);
     addU("jit_tiers", "tier2_cycles_fp", r.tier2CyclesFp);
+
+    // Fault containment (schema v7). Abort reasons and the blacklist /
+    // eviction / downgrade counts are modeled (annotation-derived) and
+    // deterministic; every reason key is always emitted so goldens pin
+    // the full vocabulary. The fault_* trigger telemetry is host-side
+    // bookkeeping — visit counters move when a spec is merely armed —
+    // so the armed golden CI pass ignores this section wholesale.
+    for (uint32_t rr = 1; rr < jit::kNumAbortReasons; ++rr) {
+        std::string key =
+            std::string("aborted_") +
+            jit::abortReasonName(jit::AbortReason(rr));
+        Metric e;
+        e.section = "jit_robustness";
+        e.name = key;
+        e.u = r.abortReasons[rr];
+        m.push_back(std::move(e));
+    }
+    addU("jit_robustness", "traces_blacklisted", r.tracesBlacklisted);
+    addU("jit_robustness", "traces_rearmed", r.tracesRearmed);
+    addU("jit_robustness", "traces_evicted", r.tracesEvicted);
+    addU("jit_robustness", "compile_downgrades", r.compileDowngrades);
+    addU("jit_robustness", "live_traces", r.liveTraces);
+    addU("jit_robustness", "faults_armed", r.faultsArmed);
+    for (uint32_t s = 0; s < rt::kNumFaultSites; ++s) {
+        std::string base =
+            std::string("fault_") + rt::faultSiteName(rt::FaultSite(s));
+        Metric e;
+        e.section = "jit_robustness";
+        e.name = base + "_visits";
+        e.u = r.faultVisits[s];
+        m.push_back(e);
+        e = Metric();
+        e.section = "jit_robustness";
+        e.name = base + "_fired";
+        e.u = r.faultFired[s];
+        m.push_back(std::move(e));
+    }
 
     // Latency distributions: percentiles of the always-on host-side
     // histograms (whole modeled cycles). Deterministic and invariant

@@ -76,8 +76,14 @@ class MetricsRegistry
      * profiler section (sampling-profiler telemetry; only non-zero
      * when profiling is on, so the profiler-on differential CI pass
      * compares goldens with --ignore-section profiler).
+     * v7: added config/storm_threshold + blacklist_cooldown +
+     * compile_budget_ops + max_traces and the jit_robustness section
+     * (per-reason trace-abort counters, blacklist/re-arm/eviction/
+     * downgrade counts — all modeled and golden-gated — plus the
+     * fault-injection trigger telemetry, which is host-side: the armed
+     * golden CI pass compares with --ignore-section jit_robustness).
      */
-    static constexpr uint64_t kSchemaVersion = 6;
+    static constexpr uint64_t kSchemaVersion = 7;
 
     explicit MetricsRegistry(std::string report_name);
 

@@ -67,6 +67,7 @@ runProvenance(const driver::RunOptions &opts)
     p.set("bridge_threshold", Json(opts.bridgeThreshold));
     p.set("fuse_micro_ops", Json(opts.jitFuseMicroOps));
     p.set("ir_annotations", Json(opts.irAnnotations));
+    p.set("inject", Json(opts.inject.empty() ? "off" : opts.inject));
     return p;
 }
 
@@ -225,6 +226,25 @@ ProfileBuilder::addRun(const driver::RunOptions &opts,
     latency.set("iteration", histJson(r.iterationLatency));
     latency.set("execution", histJson(r.executionLength));
     run.set("latency", std::move(latency));
+
+    // Failure provenance (schema v7): why recordings died and which
+    // containment paths ran, so a deopt-heavy profile can be read next
+    // to its abort story. Only non-zero reasons are emitted.
+    Json rob = Json::object();
+    Json aborts = Json::object();
+    for (uint32_t rr = 1; rr < jit::kNumAbortReasons; ++rr) {
+        if (r.abortReasons[rr]) {
+            aborts.set(jit::abortReasonName(jit::AbortReason(rr)),
+                       Json(r.abortReasons[rr]));
+        }
+    }
+    rob.set("aborts", std::move(aborts));
+    rob.set("traces_blacklisted", Json(r.tracesBlacklisted));
+    rob.set("traces_rearmed", Json(r.tracesRearmed));
+    rob.set("traces_evicted", Json(r.tracesEvicted));
+    rob.set("compile_downgrades", Json(r.compileDowngrades));
+    rob.set("live_traces", Json(r.liveTraces));
+    run.set("robustness", std::move(rob));
 
     runs_.push(std::move(run));
 }

@@ -127,6 +127,13 @@ Core::refreshAnnotPurity()
 }
 
 void
+Core::memoInvalidateEntries()
+{
+    if (memo_)
+        memo_->invalidateEntries();
+}
+
+void
 Core::memoSessionBegin(uint32_t est_records)
 {
     if (!memo_)

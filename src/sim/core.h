@@ -613,6 +613,15 @@ class Core
     /** The memoization engine, for tests (null when disabled). */
     BlockMemo *memoForTest() { return memo_.get(); }
 
+    /**
+     * Forcibly drop every memo entry (fault injection / chaos testing).
+     * Keeps statistics; by the memo contract the modeled counters are
+     * unaffected — the dropped blocks are simply re-recorded. No-op
+     * when memoization is disabled. Must not be called while a
+     * TraceExecutor session is live.
+     */
+    void memoInvalidateEntries();
+
     const PerfCounters &bucketCounters(uint32_t b) const;
 
     /** Read-only view of the L1 caches (hit/miss counters for reports). */

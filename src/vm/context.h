@@ -15,6 +15,7 @@
 
 #include "jit/backend.h"
 #include "obj/space.h"
+#include "rt/faults.h"
 #include "vm/executor.h"
 #include "vm/gchooks.h"
 #include "vm/registry.h"
@@ -47,6 +48,12 @@ struct VmConfig
     uint64_t workSampleInstrs = 100000;
     /** Instruction budget: dispatch loops stop at the next safe point. */
     uint64_t maxInstructions = 0; ///< 0 = unlimited
+    /**
+     * Fault-injection spec (rt::FaultEngine grammar); empty = disarmed.
+     * Must be pre-validated (the driver rejects malformed specs); the
+     * context constructor treats a parse failure as fatal.
+     */
+    std::string inject;
 };
 
 class VmContext
@@ -73,6 +80,9 @@ class VmContext
           sampler(core, cfg.sampler)
     {
         heap.setHooks(&gcHooks);
+        std::string injectErr;
+        if (!faults.configure(cfg.inject, &injectErr))
+            XLVM_FATAL("bad fault-injection spec: ", injectErr);
         if (tracer.enabled()) {
             tracer.setCounterSampler([this] {
                 xlayer::TraceCounterSample s{};
@@ -110,6 +120,11 @@ class VmContext
     jit::Backend backend;
     TraceRegistry registry;
     TraceExecutor executor;
+    /**
+     * Deterministic fault injection (per context, like the sampler, so
+     * --jobs never perturbs trigger counters). Disarmed by default.
+     */
+    rt::FaultEngine faults;
     /** Declared last: its destructor disarms the core's sample hook. */
     xlayer::CycleSampler sampler;
 };

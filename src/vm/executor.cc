@@ -320,6 +320,8 @@ TraceExecutor::run(Trace &trace, std::vector<RtVal> inputs)
         // one JIT entry at our benchmark scales.
         std::string all;
         for (const auto &tr : registry.all()) {
+            if (!tr)
+                continue;
             all += tr->dump();
             for (size_t g = 0; g < tr->guardStates.size(); ++g) {
                 if (tr->guardStates[g].failCount) {

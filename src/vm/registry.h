@@ -92,6 +92,34 @@ struct JitParams
     uint32_t tier1Threshold = 130;
     /** Tier-1 trace executions before promotion to the optimizing tier. */
     uint32_t tier2Threshold = 100;
+
+    /**
+     * Deopt-storm blacklisting: consecutive zero-progress trace entries
+     * (a run that fails a guard before completing one back-edge) before
+     * the trace is demoted to the interpreter. Re-armed after
+     * blacklistCooldown merge-point visits, doubling per generation
+     * (exponential backoff, capped). 0 disables detection. The default
+     * sits above bridgeThreshold so bridge compilation gets the first
+     * shot at fixing a hot exit.
+     */
+    uint32_t stormThreshold = 600;
+    uint32_t blacklistCooldown = 4000;
+    /** Cap on blacklist backoff doublings (cooldown << generation). */
+    uint32_t blacklistBackoffCap = 6;
+    /**
+     * Compile budget: recordings longer than this many ops skip the
+     * optimizing tier and retry as a tier-1 baseline compile (the
+     * optimizer's cost is superlinear in trace length). 0 = unlimited.
+     */
+    uint32_t compileBudgetOps = 0;
+    /**
+     * Trace-cache capacity in live traces (roots + bridges). At
+     * registration pressure the coldest unreferenced loop root (lowest
+     * execution count, then lowest id) is evicted together with its
+     * bridge closure; if nothing is evictable the new recording aborts
+     * with kTraceCacheFull. 0 = unlimited.
+     */
+    uint32_t maxTraces = 0;
 };
 
 class TraceRegistry : public gc::RootProvider
@@ -123,6 +151,7 @@ class TraceRegistry : public gc::RootProvider
         return it == loops.end() ? nullptr : it->second;
     }
 
+    /** Trace by id; nullptr when the slot was evicted. */
     jit::Trace *
     byId(uint32_t id)
     {
@@ -133,6 +162,41 @@ class TraceRegistry : public gc::RootProvider
     uint32_t nextId() const { return uint32_t(traces.size()); }
     size_t size() const { return traces.size(); }
 
+    /** Live (non-evicted) trace count. */
+    size_t
+    liveCount() const
+    {
+        size_t n = 0;
+        for (const auto &t : traces)
+            if (t)
+                ++n;
+        return n;
+    }
+
+    /**
+     * Drop trace @p id under cache pressure. Ids are stable (the slot
+     * stays, holding nullptr) so bridgeTraceId / call_assembler targets
+     * of surviving traces never dangle — callers pick eviction
+     * candidates that are unreferenced. Backend code is append-only
+     * arena memory and is intentionally not reclaimed.
+     */
+    void
+    evict(uint32_t id)
+    {
+        XLVM_ASSERT(id < traces.size(), "bad trace id");
+        jit::Trace *t = traces[id].get();
+        if (!t)
+            return;
+        if (!t->isBridge) {
+            auto it = loops.find(key(t->anchorCode, t->anchorPc));
+            if (it != loops.end() && it->second == t)
+                loops.erase(it);
+        }
+        rawTraces.erase(id);
+        traces[id].reset();
+    }
+
+    /** All slots, in id order; evicted slots hold nullptr. */
     const std::vector<std::unique_ptr<jit::Trace>> &all() const
     {
         return traces;
@@ -166,6 +230,8 @@ class TraceRegistry : public gc::RootProvider
     forEachRoot(gc::GcVisitor &v) override
     {
         for (const auto &t : traces) {
+            if (!t)
+                continue;
             for (const jit::RtVal &c : t->consts) {
                 if (c.kind == jit::RtVal::Kind::Ref && c.r)
                     v.visit(static_cast<gc::GcObject *>(c.r));

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Stress workloads: adversarial inputs for the fault-containment
+ * subsystem. These are deliberately NOT part of pypySuite()/clbgSuite()
+ * — they exist to provoke pathologies (deopt storms, guard churn) that
+ * the paper's benchmark miniatures are tuned to avoid, so they are
+ * resolvable through findWorkload() (tests, chaos CI, EXPERIMENTS.md
+ * sweeps) without perturbing the figure sweeps or the golden sets.
+ */
+
+#include "workloads/suites.h"
+
+namespace xlvm {
+namespace workloads {
+
+std::vector<Workload>
+stressPart()
+{
+    std::vector<Workload> out;
+
+    // Deopt-storm generator. Phase 1 ({hot} outer iterations) runs the
+    // inner loop with flag=1, so it traces and compiles with a guard on
+    // the hot if-branch. Phase 2 flips flag=0: the loop still iterates
+    // (trace entry happens at the backward jump, so a loop that stops
+    // iterating would simply never be entered), but every entry now
+    // fails the flag guard before completing a single back edge — a
+    // zero-progress entry. Without storm blacklisting the VM pays
+    // trace-entry + deopt overhead on every inner iteration for the
+    // rest of the run; with it, the trace is demoted to the interpreter
+    // after stormThreshold consecutive zero-progress entries and
+    // re-armed on an exponential cooldown. The wide tuples are
+    // deliberate tracing poison (BuildTuple beyond kMaxOpArgs aborts
+    // the recorder): the one in the outer body keeps the OUTER loop
+    // interpreted, so the storm stays visible at the interpreter's
+    // merge point instead of being absorbed into an outer compiled
+    // trace; the one on the cold if-branch makes any bridge recorded
+    // from the storming guard abort, so no bridge rescues the churn.
+    // The final accumulator only depends on phase 1, so the printed
+    // line is invariant under scale and every containment policy.
+    out.push_back({
+        "guard_churn", "stress",
+        R"PY(
+def kernel(reps, hot):
+    acc = 0
+    r = 0
+    while r < reps:
+        poison = (r, r, r, r, r)
+        if r < hot:
+            flag = 1
+        else:
+            flag = 0
+        j = 0
+        while j < 64:
+            if flag:
+                acc = acc + j
+            else:
+                trap = (j, j, j, j, j)
+            j = j + 1
+        r = r + 1
+    return acc
+
+print(kernel({N}, 400))
+)PY",
+        "", // no MiniRkt translation
+        "adversarial deopt storm: a compiled inner loop whose trip "
+        "count collapses to zero, so every entry exits through its "
+        "first guard with no progress (tests storm blacklisting)",
+        5000,
+        "806400",
+    });
+
+    // Trace-cache pressure generator: eight independent hot loops run
+    // one after another, each abandoned once it finishes. Under a
+    // small --max-traces cap, registering a later loop must evict an
+    // earlier, now-cold root (no cross-trace references pin them), so
+    // the cache stays at the cap while the program keeps compiling its
+    // current hot code.
+    out.push_back({
+        "loop_parade", "stress",
+        R"PY(
+def parade(n):
+    total = 0
+    a = 0
+    while a < n:
+        total = total + a
+        a = a + 1
+    b = 0
+    while b < n:
+        total = total + 2 * b
+        b = b + 1
+    c = 0
+    while c < n:
+        total = total + 3 * c
+        c = c + 1
+    d = 0
+    while d < n:
+        total = total + 4 * d
+        d = d + 1
+    e = 0
+    while e < n:
+        total = total + 5 * e
+        e = e + 1
+    f = 0
+    while f < n:
+        total = total + 6 * f
+        f = f + 1
+    g = 0
+    while g < n:
+        total = total + 7 * g
+        g = g + 1
+    h = 0
+    while h < n:
+        total = total + 8 * h
+        h = h + 1
+    return total
+
+print(parade({N}))
+)PY",
+        "", // no MiniRkt translation
+        "trace-cache pressure: sequential independent hot loops, each "
+        "cold by the time the next compiles (tests --max-traces "
+        "eviction)",
+        400,
+        "2872800",
+    });
+
+    return out;
+}
+
+} // namespace workloads
+} // namespace xlvm

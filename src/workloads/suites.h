@@ -15,6 +15,7 @@ std::vector<Workload> pypySuiteA();
 std::vector<Workload> pypySuiteB();
 std::vector<Workload> pypySuiteC();
 std::vector<Workload> clbgPart();
+std::vector<Workload> stressPart();
 void attachRktSources(std::vector<Workload> &clbg);
 
 } // namespace workloads

@@ -77,12 +77,21 @@ clbgSuite()
     return suite;
 }
 
+const std::vector<Workload> &
+stressSuite()
+{
+    static const std::vector<Workload> suite = stressPart();
+    return suite;
+}
+
 const Workload *
 findWorkload(const std::string &name)
 {
     if (const Workload *w = findIn(pypySuite(), name))
         return w;
-    return findIn(clbgSuite(), name);
+    if (const Workload *w = findIn(clbgSuite(), name))
+        return w;
+    return findIn(stressSuite(), name);
 }
 
 std::string

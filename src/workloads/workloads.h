@@ -37,6 +37,13 @@ const std::vector<Workload> &pypySuite();
 /** Table II / Figure 4 workloads (CLBG analogs). */
 const std::vector<Workload> &clbgSuite();
 
+/**
+ * Adversarial stress workloads for the fault-containment subsystem
+ * (deopt storms, guard churn). Resolvable via findWorkload() but kept
+ * out of the figure sweeps and golden sets by construction.
+ */
+const std::vector<Workload> &stressSuite();
+
 const Workload *findWorkload(const std::string &name);
 
 /** Substitute the {N} scale placeholder. */

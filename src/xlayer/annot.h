@@ -93,6 +93,21 @@ enum AnnotTag : uint32_t
      */
     kSuperblockHit = 21,
     kSuperblockDiverge = 22,
+
+    /**
+     * Framework level: fault containment (schema v7). kTraceAborted
+     * (tag 6) carries a jit::AbortReason as payload from v7 on.
+     * kTraceBlacklisted marks a compiled trace demoted to the
+     * interpreter after a deopt storm, kTraceRearmed its re-enable
+     * after cooldown, kTraceEvicted a root (plus bridges) dropped
+     * under trace-cache pressure, and kCompileDowngrade a compile
+     * retried at tier 1 (budget cap, optimizer failure or injected
+     * fault). payload = trace id.
+     */
+    kTraceBlacklisted = 23,
+    kTraceRearmed = 24,
+    kTraceEvicted = 25,
+    kCompileDowngrade = 26,
 };
 
 } // namespace xlayer

@@ -28,6 +28,21 @@ EventProfiler::onAnnot(uint32_t tag, uint32_t payload)
         break;
       case kTraceAborted:
         ++tracesAborted;
+        // v7: payload is a jit::AbortReason; unknown values land in
+        // slot 0 ("none") so pre-v7 streams still aggregate cleanly.
+        ++abortReasons[payload < kNumAbortReasons ? payload : 0];
+        break;
+      case kTraceBlacklisted:
+        ++tracesBlacklisted;
+        break;
+      case kTraceRearmed:
+        ++tracesRearmed;
+        break;
+      case kTraceEvicted:
+        ++tracesEvicted;
+        break;
+      case kCompileDowngrade:
+        ++compileDowngrades;
         break;
       case kTraceEnter:
         ++traceEnters;

@@ -35,6 +35,10 @@ class EventProfiler : public AnnotListener
           case kAppEvent:
           case kTierUp:
           case kTier1Compile:
+          case kTraceBlacklisted:
+          case kTraceRearmed:
+          case kTraceEvicted:
+          case kCompileDowngrade:
             return false;
           default:
             return true;
@@ -51,6 +55,15 @@ class EventProfiler : public AnnotListener
     uint64_t appEvents = 0;
     uint64_t tierUps = 0;
     uint64_t tier1Compiles = 0;
+
+    /** Fault-containment events (schema v7). */
+    uint64_t tracesBlacklisted = 0;
+    uint64_t tracesRearmed = 0;
+    uint64_t tracesEvicted = 0;
+    uint64_t compileDowngrades = 0;
+    /** Per-reason kTraceAborted payload counts (jit::AbortReason). */
+    static constexpr uint32_t kNumAbortReasons = 16;
+    uint64_t abortReasons[kNumAbortReasons] = {};
 
   private:
     AnnotationBus &bus_;

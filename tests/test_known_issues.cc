@@ -7,6 +7,11 @@
  * the moment the bug is fixed — the signal to delete the repro, close
  * the matching ROADMAP entry, and land the coordinated golden update.
  * Keep this file small; it is a ledger, not a dumping ground.
+ *
+ * Closed entries graduate into regression tests below the ledger: the
+ * inverted assertion (the bug must NOT reproduce) stays here so the
+ * file remains the single place where the engine's failure history is
+ * executable.
  */
 
 #include <gtest/gtest.h>
@@ -16,35 +21,56 @@
 namespace xlvm {
 namespace {
 
-/**
- * ROADMAP "Latent recording bug at high loop thresholds": hexiom2
- * crashes with a type-confusion panic ("unsupported []= on int", raised
- * from src/obj/space_containers.cc) when the trace threshold is exactly
- * 130 — loopThreshold=130 in the default tier, tier1Threshold=130 in
- * tier1/multi. Present on the pristine growth seed in every tier mode,
- * so it is a hotness-dependent recording/deopt bug in the tracing front
- * end, not a tiering or memoization regression. The bench tier sweeps
- * run at tier1Threshold=30/tier2Threshold=60 and are unaffected.
- *
- * The panic aborts the process, so the repro is a death test (the child
- * re-runs the workload in a forked process; the parent matches the
- * panic message on stderr). When a fix lands, this EXPECT_DEATH stops
- * matching and the test fails: delete it, resolve the ROADMAP entry,
- * and regenerate goldens with ci/check_goldens.sh --update (the fix
- * will move modeled counters).
- */
-TEST(KnownIssues, Hexiom2RecordingCrashAtThreshold130)
+driver::RunOptions
+hexiom2At130(vm::TierMode mode)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     driver::RunOptions o;
     o.workload = "hexiom2";
     o.vm = driver::VmKind::PyPyJit;
     // The bench sweep configuration (bench_common.h baseOptions) with
-    // the threshold moved to the crashing value.
+    // the hotness threshold moved to the historically crashing value:
+    // loopThreshold=130 in the default tier, tier1Threshold=130 in
+    // tier1/multi.
     o.loopThreshold = 130;
     o.bridgeThreshold = 40;
+    o.tierMode = mode;
+    o.tier1Threshold = 130;
+    o.tier2Threshold = 160;
     o.maxInstructions = 400u * 1000 * 1000;
-    EXPECT_DEATH(driver::runWorkload(o), "unsupported \\[\\]= on int");
+    return o;
+}
+
+/**
+ * CLOSED — ROADMAP "Latent recording bug at high loop thresholds":
+ * hexiom2 used to die with a type-confusion panic ("unsupported []= on
+ * int") when the trace threshold was exactly 130, in every tier mode.
+ * Root cause: maybeCallAssembler captured the outer resume frames of a
+ * call_assembler io snapshot with post-call encodings, so a mismatched
+ * inner exit rebuilt the outer frame from the exit contract's fresh
+ * boxes and resumed the interpreter on type-confused slots. The fix
+ * captures frames[2..] with pre-call encodings (and verifyTrace now
+ * rejects the malformed shape outright, so a recurrence degrades to a
+ * kMalformedTrace safe bailout instead of a heap-corrupting crash).
+ *
+ * The regression guard runs the exact repro in all three JIT tier
+ * modes and requires clean completion.
+ */
+TEST(KnownIssues, Hexiom2Threshold130CompletesInAllTierModes)
+{
+    for (vm::TierMode mode : {vm::TierMode::Tier2, vm::TierMode::Tier1,
+                              vm::TierMode::Multi}) {
+        driver::RunResult r = driver::runWorkload(hexiom2At130(mode));
+        EXPECT_TRUE(r.completed)
+            << "tier mode " << vm::tierModeName(mode);
+        EXPECT_TRUE(r.error.empty()) << r.error;
+        // The run must finish because the bug is fixed — not because a
+        // containment path papered over it: no malformed-trace bailout
+        // may fire on the healthy engine.
+        EXPECT_EQ(
+            r.abortReasons[uint32_t(jit::AbortReason::kMalformedTrace)],
+            0u)
+            << "tier mode " << vm::tierModeName(mode);
+    }
 }
 
 } // namespace

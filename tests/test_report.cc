@@ -5,6 +5,9 @@
  * the golden-snapshot comparator that xlvm-check-golden wraps.
  */
 
+#include <fstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "driver/runner.h"
@@ -327,4 +330,91 @@ TEST(Golden, SchemaVersionMismatchIsDrift)
     Json f = Json::parse("{\"schema_version\": 2}");
     ASSERT_EQ(compareReports(g, f).size(), 1u);
     EXPECT_EQ(compareReports(g, f)[0].path, "schema_version");
+}
+
+// ---- loadReport hardening --------------------------------------------
+//
+// The golden gate and the bench guard both trust loadReport to turn a
+// damaged on-disk report (crashed generator, truncated CI artifact,
+// stray shell output) into a one-line error instead of a vacuous pass.
+
+namespace {
+
+/** Write @p text to a unique temp file and return its path. */
+std::string
+tempReport(const char *tag, const std::string &text)
+{
+    std::string path =
+        ::testing::TempDir() + "xlvm_load_report_" + tag + ".json";
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(text.data(), std::streamsize(text.size()));
+    f.close();
+    return path;
+}
+
+} // namespace
+
+TEST(LoadReport, MissingFileIsAnError)
+{
+    Json doc;
+    std::string err;
+    EXPECT_FALSE(loadReport("/nonexistent/xlvm_no_such.json", &doc, &err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+TEST(LoadReport, EmptyFileIsAnError)
+{
+    Json doc;
+    std::string err;
+    EXPECT_FALSE(loadReport(tempReport("empty", ""), &doc, &err));
+    EXPECT_NE(err.find("empty report"), std::string::npos) << err;
+    err.clear();
+    EXPECT_FALSE(loadReport(tempReport("blank", " \n\t\n"), &doc, &err));
+    EXPECT_NE(err.find("empty report"), std::string::npos) << err;
+}
+
+TEST(LoadReport, TruncatedJsonIsAnError)
+{
+    Json doc;
+    std::string err;
+    EXPECT_FALSE(loadReport(
+        tempReport("trunc", "{\"schema_version\": 7, \"runs\": ["), &doc,
+        &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(LoadReport, TrailingGarbageIsAnError)
+{
+    Json doc;
+    std::string err;
+    EXPECT_FALSE(
+        loadReport(tempReport("garbage", "{}\nsegfault at 0x0"), &doc, &err));
+    EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+}
+
+TEST(LoadReport, NonObjectTopLevelIsAnError)
+{
+    // "null"/"42"/"[]" parse cleanly but comparing against them would
+    // vacuously succeed — they must be rejected up front.
+    Json doc;
+    std::string err;
+    for (const char *bad : {"null", "42", "[1, 2]", "\"oops\""}) {
+        err.clear();
+        EXPECT_FALSE(loadReport(tempReport("nonobj", bad), &doc, &err))
+            << bad;
+        EXPECT_NE(err.find("not a JSON report object"), std::string::npos)
+            << bad << ": " << err;
+    }
+}
+
+TEST(LoadReport, WellFormedReportLoads)
+{
+    Json doc;
+    std::string err;
+    ASSERT_TRUE(loadReport(
+        tempReport("ok", "{\"schema_version\": 7, \"runs\": []}"), &doc,
+        &err))
+        << err;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.get("schema_version")->asUInt(), 7u);
 }
